@@ -1,0 +1,135 @@
+// Ablation bench for the design choices called out in DESIGN.md §3/§5 (E8):
+//
+//  A. Node2Vec graph: FK column identification on/off (paper Section IV
+//     argues identification is the semantically correct encoding).
+//  B. FoRWaRD: maximum walk-scheme length lmax in {1, 2, 3}.
+//  C. FoRWaRD: KD estimator — the paper's single-sample Eq. 5 vs
+//     multi-sample averaging vs exact cached distributions (this repo's
+//     default; see DESIGN.md §3).
+//  D. Dynamic extension solver: pseudoinverse (paper Eq. 10) vs ridge
+//     normal equations.
+//  E. Planted signal strength sweep — a generator sanity check: accuracy
+//     must collapse to the majority baseline as signal -> 0.
+#include "bench/bench_common.h"
+#include "src/exp/dynamic_experiment.h"
+#include "src/exp/report.h"
+#include "src/exp/static_experiment.h"
+
+using namespace stedb;
+
+int main(int argc, char** argv) {
+  exp::RunScale scale = exp::ScaleFromEnv();
+  exp::MethodConfig mcfg = exp::MethodConfig::ForScale(scale);
+  bench::PrintHeader("Ablations", "design-choice ablations on Genes", scale);
+  const std::string dataset = argc > 1 ? argv[1] : "genes";
+
+  data::GeneratedDataset ds =
+      bench::MakeDatasetOrDie(dataset, mcfg.data_scale);
+  exp::StaticConfig scfg;
+  scfg.folds = 3;
+  scfg.embedding_per_fold = false;
+
+  auto run_static = [&](exp::MethodKind kind, const exp::MethodConfig& cfg,
+                        const data::GeneratedDataset& data) {
+    auto res = exp::RunStaticExperiment(data, kind, cfg, scfg);
+    return res.ok() ? exp::AccuracyCell(res.value().mean_accuracy,
+                                        res.value().std_accuracy)
+                    : std::string("-");
+  };
+
+  // A. FK identification in the Node2Vec graph.
+  {
+    exp::TableWriter table({"N2V graph", "accuracy"});
+    exp::MethodConfig on = mcfg;
+    on.node2vec.graph.identify_fk_columns = true;
+    exp::MethodConfig off = mcfg;
+    off.node2vec.graph.identify_fk_columns = false;
+    table.AddRow({"FK identification ON (paper)",
+                  run_static(exp::MethodKind::kNode2Vec, on, ds)});
+    table.AddRow({"FK identification OFF",
+                  run_static(exp::MethodKind::kNode2Vec, off, ds)});
+    std::printf("A. Node2Vec FK column identification\n%s\n",
+                table.Render().c_str());
+  }
+
+  // B. FoRWaRD lmax.
+  {
+    exp::TableWriter table({"lmax", "accuracy"});
+    for (int lmax = 1; lmax <= 3; ++lmax) {
+      exp::MethodConfig cfg = mcfg;
+      cfg.forward.max_walk_len = lmax;
+      table.AddRow({std::to_string(lmax),
+                    run_static(exp::MethodKind::kForward, cfg, ds)});
+    }
+    std::printf("B. FoRWaRD maximum walk length\n%s\n",
+                table.Render().c_str());
+  }
+
+  // C. KD estimator.
+  {
+    exp::TableWriter table({"KD estimator", "accuracy"});
+    struct Case {
+      const char* name;
+      fwd::KdEstimator est;
+    };
+    for (const Case& c : {Case{"single-sample (paper Eq. 5)",
+                               fwd::KdEstimator::kSingleSample},
+                          Case{"multi-sample (8 draws)",
+                               fwd::KdEstimator::kMultiSample},
+                          Case{"exact cached (repo default)",
+                               fwd::KdEstimator::kExactCached}}) {
+      exp::MethodConfig cfg = mcfg;
+      cfg.forward.kd_estimator = c.est;
+      table.AddRow({c.name, run_static(exp::MethodKind::kForward, cfg, ds)});
+    }
+    std::printf("C. FoRWaRD KD estimator\n%s\n", table.Render().c_str());
+  }
+
+  // D. Dynamic solver.
+  {
+    exp::DynamicConfig dcfg;
+    dcfg.new_ratio = 0.2;
+    dcfg.runs = 2;
+    exp::TableWriter table({"solver", "dynamic accuracy", "s/tuple"});
+    for (bool pinv : {true, false}) {
+      exp::MethodConfig cfg = mcfg;
+      cfg.forward.use_pinv = pinv;
+      auto res =
+          exp::RunDynamicExperiment(ds, exp::MethodKind::kForward, cfg,
+                                    dcfg);
+      table.AddRow(
+          {pinv ? "pseudoinverse (paper Eq. 10)" : "ridge normal equations",
+           res.ok() ? exp::AccuracyCell(res.value().mean_accuracy,
+                                        res.value().std_accuracy)
+                    : "-",
+           res.ok() ? exp::SecondsCell(res.value().seconds_per_new_tuple)
+                    : "-"});
+    }
+    std::printf("D. dynamic extension solver\n%s\n", table.Render().c_str());
+  }
+
+  // E. Signal sweep (generator sanity).
+  {
+    exp::TableWriter table({"planted signal", "FoRWaRD accuracy",
+                            "majority"});
+    for (double signal : {0.0, 0.4, 0.85}) {
+      data::GenConfig gen;
+      gen.scale = mcfg.data_scale;
+      gen.seed = 97;
+      gen.signal = signal;
+      auto sds = data::MakeDataset(dataset, gen);
+      if (!sds.ok()) continue;
+      auto res = exp::RunStaticExperiment(
+          sds.value(), exp::MethodKind::kForward, mcfg, scfg);
+      table.AddRow({exp::SecondsCell(signal).substr(0, 4),
+                    res.ok() ? exp::AccuracyCell(res.value().mean_accuracy,
+                                                 res.value().std_accuracy)
+                             : "-",
+                    res.ok() ? exp::AccuracyCell(
+                                   res.value().majority_baseline, 0.0)
+                             : "-"});
+    }
+    std::printf("E. planted signal strength\n%s\n", table.Render().c_str());
+  }
+  return 0;
+}

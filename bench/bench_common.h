@@ -1,0 +1,63 @@
+#ifndef STEDB_BENCH_BENCH_COMMON_H_
+#define STEDB_BENCH_BENCH_COMMON_H_
+
+// Shared setup for the paper-table bench binaries. Every binary honors
+//   STEDB_SCALE=smoke|default|paper
+// (dataset size + embedding hyperparameters; see MethodConfig::ForScale)
+// and an optional dataset-name filter as argv[1].
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/data/registry.h"
+#include "src/exp/embedding_method.h"
+
+namespace stedb::bench {
+
+inline const char* ScaleName(exp::RunScale scale) {
+  switch (scale) {
+    case exp::RunScale::kSmoke:
+      return "smoke";
+    case exp::RunScale::kDefault:
+      return "default";
+    case exp::RunScale::kPaper:
+      return "paper";
+  }
+  return "?";
+}
+
+/// Datasets to run: all five (Table I order) or the one named in argv[1].
+inline std::vector<std::string> SelectDatasets(int argc, char** argv) {
+  if (argc > 1) return {argv[1]};
+  return data::DatasetNames();
+}
+
+/// Generates one dataset at the configured scale; exits on failure.
+inline data::GeneratedDataset MakeDatasetOrDie(const std::string& name,
+                                               double data_scale,
+                                               uint64_t seed = 97) {
+  data::GenConfig gen;
+  gen.scale = data_scale;
+  gen.seed = seed;
+  auto ds = data::MakeDataset(name, gen);
+  if (!ds.ok()) {
+    std::fprintf(stderr, "dataset %s: %s\n", name.c_str(),
+                 ds.status().ToString().c_str());
+    std::exit(1);
+  }
+  return std::move(ds).value();
+}
+
+inline void PrintHeader(const char* table, const char* description,
+                        exp::RunScale scale) {
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);  // live progress under tee
+  std::printf("=== %s — %s ===\n", table, description);
+  std::printf("(scale: %s; set STEDB_SCALE=smoke|default|paper; shapes, not "
+              "absolute numbers, are the reproduction target)\n\n",
+              ScaleName(scale));
+}
+
+}  // namespace stedb::bench
+
+#endif  // STEDB_BENCH_BENCH_COMMON_H_

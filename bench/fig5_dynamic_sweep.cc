@@ -1,0 +1,75 @@
+// Regenerates the paper's Figure 5: dynamic-experiment accuracy on newly
+// arrived tuples as a function of the new-data ratio (one-by-one
+// extension), per dataset, with the most-common-class baseline.
+//
+// Shape expectations (paper): both methods stay close to their static
+// accuracy up to ~50% new data and degrade slowly beyond; the baseline is
+// flat; FoRWaRD has the overall edge.
+#include "bench/bench_common.h"
+#include "src/exp/dynamic_experiment.h"
+#include "src/exp/report.h"
+
+using namespace stedb;
+
+int main(int argc, char** argv) {
+  exp::RunScale scale = exp::ScaleFromEnv();
+  exp::MethodConfig mcfg = exp::MethodConfig::ForScale(scale);
+  bench::PrintHeader("Figure 5",
+                     "dynamic accuracy vs ratio of new data (one-by-one)",
+                     scale);
+
+  const std::vector<double> ratios =
+      scale == exp::RunScale::kSmoke
+          ? std::vector<double>{0.1, 0.5, 0.9}
+          : std::vector<double>{0.1, 0.3, 0.5, 0.7, 0.9};
+  const int runs = scale == exp::RunScale::kPaper ? 10 : 1;
+  // One-by-one N2V retraining per arrival is the expensive part; trim the
+  // dataset a little relative to the static benches.
+  double data_scale = mcfg.data_scale * 0.5;
+  if (scale != exp::RunScale::kPaper) {
+    // The sweep runs 2 methods x 5 ratios x 5 datasets of static trainings;
+    // lighten Node2Vec so the whole figure regenerates in minutes.
+    mcfg.node2vec.walk.walks_per_node = 8;
+    mcfg.node2vec.sg.epochs = 3;
+    mcfg.node2vec.dynamic_epochs = 4;
+  }
+
+  exp::DynamicConfig dcfg;
+  dcfg.one_by_one = true;
+  dcfg.runs = runs;
+
+  for (const std::string& name : bench::SelectDatasets(argc, argv)) {
+    data::GeneratedDataset ds = bench::MakeDatasetOrDie(name, data_scale);
+    std::vector<double> xs;
+    std::vector<double> fwd_acc, n2v_acc, base_acc;
+    for (double ratio : ratios) {
+      dcfg.new_ratio = ratio;
+      xs.push_back(ratio * 100.0);
+      auto fwd = exp::RunDynamicExperiment(ds, exp::MethodKind::kForward,
+                                           mcfg, dcfg);
+      auto n2v = exp::RunDynamicExperiment(ds, exp::MethodKind::kNode2Vec,
+                                           mcfg, dcfg);
+      fwd_acc.push_back(fwd.ok() ? fwd.value().mean_accuracy * 100.0 : 0.0);
+      n2v_acc.push_back(n2v.ok() ? n2v.value().mean_accuracy * 100.0 : 0.0);
+      base_acc.push_back(fwd.ok() ? fwd.value().majority_baseline * 100.0
+                                  : 0.0);
+      if (fwd.ok() && fwd.value().stability_drift != 0.0) {
+        std::fprintf(stderr, "WARNING: FoRWaRD drift on %s!\n", name.c_str());
+      }
+      if (n2v.ok() && n2v.value().stability_drift != 0.0) {
+        std::fprintf(stderr, "WARNING: Node2Vec drift on %s!\n",
+                     name.c_str());
+      }
+      std::printf("%s ratio %.0f%%: FoRWaRD %.1f%%  Node2Vec %.1f%%  "
+                  "baseline %.1f%%\n",
+                  name.c_str(), ratio * 100.0, fwd_acc.back(),
+                  n2v_acc.back(), base_acc.back());
+    }
+    std::printf("\n(%s)\n%s\n", name.c_str(),
+                exp::AsciiChart(xs, {{"FoRWaRD", fwd_acc},
+                                     {"Node2Vec", n2v_acc},
+                                     {"Baseline", base_acc}})
+                    .c_str());
+  }
+  return 0;
+}

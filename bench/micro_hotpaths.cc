@@ -1,0 +1,207 @@
+// google-benchmark micro-benchmarks of the hot paths underlying the paper
+// tables: walk sampling, exact destination distributions, kernel
+// evaluation, the two least-squares solvers of the dynamic extension, SGNS
+// updates, and database mutation primitives.
+#include <benchmark/benchmark.h>
+
+#include "src/data/registry.h"
+#include "src/db/cascade.h"
+#include "src/fwd/forward.h"
+#include "src/fwd/walk_distribution.h"
+#include "src/fwd/walk_sampler.h"
+#include "src/graph/alias_sampler.h"
+#include "src/la/solve.h"
+#include "src/la/svd.h"
+#include "src/n2v/skipgram.h"
+
+namespace stedb {
+namespace {
+
+const data::GeneratedDataset& Genes() {
+  static const data::GeneratedDataset* ds = [] {
+    data::GenConfig cfg;
+    cfg.scale = 0.15;
+    cfg.seed = 3;
+    return new data::GeneratedDataset(
+        std::move(data::MakeGenes(cfg)).value());
+  }();
+  return *ds;
+}
+
+void BM_WalkSample(benchmark::State& state) {
+  const data::GeneratedDataset& ds = Genes();
+  fwd::WalkSampler sampler(&ds.database);
+  auto schemes = fwd::EnumerateWalkSchemes(ds.database.schema(),
+                                           ds.pred_rel,
+                                           static_cast<int>(state.range(0)));
+  const auto& facts = ds.Samples();
+  Rng rng(1);
+  size_t i = 0;
+  for (auto _ : state) {
+    const fwd::WalkScheme& s = schemes[i % schemes.size()];
+    benchmark::DoNotOptimize(
+        sampler.SampleDestination(s, facts[i % facts.size()], rng));
+    ++i;
+  }
+}
+BENCHMARK(BM_WalkSample)->Arg(1)->Arg(2)->Arg(3);
+
+void BM_ExactDistribution(benchmark::State& state) {
+  const data::GeneratedDataset& ds = Genes();
+  fwd::WalkDistribution dist(&ds.database);
+  auto schemes =
+      fwd::EnumerateWalkSchemes(ds.database.schema(), ds.pred_rel, 2);
+  auto targets = fwd::BuildTargets(ds.database.schema(), schemes, {});
+  const auto& facts = ds.Samples();
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& t = targets[i % targets.size()];
+    benchmark::DoNotOptimize(dist.Exact(schemes[t.scheme_index], t.attr,
+                                        facts[i % facts.size()]));
+    ++i;
+  }
+}
+BENCHMARK(BM_ExactDistribution);
+
+void BM_KernelGaussian(benchmark::State& state) {
+  fwd::GaussianKernel kernel(2.0);
+  Rng rng(2);
+  db::Value a = db::Value::Real(rng.NextGaussian());
+  db::Value b = db::Value::Real(rng.NextGaussian());
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(kernel.Evaluate(a, b));
+  }
+}
+BENCHMARK(BM_KernelGaussian);
+
+void BM_RidgeSolve(benchmark::State& state) {
+  const size_t d = state.range(0);
+  Rng rng(3);
+  la::Matrix c = la::Matrix::RandomGaussian(d * 8, d, 1.0, rng);
+  la::Vector b = la::RandomVector(d * 8, 1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::RidgeLeastSquares(c, b, 1e-8));
+  }
+}
+BENCHMARK(BM_RidgeSolve)->Arg(16)->Arg(32)->Arg(64);
+
+void BM_PinvSolve(benchmark::State& state) {
+  const size_t d = state.range(0);
+  Rng rng(4);
+  la::Matrix n = la::Matrix::RandomGaussian(d, d, 1.0, rng);
+  la::Matrix spd = n.Transposed().Multiply(n);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::PseudoInverse(spd));
+  }
+}
+BENCHMARK(BM_PinvSolve)->Arg(16)->Arg(32);
+
+void BM_SgnsEpoch(benchmark::State& state) {
+  Rng rng(5);
+  n2v::SkipGramConfig cfg;
+  cfg.dim = state.range(0);
+  cfg.negatives = 8;
+  n2v::SkipGramModel model(64, cfg, rng);
+  std::vector<std::vector<graph::NodeId>> walks;
+  for (int w = 0; w < 32; ++w) {
+    std::vector<graph::NodeId> walk;
+    for (int i = 0; i < 12; ++i) {
+      walk.push_back(static_cast<graph::NodeId>(rng.NextIndex(64)));
+    }
+    walks.push_back(std::move(walk));
+  }
+  n2v::NodeVocab vocab(64);
+  vocab.CountWalks(walks);
+  vocab.BuildNoiseTable();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Train(walks, vocab, 1, rng));
+  }
+}
+BENCHMARK(BM_SgnsEpoch)->Arg(16)->Arg(64);
+
+void BM_AliasSample(benchmark::State& state) {
+  Rng rng(6);
+  std::vector<double> weights(1024);
+  for (double& w : weights) w = rng.NextDouble() + 0.01;
+  graph::AliasSampler sampler(weights);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(sampler.Sample(rng));
+  }
+}
+BENCHMARK(BM_AliasSample);
+
+void BM_BilinearForm(benchmark::State& state) {
+  const size_t d = state.range(0);
+  Rng rng(7);
+  la::Matrix m = la::Matrix::RandomSymmetric(d, 1.0, rng);
+  la::Vector x = la::RandomVector(d, 1.0, rng);
+  la::Vector y = la::RandomVector(d, 1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::BilinearForm(x, m, y));
+  }
+}
+BENCHMARK(BM_BilinearForm)->Arg(32)->Arg(100);
+
+void BM_InsertDelete(benchmark::State& state) {
+  data::GenConfig cfg;
+  cfg.scale = 0.1;
+  data::GeneratedDataset ds = std::move(data::MakeGenes(cfg)).value();
+  int64_t n = 0;
+  for (auto _ : state) {
+    auto id = ds.database.Insert(
+        "CLASSIFICATION",
+        {db::Value::Text("bench" + std::to_string(n++)),
+         db::Value::Text("loc00000")});
+    benchmark::DoNotOptimize(id);
+    (void)ds.database.Delete(id.value());
+  }
+}
+BENCHMARK(BM_InsertDelete);
+
+void BM_CascadeRoundTrip(benchmark::State& state) {
+  data::GenConfig cfg;
+  cfg.scale = 0.08;
+  data::GeneratedDataset ds = std::move(data::MakeMutagenesis(cfg)).value();
+  Rng rng(8);
+  for (auto _ : state) {
+    const auto& facts = ds.database.FactsOf(ds.pred_rel);
+    db::FactId victim = facts[rng.NextIndex(facts.size())];
+    auto batch = db::CascadeDelete(ds.database, victim);
+    benchmark::DoNotOptimize(batch);
+    (void)db::ReinsertBatch(ds.database, batch.value());
+  }
+}
+BENCHMARK(BM_CascadeRoundTrip);
+
+void BM_ForwardExtendOneTuple(benchmark::State& state) {
+  data::GenConfig cfg;
+  cfg.scale = 0.08;
+  data::GeneratedDataset ds = std::move(data::MakeGenes(cfg)).value();
+  fwd::ForwardConfig fcfg;
+  fcfg.dim = 24;
+  fcfg.nsamples = 16;
+  fcfg.epochs = 4;
+  fcfg.max_walk_len = 2;
+  fcfg.new_samples = 60;
+  fwd::AttrKeySet excluded;
+  excluded.insert({ds.pred_rel, ds.pred_attr});
+  auto emb = fwd::ForwardEmbedder::TrainStatic(&ds.database, ds.pred_rel,
+                                               excluded, fcfg);
+  fwd::ForwardEmbedder embedder = std::move(emb).value();
+  Rng rng(9);
+  for (auto _ : state) {
+    state.PauseTiming();
+    const auto& facts = ds.database.FactsOf(ds.pred_rel);
+    db::FactId victim = facts[rng.NextIndex(facts.size())];
+    auto batch = db::CascadeDelete(ds.database, victim).value();
+    auto ids = db::ReinsertBatch(ds.database, batch).value();
+    state.ResumeTiming();
+    benchmark::DoNotOptimize(embedder.ExtendToFacts(ids));
+  }
+}
+BENCHMARK(BM_ForwardExtendOneTuple);
+
+}  // namespace
+}  // namespace stedb
+
+BENCHMARK_MAIN();

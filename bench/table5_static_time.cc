@@ -1,0 +1,37 @@
+// Regenerates the paper's Table V: wall-clock seconds to compute the
+// static embeddings with Node2Vec and FoRWaRD per dataset.
+//
+// Shape expectation (paper): Node2Vec is faster than FoRWaRD on every
+// dataset in the static phase (the ordering, not the absolute seconds, is
+// the reproduction target — the paper used a GPU).
+#include "bench/bench_common.h"
+#include "src/exp/report.h"
+#include "src/exp/timing.h"
+
+using namespace stedb;
+
+int main(int argc, char** argv) {
+  exp::RunScale scale = exp::ScaleFromEnv();
+  exp::MethodConfig mcfg = exp::MethodConfig::ForScale(scale);
+  bench::PrintHeader("Table V", "static embedding computation time", scale);
+
+  exp::TableWriter table({"Task", "NODE2VEC", "FORWARD"});
+  for (const std::string& name : bench::SelectDatasets(argc, argv)) {
+    data::GeneratedDataset ds =
+        bench::MakeDatasetOrDie(name, mcfg.data_scale);
+    auto timing = exp::MeasureStaticTime(ds, mcfg, 5);
+    if (!timing.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   timing.status().ToString().c_str());
+      continue;
+    }
+    table.AddRow({name, exp::SecondsCell(timing.value().node2vec_seconds),
+                  exp::SecondsCell(timing.value().forward_seconds)});
+    std::printf("%s done\n", name.c_str());
+  }
+  std::printf("\n%s\n", table.Render().c_str());
+  std::printf("paper Table V (seconds, N2V/FWD): hepatitis 189/540, genes "
+              "78/204, mutagenesis 166/230, world 219/440, mondial "
+              "462/810\n");
+  return 0;
+}

@@ -1,0 +1,197 @@
+// The paper's running example (Figure 2): the movie database, its walk
+// schemes (Figure 4), exact walk-destination distributions (Example 5.3),
+// and the dynamic insertion of collaboration c4 (Example 3.1).
+//
+//   $ ./movie_db
+#include <cstdio>
+#include <memory>
+
+#include "src/db/cascade.h"
+#include "src/db/database.h"
+#include "src/fwd/forward.h"
+#include "src/fwd/walk_distribution.h"
+#include "src/fwd/walk_scheme.h"
+
+using namespace stedb;
+using db::AttrType;
+using db::Value;
+
+namespace {
+
+std::shared_ptr<const db::Schema> MovieSchema() {
+  auto schema = std::make_shared<db::Schema>();
+  (void)schema->AddRelation("MOVIES",
+                            {{"mid", AttrType::kText},
+                             {"studio", AttrType::kText},
+                             {"title", AttrType::kText},
+                             {"genre", AttrType::kText},
+                             {"budget", AttrType::kText}},
+                            {"mid"});
+  (void)schema->AddRelation("ACTORS",
+                            {{"aid", AttrType::kText},
+                             {"name", AttrType::kText},
+                             {"worth", AttrType::kText}},
+                            {"aid"});
+  (void)schema->AddRelation("STUDIOS",
+                            {{"sid", AttrType::kText},
+                             {"name", AttrType::kText},
+                             {"loc", AttrType::kText}},
+                            {"sid"});
+  (void)schema->AddRelation("COLLABORATIONS",
+                            {{"actor1", AttrType::kText},
+                             {"actor2", AttrType::kText},
+                             {"movie", AttrType::kText}},
+                            {"actor1", "actor2", "movie"});
+  (void)schema->AddForeignKey("MOVIES", {"studio"}, "STUDIOS");
+  (void)schema->AddForeignKey("COLLABORATIONS", {"actor1"}, "ACTORS");
+  (void)schema->AddForeignKey("COLLABORATIONS", {"actor2"}, "ACTORS");
+  (void)schema->AddForeignKey("COLLABORATIONS", {"movie"}, "MOVIES");
+  return schema;
+}
+
+db::FactId Must(Result<db::FactId> r) {
+  if (!r.ok()) {
+    std::fprintf(stderr, "insert failed: %s\n", r.status().ToString().c_str());
+    std::exit(1);
+  }
+  return r.value();
+}
+
+}  // namespace
+
+int main() {
+  auto schema = MovieSchema();
+  db::Database database(schema);
+
+  // Figure 2's facts (studios first: FK targets must exist).
+  Must(database.Insert("STUDIOS", {Value::Text("s01"),
+                                   Value::Text("Warner Bros."),
+                                   Value::Text("LA")}));
+  Must(database.Insert("STUDIOS", {Value::Text("s02"),
+                                   Value::Text("Universal"),
+                                   Value::Text("LA")}));
+  Must(database.Insert("STUDIOS", {Value::Text("s03"),
+                                   Value::Text("Paramount"),
+                                   Value::Text("LA")}));
+  Must(database.Insert("MOVIES",
+                       {Value::Text("m01"), Value::Text("s03"),
+                        Value::Text("Titanic"), Value::Text("Drama"),
+                        Value::Text("200M")}));
+  Must(database.Insert("MOVIES",
+                       {Value::Text("m02"), Value::Text("s01"),
+                        Value::Text("Inception"), Value::Text("SciFi"),
+                        Value::Text("160M")}));
+  db::FactId m3 = Must(database.Insert(
+      "MOVIES", {Value::Text("m03"), Value::Text("s01"),
+                 Value::Text("Godzilla"), Value::Null(),  // genre = ⊥
+                 Value::Text("150M")}));
+  Must(database.Insert("MOVIES",
+                       {Value::Text("m04"), Value::Text("s03"),
+                        Value::Text("Interstellar"), Value::Text("SciFi"),
+                        Value::Text("160M")}));
+  Must(database.Insert("MOVIES",
+                       {Value::Text("m05"), Value::Text("s02"),
+                        Value::Text("Tropic Thunder"), Value::Text("Action"),
+                        Value::Text("90M")}));
+  Must(database.Insert("MOVIES",
+                       {Value::Text("m06"), Value::Text("s01"),
+                        Value::Text("Wolf of Wall St."), Value::Text("Bio"),
+                        Value::Text("100M")}));
+  db::FactId a1 = Must(database.Insert(
+      "ACTORS",
+      {Value::Text("a01"), Value::Text("DiCaprio"), Value::Text("230M")}));
+  Must(database.Insert("ACTORS", {Value::Text("a02"), Value::Text("Watanabe"),
+                                  Value::Text("40M")}));
+  Must(database.Insert("ACTORS", {Value::Text("a03"), Value::Text("Cruise"),
+                                  Value::Text("600M")}));
+  Must(database.Insert("ACTORS", {Value::Text("a04"),
+                                  Value::Text("McConaughey"),
+                                  Value::Text("140M")}));
+  Must(database.Insert("ACTORS", {Value::Text("a05"), Value::Text("Damon"),
+                                  Value::Text("170M")}));
+  Must(database.Insert("COLLABORATIONS", {Value::Text("a01"),
+                                          Value::Text("a02"),
+                                          Value::Text("m03")}));
+  Must(database.Insert("COLLABORATIONS", {Value::Text("a04"),
+                                          Value::Text("a05"),
+                                          Value::Text("m04")}));
+  Must(database.Insert("COLLABORATIONS", {Value::Text("a04"),
+                                          Value::Text("a03"),
+                                          Value::Text("m05")}));
+
+  std::printf("=== schema (Figure 2) ===\n%s\n",
+              schema->ToString().c_str());
+
+  // Figure 4: all walk schemes of length <= 3 from ACTORS.
+  db::RelationId actors = schema->RelationIndex("ACTORS");
+  auto schemes = fwd::EnumerateWalkSchemes(*schema, actors, 3);
+  std::printf("=== %zu walk schemes of length <= 3 from ACTORS (Fig. 4 has "
+              "9 of length <= 3, excluding the empty scheme) ===\n",
+              schemes.size());
+  for (size_t i = 0; i < schemes.size() && i < 12; ++i) {
+    std::printf("  s%-2zu %s\n", i, schemes[i].ToString(*schema).c_str());
+  }
+
+  // Example 5.3: the scheme s5 = ACTORS[aid]—COLLAB[actor1],
+  // COLLAB[movie]—MOVIES[mid]; from a1 the walks end at m3 and m6 with
+  // probability 0.5 each — but m3's genre is ⊥, so the genre distribution
+  // collapses onto "Bio" (the posterior convention).
+  fwd::WalkScheme s5;
+  s5.start = actors;
+  s5.steps = {{/*fk=*/1, /*forward=*/false}, {/*fk=*/3, /*forward=*/true}};
+  // Insert c4 first so the example matches the paper (a1 has two walks).
+  auto c4 = database.Insert("COLLABORATIONS", {Value::Text("a01"),
+                                               Value::Text("a04"),
+                                               Value::Text("m06")});
+  db::AttrId genre = schema->relation(schema->RelationIndex("MOVIES"))
+                         .AttrIndex("genre");
+  db::AttrId budget = schema->relation(schema->RelationIndex("MOVIES"))
+                          .AttrIndex("budget");
+  fwd::WalkDistribution dist(&database);
+  auto genre_dist = dist.Exact(s5, genre, a1);
+  auto budget_dist = dist.Exact(s5, budget, a1);
+  std::printf("\n=== Example 5.3: d(a1, s5) ===\n");
+  for (const auto& [v, p] : budget_dist.probs) {
+    std::printf("  P[budget = %s] = %.2f\n", v.ToString().c_str(), p);
+  }
+  for (const auto& [v, p] : genre_dist.probs) {
+    std::printf("  P[genre  = %s] = %.2f   (m3's ⊥ excluded)\n",
+                v.ToString().c_str(), p);
+  }
+
+  // Example 6.1: cascading deletion of c1 removes m4?? No — removing c2
+  // (a04, a05, m04) orphans m4 (Interstellar) and a5 (Damon), while a4
+  // survives through c3. Demonstrate on a copy.
+  {
+    db::Database copy = database;
+    db::FactId c2 = copy.FindByKey(
+        schema->RelationIndex("COLLABORATIONS"),
+        {Value::Text("a04"), Value::Text("a05"), Value::Text("m04")});
+    auto cascade = db::CascadePreview(copy, c2);
+    std::printf("\n=== cascade preview of deleting c2 ===\n");
+    for (db::FactId f : cascade.value()) {
+      const db::Fact& fact = copy.fact(f);
+      std::printf("  would delete %s%s\n",
+                  schema->relation(fact.rel).name.c_str(),
+                  db::ToString(fact.values).c_str());
+    }
+  }
+
+  // Example 3.1 as an embedding workflow: train on D = D' \ {c4}... here we
+  // already inserted c4, so just embed COLLABORATIONS facts statically.
+  fwd::ForwardConfig fcfg;
+  fcfg.dim = 8;
+  fcfg.nsamples = 16;
+  fcfg.epochs = 4;
+  auto emb = fwd::ForwardEmbedder::TrainStatic(
+      &database, schema->RelationIndex("COLLABORATIONS"), {}, fcfg);
+  if (!emb.ok()) {
+    std::fprintf(stderr, "train: %s\n", emb.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nFoRWaRD embedded %zu collaboration tuples (dim %zu)\n",
+              emb.value().model().num_embedded(), emb.value().dim());
+  (void)c4;
+  (void)m3;
+  return 0;
+}

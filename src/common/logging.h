@@ -1,0 +1,41 @@
+#ifndef STEDB_COMMON_LOGGING_H_
+#define STEDB_COMMON_LOGGING_H_
+
+#include <sstream>
+#include <string>
+
+namespace stedb {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Sets the global minimum level; messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+/// Writes one formatted line to stderr ("[level] message").
+void LogMessage(LogLevel level, const std::string& message);
+
+namespace internal_logging {
+
+/// Stream-style helper: `Logger(kInfo).stream() << ...` emits on destruction.
+class Logger {
+ public:
+  explicit Logger(LogLevel level) : level_(level) {}
+  Logger(const Logger&) = delete;
+  Logger& operator=(const Logger&) = delete;
+  ~Logger() { LogMessage(level_, stream_.str()); }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal_logging
+}  // namespace stedb
+
+#define STEDB_LOG(level)                                          \
+  ::stedb::internal_logging::Logger(::stedb::LogLevel::level).stream()
+
+#endif  // STEDB_COMMON_LOGGING_H_

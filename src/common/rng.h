@@ -1,0 +1,75 @@
+#ifndef STEDB_COMMON_RNG_H_
+#define STEDB_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+namespace stedb {
+
+/// Deterministic random number generator used throughout the library.
+///
+/// Every randomized component (embedding initialization, walk sampling,
+/// dataset generation, fold shuffling) takes an explicit `Rng&` or a seed so
+/// that experiments are exactly reproducible. Wraps std::mt19937_64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5eedb) : gen_(seed) {}
+
+  /// Uniform integer in [0, n). Requires n > 0.
+  uint64_t NextUint(uint64_t n) {
+    return std::uniform_int_distribution<uint64_t>(0, n - 1)(gen_);
+  }
+
+  /// Uniform index in [0, n) as size_t. Requires n > 0.
+  size_t NextIndex(size_t n) { return static_cast<size_t>(NextUint(n)); }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(gen_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double NextDouble(double lo, double hi) {
+    return std::uniform_real_distribution<double>(lo, hi)(gen_);
+  }
+
+  /// Standard normal draw.
+  double NextGaussian() {
+    return std::normal_distribution<double>(0.0, 1.0)(gen_);
+  }
+
+  /// Gaussian with the given mean and standard deviation.
+  double NextGaussian(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(gen_);
+  }
+
+  /// Bernoulli draw with success probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+  /// Draws an index from an (unnormalized) non-negative weight vector.
+  /// Returns weights.size() when all weights are zero.
+  size_t NextWeighted(const std::vector<double>& weights);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>& v) {
+    for (size_t i = v.size(); i > 1; --i) {
+      size_t j = NextIndex(i);
+      std::swap(v[i - 1], v[j]);
+    }
+  }
+
+  /// Derives an independent child generator; useful for giving each fold or
+  /// worker its own stream while keeping the parent deterministic.
+  Rng Fork() { return Rng(gen_()); }
+
+  std::mt19937_64& engine() { return gen_; }
+
+ private:
+  std::mt19937_64 gen_;
+};
+
+}  // namespace stedb
+
+#endif  // STEDB_COMMON_RNG_H_

@@ -1,0 +1,31 @@
+#ifndef STEDB_COMMON_STRING_UTIL_H_
+#define STEDB_COMMON_STRING_UTIL_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace stedb {
+
+/// Splits `s` on `delim`, keeping empty fields.
+std::vector<std::string> Split(std::string_view s, char delim);
+
+/// Joins `parts` with `delim`.
+std::string Join(const std::vector<std::string>& parts,
+                 std::string_view delim);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+/// ASCII lowercase copy.
+std::string ToLower(std::string_view s);
+
+/// True when `s` starts with `prefix`.
+bool StartsWith(std::string_view s, std::string_view prefix);
+
+/// Formats a double with a fixed number of decimals (printf "%.*f").
+std::string FormatDouble(double value, int decimals);
+
+}  // namespace stedb
+
+#endif  // STEDB_COMMON_STRING_UTIL_H_

@@ -1,0 +1,30 @@
+#ifndef STEDB_COMMON_TIMER_H_
+#define STEDB_COMMON_TIMER_H_
+
+#include <chrono>
+
+namespace stedb {
+
+/// Monotonic wall-clock stopwatch used by the timing experiments
+/// (paper Tables V and VI).
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  void Reset() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Reset().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace stedb
+
+#endif  // STEDB_COMMON_TIMER_H_

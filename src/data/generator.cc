@@ -1,0 +1,49 @@
+#include "src/data/generator.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace stedb::data {
+
+std::string ClassConditionalCategory(const std::vector<std::string>& vocab,
+                                     int cls, int num_classes, double signal,
+                                     Rng& rng) {
+  if (vocab.empty()) return "";
+  if (rng.NextBool(signal)) {
+    // Each class prefers a contiguous slice of the vocabulary; slices of
+    // adjacent classes overlap by design so the task is not trivial.
+    const size_t n = vocab.size();
+    const double width =
+        std::max(1.0, static_cast<double>(n) / num_classes * 1.5);
+    const double start =
+        static_cast<double>(cls) * static_cast<double>(n) / num_classes;
+    size_t pick = static_cast<size_t>(start + rng.NextDouble() * width);
+    return vocab[pick % n];
+  }
+  return vocab[rng.NextIndex(vocab.size())];
+}
+
+double ClassConditionalGaussian(double base, double separation, double spread,
+                                int cls, double signal, Rng& rng) {
+  const double mean = base + static_cast<double>(cls) * separation * signal;
+  return rng.NextGaussian(mean, spread);
+}
+
+std::string MakeId(const std::string& prefix, size_t n) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%05zu", n);
+  return prefix + buf;
+}
+
+size_t ScaledCount(size_t base, double scale, size_t minimum) {
+  const double scaled = static_cast<double>(base) * scale;
+  const size_t n = static_cast<size_t>(scaled + 0.5);
+  return n < minimum ? minimum : n;
+}
+
+db::Value MaybeNull(db::Value v, const GenConfig& cfg, Rng& rng) {
+  if (rng.NextBool(cfg.null_rate)) return db::Value::Null();
+  return v;
+}
+
+}  // namespace stedb::data

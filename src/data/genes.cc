@@ -1,0 +1,178 @@
+#include <memory>
+
+#include "src/data/registry.h"
+
+namespace stedb::data {
+namespace {
+
+using db::AttrType;
+using db::Value;
+
+constexpr int kNumLocalizations = 15;
+
+/// Schema mirror of the KDD Cup 2001 Genes database: a classification
+/// relation (gene id + predicted localization), gene-gene interactions, and
+/// per-gene composition records — 3 relations / ~15 attributes (Table I).
+Result<std::shared_ptr<const db::Schema>> BuildSchema() {
+  auto schema = std::make_shared<db::Schema>();
+  STEDB_RETURN_IF_ERROR(schema
+                            ->AddRelation("CLASSIFICATION",
+                                          {{"g_id", AttrType::kText},
+                                           {"localization", AttrType::kText}},
+                                          {"g_id"})
+                            .status());
+  STEDB_RETURN_IF_ERROR(schema
+                            ->AddRelation("INTERACTION",
+                                          {{"i_id", AttrType::kText},
+                                           {"gene1", AttrType::kText},
+                                           {"gene2", AttrType::kText},
+                                           {"itype", AttrType::kText},
+                                           {"expr_corr", AttrType::kReal}},
+                                          {"i_id"})
+                            .status());
+  STEDB_RETURN_IF_ERROR(schema
+                            ->AddRelation("COMPOSITION",
+                                          {{"c_id", AttrType::kText},
+                                           {"g_id", AttrType::kText},
+                                           {"essential", AttrType::kText},
+                                           {"chromosome", AttrType::kInt},
+                                           {"complex", AttrType::kText},
+                                           {"phenotype", AttrType::kText},
+                                           {"motif", AttrType::kText}},
+                                          {"c_id"})
+                            .status());
+  STEDB_RETURN_IF_ERROR(
+      schema->AddForeignKey("INTERACTION", {"gene1"}, "CLASSIFICATION")
+          .status());
+  STEDB_RETURN_IF_ERROR(
+      schema->AddForeignKey("INTERACTION", {"gene2"}, "CLASSIFICATION")
+          .status());
+  STEDB_RETURN_IF_ERROR(
+      schema->AddForeignKey("COMPOSITION", {"g_id"}, "CLASSIFICATION")
+          .status());
+  return std::shared_ptr<const db::Schema>(schema);
+}
+
+std::vector<std::string> MakeVocab(const std::string& prefix, size_t n) {
+  std::vector<std::string> vocab;
+  vocab.reserve(n);
+  for (size_t i = 0; i < n; ++i) vocab.push_back(MakeId(prefix, i));
+  return vocab;
+}
+
+}  // namespace
+
+Result<GeneratedDataset> MakeGenes(const GenConfig& cfg) {
+  STEDB_ASSIGN_OR_RETURN(std::shared_ptr<const db::Schema> schema,
+                         BuildSchema());
+  db::Database database(schema);
+  Rng rng(cfg.seed ^ 0x47454e45ull);  // "GENE"
+
+  const size_t n_genes = ScaledCount(860, cfg.scale, kNumLocalizations * 3);
+  const size_t comp_per_gene = 4;
+  const size_t n_interactions = ScaledCount(900, cfg.scale, 20);
+
+  std::vector<std::string> localizations;
+  for (int c = 0; c < kNumLocalizations; ++c) {
+    localizations.push_back(MakeId("loc", c));
+  }
+  const std::vector<std::string> complex_vocab = MakeVocab("cpx", 40);
+  const std::vector<std::string> phenotype_vocab = MakeVocab("ph", 35);
+  const std::vector<std::string> motif_vocab = MakeVocab("mo", 45);
+  const std::vector<std::string> itype_vocab = {"physical", "genetic",
+                                                "regulatory"};
+
+  // Zipf-ish class prior: a few localizations dominate, like the real data.
+  std::vector<double> prior(kNumLocalizations);
+  for (int c = 0; c < kNumLocalizations; ++c) prior[c] = 1.0 / (1.0 + c * 0.4);
+
+  std::vector<int> gene_cls(n_genes);
+  std::vector<std::vector<size_t>> genes_by_cls(kNumLocalizations);
+  for (size_t g = 0; g < n_genes; ++g) {
+    const int cls = static_cast<int>(rng.NextWeighted(prior));
+    gene_cls[g] = cls;
+    genes_by_cls[cls].push_back(g);
+    STEDB_RETURN_IF_ERROR(
+        database
+            .Insert("CLASSIFICATION", {Value::Text(MakeId("g", g)),
+                                       Value::Text(localizations[cls])})
+            .status());
+  }
+
+  // Composition rows: the main per-gene signal carriers.
+  size_t c_row = 0;
+  for (size_t g = 0; g < n_genes; ++g) {
+    const int cls = gene_cls[g];
+    for (size_t k = 0; k < comp_per_gene; ++k) {
+      STEDB_RETURN_IF_ERROR(
+          database
+              .Insert(
+                  "COMPOSITION",
+                  {Value::Text(MakeId("c", c_row++)),
+                   Value::Text(MakeId("g", g)),
+                   MaybeNull(Value::Text(rng.NextBool(0.3) ? "essential"
+                                                           : "non-essential"),
+                             cfg, rng),
+                   MaybeNull(Value::Int(1 + static_cast<int64_t>(
+                                                rng.NextUint(16))),
+                             cfg, rng),
+                   MaybeNull(
+                       Value::Text(ClassConditionalCategory(
+                           complex_vocab, cls, kNumLocalizations, cfg.signal,
+                           rng)),
+                       cfg, rng),
+                   MaybeNull(
+                       Value::Text(ClassConditionalCategory(
+                           phenotype_vocab, cls, kNumLocalizations,
+                           cfg.signal, rng)),
+                       cfg, rng),
+                   MaybeNull(
+                       Value::Text(ClassConditionalCategory(
+                           motif_vocab, cls, kNumLocalizations, cfg.signal,
+                           rng)),
+                       cfg, rng)})
+              .status());
+    }
+  }
+
+  // Interactions: homophilous — co-localized genes interact preferentially,
+  // so a gene's neighbors reveal its class through *their* compositions.
+  for (size_t i = 0; i < n_interactions; ++i) {
+    const size_t g1 = rng.NextIndex(n_genes);
+    size_t g2 = g1;
+    if (rng.NextBool(cfg.signal * 0.8) &&
+        genes_by_cls[gene_cls[g1]].size() > 1) {
+      const std::vector<size_t>& peers = genes_by_cls[gene_cls[g1]];
+      for (int tries = 0; tries < 8 && g2 == g1; ++tries) {
+        g2 = peers[rng.NextIndex(peers.size())];
+      }
+    } else {
+      for (int tries = 0; tries < 8 && g2 == g1; ++tries) {
+        g2 = rng.NextIndex(n_genes);
+      }
+    }
+    if (g2 == g1) continue;
+    const double corr = gene_cls[g1] == gene_cls[g2]
+                            ? rng.NextGaussian(0.6, 0.2)
+                            : rng.NextGaussian(0.1, 0.25);
+    STEDB_RETURN_IF_ERROR(
+        database
+            .Insert("INTERACTION",
+                    {Value::Text(MakeId("i", i)), Value::Text(MakeId("g", g1)),
+                     Value::Text(MakeId("g", g2)),
+                     MaybeNull(Value::Text(itype_vocab[rng.NextIndex(
+                                   itype_vocab.size())]),
+                               cfg, rng),
+                     MaybeNull(Value::Real(corr), cfg, rng)})
+            .status());
+  }
+
+  GeneratedDataset out{.name = "genes",
+                       .database = std::move(database),
+                       .pred_rel = schema->RelationIndex("CLASSIFICATION"),
+                       .pred_attr = 1,
+                       .class_names = localizations};
+  return out;
+}
+
+}  // namespace stedb::data

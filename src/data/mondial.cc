@@ -1,0 +1,351 @@
+#include <memory>
+
+#include "src/data/registry.h"
+
+namespace stedb::data {
+namespace {
+
+using db::AttrType;
+using db::Value;
+
+constexpr size_t kNumSatellites = 30;
+
+/// Schema mirror of the Mondial geography database: a binary TARGET
+/// relation over countries (the paper predicts the religion class from it),
+/// core geographic/political relations, and a spread of thematic satellite
+/// relations keyed to countries. 40 relations / ~165 attributes, matching
+/// the shape in the paper's Table I.
+Result<std::shared_ptr<const db::Schema>> BuildSchema() {
+  auto schema = std::make_shared<db::Schema>();
+  STEDB_RETURN_IF_ERROR(schema
+                            ->AddRelation("COUNTRY",
+                                          {{"code", AttrType::kText},
+                                           {"name", AttrType::kText},
+                                           {"area", AttrType::kReal},
+                                           {"population", AttrType::kInt}},
+                                          {"code"})
+                            .status());
+  STEDB_RETURN_IF_ERROR(schema
+                            ->AddRelation("TARGET",
+                                          {{"country", AttrType::kText},
+                                           {"target", AttrType::kText}},
+                                          {"country"})
+                            .status());
+  STEDB_RETURN_IF_ERROR(schema
+                            ->AddRelation("PROVINCE",
+                                          {{"p_id", AttrType::kText},
+                                           {"country", AttrType::kText},
+                                           {"name", AttrType::kText},
+                                           {"area", AttrType::kReal},
+                                           {"population", AttrType::kInt}},
+                                          {"p_id"})
+                            .status());
+  STEDB_RETURN_IF_ERROR(schema
+                            ->AddRelation("CITY",
+                                          {{"c_id", AttrType::kText},
+                                           {"province", AttrType::kText},
+                                           {"name", AttrType::kText},
+                                           {"population", AttrType::kInt},
+                                           {"elevation", AttrType::kReal}},
+                                          {"c_id"})
+                            .status());
+  STEDB_RETURN_IF_ERROR(schema
+                            ->AddRelation("ECONOMY",
+                                          {{"e_id", AttrType::kText},
+                                           {"country", AttrType::kText},
+                                           {"gdp", AttrType::kReal},
+                                           {"agriculture", AttrType::kReal},
+                                           {"industry", AttrType::kReal},
+                                           {"inflation", AttrType::kReal}},
+                                          {"e_id"})
+                            .status());
+  STEDB_RETURN_IF_ERROR(schema
+                            ->AddRelation("GOVERNMENT",
+                                          {{"g_id", AttrType::kText},
+                                           {"country", AttrType::kText},
+                                           {"form", AttrType::kText},
+                                           {"head", AttrType::kText}},
+                                          {"g_id"})
+                            .status());
+  STEDB_RETURN_IF_ERROR(schema
+                            ->AddRelation("LANGUAGE",
+                                          {{"l_id", AttrType::kText},
+                                           {"country", AttrType::kText},
+                                           {"name", AttrType::kText},
+                                           {"percentage", AttrType::kReal}},
+                                          {"l_id"})
+                            .status());
+  STEDB_RETURN_IF_ERROR(schema
+                            ->AddRelation("ETHNICGROUP",
+                                          {{"eg_id", AttrType::kText},
+                                           {"country", AttrType::kText},
+                                           {"group_name", AttrType::kText},
+                                           {"percentage", AttrType::kReal}},
+                                          {"eg_id"})
+                            .status());
+  STEDB_RETURN_IF_ERROR(schema
+                            ->AddRelation("BORDER",
+                                          {{"b_id", AttrType::kText},
+                                           {"country1", AttrType::kText},
+                                           {"country2", AttrType::kText},
+                                           {"length", AttrType::kReal}},
+                                          {"b_id"})
+                            .status());
+  STEDB_RETURN_IF_ERROR(schema
+                            ->AddRelation("MEMBERSHIP",
+                                          {{"m_id", AttrType::kText},
+                                           {"country", AttrType::kText},
+                                           {"organization", AttrType::kText},
+                                           {"mtype", AttrType::kText}},
+                                          {"m_id"})
+                            .status());
+  // 30 thematic satellite relations SAT00..SAT29, each country-keyed with a
+  // categorical and a numeric attribute (~120 further attributes).
+  for (size_t s = 0; s < kNumSatellites; ++s) {
+    const std::string name = MakeId("SAT", s);
+    STEDB_RETURN_IF_ERROR(schema
+                              ->AddRelation(name,
+                                            {{"s_id", AttrType::kText},
+                                             {"country", AttrType::kText},
+                                             {"category", AttrType::kText},
+                                             {"val", AttrType::kReal}},
+                                            {"s_id"})
+                              .status());
+    STEDB_RETURN_IF_ERROR(
+        schema->AddForeignKey(name, {"country"}, "COUNTRY").status());
+  }
+  STEDB_RETURN_IF_ERROR(
+      schema->AddForeignKey("TARGET", {"country"}, "COUNTRY").status());
+  STEDB_RETURN_IF_ERROR(
+      schema->AddForeignKey("PROVINCE", {"country"}, "COUNTRY").status());
+  STEDB_RETURN_IF_ERROR(
+      schema->AddForeignKey("CITY", {"province"}, "PROVINCE").status());
+  STEDB_RETURN_IF_ERROR(
+      schema->AddForeignKey("ECONOMY", {"country"}, "COUNTRY").status());
+  STEDB_RETURN_IF_ERROR(
+      schema->AddForeignKey("GOVERNMENT", {"country"}, "COUNTRY").status());
+  STEDB_RETURN_IF_ERROR(
+      schema->AddForeignKey("LANGUAGE", {"country"}, "COUNTRY").status());
+  STEDB_RETURN_IF_ERROR(
+      schema->AddForeignKey("ETHNICGROUP", {"country"}, "COUNTRY").status());
+  STEDB_RETURN_IF_ERROR(
+      schema->AddForeignKey("BORDER", {"country1"}, "COUNTRY").status());
+  STEDB_RETURN_IF_ERROR(
+      schema->AddForeignKey("BORDER", {"country2"}, "COUNTRY").status());
+  STEDB_RETURN_IF_ERROR(
+      schema->AddForeignKey("MEMBERSHIP", {"country"}, "COUNTRY").status());
+  return std::shared_ptr<const db::Schema>(schema);
+}
+
+std::vector<std::string> MakeVocab(const std::string& prefix, size_t n) {
+  std::vector<std::string> vocab;
+  vocab.reserve(n);
+  for (size_t i = 0; i < n; ++i) vocab.push_back(MakeId(prefix, i));
+  return vocab;
+}
+
+}  // namespace
+
+Result<GeneratedDataset> MakeMondial(const GenConfig& cfg) {
+  STEDB_ASSIGN_OR_RETURN(std::shared_ptr<const db::Schema> schema,
+                         BuildSchema());
+  db::Database database(schema);
+  Rng rng(cfg.seed ^ 0x4d4f4e44ull);  // "MOND"
+
+  const size_t n_countries = ScaledCount(206, cfg.scale, 20);
+  const size_t provinces_per_country = 5;
+  const size_t cities_per_province = 3;
+  const size_t rows_per_satellite_country = 2;
+
+  const std::vector<std::string> lang_vocab = MakeVocab("lng", 60);
+  const std::vector<std::string> ethnic_vocab = MakeVocab("eth", 50);
+  const std::vector<std::string> org_vocab = MakeVocab("org", 30);
+  const std::vector<std::string> form_vocab = {"republic", "monarchy",
+                                               "theocracy", "federation"};
+
+  // Per-satellite categorical vocabularies.
+  std::vector<std::vector<std::string>> sat_vocab;
+  for (size_t s = 0; s < kNumSatellites; ++s) {
+    sat_vocab.push_back(MakeVocab("s" + std::to_string(s) + "v", 12));
+  }
+
+  std::vector<int> country_cls(n_countries);
+  std::vector<std::string> codes(n_countries);
+  size_t prov_row = 0, city_row = 0, row = 0;
+
+  for (size_t c = 0; c < n_countries; ++c) {
+    // Binary target, ~62% majority (paper: 114 christian / 71 non).
+    const int cls = rng.NextBool(0.62) ? 0 : 1;
+    country_cls[c] = cls;
+    codes[c] = MakeId("c", c);
+    STEDB_RETURN_IF_ERROR(
+        database
+            .Insert("COUNTRY",
+                    {Value::Text(codes[c]), Value::Text(MakeId("name", c)),
+                     MaybeNull(Value::Real(std::abs(
+                                   rng.NextGaussian(300.0, 280.0))),
+                               cfg, rng),
+                     MaybeNull(Value::Int(static_cast<int64_t>(std::abs(
+                                   rng.NextGaussian(3e7, 5e7)))),
+                               cfg, rng)})
+            .status());
+    STEDB_RETURN_IF_ERROR(
+        database
+            .Insert("TARGET",
+                    {Value::Text(codes[c]),
+                     Value::Text(cls == 0 ? "christian" : "non-christian")})
+            .status());
+
+    // Provinces and cities: structure-only context (no label signal).
+    for (size_t p = 0; p < provinces_per_country; ++p) {
+      const std::string p_id = MakeId("pr", prov_row++);
+      STEDB_RETURN_IF_ERROR(
+          database
+              .Insert("PROVINCE",
+                      {Value::Text(p_id), Value::Text(codes[c]),
+                       Value::Text(MakeId("pname", prov_row)),
+                       MaybeNull(Value::Real(std::abs(
+                                     rng.NextGaussian(60.0, 50.0))),
+                                 cfg, rng),
+                       MaybeNull(Value::Int(static_cast<int64_t>(std::abs(
+                                     rng.NextGaussian(5e6, 8e6)))),
+                                 cfg, rng)})
+              .status());
+      for (size_t k = 0; k < cities_per_province; ++k) {
+        STEDB_RETURN_IF_ERROR(
+            database
+                .Insert("CITY",
+                        {Value::Text(MakeId("ci", city_row)),
+                         Value::Text(p_id),
+                         Value::Text(MakeId("cname", city_row)),
+                         MaybeNull(Value::Int(static_cast<int64_t>(std::abs(
+                                       rng.NextGaussian(5e5, 9e5)))),
+                                   cfg, rng),
+                         MaybeNull(Value::Real(rng.NextGaussian(300.0, 250.0)),
+                                   cfg, rng)})
+                .status());
+        ++city_row;
+      }
+    }
+
+    // Thematic relations: each carries a *weak* class-conditional signal;
+    // only their aggregate identifies the class — Mondial is the hardest
+    // dataset in the paper, so the per-relation signal is deliberately low.
+    const double weak = cfg.signal * 0.55;
+    STEDB_RETURN_IF_ERROR(
+        database
+            .Insert("ECONOMY",
+                    {Value::Text(MakeId("ec", c)), Value::Text(codes[c]),
+                     MaybeNull(Value::Real(std::abs(ClassConditionalGaussian(
+                                   800.0, -350.0, 500.0, cls, cfg.signal,
+                                   rng))),
+                               cfg, rng),
+                     MaybeNull(Value::Real(rng.NextDouble(0.0, 60.0)), cfg,
+                               rng),
+                     MaybeNull(Value::Real(rng.NextDouble(5.0, 60.0)), cfg,
+                               rng),
+                     MaybeNull(Value::Real(std::abs(
+                                   rng.NextGaussian(6.0, 8.0))),
+                               cfg, rng)})
+            .status());
+    STEDB_RETURN_IF_ERROR(
+        database
+            .Insert("GOVERNMENT",
+                    {Value::Text(MakeId("gv", c)), Value::Text(codes[c]),
+                     MaybeNull(Value::Text(ClassConditionalCategory(
+                                   form_vocab, cls, 2, weak, rng)),
+                               cfg, rng),
+                     MaybeNull(Value::Text(MakeId("head", rng.NextUint(40))),
+                               cfg, rng)})
+            .status());
+    for (size_t k = 0; k < 3; ++k) {
+      STEDB_RETURN_IF_ERROR(
+          database
+              .Insert("LANGUAGE",
+                      {Value::Text(MakeId("lg", row)), Value::Text(codes[c]),
+                       MaybeNull(Value::Text(ClassConditionalCategory(
+                                     lang_vocab, cls, 2, cfg.signal * 0.8,
+                                     rng)),
+                                 cfg, rng),
+                       MaybeNull(Value::Real(rng.NextDouble(0.0, 100.0)), cfg,
+                                 rng)})
+              .status());
+      ++row;
+      STEDB_RETURN_IF_ERROR(
+          database
+              .Insert("ETHNICGROUP",
+                      {Value::Text(MakeId("eg", row)), Value::Text(codes[c]),
+                       MaybeNull(Value::Text(ClassConditionalCategory(
+                                     ethnic_vocab, cls, 2, weak, rng)),
+                                 cfg, rng),
+                       MaybeNull(Value::Real(rng.NextDouble(0.0, 100.0)), cfg,
+                                 rng)})
+              .status());
+      ++row;
+      STEDB_RETURN_IF_ERROR(
+          database
+              .Insert("MEMBERSHIP",
+                      {Value::Text(MakeId("mb", row)), Value::Text(codes[c]),
+                       MaybeNull(Value::Text(ClassConditionalCategory(
+                                     org_vocab, cls, 2, weak, rng)),
+                                 cfg, rng),
+                       MaybeNull(Value::Text(rng.NextBool(0.7) ? "member"
+                                                               : "observer"),
+                                 cfg, rng)})
+              .status());
+      ++row;
+    }
+    // Borders: homophilous — countries preferentially border same-class
+    // countries (religion clusters geographically).
+    if (c > 0) {
+      for (size_t k = 0; k < 2; ++k) {
+        size_t other = rng.NextIndex(c);
+        if (rng.NextBool(cfg.signal * 0.6)) {
+          for (int tries = 0;
+               tries < 6 && country_cls[other] != cls; ++tries) {
+            other = rng.NextIndex(c);
+          }
+        }
+        STEDB_RETURN_IF_ERROR(
+            database
+                .Insert("BORDER",
+                        {Value::Text(MakeId("bd", row)),
+                         Value::Text(codes[c]), Value::Text(codes[other]),
+                         MaybeNull(Value::Real(std::abs(
+                                       rng.NextGaussian(400.0, 350.0))),
+                                   cfg, rng)})
+                .status());
+        ++row;
+      }
+    }
+    // Satellite rows.
+    for (size_t s = 0; s < kNumSatellites; ++s) {
+      for (size_t k = 0; k < rows_per_satellite_country; ++k) {
+        STEDB_RETURN_IF_ERROR(
+            database
+                .Insert(MakeId("SAT", s),
+                        {Value::Text(MakeId("s" + std::to_string(s), row)),
+                         Value::Text(codes[c]),
+                         MaybeNull(Value::Text(ClassConditionalCategory(
+                                       sat_vocab[s], cls, 2, weak * 0.7,
+                                       rng)),
+                                   cfg, rng),
+                         MaybeNull(Value::Real(ClassConditionalGaussian(
+                                       0.0, 0.6, 1.0, cls, cfg.signal * 0.3,
+                                       rng)),
+                                   cfg, rng)})
+                .status());
+        ++row;
+      }
+    }
+  }
+
+  GeneratedDataset out{.name = "mondial",
+                       .database = std::move(database),
+                       .pred_rel = schema->RelationIndex("TARGET"),
+                       .pred_attr = 1,
+                       .class_names = {"christian", "non-christian"}};
+  return out;
+}
+
+}  // namespace stedb::data

@@ -1,0 +1,153 @@
+#include <memory>
+
+#include "src/data/registry.h"
+
+namespace stedb::data {
+namespace {
+
+using db::AttrType;
+using db::Value;
+
+/// Schema mirror of the Mutagenesis database (Debnath et al.): molecules
+/// with the predicted mutagenicity plus global chemical descriptors, atoms
+/// belonging to molecules, and bonds between atoms — 3 relations /
+/// 14 attributes (Table I).
+Result<std::shared_ptr<const db::Schema>> BuildSchema() {
+  auto schema = std::make_shared<db::Schema>();
+  STEDB_RETURN_IF_ERROR(schema
+                            ->AddRelation("MOLECULE",
+                                          {{"mol_id", AttrType::kText},
+                                           {"mutagenic", AttrType::kText},
+                                           {"logp", AttrType::kReal},
+                                           {"lumo", AttrType::kReal},
+                                           {"ind1", AttrType::kInt}},
+                                          {"mol_id"})
+                            .status());
+  STEDB_RETURN_IF_ERROR(schema
+                            ->AddRelation("ATOM",
+                                          {{"atom_id", AttrType::kText},
+                                           {"mol_id", AttrType::kText},
+                                           {"element", AttrType::kText},
+                                           {"atype", AttrType::kInt},
+                                           {"charge", AttrType::kReal}},
+                                          {"atom_id"})
+                            .status());
+  STEDB_RETURN_IF_ERROR(schema
+                            ->AddRelation("BOND",
+                                          {{"bond_id", AttrType::kText},
+                                           {"atom1", AttrType::kText},
+                                           {"atom2", AttrType::kText},
+                                           {"btype", AttrType::kInt}},
+                                          {"bond_id"})
+                            .status());
+  STEDB_RETURN_IF_ERROR(
+      schema->AddForeignKey("ATOM", {"mol_id"}, "MOLECULE").status());
+  STEDB_RETURN_IF_ERROR(
+      schema->AddForeignKey("BOND", {"atom1"}, "ATOM").status());
+  STEDB_RETURN_IF_ERROR(
+      schema->AddForeignKey("BOND", {"atom2"}, "ATOM").status());
+  return std::shared_ptr<const db::Schema>(schema);
+}
+
+}  // namespace
+
+Result<GeneratedDataset> MakeMutagenesis(const GenConfig& cfg) {
+  STEDB_ASSIGN_OR_RETURN(std::shared_ptr<const db::Schema> schema,
+                         BuildSchema());
+  db::Database database(schema);
+  Rng rng(cfg.seed ^ 0x4d555441ull);  // "MUTA"
+
+  const size_t n_molecules = ScaledCount(188, cfg.scale, 16);
+  const size_t atoms_per_mol = 24;
+
+  // Element pools: mutagenic molecules are nitro-compound flavored (more
+  // n/o), non-mutagenic lean carbon/hydrogen.
+  const std::vector<std::string> elements = {"c", "h", "o",  "n",
+                                             "f", "cl", "br", "i"};
+
+  size_t atom_row = 0;
+  size_t bond_row = 0;
+  for (size_t m = 0; m < n_molecules; ++m) {
+    // ~65% positive, matching the paper's 122/63 split.
+    const int cls = rng.NextBool(0.65) ? 1 : 0;
+    const std::string mol_id = MakeId("m", m);
+    const double logp =
+        ClassConditionalGaussian(2.0, 1.6, 0.9, cls, cfg.signal, rng);
+    const double lumo =
+        ClassConditionalGaussian(-1.2, -1.1, 0.5, cls, cfg.signal, rng);
+    STEDB_RETURN_IF_ERROR(
+        database
+            .Insert("MOLECULE",
+                    {Value::Text(mol_id),
+                     Value::Text(cls == 1 ? "yes" : "no"),
+                     MaybeNull(Value::Real(logp), cfg, rng),
+                     MaybeNull(Value::Real(lumo), cfg, rng),
+                     MaybeNull(Value::Int(rng.NextBool(0.5) ? 1 : 0), cfg,
+                               rng)})
+            .status());
+
+    // Atoms: element and partial-charge distributions shift with the class.
+    std::vector<std::string> atom_ids;
+    for (size_t a = 0; a < atoms_per_mol; ++a) {
+      const std::string atom_id = MakeId("a", atom_row++);
+      atom_ids.push_back(atom_id);
+      std::string element;
+      if (cls == 1 && rng.NextBool(cfg.signal * 0.5)) {
+        element = rng.NextBool(0.55) ? "n" : "o";  // nitro groups
+      } else {
+        element = elements[rng.NextIndex(rng.NextBool(0.8) ? 2 : elements.size())];
+      }
+      const double charge =
+          ClassConditionalGaussian(-0.05, 0.25, 0.12, cls, cfg.signal, rng);
+      STEDB_RETURN_IF_ERROR(
+          database
+              .Insert("ATOM",
+                      {Value::Text(atom_id), Value::Text(mol_id),
+                       MaybeNull(Value::Text(element), cfg, rng),
+                       MaybeNull(Value::Int(static_cast<int64_t>(
+                                     10 + rng.NextUint(90))),
+                                 cfg, rng),
+                       MaybeNull(Value::Real(charge), cfg, rng)})
+              .status());
+    }
+
+    // Bonds: a spanning chain keeps each molecule connected, plus extra
+    // random bonds; aromatic bond types (7) are over-represented in
+    // mutagenic molecules.
+    auto bond_type = [&]() -> int64_t {
+      if (cls == 1 && rng.NextBool(cfg.signal * 0.4)) return 7;  // aromatic
+      return 1 + static_cast<int64_t>(rng.NextUint(3));
+    };
+    for (size_t a = 1; a < atom_ids.size(); ++a) {
+      STEDB_RETURN_IF_ERROR(
+          database
+              .Insert("BOND", {Value::Text(MakeId("bd", bond_row++)),
+                               Value::Text(atom_ids[a - 1]),
+                               Value::Text(atom_ids[a]),
+                               Value::Int(bond_type())})
+              .status());
+    }
+    const size_t extra_bonds = 4;
+    for (size_t e = 0; e < extra_bonds; ++e) {
+      const size_t i = rng.NextIndex(atom_ids.size());
+      const size_t j = rng.NextIndex(atom_ids.size());
+      if (i == j) continue;
+      STEDB_RETURN_IF_ERROR(
+          database
+              .Insert("BOND", {Value::Text(MakeId("bd", bond_row++)),
+                               Value::Text(atom_ids[i]),
+                               Value::Text(atom_ids[j]),
+                               Value::Int(bond_type())})
+              .status());
+    }
+  }
+
+  GeneratedDataset out{.name = "mutagenesis",
+                       .database = std::move(database),
+                       .pred_rel = schema->RelationIndex("MOLECULE"),
+                       .pred_attr = 1,
+                       .class_names = {"no", "yes"}};
+  return out;
+}
+
+}  // namespace stedb::data

@@ -1,0 +1,19 @@
+#include "src/data/registry.h"
+
+namespace stedb::data {
+
+std::vector<std::string> DatasetNames() {
+  return {"hepatitis", "genes", "mutagenesis", "world", "mondial"};
+}
+
+Result<GeneratedDataset> MakeDataset(const std::string& name,
+                                     const GenConfig& cfg) {
+  if (name == "hepatitis") return MakeHepatitis(cfg);
+  if (name == "mondial") return MakeMondial(cfg);
+  if (name == "genes") return MakeGenes(cfg);
+  if (name == "mutagenesis") return MakeMutagenesis(cfg);
+  if (name == "world") return MakeWorld(cfg);
+  return Status::NotFound("unknown dataset '" + name + "'");
+}
+
+}  // namespace stedb::data

@@ -1,0 +1,44 @@
+#ifndef STEDB_DATA_REGISTRY_H_
+#define STEDB_DATA_REGISTRY_H_
+
+#include <string>
+#include <vector>
+
+#include "src/data/generator.h"
+
+namespace stedb::data {
+
+/// Synthetic counterparts of the paper's five benchmark databases
+/// (Table I). Each generator reproduces the original's *schema shape*
+/// (relation count, FK topology, attribute mix) and approximate scale, and
+/// plants a latent-class signal that is carried only through FK structure
+/// and attribute value distributions — see DESIGN.md §4 for the
+/// substitution rationale.
+
+/// Hepatitis (ECML/PKDD 2002): 7 relations; predict DISPAT.type (B vs C).
+Result<GeneratedDataset> MakeHepatitis(const GenConfig& cfg);
+
+/// Mondial: 40 relations; predict TARGET.target (binary religion class).
+Result<GeneratedDataset> MakeMondial(const GenConfig& cfg);
+
+/// Genes (KDD Cup 2001): 3 relations; predict CLASSIFICATION.localization
+/// (15 classes).
+Result<GeneratedDataset> MakeGenes(const GenConfig& cfg);
+
+/// Mutagenesis: 3 relations; predict MOLECULE.mutagenic (binary).
+Result<GeneratedDataset> MakeMutagenesis(const GenConfig& cfg);
+
+/// World: 3 relations; predict COUNTRY.continent (7 classes).
+Result<GeneratedDataset> MakeWorld(const GenConfig& cfg);
+
+/// Names accepted by MakeDataset, in the paper's Table I order.
+std::vector<std::string> DatasetNames();
+
+/// Dispatches by dataset name ("hepatitis", "mondial", "genes",
+/// "mutagenesis", "world").
+Result<GeneratedDataset> MakeDataset(const std::string& name,
+                                     const GenConfig& cfg);
+
+}  // namespace stedb::data
+
+#endif  // STEDB_DATA_REGISTRY_H_

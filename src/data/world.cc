@@ -1,0 +1,178 @@
+#include <memory>
+
+#include "src/data/registry.h"
+
+namespace stedb::data {
+namespace {
+
+using db::AttrType;
+using db::Value;
+
+constexpr int kNumContinents = 7;
+
+const char* kContinents[kNumContinents] = {
+    "Asia",   "Europe",       "NorthAmerica", "SouthAmerica",
+    "Africa", "Oceania",      "Antarctica"};
+
+/// Schema mirror of the World database: countries (with the predicted
+/// continent), their cities, and spoken languages — 3 relations /
+/// ~24 attributes (Table I).
+Result<std::shared_ptr<const db::Schema>> BuildSchema() {
+  auto schema = std::make_shared<db::Schema>();
+  STEDB_RETURN_IF_ERROR(schema
+                            ->AddRelation("COUNTRY",
+                                          {{"code", AttrType::kText},
+                                           {"name", AttrType::kText},
+                                           {"continent", AttrType::kText},
+                                           {"region", AttrType::kText},
+                                           {"surface", AttrType::kReal},
+                                           {"population", AttrType::kInt},
+                                           {"gnp", AttrType::kReal},
+                                           {"life_exp", AttrType::kReal},
+                                           {"gov_form", AttrType::kText},
+                                           {"indep_year", AttrType::kInt}},
+                                          {"code"})
+                            .status());
+  STEDB_RETURN_IF_ERROR(schema
+                            ->AddRelation("CITY",
+                                          {{"city_id", AttrType::kText},
+                                           {"country", AttrType::kText},
+                                           {"name", AttrType::kText},
+                                           {"district", AttrType::kText},
+                                           {"population", AttrType::kInt},
+                                           {"is_coastal", AttrType::kText}},
+                                          {"city_id"})
+                            .status());
+  STEDB_RETURN_IF_ERROR(schema
+                            ->AddRelation("COUNTRYLANGUAGE",
+                                          {{"cl_id", AttrType::kText},
+                                           {"country", AttrType::kText},
+                                           {"language", AttrType::kText},
+                                           {"is_official", AttrType::kText},
+                                           {"percentage", AttrType::kReal}},
+                                          {"cl_id"})
+                            .status());
+  STEDB_RETURN_IF_ERROR(
+      schema->AddForeignKey("CITY", {"country"}, "COUNTRY").status());
+  STEDB_RETURN_IF_ERROR(
+      schema->AddForeignKey("COUNTRYLANGUAGE", {"country"}, "COUNTRY")
+          .status());
+  return std::shared_ptr<const db::Schema>(schema);
+}
+
+std::vector<std::string> MakeVocab(const std::string& prefix, size_t n) {
+  std::vector<std::string> vocab;
+  vocab.reserve(n);
+  for (size_t i = 0; i < n; ++i) vocab.push_back(MakeId(prefix, i));
+  return vocab;
+}
+
+}  // namespace
+
+Result<GeneratedDataset> MakeWorld(const GenConfig& cfg) {
+  STEDB_ASSIGN_OR_RETURN(std::shared_ptr<const db::Schema> schema,
+                         BuildSchema());
+  db::Database database(schema);
+  Rng rng(cfg.seed ^ 0x574f524cull);  // "WORL"
+
+  const size_t n_countries = ScaledCount(239, cfg.scale, kNumContinents * 3);
+  const size_t cities_per_country = 14;
+  const size_t langs_per_country = 4;
+
+  // Continent-specific pools: languages and regions are the strong signal
+  // (as in the real World database), government forms are weaker.
+  const std::vector<std::string> language_vocab = MakeVocab("lang", 70);
+  const std::vector<std::string> region_vocab = MakeVocab("reg", 25);
+  const std::vector<std::string> district_vocab = MakeVocab("dist", 40);
+  const std::vector<std::string> gov_vocab = {"republic", "monarchy",
+                                              "federation", "territory"};
+
+  // Continent prior mirrors reality: Antarctica tiny, Asia/Africa large.
+  const std::vector<double> prior = {0.23, 0.20, 0.16, 0.06,
+                                     0.24, 0.10, 0.01};
+
+  size_t city_row = 0;
+  size_t lang_row = 0;
+  for (size_t c = 0; c < n_countries; ++c) {
+    const int cls = static_cast<int>(rng.NextWeighted(prior));
+    const std::string code = MakeId("cc", c);
+    const double gnp = ClassConditionalGaussian(200.0, 300.0, 450.0, cls,
+                                                cfg.signal, rng);
+    const double life = ClassConditionalGaussian(62.0, 3.0, 5.0, cls,
+                                                 cfg.signal, rng);
+    STEDB_RETURN_IF_ERROR(
+        database
+            .Insert(
+                "COUNTRY",
+                {Value::Text(code), Value::Text(MakeId("country", c)),
+                 Value::Text(kContinents[cls]),
+                 MaybeNull(Value::Text(ClassConditionalCategory(
+                               region_vocab, cls, kNumContinents, cfg.signal,
+                               rng)),
+                           cfg, rng),
+                 MaybeNull(Value::Real(std::abs(rng.NextGaussian(500.0,
+                                                                 400.0))),
+                           cfg, rng),
+                 MaybeNull(Value::Int(static_cast<int64_t>(
+                               std::abs(rng.NextGaussian(2e7, 3e7)))),
+                           cfg, rng),
+                 MaybeNull(Value::Real(std::abs(gnp)), cfg, rng),
+                 MaybeNull(Value::Real(life), cfg, rng),
+                 MaybeNull(Value::Text(ClassConditionalCategory(
+                               gov_vocab, cls, kNumContinents,
+                               cfg.signal * 0.5, rng)),
+                           cfg, rng),
+                 MaybeNull(Value::Int(1800 + static_cast<int64_t>(
+                                                 rng.NextUint(200))),
+                           cfg, rng)})
+            .status());
+
+    for (size_t k = 0; k < cities_per_country; ++k) {
+      STEDB_RETURN_IF_ERROR(
+          database
+              .Insert(
+                  "CITY",
+                  {Value::Text(MakeId("ct", city_row)), Value::Text(code),
+                   Value::Text(MakeId("city", city_row)),
+                   MaybeNull(Value::Text(ClassConditionalCategory(
+                                 district_vocab, cls, kNumContinents,
+                                 cfg.signal * 0.7, rng)),
+                             cfg, rng),
+                   MaybeNull(Value::Int(static_cast<int64_t>(
+                                 std::abs(rng.NextGaussian(4e5, 8e5)))),
+                             cfg, rng),
+                   MaybeNull(Value::Text(rng.NextBool(0.4) ? "coastal"
+                                                           : "inland"),
+                             cfg, rng)})
+              .status());
+      ++city_row;
+    }
+
+    for (size_t k = 0; k < langs_per_country; ++k) {
+      STEDB_RETURN_IF_ERROR(
+          database
+              .Insert("COUNTRYLANGUAGE",
+                      {Value::Text(MakeId("cl", lang_row)), Value::Text(code),
+                       MaybeNull(Value::Text(ClassConditionalCategory(
+                                     language_vocab, cls, kNumContinents,
+                                     cfg.signal, rng)),
+                                 cfg, rng),
+                       MaybeNull(Value::Text(k == 0 ? "official" : "minor"),
+                                 cfg, rng),
+                       MaybeNull(Value::Real(rng.NextDouble(0.0, 100.0)),
+                                 cfg, rng)})
+              .status());
+      ++lang_row;
+    }
+  }
+
+  GeneratedDataset out{.name = "world",
+                       .database = std::move(database),
+                       .pred_rel = schema->RelationIndex("COUNTRY"),
+                       .pred_attr = 2,
+                       .class_names = std::vector<std::string>(
+                           kContinents, kContinents + kNumContinents)};
+  return out;
+}
+
+}  // namespace stedb::data

@@ -1,0 +1,144 @@
+#include "src/db/cascade.h"
+
+#include <unordered_map>
+#include <unordered_set>
+
+namespace stedb::db {
+namespace {
+
+/// Collects the closure of facts to delete (see header for semantics).
+std::unordered_set<FactId> DeleteClosure(const Database& db, FactId root) {
+  const Schema& schema = db.schema();
+  std::unordered_set<FactId> set = {root};
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+
+    // Rule 1 (monotone BFS): facts referencing a member join the set.
+    std::vector<FactId> frontier(set.begin(), set.end());
+    while (!frontier.empty()) {
+      FactId f = frontier.back();
+      frontier.pop_back();
+      RelationId rel = db.fact(f).rel;
+      for (FkId fk : schema.IncomingFks(rel)) {
+        for (FactId r : db.Referencing(f, fk)) {
+          if (set.insert(r).second) {
+            frontier.push_back(r);
+            changed = true;
+          }
+        }
+      }
+    }
+
+    // Rule 2: orphaned referenced facts join the set. Needs a fixpoint
+    // because orphanhood depends on the current set.
+    std::vector<FactId> members(set.begin(), set.end());
+    for (FactId f : members) {
+      RelationId rel = db.fact(f).rel;
+      for (FkId fk : schema.OutgoingFks(rel)) {
+        FactId g = db.Referenced(f, fk);
+        if (g == kNoFact || set.count(g) > 0) continue;
+        // g is orphaned iff every fact referencing it is being deleted.
+        bool orphaned = true;
+        size_t inbound = 0;
+        RelationId grel = db.fact(g).rel;
+        for (FkId in_fk : schema.IncomingFks(grel)) {
+          for (FactId r : db.Referencing(g, in_fk)) {
+            ++inbound;
+            if (set.count(r) == 0) {
+              orphaned = false;
+              break;
+            }
+          }
+          if (!orphaned) break;
+        }
+        if (orphaned && inbound > 0) {
+          set.insert(g);
+          changed = true;
+        }
+      }
+    }
+  }
+  return set;
+}
+
+/// Kahn topological order over the in-set reference graph: a fact may be
+/// deleted once no in-set fact still references it.
+std::vector<FactId> DeletionOrder(const Database& db,
+                                  const std::unordered_set<FactId>& set) {
+  const Schema& schema = db.schema();
+  // For each member, count in-set facts it is referenced by.
+  std::unordered_map<FactId, size_t> blockers;
+  for (FactId f : set) {
+    size_t count = 0;
+    RelationId rel = db.fact(f).rel;
+    for (FkId fk : schema.IncomingFks(rel)) {
+      for (FactId r : db.Referencing(f, fk)) {
+        if (set.count(r) > 0) ++count;
+      }
+    }
+    blockers[f] = count;
+  }
+  std::vector<FactId> ready;
+  for (const auto& [f, count] : blockers) {
+    if (count == 0) ready.push_back(f);
+  }
+  std::vector<FactId> order;
+  order.reserve(set.size());
+  while (!ready.empty()) {
+    FactId f = ready.back();
+    ready.pop_back();
+    order.push_back(f);
+    // Deleting f unblocks everything it references.
+    RelationId rel = db.fact(f).rel;
+    for (FkId fk : schema.OutgoingFks(rel)) {
+      FactId g = db.Referenced(f, fk);
+      if (g == kNoFact || set.count(g) == 0) continue;
+      auto it = blockers.find(g);
+      if (it != blockers.end() && --(it->second) == 0) ready.push_back(g);
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+Result<std::vector<FactId>> CascadePreview(const Database& db, FactId root) {
+  if (!db.IsLive(root)) return Status::NotFound("cascade root is not live");
+  std::unordered_set<FactId> set = DeleteClosure(db, root);
+  std::vector<FactId> order = DeletionOrder(db, set);
+  if (order.size() != set.size()) {
+    // A reference cycle inside the closure; deleting it atomically is
+    // possible physically but the reverse order would not be re-insertable,
+    // so we refuse (schemas in this repo are acyclic at the instance level).
+    return Status::FailedPrecondition(
+        "cascade closure contains a reference cycle");
+  }
+  return order;
+}
+
+Result<CascadeResult> CascadeDelete(Database& db, FactId root) {
+  STEDB_ASSIGN_OR_RETURN(std::vector<FactId> order, CascadePreview(db, root));
+  CascadeResult result;
+  result.deleted_ids = order;
+  result.facts.reserve(order.size());
+  for (FactId f : order) result.facts.push_back(db.fact(f));
+  for (FactId f : order) {
+    STEDB_RETURN_IF_ERROR(db.Delete(f));
+  }
+  return result;
+}
+
+Result<std::vector<FactId>> ReinsertBatch(Database& db,
+                                          const CascadeResult& batch) {
+  std::vector<FactId> new_ids;
+  new_ids.reserve(batch.facts.size());
+  for (size_t i = batch.facts.size(); i > 0; --i) {
+    STEDB_ASSIGN_OR_RETURN(FactId id, db.Insert(batch.facts[i - 1]));
+    new_ids.push_back(id);
+  }
+  return new_ids;
+}
+
+}  // namespace stedb::db

@@ -1,0 +1,48 @@
+#ifndef STEDB_DB_CASCADE_H_
+#define STEDB_DB_CASCADE_H_
+
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/db/database.h"
+
+namespace stedb::db {
+
+/// The result of one cascading deletion: the facts removed, in the order
+/// they were removed. The order is a topological order of the FK subgraph
+/// (every fact is deleted only after all facts referencing it), so
+/// re-inserting in *reverse* order is always constraint-valid.
+struct CascadeResult {
+  /// Original FactIds, in deletion order. Dead after the cascade.
+  std::vector<FactId> deleted_ids;
+  /// Copies of the deleted facts, parallel to deleted_ids, so the batch can
+  /// be replayed later (the dynamic experiment re-inserts them as "new"
+  /// arrivals).
+  std::vector<Fact> facts;
+};
+
+/// Deletes `root` with "ON DELETE CASCADE" semantics as described in the
+/// paper's dynamic-experiment setup (Section VI-E, Example 6.1):
+///
+///  1. every fact (transitively) referencing `root` is deleted, and
+///  2. every fact referenced by a deleted fact that is left with no other
+///     referencing fact (an orphan) is deleted too, recursively.
+///
+/// A fact that was never referenced, or is still referenced by surviving
+/// facts, is kept (e.g. DiCaprio in Example 6.1 survives deleting c1
+/// because c4 still references him).
+Result<CascadeResult> CascadeDelete(Database& db, FactId root);
+
+/// Computes the set that CascadeDelete would remove, without mutating the
+/// database (in deletion order).
+Result<std::vector<FactId>> CascadePreview(const Database& db, FactId root);
+
+/// Re-inserts a cascade batch in reverse deletion order. Returns the new
+/// FactIds in insertion order; the last one is the new id of the original
+/// cascade root.
+Result<std::vector<FactId>> ReinsertBatch(Database& db,
+                                          const CascadeResult& batch);
+
+}  // namespace stedb::db
+
+#endif  // STEDB_DB_CASCADE_H_

@@ -1,0 +1,249 @@
+#include "src/db/csv.h"
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+#include "src/common/string_util.h"
+
+namespace stedb::db {
+namespace {
+
+Result<AttrType> ParseAttrType(const std::string& s) {
+  if (s == "int") return AttrType::kInt;
+  if (s == "real") return AttrType::kReal;
+  if (s == "text") return AttrType::kText;
+  return Status::InvalidArgument("unknown attribute type '" + s + "'");
+}
+
+}  // namespace
+
+std::string SchemaToText(const Schema& schema) {
+  std::ostringstream os;
+  for (size_t r = 0; r < schema.num_relations(); ++r) {
+    const RelationSchema& rel = schema.relation(static_cast<RelationId>(r));
+    os << "R " << rel.name << "\n";
+    for (size_t a = 0; a < rel.attrs.size(); ++a) {
+      os << "A " << rel.attrs[a].name << " "
+         << AttrTypeName(rel.attrs[a].type);
+      if (rel.IsKeyAttr(static_cast<AttrId>(a))) os << " key";
+      os << "\n";
+    }
+  }
+  for (const ForeignKey& fk : schema.fks()) {
+    const RelationSchema& from = schema.relation(fk.from_rel);
+    std::vector<std::string> names;
+    for (AttrId a : fk.from_attrs) names.push_back(from.attrs[a].name);
+    os << "F " << from.name << " " << Join(names, ",") << " "
+       << schema.relation(fk.to_rel).name << "\n";
+  }
+  return os.str();
+}
+
+Result<std::shared_ptr<const Schema>> SchemaFromText(const std::string& text) {
+  auto schema = std::make_shared<Schema>();
+  // First pass collects relations + attributes; FKs are applied after all
+  // relations exist (they may reference forward).
+  struct PendingFk {
+    std::string from, to;
+    std::vector<std::string> attrs;
+  };
+  std::vector<PendingFk> pending_fks;
+
+  std::string cur_rel;
+  std::vector<Attribute> cur_attrs;
+  std::vector<std::string> cur_key;
+  auto flush = [&]() -> Status {
+    if (cur_rel.empty()) return Status::OK();
+    auto r = schema->AddRelation(cur_rel, cur_attrs, cur_key);
+    if (!r.ok()) return r.status();
+    cur_rel.clear();
+    cur_attrs.clear();
+    cur_key.clear();
+    return Status::OK();
+  };
+
+  std::istringstream in(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(in, line)) {
+    ++lineno;
+    std::string_view t = Trim(line);
+    if (t.empty() || t[0] == '#') continue;
+    std::vector<std::string> tok = Split(std::string(t), ' ');
+    // Collapse repeated spaces.
+    std::vector<std::string> tokens;
+    for (std::string& s : tok) {
+      if (!s.empty()) tokens.push_back(std::move(s));
+    }
+    if (tokens[0] == "R") {
+      if (tokens.size() != 2) {
+        return Status::InvalidArgument("bad R line " + std::to_string(lineno));
+      }
+      STEDB_RETURN_IF_ERROR(flush());
+      cur_rel = tokens[1];
+    } else if (tokens[0] == "A") {
+      if (cur_rel.empty() || tokens.size() < 3 || tokens.size() > 4) {
+        return Status::InvalidArgument("bad A line " + std::to_string(lineno));
+      }
+      STEDB_ASSIGN_OR_RETURN(AttrType type, ParseAttrType(tokens[2]));
+      cur_attrs.push_back({tokens[1], type});
+      if (tokens.size() == 4) {
+        if (tokens[3] != "key") {
+          return Status::InvalidArgument("bad A suffix on line " +
+                                         std::to_string(lineno));
+        }
+        cur_key.push_back(tokens[1]);
+      }
+    } else if (tokens[0] == "F") {
+      if (tokens.size() != 4) {
+        return Status::InvalidArgument("bad F line " + std::to_string(lineno));
+      }
+      PendingFk fk;
+      fk.from = tokens[1];
+      fk.attrs = Split(tokens[2], ',');
+      fk.to = tokens[3];
+      pending_fks.push_back(std::move(fk));
+    } else {
+      return Status::InvalidArgument("unknown declaration on line " +
+                                     std::to_string(lineno));
+    }
+  }
+  STEDB_RETURN_IF_ERROR(flush());
+  for (const PendingFk& fk : pending_fks) {
+    auto r = schema->AddForeignKey(fk.from, fk.attrs, fk.to);
+    if (!r.ok()) return r.status();
+  }
+  return std::shared_ptr<const Schema>(std::move(schema));
+}
+
+std::string CsvEscape(const std::string& field) {
+  bool needs_quotes = false;
+  for (char c : field) {
+    if (c == ',' || c == '"' || c == '\n' || c == '\r') {
+      needs_quotes = true;
+      break;
+    }
+  }
+  if (!needs_quotes) return field;
+  std::string out = "\"";
+  for (char c : field) {
+    if (c == '"') out += "\"\"";
+    else out += c;
+  }
+  out += "\"";
+  return out;
+}
+
+Result<std::vector<std::string>> CsvSplitLine(const std::string& line) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool in_quotes = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          cur += '"';
+          ++i;
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        cur += c;
+      }
+    } else if (c == '"') {
+      if (!cur.empty()) {
+        return Status::InvalidArgument("quote inside unquoted CSV field");
+      }
+      in_quotes = true;
+    } else if (c == ',') {
+      out.push_back(std::move(cur));
+      cur.clear();
+    } else {
+      cur += c;
+    }
+  }
+  if (in_quotes) return Status::InvalidArgument("unterminated CSV quote");
+  out.push_back(std::move(cur));
+  return out;
+}
+
+Status SaveDatabase(const Database& db, const std::string& dir) {
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) return Status::IOError("cannot create directory " + dir);
+
+  {
+    std::ofstream f(dir + "/schema.txt");
+    if (!f) return Status::IOError("cannot write schema.txt");
+    f << SchemaToText(db.schema());
+  }
+  const Schema& schema = db.schema();
+  for (size_t r = 0; r < schema.num_relations(); ++r) {
+    const RelationSchema& rel = schema.relation(static_cast<RelationId>(r));
+    std::ofstream f(dir + "/" + rel.name + ".csv");
+    if (!f) return Status::IOError("cannot write " + rel.name + ".csv");
+    for (size_t a = 0; a < rel.attrs.size(); ++a) {
+      if (a > 0) f << ",";
+      f << CsvEscape(rel.attrs[a].name);
+    }
+    f << "\n";
+    for (FactId id : db.FactsOf(static_cast<RelationId>(r))) {
+      const Fact& fact = db.fact(id);
+      for (size_t a = 0; a < fact.values.size(); ++a) {
+        if (a > 0) f << ",";
+        f << CsvEscape(fact.values[a].ToString());
+      }
+      f << "\n";
+    }
+  }
+  return Status::OK();
+}
+
+Result<Database> LoadDatabase(const std::string& dir) {
+  std::ifstream sf(dir + "/schema.txt");
+  if (!sf) return Status::IOError("cannot read " + dir + "/schema.txt");
+  std::stringstream buf;
+  buf << sf.rdbuf();
+  STEDB_ASSIGN_OR_RETURN(std::shared_ptr<const Schema> schema,
+                         SchemaFromText(buf.str()));
+  Database db(schema);
+
+  // Parse all rows first.
+  std::vector<Fact> pending;
+  for (size_t r = 0; r < schema->num_relations(); ++r) {
+    const RelationSchema& rel = schema->relation(static_cast<RelationId>(r));
+    std::ifstream f(dir + "/" + rel.name + ".csv");
+    if (!f) return Status::IOError("cannot read " + rel.name + ".csv");
+    std::string line;
+    bool header = true;
+    while (std::getline(f, line)) {
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (header) {
+        header = false;
+        continue;
+      }
+      if (line.empty()) continue;
+      STEDB_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                             CsvSplitLine(line));
+      if (fields.size() != rel.arity()) {
+        return Status::InvalidArgument("row arity mismatch in " + rel.name);
+      }
+      Fact fact;
+      fact.rel = static_cast<RelationId>(r);
+      for (size_t a = 0; a < fields.size(); ++a) {
+        fact.values.push_back(Value::Parse(fields[a], rel.attrs[a].type));
+      }
+      pending.push_back(std::move(fact));
+    }
+  }
+
+  // InsertBatch resolves FK dependency order (rows whose referenced facts
+  // are not yet present are retried automatically).
+  auto ids = db.InsertBatch(std::move(pending));
+  if (!ids.ok()) return ids.status();
+  return db;
+}
+
+}  // namespace stedb::db

@@ -1,0 +1,48 @@
+#ifndef STEDB_DB_CSV_H_
+#define STEDB_DB_CSV_H_
+
+#include <memory>
+#include <string>
+
+#include "src/common/status.h"
+#include "src/db/database.h"
+
+namespace stedb::db {
+
+/// Plain-text persistence for schemas and databases.
+///
+/// A database directory contains `schema.txt` plus one `<relation>.csv` per
+/// relation (header row = attribute names; empty field = null; fields with
+/// commas/quotes are quoted per RFC 4180).
+///
+/// Schema text format, one declaration per line:
+///   R <relation>
+///   A <attr> <int|real|text> [key]     (attributes of the last R line)
+///   F <from_rel> <attr1[,attr2...]> <to_rel>
+/// Blank lines and lines starting with '#' are ignored.
+
+/// Serializes a schema to the text format above.
+std::string SchemaToText(const Schema& schema);
+
+/// Parses the text format back into a Schema.
+Result<std::shared_ptr<const Schema>> SchemaFromText(const std::string& text);
+
+/// Escapes one CSV field.
+std::string CsvEscape(const std::string& field);
+
+/// Splits one CSV line honoring quotes. Returns InvalidArgument on
+/// malformed quoting.
+Result<std::vector<std::string>> CsvSplitLine(const std::string& line);
+
+/// Writes schema.txt and one CSV per relation under `dir` (created if
+/// missing).
+Status SaveDatabase(const Database& db, const std::string& dir);
+
+/// Loads a database saved by SaveDatabase. Rows are inserted in FK
+/// dependency order (rows whose referenced facts are not yet present are
+/// retried; a non-resolvable remainder is a ConstraintViolation).
+Result<Database> LoadDatabase(const std::string& dir);
+
+}  // namespace stedb::db
+
+#endif  // STEDB_DB_CSV_H_

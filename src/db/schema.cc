@@ -1,0 +1,194 @@
+#include "src/db/schema.h"
+
+#include <algorithm>
+#include <sstream>
+#include <unordered_set>
+
+namespace stedb::db {
+
+AttrId RelationSchema::AttrIndex(const std::string& attr_name) const {
+  for (size_t i = 0; i < attrs.size(); ++i) {
+    if (attrs[i].name == attr_name) return static_cast<AttrId>(i);
+  }
+  return -1;
+}
+
+bool RelationSchema::IsKeyAttr(AttrId a) const {
+  return std::find(key.begin(), key.end(), a) != key.end();
+}
+
+Result<RelationId> Schema::AddRelation(RelationSchema rel) {
+  if (rel.name.empty()) {
+    return Status::InvalidArgument("relation name must not be empty");
+  }
+  if (RelationIndex(rel.name) >= 0) {
+    return Status::AlreadyExists("relation '" + rel.name + "' already exists");
+  }
+  if (rel.attrs.empty()) {
+    return Status::InvalidArgument("relation '" + rel.name +
+                                   "' must have at least one attribute");
+  }
+  std::unordered_set<std::string> seen;
+  for (const Attribute& a : rel.attrs) {
+    if (a.name.empty()) {
+      return Status::InvalidArgument("attribute names must not be empty");
+    }
+    if (!seen.insert(a.name).second) {
+      return Status::InvalidArgument("duplicate attribute '" + a.name +
+                                     "' in relation '" + rel.name + "'");
+    }
+  }
+  if (rel.key.empty()) {
+    return Status::InvalidArgument("relation '" + rel.name +
+                                   "' must declare a key");
+  }
+  std::unordered_set<AttrId> key_seen;
+  for (AttrId k : rel.key) {
+    if (k < 0 || static_cast<size_t>(k) >= rel.attrs.size()) {
+      return Status::OutOfRange("key attribute index out of range in '" +
+                                rel.name + "'");
+    }
+    if (!key_seen.insert(k).second) {
+      return Status::InvalidArgument("duplicate key attribute in '" +
+                                     rel.name + "'");
+    }
+  }
+  relations_.push_back(std::move(rel));
+  return static_cast<RelationId>(relations_.size() - 1);
+}
+
+Result<RelationId> Schema::AddRelation(
+    const std::string& name, std::vector<Attribute> attrs,
+    const std::vector<std::string>& key_names) {
+  RelationSchema rel;
+  rel.name = name;
+  rel.attrs = std::move(attrs);
+  for (const std::string& k : key_names) {
+    AttrId idx = rel.AttrIndex(k);
+    if (idx < 0) {
+      return Status::NotFound("key attribute '" + k + "' not in relation '" +
+                              name + "'");
+    }
+    rel.key.push_back(idx);
+  }
+  return AddRelation(std::move(rel));
+}
+
+Result<FkId> Schema::AddForeignKey(const std::string& from_rel,
+                                   const std::vector<std::string>& from_attrs,
+                                   const std::string& to_rel) {
+  RelationId from = RelationIndex(from_rel);
+  if (from < 0) {
+    return Status::NotFound("relation '" + from_rel + "' not found");
+  }
+  RelationId to = RelationIndex(to_rel);
+  if (to < 0) {
+    return Status::NotFound("relation '" + to_rel + "' not found");
+  }
+  ForeignKey fk;
+  fk.from_rel = from;
+  fk.to_rel = to;
+  for (const std::string& a : from_attrs) {
+    AttrId idx = relations_[from].AttrIndex(a);
+    if (idx < 0) {
+      return Status::NotFound("attribute '" + a + "' not in relation '" +
+                              from_rel + "'");
+    }
+    fk.from_attrs.push_back(idx);
+  }
+  fk.to_attrs = relations_[to].key;
+  if (fk.from_attrs.size() != fk.to_attrs.size()) {
+    return Status::InvalidArgument(
+        "FK " + from_rel + " -> " + to_rel + ": referencing attribute count " +
+        std::to_string(fk.from_attrs.size()) + " != key size " +
+        std::to_string(fk.to_attrs.size()));
+  }
+  for (size_t i = 0; i < fk.from_attrs.size(); ++i) {
+    AttrType ft = relations_[from].attrs[fk.from_attrs[i]].type;
+    AttrType tt = relations_[to].attrs[fk.to_attrs[i]].type;
+    if (ft != tt) {
+      return Status::InvalidArgument(
+          "FK " + from_rel + " -> " + to_rel + ": type mismatch on position " +
+          std::to_string(i));
+    }
+  }
+  fks_.push_back(std::move(fk));
+  return static_cast<FkId>(fks_.size() - 1);
+}
+
+RelationId Schema::RelationIndex(const std::string& name) const {
+  for (size_t i = 0; i < relations_.size(); ++i) {
+    if (relations_[i].name == name) return static_cast<RelationId>(i);
+  }
+  return -1;
+}
+
+std::vector<FkId> Schema::OutgoingFks(RelationId rel) const {
+  std::vector<FkId> out;
+  for (size_t i = 0; i < fks_.size(); ++i) {
+    if (fks_[i].from_rel == rel) out.push_back(static_cast<FkId>(i));
+  }
+  return out;
+}
+
+std::vector<FkId> Schema::IncomingFks(RelationId rel) const {
+  std::vector<FkId> out;
+  for (size_t i = 0; i < fks_.size(); ++i) {
+    if (fks_[i].to_rel == rel) out.push_back(static_cast<FkId>(i));
+  }
+  return out;
+}
+
+bool Schema::AttrInAnyFk(RelationId rel, AttrId attr) const {
+  for (const ForeignKey& fk : fks_) {
+    if (fk.from_rel == rel) {
+      if (std::find(fk.from_attrs.begin(), fk.from_attrs.end(), attr) !=
+          fk.from_attrs.end()) {
+        return true;
+      }
+    }
+    if (fk.to_rel == rel) {
+      if (std::find(fk.to_attrs.begin(), fk.to_attrs.end(), attr) !=
+          fk.to_attrs.end()) {
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+size_t Schema::TotalAttributes() const {
+  size_t total = 0;
+  for (const RelationSchema& r : relations_) total += r.attrs.size();
+  return total;
+}
+
+std::string Schema::ToString() const {
+  std::ostringstream os;
+  for (size_t r = 0; r < relations_.size(); ++r) {
+    const RelationSchema& rel = relations_[r];
+    os << rel.name << "(";
+    for (size_t i = 0; i < rel.attrs.size(); ++i) {
+      if (i > 0) os << ", ";
+      os << rel.attrs[i].name << ":" << AttrTypeName(rel.attrs[i].type);
+      if (rel.IsKeyAttr(static_cast<AttrId>(i))) os << "*";
+    }
+    os << ")\n";
+  }
+  for (const ForeignKey& fk : fks_) {
+    os << relations_[fk.from_rel].name << "[";
+    for (size_t i = 0; i < fk.from_attrs.size(); ++i) {
+      if (i > 0) os << ",";
+      os << relations_[fk.from_rel].attrs[fk.from_attrs[i]].name;
+    }
+    os << "] ⊆ " << relations_[fk.to_rel].name << "[";
+    for (size_t i = 0; i < fk.to_attrs.size(); ++i) {
+      if (i > 0) os << ",";
+      os << relations_[fk.to_rel].attrs[fk.to_attrs[i]].name;
+    }
+    os << "]\n";
+  }
+  return os.str();
+}
+
+}  // namespace stedb::db

@@ -1,0 +1,99 @@
+#ifndef STEDB_DB_SCHEMA_H_
+#define STEDB_DB_SCHEMA_H_
+
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/db/value.h"
+
+namespace stedb::db {
+
+/// Index of a relation within a Schema.
+using RelationId = int;
+/// Index of an attribute within its relation.
+using AttrId = int;
+/// Index of a foreign key within a Schema.
+using FkId = int;
+
+/// A named, typed attribute of a relation schema.
+struct Attribute {
+  std::string name;
+  AttrType type = AttrType::kText;
+};
+
+/// A relation schema R(A1, ..., Ak) with a unique key key(R) ⊆ {A1..Ak}.
+struct RelationSchema {
+  std::string name;
+  std::vector<Attribute> attrs;
+  /// Attribute positions forming the key; must be non-empty and unique.
+  std::vector<AttrId> key;
+
+  /// Position of the attribute with the given name, or -1.
+  AttrId AttrIndex(const std::string& attr_name) const;
+  size_t arity() const { return attrs.size(); }
+  bool IsKeyAttr(AttrId a) const;
+};
+
+/// A foreign-key constraint R[B1..Bl] ⊆ S[C1..Cl] where {C1..Cl} = key(S).
+struct ForeignKey {
+  RelationId from_rel = -1;            ///< R, the referencing relation.
+  std::vector<AttrId> from_attrs;      ///< B1..Bl, attributes of R.
+  RelationId to_rel = -1;              ///< S, the referenced relation.
+  std::vector<AttrId> to_attrs;        ///< C1..Cl = key(S).
+};
+
+/// A database schema: a collection of relation schemas plus FK constraints.
+/// Built via AddRelation / AddForeignKey which validate structural rules
+/// (unique names, key well-formedness, FK targets the full key of S,
+/// matching attribute types).
+class Schema {
+ public:
+  /// Adds a relation; returns its RelationId.
+  Result<RelationId> AddRelation(RelationSchema rel);
+
+  /// Convenience: adds relation `name` with attributes given as
+  /// (name, type) pairs and key attribute names.
+  Result<RelationId> AddRelation(const std::string& name,
+                                 std::vector<Attribute> attrs,
+                                 const std::vector<std::string>& key_names);
+
+  /// Adds the FK from_rel[from_attrs] ⊆ to_rel[key(to_rel)] by names.
+  Result<FkId> AddForeignKey(const std::string& from_rel,
+                             const std::vector<std::string>& from_attrs,
+                             const std::string& to_rel);
+
+  size_t num_relations() const { return relations_.size(); }
+  size_t num_foreign_keys() const { return fks_.size(); }
+
+  const RelationSchema& relation(RelationId r) const { return relations_[r]; }
+  const ForeignKey& fk(FkId f) const { return fks_[f]; }
+  const std::vector<ForeignKey>& fks() const { return fks_; }
+
+  /// RelationId for `name`, or -1.
+  RelationId RelationIndex(const std::string& name) const;
+
+  /// FKs whose referencing side (R) is `rel`.
+  std::vector<FkId> OutgoingFks(RelationId rel) const;
+  /// FKs whose referenced side (S) is `rel`.
+  std::vector<FkId> IncomingFks(RelationId rel) const;
+
+  /// True when attribute (rel, attr) appears on either side of any FK.
+  /// FoRWaRD's T(R, lmax) excludes such attributes: as pure references they
+  /// carry no attribute-level semantics (paper Section V-C).
+  bool AttrInAnyFk(RelationId rel, AttrId attr) const;
+
+  /// Total attribute count across all relations (paper Table I).
+  size_t TotalAttributes() const;
+
+  /// Human-readable dump (relation schemas, keys, FKs).
+  std::string ToString() const;
+
+ private:
+  std::vector<RelationSchema> relations_;
+  std::vector<ForeignKey> fks_;
+};
+
+}  // namespace stedb::db
+
+#endif  // STEDB_DB_SCHEMA_H_

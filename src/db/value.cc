@@ -1,0 +1,117 @@
+#include "src/db/value.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace stedb::db {
+
+const char* AttrTypeName(AttrType type) {
+  switch (type) {
+    case AttrType::kInt:
+      return "int";
+    case AttrType::kReal:
+      return "real";
+    case AttrType::kText:
+      return "text";
+  }
+  return "?";
+}
+
+double Value::AsNumber() const {
+  if (is_int()) return static_cast<double>(as_int());
+  if (is_real()) return as_real();
+  return 0.0;
+}
+
+bool Value::MatchesType(AttrType type) const {
+  if (is_null()) return true;
+  switch (type) {
+    case AttrType::kInt:
+      return is_int();
+    case AttrType::kReal:
+      // Integers are acceptable where reals are expected.
+      return is_real() || is_int();
+    case AttrType::kText:
+      return is_text();
+  }
+  return false;
+}
+
+std::string Value::ToString() const {
+  if (is_null()) return "";
+  if (is_int()) return std::to_string(as_int());
+  if (is_real()) {
+    std::ostringstream os;
+    os << as_real();
+    return os.str();
+  }
+  return as_text();
+}
+
+Value Value::Parse(const std::string& text, AttrType type) {
+  if (text.empty()) return Value::Null();
+  switch (type) {
+    case AttrType::kInt: {
+      char* end = nullptr;
+      long long v = std::strtoll(text.c_str(), &end, 10);
+      if (end == nullptr || *end != '\0') return Value::Null();
+      return Value::Int(v);
+    }
+    case AttrType::kReal: {
+      char* end = nullptr;
+      double v = std::strtod(text.c_str(), &end);
+      if (end == nullptr || *end != '\0') return Value::Null();
+      return Value::Real(v);
+    }
+    case AttrType::kText:
+      return Value::Text(text);
+  }
+  return Value::Null();
+}
+
+size_t Value::Hash() const {
+  // Kind-tagged hashing so Int(1) and Real(1.0) hash differently, matching
+  // operator== which distinguishes them.
+  size_t kind = v_.index();
+  size_t h = 0;
+  if (is_int()) {
+    h = std::hash<int64_t>()(as_int());
+  } else if (is_real()) {
+    h = std::hash<double>()(as_real());
+  } else if (is_text()) {
+    h = std::hash<std::string>()(as_text());
+  }
+  return h * 4 + kind;
+}
+
+std::ostream& operator<<(std::ostream& os, const Value& v) {
+  if (v.is_null()) return os << "⊥";
+  return os << v.ToString();
+}
+
+size_t ValueTupleHash::operator()(const ValueTuple& t) const {
+  size_t h = 0x9e3779b97f4a7c15ull;
+  for (const Value& v : t) {
+    h ^= v.Hash() + 0x9e3779b97f4a7c15ull + (h << 6) + (h >> 2);
+  }
+  return h;
+}
+
+bool HasNull(const ValueTuple& t) {
+  for (const Value& v : t) {
+    if (v.is_null()) return true;
+  }
+  return false;
+}
+
+std::string ToString(const ValueTuple& t) {
+  std::string out = "(";
+  for (size_t i = 0; i < t.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += t[i].is_null() ? "⊥" : t[i].ToString();
+  }
+  out += ")";
+  return out;
+}
+
+}  // namespace stedb::db

@@ -1,0 +1,93 @@
+#ifndef STEDB_DB_VALUE_H_
+#define STEDB_DB_VALUE_H_
+
+#include <cstdint>
+#include <functional>
+#include <ostream>
+#include <string>
+#include <variant>
+#include <vector>
+
+namespace stedb::db {
+
+/// Attribute data types supported by the schema layer.
+enum class AttrType { kInt = 0, kReal = 1, kText = 2 };
+
+const char* AttrTypeName(AttrType type);
+
+/// A single attribute value: the distinguished null, a 64-bit integer, a
+/// double, or a string. Values are totally ordered (null < int < real < text,
+/// then by content) so they can key ordered containers, and hashable so they
+/// can key the database indexes.
+class Value {
+ public:
+  /// Constructs the null value (the paper's distinguished ⊥).
+  Value() : v_(std::monostate{}) {}
+  explicit Value(int64_t i) : v_(i) {}
+  explicit Value(double d) : v_(d) {}
+  explicit Value(std::string s) : v_(std::move(s)) {}
+  explicit Value(const char* s) : v_(std::string(s)) {}
+
+  static Value Null() { return Value(); }
+  static Value Int(int64_t i) { return Value(i); }
+  static Value Real(double d) { return Value(d); }
+  static Value Text(std::string s) { return Value(std::move(s)); }
+
+  bool is_null() const { return std::holds_alternative<std::monostate>(v_); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v_); }
+  bool is_real() const { return std::holds_alternative<double>(v_); }
+  bool is_text() const { return std::holds_alternative<std::string>(v_); }
+
+  /// Typed accessors; callers must check the kind first.
+  int64_t as_int() const { return std::get<int64_t>(v_); }
+  double as_real() const { return std::get<double>(v_); }
+  const std::string& as_text() const { return std::get<std::string>(v_); }
+
+  /// Numeric view: ints and reals as double (used by the Gaussian kernel).
+  /// Returns 0.0 for null/text.
+  double AsNumber() const;
+
+  /// True when this value's dynamic kind matches the attribute type
+  /// (null matches every type).
+  bool MatchesType(AttrType type) const;
+
+  /// Render for CSV/debugging; null renders as the empty string.
+  std::string ToString() const;
+
+  /// Parses `text` into a value of attribute type `type`; empty text parses
+  /// to null. Returns null on unparsable numerics (mirrors lenient CSV
+  /// ingestion; strict parsing lives in csv.h).
+  static Value Parse(const std::string& text, AttrType type);
+
+  bool operator==(const Value& other) const { return v_ == other.v_; }
+  bool operator!=(const Value& other) const { return v_ != other.v_; }
+  bool operator<(const Value& other) const { return v_ < other.v_; }
+
+  size_t Hash() const;
+
+ private:
+  std::variant<std::monostate, int64_t, double, std::string> v_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Value& v);
+
+struct ValueHash {
+  size_t operator()(const Value& v) const { return v.Hash(); }
+};
+
+/// A tuple of values (e.g., a composite key or FK image) with hashing.
+using ValueTuple = std::vector<Value>;
+
+struct ValueTupleHash {
+  size_t operator()(const ValueTuple& t) const;
+};
+
+/// True when any component of the tuple is null (such FK images are ignored
+/// per the paper's convention).
+bool HasNull(const ValueTuple& t);
+
+std::string ToString(const ValueTuple& t);
+
+}  // namespace stedb::db
+
+#endif  // STEDB_DB_VALUE_H_

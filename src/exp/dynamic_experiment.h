@@ -1,0 +1,53 @@
+#ifndef STEDB_EXP_DYNAMIC_EXPERIMENT_H_
+#define STEDB_EXP_DYNAMIC_EXPERIMENT_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/data/generator.h"
+#include "src/exp/embedding_method.h"
+#include "src/ml/cross_validation.h"
+
+namespace stedb::exp {
+
+/// Configuration of the dynamic experiment (paper Section VI-E):
+/// 1. partition the database into F_old / F_new (stratified + cascade),
+/// 2. train the embedding and the downstream classifier on F_old,
+/// 3. replay the F_new arrivals and extend the embedding (one-by-one or
+///    all-at-once),
+/// 4. evaluate the classifier on the *new* prediction tuples only.
+struct DynamicConfig {
+  double new_ratio = 0.1;     ///< fraction of prediction tuples in F_new
+  bool one_by_one = true;     ///< paper's two extension regimes
+  int runs = 10;              ///< repetitions with different partitions
+  ml::ClassifierKind classifier = ml::ClassifierKind::kLogistic;
+  /// Verify after every run that no old embedding moved (stability check).
+  bool check_stability = true;
+  uint64_t seed = 321;
+};
+
+struct DynamicResult {
+  std::string dataset;
+  std::string method;
+  double new_ratio = 0.0;
+  bool one_by_one = true;
+  double mean_accuracy = 0.0;       ///< on new tuples only (paper Fig. 5)
+  double std_accuracy = 0.0;
+  double majority_baseline = 0.0;   ///< most-common-class accuracy
+  /// Average wall-clock seconds to embed one newly arrived prediction tuple
+  /// (training + inference; paper Table VI).
+  double seconds_per_new_tuple = 0.0;
+  /// Max drift of old embeddings across all runs (must be exactly 0).
+  double stability_drift = 0.0;
+  size_t avg_new_facts = 0;         ///< facts per run incl. cascade companions
+};
+
+/// Runs the dynamic experiment for one method on one dataset.
+Result<DynamicResult> RunDynamicExperiment(const data::GeneratedDataset& ds,
+                                           MethodKind method,
+                                           const MethodConfig& mcfg,
+                                           const DynamicConfig& dcfg);
+
+}  // namespace stedb::exp
+
+#endif  // STEDB_EXP_DYNAMIC_EXPERIMENT_H_

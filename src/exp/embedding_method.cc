@@ -1,0 +1,177 @@
+#include "src/exp/embedding_method.h"
+
+#include <cstdlib>
+#include <optional>
+
+namespace stedb::exp {
+
+const char* MethodKindName(MethodKind kind) {
+  switch (kind) {
+    case MethodKind::kForward:
+      return "FoRWaRD";
+    case MethodKind::kNode2Vec:
+      return "Node2Vec";
+  }
+  return "?";
+}
+
+RunScale ScaleFromEnv() {
+  const char* env = std::getenv("STEDB_SCALE");
+  if (env == nullptr) return RunScale::kDefault;
+  const std::string s(env);
+  if (s == "smoke") return RunScale::kSmoke;
+  if (s == "paper") return RunScale::kPaper;
+  return RunScale::kDefault;
+}
+
+MethodConfig MethodConfig::ForScale(RunScale scale) {
+  MethodConfig cfg;
+  switch (scale) {
+    case RunScale::kSmoke:
+      cfg.data_scale = 0.06;
+      cfg.forward.dim = 12;
+      cfg.forward.max_walk_len = 2;
+      cfg.forward.nsamples = 16;
+      cfg.forward.epochs = 8;
+      cfg.forward.lr = 0.01;
+      cfg.forward.new_samples = 40;
+      cfg.node2vec.sg.dim = 12;
+      cfg.node2vec.sg.epochs = 3;
+      cfg.node2vec.sg.negatives = 6;
+      cfg.node2vec.walk.walks_per_node = 8;
+      cfg.node2vec.walk.walk_length = 10;
+      cfg.node2vec.dynamic_epochs = 3;
+      break;
+    case RunScale::kDefault:
+      cfg.data_scale = 0.2;
+      cfg.forward.dim = 32;
+      cfg.forward.max_walk_len = 2;
+      cfg.forward.nsamples = 32;
+      cfg.forward.epochs = 14;
+      cfg.forward.lr = 0.01;
+      cfg.forward.new_samples = 120;
+      cfg.node2vec.sg.dim = 32;
+      cfg.node2vec.sg.epochs = 4;
+      cfg.node2vec.sg.negatives = 8;
+      cfg.node2vec.walk.walks_per_node = 12;
+      cfg.node2vec.walk.walk_length = 12;
+      cfg.node2vec.dynamic_epochs = 5;
+      break;
+    case RunScale::kPaper:
+      // Paper Table II values (dimension 100, 40x30 walks, 20 negatives,
+      // nsamples 5000). Dataset at full Table I scale.
+      cfg.data_scale = 1.0;
+      cfg.forward.dim = 100;
+      cfg.forward.max_walk_len = 3;
+      cfg.forward.nsamples = 128;  // exact-KD targets need far fewer than 5000
+      cfg.forward.epochs = 10;
+      cfg.forward.lr = 0.01;
+      cfg.forward.new_samples = 2500;
+      cfg.node2vec.sg.dim = 100;
+      cfg.node2vec.sg.epochs = 10;
+      cfg.node2vec.sg.negatives = 20;
+      cfg.node2vec.walk.walks_per_node = 40;
+      cfg.node2vec.walk.walk_length = 30;
+      cfg.node2vec.dynamic_epochs = 5;
+      break;
+  }
+  return cfg;
+}
+
+namespace {
+
+/// ForwardEmbedder adapter.
+class ForwardMethod : public EmbeddingMethod {
+ public:
+  ForwardMethod(const MethodConfig& config, uint64_t seed)
+      : config_(config.forward) {
+    config_.seed = seed;
+  }
+
+  Status TrainStatic(const db::Database* database, db::RelationId rel,
+                     const fwd::AttrKeySet& excluded) override {
+    auto res =
+        fwd::ForwardEmbedder::TrainStatic(database, rel, excluded, config_);
+    if (!res.ok()) return res.status();
+    embedder_.emplace(std::move(res).value());
+    return Status::OK();
+  }
+
+  Status ExtendToFacts(const std::vector<db::FactId>& new_facts) override {
+    if (!embedder_.has_value()) {
+      return Status::FailedPrecondition("TrainStatic was not called");
+    }
+    return embedder_->ExtendToFacts(new_facts);
+  }
+
+  Result<la::Vector> Embed(db::FactId f) const override {
+    if (!embedder_.has_value()) {
+      return Status::FailedPrecondition("TrainStatic was not called");
+    }
+    return embedder_->Embed(f);
+  }
+
+  std::string Name() const override { return "FoRWaRD"; }
+
+ private:
+  fwd::ForwardConfig config_;
+  std::optional<fwd::ForwardEmbedder> embedder_;
+};
+
+/// Node2VecEmbedding adapter. The label column is excluded from the graph
+/// (GraphOptions) rather than from T(R, lmax).
+class Node2VecMethod : public EmbeddingMethod {
+ public:
+  Node2VecMethod(const MethodConfig& config, uint64_t seed)
+      : config_(config.node2vec) {
+    config_.seed = seed;
+  }
+
+  Status TrainStatic(const db::Database* database, db::RelationId rel,
+                     const fwd::AttrKeySet& excluded) override {
+    (void)rel;  // Node2Vec embeds every fact; the relation is not special.
+    for (const fwd::AttrKey& k : excluded) {
+      config_.graph.excluded_columns.insert({k.rel, k.attr});
+    }
+    auto res = n2v::Node2VecEmbedding::TrainStatic(database, config_);
+    if (!res.ok()) return res.status();
+    embedding_.emplace(std::move(res).value());
+    return Status::OK();
+  }
+
+  Status ExtendToFacts(const std::vector<db::FactId>& new_facts) override {
+    if (!embedding_.has_value()) {
+      return Status::FailedPrecondition("TrainStatic was not called");
+    }
+    return embedding_->ExtendToFacts(new_facts);
+  }
+
+  Result<la::Vector> Embed(db::FactId f) const override {
+    if (!embedding_.has_value()) {
+      return Status::FailedPrecondition("TrainStatic was not called");
+    }
+    return embedding_->Embed(f);
+  }
+
+  std::string Name() const override { return "Node2Vec"; }
+
+ private:
+  n2v::Node2VecConfig config_;
+  std::optional<n2v::Node2VecEmbedding> embedding_;
+};
+
+}  // namespace
+
+std::unique_ptr<EmbeddingMethod> MakeMethod(MethodKind kind,
+                                            const MethodConfig& config,
+                                            uint64_t seed) {
+  switch (kind) {
+    case MethodKind::kForward:
+      return std::make_unique<ForwardMethod>(config, seed);
+    case MethodKind::kNode2Vec:
+      return std::make_unique<Node2VecMethod>(config, seed);
+  }
+  return nullptr;
+}
+
+}  // namespace stedb::exp

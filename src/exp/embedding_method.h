@@ -1,0 +1,68 @@
+#ifndef STEDB_EXP_EMBEDDING_METHOD_H_
+#define STEDB_EXP_EMBEDDING_METHOD_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/db/database.h"
+#include "src/fwd/forward.h"
+#include "src/n2v/node2vec.h"
+
+namespace stedb::exp {
+
+/// The two embedding algorithms compared throughout the paper.
+enum class MethodKind { kForward, kNode2Vec };
+
+const char* MethodKindName(MethodKind kind);
+
+/// Experiment scale presets. kSmoke is for tests/CI, kPaper approaches the
+/// paper's hyperparameters (Table II) — expensive on a single CPU core.
+enum class RunScale { kSmoke, kDefault, kPaper };
+
+/// Reads STEDB_SCALE=smoke|default|paper (default: default).
+RunScale ScaleFromEnv();
+
+/// Per-method hyperparameters plus the dataset scale factor bundled so the
+/// harness can construct either method uniformly.
+struct MethodConfig {
+  fwd::ForwardConfig forward;
+  n2v::Node2VecConfig node2vec;
+  /// Dataset size multiplier passed to the generators.
+  double data_scale = 1.0;
+
+  /// Preset for a scale (embedding dims, epochs, sample counts, data size).
+  static MethodConfig ForScale(RunScale scale);
+};
+
+/// Uniform facade over ForwardEmbedder and Node2VecEmbedding used by every
+/// experiment. One instance = one trained embedding over one database.
+class EmbeddingMethod {
+ public:
+  virtual ~EmbeddingMethod() = default;
+
+  /// Static phase over the database's current contents. `rel` is the
+  /// prediction relation, `excluded` the label attribute(s) the embedding
+  /// must not see.
+  virtual Status TrainStatic(const db::Database* database, db::RelationId rel,
+                             const fwd::AttrKeySet& excluded) = 0;
+
+  /// Dynamic phase: the facts (all relations) just inserted into the
+  /// database. Must leave every previously returned embedding unchanged.
+  virtual Status ExtendToFacts(const std::vector<db::FactId>& new_facts) = 0;
+
+  /// Embedding of a prediction-relation fact.
+  virtual Result<la::Vector> Embed(db::FactId f) const = 0;
+
+  virtual std::string Name() const = 0;
+};
+
+/// Builds a method instance; `seed` controls all its randomness.
+std::unique_ptr<EmbeddingMethod> MakeMethod(MethodKind kind,
+                                            const MethodConfig& config,
+                                            uint64_t seed);
+
+}  // namespace stedb::exp
+
+#endif  // STEDB_EXP_EMBEDDING_METHOD_H_

@@ -1,0 +1,50 @@
+#include "src/exp/partition.h"
+
+#include <unordered_map>
+
+namespace stedb::exp {
+
+Result<DynamicPartition> PartitionDynamic(db::Database& database,
+                                          db::RelationId pred_rel,
+                                          db::AttrId pred_attr,
+                                          double new_ratio, Rng& rng) {
+  if (new_ratio < 0.0 || new_ratio >= 1.0) {
+    return Status::InvalidArgument("new_ratio must be in [0, 1)");
+  }
+  // Stratified choice of prediction tuples to remove: group by label,
+  // shuffle, take the first ratio-fraction of each class.
+  std::unordered_map<std::string, std::vector<db::FactId>> by_label;
+  for (db::FactId f : database.FactsOf(pred_rel)) {
+    by_label[database.value(f, pred_attr).ToString()].push_back(f);
+  }
+  std::vector<db::FactId> to_remove;
+  for (auto& [label, facts] : by_label) {
+    rng.Shuffle(facts);
+    const size_t n = static_cast<size_t>(
+        static_cast<double>(facts.size()) * new_ratio + 0.5);
+    for (size_t i = 0; i < n && i < facts.size(); ++i) {
+      to_remove.push_back(facts[i]);
+    }
+  }
+  // Random global deletion order (paper: iteratively remove in a random
+  // order).
+  rng.Shuffle(to_remove);
+
+  DynamicPartition part;
+  for (db::FactId f : to_remove) {
+    if (!database.IsLive(f)) continue;  // removed by an earlier cascade
+    STEDB_ASSIGN_OR_RETURN(db::CascadeResult batch,
+                           db::CascadeDelete(database, f));
+    part.total_removed += batch.facts.size();
+    part.batches.push_back(std::move(batch));
+  }
+  part.old_pred_facts = database.FactsOf(pred_rel);
+  return part;
+}
+
+Result<std::vector<db::FactId>> ReplayBatch(db::Database& database,
+                                            const db::CascadeResult& batch) {
+  return db::ReinsertBatch(database, batch);
+}
+
+}  // namespace stedb::exp

@@ -1,0 +1,45 @@
+#ifndef STEDB_EXP_PARTITION_H_
+#define STEDB_EXP_PARTITION_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/db/cascade.h"
+#include "src/db/database.h"
+
+namespace stedb::exp {
+
+/// The dynamic-experiment partition of a database into F_old and F_new
+/// (paper Section VI-E): a stratified fraction of the prediction tuples is
+/// removed with ON DELETE CASCADE, each removal recorded as a batch so the
+/// arrivals can be replayed later in inverse deletion order.
+struct DynamicPartition {
+  /// Deletion batches, in deletion order. Replaying them reversed (last
+  /// deleted arrives first) simulates the paper's arrival stream; each
+  /// batch carries one prediction tuple plus its cascade companions.
+  std::vector<db::CascadeResult> batches;
+  /// Prediction-relation facts remaining in the database (F_old ∩ pred rel).
+  std::vector<db::FactId> old_pred_facts;
+  /// Total facts removed across all batches.
+  size_t total_removed = 0;
+};
+
+/// Removes `new_ratio` of the prediction tuples (stratified by the label in
+/// `pred_attr`) from `database` via cascading deletes. The database is
+/// mutated in place; the returned partition contains everything needed to
+/// re-insert the removed data.
+Result<DynamicPartition> PartitionDynamic(db::Database& database,
+                                          db::RelationId pred_rel,
+                                          db::AttrId pred_attr,
+                                          double new_ratio, Rng& rng);
+
+/// Replays one batch into the database; returns the new fact ids in
+/// insertion order (callers identify prediction tuples by relation).
+/// Wrapper over db::ReinsertBatch.
+Result<std::vector<db::FactId>> ReplayBatch(db::Database& database,
+                                            const db::CascadeResult& batch);
+
+}  // namespace stedb::exp
+
+#endif  // STEDB_EXP_PARTITION_H_

@@ -1,0 +1,166 @@
+#include "src/exp/static_experiment.h"
+
+#include <unordered_map>
+
+#include "src/common/timer.h"
+#include "src/ml/metrics.h"
+
+namespace stedb::exp {
+
+fwd::AttrKeySet LabelExclusion(const data::GeneratedDataset& ds) {
+  fwd::AttrKeySet excluded;
+  excluded.insert({ds.pred_rel, ds.pred_attr});
+  return excluded;
+}
+
+Result<ml::FeatureDataset> EmbeddingFeatures(
+    const db::Database& database, db::AttrId pred_attr,
+    const EmbeddingMethod& method, const std::vector<db::FactId>& facts,
+    ml::LabelEncoder& encoder) {
+  ml::FeatureDataset out;
+  for (db::FactId f : facts) {
+    STEDB_ASSIGN_OR_RETURN(la::Vector v, method.Embed(f));
+    out.Add(std::move(v),
+            encoder.Encode(database.value(f, pred_attr).ToString()));
+  }
+  out.num_classes = encoder.num_classes();
+  return out;
+}
+
+Result<ml::FeatureDataset> EmbeddingFeatures(
+    const data::GeneratedDataset& ds, const EmbeddingMethod& method,
+    const std::vector<db::FactId>& facts, ml::LabelEncoder& encoder) {
+  return EmbeddingFeatures(ds.database, ds.pred_attr, method, facts, encoder);
+}
+
+Result<StaticResult> RunStaticExperiment(const data::GeneratedDataset& ds,
+                                         MethodKind method,
+                                         const MethodConfig& mcfg,
+                                         const StaticConfig& scfg) {
+  const std::vector<db::FactId>& samples = ds.Samples();
+  ml::LabelEncoder encoder;
+  std::vector<int> labels;
+  labels.reserve(samples.size());
+  for (db::FactId f : samples) labels.push_back(encoder.Encode(ds.LabelOf(f)));
+
+  const fwd::AttrKeySet excluded = LabelExclusion(ds);
+  double train_seconds = 0.0;
+
+  // Either one embedding per fold (paper protocol) or a single shared one.
+  std::unique_ptr<EmbeddingMethod> shared;
+  if (!scfg.embedding_per_fold) {
+    shared = MakeMethod(method, mcfg, scfg.seed);
+    Timer t;
+    STEDB_RETURN_IF_ERROR(
+        shared->TrainStatic(&ds.database, ds.pred_rel, excluded));
+    train_seconds += t.ElapsedSeconds();
+  }
+
+  auto build = [&](int fold) -> Result<ml::FeatureDataset> {
+    const EmbeddingMethod* m = shared.get();
+    std::unique_ptr<EmbeddingMethod> per_fold;
+    if (scfg.embedding_per_fold) {
+      per_fold = MakeMethod(method, mcfg,
+                            scfg.seed + 7919 * static_cast<uint64_t>(fold));
+      Timer t;
+      STEDB_RETURN_IF_ERROR(
+          per_fold->TrainStatic(&ds.database, ds.pred_rel, excluded));
+      train_seconds += t.ElapsedSeconds();
+      m = per_fold.get();
+    }
+    ml::LabelEncoder fold_encoder = encoder;  // same label ids every fold
+    return EmbeddingFeatures(ds, *m, samples, fold_encoder);
+  };
+
+  STEDB_ASSIGN_OR_RETURN(
+      ml::CvResult cv,
+      ml::CrossValidateWithBuilder(labels, scfg.folds, scfg.seed,
+                                   scfg.classifier, build));
+
+  ml::FeatureDataset tmp;
+  tmp.y = labels;
+  tmp.num_classes = encoder.num_classes();
+
+  StaticResult result;
+  result.dataset = ds.name;
+  result.method = MethodKindName(method);
+  result.mean_accuracy = cv.mean;
+  result.std_accuracy = cv.stddev;
+  result.majority_baseline = tmp.MajorityFraction();
+  result.embed_train_seconds = train_seconds;
+  return result;
+}
+
+Result<StaticResult> RunFlatBaseline(const data::GeneratedDataset& ds,
+                                     const StaticConfig& scfg) {
+  const db::Schema& schema = ds.database.schema();
+  const db::RelationSchema& rel = schema.relation(ds.pred_rel);
+  const std::vector<db::FactId>& samples = ds.Samples();
+
+  // Feature plan: skip keys, FK attributes and the label itself; one-hot
+  // categoricals (capped vocabulary), raw numerics (the classifier's
+  // scaler standardizes them).
+  constexpr size_t kMaxVocab = 32;
+  struct Column {
+    db::AttrId attr;
+    bool numeric;
+    std::unordered_map<std::string, size_t> vocab;  // for categoricals
+  };
+  std::vector<Column> columns;
+  for (size_t a = 0; a < rel.arity(); ++a) {
+    const db::AttrId attr = static_cast<db::AttrId>(a);
+    if (attr == ds.pred_attr) continue;
+    if (rel.IsKeyAttr(attr)) continue;
+    if (schema.AttrInAnyFk(ds.pred_rel, attr)) continue;
+    Column col;
+    col.attr = attr;
+    col.numeric = rel.attrs[a].type != db::AttrType::kText;
+    if (!col.numeric) {
+      for (db::FactId f : samples) {
+        const db::Value& v = ds.database.value(f, attr);
+        if (v.is_null() || col.vocab.size() >= kMaxVocab) continue;
+        col.vocab.emplace(v.as_text(), col.vocab.size());
+      }
+    }
+    columns.push_back(std::move(col));
+  }
+
+  size_t dim = 0;
+  for (const Column& c : columns) dim += c.numeric ? 1 : c.vocab.size();
+  if (dim == 0) dim = 1;  // degenerate schema: constant feature
+
+  ml::LabelEncoder encoder;
+  ml::FeatureDataset dataset;
+  for (db::FactId f : samples) {
+    la::Vector x(dim, 0.0);
+    size_t off = 0;
+    for (const Column& c : columns) {
+      const db::Value& v = ds.database.value(f, c.attr);
+      if (c.numeric) {
+        x[off++] = v.is_null() ? 0.0 : v.AsNumber();
+      } else {
+        if (!v.is_null()) {
+          auto it = c.vocab.find(v.as_text());
+          if (it != c.vocab.end()) x[off + it->second] = 1.0;
+        }
+        off += c.vocab.size();
+      }
+    }
+    dataset.Add(std::move(x), encoder.Encode(ds.LabelOf(f)));
+  }
+  dataset.num_classes = encoder.num_classes();
+
+  STEDB_ASSIGN_OR_RETURN(
+      ml::CvResult cv,
+      ml::CrossValidate(dataset, scfg.classifier, scfg.folds, scfg.seed));
+
+  StaticResult result;
+  result.dataset = ds.name;
+  result.method = "FlatBaseline";
+  result.mean_accuracy = cv.mean;
+  result.std_accuracy = cv.stddev;
+  result.majority_baseline = dataset.MajorityFraction();
+  return result;
+}
+
+}  // namespace stedb::exp

@@ -1,0 +1,34 @@
+#include "src/exp/timing.h"
+
+#include "src/common/timer.h"
+#include "src/exp/static_experiment.h"
+
+namespace stedb::exp {
+
+Result<StaticTiming> MeasureStaticTime(const data::GeneratedDataset& ds,
+                                       const MethodConfig& mcfg,
+                                       uint64_t seed) {
+  StaticTiming timing;
+  timing.dataset = ds.name;
+  const fwd::AttrKeySet excluded = LabelExclusion(ds);
+
+  {
+    std::unique_ptr<EmbeddingMethod> m =
+        MakeMethod(MethodKind::kNode2Vec, mcfg, seed);
+    Timer t;
+    STEDB_RETURN_IF_ERROR(
+        m->TrainStatic(&ds.database, ds.pred_rel, excluded));
+    timing.node2vec_seconds = t.ElapsedSeconds();
+  }
+  {
+    std::unique_ptr<EmbeddingMethod> m =
+        MakeMethod(MethodKind::kForward, mcfg, seed);
+    Timer t;
+    STEDB_RETURN_IF_ERROR(
+        m->TrainStatic(&ds.database, ds.pred_rel, excluded));
+    timing.forward_seconds = t.ElapsedSeconds();
+  }
+  return timing;
+}
+
+}  // namespace stedb::exp

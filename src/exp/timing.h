@@ -1,0 +1,27 @@
+#ifndef STEDB_EXP_TIMING_H_
+#define STEDB_EXP_TIMING_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/data/generator.h"
+#include "src/exp/embedding_method.h"
+
+namespace stedb::exp {
+
+/// One row of the paper's Table V: wall-clock seconds to compute a static
+/// embedding of the dataset with each method.
+struct StaticTiming {
+  std::string dataset;
+  double node2vec_seconds = 0.0;
+  double forward_seconds = 0.0;
+};
+
+/// Trains each method once on the full dataset and reports the times.
+Result<StaticTiming> MeasureStaticTime(const data::GeneratedDataset& ds,
+                                       const MethodConfig& mcfg,
+                                       uint64_t seed);
+
+}  // namespace stedb::exp
+
+#endif  // STEDB_EXP_TIMING_H_

@@ -1,0 +1,110 @@
+#include "src/fwd/extender.h"
+
+#include "src/la/solve.h"
+#include "src/la/svd.h"
+
+namespace stedb::fwd {
+
+const ValueDistribution& ForwardExtender::OldDistribution(
+    const ForwardModel& model, size_t target, db::FactId f, Rng& rng) {
+  const uint64_t key =
+      static_cast<uint64_t>(f) * model.targets().size() + target;
+  auto it = cache_.find(key);
+  if (it != cache_.end()) return it->second;
+  const WalkScheme& s = model.scheme_of(target);
+  const db::AttrId attr = model.targets()[target].attr;
+  ValueDistribution d = dist_.Compute(s, attr, f, rng);
+  return cache_.emplace(key, std::move(d)).first->second;
+}
+
+Result<la::Vector> ForwardExtender::Extend(ForwardModel& model,
+                                           db::FactId f_new, Rng& rng) {
+  if (!db_->IsLive(f_new)) {
+    return Status::NotFound("new fact is not live");
+  }
+  if (db_->fact(f_new).rel != model.relation()) {
+    return Status::InvalidArgument(
+        "fact belongs to a different relation than the model");
+  }
+  if (model.HasEmbedding(f_new)) {
+    return Status::AlreadyExists("fact already has an embedding");
+  }
+  const db::Schema& schema = db_->schema();
+  const size_t d = model.dim();
+
+  // Candidate old facts (embedding known). Sampled per target below.
+  std::vector<db::FactId> old_facts;
+  old_facts.reserve(model.num_embedded());
+  for (const auto& [f, v] : model.all_phi()) old_facts.push_back(f);
+  if (old_facts.empty()) {
+    return Status::FailedPrecondition("model has no embedded facts");
+  }
+
+  // Accumulate the normal equations N = C^T C, rhs = C^T b streaming, so C
+  // (which can have tens of thousands of rows at paper-scale sampling
+  // counts) is never materialized.
+  la::Matrix normal(d, d, 0.0);
+  la::Vector rhs(d, 0.0);
+  size_t rows = 0;
+
+  for (size_t t = 0; t < model.targets().size(); ++t) {
+    const WalkScheme& s = model.scheme_of(t);
+    const db::AttrId attr = model.targets()[t].attr;
+    ValueDistribution new_dist = dist_.Compute(s, attr, f_new, rng);
+    if (!new_dist.exists()) continue;  // d_{s,f_new}[A] does not exist
+    const Kernel& kernel = kernels_->Get(s.End(schema), attr);
+    const la::Matrix& psi = model.psi(t);
+
+    // Sample distinct old facts for this target.
+    const size_t want =
+        std::min<size_t>(config_.new_samples, old_facts.size());
+    // Partial Fisher-Yates over a scratch copy of indices.
+    std::vector<size_t> idx(old_facts.size());
+    for (size_t i = 0; i < idx.size(); ++i) idx[i] = i;
+    for (size_t i = 0; i < want; ++i) {
+      size_t j = i + rng.NextIndex(idx.size() - i);
+      std::swap(idx[i], idx[j]);
+    }
+    for (size_t i = 0; i < want; ++i) {
+      const db::FactId f_old = old_facts[idx[i]];
+      const ValueDistribution& old_dist = OldDistribution(model, t, f_old, rng);
+      if (!old_dist.exists()) continue;
+      const double b = WalkDistribution::ExpectedKernel(old_dist, new_dist,
+                                                        kernel);
+      // Row c = psi * phi(f_old)   (Eq. 7).
+      la::Vector c = psi.MultiplyVec(model.phi(f_old));
+      // N += c c^T ; rhs += b * c.
+      for (size_t r = 0; r < d; ++r) {
+        const double cr = c[r];
+        if (cr == 0.0) continue;
+        double* nrow = normal.RowPtr(r);
+        for (size_t k = 0; k < d; ++k) nrow[k] += cr * c[k];
+        rhs[r] += b * cr;
+      }
+      ++rows;
+    }
+  }
+
+  if (rows == 0) {
+    // Completely disconnected new fact: no constraint reaches it. Embed at
+    // the origin — a neutral point that keeps downstream features finite.
+    la::Vector zero(d, 0.0);
+    model.set_phi(f_new, zero);
+    return zero;
+  }
+
+  la::Vector solution(d, 0.0);
+  if (config_.use_pinv) {
+    // Min-norm least squares via the pseudoinverse of the (d x d) normal
+    // matrix: x = N^+ rhs, equivalent to C^+ b on the row space (Eq. 10).
+    STEDB_ASSIGN_OR_RETURN(la::Matrix pinv, la::PseudoInverse(normal));
+    solution = pinv.MultiplyVec(rhs);
+  } else {
+    for (size_t i = 0; i < d; ++i) normal(i, i) += config_.ridge;
+    STEDB_ASSIGN_OR_RETURN(solution, la::CholeskySolve(normal, rhs));
+  }
+  model.set_phi(f_new, solution);
+  return solution;
+}
+
+}  // namespace stedb::fwd

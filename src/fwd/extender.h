@@ -1,0 +1,66 @@
+#ifndef STEDB_FWD_EXTENDER_H_
+#define STEDB_FWD_EXTENDER_H_
+
+#include <unordered_map>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/db/database.h"
+#include "src/fwd/kernel.h"
+#include "src/fwd/model.h"
+#include "src/fwd/walk_distribution.h"
+
+namespace stedb::fwd {
+
+/// Dynamic-phase FoRWaRD: extends a trained model to a newly inserted fact
+/// without touching any existing embedding (paper Section V-E).
+///
+/// For sampled triples (f_i, s_i, A_i) with known φ(f_i) it builds the
+/// overdetermined linear system (Eqs. 7-9)
+///     C_i = ψ(s_i, A_i) · φ(f_i),
+///     b_i = KD(d_{s_i, f_i}[A_i], d_{s_i, f_new}[A_i]),
+///     C · φ(f_new) = b,
+/// and solves for φ(f_new) in the least-squares sense, by the Moore-Penrose
+/// pseudoinverse (Eq. 10) or ridge-regularized normal equations. Stability
+/// of old embeddings is guaranteed by construction: only φ(f_new) is
+/// written.
+///
+/// Old facts' destination distributions are cached across calls; this is
+/// the paper's one-by-one mode, which does not recompute paths starting at
+/// old tuples. Call InvalidateCache() before an all-at-once batch to
+/// recompute them against the grown database.
+class ForwardExtender {
+ public:
+  ForwardExtender(const db::Database* database, const KernelRegistry* kernels,
+                  ForwardConfig config)
+      : db_(database),
+        kernels_(kernels),
+        config_(config),
+        dist_(database) {}
+
+  /// Computes φ(f_new) and stores it into `model`. `f_new` must be a live
+  /// fact of the model's relation without an embedding yet.
+  Result<la::Vector> Extend(ForwardModel& model, db::FactId f_new, Rng& rng);
+
+  /// Drops cached old-fact walk distributions (all-at-once mode).
+  void InvalidateCache() { cache_.clear(); }
+
+  size_t cache_size() const { return cache_.size(); }
+
+ private:
+  /// Cached-or-computed distribution of d_{s_t, f}[A_t] for an old fact.
+  const ValueDistribution& OldDistribution(const ForwardModel& model,
+                                           size_t target, db::FactId f,
+                                           Rng& rng);
+
+  const db::Database* db_;
+  const KernelRegistry* kernels_;
+  ForwardConfig config_;
+  WalkDistribution dist_;
+  /// (fact, target) -> distribution; key = fact * #targets + target.
+  std::unordered_map<uint64_t, ValueDistribution> cache_;
+};
+
+}  // namespace stedb::fwd
+
+#endif  // STEDB_FWD_EXTENDER_H_

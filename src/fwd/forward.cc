@@ -1,0 +1,43 @@
+#include "src/fwd/forward.h"
+
+namespace stedb::fwd {
+
+ForwardEmbedder::ForwardEmbedder(
+    const db::Database* database,
+    std::shared_ptr<const KernelRegistry> kernels, ForwardConfig config,
+    ForwardModel model)
+    : db_(database),
+      kernels_(std::move(kernels)),
+      config_(config),
+      model_(std::move(model)),
+      extender_(database, kernels_.get(), config),
+      rng_(config.seed ^ 0x9e3779b97f4a7c15ull) {}
+
+Result<ForwardEmbedder> ForwardEmbedder::TrainStatic(
+    const db::Database* database, db::RelationId rel,
+    const AttrKeySet& excluded, ForwardConfig config,
+    std::shared_ptr<const KernelRegistry> kernels) {
+  if (kernels == nullptr) {
+    kernels = std::make_shared<const KernelRegistry>(
+        KernelRegistry::Defaults(*database));
+  }
+  ForwardTrainer trainer(database, kernels.get(), config);
+  STEDB_ASSIGN_OR_RETURN(ForwardModel model, trainer.Train(rel, excluded));
+  return ForwardEmbedder(database, std::move(kernels), config,
+                         std::move(model));
+}
+
+Status ForwardEmbedder::ExtendToFacts(
+    const std::vector<db::FactId>& new_facts) {
+  if (config_.recompute_old_paths) extender_.InvalidateCache();
+  for (db::FactId f : new_facts) {
+    if (!db_->IsLive(f)) continue;
+    if (db_->fact(f).rel != model_.relation()) continue;
+    if (model_.HasEmbedding(f)) continue;
+    auto res = extender_.Extend(model_, f, rng_);
+    if (!res.ok()) return res.status();
+  }
+  return Status::OK();
+}
+
+}  // namespace stedb::fwd

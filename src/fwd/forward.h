@@ -1,0 +1,65 @@
+#ifndef STEDB_FWD_FORWARD_H_
+#define STEDB_FWD_FORWARD_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/db/database.h"
+#include "src/fwd/extender.h"
+#include "src/fwd/kernel.h"
+#include "src/fwd/model.h"
+#include "src/fwd/trainer.h"
+
+namespace stedb::fwd {
+
+/// High-level facade over the FoRWaRD pipeline: static training + dynamic
+/// extension with cached walk distributions.
+///
+///   auto fwd = ForwardEmbedder::TrainStatic(&db, rel, excluded, config);
+///   ... insert new facts into db ...
+///   fwd->ExtendToFacts(new_fact_ids);     // embeds new facts of `rel`
+///   la::Vector v = fwd->Embed(f).value();
+///
+/// The database must outlive the embedder. Facts of relations other than
+/// the embedded one need no embedding (paper: only the prediction relation
+/// is embedded); they influence new embeddings through the walks alone.
+class ForwardEmbedder {
+ public:
+  /// Runs the static phase. When `kernels` is null the paper's defaults are
+  /// used (Gaussian for numeric attributes, equality otherwise).
+  static Result<ForwardEmbedder> TrainStatic(
+      const db::Database* database, db::RelationId rel,
+      const AttrKeySet& excluded, ForwardConfig config,
+      std::shared_ptr<const KernelRegistry> kernels = nullptr);
+
+  /// Extends the embedding to every fact of the embedded relation in
+  /// `new_facts` (facts of other relations are ignored). In all-at-once
+  /// mode (config.recompute_old_paths) the old-distribution cache is
+  /// dropped first.
+  Status ExtendToFacts(const std::vector<db::FactId>& new_facts);
+
+  /// φ(f); NotFound for facts never embedded.
+  Result<la::Vector> Embed(db::FactId f) const { return model_.Embed(f); }
+
+  const ForwardModel& model() const { return model_; }
+  const KernelRegistry& kernels() const { return *kernels_; }
+  db::RelationId relation() const { return model_.relation(); }
+  size_t dim() const { return model_.dim(); }
+
+ private:
+  ForwardEmbedder(const db::Database* database,
+                  std::shared_ptr<const KernelRegistry> kernels,
+                  ForwardConfig config, ForwardModel model);
+
+  const db::Database* db_;
+  std::shared_ptr<const KernelRegistry> kernels_;
+  ForwardConfig config_;
+  ForwardModel model_;
+  ForwardExtender extender_;
+  Rng rng_;
+};
+
+}  // namespace stedb::fwd
+
+#endif  // STEDB_FWD_FORWARD_H_

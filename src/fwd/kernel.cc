@@ -1,0 +1,81 @@
+#include "src/fwd/kernel.h"
+
+#include <cmath>
+
+#include "src/common/string_util.h"
+
+namespace stedb::fwd {
+
+double GaussianKernel::Evaluate(const db::Value& a, const db::Value& b) const {
+  const double d = a.AsNumber() - b.AsNumber();
+  return std::exp(-(d * d) / (2.0 * variance_));
+}
+
+std::string GaussianKernel::Name() const {
+  return "gaussian(v=" + FormatDouble(variance_, 4) + ")";
+}
+
+KernelRegistry::KernelRegistry(const db::Schema& schema) {
+  kernels_.resize(schema.num_relations());
+  for (size_t r = 0; r < schema.num_relations(); ++r) {
+    kernels_[r].resize(schema.relation(static_cast<int>(r)).arity());
+  }
+}
+
+KernelRegistry KernelRegistry::Defaults(const db::Database& database) {
+  const db::Schema& schema = database.schema();
+  KernelRegistry reg(schema);
+  auto equality = std::make_shared<EqualityKernel>();
+  for (size_t r = 0; r < schema.num_relations(); ++r) {
+    const db::RelationSchema& rel = schema.relation(static_cast<int>(r));
+    for (size_t a = 0; a < rel.arity(); ++a) {
+      const bool numeric = rel.attrs[a].type == db::AttrType::kInt ||
+                           rel.attrs[a].type == db::AttrType::kReal;
+      // Key/FK attributes are identifiers: always equality, regardless of
+      // their storage type.
+      const bool identifier =
+          rel.IsKeyAttr(static_cast<int>(a)) ||
+          schema.AttrInAnyFk(static_cast<int>(r), static_cast<int>(a));
+      if (!numeric || identifier) {
+        reg.kernels_[r][a] = equality;
+        continue;
+      }
+      // Empirical variance of the active domain sets the Gaussian width so
+      // that "similar" is relative to the attribute's own scale.
+      std::vector<db::Value> dom = database.ActiveDomain(
+          static_cast<db::RelationId>(r), static_cast<db::AttrId>(a));
+      double mean = 0.0;
+      for (const db::Value& v : dom) mean += v.AsNumber();
+      if (!dom.empty()) mean /= static_cast<double>(dom.size());
+      double var = 0.0;
+      for (const db::Value& v : dom) {
+        const double d = v.AsNumber() - mean;
+        var += d * d;
+      }
+      if (dom.size() > 1) var /= static_cast<double>(dom.size() - 1);
+      if (var <= 1e-12) var = 1.0;
+      reg.kernels_[r][a] = std::make_shared<GaussianKernel>(var);
+    }
+  }
+  return reg;
+}
+
+KernelRegistry KernelRegistry::AllEquality(const db::Schema& schema) {
+  KernelRegistry reg(schema);
+  auto equality = std::make_shared<EqualityKernel>();
+  for (auto& rel : reg.kernels_) {
+    for (auto& k : rel) k = equality;
+  }
+  return reg;
+}
+
+void KernelRegistry::Set(db::RelationId rel, db::AttrId attr,
+                         std::shared_ptr<Kernel> k) {
+  kernels_[rel][attr] = std::move(k);
+}
+
+const Kernel& KernelRegistry::Get(db::RelationId rel, db::AttrId attr) const {
+  return *kernels_[rel][attr];
+}
+
+}  // namespace stedb::fwd

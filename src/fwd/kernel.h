@@ -1,0 +1,77 @@
+#ifndef STEDB_FWD_KERNEL_H_
+#define STEDB_FWD_KERNEL_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/db/database.h"
+
+namespace stedb::fwd {
+
+/// A similarity kernel on an attribute domain (paper Section V-B):
+/// a symmetric non-negative function κ(a, b) = <α(a), α(b)> for an implicit
+/// Hilbert-space embedding α. FoRWaRD only ever evaluates κ.
+class Kernel {
+ public:
+  virtual ~Kernel() = default;
+  /// κ(a, b); both values are guaranteed non-null by callers.
+  virtual double Evaluate(const db::Value& a, const db::Value& b) const = 0;
+  virtual std::string Name() const = 0;
+};
+
+/// Equality kernel: κ(a, a) = 1, κ(a, b) = 0 for a ≠ b. The paper's default
+/// for categorical/text/identifier domains.
+class EqualityKernel : public Kernel {
+ public:
+  double Evaluate(const db::Value& a, const db::Value& b) const override {
+    return a == b ? 1.0 : 0.0;
+  }
+  std::string Name() const override { return "equality"; }
+};
+
+/// Gaussian kernel on numeric domains: κ(a,b) = exp(-(a-b)^2 / (2υ)).
+/// The paper's default for numbers.
+class GaussianKernel : public Kernel {
+ public:
+  /// `variance` is the υ in the formula; must be positive.
+  explicit GaussianKernel(double variance) : variance_(variance) {}
+
+  double Evaluate(const db::Value& a, const db::Value& b) const override;
+  std::string Name() const override;
+
+  double variance() const { return variance_; }
+
+ private:
+  double variance_;
+};
+
+/// Per-attribute kernel assignment for one database schema. Defaults follow
+/// the paper: Gaussian for numeric attributes (with υ set to the empirical
+/// variance of the active domain so similarity is scale-free), equality for
+/// everything else. Individual attributes can be overridden, which is the
+/// hyperparameter surface described in paper Section V-F.
+class KernelRegistry {
+ public:
+  /// Builds the default registry for `database` (see above).
+  static KernelRegistry Defaults(const db::Database& database);
+
+  /// Registry where every attribute uses the equality kernel (ablation).
+  static KernelRegistry AllEquality(const db::Schema& schema);
+
+  /// Overrides the kernel of one attribute.
+  void Set(db::RelationId rel, db::AttrId attr, std::shared_ptr<Kernel> k);
+
+  /// The kernel for (rel, attr). Never null after construction via
+  /// Defaults/AllEquality.
+  const Kernel& Get(db::RelationId rel, db::AttrId attr) const;
+
+ private:
+  explicit KernelRegistry(const db::Schema& schema);
+  std::vector<std::vector<std::shared_ptr<Kernel>>> kernels_;
+};
+
+}  // namespace stedb::fwd
+
+#endif  // STEDB_FWD_KERNEL_H_

@@ -1,0 +1,40 @@
+#include "src/fwd/model.h"
+
+namespace stedb::fwd {
+
+ForwardModel::ForwardModel(db::RelationId relation, size_t dim,
+                           std::vector<WalkScheme> schemes,
+                           std::vector<SchemeTarget> targets)
+    : relation_(relation),
+      dim_(dim),
+      schemes_(std::move(schemes)),
+      targets_(std::move(targets)),
+      psi_(targets_.size()) {}
+
+Result<la::Vector> ForwardModel::Embed(db::FactId f) const {
+  auto it = phi_.find(f);
+  if (it == phi_.end()) {
+    return Status::NotFound("fact has no FoRWaRD embedding");
+  }
+  return it->second;
+}
+
+la::Vector* ForwardModel::mutable_phi(db::FactId f) {
+  auto it = phi_.find(f);
+  return it == phi_.end() ? nullptr : &it->second;
+}
+
+void ForwardModel::InitPsi(double stddev, Rng& rng) {
+  for (la::Matrix& m : psi_) {
+    m = la::Matrix::RandomSymmetric(dim_, stddev, rng);
+    // Bias toward identity so initial scores correlate positively with
+    // vector similarity; purely an optimization warm start.
+    for (size_t i = 0; i < dim_; ++i) m(i, i) += 1.0;
+  }
+}
+
+double ForwardModel::Score(db::FactId f, db::FactId g, size_t target) const {
+  return la::BilinearForm(phi_.at(f), psi_[target], phi_.at(g));
+}
+
+}  // namespace stedb::fwd

@@ -1,0 +1,103 @@
+#ifndef STEDB_FWD_MODEL_H_
+#define STEDB_FWD_MODEL_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/db/database.h"
+#include "src/fwd/walk_scheme.h"
+#include "src/la/matrix.h"
+
+namespace stedb::fwd {
+
+/// How the training target KD(d_{s,f}[A], d_{s,f'}[A]) of Eq. 4 is
+/// estimated per sampled pair:
+///  * kSingleSample — the paper's Eq. 5: one κ(g[A], g'[A]) draw. Cheapest
+///    and unbiased, but its variance can swamp the informative part of KD
+///    (ablated in bench/ablation_design_choices).
+///  * kMultiSample  — mean of `kd_samples` independent κ draws.
+///  * kExactCached  — exact KD from per-(fact, scheme, attr) destination
+///    value distributions computed once by BFS and cached. The paper notes
+///    computing KD "explicitly ... would be prohibitive in large
+///    databases"; caching per-fact (not per-pair) distributions makes it
+///    linear in |R|·|T| and is the default here.
+enum class KdEstimator { kSingleSample, kMultiSample, kExactCached };
+
+/// Hyperparameters of FoRWaRD (paper Section V-F / Table II). The paper's
+/// full-scale values are in comments; defaults here are CPU-scaled but the
+/// experiment harness can raise them (RunScale::kPaper).
+struct ForwardConfig {
+  size_t dim = 32;            ///< embedding dimension d (paper: 100)
+  int max_walk_len = 3;       ///< lmax (paper: 1-3)
+  size_t max_schemes = 64;    ///< cap on enumerated schemes (FK-dense schemas)
+  int nsamples = 64;          ///< samples per (f, (s,A)) per epoch (paper: 5000)
+  int epochs = 6;             ///< SGD epochs (paper: 5-10)
+  double lr = 0.02;           ///< learning rate
+  bool use_adam = true;       ///< Adam vs plain SGD
+  double init_stddev = 0.1;   ///< Gaussian init scale for φ and ψ
+  KdEstimator kd_estimator = KdEstimator::kExactCached;
+  int kd_samples = 8;         ///< κ draws per pair for kMultiSample
+
+  // Dynamic-extension parameters (paper Section V-E).
+  int new_samples = 200;      ///< old facts sampled per (s,A) (paper: 2500)
+  double ridge = 1e-8;        ///< Tikhonov term for the normal equations
+  bool use_pinv = true;       ///< min-norm pseudoinverse solve (paper Eq. 10)
+  /// All-at-once mode recomputes old facts' walk distributions before
+  /// extending; one-by-one mode reuses cached ones (paper Section VI-E).
+  bool recompute_old_paths = false;
+
+  uint64_t seed = 1;
+};
+
+/// A trained FoRWaRD embedding: per-fact vectors φ over one relation plus
+/// the learned symmetric inner-product matrices ψ(s, A) per target.
+class ForwardModel {
+ public:
+  ForwardModel() = default;
+  ForwardModel(db::RelationId relation, size_t dim,
+               std::vector<WalkScheme> schemes,
+               std::vector<SchemeTarget> targets);
+
+  db::RelationId relation() const { return relation_; }
+  size_t dim() const { return dim_; }
+
+  const std::vector<WalkScheme>& schemes() const { return schemes_; }
+  const std::vector<SchemeTarget>& targets() const { return targets_; }
+  /// The scheme of target `t`.
+  const WalkScheme& scheme_of(size_t t) const {
+    return schemes_[targets_[t].scheme_index];
+  }
+
+  bool HasEmbedding(db::FactId f) const { return phi_.count(f) > 0; }
+  size_t num_embedded() const { return phi_.size(); }
+
+  /// φ(f); NotFound when f was never embedded.
+  Result<la::Vector> Embed(db::FactId f) const;
+
+  const la::Vector& phi(db::FactId f) const { return phi_.at(f); }
+  void set_phi(db::FactId f, la::Vector v) { phi_[f] = std::move(v); }
+  la::Vector* mutable_phi(db::FactId f);
+  const std::unordered_map<db::FactId, la::Vector>& all_phi() const {
+    return phi_;
+  }
+
+  const la::Matrix& psi(size_t target) const { return psi_[target]; }
+  la::Matrix* mutable_psi(size_t target) { return &psi_[target]; }
+  void InitPsi(double stddev, Rng& rng);
+
+  /// φ(f)^T ψ(t) φ(g) — the model's similarity prediction (paper Eq. 3 LHS).
+  double Score(db::FactId f, db::FactId g, size_t target) const;
+
+ private:
+  db::RelationId relation_ = -1;
+  size_t dim_ = 0;
+  std::vector<WalkScheme> schemes_;
+  std::vector<SchemeTarget> targets_;
+  std::unordered_map<db::FactId, la::Vector> phi_;
+  std::vector<la::Matrix> psi_;
+};
+
+}  // namespace stedb::fwd
+
+#endif  // STEDB_FWD_MODEL_H_

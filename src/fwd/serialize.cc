@@ -1,0 +1,169 @@
+#include "src/fwd/serialize.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace stedb::fwd {
+namespace {
+
+void AppendDouble(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string ModelToText(const ForwardModel& model) {
+  std::string out = "FWDMODEL 1\n";
+  out += "relation " + std::to_string(model.relation()) + "\n";
+  out += "dim " + std::to_string(model.dim()) + "\n";
+
+  out += "schemes " + std::to_string(model.schemes().size()) + "\n";
+  for (const WalkScheme& s : model.schemes()) {
+    out += "S " + std::to_string(s.start) + " " +
+           std::to_string(s.steps.size());
+    for (const WalkStep& st : s.steps) {
+      out += " " + std::to_string(st.fk) + " " + (st.forward ? "f" : "b");
+    }
+    out += "\n";
+  }
+
+  out += "targets " + std::to_string(model.targets().size()) + "\n";
+  for (const SchemeTarget& t : model.targets()) {
+    out += "T " + std::to_string(t.scheme_index) + " " +
+           std::to_string(t.attr) + "\n";
+  }
+
+  for (size_t t = 0; t < model.targets().size(); ++t) {
+    out += "psi " + std::to_string(t) + "\n";
+    const la::Matrix& psi = model.psi(t);
+    for (size_t i = 0; i < psi.rows(); ++i) {
+      for (size_t j = 0; j < psi.cols(); ++j) {
+        if (j > 0) out += " ";
+        AppendDouble(out, psi(i, j));
+      }
+      out += "\n";
+    }
+  }
+
+  out += "phi " + std::to_string(model.all_phi().size()) + "\n";
+  for (const auto& [fact, vec] : model.all_phi()) {
+    out += "P " + std::to_string(fact);
+    for (double x : vec) {
+      out += " ";
+      AppendDouble(out, x);
+    }
+    out += "\n";
+  }
+  return out;
+}
+
+Result<ForwardModel> ModelFromText(const std::string& text) {
+  std::istringstream in(text);
+  std::string word;
+  int version = 0;
+  if (!(in >> word >> version) || word != "FWDMODEL" || version != 1) {
+    return Status::InvalidArgument("not a FWDMODEL v1 blob");
+  }
+  int relation = -1;
+  size_t dim = 0;
+  if (!(in >> word >> relation) || word != "relation") {
+    return Status::InvalidArgument("missing relation header");
+  }
+  if (!(in >> word >> dim) || word != "dim") {
+    return Status::InvalidArgument("missing dim header");
+  }
+
+  size_t n_schemes = 0;
+  if (!(in >> word >> n_schemes) || word != "schemes") {
+    return Status::InvalidArgument("missing schemes header");
+  }
+  std::vector<WalkScheme> schemes(n_schemes);
+  for (size_t s = 0; s < n_schemes; ++s) {
+    size_t len = 0;
+    if (!(in >> word >> schemes[s].start >> len) || word != "S") {
+      return Status::InvalidArgument("bad scheme line");
+    }
+    schemes[s].steps.resize(len);
+    for (size_t k = 0; k < len; ++k) {
+      std::string dir;
+      if (!(in >> schemes[s].steps[k].fk >> dir) ||
+          (dir != "f" && dir != "b")) {
+        return Status::InvalidArgument("bad scheme step");
+      }
+      schemes[s].steps[k].forward = dir == "f";
+    }
+  }
+
+  size_t n_targets = 0;
+  if (!(in >> word >> n_targets) || word != "targets") {
+    return Status::InvalidArgument("missing targets header");
+  }
+  std::vector<SchemeTarget> targets(n_targets);
+  for (size_t t = 0; t < n_targets; ++t) {
+    if (!(in >> word >> targets[t].scheme_index >> targets[t].attr) ||
+        word != "T") {
+      return Status::InvalidArgument("bad target line");
+    }
+    if (targets[t].scheme_index < 0 ||
+        static_cast<size_t>(targets[t].scheme_index) >= n_schemes) {
+      return Status::OutOfRange("target references unknown scheme");
+    }
+  }
+
+  ForwardModel model(relation, dim, std::move(schemes), std::move(targets));
+  for (size_t t = 0; t < n_targets; ++t) {
+    size_t idx = 0;
+    if (!(in >> word >> idx) || word != "psi" || idx != t) {
+      return Status::InvalidArgument("bad psi header");
+    }
+    la::Matrix psi(dim, dim);
+    for (size_t i = 0; i < dim; ++i) {
+      for (size_t j = 0; j < dim; ++j) {
+        if (!(in >> psi(i, j))) {
+          return Status::InvalidArgument("truncated psi matrix");
+        }
+      }
+    }
+    *model.mutable_psi(t) = std::move(psi);
+  }
+
+  size_t n_phi = 0;
+  if (!(in >> word >> n_phi) || word != "phi") {
+    return Status::InvalidArgument("missing phi header");
+  }
+  for (size_t i = 0; i < n_phi; ++i) {
+    int64_t fact = -1;
+    if (!(in >> word >> fact) || word != "P") {
+      return Status::InvalidArgument("bad phi line");
+    }
+    la::Vector vec(dim);
+    for (size_t j = 0; j < dim; ++j) {
+      if (!(in >> vec[j])) {
+        return Status::InvalidArgument("truncated phi vector");
+      }
+    }
+    model.set_phi(static_cast<db::FactId>(fact), std::move(vec));
+  }
+  return model;
+}
+
+Status SaveModel(const ForwardModel& model, const std::string& path) {
+  std::ofstream f(path);
+  if (!f) return Status::IOError("cannot write " + path);
+  f << ModelToText(model);
+  return f.good() ? Status::OK() : Status::IOError("write failed: " + path);
+}
+
+Result<ForwardModel> LoadModel(const std::string& path) {
+  std::ifstream f(path);
+  if (!f) return Status::IOError("cannot read " + path);
+  std::stringstream buf;
+  buf << f.rdbuf();
+  return ModelFromText(buf.str());
+}
+
+}  // namespace stedb::fwd

@@ -1,0 +1,39 @@
+#ifndef STEDB_FWD_SERIALIZE_H_
+#define STEDB_FWD_SERIALIZE_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/fwd/model.h"
+
+namespace stedb::fwd {
+
+/// Text serialization of a trained FoRWaRD model, so the static phase can
+/// run once and the (frozen) embedding be shipped to downstream consumers.
+/// Format (line-oriented, locale-independent):
+///
+///   FWDMODEL 1
+///   relation <id>
+///   dim <d>
+///   schemes <n>
+///   S <start> <len> [<fk> <f|b>]...
+///   targets <n>
+///   T <scheme_index> <attr>
+///   psi <target_index>            (followed by d lines of d doubles)
+///   phi <n>
+///   P <fact_id> <d doubles>
+///
+/// Fact ids are only meaningful relative to the database the model was
+/// trained on; callers re-attach by key if the database was rebuilt.
+std::string ModelToText(const ForwardModel& model);
+
+/// Parses ModelToText output.
+Result<ForwardModel> ModelFromText(const std::string& text);
+
+/// Writes/reads the model to a file path.
+Status SaveModel(const ForwardModel& model, const std::string& path);
+Result<ForwardModel> LoadModel(const std::string& path);
+
+}  // namespace stedb::fwd
+
+#endif  // STEDB_FWD_SERIALIZE_H_

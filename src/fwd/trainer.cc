@@ -1,0 +1,207 @@
+#include "src/fwd/trainer.h"
+
+#include <algorithm>
+
+#include "src/fwd/walk_distribution.h"
+#include "src/fwd/walk_sampler.h"
+#include "src/la/optimizer.h"
+
+namespace stedb::fwd {
+namespace {
+
+/// Lazily computed per-(fact, target) destination value distributions for
+/// the kExactCached estimator. Missing distributions are cached too (as
+/// empty), so non-existing d_{s,f}[A] is detected once.
+class DistCache {
+ public:
+  DistCache(const db::Database* database, const ForwardModel* model)
+      : dist_(database), model_(model) {}
+
+  const ValueDistribution& Get(db::FactId f, size_t target, Rng& rng) {
+    const uint64_t key =
+        static_cast<uint64_t>(f) * model_->targets().size() + target;
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+    ValueDistribution d = dist_.Compute(
+        model_->scheme_of(target), model_->targets()[target].attr, f, rng);
+    return cache_.emplace(key, std::move(d)).first->second;
+  }
+
+ private:
+  WalkDistribution dist_;
+  const ForwardModel* model_;
+  std::unordered_map<uint64_t, ValueDistribution> cache_;
+};
+
+}  // namespace
+
+Result<ForwardModel> ForwardTrainer::Train(db::RelationId rel,
+                                           const AttrKeySet& excluded) {
+  const db::Schema& schema = db_->schema();
+  if (rel < 0 || static_cast<size_t>(rel) >= schema.num_relations()) {
+    return Status::OutOfRange("relation id out of range");
+  }
+  const std::vector<db::FactId>& facts = db_->FactsOf(rel);
+  if (facts.size() < 2) {
+    return Status::FailedPrecondition(
+        "FoRWaRD needs at least two facts in the embedded relation");
+  }
+
+  std::vector<WalkScheme> schemes = EnumerateWalkSchemes(
+      schema, rel, config_.max_walk_len, config_.max_schemes);
+  std::vector<SchemeTarget> targets = BuildTargets(schema, schemes, excluded);
+  if (targets.empty()) {
+    return Status::FailedPrecondition(
+        "T(R, lmax) is empty: no FK-free attributes reachable");
+  }
+
+  Rng rng(config_.seed);
+  ForwardModel model(rel, config_.dim, std::move(schemes), std::move(targets));
+  model.InitPsi(config_.init_stddev, rng);
+  for (db::FactId f : facts) {
+    model.set_phi(f, la::RandomVector(config_.dim, config_.init_stddev, rng));
+  }
+
+  // Optimizer blocks: [0, #facts) for φ rows, then one block per ψ.
+  std::unordered_map<db::FactId, size_t> fact_block;
+  fact_block.reserve(facts.size());
+  for (size_t i = 0; i < facts.size(); ++i) fact_block.emplace(facts[i], i);
+  const size_t psi_base = facts.size();
+
+  std::unique_ptr<la::Optimizer> opt;
+  if (config_.use_adam) {
+    opt = std::make_unique<la::AdamOptimizer>(config_.lr);
+  } else {
+    opt = std::make_unique<la::SgdOptimizer>(config_.lr);
+  }
+
+  WalkSampler sampler(db_);
+  DistCache dists(db_, &model);
+  const size_t d = config_.dim;
+  la::Vector grad_f(d), grad_f2(d);
+  la::Matrix grad_psi(d, d);
+
+  // Produces the regression target for a pair (f, f2, t), or < 0 when the
+  // destination random variable does not exist for either side.
+  auto sample_target = [&](db::FactId f, db::FactId f2, size_t t,
+                           const WalkScheme& s, db::AttrId attr,
+                           const Kernel& kernel) -> double {
+    switch (config_.kd_estimator) {
+      case KdEstimator::kExactCached: {
+        const ValueDistribution& da = dists.Get(f, t, rng);
+        if (!da.exists()) return -1.0;
+        const ValueDistribution& dben = dists.Get(f2, t, rng);
+        if (!dben.exists()) return -1.0;
+        return WalkDistribution::ExpectedKernel(da, dben, kernel);
+      }
+      case KdEstimator::kMultiSample: {
+        double acc = 0.0;
+        int got = 0;
+        for (int m = 0; m < config_.kd_samples; ++m) {
+          std::optional<db::Value> gv =
+              sampler.SampleDestinationValue(s, attr, f, rng);
+          std::optional<db::Value> g2v =
+              sampler.SampleDestinationValue(s, attr, f2, rng);
+          if (!gv.has_value() || !g2v.has_value()) continue;
+          acc += kernel.Evaluate(*gv, *g2v);
+          ++got;
+        }
+        return got > 0 ? acc / got : -1.0;
+      }
+      case KdEstimator::kSingleSample: {
+        std::optional<db::Value> gv =
+            sampler.SampleDestinationValue(s, attr, f, rng);
+        std::optional<db::Value> g2v =
+            sampler.SampleDestinationValue(s, attr, f2, rng);
+        if (!gv.has_value() || !g2v.has_value()) return -1.0;
+        return kernel.Evaluate(*gv, *g2v);
+      }
+    }
+    return -1.0;
+  };
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    // Mild decay stabilizes the tail of training.
+    opt->SetLearningRateScale(1.0 / (1.0 + 0.25 * epoch));
+    std::vector<db::FactId> order(facts.begin(), facts.end());
+    rng.Shuffle(order);
+    for (db::FactId f : order) {
+      for (size_t t = 0; t < model.targets().size(); ++t) {
+        const WalkScheme& s = model.scheme_of(t);
+        const db::AttrId attr = model.targets()[t].attr;
+        const db::RelationId end_rel = s.End(schema);
+        const Kernel& kernel = kernels_->Get(end_rel, attr);
+        // In exact mode, skip the whole (f, t) block when d_{s,f}[A] does
+        // not exist (checked once, cached).
+        if (config_.kd_estimator == KdEstimator::kExactCached &&
+            !dists.Get(f, t, rng).exists()) {
+          continue;
+        }
+        for (int k = 0; k < config_.nsamples; ++k) {
+          // f' uniform among the other facts.
+          db::FactId f2 = facts[rng.NextIndex(facts.size())];
+          if (f2 == f) continue;
+          const double kappa = sample_target(f, f2, t, s, attr, kernel);
+          if (kappa < 0.0) continue;
+
+          // Inline SGD step on (f, f2, t, kappa).
+          la::Vector& pf = *model.mutable_phi(f);
+          la::Vector& pf2 = *model.mutable_phi(f2);
+          la::Matrix& psi = *model.mutable_psi(t);
+          la::Vector psi_pf2 = psi.MultiplyVec(pf2);
+          la::Vector psi_pf = psi.MultiplyVec(pf);
+          const double err = la::Dot(pf, psi_pf2) - kappa;
+          for (size_t i = 0; i < d; ++i) {
+            grad_f[i] = err * psi_pf2[i];
+            grad_f2[i] = err * psi_pf[i];
+          }
+          for (size_t i = 0; i < d; ++i) {
+            double* row = grad_psi.RowPtr(i);
+            const double pfi = pf[i];
+            const double pf2i = pf2[i];
+            for (size_t j = 0; j < d; ++j) {
+              row[j] = err * 0.5 * (pfi * pf2[j] + pf2i * pf[j]);
+            }
+          }
+          opt->Step(fact_block[f], pf.data(), grad_f.data(), d);
+          opt->Step(fact_block[f2], pf2.data(), grad_f2.data(), d);
+          opt->Step(psi_base + t, psi.data().data(), grad_psi.data().data(),
+                    d * d);
+        }
+      }
+    }
+  }
+  return model;
+}
+
+double ForwardTrainer::EvaluateLoss(const ForwardModel& model,
+                                    int samples_per_fact, Rng& rng) const {
+  const db::Schema& schema = db_->schema();
+  const std::vector<db::FactId>& facts = db_->FactsOf(model.relation());
+  WalkSampler sampler(db_);
+  double total = 0.0;
+  size_t count = 0;
+  for (db::FactId f : facts) {
+    for (int k = 0; k < samples_per_fact; ++k) {
+      const size_t t = rng.NextIndex(model.targets().size());
+      const WalkScheme& s = model.scheme_of(t);
+      const db::AttrId attr = model.targets()[t].attr;
+      std::optional<db::Value> gv =
+          sampler.SampleDestinationValue(s, attr, f, rng);
+      if (!gv.has_value()) continue;
+      db::FactId f2 = facts[rng.NextIndex(facts.size())];
+      if (f2 == f || !model.HasEmbedding(f2)) continue;
+      std::optional<db::Value> g2v =
+          sampler.SampleDestinationValue(s, attr, f2, rng);
+      if (!g2v.has_value()) continue;
+      const Kernel& kernel = kernels_->Get(s.End(schema), attr);
+      const double err =
+          model.Score(f, f2, t) - kernel.Evaluate(*gv, *g2v);
+      total += err * err;
+      ++count;
+    }
+  }
+  return count > 0 ? total / static_cast<double>(count) : 0.0;
+}
+
+}  // namespace stedb::fwd

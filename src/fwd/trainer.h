@@ -1,0 +1,46 @@
+#ifndef STEDB_FWD_TRAINER_H_
+#define STEDB_FWD_TRAINER_H_
+
+#include <memory>
+
+#include "src/common/status.h"
+#include "src/db/database.h"
+#include "src/fwd/kernel.h"
+#include "src/fwd/model.h"
+
+namespace stedb::fwd {
+
+/// Static-phase FoRWaRD training (paper Section V-D).
+///
+/// Stochastic objective: for sampled tuples (f, f', s, A, g, g') where g, g'
+/// are destinations of independent random walks with scheme s from f and f',
+/// minimize   L = 1/2 | φ(f)^T ψ(s,A) φ(f') − κ(g[A], g'[A]) |^2   (Eq. 5),
+/// using κ(g[A], g'[A]) as the one-sample estimate of the expected kernel
+/// distance KD (Eq. 2). Samples are regenerated every epoch (streaming),
+/// which matches the objective in expectation without materializing the
+/// paper's full sample set.
+class ForwardTrainer {
+ public:
+  ForwardTrainer(const db::Database* database, const KernelRegistry* kernels,
+                 ForwardConfig config)
+      : db_(database), kernels_(kernels), config_(config) {}
+
+  /// Trains an embedding of relation `rel`. `excluded` attributes (e.g. the
+  /// downstream label) are removed from T(R, lmax) so the embedding never
+  /// sees them. Returns the trained model.
+  Result<ForwardModel> Train(db::RelationId rel, const AttrKeySet& excluded);
+
+  /// Mean squared residual |score − κ|² over a fresh sample batch; exposed
+  /// for convergence tests.
+  double EvaluateLoss(const ForwardModel& model, int samples_per_fact,
+                      Rng& rng) const;
+
+ private:
+  const db::Database* db_;
+  const KernelRegistry* kernels_;
+  ForwardConfig config_;
+};
+
+}  // namespace stedb::fwd
+
+#endif  // STEDB_FWD_TRAINER_H_

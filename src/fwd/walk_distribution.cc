@@ -1,0 +1,99 @@
+#include "src/fwd/walk_distribution.h"
+
+#include <unordered_map>
+
+#include "src/fwd/walk_sampler.h"
+
+namespace stedb::fwd {
+namespace {
+
+ValueDistribution NormalizeValueMass(
+    std::unordered_map<db::Value, double, db::ValueHash>&& mass) {
+  double total = 0.0;
+  for (const auto& [v, m] : mass) total += m;
+  ValueDistribution out;
+  if (total <= 0.0) return out;
+  out.probs.reserve(mass.size());
+  for (auto& [v, m] : mass) out.probs.emplace_back(v, m / total);
+  return out;
+}
+
+}  // namespace
+
+double ValueDistribution::TotalMass() const {
+  double total = 0.0;
+  for (const auto& [v, p] : probs) total += p;
+  return total;
+}
+
+ValueDistribution WalkDistribution::Exact(const WalkScheme& s,
+                                          db::AttrId attr,
+                                          db::FactId start) const {
+  std::unordered_map<db::FactId, double> mass;
+  mass.emplace(start, 1.0);
+  for (const WalkStep& step : s.steps) {
+    std::unordered_map<db::FactId, double> next;
+    next.reserve(mass.size());
+    for (const auto& [f, m] : mass) {
+      if (step.forward) {
+        db::FactId g = db_->Referenced(f, step.fk);
+        if (g == db::kNoFact) continue;  // dead end: mass dropped
+        next[g] += m;
+      } else {
+        const std::vector<db::FactId>& back = db_->Referencing(f, step.fk);
+        if (back.empty()) continue;
+        const double share = m / static_cast<double>(back.size());
+        for (db::FactId g : back) next[g] += share;
+      }
+      if (next.size() > max_fact_support_) return ValueDistribution{};
+    }
+    mass = std::move(next);
+    if (mass.empty()) return ValueDistribution{};
+  }
+  std::unordered_map<db::Value, double, db::ValueHash> value_mass;
+  for (const auto& [f, m] : mass) {
+    const db::Value& v = db_->value(f, attr);
+    if (v.is_null()) continue;  // posterior on ≠ ⊥
+    value_mass[v] += m;
+  }
+  return NormalizeValueMass(std::move(value_mass));
+}
+
+ValueDistribution WalkDistribution::Sampled(const WalkScheme& s,
+                                            db::AttrId attr,
+                                            db::FactId start, int n,
+                                            Rng& rng) const {
+  WalkSampler sampler(db_);
+  std::unordered_map<db::Value, double, db::ValueHash> value_mass;
+  for (int i = 0; i < n; ++i) {
+    db::FactId dest = sampler.SampleDestination(s, start, rng);
+    if (dest == db::kNoFact) continue;
+    const db::Value& v = db_->value(dest, attr);
+    if (v.is_null()) continue;
+    value_mass[v] += 1.0;
+  }
+  return NormalizeValueMass(std::move(value_mass));
+}
+
+ValueDistribution WalkDistribution::Compute(const WalkScheme& s,
+                                            db::AttrId attr,
+                                            db::FactId start,
+                                            Rng& rng) const {
+  ValueDistribution exact = Exact(s, attr, start);
+  if (exact.exists()) return exact;
+  return Sampled(s, attr, start, fallback_samples_, rng);
+}
+
+double WalkDistribution::ExpectedKernel(const ValueDistribution& da,
+                                        const ValueDistribution& db,
+                                        const Kernel& kernel) {
+  double acc = 0.0;
+  for (const auto& [va, pa] : da.probs) {
+    for (const auto& [vb, pb] : db.probs) {
+      acc += pa * pb * kernel.Evaluate(va, vb);
+    }
+  }
+  return acc;
+}
+
+}  // namespace stedb::fwd

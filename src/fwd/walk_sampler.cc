@@ -1,0 +1,71 @@
+#include "src/fwd/walk_sampler.h"
+
+namespace stedb::fwd {
+
+db::FactId WalkSampler::SampleDestination(const WalkScheme& s,
+                                          db::FactId start, Rng& rng) const {
+  db::FactId cur = start;
+  for (const WalkStep& step : s.steps) {
+    if (step.forward) {
+      cur = db_->Referenced(cur, step.fk);
+      if (cur == db::kNoFact) return db::kNoFact;
+    } else {
+      const std::vector<db::FactId>& back = db_->Referencing(cur, step.fk);
+      if (back.empty()) return db::kNoFact;
+      cur = back[rng.NextIndex(back.size())];
+    }
+  }
+  return cur;
+}
+
+std::vector<db::FactId> WalkSampler::SampleWalk(const WalkScheme& s,
+                                                db::FactId start,
+                                                Rng& rng) const {
+  std::vector<db::FactId> walk = {start};
+  db::FactId cur = start;
+  for (const WalkStep& step : s.steps) {
+    if (step.forward) {
+      cur = db_->Referenced(cur, step.fk);
+    } else {
+      const std::vector<db::FactId>& back = db_->Referencing(cur, step.fk);
+      cur = back.empty() ? db::kNoFact
+                         : back[rng.NextIndex(back.size())];
+    }
+    if (cur == db::kNoFact) return {};
+    walk.push_back(cur);
+  }
+  return walk;
+}
+
+std::optional<db::Value> WalkSampler::SampleDestinationValue(
+    const WalkScheme& s, db::AttrId attr, db::FactId start, Rng& rng,
+    int max_tries) const {
+  for (int t = 0; t < max_tries; ++t) {
+    db::FactId dest = SampleDestination(s, start, rng);
+    if (dest == db::kNoFact) continue;
+    const db::Value& v = db_->value(dest, attr);
+    if (!v.is_null()) return v;
+  }
+  return std::nullopt;
+}
+
+bool WalkSampler::ExistsFrom(const WalkScheme& s, size_t step,
+                             db::AttrId attr, db::FactId cur) const {
+  if (step == s.steps.size()) return !db_->value(cur, attr).is_null();
+  const WalkStep& st = s.steps[step];
+  if (st.forward) {
+    db::FactId next = db_->Referenced(cur, st.fk);
+    return next != db::kNoFact && ExistsFrom(s, step + 1, attr, next);
+  }
+  for (db::FactId next : db_->Referencing(cur, st.fk)) {
+    if (ExistsFrom(s, step + 1, attr, next)) return true;
+  }
+  return false;
+}
+
+bool WalkSampler::DestinationExists(const WalkScheme& s, db::AttrId attr,
+                                    db::FactId start) const {
+  return ExistsFrom(s, 0, attr, start);
+}
+
+}  // namespace stedb::fwd

@@ -1,0 +1,55 @@
+#ifndef STEDB_FWD_WALK_SAMPLER_H_
+#define STEDB_FWD_WALK_SAMPLER_H_
+
+#include <optional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/db/database.h"
+#include "src/fwd/walk_scheme.h"
+
+namespace stedb::fwd {
+
+/// Samples random walks over database facts following a walk scheme
+/// (paper Section V-A): forward FK steps are deterministic, backward steps
+/// choose uniformly among the referencing facts. A walk *fails* when a
+/// forward step hits a null FK image or a backward step has no referencing
+/// facts; failed walks are resampled by the callers (the distribution is
+/// conditioned on completion, see walk_distribution.h).
+class WalkSampler {
+ public:
+  explicit WalkSampler(const db::Database* database) : db_(database) {}
+
+  /// Destination fact of one walk from `start` with scheme `s`, or kNoFact
+  /// when the walk dead-ends.
+  db::FactId SampleDestination(const WalkScheme& s, db::FactId start,
+                               Rng& rng) const;
+
+  /// The full walk (start fact included), or empty on a dead end.
+  std::vector<db::FactId> SampleWalk(const WalkScheme& s, db::FactId start,
+                                     Rng& rng) const;
+
+  /// Destination value d_{s,f}[A] conditioned on ≠ ⊥ (paper's posterior
+  /// convention): retries up to `max_tries` walks, skipping dead ends and
+  /// null destination values. nullopt when no sample was obtained.
+  std::optional<db::Value> SampleDestinationValue(const WalkScheme& s,
+                                                  db::AttrId attr,
+                                                  db::FactId start, Rng& rng,
+                                                  int max_tries = 8) const;
+
+  /// True when at least one complete walk from `start` reaches a non-null
+  /// value of `attr` (i.e. d_{s,f}[A] exists). Exact via DFS over the walk
+  /// tree with memo-free early exit; cost is bounded by the walk fan-out.
+  bool DestinationExists(const WalkScheme& s, db::AttrId attr,
+                         db::FactId start) const;
+
+ private:
+  bool ExistsFrom(const WalkScheme& s, size_t step, db::AttrId attr,
+                  db::FactId cur) const;
+
+  const db::Database* db_;
+};
+
+}  // namespace stedb::fwd
+
+#endif  // STEDB_FWD_WALK_SAMPLER_H_

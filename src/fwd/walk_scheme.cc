@@ -1,0 +1,110 @@
+#include "src/fwd/walk_scheme.h"
+
+#include <sstream>
+
+namespace stedb::fwd {
+
+db::RelationId WalkScheme::End(const db::Schema& schema) const {
+  db::RelationId cur = start;
+  for (const WalkStep& s : steps) {
+    const db::ForeignKey& fk = schema.fk(s.fk);
+    cur = s.forward ? fk.to_rel : fk.from_rel;
+  }
+  return cur;
+}
+
+std::string WalkScheme::ToString(const db::Schema& schema) const {
+  if (steps.empty()) return schema.relation(start).name + "[]";
+  std::ostringstream os;
+  db::RelationId cur = start;
+  for (size_t i = 0; i < steps.size(); ++i) {
+    const db::ForeignKey& fk = schema.fk(steps[i].fk);
+    const db::RelationSchema& from = schema.relation(fk.from_rel);
+    const db::RelationSchema& to = schema.relation(fk.to_rel);
+    // Render the side we are on first, as in the paper's notation
+    // R[A]—S[B].
+    std::string from_attrs, to_attrs;
+    for (size_t j = 0; j < fk.from_attrs.size(); ++j) {
+      if (j > 0) from_attrs += ",";
+      from_attrs += from.attrs[fk.from_attrs[j]].name;
+    }
+    for (size_t j = 0; j < fk.to_attrs.size(); ++j) {
+      if (j > 0) to_attrs += ",";
+      to_attrs += to.attrs[fk.to_attrs[j]].name;
+    }
+    if (i > 0) os << ", ";
+    if (steps[i].forward) {
+      os << from.name << "[" << from_attrs << "]—" << to.name << "["
+         << to_attrs << "]";
+      cur = fk.to_rel;
+    } else {
+      os << to.name << "[" << to_attrs << "]—" << from.name << "["
+         << from_attrs << "]";
+      cur = fk.from_rel;
+    }
+  }
+  (void)cur;
+  return os.str();
+}
+
+std::vector<WalkScheme> EnumerateWalkSchemes(const db::Schema& schema,
+                                             db::RelationId start,
+                                             int max_len,
+                                             size_t max_schemes) {
+  std::vector<WalkScheme> out;
+  WalkScheme base;
+  base.start = start;
+  out.push_back(base);  // the length-zero scheme
+
+  // BFS by length: extend every scheme of length L by every applicable step.
+  std::vector<WalkScheme> frontier = {base};
+  for (int len = 1; len <= max_len; ++len) {
+    std::vector<WalkScheme> next;
+    for (const WalkScheme& s : frontier) {
+      db::RelationId cur = s.End(schema);
+      for (size_t f = 0; f < schema.num_foreign_keys(); ++f) {
+        const db::ForeignKey& fk = schema.fk(static_cast<db::FkId>(f));
+        if (fk.from_rel == cur) {
+          WalkScheme ext = s;
+          ext.steps.push_back({static_cast<db::FkId>(f), true});
+          next.push_back(std::move(ext));
+        }
+        if (fk.to_rel == cur) {
+          WalkScheme ext = s;
+          ext.steps.push_back({static_cast<db::FkId>(f), false});
+          next.push_back(std::move(ext));
+        }
+        if (max_schemes > 0 && out.size() + next.size() >= max_schemes) {
+          break;
+        }
+      }
+      if (max_schemes > 0 && out.size() + next.size() >= max_schemes) break;
+    }
+    for (WalkScheme& s : next) out.push_back(s);
+    frontier = std::move(next);
+    if (frontier.empty()) break;
+    if (max_schemes > 0 && out.size() >= max_schemes) {
+      out.resize(max_schemes);
+      break;
+    }
+  }
+  return out;
+}
+
+std::vector<SchemeTarget> BuildTargets(const db::Schema& schema,
+                                       const std::vector<WalkScheme>& schemes,
+                                       const AttrKeySet& excluded) {
+  std::vector<SchemeTarget> targets;
+  for (size_t si = 0; si < schemes.size(); ++si) {
+    db::RelationId end = schemes[si].End(schema);
+    const db::RelationSchema& rel = schema.relation(end);
+    for (size_t a = 0; a < rel.arity(); ++a) {
+      if (schema.AttrInAnyFk(end, static_cast<db::AttrId>(a))) continue;
+      if (excluded.count({end, static_cast<db::AttrId>(a)}) > 0) continue;
+      targets.push_back({static_cast<int>(si), static_cast<db::AttrId>(a)});
+    }
+  }
+  return targets;
+}
+
+}  // namespace stedb::fwd

@@ -1,0 +1,86 @@
+#ifndef STEDB_FWD_WALK_SCHEME_H_
+#define STEDB_FWD_WALK_SCHEME_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "src/db/schema.h"
+
+namespace stedb::fwd {
+
+/// One step of a walk scheme: follow foreign key `fk` either forward (from
+/// the referencing relation R to the referenced relation S — deterministic,
+/// since each fact references exactly one fact) or backward (from S to a
+/// uniformly random referencing R-fact).
+struct WalkStep {
+  db::FkId fk = -1;
+  bool forward = true;
+
+  bool operator==(const WalkStep& o) const {
+    return fk == o.fk && forward == o.forward;
+  }
+};
+
+/// A walk scheme (paper Section V-A): a start relation and a sequence of FK
+/// steps. Length-zero schemes are allowed and stand for "stay at the start
+/// fact".
+struct WalkScheme {
+  db::RelationId start = -1;
+  std::vector<WalkStep> steps;
+
+  size_t length() const { return steps.size(); }
+
+  /// The relation the scheme ends in.
+  db::RelationId End(const db::Schema& schema) const;
+
+  /// Human-readable rendering, e.g.
+  /// "ACTORS[aid]—COLLAB[actor1], COLLAB[movie]—MOVIES[mid]".
+  std::string ToString(const db::Schema& schema) const;
+
+  bool operator==(const WalkScheme& o) const {
+    return start == o.start && steps == o.steps;
+  }
+};
+
+/// Enumerates every walk scheme of length 0..max_len starting from `start`
+/// (paper Fig. 4 enumerates these for the movie schema). The number of
+/// schemes grows with the FK fan-out; callers bound it via `max_schemes`
+/// (0 = unbounded).
+std::vector<WalkScheme> EnumerateWalkSchemes(const db::Schema& schema,
+                                             db::RelationId start,
+                                             int max_len,
+                                             size_t max_schemes = 0);
+
+/// One (scheme, attribute) pair from T(R, lmax): `scheme_index` indexes the
+/// scheme list, `attr` is an attribute of the scheme's end relation.
+struct SchemeTarget {
+  int scheme_index = -1;
+  db::AttrId attr = -1;
+};
+
+/// Builds T(R, lmax) (paper Section V-C): all (s, A) where A is an attribute
+/// of End(s) that is involved in no FK and not excluded. `excluded` holds
+/// (rel, attr) pairs such as the downstream prediction attribute.
+struct AttrKey {
+  db::RelationId rel;
+  db::AttrId attr;
+  bool operator==(const AttrKey& o) const {
+    return rel == o.rel && attr == o.attr;
+  }
+};
+struct AttrKeyHash {
+  size_t operator()(const AttrKey& k) const {
+    return std::hash<int64_t>()((static_cast<int64_t>(k.rel) << 32) ^
+                                static_cast<uint32_t>(k.attr));
+  }
+};
+using AttrKeySet = std::unordered_set<AttrKey, AttrKeyHash>;
+
+std::vector<SchemeTarget> BuildTargets(const db::Schema& schema,
+                                       const std::vector<WalkScheme>& schemes,
+                                       const AttrKeySet& excluded);
+
+}  // namespace stedb::fwd
+
+#endif  // STEDB_FWD_WALK_SCHEME_H_

@@ -1,0 +1,47 @@
+#include "src/graph/alias_sampler.h"
+
+namespace stedb::graph {
+
+void AliasSampler::Build(const std::vector<double>& weights) {
+  prob_.clear();
+  alias_.clear();
+  norm_weights_.clear();
+
+  double total = 0.0;
+  for (double w : weights) total += w;
+  if (total <= 0.0 || weights.empty()) return;
+
+  const size_t n = weights.size();
+  norm_weights_.resize(n);
+  for (size_t i = 0; i < n; ++i) norm_weights_[i] = weights[i] / total;
+
+  prob_.assign(n, 0.0);
+  alias_.assign(n, 0);
+  std::vector<double> scaled(n);
+  std::vector<size_t> small, large;
+  small.reserve(n);
+  large.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    scaled[i] = norm_weights_[i] * static_cast<double>(n);
+    (scaled[i] < 1.0 ? small : large).push_back(i);
+  }
+  while (!small.empty() && !large.empty()) {
+    size_t s = small.back();
+    small.pop_back();
+    size_t l = large.back();
+    large.pop_back();
+    prob_[s] = scaled[s];
+    alias_[s] = l;
+    scaled[l] = (scaled[l] + scaled[s]) - 1.0;
+    (scaled[l] < 1.0 ? small : large).push_back(l);
+  }
+  for (size_t i : large) prob_[i] = 1.0;
+  for (size_t i : small) prob_[i] = 1.0;
+}
+
+size_t AliasSampler::Sample(Rng& rng) const {
+  size_t i = rng.NextIndex(prob_.size());
+  return rng.NextDouble() < prob_[i] ? i : alias_[i];
+}
+
+}  // namespace stedb::graph

@@ -1,0 +1,41 @@
+#ifndef STEDB_GRAPH_ALIAS_SAMPLER_H_
+#define STEDB_GRAPH_ALIAS_SAMPLER_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace stedb::graph {
+
+/// Walker's alias method: O(n) construction, O(1) sampling from a fixed
+/// discrete distribution. Used for the SGNS negative-sampling table
+/// (unigram^0.75 over nodes) and anywhere a static categorical distribution
+/// is sampled in a hot loop.
+class AliasSampler {
+ public:
+  AliasSampler() = default;
+
+  /// Builds from unnormalized non-negative weights. All-zero weights yield
+  /// an empty sampler.
+  explicit AliasSampler(const std::vector<double>& weights) { Build(weights); }
+
+  void Build(const std::vector<double>& weights);
+
+  bool empty() const { return prob_.empty(); }
+  size_t size() const { return prob_.size(); }
+
+  /// Draws an index distributed according to the build weights.
+  size_t Sample(Rng& rng) const;
+
+  /// The normalized probability of index i (for tests).
+  double Probability(size_t i) const { return norm_weights_[i]; }
+
+ private:
+  std::vector<double> prob_;
+  std::vector<size_t> alias_;
+  std::vector<double> norm_weights_;
+};
+
+}  // namespace stedb::graph
+
+#endif  // STEDB_GRAPH_ALIAS_SAMPLER_H_

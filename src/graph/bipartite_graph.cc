@@ -1,0 +1,139 @@
+#include "src/graph/bipartite_graph.h"
+
+#include <algorithm>
+
+namespace stedb::graph {
+
+BipartiteGraph::BipartiteGraph(const db::Database* database,
+                               GraphOptions options)
+    : db_(database), options_(std::move(options)) {
+  const db::Schema& schema = db_->schema();
+  // Global column indexing.
+  rel_column_offset_.resize(schema.num_relations() + 1, 0);
+  for (size_t r = 0; r < schema.num_relations(); ++r) {
+    rel_column_offset_[r + 1] =
+        rel_column_offset_[r] + schema.relation(static_cast<int>(r)).arity();
+  }
+  column_parent_.resize(rel_column_offset_.back());
+  for (size_t i = 0; i < column_parent_.size(); ++i) {
+    column_parent_[i] = static_cast<int>(i);
+  }
+  if (options_.identify_fk_columns) {
+    // Union the column pairs linked position-wise by each FK; this realizes
+    // the paper's per-value node identification u(R,B_i,a) = u(S,C_i,a).
+    for (const db::ForeignKey& fk : schema.fks()) {
+      for (size_t i = 0; i < fk.from_attrs.size(); ++i) {
+        int a = static_cast<int>(rel_column_offset_[fk.from_rel]) +
+                fk.from_attrs[i];
+        int b = static_cast<int>(rel_column_offset_[fk.to_rel]) +
+                fk.to_attrs[i];
+        int ra = FindClass(a);
+        int rb = FindClass(b);
+        if (ra != rb) column_parent_[ra] = rb;
+      }
+    }
+  }
+  // Path-compress eagerly; the structure is immutable afterwards.
+  for (size_t i = 0; i < column_parent_.size(); ++i) {
+    column_parent_[i] = FindClass(static_cast<int>(i));
+  }
+}
+
+int BipartiteGraph::FindClass(int idx) const {
+  while (column_parent_[idx] != idx) idx = column_parent_[idx];
+  return idx;
+}
+
+int BipartiteGraph::ColumnClass(db::RelationId rel, db::AttrId attr) const {
+  return column_parent_[rel_column_offset_[rel] + attr];
+}
+
+Status BipartiteGraph::BuildAll() {
+  const db::Schema& schema = db_->schema();
+  for (size_t r = 0; r < schema.num_relations(); ++r) {
+    for (db::FactId f : db_->FactsOf(static_cast<db::RelationId>(r))) {
+      auto res = AddFact(f);
+      if (!res.ok()) return res.status();
+    }
+  }
+  return Status::OK();
+}
+
+NodeId BipartiteGraph::NewNode(db::FactId fact) {
+  NodeId id = static_cast<NodeId>(adjacency_.size());
+  adjacency_.emplace_back();
+  fact_of_.push_back(fact);
+  return id;
+}
+
+void BipartiteGraph::AddEdge(NodeId a, NodeId b) {
+  auto insert_sorted = [](std::vector<NodeId>& lst, NodeId x) {
+    auto it = std::lower_bound(lst.begin(), lst.end(), x);
+    lst.insert(it, x);
+  };
+  insert_sorted(adjacency_[a], b);
+  insert_sorted(adjacency_[b], a);
+  ++num_edges_;
+}
+
+bool BipartiteGraph::HasEdge(NodeId a, NodeId b) const {
+  const std::vector<NodeId>& lst = adjacency_[a];
+  return std::binary_search(lst.begin(), lst.end(), b);
+}
+
+NodeId BipartiteGraph::ValueNode(int column_class, const db::Value& v) {
+  ClassValueKey key{column_class, v};
+  auto it = value_node_.find(key);
+  if (it != value_node_.end()) return it->second;
+  NodeId id = NewNode(db::kNoFact);
+  value_node_.emplace(std::move(key), id);
+  return id;
+}
+
+Result<std::vector<NodeId>> BipartiteGraph::AddFact(db::FactId fact) {
+  if (!db_->IsLive(fact)) {
+    return Status::NotFound("fact is not live in the database");
+  }
+  if (fact_node_.count(fact) > 0) {
+    return Status::AlreadyExists("fact already present in the graph");
+  }
+  std::vector<NodeId> created;
+  NodeId fnode = NewNode(fact);
+  fact_node_.emplace(fact, fnode);
+  created.push_back(fnode);
+
+  const db::Fact& f = db_->fact(fact);
+  for (size_t a = 0; a < f.values.size(); ++a) {
+    const db::Value& v = f.values[a];
+    if (v.is_null()) continue;
+    ColumnKey col{f.rel, static_cast<db::AttrId>(a)};
+    if (options_.excluded_columns.count(col) > 0) continue;
+    size_t before = adjacency_.size();
+    NodeId vnode = ValueNode(ColumnClass(f.rel, static_cast<db::AttrId>(a)), v);
+    if (adjacency_.size() > before) created.push_back(vnode);
+    AddEdge(fnode, vnode);
+  }
+  return created;
+}
+
+NodeId BipartiteGraph::NodeOfFact(db::FactId f) const {
+  auto it = fact_node_.find(f);
+  return it == fact_node_.end() ? kNoNode : it->second;
+}
+
+std::string BipartiteGraph::NodeLabel(NodeId n) const {
+  if (IsFactNode(n)) {
+    const db::Fact& f = db_->fact(fact_of_[n]);
+    return "fact:" + db_->schema().relation(f.rel).name + "#" +
+           std::to_string(fact_of_[n]);
+  }
+  for (const auto& [key, id] : value_node_) {
+    if (id == n) {
+      return "val:" + std::to_string(key.column_class) + ":" +
+             key.value.ToString();
+    }
+  }
+  return "node:" + std::to_string(n);
+}
+
+}  // namespace stedb::graph

@@ -1,0 +1,122 @@
+#ifndef STEDB_GRAPH_BIPARTITE_GRAPH_H_
+#define STEDB_GRAPH_BIPARTITE_GRAPH_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/db/database.h"
+
+namespace stedb::graph {
+
+/// Node index within a BipartiteGraph.
+using NodeId = int32_t;
+inline constexpr NodeId kNoNode = -1;
+
+/// A (relation, attribute) column key used for exclusions.
+using ColumnKey = std::pair<db::RelationId, db::AttrId>;
+
+struct ColumnKeyHash {
+  size_t operator()(const ColumnKey& k) const {
+    return std::hash<int64_t>()((static_cast<int64_t>(k.first) << 32) ^
+                                static_cast<uint32_t>(k.second));
+  }
+};
+
+/// Options controlling the graph encoding of a database (paper Section IV).
+struct GraphOptions {
+  /// When true (the paper's construction), value nodes u(R,B,a) and
+  /// u(S,C,a) are identified whenever an FK links columns (R,B) and (S,C).
+  /// Turning this off is the ablation knob: every column gets its own value
+  /// nodes and the graph decomposes per relation.
+  bool identify_fk_columns = true;
+
+  /// Columns whose values must NOT enter the graph, e.g. the downstream
+  /// prediction attribute (the embedding must never see it).
+  std::unordered_set<ColumnKey, ColumnKeyHash> excluded_columns;
+};
+
+/// The bipartite fact/value graph G_D of a database D (paper Section IV):
+/// one node v(f) per fact, one node u(R,A,a) per value occurrence, an edge
+/// between v(f) and u(R,A,f[A]) for every non-null attribute, and value
+/// nodes identified across FK-linked columns.
+///
+/// Supports incremental extension (AddFact) so the dynamic Node2Vec setting
+/// can grow the graph without touching existing node ids — a prerequisite
+/// for freezing old embeddings.
+class BipartiteGraph {
+ public:
+  /// Prepares column classes from the schema; no nodes yet. The database
+  /// must outlive the graph.
+  BipartiteGraph(const db::Database* database, GraphOptions options);
+
+  /// Adds nodes/edges for every live fact in the database.
+  Status BuildAll();
+
+  /// Adds one fact (and any of its values not seen before) to the graph.
+  /// Returns the ids of newly created nodes, the fact node first.
+  Result<std::vector<NodeId>> AddFact(db::FactId fact);
+
+  size_t num_nodes() const { return adjacency_.size(); }
+  size_t num_edges() const { return num_edges_; }
+
+  /// Neighbor list, sorted ascending (enables O(log d) HasEdge).
+  const std::vector<NodeId>& Neighbors(NodeId n) const {
+    return adjacency_[n];
+  }
+  size_t Degree(NodeId n) const { return adjacency_[n].size(); }
+  bool HasEdge(NodeId a, NodeId b) const;
+
+  bool IsFactNode(NodeId n) const { return fact_of_[n] != db::kNoFact; }
+  /// The fact behind a fact node (kNoFact for value nodes).
+  db::FactId FactOf(NodeId n) const { return fact_of_[n]; }
+  /// The node of a fact, or kNoNode if the fact was never added.
+  NodeId NodeOfFact(db::FactId f) const;
+
+  /// The canonical column class of (rel, attr) after FK identification.
+  int ColumnClass(db::RelationId rel, db::AttrId attr) const;
+
+  /// Debug label ("fact:MOVIES#3" / "val:<class>:<value>").
+  std::string NodeLabel(NodeId n) const;
+
+ private:
+  NodeId NewNode(db::FactId fact);
+  void AddEdge(NodeId a, NodeId b);
+  NodeId ValueNode(int column_class, const db::Value& v);
+
+  struct ClassValueKey {
+    int column_class;
+    db::Value value;
+    bool operator==(const ClassValueKey& o) const {
+      return column_class == o.column_class && value == o.value;
+    }
+  };
+  struct ClassValueKeyHash {
+    size_t operator()(const ClassValueKey& k) const {
+      return k.value.Hash() * 1315423911u + static_cast<size_t>(k.column_class);
+    }
+  };
+
+  const db::Database* db_;
+  GraphOptions options_;
+
+  /// Union-find over global column indices (rel-offset + attr).
+  std::vector<int> column_parent_;
+  std::vector<size_t> rel_column_offset_;
+  int FindClass(int idx) const;
+
+  std::vector<std::vector<NodeId>> adjacency_;
+  std::vector<db::FactId> fact_of_;
+  size_t num_edges_ = 0;
+
+  std::unordered_map<db::FactId, NodeId> fact_node_;
+  std::unordered_map<ClassValueKey, NodeId, ClassValueKeyHash> value_node_;
+};
+
+}  // namespace stedb::graph
+
+#endif  // STEDB_GRAPH_BIPARTITE_GRAPH_H_

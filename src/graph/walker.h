@@ -1,0 +1,53 @@
+#ifndef STEDB_GRAPH_WALKER_H_
+#define STEDB_GRAPH_WALKER_H_
+
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/graph/bipartite_graph.h"
+
+namespace stedb::graph {
+
+/// Node2Vec walk hyperparameters (Grover & Leskovec 2016). p is the return
+/// parameter, q the in-out parameter; p = q = 1 degenerates to uniform
+/// (DeepWalk) walks, which is the paper's configuration.
+struct WalkConfig {
+  int walk_length = 30;    ///< #steps per walk (paper Table II).
+  int walks_per_node = 40; ///< #walks started from each node (paper Table II).
+  double p = 1.0;
+  double q = 1.0;
+};
+
+/// Samples second-order biased random walks over a BipartiteGraph.
+/// For p = q = 1 steps are uniform; otherwise the next node is drawn by
+/// rejection sampling against the max bias weight, which avoids the
+/// per-edge alias tables of the original implementation and so works
+/// unchanged on dynamically growing graphs.
+class Node2VecWalker {
+ public:
+  Node2VecWalker(const BipartiteGraph* graph, WalkConfig config)
+      : graph_(graph), config_(config) {}
+
+  /// One walk from `start`; length <= walk_length + 1 nodes (shorter when a
+  /// dead end is hit).
+  std::vector<NodeId> Walk(NodeId start, Rng& rng) const;
+
+  /// walks_per_node walks from each of `starts`.
+  std::vector<std::vector<NodeId>> WalksFrom(const std::vector<NodeId>& starts,
+                                             Rng& rng) const;
+
+  /// Walks from every node in the graph (the static training corpus).
+  std::vector<std::vector<NodeId>> AllWalks(Rng& rng) const;
+
+  const WalkConfig& config() const { return config_; }
+
+ private:
+  NodeId NextNode(NodeId prev, NodeId cur, Rng& rng) const;
+
+  const BipartiteGraph* graph_;
+  WalkConfig config_;
+};
+
+}  // namespace stedb::graph
+
+#endif  // STEDB_GRAPH_WALKER_H_

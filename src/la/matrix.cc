@@ -1,0 +1,167 @@
+#include "src/la/matrix.h"
+
+#include <cmath>
+#include <cstdlib>
+
+namespace stedb::la {
+
+Matrix Matrix::Identity(size_t n) {
+  Matrix m(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::RandomGaussian(size_t rows, size_t cols, double stddev,
+                              Rng& rng) {
+  Matrix m(rows, cols);
+  for (double& x : m.data_) x = rng.NextGaussian(0.0, stddev);
+  return m;
+}
+
+Matrix Matrix::RandomSymmetric(size_t n, double stddev, Rng& rng) {
+  Matrix m = RandomGaussian(n, n, stddev, rng);
+  m.SymmetrizeInPlace();
+  return m;
+}
+
+Vector Matrix::Row(size_t r) const {
+  return Vector(RowPtr(r), RowPtr(r) + cols_);
+}
+
+void Matrix::SetRow(size_t r, const Vector& v) {
+  double* dst = RowPtr(r);
+  for (size_t c = 0; c < cols_; ++c) dst[c] = v[c];
+}
+
+Matrix Matrix::Transposed() const {
+  Matrix t(cols_, rows_);
+  for (size_t r = 0; r < rows_; ++r) {
+    const double* src = RowPtr(r);
+    for (size_t c = 0; c < cols_; ++c) t(c, r) = src[c];
+  }
+  return t;
+}
+
+Matrix Matrix::Multiply(const Matrix& other) const {
+  Matrix out(rows_, other.cols_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = RowPtr(i);
+    double* o = out.RowPtr(i);
+    for (size_t k = 0; k < cols_; ++k) {
+      const double aik = a[k];
+      if (aik == 0.0) continue;
+      const double* b = other.RowPtr(k);
+      for (size_t j = 0; j < other.cols_; ++j) o[j] += aik * b[j];
+    }
+  }
+  return out;
+}
+
+Vector Matrix::MultiplyVec(const Vector& v) const {
+  Vector out(rows_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = RowPtr(i);
+    double acc = 0.0;
+    for (size_t j = 0; j < cols_; ++j) acc += a[j] * v[j];
+    out[i] = acc;
+  }
+  return out;
+}
+
+Vector Matrix::TransposeMultiplyVec(const Vector& v) const {
+  Vector out(cols_, 0.0);
+  for (size_t i = 0; i < rows_; ++i) {
+    const double* a = RowPtr(i);
+    const double vi = v[i];
+    if (vi == 0.0) continue;
+    for (size_t j = 0; j < cols_; ++j) out[j] += a[j] * vi;
+  }
+  return out;
+}
+
+void Matrix::AddInPlace(const Matrix& other, double scale) {
+  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
+}
+
+void Matrix::ScaleInPlace(double s) {
+  for (double& x : data_) x *= s;
+}
+
+void Matrix::SymmetrizeInPlace() {
+  for (size_t i = 0; i < rows_; ++i) {
+    for (size_t j = i + 1; j < cols_; ++j) {
+      double avg = 0.5 * ((*this)(i, j) + (*this)(j, i));
+      (*this)(i, j) = avg;
+      (*this)(j, i) = avg;
+    }
+  }
+}
+
+double Matrix::FrobeniusNorm() const {
+  double acc = 0.0;
+  for (double x : data_) acc += x * x;
+  return std::sqrt(acc);
+}
+
+double Matrix::MaxAbsDiff(const Matrix& a, const Matrix& b) {
+  double worst = 0.0;
+  for (size_t i = 0; i < a.data_.size(); ++i) {
+    worst = std::max(worst, std::fabs(a.data_[i] - b.data_[i]));
+  }
+  return worst;
+}
+
+double Dot(const Vector& a, const Vector& b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
+  return acc;
+}
+
+double Norm2(const Vector& a) { return std::sqrt(Dot(a, a)); }
+
+void Axpy(double s, const Vector& b, Vector& a) {
+  for (size_t i = 0; i < a.size(); ++i) a[i] += s * b[i];
+}
+
+Vector Scaled(const Vector& a, double s) {
+  Vector out(a);
+  for (double& x : out) x *= s;
+  return out;
+}
+
+double Distance(const Vector& a, const Vector& b) {
+  double acc = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    double d = a[i] - b[i];
+    acc += d * d;
+  }
+  return std::sqrt(acc);
+}
+
+double CosineSimilarity(const Vector& a, const Vector& b) {
+  double na = Norm2(a);
+  double nb = Norm2(b);
+  if (na == 0.0 || nb == 0.0) return 0.0;
+  return Dot(a, b) / (na * nb);
+}
+
+Vector RandomVector(size_t n, double stddev, Rng& rng) {
+  Vector v(n);
+  for (double& x : v) x = rng.NextGaussian(0.0, stddev);
+  return v;
+}
+
+double BilinearForm(const Vector& x, const Matrix& m, const Vector& y) {
+  double acc = 0.0;
+  for (size_t i = 0; i < m.rows(); ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    const double* row = m.RowPtr(i);
+    double inner = 0.0;
+    for (size_t j = 0; j < m.cols(); ++j) inner += row[j] * y[j];
+    acc += xi * inner;
+  }
+  return acc;
+}
+
+}  // namespace stedb::la

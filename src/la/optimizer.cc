@@ -1,0 +1,35 @@
+#include "src/la/optimizer.h"
+
+#include <cmath>
+
+namespace stedb::la {
+
+void SgdOptimizer::Step(size_t /*block*/, double* params, const double* grad,
+                        size_t n) {
+  const double lr = lr_ * scale_;
+  for (size_t i = 0; i < n; ++i) params[i] -= lr * grad[i];
+}
+
+void AdamOptimizer::Step(size_t block, double* params, const double* grad,
+                         size_t n) {
+  if (block >= states_.size()) states_.resize(block + 1);
+  State& st = states_[block];
+  if (st.m.size() != n) {
+    st.m.assign(n, 0.0);
+    st.v.assign(n, 0.0);
+    st.t = 0;
+  }
+  ++st.t;
+  const double lr = lr_ * scale_;
+  const double bc1 = 1.0 - std::pow(beta1_, static_cast<double>(st.t));
+  const double bc2 = 1.0 - std::pow(beta2_, static_cast<double>(st.t));
+  for (size_t i = 0; i < n; ++i) {
+    st.m[i] = beta1_ * st.m[i] + (1.0 - beta1_) * grad[i];
+    st.v[i] = beta2_ * st.v[i] + (1.0 - beta2_) * grad[i] * grad[i];
+    const double mhat = st.m[i] / bc1;
+    const double vhat = st.v[i] / bc2;
+    params[i] -= lr * mhat / (std::sqrt(vhat) + eps_);
+  }
+}
+
+}  // namespace stedb::la

@@ -1,0 +1,72 @@
+#ifndef STEDB_LA_OPTIMIZER_H_
+#define STEDB_LA_OPTIMIZER_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace stedb::la {
+
+/// First-order optimizers over flat parameter blocks. Both embedding
+/// trainers (Node2Vec SGNS and the FoRWaRD bilinear model) register each
+/// parameter block (one vector per node/fact, one matrix per (scheme, attr))
+/// and apply sparse per-block updates, so the optimizer state is keyed by
+/// block id and allocated lazily.
+class Optimizer {
+ public:
+  virtual ~Optimizer() = default;
+
+  /// Applies one update to `params` (length n) given `grad` (length n).
+  /// `block` identifies the parameter block so that stateful optimizers
+  /// (Adam) can keep per-block moments.
+  virtual void Step(size_t block, double* params, const double* grad,
+                    size_t n) = 0;
+
+  /// Scales the base learning rate (used for epoch-level decay schedules).
+  virtual void SetLearningRateScale(double scale) = 0;
+};
+
+/// Plain SGD: w <- w - lr * g.
+class SgdOptimizer : public Optimizer {
+ public:
+  explicit SgdOptimizer(double lr) : lr_(lr), scale_(1.0) {}
+
+  void Step(size_t block, double* params, const double* grad,
+            size_t n) override;
+  void SetLearningRateScale(double scale) override { scale_ = scale; }
+
+ private:
+  double lr_;
+  double scale_;
+};
+
+/// Adam (Kingma & Ba) with lazily allocated per-block first/second moments.
+/// The bias-correction step count is tracked per block, matching how sparse
+/// embedding updates are usually implemented.
+class AdamOptimizer : public Optimizer {
+ public:
+  explicit AdamOptimizer(double lr, double beta1 = 0.9, double beta2 = 0.999,
+                         double eps = 1e-8)
+      : lr_(lr), beta1_(beta1), beta2_(beta2), eps_(eps), scale_(1.0) {}
+
+  void Step(size_t block, double* params, const double* grad,
+            size_t n) override;
+  void SetLearningRateScale(double scale) override { scale_ = scale; }
+
+ private:
+  struct State {
+    std::vector<double> m;
+    std::vector<double> v;
+    long t = 0;
+  };
+
+  double lr_;
+  double beta1_;
+  double beta2_;
+  double eps_;
+  double scale_;
+  std::vector<State> states_;
+};
+
+}  // namespace stedb::la
+
+#endif  // STEDB_LA_OPTIMIZER_H_

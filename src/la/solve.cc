@@ -1,0 +1,122 @@
+#include "src/la/solve.h"
+
+#include <cmath>
+
+namespace stedb::la {
+
+Result<Matrix> CholeskyFactor(const Matrix& a) {
+  if (a.rows() != a.cols()) {
+    return Status::InvalidArgument("Cholesky requires a square matrix");
+  }
+  const size_t n = a.rows();
+  Matrix l(n, n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = 0; j <= i; ++j) {
+      double sum = a(i, j);
+      for (size_t k = 0; k < j; ++k) sum -= l(i, k) * l(j, k);
+      if (i == j) {
+        if (sum <= 0.0 || !std::isfinite(sum)) {
+          return Status::FailedPrecondition(
+              "matrix is not positive definite");
+        }
+        l(i, i) = std::sqrt(sum);
+      } else {
+        l(i, j) = sum / l(j, j);
+      }
+    }
+  }
+  return l;
+}
+
+Result<Vector> CholeskySolve(const Matrix& a, const Vector& b) {
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("dimension mismatch in CholeskySolve");
+  }
+  STEDB_ASSIGN_OR_RETURN(Matrix l, CholeskyFactor(a));
+  const size_t n = a.rows();
+  // Forward substitution L y = b.
+  Vector y(n, 0.0);
+  for (size_t i = 0; i < n; ++i) {
+    double sum = b[i];
+    for (size_t k = 0; k < i; ++k) sum -= l(i, k) * y[k];
+    y[i] = sum / l(i, i);
+  }
+  // Back substitution L^T x = y.
+  Vector x(n, 0.0);
+  for (size_t ii = n; ii > 0; --ii) {
+    size_t i = ii - 1;
+    double sum = y[i];
+    for (size_t k = i + 1; k < n; ++k) sum -= l(k, i) * x[k];
+    x[i] = sum / l(i, i);
+  }
+  return x;
+}
+
+Result<Vector> RidgeLeastSquares(const Matrix& c, const Vector& b,
+                                 double ridge) {
+  if (c.rows() != b.size()) {
+    return Status::InvalidArgument("dimension mismatch in RidgeLeastSquares");
+  }
+  if (ridge < 0.0) {
+    return Status::InvalidArgument("ridge must be non-negative");
+  }
+  const size_t d = c.cols();
+  // Normal matrix C^T C + ridge I, accumulated row-by-row for locality.
+  Matrix normal(d, d, 0.0);
+  for (size_t r = 0; r < c.rows(); ++r) {
+    const double* row = c.RowPtr(r);
+    for (size_t i = 0; i < d; ++i) {
+      const double ri = row[i];
+      if (ri == 0.0) continue;
+      double* ni = normal.RowPtr(i);
+      for (size_t j = 0; j < d; ++j) ni[j] += ri * row[j];
+    }
+  }
+  for (size_t i = 0; i < d; ++i) normal(i, i) += ridge;
+  Vector rhs = c.TransposeMultiplyVec(b);
+  return CholeskySolve(normal, rhs);
+}
+
+Result<Vector> GaussianSolve(const Matrix& a, const Vector& b) {
+  if (a.rows() != a.cols() || a.rows() != b.size()) {
+    return Status::InvalidArgument("dimension mismatch in GaussianSolve");
+  }
+  const size_t n = a.rows();
+  Matrix m = a;
+  Vector rhs = b;
+  for (size_t col = 0; col < n; ++col) {
+    // Partial pivoting.
+    size_t pivot = col;
+    double best = std::fabs(m(col, col));
+    for (size_t r = col + 1; r < n; ++r) {
+      double v = std::fabs(m(r, col));
+      if (v > best) {
+        best = v;
+        pivot = r;
+      }
+    }
+    if (best < 1e-14) {
+      return Status::FailedPrecondition("matrix is numerically singular");
+    }
+    if (pivot != col) {
+      for (size_t j = 0; j < n; ++j) std::swap(m(col, j), m(pivot, j));
+      std::swap(rhs[col], rhs[pivot]);
+    }
+    for (size_t r = col + 1; r < n; ++r) {
+      double factor = m(r, col) / m(col, col);
+      if (factor == 0.0) continue;
+      for (size_t j = col; j < n; ++j) m(r, j) -= factor * m(col, j);
+      rhs[r] -= factor * rhs[col];
+    }
+  }
+  Vector x(n, 0.0);
+  for (size_t ii = n; ii > 0; --ii) {
+    size_t i = ii - 1;
+    double sum = rhs[i];
+    for (size_t j = i + 1; j < n; ++j) sum -= m(i, j) * x[j];
+    x[i] = sum / m(i, i);
+  }
+  return x;
+}
+
+}  // namespace stedb::la

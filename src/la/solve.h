@@ -1,0 +1,30 @@
+#ifndef STEDB_LA_SOLVE_H_
+#define STEDB_LA_SOLVE_H_
+
+#include "src/common/status.h"
+#include "src/la/matrix.h"
+
+namespace stedb::la {
+
+/// Cholesky factorization A = L L^T of a symmetric positive-definite matrix.
+/// Returns the lower-triangular factor L, or InvalidArgument when A is not
+/// square / FailedPrecondition when A is not (numerically) SPD.
+Result<Matrix> CholeskyFactor(const Matrix& a);
+
+/// Solves A x = b with SPD A via Cholesky.
+Result<Vector> CholeskySolve(const Matrix& a, const Vector& b);
+
+/// Least-squares solution of min ||C x - b||_2 via the ridge-regularized
+/// normal equations (C^T C + ridge I) x = C^T b. With ridge > 0 the system
+/// is always SPD, which makes this the fast/robust path used by the dynamic
+/// FoRWaRD extender.
+Result<Vector> RidgeLeastSquares(const Matrix& c, const Vector& b,
+                                 double ridge);
+
+/// Solves a general square system A x = b by partially pivoted Gaussian
+/// elimination. FailedPrecondition when A is (numerically) singular.
+Result<Vector> GaussianSolve(const Matrix& a, const Vector& b);
+
+}  // namespace stedb::la
+
+#endif  // STEDB_LA_SOLVE_H_

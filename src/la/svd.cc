@@ -1,0 +1,137 @@
+#include "src/la/svd.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stedb::la {
+
+Result<Svd> JacobiSvd(const Matrix& a, int max_sweeps, double tol) {
+  if (a.rows() == 0 || a.cols() == 0) {
+    return Status::InvalidArgument("SVD of an empty matrix");
+  }
+  // Work on the "tall" orientation: m >= n. If the input is wide, decompose
+  // the transpose and swap U/V at the end.
+  const bool transposed = a.rows() < a.cols();
+  Matrix w = transposed ? a.Transposed() : a;
+  const size_t m = w.rows();
+  const size_t n = w.cols();
+
+  // One-sided Jacobi: orthogonalize the columns of W by plane rotations,
+  // accumulating them into V.
+  Matrix v = Matrix::Identity(n);
+  for (int sweep = 0; sweep < max_sweeps; ++sweep) {
+    double off = 0.0;
+    for (size_t p = 0; p + 1 < n; ++p) {
+      for (size_t q = p + 1; q < n; ++q) {
+        double alpha = 0.0, beta = 0.0, gamma = 0.0;
+        for (size_t i = 0; i < m; ++i) {
+          const double wp = w(i, p);
+          const double wq = w(i, q);
+          alpha += wp * wp;
+          beta += wq * wq;
+          gamma += wp * wq;
+        }
+        if (alpha == 0.0 || beta == 0.0) continue;
+        off = std::max(off, std::fabs(gamma) / std::sqrt(alpha * beta));
+        if (std::fabs(gamma) <= tol * std::sqrt(alpha * beta)) continue;
+        // Jacobi rotation that zeroes the (p, q) entry of W^T W.
+        const double zeta = (beta - alpha) / (2.0 * gamma);
+        const double t = (zeta >= 0.0 ? 1.0 : -1.0) /
+                         (std::fabs(zeta) + std::sqrt(1.0 + zeta * zeta));
+        const double c = 1.0 / std::sqrt(1.0 + t * t);
+        const double s = c * t;
+        for (size_t i = 0; i < m; ++i) {
+          const double wp = w(i, p);
+          const double wq = w(i, q);
+          w(i, p) = c * wp - s * wq;
+          w(i, q) = s * wp + c * wq;
+        }
+        for (size_t i = 0; i < n; ++i) {
+          const double vp = v(i, p);
+          const double vq = v(i, q);
+          v(i, p) = c * vp - s * vq;
+          v(i, q) = s * vp + c * vq;
+        }
+      }
+    }
+    if (off <= tol) break;
+  }
+
+  // Column norms are the singular values; normalize columns of W into U.
+  Vector sigma(n, 0.0);
+  Matrix u(m, n, 0.0);
+  for (size_t j = 0; j < n; ++j) {
+    double norm = 0.0;
+    for (size_t i = 0; i < m; ++i) norm += w(i, j) * w(i, j);
+    norm = std::sqrt(norm);
+    sigma[j] = norm;
+    if (norm > 0.0) {
+      for (size_t i = 0; i < m; ++i) u(i, j) = w(i, j) / norm;
+    }
+  }
+
+  // Sort singular values descending (stable permutation of columns).
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  std::sort(order.begin(), order.end(),
+            [&](size_t x, size_t y) { return sigma[x] > sigma[y]; });
+  Matrix us(m, n), vs(n, n);
+  Vector ss(n);
+  for (size_t j = 0; j < n; ++j) {
+    ss[j] = sigma[order[j]];
+    for (size_t i = 0; i < m; ++i) us(i, j) = u(i, order[j]);
+    for (size_t i = 0; i < n; ++i) vs(i, j) = v(i, order[j]);
+  }
+
+  Svd out;
+  if (transposed) {
+    out.u = std::move(vs);
+    out.v = std::move(us);
+  } else {
+    out.u = std::move(us);
+    out.v = std::move(vs);
+  }
+  out.sigma = std::move(ss);
+  return out;
+}
+
+Result<Matrix> PseudoInverse(const Matrix& a, double rcond) {
+  STEDB_ASSIGN_OR_RETURN(Svd svd, JacobiSvd(a));
+  const double cutoff =
+      svd.sigma.empty() ? 0.0 : rcond * svd.sigma.front();
+  // A^+ = V diag(1/sigma) U^T over the numerically nonzero spectrum.
+  const size_t r = svd.sigma.size();
+  Matrix pinv(a.cols(), a.rows(), 0.0);
+  for (size_t k = 0; k < r; ++k) {
+    if (svd.sigma[k] <= cutoff || svd.sigma[k] == 0.0) continue;
+    const double inv = 1.0 / svd.sigma[k];
+    for (size_t i = 0; i < a.cols(); ++i) {
+      const double vik = svd.v(i, k) * inv;
+      if (vik == 0.0) continue;
+      double* row = pinv.RowPtr(i);
+      for (size_t j = 0; j < a.rows(); ++j) row[j] += vik * svd.u(j, k);
+    }
+  }
+  return pinv;
+}
+
+Result<Vector> PinvSolve(const Matrix& a, const Vector& b, double rcond) {
+  if (a.rows() != b.size()) {
+    return Status::InvalidArgument("dimension mismatch in PinvSolve");
+  }
+  STEDB_ASSIGN_OR_RETURN(Svd svd, JacobiSvd(a));
+  const double cutoff =
+      svd.sigma.empty() ? 0.0 : rcond * svd.sigma.front();
+  Vector x(a.cols(), 0.0);
+  for (size_t k = 0; k < svd.sigma.size(); ++k) {
+    if (svd.sigma[k] <= cutoff || svd.sigma[k] == 0.0) continue;
+    // coeff = (u_k . b) / sigma_k ; x += coeff * v_k
+    double coeff = 0.0;
+    for (size_t i = 0; i < a.rows(); ++i) coeff += svd.u(i, k) * b[i];
+    coeff /= svd.sigma[k];
+    for (size_t i = 0; i < a.cols(); ++i) x[i] += coeff * svd.v(i, k);
+  }
+  return x;
+}
+
+}  // namespace stedb::la

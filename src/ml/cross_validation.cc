@@ -1,0 +1,86 @@
+#include "src/ml/cross_validation.h"
+
+#include <unordered_map>
+
+#include "src/ml/metrics.h"
+
+namespace stedb::ml {
+
+std::vector<int> StratifiedFolds(const std::vector<int>& labels, int k,
+                                 Rng& rng) {
+  std::vector<int> fold(labels.size(), 0);
+  // Group example indices by class, shuffle within the class, deal them
+  // round-robin into folds.
+  std::unordered_map<int, std::vector<size_t>> by_class;
+  for (size_t i = 0; i < labels.size(); ++i) by_class[labels[i]].push_back(i);
+  for (auto& [cls, idx] : by_class) {
+    rng.Shuffle(idx);
+    for (size_t i = 0; i < idx.size(); ++i) {
+      fold[idx[i]] = static_cast<int>(i % k);
+    }
+  }
+  return fold;
+}
+
+void StratifiedSplit(const std::vector<int>& labels, double test_fraction,
+                     Rng& rng, std::vector<size_t>* train_idx,
+                     std::vector<size_t>* test_idx) {
+  train_idx->clear();
+  test_idx->clear();
+  std::unordered_map<int, std::vector<size_t>> by_class;
+  for (size_t i = 0; i < labels.size(); ++i) by_class[labels[i]].push_back(i);
+  for (auto& [cls, idx] : by_class) {
+    rng.Shuffle(idx);
+    // Round to nearest so small classes are represented proportionally.
+    const size_t n_test = static_cast<size_t>(
+        static_cast<double>(idx.size()) * test_fraction + 0.5);
+    for (size_t i = 0; i < idx.size(); ++i) {
+      (i < n_test ? test_idx : train_idx)->push_back(idx[i]);
+    }
+  }
+}
+
+Result<CvResult> CrossValidate(const FeatureDataset& data,
+                               ClassifierKind kind, int k, uint64_t seed) {
+  return CrossValidateWithBuilder(
+      data.y, k, seed, kind,
+      [&data](int) -> Result<FeatureDataset> { return data; });
+}
+
+Result<CvResult> CrossValidateWithBuilder(
+    const std::vector<int>& labels, int k, uint64_t seed,
+    ClassifierKind kind,
+    const std::function<Result<FeatureDataset>(int fold)>& build) {
+  if (k < 2) return Status::InvalidArgument("k must be at least 2");
+  if (labels.size() < static_cast<size_t>(k)) {
+    return Status::InvalidArgument("fewer examples than folds");
+  }
+  Rng rng(seed);
+  std::vector<int> fold = StratifiedFolds(labels, k, rng);
+
+  CvResult result;
+  for (int f = 0; f < k; ++f) {
+    STEDB_ASSIGN_OR_RETURN(FeatureDataset data, build(f));
+    if (data.y != labels) {
+      return Status::InvalidArgument(
+          "fold builder returned mismatched labels");
+    }
+    std::vector<size_t> train_idx, test_idx;
+    for (size_t i = 0; i < labels.size(); ++i) {
+      (fold[i] == f ? test_idx : train_idx).push_back(i);
+    }
+    FeatureDataset train = data.Subset(train_idx);
+    FeatureDataset test = data.Subset(test_idx);
+    train.num_classes = data.num_classes;
+    test.num_classes = data.num_classes;
+    std::unique_ptr<Classifier> clf =
+        MakeClassifier(kind, seed + 1000 + static_cast<uint64_t>(f));
+    STEDB_RETURN_IF_ERROR(clf->Fit(train));
+    result.fold_accuracies.push_back(clf->Accuracy(test));
+  }
+  result.mean = Mean(result.fold_accuracies);
+  result.stddev = StdDev(result.fold_accuracies);
+  return result;
+}
+
+}  // namespace stedb::ml

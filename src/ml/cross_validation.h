@@ -1,0 +1,48 @@
+#ifndef STEDB_ML_CROSS_VALIDATION_H_
+#define STEDB_ML_CROSS_VALIDATION_H_
+
+#include <functional>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/ml/dataset.h"
+#include "src/ml/svm.h"
+
+namespace stedb::ml {
+
+/// Assigns each example to one of k folds so that every class is spread
+/// (roughly) evenly across folds — scikit-learn's StratifiedKFold.
+/// Returns fold index per example in [0, k).
+std::vector<int> StratifiedFolds(const std::vector<int>& labels, int k,
+                                 Rng& rng);
+
+/// Stratified train/test split; returns indices. `test_fraction` of each
+/// class goes to the test side.
+void StratifiedSplit(const std::vector<int>& labels, double test_fraction,
+                     Rng& rng, std::vector<size_t>* train_idx,
+                     std::vector<size_t>* test_idx);
+
+struct CvResult {
+  std::vector<double> fold_accuracies;
+  double mean = 0.0;
+  double stddev = 0.0;
+};
+
+/// k-fold stratified cross-validation of a classifier kind on a fixed
+/// feature dataset (paper Section VI-B: k = 10).
+Result<CvResult> CrossValidate(const FeatureDataset& data,
+                               ClassifierKind kind, int k, uint64_t seed);
+
+/// Like CrossValidate but the caller supplies the per-fold feature builder,
+/// enabling the paper's "train a new embedding for each fold" protocol:
+/// `build(fold)` returns the dataset to use for that fold (same labels,
+/// fold-specific features).
+Result<CvResult> CrossValidateWithBuilder(
+    const std::vector<int>& labels, int k, uint64_t seed,
+    ClassifierKind kind,
+    const std::function<Result<FeatureDataset>(int fold)>& build);
+
+}  // namespace stedb::ml
+
+#endif  // STEDB_ML_CROSS_VALIDATION_H_

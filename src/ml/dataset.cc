@@ -1,0 +1,47 @@
+#include "src/ml/dataset.h"
+
+#include <algorithm>
+
+namespace stedb::ml {
+
+FeatureDataset FeatureDataset::Subset(
+    const std::vector<size_t>& indices) const {
+  FeatureDataset out;
+  out.num_classes = num_classes;
+  out.x.reserve(indices.size());
+  out.y.reserve(indices.size());
+  for (size_t i : indices) {
+    out.x.push_back(x[i]);
+    out.y.push_back(y[i]);
+  }
+  return out;
+}
+
+std::vector<size_t> FeatureDataset::ClassCounts() const {
+  std::vector<size_t> counts(num_classes, 0);
+  for (int label : y) ++counts[label];
+  return counts;
+}
+
+double FeatureDataset::MajorityFraction() const {
+  if (y.empty()) return 0.0;
+  std::vector<size_t> counts = ClassCounts();
+  size_t best = *std::max_element(counts.begin(), counts.end());
+  return static_cast<double>(best) / static_cast<double>(y.size());
+}
+
+int LabelEncoder::Encode(const std::string& label) {
+  auto it = ids_.find(label);
+  if (it != ids_.end()) return it->second;
+  int id = static_cast<int>(names_.size());
+  ids_.emplace(label, id);
+  names_.push_back(label);
+  return id;
+}
+
+int LabelEncoder::Lookup(const std::string& label) const {
+  auto it = ids_.find(label);
+  return it == ids_.end() ? -1 : it->second;
+}
+
+}  // namespace stedb::ml

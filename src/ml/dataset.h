@@ -1,0 +1,56 @@
+#ifndef STEDB_ML_DATASET_H_
+#define STEDB_ML_DATASET_H_
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/la/matrix.h"
+
+namespace stedb::ml {
+
+/// A labelled feature dataset for downstream classification: one feature
+/// vector and one integer class label per example.
+struct FeatureDataset {
+  std::vector<la::Vector> x;
+  std::vector<int> y;
+  int num_classes = 0;
+
+  size_t size() const { return x.size(); }
+  size_t dim() const { return x.empty() ? 0 : x.front().size(); }
+
+  void Add(la::Vector features, int label) {
+    x.push_back(std::move(features));
+    y.push_back(label);
+    if (label + 1 > num_classes) num_classes = label + 1;
+  }
+
+  /// The subset at the given indices.
+  FeatureDataset Subset(const std::vector<size_t>& indices) const;
+
+  /// Per-class counts.
+  std::vector<size_t> ClassCounts() const;
+
+  /// Fraction of the most common class — the paper's "baseline" accuracy
+  /// (always predicting the majority class).
+  double MajorityFraction() const;
+};
+
+/// Maps label strings to dense class ids stably (first-seen order).
+class LabelEncoder {
+ public:
+  int Encode(const std::string& label);
+  /// -1 when unseen.
+  int Lookup(const std::string& label) const;
+  const std::string& Decode(int cls) const { return names_[cls]; }
+  int num_classes() const { return static_cast<int>(names_.size()); }
+
+ private:
+  std::unordered_map<std::string, int> ids_;
+  std::vector<std::string> names_;
+};
+
+}  // namespace stedb::ml
+
+#endif  // STEDB_ML_DATASET_H_

@@ -1,0 +1,66 @@
+#include "src/ml/knn.h"
+
+#include <algorithm>
+
+namespace stedb::ml {
+
+void EmbeddingIndex::Add(db::FactId fact, la::Vector vector) {
+  auto it = position_.find(fact);
+  if (it != position_.end()) {
+    vectors_[it->second] = std::move(vector);
+    return;
+  }
+  position_.emplace(fact, facts_.size());
+  facts_.push_back(fact);
+  vectors_.push_back(std::move(vector));
+}
+
+double EmbeddingIndex::Score(const la::Vector& a, const la::Vector& b) const {
+  switch (metric_) {
+    case SimilarityMetric::kCosine:
+      return la::CosineSimilarity(a, b);
+    case SimilarityMetric::kEuclidean:
+      return -la::Distance(a, b);
+    case SimilarityMetric::kDot:
+      return la::Dot(a, b);
+  }
+  return 0.0;
+}
+
+int EmbeddingIndex::IndexOf(db::FactId fact) const {
+  auto it = position_.find(fact);
+  return it == position_.end() ? -1 : static_cast<int>(it->second);
+}
+
+std::vector<Neighbor> EmbeddingIndex::TopK(const la::Vector& query, size_t k,
+                                           db::FactId exclude) const {
+  std::vector<Neighbor> all;
+  all.reserve(facts_.size());
+  for (size_t i = 0; i < facts_.size(); ++i) {
+    if (facts_[i] == exclude) continue;
+    all.push_back({facts_[i], Score(query, vectors_[i])});
+  }
+  const size_t take = std::min(k, all.size());
+  std::partial_sort(all.begin(), all.begin() + take, all.end(),
+                    [](const Neighbor& x, const Neighbor& y) {
+                      return x.score > y.score;
+                    });
+  all.resize(take);
+  return all;
+}
+
+Result<std::vector<Neighbor>> EmbeddingIndex::TopKOf(db::FactId fact,
+                                                     size_t k) const {
+  int idx = IndexOf(fact);
+  if (idx < 0) return Status::NotFound("fact not in the index");
+  return TopK(vectors_[idx], k, fact);
+}
+
+Result<double> EmbeddingIndex::Similarity(db::FactId a, db::FactId b) const {
+  int ia = IndexOf(a);
+  int ib = IndexOf(b);
+  if (ia < 0 || ib < 0) return Status::NotFound("fact not in the index");
+  return Score(vectors_[ia], vectors_[ib]);
+}
+
+}  // namespace stedb::ml

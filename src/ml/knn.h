@@ -1,0 +1,64 @@
+#ifndef STEDB_ML_KNN_H_
+#define STEDB_ML_KNN_H_
+
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/db/database.h"
+#include "src/la/matrix.h"
+
+namespace stedb::ml {
+
+/// Distance/similarity choices for embedding-space search.
+enum class SimilarityMetric { kCosine, kEuclidean, kDot };
+
+/// One search hit: the fact and its similarity score (higher = closer for
+/// all metrics; Euclidean is reported as the negated distance).
+struct Neighbor {
+  db::FactId fact = db::kNoFact;
+  double score = 0.0;
+};
+
+/// Brute-force nearest-neighbor index over tuple embeddings — the
+/// record-similarity downstream task the paper's introduction motivates
+/// (tuple embeddings enable "record similarity ... record linking ...
+/// entity resolution"). Works over any (fact, vector) collection, so both
+/// FoRWaRD and Node2Vec embeddings plug in directly.
+class EmbeddingIndex {
+ public:
+  explicit EmbeddingIndex(SimilarityMetric metric = SimilarityMetric::kCosine)
+      : metric_(metric) {}
+
+  /// Registers a tuple's embedding (overwrites an existing entry).
+  void Add(db::FactId fact, la::Vector vector);
+
+  size_t size() const { return facts_.size(); }
+  SimilarityMetric metric() const { return metric_; }
+
+  /// The k most similar indexed tuples to `query`, best first. `exclude`
+  /// (typically the query tuple itself) is skipped.
+  std::vector<Neighbor> TopK(const la::Vector& query, size_t k,
+                             db::FactId exclude = db::kNoFact) const;
+
+  /// The k most similar tuples to an indexed tuple (itself excluded).
+  /// NotFound when the fact was never added.
+  Result<std::vector<Neighbor>> TopKOf(db::FactId fact, size_t k) const;
+
+  /// Pairwise similarity between two indexed tuples.
+  Result<double> Similarity(db::FactId a, db::FactId b) const;
+
+ private:
+  double Score(const la::Vector& a, const la::Vector& b) const;
+  int IndexOf(db::FactId fact) const;
+
+  SimilarityMetric metric_;
+  std::vector<db::FactId> facts_;
+  std::vector<la::Vector> vectors_;
+  std::unordered_map<db::FactId, size_t> position_;
+};
+
+}  // namespace stedb::ml
+
+#endif  // STEDB_ML_KNN_H_

@@ -1,0 +1,112 @@
+#include "src/ml/logistic.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stedb::ml {
+
+double Classifier::Accuracy(const FeatureDataset& test) const {
+  if (test.size() == 0) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < test.size(); ++i) {
+    if (Predict(test.x[i]) == test.y[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(test.size());
+}
+
+Status LogisticClassifier::Fit(const FeatureDataset& train) {
+  if (train.size() == 0) return Status::InvalidArgument("empty training set");
+  num_classes_ = train.num_classes;
+  const size_t d = train.dim();
+  scaler_.Fit(train.x);
+  std::vector<la::Vector> x = scaler_.TransformAll(train.x);
+
+  Rng rng(config_.seed);
+  w_ = la::Matrix::RandomGaussian(num_classes_, d, 0.01, rng);
+  b_.assign(num_classes_, 0.0);
+
+  // Adam state.
+  la::Matrix mw(num_classes_, d, 0.0), vw(num_classes_, d, 0.0);
+  la::Vector mb(num_classes_, 0.0), vb(num_classes_, 0.0);
+  const double beta1 = 0.9, beta2 = 0.999, eps = 1e-8;
+  long t = 0;
+
+  std::vector<size_t> order(x.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    rng.Shuffle(order);
+    for (size_t oi : order) {
+      const la::Vector& xi = x[oi];
+      const int yi = train.y[oi];
+      // Softmax probabilities.
+      la::Vector scores(num_classes_);
+      double maxs = -1e300;
+      for (int c = 0; c < num_classes_; ++c) {
+        const double* wr = w_.RowPtr(c);
+        double s = b_[c];
+        for (size_t j = 0; j < d; ++j) s += wr[j] * xi[j];
+        scores[c] = s;
+        maxs = std::max(maxs, s);
+      }
+      double z = 0.0;
+      for (int c = 0; c < num_classes_; ++c) {
+        scores[c] = std::exp(scores[c] - maxs);
+        z += scores[c];
+      }
+      ++t;
+      const double bc1 = 1.0 - std::pow(beta1, static_cast<double>(t));
+      const double bc2 = 1.0 - std::pow(beta2, static_cast<double>(t));
+      for (int c = 0; c < num_classes_; ++c) {
+        const double p = scores[c] / z;
+        const double err = p - (c == yi ? 1.0 : 0.0);
+        double* wr = w_.RowPtr(c);
+        double* mwr = mw.RowPtr(c);
+        double* vwr = vw.RowPtr(c);
+        for (size_t j = 0; j < d; ++j) {
+          const double g = err * xi[j] + config_.l2 * wr[j];
+          mwr[j] = beta1 * mwr[j] + (1 - beta1) * g;
+          vwr[j] = beta2 * vwr[j] + (1 - beta2) * g * g;
+          wr[j] -= config_.lr * (mwr[j] / bc1) /
+                   (std::sqrt(vwr[j] / bc2) + eps);
+        }
+        mb[c] = beta1 * mb[c] + (1 - beta1) * err;
+        vb[c] = beta2 * vb[c] + (1 - beta2) * err * err;
+        b_[c] -= config_.lr * (mb[c] / bc1) / (std::sqrt(vb[c] / bc2) + eps);
+      }
+    }
+  }
+  return Status::OK();
+}
+
+la::Vector LogisticClassifier::Scores(const la::Vector& x) const {
+  la::Vector xi = scaler_.Transform(x);
+  la::Vector scores(num_classes_);
+  for (int c = 0; c < num_classes_; ++c) {
+    const double* wr = w_.RowPtr(c);
+    double s = b_[c];
+    for (size_t j = 0; j < xi.size(); ++j) s += wr[j] * xi[j];
+    scores[c] = s;
+  }
+  return scores;
+}
+
+int LogisticClassifier::Predict(const la::Vector& x) const {
+  la::Vector scores = Scores(x);
+  return static_cast<int>(std::max_element(scores.begin(), scores.end()) -
+                          scores.begin());
+}
+
+la::Vector LogisticClassifier::PredictProba(const la::Vector& x) const {
+  la::Vector scores = Scores(x);
+  double maxs = *std::max_element(scores.begin(), scores.end());
+  double z = 0.0;
+  for (double& s : scores) {
+    s = std::exp(s - maxs);
+    z += s;
+  }
+  for (double& s : scores) s /= z;
+  return scores;
+}
+
+}  // namespace stedb::ml

@@ -1,0 +1,60 @@
+#ifndef STEDB_ML_LOGISTIC_H_
+#define STEDB_ML_LOGISTIC_H_
+
+#include <memory>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/la/matrix.h"
+#include "src/ml/dataset.h"
+#include "src/ml/scaler.h"
+
+namespace stedb::ml {
+
+/// Abstract downstream classifier over fixed embedding vectors. The
+/// classifier sees only the vectors, never the database — the paper's
+/// "full separation between the embedding process and the downstream task".
+class Classifier {
+ public:
+  virtual ~Classifier() = default;
+  virtual Status Fit(const FeatureDataset& train) = 0;
+  virtual int Predict(const la::Vector& x) const = 0;
+  virtual std::string Name() const = 0;
+
+  /// Fraction of correct predictions on a labelled set.
+  double Accuracy(const FeatureDataset& test) const;
+};
+
+struct LogisticConfig {
+  double lr = 0.05;
+  int epochs = 200;
+  double l2 = 1e-4;
+  uint64_t seed = 7;
+};
+
+/// Multinomial logistic regression (softmax) trained with Adam-style SGD on
+/// standardized features. Deterministic given the seed.
+class LogisticClassifier : public Classifier {
+ public:
+  explicit LogisticClassifier(LogisticConfig config = {}) : config_(config) {}
+
+  Status Fit(const FeatureDataset& train) override;
+  int Predict(const la::Vector& x) const override;
+  std::string Name() const override { return "logistic"; }
+
+  /// Class probabilities for one example.
+  la::Vector PredictProba(const la::Vector& x) const;
+
+ private:
+  la::Vector Scores(const la::Vector& x) const;
+
+  LogisticConfig config_;
+  StandardScaler scaler_;
+  la::Matrix w_;   ///< num_classes x dim
+  la::Vector b_;   ///< num_classes
+  int num_classes_ = 0;
+};
+
+}  // namespace stedb::ml
+
+#endif  // STEDB_ML_LOGISTIC_H_

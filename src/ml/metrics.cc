@@ -1,0 +1,69 @@
+#include "src/ml/metrics.h"
+
+#include <cmath>
+
+namespace stedb::ml {
+
+double Accuracy(const std::vector<int>& truth,
+                const std::vector<int>& predicted) {
+  if (truth.empty()) return 0.0;
+  size_t correct = 0;
+  for (size_t i = 0; i < truth.size(); ++i) {
+    if (truth[i] == predicted[i]) ++correct;
+  }
+  return static_cast<double>(correct) / static_cast<double>(truth.size());
+}
+
+double Mean(const std::vector<double>& v) {
+  if (v.empty()) return 0.0;
+  double s = 0.0;
+  for (double x : v) s += x;
+  return s / static_cast<double>(v.size());
+}
+
+double StdDev(const std::vector<double>& v) {
+  if (v.size() < 2) return 0.0;
+  const double m = Mean(v);
+  double acc = 0.0;
+  for (double x : v) acc += (x - m) * (x - m);
+  return std::sqrt(acc / static_cast<double>(v.size() - 1));
+}
+
+std::vector<std::vector<size_t>> ConfusionMatrix(
+    const std::vector<int>& truth, const std::vector<int>& predicted,
+    int num_classes) {
+  std::vector<std::vector<size_t>> m(num_classes,
+                                     std::vector<size_t>(num_classes, 0));
+  for (size_t i = 0; i < truth.size(); ++i) ++m[truth[i]][predicted[i]];
+  return m;
+}
+
+double MacroF1(const std::vector<int>& truth,
+               const std::vector<int>& predicted, int num_classes) {
+  auto cm = ConfusionMatrix(truth, predicted, num_classes);
+  double f1_sum = 0.0;
+  int counted = 0;
+  for (int c = 0; c < num_classes; ++c) {
+    size_t tp = cm[c][c];
+    size_t fn = 0, fp = 0;
+    for (int o = 0; o < num_classes; ++o) {
+      if (o == c) continue;
+      fn += cm[c][o];
+      fp += cm[o][c];
+    }
+    if (tp + fn == 0) continue;  // class absent from truth
+    const double precision =
+        tp + fp > 0 ? static_cast<double>(tp) / static_cast<double>(tp + fp)
+                    : 0.0;
+    const double recall =
+        static_cast<double>(tp) / static_cast<double>(tp + fn);
+    const double f1 = precision + recall > 0
+                          ? 2.0 * precision * recall / (precision + recall)
+                          : 0.0;
+    f1_sum += f1;
+    ++counted;
+  }
+  return counted > 0 ? f1_sum / counted : 0.0;
+}
+
+}  // namespace stedb::ml

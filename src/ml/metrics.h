@@ -1,0 +1,30 @@
+#ifndef STEDB_ML_METRICS_H_
+#define STEDB_ML_METRICS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace stedb::ml {
+
+/// Fraction of positions where the vectors agree. Sizes must match.
+double Accuracy(const std::vector<int>& truth,
+                const std::vector<int>& predicted);
+
+/// Arithmetic mean; 0 for empty input.
+double Mean(const std::vector<double>& v);
+
+/// Sample standard deviation (n-1 denominator); 0 for fewer than 2 values.
+double StdDev(const std::vector<double>& v);
+
+/// Confusion matrix [truth][predicted], num_classes x num_classes.
+std::vector<std::vector<size_t>> ConfusionMatrix(
+    const std::vector<int>& truth, const std::vector<int>& predicted,
+    int num_classes);
+
+/// Macro-averaged F1 over classes (classes absent from truth are skipped).
+double MacroF1(const std::vector<int>& truth,
+               const std::vector<int>& predicted, int num_classes);
+
+}  // namespace stedb::ml
+
+#endif  // STEDB_ML_METRICS_H_

@@ -1,0 +1,46 @@
+#include "src/ml/scaler.h"
+
+#include <cmath>
+
+namespace stedb::ml {
+
+void StandardScaler::Fit(const std::vector<la::Vector>& x) {
+  if (x.empty()) {
+    mean_.clear();
+    std_.clear();
+    return;
+  }
+  const size_t d = x.front().size();
+  mean_.assign(d, 0.0);
+  std_.assign(d, 0.0);
+  for (const la::Vector& v : x) {
+    for (size_t i = 0; i < d; ++i) mean_[i] += v[i];
+  }
+  for (size_t i = 0; i < d; ++i) mean_[i] /= static_cast<double>(x.size());
+  for (const la::Vector& v : x) {
+    for (size_t i = 0; i < d; ++i) {
+      const double dd = v[i] - mean_[i];
+      std_[i] += dd * dd;
+    }
+  }
+  for (size_t i = 0; i < d; ++i) {
+    std_[i] = std::sqrt(std_[i] / static_cast<double>(x.size()));
+    if (std_[i] < 1e-12) std_[i] = 1.0;  // constant feature: leave centered
+  }
+}
+
+la::Vector StandardScaler::Transform(const la::Vector& v) const {
+  la::Vector out(v.size());
+  for (size_t i = 0; i < v.size(); ++i) out[i] = (v[i] - mean_[i]) / std_[i];
+  return out;
+}
+
+std::vector<la::Vector> StandardScaler::TransformAll(
+    const std::vector<la::Vector>& x) const {
+  std::vector<la::Vector> out;
+  out.reserve(x.size());
+  for (const la::Vector& v : x) out.push_back(Transform(v));
+  return out;
+}
+
+}  // namespace stedb::ml

@@ -1,0 +1,30 @@
+#ifndef STEDB_ML_SCALER_H_
+#define STEDB_ML_SCALER_H_
+
+#include <vector>
+
+#include "src/la/matrix.h"
+
+namespace stedb::ml {
+
+/// Per-feature standardization (zero mean, unit variance), fit on training
+/// data and applied to both splits — mirrors the scikit-learn pipeline the
+/// paper uses in front of SVC.
+class StandardScaler {
+ public:
+  void Fit(const std::vector<la::Vector>& x);
+  la::Vector Transform(const la::Vector& v) const;
+  std::vector<la::Vector> TransformAll(const std::vector<la::Vector>& x) const;
+
+  bool fitted() const { return !mean_.empty(); }
+  const la::Vector& mean() const { return mean_; }
+  const la::Vector& stddev() const { return std_; }
+
+ private:
+  la::Vector mean_;
+  la::Vector std_;
+};
+
+}  // namespace stedb::ml
+
+#endif  // STEDB_ML_SCALER_H_

@@ -1,0 +1,229 @@
+#include "src/ml/svm.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stedb::ml {
+
+Status LinearSvmClassifier::Fit(const FeatureDataset& train) {
+  if (train.size() == 0) return Status::InvalidArgument("empty training set");
+  num_classes_ = train.num_classes;
+  const size_t d = train.dim();
+  scaler_.Fit(train.x);
+  std::vector<la::Vector> x = scaler_.TransformAll(train.x);
+
+  w_ = la::Matrix(num_classes_, d, 0.0);
+  b_.assign(num_classes_, 0.0);
+  Rng rng(config_.seed);
+
+  // Pegasos: for each binary machine c (class c vs rest), iterate SGD steps
+  // with step size 1/(λ t).
+  const size_t n = x.size();
+  for (int c = 0; c < num_classes_; ++c) {
+    double* w = w_.RowPtr(c);
+    long t = 0;
+    for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+      for (size_t k = 0; k < n; ++k) {
+        const size_t i = rng.NextIndex(n);
+        const double yi = train.y[i] == c ? 1.0 : -1.0;
+        ++t;
+        const double eta = 1.0 / (config_.lambda * static_cast<double>(t));
+        double margin = b_[c];
+        for (size_t j = 0; j < d; ++j) margin += w[j] * x[i][j];
+        margin *= yi;
+        // w <- (1 - eta λ) w  [+ eta y x  if margin < 1]
+        const double shrink = 1.0 - eta * config_.lambda;
+        for (size_t j = 0; j < d; ++j) w[j] *= shrink;
+        if (margin < 1.0) {
+          for (size_t j = 0; j < d; ++j) w[j] += eta * yi * x[i][j];
+          b_[c] += eta * yi * 0.1;  // mildly learned bias
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+int LinearSvmClassifier::Predict(const la::Vector& x) const {
+  la::Vector xi = scaler_.Transform(x);
+  int best = 0;
+  double best_score = -1e300;
+  for (int c = 0; c < num_classes_; ++c) {
+    const double* w = w_.RowPtr(c);
+    double s = b_[c];
+    for (size_t j = 0; j < xi.size(); ++j) s += w[j] * xi[j];
+    if (s > best_score) {
+      best_score = s;
+      best = c;
+    }
+  }
+  return best;
+}
+
+namespace {
+
+double RbfKernel(const la::Vector& a, const la::Vector& b, double gamma) {
+  double dist2 = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    const double d = a[i] - b[i];
+    dist2 += d * d;
+  }
+  return std::exp(-gamma * dist2);
+}
+
+}  // namespace
+
+Status RbfSvmClassifier::Fit(const FeatureDataset& train) {
+  if (train.size() == 0) return Status::InvalidArgument("empty training set");
+  num_classes_ = train.num_classes;
+  scaler_.Fit(train.x);
+  support_ = scaler_.TransformAll(train.x);
+  const size_t n = support_.size();
+  const size_t d = train.dim();
+
+  // sklearn "scale": gamma = 1 / (d * Var(X)); features are standardized so
+  // Var ≈ 1 and gamma ≈ 1/d unless overridden.
+  gamma_ = config_.gamma > 0.0 ? config_.gamma
+                               : 1.0 / std::max<double>(1.0, static_cast<double>(d));
+
+  // Precompute the kernel matrix once (n is at most a few hundred in the
+  // downstream tasks; O(n^2 d) is fine and shared by all machines).
+  la::Matrix k(n, n);
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i; j < n; ++j) {
+      const double v = RbfKernel(support_[i], support_[j], gamma_);
+      k(i, j) = v;
+      k(j, i) = v;
+    }
+  }
+
+  coeffs_.assign(num_classes_, std::vector<double>(n, 0.0));
+  bias_.assign(num_classes_, 0.0);
+  Rng rng(config_.seed);
+
+  for (int c = 0; c < num_classes_; ++c) {
+    std::vector<double> y(n);
+    for (size_t i = 0; i < n; ++i) y[i] = train.y[i] == c ? 1.0 : -1.0;
+    std::vector<double> alpha(n, 0.0);
+    double b = 0.0;
+
+    auto f = [&](size_t i) {
+      double s = b;
+      for (size_t j = 0; j < n; ++j) {
+        if (alpha[j] != 0.0) s += alpha[j] * y[j] * k(i, j);
+      }
+      return s;
+    };
+
+    int passes = 0;
+    int iter = 0;
+    while (passes < config_.max_passes && iter < config_.max_iter) {
+      ++iter;
+      int changed = 0;
+      for (size_t i = 0; i < n; ++i) {
+        const double ei = f(i) - y[i];
+        if ((y[i] * ei < -config_.tol && alpha[i] < config_.c) ||
+            (y[i] * ei > config_.tol && alpha[i] > 0.0)) {
+          size_t j = rng.NextIndex(n - 1);
+          if (j >= i) ++j;
+          const double ej = f(j) - y[j];
+          const double ai_old = alpha[i];
+          const double aj_old = alpha[j];
+          double lo, hi;
+          if (y[i] != y[j]) {
+            lo = std::max(0.0, aj_old - ai_old);
+            hi = std::min(config_.c, config_.c + aj_old - ai_old);
+          } else {
+            lo = std::max(0.0, ai_old + aj_old - config_.c);
+            hi = std::min(config_.c, ai_old + aj_old);
+          }
+          if (lo >= hi) continue;
+          const double eta = 2.0 * k(i, j) - k(i, i) - k(j, j);
+          if (eta >= 0.0) continue;
+          double aj = aj_old - y[j] * (ei - ej) / eta;
+          aj = std::clamp(aj, lo, hi);
+          if (std::fabs(aj - aj_old) < 1e-5) continue;
+          const double ai = ai_old + y[i] * y[j] * (aj_old - aj);
+          alpha[i] = ai;
+          alpha[j] = aj;
+          const double b1 = b - ei - y[i] * (ai - ai_old) * k(i, i) -
+                            y[j] * (aj - aj_old) * k(i, j);
+          const double b2 = b - ej - y[i] * (ai - ai_old) * k(i, j) -
+                            y[j] * (aj - aj_old) * k(j, j);
+          if (ai > 0.0 && ai < config_.c) {
+            b = b1;
+          } else if (aj > 0.0 && aj < config_.c) {
+            b = b2;
+          } else {
+            b = 0.5 * (b1 + b2);
+          }
+          ++changed;
+        }
+      }
+      passes = changed == 0 ? passes + 1 : 0;
+    }
+    for (size_t i = 0; i < n; ++i) coeffs_[c][i] = alpha[i] * y[i];
+    bias_[c] = b;
+  }
+  return Status::OK();
+}
+
+double RbfSvmClassifier::Decision(size_t m, const la::Vector& x) const {
+  double s = bias_[m];
+  for (size_t i = 0; i < support_.size(); ++i) {
+    if (coeffs_[m][i] != 0.0) {
+      s += coeffs_[m][i] * RbfKernel(support_[i], x, gamma_);
+    }
+  }
+  return s;
+}
+
+int RbfSvmClassifier::Predict(const la::Vector& x) const {
+  la::Vector xi = scaler_.Transform(x);
+  int best = 0;
+  double best_score = -1e300;
+  for (int c = 0; c < num_classes_; ++c) {
+    const double s = Decision(c, xi);
+    if (s > best_score) {
+      best_score = s;
+      best = c;
+    }
+  }
+  return best;
+}
+
+const char* ClassifierKindName(ClassifierKind kind) {
+  switch (kind) {
+    case ClassifierKind::kLogistic:
+      return "logistic";
+    case ClassifierKind::kLinearSvm:
+      return "linear_svm";
+    case ClassifierKind::kRbfSvm:
+      return "rbf_svm";
+  }
+  return "?";
+}
+
+std::unique_ptr<Classifier> MakeClassifier(ClassifierKind kind,
+                                           uint64_t seed) {
+  switch (kind) {
+    case ClassifierKind::kLogistic: {
+      LogisticConfig cfg;
+      cfg.seed = seed;
+      return std::make_unique<LogisticClassifier>(cfg);
+    }
+    case ClassifierKind::kLinearSvm: {
+      LinearSvmConfig cfg;
+      cfg.seed = seed;
+      return std::make_unique<LinearSvmClassifier>(cfg);
+    }
+    case ClassifierKind::kRbfSvm: {
+      RbfSvmConfig cfg;
+      cfg.seed = seed;
+      return std::make_unique<RbfSvmClassifier>(cfg);
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace stedb::ml

@@ -1,0 +1,76 @@
+#ifndef STEDB_ML_SVM_H_
+#define STEDB_ML_SVM_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/ml/logistic.h"
+
+namespace stedb::ml {
+
+struct LinearSvmConfig {
+  double lambda = 1e-3;  ///< regularization (Pegasos λ)
+  int epochs = 60;
+  uint64_t seed = 11;
+};
+
+/// One-vs-rest linear SVM trained with the Pegasos subgradient method.
+class LinearSvmClassifier : public Classifier {
+ public:
+  explicit LinearSvmClassifier(LinearSvmConfig config = {})
+      : config_(config) {}
+
+  Status Fit(const FeatureDataset& train) override;
+  int Predict(const la::Vector& x) const override;
+  std::string Name() const override { return "linear_svm"; }
+
+ private:
+  LinearSvmConfig config_;
+  StandardScaler scaler_;
+  la::Matrix w_;  ///< num_classes x dim (one hyperplane per class)
+  la::Vector b_;
+  int num_classes_ = 0;
+};
+
+struct RbfSvmConfig {
+  double c = 1.0;        ///< box constraint
+  double gamma = 0.0;    ///< RBF width; 0 = auto (1 / (dim * var)), sklearn's "scale"
+  double tol = 1e-3;
+  int max_passes = 5;    ///< SMO passes without alpha change before stopping
+  int max_iter = 2000;
+  uint64_t seed = 13;
+};
+
+/// One-vs-rest kernel SVM with an RBF kernel, trained by simplified SMO
+/// (Platt's algorithm as in the classic CS229 note). This is the closest
+/// in-repo analogue of the scikit-learn SVC the paper uses downstream.
+class RbfSvmClassifier : public Classifier {
+ public:
+  explicit RbfSvmClassifier(RbfSvmConfig config = {}) : config_(config) {}
+
+  Status Fit(const FeatureDataset& train) override;
+  int Predict(const la::Vector& x) const override;
+  std::string Name() const override { return "rbf_svm"; }
+
+ private:
+  /// Decision value of binary machine `m` on (already scaled) x.
+  double Decision(size_t m, const la::Vector& x) const;
+
+  RbfSvmConfig config_;
+  StandardScaler scaler_;
+  double gamma_ = 1.0;
+  int num_classes_ = 0;
+  std::vector<la::Vector> support_;            ///< shared support points
+  std::vector<std::vector<double>> coeffs_;    ///< per machine: alpha_i * y_i
+  std::vector<double> bias_;                   ///< per machine
+};
+
+/// Selector used by the experiment harness.
+enum class ClassifierKind { kLogistic, kLinearSvm, kRbfSvm };
+
+const char* ClassifierKindName(ClassifierKind kind);
+std::unique_ptr<Classifier> MakeClassifier(ClassifierKind kind, uint64_t seed);
+
+}  // namespace stedb::ml
+
+#endif  // STEDB_ML_SVM_H_

@@ -1,0 +1,9 @@
+#include "src/n2v/dynamic_node2vec.h"
+
+namespace stedb::n2v {
+
+void EmbeddingSnapshot::Record(db::FactId fact, la::Vector vector) {
+  vectors_[fact] = std::move(vector);
+}
+
+}  // namespace stedb::n2v

@@ -1,0 +1,54 @@
+#ifndef STEDB_N2V_DYNAMIC_NODE2VEC_H_
+#define STEDB_N2V_DYNAMIC_NODE2VEC_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "src/db/database.h"
+#include "src/la/matrix.h"
+
+namespace stedb::n2v {
+
+/// A frozen copy of fact embeddings taken at a point in time, used to
+/// *verify* the stability contract: after any dynamic extension, every
+/// previously embedded fact must map to a bit-identical vector.
+///
+/// Both embedding methods (Node2Vec and FoRWaRD) are checked against this in
+/// tests and, optionally, in the experiment harness (paranoid mode).
+class EmbeddingSnapshot {
+ public:
+  /// Records `vectors[f]` for every (fact, vector) pair provided.
+  void Record(db::FactId fact, la::Vector vector);
+
+  size_t size() const { return vectors_.size(); }
+  bool Contains(db::FactId fact) const { return vectors_.count(fact) > 0; }
+  const la::Vector& Get(db::FactId fact) const { return vectors_.at(fact); }
+
+  /// Largest absolute per-coordinate deviation between the snapshot and the
+  /// current vectors supplied by `lookup` for the snapshotted facts.
+  /// A stable extension must return exactly 0.0.
+  template <typename Lookup>
+  double MaxDrift(Lookup&& lookup) const {
+    double worst = 0.0;
+    for (const auto& [fact, old_vec] : vectors_) {
+      la::Vector now = lookup(fact);
+      for (size_t i = 0; i < old_vec.size(); ++i) {
+        double d = now[i] - old_vec[i];
+        if (d < 0) d = -d;
+        if (d > worst) worst = d;
+      }
+    }
+    return worst;
+  }
+
+  const std::unordered_map<db::FactId, la::Vector>& vectors() const {
+    return vectors_;
+  }
+
+ private:
+  std::unordered_map<db::FactId, la::Vector> vectors_;
+};
+
+}  // namespace stedb::n2v
+
+#endif  // STEDB_N2V_DYNAMIC_NODE2VEC_H_

@@ -1,0 +1,64 @@
+#include "src/n2v/node2vec.h"
+
+namespace stedb::n2v {
+
+Node2VecEmbedding::Node2VecEmbedding(const db::Database* database,
+                                     Node2VecConfig config)
+    : db_(database),
+      config_(config),
+      rng_(config.seed),
+      graph_(database, config.graph),
+      vocab_(0),
+      model_(0, config.sg, rng_) {}
+
+Result<Node2VecEmbedding> Node2VecEmbedding::TrainStatic(
+    const db::Database* database, Node2VecConfig config) {
+  Node2VecEmbedding emb(database, config);
+  STEDB_RETURN_IF_ERROR(emb.graph_.BuildAll());
+
+  emb.model_.Grow(emb.graph_.num_nodes(), emb.rng_);
+  graph::Node2VecWalker walker(&emb.graph_, config.walk);
+  std::vector<std::vector<graph::NodeId>> walks = walker.AllWalks(emb.rng_);
+
+  emb.vocab_.Resize(emb.graph_.num_nodes());
+  emb.vocab_.CountWalks(walks);
+  emb.vocab_.BuildNoiseTable();
+  emb.model_.Train(walks, emb.vocab_, config.sg.epochs, emb.rng_);
+  return emb;
+}
+
+Status Node2VecEmbedding::ExtendToFacts(
+    const std::vector<db::FactId>& new_facts) {
+  if (new_facts.empty()) return Status::OK();
+  // Everything that exists now becomes immutable.
+  model_.FreezeAll();
+
+  std::vector<graph::NodeId> new_nodes;
+  for (db::FactId f : new_facts) {
+    auto res = graph_.AddFact(f);
+    if (!res.ok()) return res.status();
+    for (graph::NodeId n : res.value()) new_nodes.push_back(n);
+  }
+  const size_t added = graph_.num_nodes() - model_.num_nodes();
+  if (added > 0) model_.Grow(added, rng_);  // new rows start unfrozen
+
+  graph::Node2VecWalker walker(&graph_, config_.walk);
+  std::vector<std::vector<graph::NodeId>> walks =
+      walker.WalksFrom(new_nodes, rng_);
+
+  vocab_.Resize(graph_.num_nodes());
+  vocab_.CountWalks(walks);
+  vocab_.BuildNoiseTable();
+  model_.Train(walks, vocab_, config_.dynamic_epochs, rng_);
+  return Status::OK();
+}
+
+Result<la::Vector> Node2VecEmbedding::Embed(db::FactId f) const {
+  graph::NodeId n = graph_.NodeOfFact(f);
+  if (n == graph::kNoNode) {
+    return Status::NotFound("fact has no node in the embedding graph");
+  }
+  return model_.Embedding(n);
+}
+
+}  // namespace stedb::n2v

@@ -1,0 +1,130 @@
+#include "src/n2v/skipgram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stedb::n2v {
+namespace {
+
+/// Numerically clamped logistic function.
+inline double Sigmoid(double x) {
+  if (x > 30.0) return 1.0;
+  if (x < -30.0) return 0.0;
+  return 1.0 / (1.0 + std::exp(-x));
+}
+
+}  // namespace
+
+SkipGramModel::SkipGramModel(size_t num_nodes, SkipGramConfig config,
+                             Rng& rng)
+    : config_(config),
+      in_(la::Matrix::RandomGaussian(num_nodes, config.dim,
+                                     0.5 / static_cast<double>(config.dim),
+                                     rng)),
+      out_(num_nodes, config.dim, 0.0),
+      frozen_(num_nodes, 0) {}
+
+size_t SkipGramModel::Grow(size_t extra, Rng& rng) {
+  const size_t old = in_.rows();
+  la::Matrix nin(old + extra, config_.dim);
+  la::Matrix nout(old + extra, config_.dim, 0.0);
+  for (size_t r = 0; r < old; ++r) {
+    nin.SetRow(r, in_.Row(r));
+    nout.SetRow(r, out_.Row(r));
+  }
+  for (size_t r = old; r < old + extra; ++r) {
+    for (size_t c = 0; c < config_.dim; ++c) {
+      nin(r, c) = rng.NextGaussian(0.0, 0.5 / static_cast<double>(config_.dim));
+    }
+  }
+  in_ = std::move(nin);
+  out_ = std::move(nout);
+  frozen_.resize(old + extra, 0);
+  return old;
+}
+
+void SkipGramModel::FreezeAll() {
+  std::fill(frozen_.begin(), frozen_.end(), 1);
+}
+
+double SkipGramModel::TrainPair(graph::NodeId center, graph::NodeId context,
+                                const NodeVocab& vocab, double lr, Rng& rng) {
+  const size_t d = config_.dim;
+  double* vc = in_.RowPtr(center);
+  std::vector<double> grad_center(d, 0.0);
+  double loss = 0.0;
+
+  auto update_output = [&](graph::NodeId target, double label) {
+    double* vo = out_.RowPtr(target);
+    double dot = 0.0;
+    for (size_t i = 0; i < d; ++i) dot += vc[i] * vo[i];
+    const double pred = Sigmoid(dot);
+    const double err = pred - label;  // d(loss)/d(dot)
+    loss += label > 0.5 ? -std::log(std::max(pred, 1e-12))
+                        : -std::log(std::max(1.0 - pred, 1e-12));
+    for (size_t i = 0; i < d; ++i) grad_center[i] += err * vo[i];
+    if (!frozen_[target]) {
+      for (size_t i = 0; i < d; ++i) vo[i] -= lr * err * vc[i];
+    }
+  };
+
+  update_output(context, 1.0);
+  for (int k = 0; k < config_.negatives; ++k) {
+    graph::NodeId neg = vocab.SampleNoise(rng);
+    if (neg == context || neg == center) continue;
+    update_output(neg, 0.0);
+  }
+  if (!frozen_[center]) {
+    for (size_t i = 0; i < d; ++i) vc[i] -= lr * grad_center[i];
+  }
+  return loss;
+}
+
+double SkipGramModel::Train(
+    const std::vector<std::vector<graph::NodeId>>& walks,
+    const NodeVocab& vocab, int epochs, Rng& rng) {
+  // Pair schedule: for each epoch, iterate walks in random order and emit
+  // (center, context) pairs within the window, exactly as word2vec does on
+  // sentences.
+  std::vector<size_t> order(walks.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  size_t total_pairs = 0;
+  for (const auto& w : walks) {
+    if (w.size() > 1) total_pairs += w.size();
+  }
+  total_pairs = std::max<size_t>(total_pairs * epochs, 1);
+
+  double last_epoch_loss = 0.0;
+  size_t processed = 0;
+  for (int e = 0; e < epochs; ++e) {
+    rng.Shuffle(order);
+    double epoch_loss = 0.0;
+    size_t epoch_pairs = 0;
+    for (size_t oi : order) {
+      const std::vector<graph::NodeId>& walk = walks[oi];
+      if (walk.size() < 2) continue;
+      for (size_t pos = 0; pos < walk.size(); ++pos) {
+        // Linear learning-rate decay over the whole schedule.
+        const double progress =
+            static_cast<double>(processed) / static_cast<double>(total_pairs);
+        const double lr =
+            std::max(config_.lr * (1.0 - progress), config_.lr * 0.01);
+        ++processed;
+        const int window = 1 + static_cast<int>(rng.NextUint(config_.window));
+        const int lo = std::max<int>(0, static_cast<int>(pos) - window);
+        const int hi = std::min<int>(static_cast<int>(walk.size()) - 1,
+                                     static_cast<int>(pos) + window);
+        for (int c = lo; c <= hi; ++c) {
+          if (c == static_cast<int>(pos)) continue;
+          epoch_loss += TrainPair(walk[pos], walk[c], vocab, lr, rng);
+          ++epoch_pairs;
+        }
+      }
+    }
+    last_epoch_loss = epoch_pairs > 0 ? epoch_loss / epoch_pairs : 0.0;
+  }
+  return last_epoch_loss;
+}
+
+}  // namespace stedb::n2v

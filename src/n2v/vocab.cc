@@ -1,0 +1,34 @@
+#include "src/n2v/vocab.h"
+
+#include <cmath>
+
+namespace stedb::n2v {
+
+void NodeVocab::CountWalks(
+    const std::vector<std::vector<graph::NodeId>>& walks) {
+  for (const auto& walk : walks) {
+    for (graph::NodeId n : walk) {
+      if (static_cast<size_t>(n) >= counts_.size()) {
+        counts_.resize(n + 1, 0);
+      }
+      ++counts_[n];
+      ++total_;
+    }
+  }
+}
+
+void NodeVocab::Resize(size_t num_nodes) {
+  if (num_nodes > counts_.size()) counts_.resize(num_nodes, 0);
+}
+
+void NodeVocab::BuildNoiseTable(double power) {
+  std::vector<double> weights(counts_.size());
+  for (size_t i = 0; i < counts_.size(); ++i) {
+    // Floor of 1 keeps unseen (fresh dynamic) nodes reachable as negatives.
+    const double c = static_cast<double>(counts_[i] > 0 ? counts_[i] : 1);
+    weights[i] = std::pow(c, power);
+  }
+  noise_.Build(weights);
+}
+
+}  // namespace stedb::n2v

@@ -1,0 +1,47 @@
+#ifndef STEDB_N2V_VOCAB_H_
+#define STEDB_N2V_VOCAB_H_
+
+#include <vector>
+
+#include "src/graph/alias_sampler.h"
+#include "src/graph/bipartite_graph.h"
+
+namespace stedb::n2v {
+
+/// Node-frequency bookkeeping for skip-gram training: counts node
+/// occurrences in a walk corpus and exposes the word2vec-style noise
+/// distribution (frequency^0.75) as an alias table for O(1) negative
+/// sampling.
+class NodeVocab {
+ public:
+  explicit NodeVocab(size_t num_nodes) : counts_(num_nodes, 0) {}
+
+  /// Accumulates occurrence counts from a walk corpus. May be called
+  /// repeatedly (e.g. when new dynamic walks arrive).
+  void CountWalks(const std::vector<std::vector<graph::NodeId>>& walks);
+
+  /// Grows the vocabulary to cover nodes added to the graph.
+  void Resize(size_t num_nodes);
+
+  /// (Re)builds the noise alias table from current counts. Nodes with zero
+  /// count receive a small floor weight so every node is sampleable.
+  void BuildNoiseTable(double power = 0.75);
+
+  /// Draws one negative node. BuildNoiseTable must have been called.
+  graph::NodeId SampleNoise(Rng& rng) const {
+    return static_cast<graph::NodeId>(noise_.Sample(rng));
+  }
+
+  size_t size() const { return counts_.size(); }
+  uint64_t count(graph::NodeId n) const { return counts_[n]; }
+  uint64_t total_count() const { return total_; }
+
+ private:
+  std::vector<uint64_t> counts_;
+  uint64_t total_ = 0;
+  graph::AliasSampler noise_;
+};
+
+}  // namespace stedb::n2v
+
+#endif  // STEDB_N2V_VOCAB_H_

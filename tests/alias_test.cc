@@ -1,0 +1,63 @@
+#include "src/graph/alias_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stedb::graph {
+namespace {
+
+TEST(AliasSamplerTest, EmptyWeights) {
+  AliasSampler s;
+  EXPECT_TRUE(s.empty());
+  AliasSampler z(std::vector<double>{0.0, 0.0});
+  EXPECT_TRUE(z.empty());
+}
+
+TEST(AliasSamplerTest, SingleOutcome) {
+  AliasSampler s(std::vector<double>{5.0});
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(s.Sample(rng), 0u);
+}
+
+TEST(AliasSamplerTest, NormalizedProbabilities) {
+  AliasSampler s(std::vector<double>{1.0, 3.0});
+  EXPECT_DOUBLE_EQ(s.Probability(0), 0.25);
+  EXPECT_DOUBLE_EQ(s.Probability(1), 0.75);
+}
+
+/// Property sweep: empirical frequencies match the target distribution
+/// within 4-sigma for a variety of weight shapes.
+class AliasDistributionTest
+    : public ::testing::TestWithParam<std::vector<double>> {};
+
+TEST_P(AliasDistributionTest, EmpiricalMatchesTarget) {
+  const std::vector<double> weights = GetParam();
+  AliasSampler sampler(weights);
+  Rng rng(42);
+  const int n = 60000;
+  std::vector<int> counts(weights.size(), 0);
+  for (int i = 0; i < n; ++i) ++counts[sampler.Sample(rng)];
+  double total = 0.0;
+  for (double w : weights) total += w;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    const double p = weights[i] / total;
+    const double freq = static_cast<double>(counts[i]) / n;
+    const double sigma = std::sqrt(p * (1 - p) / n);
+    EXPECT_NEAR(freq, p, 4.0 * sigma + 1e-9)
+        << "outcome " << i << " of " << weights.size();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, AliasDistributionTest,
+    ::testing::Values(std::vector<double>{1.0, 1.0},
+                      std::vector<double>{1.0, 2.0, 3.0, 4.0},
+                      std::vector<double>{100.0, 1.0, 1.0},
+                      std::vector<double>{0.0, 1.0, 0.0, 2.0},
+                      std::vector<double>{0.1, 0.1, 0.1, 0.1, 0.1, 0.1, 0.1,
+                                          0.1, 0.1, 0.1},
+                      std::vector<double>{1e-6, 1e6}));
+
+}  // namespace
+}  // namespace stedb::graph

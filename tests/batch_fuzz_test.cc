@@ -1,0 +1,147 @@
+// Randomized property tests of the database mutation surface: InsertBatch
+// dependency resolution and a fuzz loop of interleaved inserts / deletes /
+// cascades that must keep every constraint satisfied at every step.
+#include <gtest/gtest.h>
+
+#include "src/common/rng.h"
+#include "src/db/cascade.h"
+#include "src/db/database.h"
+#include "tests/test_util.h"
+
+namespace stedb::db {
+namespace {
+
+using stedb::testing::MovieDatabase;
+using stedb::testing::MovieSchema;
+
+TEST(InsertBatchTest, ResolvesOutOfOrderDependencies) {
+  Database database(MovieSchema());
+  // Collaboration first, then movie, actors, studio — reverse dependency
+  // order; the batch must sort it out.
+  std::vector<Fact> batch;
+  auto fact = [&](const std::string& rel, ValueTuple values) {
+    Fact f;
+    f.rel = database.schema().RelationIndex(rel);
+    f.values = std::move(values);
+    batch.push_back(std::move(f));
+  };
+  fact("COLLABORATIONS",
+       {Value::Text("x1"), Value::Text("x2"), Value::Text("mv")});
+  fact("MOVIES", {Value::Text("mv"), Value::Text("st"), Value::Text("T"),
+                  Value::Text("G"), Value::Text("1M")});
+  fact("ACTORS", {Value::Text("x1"), Value::Text("A"), Value::Text("1")});
+  fact("ACTORS", {Value::Text("x2"), Value::Text("B"), Value::Text("2")});
+  fact("STUDIOS", {Value::Text("st"), Value::Text("S"), Value::Text("LA")});
+
+  auto ids = database.InsertBatch(batch);
+  ASSERT_TRUE(ids.ok()) << ids.status();
+  EXPECT_EQ(ids.value().size(), 5u);
+  for (FactId id : ids.value()) EXPECT_TRUE(database.IsLive(id));
+  EXPECT_TRUE(database.ValidateAll().ok());
+}
+
+TEST(InsertBatchTest, DanglingBatchIsAtomic) {
+  Database database = MovieDatabase();
+  const size_t before = database.NumFacts();
+  std::vector<Fact> batch;
+  Fact good;
+  good.rel = database.schema().RelationIndex("ACTORS");
+  good.values = {Value::Text("new1"), Value::Text("N"), Value::Text("1")};
+  Fact dangling;
+  dangling.rel = database.schema().RelationIndex("COLLABORATIONS");
+  dangling.values = {Value::Text("new1"), Value::Text("ghost"),
+                     Value::Text("m01")};
+  batch.push_back(good);
+  batch.push_back(dangling);
+  auto ids = database.InsertBatch(batch);
+  EXPECT_EQ(ids.status().code(), StatusCode::kConstraintViolation);
+  // Atomic: the good row was rolled back too.
+  EXPECT_EQ(database.NumFacts(), before);
+  EXPECT_TRUE(database.ValidateAll().ok());
+}
+
+TEST(InsertBatchTest, NonDependencyErrorPropagates) {
+  Database database = MovieDatabase();
+  std::vector<Fact> batch;
+  Fact dup;
+  dup.rel = database.schema().RelationIndex("ACTORS");
+  dup.values = {Value::Text("a01"), Value::Text("Clone"), Value::Text("0")};
+  batch.push_back(dup);
+  EXPECT_EQ(database.InsertBatch(batch).status().code(),
+            StatusCode::kConstraintViolation);
+}
+
+TEST(InsertBatchTest, EmptyBatchOk) {
+  Database database = MovieDatabase();
+  auto ids = database.InsertBatch({});
+  ASSERT_TRUE(ids.ok());
+  EXPECT_TRUE(ids.value().empty());
+}
+
+/// Fuzz: random interleavings of insert / cascade-delete / reinsert on the
+/// movie schema. Invariant: ValidateAll() holds after every operation.
+class MutationFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(MutationFuzzTest, ConstraintsHoldUnderRandomOps) {
+  stedb::Rng rng(static_cast<uint64_t>(GetParam()) * 7919);
+  Database database = MovieDatabase();
+  std::vector<CascadeResult> undo_stack;
+  int next_id = 100;
+
+  for (int op = 0; op < 120; ++op) {
+    const double dice = rng.NextDouble();
+    if (dice < 0.35) {
+      // Insert a random new actor/movie/collaboration.
+      const double what = rng.NextDouble();
+      if (what < 0.4) {
+        (void)database.Insert(
+            "ACTORS", {Value::Text("fz" + std::to_string(next_id++)),
+                       Value::Text("F"), Value::Text("0")});
+      } else if (what < 0.7) {
+        const auto& studios =
+            database.FactsOf(database.schema().RelationIndex("STUDIOS"));
+        if (studios.empty()) continue;
+        FactId st = studios[rng.NextIndex(studios.size())];
+        ValueTuple row;
+        row.push_back(Value::Text("fz" + std::to_string(next_id++)));
+        row.push_back(database.value(st, 0));
+        row.push_back(Value::Text("T"));
+        row.push_back(rng.NextBool(0.2) ? Value::Null() : Value::Text("G"));
+        row.push_back(Value::Text("1M"));
+        (void)database.Insert("MOVIES", std::move(row));
+      } else {
+        const auto& actors =
+            database.FactsOf(database.schema().RelationIndex("ACTORS"));
+        const auto& movies =
+            database.FactsOf(database.schema().RelationIndex("MOVIES"));
+        if (actors.size() < 2 || movies.empty()) continue;
+        FactId a1 = actors[rng.NextIndex(actors.size())];
+        FactId a2 = actors[rng.NextIndex(actors.size())];
+        FactId mv = movies[rng.NextIndex(movies.size())];
+        ValueTuple row = {database.value(a1, 0), database.value(a2, 0),
+                          database.value(mv, 0)};
+        (void)database.Insert("COLLABORATIONS", std::move(row));
+      }
+    } else if (dice < 0.7) {
+      // Cascade-delete a random live fact.
+      const RelationId rel =
+          static_cast<RelationId>(rng.NextIndex(4));
+      const auto& facts = database.FactsOf(rel);
+      if (facts.empty()) continue;
+      FactId victim = facts[rng.NextIndex(facts.size())];
+      auto result = CascadeDelete(database, victim);
+      if (result.ok()) undo_stack.push_back(std::move(result).value());
+    } else if (!undo_stack.empty()) {
+      // Replay the most recent cascade (if its keys are still free).
+      (void)ReinsertBatch(database, undo_stack.back());
+      undo_stack.pop_back();
+    }
+    ASSERT_TRUE(database.ValidateAll().ok())
+        << "constraints broken after op " << op;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, MutationFuzzTest, ::testing::Range(1, 7));
+
+}  // namespace
+}  // namespace stedb::db

@@ -1,0 +1,169 @@
+#include "src/db/cascade.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+#include "src/data/registry.h"
+#include "tests/test_util.h"
+
+namespace stedb::db {
+namespace {
+
+using stedb::testing::FindFact;
+using stedb::testing::InsertC4;
+using stedb::testing::MovieDatabase;
+
+TEST(CascadeTest, Example61SemanticsWithC4) {
+  // With c4 = (a01, a04, m06) present, deleting c1 = (a01, a02, m03)
+  // removes c1, the orphaned m3 and a2 — but keeps a1 (referenced by c4).
+  Database database = MovieDatabase();
+  InsertC4(database);
+  FactId c1 = FindFact(database, "COLLABORATIONS", {"a01", "a02", "m03"});
+  FactId a1 = FindFact(database, "ACTORS", {"a01"});
+  FactId a2 = FindFact(database, "ACTORS", {"a02"});
+  FactId m3 = FindFact(database, "MOVIES", {"m03"});
+
+  auto result = CascadeDelete(database, c1);
+  ASSERT_TRUE(result.ok()) << result.status();
+  std::unordered_set<FactId> deleted(result.value().deleted_ids.begin(),
+                                     result.value().deleted_ids.end());
+  EXPECT_EQ(deleted.size(), 3u);
+  EXPECT_TRUE(deleted.count(c1) > 0);
+  EXPECT_TRUE(deleted.count(a2) > 0);
+  EXPECT_TRUE(deleted.count(m3) > 0);
+  EXPECT_TRUE(database.IsLive(a1));
+  EXPECT_TRUE(database.ValidateAll().ok());
+}
+
+TEST(CascadeTest, ReferencingFactsAreDeletedFirst) {
+  // Deleting a movie deletes the collaborations referencing it before the
+  // movie itself (topological order).
+  Database database = MovieDatabase();
+  FactId m4 = FindFact(database, "MOVIES", {"m04"});
+  auto result = CascadeDelete(database, m4);
+  ASSERT_TRUE(result.ok());
+  const auto& order = result.value().deleted_ids;
+  // m4 must come after the collaboration c2 that references it.
+  size_t m4_pos = std::find(order.begin(), order.end(), m4) - order.begin();
+  for (size_t i = m4_pos + 1; i < order.size(); ++i) {
+    EXPECT_NE(database.fact(order[i]).rel,
+              database.schema().RelationIndex("COLLABORATIONS"));
+  }
+  EXPECT_TRUE(database.ValidateAll().ok());
+}
+
+TEST(CascadeTest, NeverReferencedFactSurvivesAsNoOrphan) {
+  // m1 (Titanic) has no collaborations; deleting it must not delete its
+  // studio s03 (still referenced by m04).
+  Database database = MovieDatabase();
+  FactId m1 = FindFact(database, "MOVIES", {"m01"});
+  auto result = CascadeDelete(database, m1);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value().facts.size(), 1u);
+  EXPECT_NE(FindFact(database, "STUDIOS", {"s03"}), kNoFact);
+}
+
+TEST(CascadeTest, OrphanChainIsRemoved) {
+  // Delete m5 (Tropic Thunder): c3 references it, so c3 goes; a3 (Cruise)
+  // is only referenced by c3 so it goes too; s02 (Universal) is only
+  // referenced by m5 so it goes as well. a4 survives via c2.
+  Database database = MovieDatabase();
+  FactId m5 = FindFact(database, "MOVIES", {"m05"});
+  auto result = CascadeDelete(database, m5);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(FindFact(database, "ACTORS", {"a03"}), kNoFact);
+  EXPECT_EQ(FindFact(database, "STUDIOS", {"s02"}), kNoFact);
+  EXPECT_NE(FindFact(database, "ACTORS", {"a04"}), kNoFact);
+  EXPECT_TRUE(database.ValidateAll().ok());
+}
+
+TEST(CascadeTest, PreviewDoesNotMutate) {
+  Database database = MovieDatabase();
+  FactId m5 = FindFact(database, "MOVIES", {"m05"});
+  const size_t before = database.NumFacts();
+  auto preview = CascadePreview(database, m5);
+  ASSERT_TRUE(preview.ok());
+  EXPECT_GT(preview.value().size(), 1u);
+  EXPECT_EQ(database.NumFacts(), before);
+}
+
+TEST(CascadeTest, DeadRootRejected) {
+  Database database = MovieDatabase();
+  EXPECT_EQ(CascadeDelete(database, 424242).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(CascadeTest, ReinsertRestoresEverything) {
+  Database database = MovieDatabase();
+  InsertC4(database);
+  Database reference = database;
+  FactId c1 = FindFact(database, "COLLABORATIONS", {"a01", "a02", "m03"});
+  auto result = CascadeDelete(database, c1);
+  ASSERT_TRUE(result.ok());
+  auto new_ids = ReinsertBatch(database, result.value());
+  ASSERT_TRUE(new_ids.ok()) << new_ids.status();
+  EXPECT_EQ(new_ids.value().size(), result.value().facts.size());
+  EXPECT_EQ(database.NumFacts(), reference.NumFacts());
+  EXPECT_TRUE(database.ValidateAll().ok());
+  // Every deleted fact is back (under a new id, same content).
+  for (const Fact& f : result.value().facts) {
+    ValueTuple key;
+    for (AttrId k : database.schema().relation(f.rel).key) {
+      key.push_back(f.values[k]);
+    }
+    EXPECT_NE(database.FindByKey(f.rel, key), kNoFact);
+  }
+}
+
+/// Property: on every generated dataset, cascade-delete + reverse reinsert
+/// of random prediction tuples is an identity on relation sizes and keeps
+/// all constraints satisfied.
+class CascadeRoundTripTest : public ::testing::TestWithParam<std::string> {};
+
+TEST_P(CascadeRoundTripTest, DeleteReinsertIdentity) {
+  data::GenConfig cfg;
+  cfg.scale = 0.05;
+  cfg.seed = 5;
+  auto ds = data::MakeDataset(GetParam(), cfg);
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  Database database = std::move(ds).value().database;
+  const data::GeneratedDataset ref_ds =
+      std::move(data::MakeDataset(GetParam(), cfg)).value();
+
+  std::vector<size_t> before;
+  for (size_t r = 0; r < database.schema().num_relations(); ++r) {
+    before.push_back(database.NumFacts(static_cast<RelationId>(r)));
+  }
+
+  Rng rng(7);
+  data::GeneratedDataset ds2 = std::move(data::MakeDataset(GetParam(), cfg)).value();
+  RelationId pred = ds2.pred_rel;
+  std::vector<CascadeResult> batches;
+  for (int i = 0; i < 5; ++i) {
+    const auto& facts = database.FactsOf(pred);
+    if (facts.empty()) break;
+    FactId victim = facts[rng.NextIndex(facts.size())];
+    auto result = CascadeDelete(database, victim);
+    ASSERT_TRUE(result.ok()) << result.status();
+    batches.push_back(std::move(result).value());
+  }
+  ASSERT_TRUE(database.ValidateAll().ok());
+  for (auto it = batches.rbegin(); it != batches.rend(); ++it) {
+    ASSERT_TRUE(ReinsertBatch(database, *it).ok());
+  }
+  EXPECT_TRUE(database.ValidateAll().ok());
+  for (size_t r = 0; r < database.schema().num_relations(); ++r) {
+    EXPECT_EQ(database.NumFacts(static_cast<RelationId>(r)), before[r])
+        << "relation " << database.schema().relation(r).name;
+  }
+  (void)ref_ds;
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, CascadeRoundTripTest,
+                         ::testing::Values("hepatitis", "genes",
+                                           "mutagenesis", "world",
+                                           "mondial"));
+
+}  // namespace
+}  // namespace stedb::db

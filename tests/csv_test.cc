@@ -1,0 +1,118 @@
+#include "src/db/csv.h"
+
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "src/data/registry.h"
+#include "tests/test_util.h"
+
+namespace stedb::db {
+namespace {
+
+TEST(CsvEscapeTest, PlainFieldsUntouched) {
+  EXPECT_EQ(CsvEscape("hello"), "hello");
+  EXPECT_EQ(CsvEscape(""), "");
+}
+
+TEST(CsvEscapeTest, QuotesSpecials) {
+  EXPECT_EQ(CsvEscape("a,b"), "\"a,b\"");
+  EXPECT_EQ(CsvEscape("say \"hi\""), "\"say \"\"hi\"\"\"");
+  EXPECT_EQ(CsvEscape("line\nbreak"), "\"line\nbreak\"");
+}
+
+TEST(CsvSplitTest, Basic) {
+  auto r = CsvSplitLine("a,b,c");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(CsvSplitTest, QuotedFields) {
+  auto r = CsvSplitLine("\"a,b\",c,\"say \"\"hi\"\"\"");
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r.value().size(), 3u);
+  EXPECT_EQ(r.value()[0], "a,b");
+  EXPECT_EQ(r.value()[2], "say \"hi\"");
+}
+
+TEST(CsvSplitTest, EmptyFields) {
+  auto r = CsvSplitLine(",,");
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value().size(), 3u);
+}
+
+TEST(CsvSplitTest, MalformedQuote) {
+  EXPECT_FALSE(CsvSplitLine("\"unterminated").ok());
+  EXPECT_FALSE(CsvSplitLine("ab\"cd").ok());
+}
+
+TEST(CsvSplitTest, RoundTripsEscape) {
+  const std::vector<std::string> fields = {"plain", "with,comma",
+                                           "with \"quote\"", ""};
+  std::string line;
+  for (size_t i = 0; i < fields.size(); ++i) {
+    if (i > 0) line += ",";
+    line += CsvEscape(fields[i]);
+  }
+  auto r = CsvSplitLine(line);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), fields);
+}
+
+TEST(SchemaTextTest, RoundTrip) {
+  auto schema = stedb::testing::MovieSchema();
+  const std::string text = SchemaToText(*schema);
+  auto parsed = SchemaFromText(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value()->num_relations(), schema->num_relations());
+  EXPECT_EQ(parsed.value()->num_foreign_keys(), schema->num_foreign_keys());
+  // Second round trip is textually identical (canonical form).
+  EXPECT_EQ(SchemaToText(*parsed.value()), text);
+}
+
+TEST(SchemaTextTest, RejectsGarbage) {
+  EXPECT_FALSE(SchemaFromText("X whatever").ok());
+  EXPECT_FALSE(SchemaFromText("A attr int").ok());  // A before any R
+  EXPECT_FALSE(SchemaFromText("R T\nA a badtype key").ok());
+}
+
+TEST(SchemaTextTest, IgnoresCommentsAndBlanks) {
+  auto parsed = SchemaFromText("# comment\n\nR T\nA a int key\n");
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value()->num_relations(), 1u);
+}
+
+TEST(DatabaseIoTest, SaveLoadRoundTripMovie) {
+  Database database = stedb::testing::MovieDatabase();
+  const std::string dir = ::testing::TempDir() + "/stedb_csv_movie";
+  ASSERT_TRUE(SaveDatabase(database, dir).ok());
+  auto loaded = LoadDatabase(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value().NumFacts(), database.NumFacts());
+  EXPECT_TRUE(loaded.value().ValidateAll().ok());
+  // Null survived the round trip (m03's genre).
+  FactId m3 = stedb::testing::FindFact(loaded.value(), "MOVIES", {"m03"});
+  ASSERT_NE(m3, kNoFact);
+  EXPECT_TRUE(loaded.value().value(m3, 3).is_null());
+}
+
+TEST(DatabaseIoTest, SaveLoadRoundTripGenerated) {
+  data::GenConfig cfg;
+  cfg.scale = 0.04;
+  auto ds = data::MakeGenes(cfg);
+  ASSERT_TRUE(ds.ok());
+  const std::string dir = ::testing::TempDir() + "/stedb_csv_genes";
+  ASSERT_TRUE(SaveDatabase(ds.value().database, dir).ok());
+  auto loaded = LoadDatabase(dir);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(loaded.value().NumFacts(), ds.value().database.NumFacts());
+  EXPECT_TRUE(loaded.value().ValidateAll().ok());
+}
+
+TEST(DatabaseIoTest, LoadMissingDirectoryFails) {
+  EXPECT_EQ(LoadDatabase("/nonexistent/stedb").status().code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace stedb::db

@@ -1,0 +1,118 @@
+#include "src/ml/cross_validation.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace stedb::ml {
+namespace {
+
+TEST(StratifiedFoldsTest, EveryExampleAssigned) {
+  Rng rng(1);
+  std::vector<int> labels(100);
+  for (size_t i = 0; i < labels.size(); ++i) labels[i] = i % 3;
+  std::vector<int> folds = StratifiedFolds(labels, 5, rng);
+  ASSERT_EQ(folds.size(), labels.size());
+  for (int f : folds) {
+    EXPECT_GE(f, 0);
+    EXPECT_LT(f, 5);
+  }
+}
+
+TEST(StratifiedFoldsTest, ClassesSpreadEvenly) {
+  Rng rng(2);
+  // 50 of class 0, 25 of class 1.
+  std::vector<int> labels;
+  for (int i = 0; i < 50; ++i) labels.push_back(0);
+  for (int i = 0; i < 25; ++i) labels.push_back(1);
+  std::vector<int> folds = StratifiedFolds(labels, 5, rng);
+  std::map<std::pair<int, int>, int> count;  // (fold, class) -> n
+  for (size_t i = 0; i < labels.size(); ++i) {
+    ++count[{folds[i], labels[i]}];
+  }
+  for (int f = 0; f < 5; ++f) {
+    EXPECT_EQ((count[{f, 0}]), 10);
+    EXPECT_EQ((count[{f, 1}]), 5);
+  }
+}
+
+TEST(StratifiedSplitTest, RespectsFractionPerClass) {
+  Rng rng(3);
+  std::vector<int> labels;
+  for (int i = 0; i < 40; ++i) labels.push_back(0);
+  for (int i = 0; i < 20; ++i) labels.push_back(1);
+  std::vector<size_t> train, test;
+  StratifiedSplit(labels, 0.25, rng, &train, &test);
+  EXPECT_EQ(train.size() + test.size(), labels.size());
+  int test0 = 0, test1 = 0;
+  for (size_t i : test) (labels[i] == 0 ? test0 : test1)++;
+  EXPECT_EQ(test0, 10);
+  EXPECT_EQ(test1, 5);
+}
+
+FeatureDataset TwoBlobs(int per_class, Rng& rng) {
+  FeatureDataset data;
+  for (int c = 0; c < 2; ++c) {
+    for (int i = 0; i < per_class; ++i) {
+      data.Add({rng.NextGaussian(c * 6.0, 1.0), rng.NextGaussian(0.0, 1.0)},
+               c);
+    }
+  }
+  return data;
+}
+
+TEST(CrossValidateTest, HighAccuracyOnSeparableData) {
+  Rng rng(4);
+  FeatureDataset data = TwoBlobs(40, rng);
+  auto cv = CrossValidate(data, ClassifierKind::kLogistic, 5, 7);
+  ASSERT_TRUE(cv.ok()) << cv.status();
+  EXPECT_EQ(cv.value().fold_accuracies.size(), 5u);
+  EXPECT_GT(cv.value().mean, 0.9);
+  EXPECT_LT(cv.value().stddev, 0.2);
+}
+
+TEST(CrossValidateTest, RejectsDegenerateInputs) {
+  Rng rng(5);
+  FeatureDataset data = TwoBlobs(2, rng);
+  EXPECT_FALSE(CrossValidate(data, ClassifierKind::kLogistic, 1, 7).ok());
+  EXPECT_FALSE(CrossValidate(data, ClassifierKind::kLogistic, 10, 7).ok());
+}
+
+TEST(CrossValidateBuilderTest, BuilderCalledPerFold) {
+  Rng rng(6);
+  FeatureDataset data = TwoBlobs(20, rng);
+  int calls = 0;
+  auto cv = CrossValidateWithBuilder(
+      data.y, 4, 7, ClassifierKind::kLogistic,
+      [&](int) -> Result<FeatureDataset> {
+        ++calls;
+        return data;
+      });
+  ASSERT_TRUE(cv.ok());
+  EXPECT_EQ(calls, 4);
+}
+
+TEST(CrossValidateBuilderTest, MismatchedLabelsRejected) {
+  Rng rng(7);
+  FeatureDataset data = TwoBlobs(20, rng);
+  FeatureDataset wrong = data;
+  wrong.y[0] = 1 - wrong.y[0];
+  auto cv = CrossValidateWithBuilder(
+      data.y, 4, 7, ClassifierKind::kLogistic,
+      [&](int) -> Result<FeatureDataset> { return wrong; });
+  EXPECT_FALSE(cv.ok());
+}
+
+TEST(CrossValidateBuilderTest, BuilderErrorPropagates) {
+  std::vector<int> labels(20, 0);
+  for (int i = 0; i < 10; ++i) labels[i] = 1;
+  auto cv = CrossValidateWithBuilder(
+      labels, 4, 7, ClassifierKind::kLogistic,
+      [&](int) -> Result<FeatureDataset> {
+        return Status::Internal("builder exploded");
+      });
+  EXPECT_EQ(cv.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace stedb::ml

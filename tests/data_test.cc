@@ -1,0 +1,192 @@
+#include "src/data/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace stedb::data {
+namespace {
+
+TEST(GeneratorHelpersTest, MakeId) {
+  EXPECT_EQ(MakeId("p", 42), "p00042");
+  EXPECT_EQ(MakeId("x", 0), "x00000");
+}
+
+TEST(GeneratorHelpersTest, ScaledCount) {
+  EXPECT_EQ(ScaledCount(100, 0.5), 50u);
+  EXPECT_EQ(ScaledCount(100, 0.001, 7), 7u);
+  EXPECT_EQ(ScaledCount(3, 1.0), 3u);
+}
+
+TEST(GeneratorHelpersTest, MaybeNullRate) {
+  GenConfig cfg;
+  cfg.null_rate = 0.5;
+  Rng rng(1);
+  int nulls = 0;
+  for (int i = 0; i < 2000; ++i) {
+    if (MaybeNull(db::Value::Int(1), cfg, rng).is_null()) ++nulls;
+  }
+  EXPECT_NEAR(nulls / 2000.0, 0.5, 0.05);
+}
+
+TEST(GeneratorHelpersTest, ClassConditionalCategoryBiased) {
+  std::vector<std::string> vocab;
+  for (int i = 0; i < 30; ++i) vocab.push_back("v" + std::to_string(i));
+  Rng rng(2);
+  // With full signal, two different classes should mostly draw from
+  // disjoint slices.
+  std::unordered_set<std::string> seen0, seen1;
+  for (int i = 0; i < 300; ++i) {
+    seen0.insert(ClassConditionalCategory(vocab, 0, 10, 1.0, rng));
+    seen1.insert(ClassConditionalCategory(vocab, 9, 10, 1.0, rng));
+  }
+  int overlap = 0;
+  for (const auto& v : seen0) {
+    if (seen1.count(v) > 0) ++overlap;
+  }
+  EXPECT_LT(overlap, 3);
+}
+
+TEST(GeneratorHelpersTest, ZeroSignalIsUniformish) {
+  std::vector<std::string> vocab = {"a", "b", "c", "d"};
+  Rng rng(3);
+  std::unordered_set<std::string> seen;
+  for (int i = 0; i < 200; ++i) {
+    seen.insert(ClassConditionalCategory(vocab, 0, 2, 0.0, rng));
+  }
+  EXPECT_EQ(seen.size(), 4u);
+}
+
+TEST(RegistryTest, NamesAndDispatch) {
+  EXPECT_EQ(DatasetNames().size(), 5u);
+  GenConfig cfg;
+  cfg.scale = 0.03;
+  for (const std::string& name : DatasetNames()) {
+    auto ds = MakeDataset(name, cfg);
+    ASSERT_TRUE(ds.ok()) << name << ": " << ds.status();
+    EXPECT_EQ(ds.value().name, name);
+  }
+  EXPECT_FALSE(MakeDataset("nope", cfg).ok());
+}
+
+/// Structural checks per dataset (paper Table I shape).
+struct DatasetSpec {
+  std::string name;
+  size_t relations;
+  size_t num_classes;
+  std::string pred_rel;
+};
+
+class DatasetShapeTest : public ::testing::TestWithParam<DatasetSpec> {};
+
+TEST_P(DatasetShapeTest, MatchesTableOneShape) {
+  const DatasetSpec& spec = GetParam();
+  GenConfig cfg;
+  cfg.scale = 0.05;
+  cfg.seed = 11;
+  auto ds = MakeDataset(spec.name, cfg);
+  ASSERT_TRUE(ds.ok()) << ds.status();
+  const GeneratedDataset& d = ds.value();
+
+  EXPECT_EQ(d.database.schema().num_relations(), spec.relations);
+  EXPECT_EQ(d.database.schema().relation(d.pred_rel).name, spec.pred_rel);
+  EXPECT_TRUE(d.database.ValidateAll().ok());
+  EXPECT_EQ(d.class_names.size(), spec.num_classes);
+
+  // Every sample's label is one of the declared classes.
+  std::unordered_set<std::string> classes(d.class_names.begin(),
+                                          d.class_names.end());
+  ASSERT_FALSE(d.Samples().empty());
+  for (db::FactId f : d.Samples()) {
+    EXPECT_TRUE(classes.count(d.LabelOf(f)) > 0);
+  }
+}
+
+TEST_P(DatasetShapeTest, DeterministicGivenSeed) {
+  const DatasetSpec& spec = GetParam();
+  GenConfig cfg;
+  cfg.scale = 0.04;
+  cfg.seed = 99;
+  auto d1 = MakeDataset(spec.name, cfg);
+  auto d2 = MakeDataset(spec.name, cfg);
+  ASSERT_TRUE(d1.ok());
+  ASSERT_TRUE(d2.ok());
+  EXPECT_EQ(d1.value().database.NumFacts(), d2.value().database.NumFacts());
+  // Compare the label sequence fact by fact.
+  const auto& s1 = d1.value().Samples();
+  const auto& s2 = d2.value().Samples();
+  ASSERT_EQ(s1.size(), s2.size());
+  for (size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(d1.value().LabelOf(s1[i]), d2.value().LabelOf(s2[i]));
+  }
+}
+
+TEST_P(DatasetShapeTest, ScaleGrowsTupleCount) {
+  const DatasetSpec& spec = GetParam();
+  GenConfig small;
+  small.scale = 0.04;
+  GenConfig large;
+  large.scale = 0.12;
+  auto ds = MakeDataset(spec.name, small);
+  auto dl = MakeDataset(spec.name, large);
+  ASSERT_TRUE(ds.ok());
+  ASSERT_TRUE(dl.ok());
+  EXPECT_LT(ds.value().database.NumFacts(), dl.value().database.NumFacts());
+}
+
+TEST_P(DatasetShapeTest, LabelColumnIsTextAndNonNull) {
+  const DatasetSpec& spec = GetParam();
+  GenConfig cfg;
+  cfg.scale = 0.04;
+  cfg.null_rate = 0.1;  // labels must stay non-null regardless
+  auto ds = MakeDataset(spec.name, cfg);
+  ASSERT_TRUE(ds.ok());
+  for (db::FactId f : ds.value().Samples()) {
+    EXPECT_FALSE(
+        ds.value().database.value(f, ds.value().pred_attr).is_null());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Datasets, DatasetShapeTest,
+    ::testing::Values(DatasetSpec{"hepatitis", 7, 2, "DISPAT"},
+                      DatasetSpec{"genes", 3, 15, "CLASSIFICATION"},
+                      DatasetSpec{"mutagenesis", 3, 2, "MOLECULE"},
+                      DatasetSpec{"world", 3, 7, "COUNTRY"},
+                      DatasetSpec{"mondial", 40, 2, "TARGET"}),
+    [](const ::testing::TestParamInfo<DatasetSpec>& info) {
+      return info.param.name;
+    });
+
+TEST(MondialShapeTest, AttributeCountNearPaper) {
+  GenConfig cfg;
+  cfg.scale = 0.04;
+  auto ds = MakeMondial(cfg);
+  ASSERT_TRUE(ds.ok());
+  // Paper Table I: 167 attributes across 40 relations; ours lands close.
+  const size_t attrs = ds.value().database.schema().TotalAttributes();
+  EXPECT_GE(attrs, 150u);
+  EXPECT_LE(attrs, 180u);
+}
+
+TEST(FullScaleTest, TupleCountsApproximateTableOne) {
+  // At scale 1.0 each dataset approximates the paper's tuple counts.
+  GenConfig cfg;
+  cfg.scale = 1.0;
+  struct Expect {
+    std::string name;
+    size_t lo, hi;
+  };
+  for (const Expect& e : std::initializer_list<Expect>{
+           {"genes", 4500, 8000},
+           {"world", 4000, 6500},
+       }) {
+    auto ds = MakeDataset(e.name, cfg);
+    ASSERT_TRUE(ds.ok());
+    EXPECT_GE(ds.value().database.NumFacts(), e.lo) << e.name;
+    EXPECT_LE(ds.value().database.NumFacts(), e.hi) << e.name;
+  }
+}
+
+}  // namespace
+}  // namespace stedb::data

@@ -1,0 +1,186 @@
+#include "src/fwd/extender.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/registry.h"
+#include "src/db/cascade.h"
+#include "src/fwd/forward.h"
+#include "tests/test_util.h"
+
+namespace stedb::fwd {
+namespace {
+
+using stedb::testing::FindFact;
+using stedb::testing::InsertC4;
+using stedb::testing::MovieDatabase;
+
+ForwardConfig TinyConfig() {
+  ForwardConfig cfg;
+  cfg.dim = 8;
+  cfg.max_walk_len = 2;
+  cfg.nsamples = 12;
+  cfg.epochs = 6;
+  cfg.lr = 0.01;
+  cfg.new_samples = 16;
+  cfg.seed = 33;
+  return cfg;
+}
+
+TEST(ExtenderTest, ExtendsNewCollaboration) {
+  db::Database database = MovieDatabase();
+  auto emb = ForwardEmbedder::TrainStatic(
+      &database, database.schema().RelationIndex("COLLABORATIONS"), {},
+      TinyConfig());
+  ASSERT_TRUE(emb.ok()) << emb.status();
+  ForwardEmbedder embedder = std::move(emb).value();
+
+  db::FactId c4 = InsertC4(database);
+  ASSERT_TRUE(embedder.ExtendToFacts({c4}).ok());
+  auto v = embedder.Embed(c4);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value().size(), 8u);
+  for (double x : v.value()) EXPECT_TRUE(std::isfinite(x));
+}
+
+TEST(ExtenderTest, OldEmbeddingsBitIdentical) {
+  db::Database database = MovieDatabase();
+  auto emb = ForwardEmbedder::TrainStatic(
+      &database, database.schema().RelationIndex("COLLABORATIONS"), {},
+      TinyConfig());
+  ASSERT_TRUE(emb.ok());
+  ForwardEmbedder embedder = std::move(emb).value();
+  std::unordered_map<db::FactId, la::Vector> before;
+  for (const auto& [f, v] : embedder.model().all_phi()) before[f] = v;
+
+  db::FactId c4 = InsertC4(database);
+  ASSERT_TRUE(embedder.ExtendToFacts({c4}).ok());
+  for (const auto& [f, v] : before) {
+    EXPECT_EQ(embedder.model().phi(f), v) << "fact " << f << " drifted";
+  }
+}
+
+TEST(ExtenderTest, ErrorsOnWrongRelationOrDeadFact) {
+  db::Database database = MovieDatabase();
+  auto emb = ForwardEmbedder::TrainStatic(
+      &database, database.schema().RelationIndex("COLLABORATIONS"), {},
+      TinyConfig());
+  ASSERT_TRUE(emb.ok());
+  ForwardModel model = emb.value().model();
+  auto kernels = std::make_shared<KernelRegistry>(
+      KernelRegistry::Defaults(database));
+  ForwardExtender extender(&database, kernels.get(), TinyConfig());
+  Rng rng(1);
+  db::FactId m1 = FindFact(database, "MOVIES", {"m01"});
+  EXPECT_EQ(extender.Extend(model, m1, rng).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(extender.Extend(model, 99999, rng).status().code(),
+            StatusCode::kNotFound);
+  // Already embedded fact rejected.
+  db::FactId c1 =
+      FindFact(database, "COLLABORATIONS", {"a01", "a02", "m03"});
+  EXPECT_EQ(extender.Extend(model, c1, rng).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(ExtenderTest, NearDuplicateLandsNearTwin) {
+  // Insert a near-duplicate of an existing molecule subtree; the extended
+  // embedding must be closer to its twin than to the average fact.
+  data::GenConfig gen;
+  gen.scale = 0.08;
+  gen.seed = 9;
+  gen.null_rate = 0.0;
+  auto ds = data::MakeMutagenesis(gen);
+  ASSERT_TRUE(ds.ok());
+  db::Database& database = ds.value().database;
+  AttrKeySet excluded;
+  excluded.insert({ds.value().pred_rel, ds.value().pred_attr});
+
+  ForwardConfig cfg = TinyConfig();
+  cfg.dim = 12;
+  cfg.epochs = 10;
+  cfg.nsamples = 24;
+  auto emb = ForwardEmbedder::TrainStatic(&database, ds.value().pred_rel,
+                                          excluded, cfg);
+  ASSERT_TRUE(emb.ok()) << emb.status();
+  ForwardEmbedder embedder = std::move(emb).value();
+
+  // Twin: cascade-delete a molecule and re-insert it (identical content,
+  // fresh ids), then extend.
+  db::FactId victim = ds.value().Samples().front();
+  la::Vector twin_vec = embedder.Embed(victim).value();
+  auto cascade = db::CascadeDelete(database, victim);
+  ASSERT_TRUE(cascade.ok());
+  auto new_ids = db::ReinsertBatch(database, cascade.value());
+  ASSERT_TRUE(new_ids.ok());
+  db::FactId reborn = db::kNoFact;
+  for (db::FactId f : new_ids.value()) {
+    if (database.fact(f).rel == ds.value().pred_rel) reborn = f;
+  }
+  ASSERT_NE(reborn, db::kNoFact);
+  ASSERT_TRUE(embedder.ExtendToFacts(new_ids.value()).ok());
+
+  la::Vector reborn_vec = embedder.Embed(reborn).value();
+  double twin_dist = la::Distance(reborn_vec, twin_vec);
+  double avg_dist = 0.0;
+  size_t n = 0;
+  for (const auto& [f, v] : embedder.model().all_phi()) {
+    if (f == reborn) continue;
+    avg_dist += la::Distance(reborn_vec, v);
+    ++n;
+  }
+  avg_dist /= static_cast<double>(n);
+  EXPECT_LT(twin_dist, avg_dist);
+}
+
+TEST(ExtenderTest, PinvAndRidgeAgreeOnWellConditioned) {
+  db::Database database = MovieDatabase();
+  ForwardConfig base = TinyConfig();
+  auto train = ForwardEmbedder::TrainStatic(
+      &database, database.schema().RelationIndex("COLLABORATIONS"), {},
+      base);
+  ASSERT_TRUE(train.ok());
+
+  auto kernels = std::make_shared<KernelRegistry>(
+      KernelRegistry::Defaults(database));
+  db::FactId c4 = InsertC4(database);
+
+  ForwardConfig pinv_cfg = base;
+  pinv_cfg.use_pinv = true;
+  ForwardConfig ridge_cfg = base;
+  ridge_cfg.use_pinv = false;
+  ridge_cfg.ridge = 1e-10;
+
+  ForwardModel m1 = train.value().model();
+  ForwardModel m2 = train.value().model();
+  ForwardExtender e1(&database, kernels.get(), pinv_cfg);
+  ForwardExtender e2(&database, kernels.get(), ridge_cfg);
+  Rng r1(77), r2(77);
+  auto v1 = e1.Extend(m1, c4, r1);
+  auto v2 = e2.Extend(m2, c4, r2);
+  ASSERT_TRUE(v1.ok()) << v1.status();
+  ASSERT_TRUE(v2.ok()) << v2.status();
+  for (size_t i = 0; i < v1.value().size(); ++i) {
+    EXPECT_NEAR(v1.value()[i], v2.value()[i], 1e-3);
+  }
+}
+
+TEST(ExtenderTest, CacheGrowsInOneByOneMode) {
+  db::Database database = MovieDatabase();
+  auto train = ForwardEmbedder::TrainStatic(
+      &database, database.schema().RelationIndex("COLLABORATIONS"), {},
+      TinyConfig());
+  ASSERT_TRUE(train.ok());
+  auto kernels = std::make_shared<KernelRegistry>(
+      KernelRegistry::Defaults(database));
+  ForwardExtender extender(&database, kernels.get(), TinyConfig());
+  ForwardModel model = train.value().model();
+  db::FactId c4 = InsertC4(database);
+  Rng rng(5);
+  ASSERT_TRUE(extender.Extend(model, c4, rng).ok());
+  EXPECT_GT(extender.cache_size(), 0u);
+  extender.InvalidateCache();
+  EXPECT_EQ(extender.cache_size(), 0u);
+}
+
+}  // namespace
+}  // namespace stedb::fwd

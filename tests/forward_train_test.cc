@@ -1,0 +1,154 @@
+#include "src/fwd/trainer.h"
+
+#include <gtest/gtest.h>
+
+#include "src/data/registry.h"
+#include "src/fwd/forward.h"
+#include "tests/test_util.h"
+
+namespace stedb::fwd {
+namespace {
+
+ForwardConfig TinyConfig() {
+  ForwardConfig cfg;
+  cfg.dim = 8;
+  cfg.max_walk_len = 2;
+  cfg.nsamples = 12;
+  cfg.epochs = 6;
+  cfg.lr = 0.01;
+  cfg.seed = 21;
+  return cfg;
+}
+
+TEST(ForwardTrainerTest, TrainsOnMovieDatabase) {
+  db::Database database = stedb::testing::MovieDatabase();
+  auto kernels = KernelRegistry::Defaults(database);
+  ForwardTrainer trainer(&database, &kernels, TinyConfig());
+  auto model = trainer.Train(database.schema().RelationIndex("ACTORS"), {});
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_EQ(model.value().num_embedded(), 5u);
+  EXPECT_EQ(model.value().dim(), 8u);
+}
+
+TEST(ForwardTrainerTest, RejectsBadRelation) {
+  db::Database database = stedb::testing::MovieDatabase();
+  auto kernels = KernelRegistry::Defaults(database);
+  ForwardTrainer trainer(&database, &kernels, TinyConfig());
+  EXPECT_EQ(trainer.Train(-1, {}).status().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(trainer.Train(99, {}).status().code(), StatusCode::kOutOfRange);
+}
+
+TEST(ForwardTrainerTest, RejectsTooFewFacts) {
+  auto schema = std::make_shared<db::Schema>();
+  ASSERT_TRUE(
+      schema->AddRelation("T", {{"id", db::AttrType::kText}}, {"id"}).ok());
+  db::Database database(schema);
+  ASSERT_TRUE(database.Insert("T", {db::Value::Text("only")}).ok());
+  auto kernels = KernelRegistry::Defaults(database);
+  ForwardTrainer trainer(&database, &kernels, TinyConfig());
+  EXPECT_EQ(trainer.Train(0, {}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(ForwardTrainerTest, TrainingReducesLoss) {
+  data::GenConfig gen;
+  gen.scale = 0.08;
+  gen.seed = 5;
+  auto ds = data::MakeGenes(gen);
+  ASSERT_TRUE(ds.ok());
+  AttrKeySet excluded;
+  excluded.insert({ds.value().pred_rel, ds.value().pred_attr});
+  auto kernels = KernelRegistry::Defaults(ds.value().database);
+
+  ForwardConfig cfg = TinyConfig();
+  cfg.dim = 16;
+  cfg.epochs = 0;
+  ForwardTrainer t0(&ds.value().database, &kernels, cfg);
+  auto untrained = t0.Train(ds.value().pred_rel, excluded);
+  ASSERT_TRUE(untrained.ok());
+  Rng r0(1);
+  const double loss0 = t0.EvaluateLoss(untrained.value(), 10, r0);
+
+  cfg.epochs = 8;
+  ForwardTrainer t1(&ds.value().database, &kernels, cfg);
+  auto trained = t1.Train(ds.value().pred_rel, excluded);
+  ASSERT_TRUE(trained.ok());
+  Rng r1(1);
+  const double loss1 = t1.EvaluateLoss(trained.value(), 10, r1);
+  EXPECT_LT(loss1, loss0 * 0.8);
+}
+
+TEST(ForwardTrainerTest, DeterministicGivenSeed) {
+  db::Database database = stedb::testing::MovieDatabase();
+  auto kernels = KernelRegistry::Defaults(database);
+  ForwardTrainer t1(&database, &kernels, TinyConfig());
+  ForwardTrainer t2(&database, &kernels, TinyConfig());
+  auto m1 = t1.Train(database.schema().RelationIndex("ACTORS"), {});
+  auto m2 = t2.Train(database.schema().RelationIndex("ACTORS"), {});
+  ASSERT_TRUE(m1.ok());
+  ASSERT_TRUE(m2.ok());
+  for (const auto& [f, v] : m1.value().all_phi()) {
+    EXPECT_EQ(v, m2.value().phi(f));
+  }
+}
+
+TEST(ForwardTrainerTest, PsiStaysSymmetric) {
+  db::Database database = stedb::testing::MovieDatabase();
+  auto kernels = KernelRegistry::Defaults(database);
+  ForwardTrainer trainer(&database, &kernels, TinyConfig());
+  auto model = trainer.Train(database.schema().RelationIndex("ACTORS"), {});
+  ASSERT_TRUE(model.ok());
+  for (size_t t = 0; t < model.value().targets().size(); ++t) {
+    const la::Matrix& psi = model.value().psi(t);
+    for (size_t i = 0; i < psi.rows(); ++i) {
+      for (size_t j = i + 1; j < psi.cols(); ++j) {
+        EXPECT_NEAR(psi(i, j), psi(j, i), 1e-9);
+      }
+    }
+  }
+}
+
+TEST(ForwardTrainerTest, ExcludedAttrNeverTargeted) {
+  data::GenConfig gen;
+  gen.scale = 0.05;
+  auto ds = data::MakeGenes(gen);
+  ASSERT_TRUE(ds.ok());
+  AttrKeySet excluded;
+  excluded.insert({ds.value().pred_rel, ds.value().pred_attr});
+  auto kernels = KernelRegistry::Defaults(ds.value().database);
+  ForwardTrainer trainer(&ds.value().database, &kernels, TinyConfig());
+  auto model = trainer.Train(ds.value().pred_rel, excluded);
+  ASSERT_TRUE(model.ok());
+  const db::Schema& schema = ds.value().database.schema();
+  for (size_t t = 0; t < model.value().targets().size(); ++t) {
+    db::RelationId end = model.value().scheme_of(t).End(schema);
+    EXPECT_FALSE(end == ds.value().pred_rel &&
+                 model.value().targets()[t].attr == ds.value().pred_attr)
+        << "label attribute leaked into T(R, lmax)";
+  }
+}
+
+/// The three KD estimators all train successfully end to end.
+class KdEstimatorTest : public ::testing::TestWithParam<KdEstimator> {};
+
+TEST_P(KdEstimatorTest, TrainsAndEmbeds) {
+  db::Database database = stedb::testing::MovieDatabase();
+  auto kernels = KernelRegistry::Defaults(database);
+  ForwardConfig cfg = TinyConfig();
+  cfg.kd_estimator = GetParam();
+  ForwardTrainer trainer(&database, &kernels, cfg);
+  auto model = trainer.Train(database.schema().RelationIndex("MOVIES"), {});
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_EQ(model.value().num_embedded(), 6u);
+  for (const auto& [f, v] : model.value().all_phi()) {
+    for (double x : v) EXPECT_TRUE(std::isfinite(x));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Estimators, KdEstimatorTest,
+                         ::testing::Values(KdEstimator::kSingleSample,
+                                           KdEstimator::kMultiSample,
+                                           KdEstimator::kExactCached));
+
+}  // namespace
+}  // namespace stedb::fwd

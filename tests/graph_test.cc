@@ -1,0 +1,148 @@
+#include "src/graph/bipartite_graph.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace stedb::graph {
+namespace {
+
+using stedb::testing::FindFact;
+using stedb::testing::MovieDatabase;
+
+TEST(BipartiteGraphTest, BuildsAllFactNodes) {
+  db::Database database = MovieDatabase();
+  BipartiteGraph graph(&database, {});
+  ASSERT_TRUE(graph.BuildAll().ok());
+  size_t fact_nodes = 0;
+  for (size_t n = 0; n < graph.num_nodes(); ++n) {
+    if (graph.IsFactNode(static_cast<NodeId>(n))) ++fact_nodes;
+  }
+  EXPECT_EQ(fact_nodes, database.NumFacts());
+}
+
+TEST(BipartiteGraphTest, NullValuesGetNoNode) {
+  db::Database database = MovieDatabase();
+  BipartiteGraph graph(&database, {});
+  ASSERT_TRUE(graph.BuildAll().ok());
+  // m03 has genre ⊥: its fact node has degree 4 (mid, studio, title,
+  // budget), not 5.
+  db::FactId m3 = FindFact(database, "MOVIES", {"m03"});
+  EXPECT_EQ(graph.Degree(graph.NodeOfFact(m3)), 4u);
+}
+
+TEST(BipartiteGraphTest, FkIdentificationMergesColumns) {
+  db::Database database = MovieDatabase();
+  GraphOptions with, without;
+  without.identify_fk_columns = false;
+  BipartiteGraph g_with(&database, with);
+  BipartiteGraph g_without(&database, without);
+  ASSERT_TRUE(g_with.BuildAll().ok());
+  ASSERT_TRUE(g_without.BuildAll().ok());
+  // Identification merges value nodes across FK-linked columns, so the
+  // merged graph has strictly fewer nodes.
+  EXPECT_LT(g_with.num_nodes(), g_without.num_nodes());
+  // The FK-linked columns share a class only with identification on.
+  const db::RelationId movies = database.schema().RelationIndex("MOVIES");
+  const db::RelationId studios = database.schema().RelationIndex("STUDIOS");
+  EXPECT_EQ(g_with.ColumnClass(movies, 1), g_with.ColumnClass(studios, 0));
+  EXPECT_NE(g_without.ColumnClass(movies, 1),
+            g_without.ColumnClass(studios, 0));
+}
+
+TEST(BipartiteGraphTest, UnlinkedSameValueStaysSeparate) {
+  // "LA" in STUDIOS.loc vs a movie titled "LA" would be separate nodes;
+  // here check two unlinked columns never share a class.
+  db::Database database = MovieDatabase();
+  BipartiteGraph graph(&database, {});
+  const db::RelationId movies = database.schema().RelationIndex("MOVIES");
+  const db::RelationId actors = database.schema().RelationIndex("ACTORS");
+  EXPECT_NE(graph.ColumnClass(movies, 2),   // title
+            graph.ColumnClass(actors, 1));  // name
+}
+
+TEST(BipartiteGraphTest, SharedValueNodeConnectsFacts) {
+  db::Database database = MovieDatabase();
+  BipartiteGraph graph(&database, {});
+  ASSERT_TRUE(graph.BuildAll().ok());
+  // m01 and m04 share studio value s03 with the STUDIOS fact s3: the
+  // value node u(*, s03) must be adjacent to all three fact nodes.
+  db::FactId m1 = FindFact(database, "MOVIES", {"m01"});
+  db::FactId m4 = FindFact(database, "MOVIES", {"m04"});
+  db::FactId s3 = FindFact(database, "STUDIOS", {"s03"});
+  NodeId n1 = graph.NodeOfFact(m1);
+  NodeId n4 = graph.NodeOfFact(m4);
+  NodeId n3 = graph.NodeOfFact(s3);
+  // Find the common neighbor of all three.
+  int common = 0;
+  for (NodeId v : graph.Neighbors(n1)) {
+    if (graph.HasEdge(n4, v) && graph.HasEdge(n3, v)) ++common;
+  }
+  EXPECT_GE(common, 1);
+}
+
+TEST(BipartiteGraphTest, ExcludedColumnsSkipped) {
+  db::Database database = MovieDatabase();
+  GraphOptions options;
+  const db::RelationId movies = database.schema().RelationIndex("MOVIES");
+  options.excluded_columns.insert({movies, 3});  // genre
+  BipartiteGraph graph(&database, options);
+  ASSERT_TRUE(graph.BuildAll().ok());
+  db::FactId m1 = FindFact(database, "MOVIES", {"m01"});
+  EXPECT_EQ(graph.Degree(graph.NodeOfFact(m1)), 4u);  // genre dropped
+}
+
+TEST(BipartiteGraphTest, AddFactIncremental) {
+  db::Database database = MovieDatabase();
+  BipartiteGraph graph(&database, {});
+  ASSERT_TRUE(graph.BuildAll().ok());
+  const size_t nodes_before = graph.num_nodes();
+  db::FactId c4 = stedb::testing::InsertC4(database);
+  auto created = graph.AddFact(c4);
+  ASSERT_TRUE(created.ok());
+  // c4 = (a01, a04, m06): all three values exist already, so only the fact
+  // node is new.
+  EXPECT_EQ(created.value().size(), 1u);
+  EXPECT_EQ(graph.num_nodes(), nodes_before + 1);
+  EXPECT_EQ(graph.Degree(created.value()[0]), 3u);
+}
+
+TEST(BipartiteGraphTest, AddFactNewValueCreatesValueNode) {
+  db::Database database = MovieDatabase();
+  BipartiteGraph graph(&database, {});
+  ASSERT_TRUE(graph.BuildAll().ok());
+  auto id = database.Insert(
+      "ACTORS", {db::Value::Text("a99"), db::Value::Text("Newcomer"),
+                 db::Value::Text("1M")});
+  ASSERT_TRUE(id.ok());
+  auto created = graph.AddFact(id.value());
+  ASSERT_TRUE(created.ok());
+  // fact node + 3 new value nodes (a99, Newcomer, 1M all unseen).
+  EXPECT_EQ(created.value().size(), 4u);
+}
+
+TEST(BipartiteGraphTest, AddFactRejectsDuplicatesAndDead) {
+  db::Database database = MovieDatabase();
+  BipartiteGraph graph(&database, {});
+  ASSERT_TRUE(graph.BuildAll().ok());
+  db::FactId m1 = FindFact(database, "MOVIES", {"m01"});
+  EXPECT_EQ(graph.AddFact(m1).status().code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(graph.AddFact(98765).status().code(), StatusCode::kNotFound);
+}
+
+TEST(BipartiteGraphTest, NeighborsSortedForHasEdge) {
+  db::Database database = MovieDatabase();
+  BipartiteGraph graph(&database, {});
+  ASSERT_TRUE(graph.BuildAll().ok());
+  for (size_t n = 0; n < graph.num_nodes(); ++n) {
+    const auto& nbrs = graph.Neighbors(static_cast<NodeId>(n));
+    EXPECT_TRUE(std::is_sorted(nbrs.begin(), nbrs.end()));
+    for (NodeId v : nbrs) {
+      EXPECT_TRUE(graph.HasEdge(static_cast<NodeId>(n), v));
+      EXPECT_TRUE(graph.HasEdge(v, static_cast<NodeId>(n)));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stedb::graph

@@ -1,0 +1,119 @@
+#include "src/fwd/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include "src/la/solve.h"
+#include "tests/test_util.h"
+
+namespace stedb::fwd {
+namespace {
+
+TEST(EqualityKernelTest, Basics) {
+  EqualityKernel k;
+  EXPECT_DOUBLE_EQ(k.Evaluate(db::Value::Text("a"), db::Value::Text("a")),
+                   1.0);
+  EXPECT_DOUBLE_EQ(k.Evaluate(db::Value::Text("a"), db::Value::Text("b")),
+                   0.0);
+  EXPECT_DOUBLE_EQ(k.Evaluate(db::Value::Int(1), db::Value::Int(1)), 1.0);
+  EXPECT_DOUBLE_EQ(k.Evaluate(db::Value::Int(1), db::Value::Real(1.0)), 0.0);
+}
+
+TEST(GaussianKernelTest, PeakAndDecay) {
+  GaussianKernel k(2.0);
+  EXPECT_DOUBLE_EQ(k.Evaluate(db::Value::Real(3.0), db::Value::Real(3.0)),
+                   1.0);
+  const double near = k.Evaluate(db::Value::Real(0.0), db::Value::Real(1.0));
+  const double far = k.Evaluate(db::Value::Real(0.0), db::Value::Real(3.0));
+  EXPECT_GT(near, far);
+  EXPECT_NEAR(near, std::exp(-1.0 / 4.0), 1e-12);
+}
+
+TEST(GaussianKernelTest, SymmetricAndMixesIntReal) {
+  GaussianKernel k(1.0);
+  const db::Value a = db::Value::Int(2);
+  const db::Value b = db::Value::Real(3.5);
+  EXPECT_DOUBLE_EQ(k.Evaluate(a, b), k.Evaluate(b, a));
+  EXPECT_NEAR(k.Evaluate(a, b), std::exp(-(1.5 * 1.5) / 2.0), 1e-12);
+}
+
+TEST(KernelRegistryTest, DefaultsByType) {
+  db::Database database = stedb::testing::MovieDatabase();
+  KernelRegistry reg = KernelRegistry::Defaults(database);
+  const db::RelationId movies = database.schema().RelationIndex("MOVIES");
+  // Text attribute (title) -> equality.
+  EXPECT_EQ(reg.Get(movies, 2).Name(), "equality");
+  // Key/FK identifiers -> equality even if numeric.
+  EXPECT_EQ(reg.Get(movies, 0).Name(), "equality");
+}
+
+TEST(KernelRegistryTest, NumericGetsGaussianScaledToVariance) {
+  db::Schema schema;
+  ASSERT_TRUE(schema
+                  .AddRelation("T",
+                               {{"id", db::AttrType::kText},
+                                {"x", db::AttrType::kReal}},
+                               {"id"})
+                  .ok());
+  db::Database database(std::make_shared<db::Schema>(schema));
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(database
+                    .Insert("T", {db::Value::Text("k" + std::to_string(i)),
+                                  db::Value::Real(i * 10.0)})
+                    .ok());
+  }
+  KernelRegistry reg = KernelRegistry::Defaults(database);
+  EXPECT_NE(reg.Get(0, 1).Name().find("gaussian"), std::string::npos);
+  // Variance of {0,10,...,90} (sample) is ~916.7 — similarity of adjacent
+  // values must be substantial under the scaled kernel.
+  EXPECT_GT(reg.Get(0, 1).Evaluate(db::Value::Real(10.0),
+                                   db::Value::Real(20.0)),
+            0.9);
+}
+
+TEST(KernelRegistryTest, AllEqualityOverridesNumeric) {
+  db::Database database = stedb::testing::MovieDatabase();
+  KernelRegistry reg = KernelRegistry::AllEquality(database.schema());
+  const db::RelationId movies = database.schema().RelationIndex("MOVIES");
+  for (int a = 0; a < 5; ++a) {
+    EXPECT_EQ(reg.Get(movies, a).Name(), "equality");
+  }
+}
+
+TEST(KernelRegistryTest, SetOverride) {
+  db::Database database = stedb::testing::MovieDatabase();
+  KernelRegistry reg = KernelRegistry::Defaults(database);
+  const db::RelationId movies = database.schema().RelationIndex("MOVIES");
+  reg.Set(movies, 2, std::make_shared<GaussianKernel>(5.0));
+  EXPECT_NE(reg.Get(movies, 2).Name().find("gaussian"), std::string::npos);
+}
+
+/// PSD property: Gram matrices of both kernels on random value sets are
+/// positive semi-definite (Cholesky of G + eps I succeeds).
+class KernelPsdTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KernelPsdTest, GramMatrixIsPsd) {
+  Rng rng(GetParam());
+  GaussianKernel gk(1.0 + rng.NextDouble() * 4.0);
+  EqualityKernel ek;
+  std::vector<db::Value> values;
+  for (int i = 0; i < 8; ++i) {
+    values.push_back(db::Value::Real(rng.NextGaussian(0.0, 2.0)));
+  }
+  for (const Kernel* k :
+       std::initializer_list<const Kernel*>{&gk, &ek}) {
+    la::Matrix gram(values.size(), values.size());
+    for (size_t i = 0; i < values.size(); ++i) {
+      for (size_t j = 0; j < values.size(); ++j) {
+        gram(i, j) = k->Evaluate(values[i], values[j]);
+      }
+    }
+    for (size_t i = 0; i < values.size(); ++i) gram(i, i) += 1e-9;
+    EXPECT_TRUE(la::CholeskyFactor(gram).ok())
+        << "kernel " << k->Name() << " not PSD";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KernelPsdTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace stedb::fwd

@@ -1,0 +1,104 @@
+#include "src/ml/knn.h"
+
+#include <gtest/gtest.h>
+
+namespace stedb::ml {
+namespace {
+
+EmbeddingIndex TinyIndex(SimilarityMetric metric) {
+  EmbeddingIndex index(metric);
+  index.Add(1, {1.0, 0.0});
+  index.Add(2, {0.9, 0.1});
+  index.Add(3, {0.0, 1.0});
+  index.Add(4, {-1.0, 0.0});
+  return index;
+}
+
+TEST(EmbeddingIndexTest, TopKCosineOrdering) {
+  EmbeddingIndex index = TinyIndex(SimilarityMetric::kCosine);
+  auto hits = index.TopK({1.0, 0.0}, 3, /*exclude=*/1);
+  ASSERT_EQ(hits.size(), 3u);
+  EXPECT_EQ(hits[0].fact, 2);
+  EXPECT_EQ(hits[1].fact, 3);
+  EXPECT_EQ(hits[2].fact, 4);
+  EXPECT_GT(hits[0].score, hits[1].score);
+}
+
+TEST(EmbeddingIndexTest, TopKOfExcludesSelf) {
+  EmbeddingIndex index = TinyIndex(SimilarityMetric::kCosine);
+  auto hits = index.TopKOf(1, 10);
+  ASSERT_TRUE(hits.ok());
+  EXPECT_EQ(hits.value().size(), 3u);
+  for (const Neighbor& n : hits.value()) EXPECT_NE(n.fact, 1);
+}
+
+TEST(EmbeddingIndexTest, EuclideanMetric) {
+  EmbeddingIndex index = TinyIndex(SimilarityMetric::kEuclidean);
+  auto hits = index.TopK({1.0, 0.0}, 1, 1);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].fact, 2);
+  EXPECT_NEAR(hits[0].score, -std::hypot(0.1, 0.1), 1e-12);
+}
+
+TEST(EmbeddingIndexTest, DotMetric) {
+  EmbeddingIndex index(SimilarityMetric::kDot);
+  index.Add(1, {2.0, 0.0});
+  index.Add(2, {0.5, 0.0});
+  auto hits = index.TopK({1.0, 0.0}, 2);
+  EXPECT_EQ(hits[0].fact, 1);  // larger dot wins even at same angle
+}
+
+TEST(EmbeddingIndexTest, KLargerThanIndex) {
+  EmbeddingIndex index = TinyIndex(SimilarityMetric::kCosine);
+  EXPECT_EQ(index.TopK({1.0, 0.0}, 100).size(), 4u);
+}
+
+TEST(EmbeddingIndexTest, AddOverwrites) {
+  EmbeddingIndex index(SimilarityMetric::kCosine);
+  index.Add(7, {1.0, 0.0});
+  index.Add(7, {0.0, 1.0});
+  EXPECT_EQ(index.size(), 1u);
+  auto sim = index.Similarity(7, 7);
+  ASSERT_TRUE(sim.ok());
+  EXPECT_NEAR(sim.value(), 1.0, 1e-12);
+}
+
+TEST(EmbeddingIndexTest, MissingFactErrors) {
+  EmbeddingIndex index = TinyIndex(SimilarityMetric::kCosine);
+  EXPECT_EQ(index.TopKOf(99, 2).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(index.Similarity(1, 99).status().code(), StatusCode::kNotFound);
+}
+
+TEST(EmbeddingIndexTest, SimilaritySymmetric) {
+  EmbeddingIndex index = TinyIndex(SimilarityMetric::kCosine);
+  EXPECT_DOUBLE_EQ(index.Similarity(1, 3).value(),
+                   index.Similarity(3, 1).value());
+}
+
+/// Property: on random clustered data, a point's nearest neighbor under
+/// cosine is in its own cluster.
+class KnnClusterTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(KnnClusterTest, NearestNeighborIsSameCluster) {
+  Rng rng(GetParam());
+  EmbeddingIndex index(SimilarityMetric::kCosine);
+  std::vector<int> cluster_of;
+  const double centers[3][2] = {{10, 0}, {0, 10}, {-10, -10}};
+  for (int i = 0; i < 60; ++i) {
+    const int c = i % 3;
+    index.Add(i, {centers[c][0] + rng.NextGaussian(),
+                  centers[c][1] + rng.NextGaussian()});
+    cluster_of.push_back(c);
+  }
+  int correct = 0;
+  for (int i = 0; i < 60; ++i) {
+    auto hits = index.TopKOf(i, 1).value();
+    if (cluster_of[hits[0].fact] == cluster_of[i]) ++correct;
+  }
+  EXPECT_GE(correct, 57);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, KnnClusterTest, ::testing::Range(1, 6));
+
+}  // namespace
+}  // namespace stedb::ml

@@ -1,0 +1,129 @@
+#include "src/n2v/node2vec.h"
+
+#include <gtest/gtest.h>
+
+#include "src/n2v/dynamic_node2vec.h"
+#include "tests/test_util.h"
+
+namespace stedb::n2v {
+namespace {
+
+using stedb::testing::FindFact;
+using stedb::testing::InsertC4;
+using stedb::testing::MovieDatabase;
+
+Node2VecConfig SmallConfig() {
+  Node2VecConfig cfg;
+  cfg.sg.dim = 10;
+  cfg.sg.epochs = 2;
+  cfg.sg.negatives = 4;
+  cfg.walk.walks_per_node = 4;
+  cfg.walk.walk_length = 6;
+  cfg.dynamic_epochs = 2;
+  cfg.seed = 11;
+  return cfg;
+}
+
+TEST(Node2VecTest, StaticTrainEmbedsEveryFact) {
+  db::Database database = MovieDatabase();
+  auto emb = Node2VecEmbedding::TrainStatic(&database, SmallConfig());
+  ASSERT_TRUE(emb.ok()) << emb.status();
+  for (size_t r = 0; r < database.schema().num_relations(); ++r) {
+    for (db::FactId f : database.FactsOf(static_cast<db::RelationId>(r))) {
+      auto v = emb.value().Embed(f);
+      ASSERT_TRUE(v.ok());
+      EXPECT_EQ(v.value().size(), 10u);
+    }
+  }
+}
+
+TEST(Node2VecTest, EmbedUnknownFactFails) {
+  db::Database database = MovieDatabase();
+  auto emb = Node2VecEmbedding::TrainStatic(&database, SmallConfig());
+  ASSERT_TRUE(emb.ok());
+  EXPECT_EQ(emb.value().Embed(12345).status().code(), StatusCode::kNotFound);
+}
+
+TEST(Node2VecTest, DeterministicGivenSeed) {
+  db::Database database = MovieDatabase();
+  auto e1 = Node2VecEmbedding::TrainStatic(&database, SmallConfig());
+  auto e2 = Node2VecEmbedding::TrainStatic(&database, SmallConfig());
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e2.ok());
+  db::FactId m1 = FindFact(database, "MOVIES", {"m01"});
+  EXPECT_EQ(e1.value().Embed(m1).value(), e2.value().Embed(m1).value());
+}
+
+TEST(Node2VecTest, DifferentSeedsDiffer) {
+  db::Database database = MovieDatabase();
+  Node2VecConfig c1 = SmallConfig();
+  Node2VecConfig c2 = SmallConfig();
+  c2.seed = 999;
+  auto e1 = Node2VecEmbedding::TrainStatic(&database, c1);
+  auto e2 = Node2VecEmbedding::TrainStatic(&database, c2);
+  db::FactId m1 = FindFact(database, "MOVIES", {"m01"});
+  EXPECT_NE(e1.value().Embed(m1).value(), e2.value().Embed(m1).value());
+}
+
+TEST(Node2VecTest, DynamicExtensionIsStable) {
+  db::Database database = MovieDatabase();
+  auto emb = Node2VecEmbedding::TrainStatic(&database, SmallConfig());
+  ASSERT_TRUE(emb.ok());
+
+  EmbeddingSnapshot snapshot;
+  for (size_t r = 0; r < database.schema().num_relations(); ++r) {
+    for (db::FactId f : database.FactsOf(static_cast<db::RelationId>(r))) {
+      snapshot.Record(f, emb.value().Embed(f).value());
+    }
+  }
+
+  db::FactId c4 = InsertC4(database);
+  ASSERT_TRUE(emb.value().ExtendToFacts({c4}).ok());
+
+  // The paper's stability contract: every old embedding is bit-identical.
+  double drift = snapshot.MaxDrift(
+      [&](db::FactId f) { return emb.value().Embed(f).value(); });
+  EXPECT_EQ(drift, 0.0);
+  // And the new fact is embedded.
+  EXPECT_TRUE(emb.value().Embed(c4).ok());
+}
+
+TEST(Node2VecTest, ExtendWithEmptyListIsNoOp) {
+  db::Database database = MovieDatabase();
+  auto emb = Node2VecEmbedding::TrainStatic(&database, SmallConfig());
+  ASSERT_TRUE(emb.ok());
+  EXPECT_TRUE(emb.value().ExtendToFacts({}).ok());
+}
+
+TEST(Node2VecTest, RepeatedExtensionsStayStable) {
+  db::Database database = MovieDatabase();
+  auto emb = Node2VecEmbedding::TrainStatic(&database, SmallConfig());
+  ASSERT_TRUE(emb.ok());
+  db::FactId c4 = InsertC4(database);
+  ASSERT_TRUE(emb.value().ExtendToFacts({c4}).ok());
+  la::Vector c4_vec = emb.value().Embed(c4).value();
+
+  auto a9 = database.Insert("ACTORS", {db::Value::Text("a09"),
+                                       db::Value::Text("Fresh"),
+                                       db::Value::Text("5M")});
+  ASSERT_TRUE(a9.ok());
+  ASSERT_TRUE(emb.value().ExtendToFacts({a9.value()}).ok());
+  // The previous extension's vector is now old — frozen too.
+  EXPECT_EQ(emb.value().Embed(c4).value(), c4_vec);
+}
+
+TEST(EmbeddingSnapshotTest, MaxDriftDetectsChange) {
+  EmbeddingSnapshot snap;
+  snap.Record(1, {1.0, 2.0});
+  snap.Record(2, {0.0, 0.0});
+  EXPECT_EQ(snap.size(), 2u);
+  EXPECT_TRUE(snap.Contains(1));
+  EXPECT_FALSE(snap.Contains(3));
+  double drift = snap.MaxDrift([](db::FactId f) {
+    return f == 1 ? la::Vector{1.0, 2.5} : la::Vector{0.0, 0.0};
+  });
+  EXPECT_DOUBLE_EQ(drift, 0.5);
+}
+
+}  // namespace
+}  // namespace stedb::n2v

@@ -1,0 +1,78 @@
+#include "src/la/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "src/la/matrix.h"
+
+namespace stedb::la {
+namespace {
+
+/// Minimize f(w) = 0.5 ||w - target||^2 with gradient w - target.
+template <typename Opt>
+double RunQuadratic(Opt& opt, int steps, size_t block = 0) {
+  Vector w = {5.0, -3.0, 2.0};
+  const Vector target = {1.0, 1.0, 1.0};
+  Vector grad(3);
+  for (int i = 0; i < steps; ++i) {
+    for (size_t j = 0; j < 3; ++j) grad[j] = w[j] - target[j];
+    opt.Step(block, w.data(), grad.data(), 3);
+  }
+  return Distance(w, target);
+}
+
+TEST(SgdTest, ConvergesOnQuadratic) {
+  SgdOptimizer opt(0.1);
+  EXPECT_LT(RunQuadratic(opt, 200), 1e-6);
+}
+
+TEST(SgdTest, LearningRateScale) {
+  SgdOptimizer opt(0.1);
+  opt.SetLearningRateScale(0.0);  // zero lr: nothing moves
+  Vector w = {1.0};
+  Vector g = {1.0};
+  opt.Step(0, w.data(), g.data(), 1);
+  EXPECT_DOUBLE_EQ(w[0], 1.0);
+}
+
+TEST(AdamTest, ConvergesOnQuadratic) {
+  AdamOptimizer opt(0.1);
+  EXPECT_LT(RunQuadratic(opt, 400), 1e-4);
+}
+
+TEST(AdamTest, BlocksHaveIndependentState) {
+  AdamOptimizer opt(0.1);
+  // Drive block 0 hard, then a first step on block 5 must look like a
+  // fresh Adam step (bias-corrected => step size ~ lr).
+  Vector w0 = {0.0};
+  Vector g = {1.0};
+  for (int i = 0; i < 50; ++i) opt.Step(0, w0.data(), g.data(), 1);
+  Vector w5 = {0.0};
+  opt.Step(5, w5.data(), g.data(), 1);
+  EXPECT_NEAR(w5[0], -0.1, 1e-6);  // first Adam step == -lr * sign(g)
+}
+
+TEST(AdamTest, FirstStepIsSignedLr) {
+  AdamOptimizer opt(0.05);
+  Vector w = {1.0, 1.0};
+  Vector g = {3.0, -0.001};
+  opt.Step(0, w.data(), g.data(), 2);
+  EXPECT_NEAR(w[0], 1.0 - 0.05, 1e-6);
+  EXPECT_NEAR(w[1], 1.0 + 0.05, 1e-4);
+}
+
+TEST(AdamTest, StateResizesWithBlockLength) {
+  AdamOptimizer opt(0.1);
+  Vector w2 = {0.0, 0.0};
+  Vector g2 = {1.0, 1.0};
+  opt.Step(0, w2.data(), g2.data(), 2);
+  // Same block, different length: state must reset, not crash.
+  Vector w3 = {0.0, 0.0, 0.0};
+  Vector g3 = {1.0, 1.0, 1.0};
+  opt.Step(0, w3.data(), g3.data(), 3);
+  EXPECT_NEAR(w3[0], -0.1, 1e-6);
+}
+
+}  // namespace
+}  // namespace stedb::la

@@ -1,0 +1,107 @@
+#include "src/exp/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_map>
+
+#include "src/data/registry.h"
+
+namespace stedb::exp {
+namespace {
+
+data::GeneratedDataset SmallHepatitis() {
+  data::GenConfig cfg;
+  cfg.scale = 0.15;
+  cfg.seed = 3;
+  return std::move(data::MakeHepatitis(cfg)).value();
+}
+
+TEST(PartitionTest, RemovesRequestedRatio) {
+  data::GeneratedDataset ds = SmallHepatitis();
+  const size_t total = ds.Samples().size();
+  Rng rng(1);
+  auto part = PartitionDynamic(ds.database, ds.pred_rel, ds.pred_attr, 0.3,
+                               rng);
+  ASSERT_TRUE(part.ok()) << part.status();
+  const size_t removed_pred = total - part.value().old_pred_facts.size();
+  EXPECT_NEAR(static_cast<double>(removed_pred) / total, 0.3, 0.05);
+  EXPECT_EQ(part.value().batches.size(), removed_pred);
+  EXPECT_TRUE(ds.database.ValidateAll().ok());
+}
+
+TEST(PartitionTest, StratifiedByLabel) {
+  data::GeneratedDataset ds = SmallHepatitis();
+  std::unordered_map<std::string, size_t> before;
+  for (db::FactId f : ds.Samples()) ++before[ds.LabelOf(f)];
+  Rng rng(2);
+  auto part = PartitionDynamic(ds.database, ds.pred_rel, ds.pred_attr, 0.4,
+                               rng);
+  ASSERT_TRUE(part.ok());
+  std::unordered_map<std::string, size_t> after;
+  for (db::FactId f : part.value().old_pred_facts) {
+    ++after[ds.database.value(f, ds.pred_attr).ToString()];
+  }
+  for (const auto& [label, n] : before) {
+    const double kept = static_cast<double>(after[label]) / n;
+    EXPECT_NEAR(kept, 0.6, 0.1) << label;
+  }
+}
+
+TEST(PartitionTest, CascadeCompanionsIncluded) {
+  // Hepatitis deletion batches carry exam + link facts, not only the
+  // patient row.
+  data::GeneratedDataset ds = SmallHepatitis();
+  Rng rng(3);
+  auto part = PartitionDynamic(ds.database, ds.pred_rel, ds.pred_attr, 0.2,
+                               rng);
+  ASSERT_TRUE(part.ok());
+  EXPECT_GT(part.value().total_removed,
+            part.value().batches.size());  // > one fact per batch
+}
+
+TEST(PartitionTest, RejectsBadRatio) {
+  data::GeneratedDataset ds = SmallHepatitis();
+  Rng rng(4);
+  EXPECT_FALSE(
+      PartitionDynamic(ds.database, ds.pred_rel, ds.pred_attr, 1.0, rng)
+          .ok());
+  EXPECT_FALSE(
+      PartitionDynamic(ds.database, ds.pred_rel, ds.pred_attr, -0.1, rng)
+          .ok());
+}
+
+TEST(PartitionTest, ReplayRestoresDatabase) {
+  data::GeneratedDataset ds = SmallHepatitis();
+  const size_t before = ds.database.NumFacts();
+  Rng rng(5);
+  auto part = PartitionDynamic(ds.database, ds.pred_rel, ds.pred_attr, 0.5,
+                               rng);
+  ASSERT_TRUE(part.ok());
+  EXPECT_EQ(ds.database.NumFacts(),
+            before - part.value().total_removed);
+  // Replay in inverse deletion order.
+  for (size_t b = part.value().batches.size(); b > 0; --b) {
+    auto ids = ReplayBatch(ds.database, part.value().batches[b - 1]);
+    ASSERT_TRUE(ids.ok()) << ids.status();
+  }
+  EXPECT_EQ(ds.database.NumFacts(), before);
+  EXPECT_TRUE(ds.database.ValidateAll().ok());
+}
+
+TEST(PartitionTest, WorksOnEveryDataset) {
+  data::GenConfig cfg;
+  cfg.scale = 0.05;
+  for (const std::string& name : data::DatasetNames()) {
+    auto ds = data::MakeDataset(name, cfg);
+    ASSERT_TRUE(ds.ok()) << name;
+    Rng rng(6);
+    auto part = PartitionDynamic(ds.value().database, ds.value().pred_rel,
+                                 ds.value().pred_attr, 0.2, rng);
+    ASSERT_TRUE(part.ok()) << name << ": " << part.status();
+    EXPECT_TRUE(ds.value().database.ValidateAll().ok()) << name;
+    EXPECT_GT(part.value().batches.size(), 0u) << name;
+  }
+}
+
+}  // namespace
+}  // namespace stedb::exp

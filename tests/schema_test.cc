@@ -1,0 +1,140 @@
+#include "src/db/schema.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace stedb::db {
+namespace {
+
+TEST(SchemaTest, AddRelationBasic) {
+  Schema s;
+  auto r = s.AddRelation("R", {{"a", AttrType::kInt}, {"b", AttrType::kText}},
+                         {"a"});
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 0);
+  EXPECT_EQ(s.num_relations(), 1u);
+  EXPECT_EQ(s.relation(0).name, "R");
+  EXPECT_TRUE(s.relation(0).IsKeyAttr(0));
+  EXPECT_FALSE(s.relation(0).IsKeyAttr(1));
+}
+
+TEST(SchemaTest, RejectsDuplicateRelation) {
+  Schema s;
+  ASSERT_TRUE(s.AddRelation("R", {{"a", AttrType::kInt}}, {"a"}).ok());
+  EXPECT_EQ(s.AddRelation("R", {{"a", AttrType::kInt}}, {"a"})
+                .status()
+                .code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, RejectsEmptyNameOrAttrs) {
+  Schema s;
+  EXPECT_FALSE(s.AddRelation("", {{"a", AttrType::kInt}}, {"a"}).ok());
+  EXPECT_FALSE(s.AddRelation("R", {}, {}).ok());
+}
+
+TEST(SchemaTest, RejectsDuplicateAttribute) {
+  Schema s;
+  EXPECT_EQ(s.AddRelation("R", {{"a", AttrType::kInt}, {"a", AttrType::kInt}},
+                          {"a"})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, RequiresKey) {
+  Schema s;
+  EXPECT_FALSE(s.AddRelation("R", {{"a", AttrType::kInt}}, {}).ok());
+}
+
+TEST(SchemaTest, RejectsUnknownKeyAttr) {
+  Schema s;
+  EXPECT_EQ(
+      s.AddRelation("R", {{"a", AttrType::kInt}}, {"zzz"}).status().code(),
+      StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, ForeignKeyTargetsKey) {
+  Schema s;
+  ASSERT_TRUE(s.AddRelation("S", {{"id", AttrType::kText}}, {"id"}).ok());
+  ASSERT_TRUE(s.AddRelation("R",
+                            {{"id", AttrType::kText},
+                             {"ref", AttrType::kText}},
+                            {"id"})
+                  .ok());
+  auto fk = s.AddForeignKey("R", {"ref"}, "S");
+  ASSERT_TRUE(fk.ok());
+  EXPECT_EQ(s.fk(fk.value()).from_rel, s.RelationIndex("R"));
+  EXPECT_EQ(s.fk(fk.value()).to_rel, s.RelationIndex("S"));
+  EXPECT_EQ(s.fk(fk.value()).to_attrs, s.relation(s.RelationIndex("S")).key);
+}
+
+TEST(SchemaTest, ForeignKeyTypeMismatch) {
+  Schema s;
+  ASSERT_TRUE(s.AddRelation("S", {{"id", AttrType::kInt}}, {"id"}).ok());
+  ASSERT_TRUE(s.AddRelation("R", {{"ref", AttrType::kText}}, {"ref"}).ok());
+  EXPECT_EQ(s.AddForeignKey("R", {"ref"}, "S").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, ForeignKeyArityMismatch) {
+  Schema s;
+  ASSERT_TRUE(s.AddRelation("S",
+                            {{"a", AttrType::kText}, {"b", AttrType::kText}},
+                            {"a", "b"})
+                  .ok());
+  ASSERT_TRUE(s.AddRelation("R", {{"x", AttrType::kText}}, {"x"}).ok());
+  EXPECT_EQ(s.AddForeignKey("R", {"x"}, "S").status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(SchemaTest, UnknownRelationsInFk) {
+  Schema s;
+  ASSERT_TRUE(s.AddRelation("R", {{"x", AttrType::kText}}, {"x"}).ok());
+  EXPECT_EQ(s.AddForeignKey("R", {"x"}, "NOPE").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(s.AddForeignKey("NOPE", {"x"}, "R").status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(s.AddForeignKey("R", {"nope"}, "R").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(SchemaTest, MovieSchemaShape) {
+  auto schema = testing::MovieSchema();
+  EXPECT_EQ(schema->num_relations(), 4u);
+  EXPECT_EQ(schema->num_foreign_keys(), 4u);
+  EXPECT_EQ(schema->TotalAttributes(), 5u + 3u + 3u + 3u);
+  EXPECT_EQ(schema->RelationIndex("ACTORS"), 1);
+  EXPECT_EQ(schema->RelationIndex("NOPE"), -1);
+}
+
+TEST(SchemaTest, OutgoingIncomingFks) {
+  auto schema = testing::MovieSchema();
+  RelationId collab = schema->RelationIndex("COLLABORATIONS");
+  RelationId actors = schema->RelationIndex("ACTORS");
+  EXPECT_EQ(schema->OutgoingFks(collab).size(), 3u);
+  EXPECT_EQ(schema->IncomingFks(actors).size(), 2u);
+  EXPECT_EQ(schema->OutgoingFks(actors).size(), 0u);
+}
+
+TEST(SchemaTest, AttrInAnyFk) {
+  auto schema = testing::MovieSchema();
+  RelationId movies = schema->RelationIndex("MOVIES");
+  const RelationSchema& rel = schema->relation(movies);
+  EXPECT_TRUE(schema->AttrInAnyFk(movies, rel.AttrIndex("mid")));   // ref'd
+  EXPECT_TRUE(schema->AttrInAnyFk(movies, rel.AttrIndex("studio")));
+  EXPECT_FALSE(schema->AttrInAnyFk(movies, rel.AttrIndex("title")));
+  EXPECT_FALSE(schema->AttrInAnyFk(movies, rel.AttrIndex("genre")));
+}
+
+TEST(SchemaTest, ToStringContainsDeclarations) {
+  auto schema = testing::MovieSchema();
+  const std::string dump = schema->ToString();
+  EXPECT_NE(dump.find("MOVIES"), std::string::npos);
+  EXPECT_NE(dump.find("⊆"), std::string::npos);
+  EXPECT_NE(dump.find("mid:text*"), std::string::npos);  // key marker
+}
+
+}  // namespace
+}  // namespace stedb::db

@@ -1,0 +1,143 @@
+#include "src/n2v/skipgram.h"
+
+#include <gtest/gtest.h>
+
+namespace stedb::n2v {
+namespace {
+
+std::vector<std::vector<graph::NodeId>> TwoCliqueWalks(int reps) {
+  // Nodes 0-2 co-occur; nodes 3-5 co-occur; the groups never mix.
+  std::vector<std::vector<graph::NodeId>> walks;
+  for (int r = 0; r < reps; ++r) {
+    walks.push_back({0, 1, 2, 0, 1, 2, 0, 1, 2});
+    walks.push_back({3, 4, 5, 3, 4, 5, 3, 4, 5});
+  }
+  return walks;
+}
+
+TEST(SkipGramTest, GrowPreservesExistingRows) {
+  Rng rng(1);
+  SkipGramConfig cfg;
+  cfg.dim = 8;
+  SkipGramModel model(4, cfg, rng);
+  la::Vector row1 = model.Embedding(1);
+  size_t first_new = model.Grow(3, rng);
+  EXPECT_EQ(first_new, 4u);
+  EXPECT_EQ(model.num_nodes(), 7u);
+  EXPECT_EQ(model.Embedding(1), row1);
+}
+
+TEST(SkipGramTest, TrainingSeparatesCliques) {
+  Rng rng(2);
+  SkipGramConfig cfg;
+  cfg.dim = 16;
+  cfg.window = 3;
+  cfg.negatives = 5;
+  SkipGramModel model(6, cfg, rng);
+  auto walks = TwoCliqueWalks(40);
+  NodeVocab vocab(6);
+  vocab.CountWalks(walks);
+  vocab.BuildNoiseTable();
+  model.Train(walks, vocab, 5, rng);
+  // Within-clique similarity must dominate cross-clique similarity.
+  double within = la::CosineSimilarity(model.Embedding(0), model.Embedding(1));
+  double cross = la::CosineSimilarity(model.Embedding(0), model.Embedding(4));
+  EXPECT_GT(within, cross + 0.3);
+}
+
+TEST(SkipGramTest, TrainingReducesLoss) {
+  Rng rng(3);
+  SkipGramConfig cfg;
+  cfg.dim = 12;
+  SkipGramModel model(6, cfg, rng);
+  auto walks = TwoCliqueWalks(20);
+  NodeVocab vocab(6);
+  vocab.CountWalks(walks);
+  vocab.BuildNoiseTable();
+  double first = model.Train(walks, vocab, 1, rng);
+  double later = model.Train(walks, vocab, 4, rng);
+  EXPECT_LT(later, first);
+}
+
+TEST(SkipGramTest, FrozenNodesNeverMove) {
+  Rng rng(4);
+  SkipGramConfig cfg;
+  cfg.dim = 8;
+  SkipGramModel model(6, cfg, rng);
+  auto walks = TwoCliqueWalks(10);
+  NodeVocab vocab(6);
+  vocab.CountWalks(walks);
+  vocab.BuildNoiseTable();
+  model.Train(walks, vocab, 2, rng);
+
+  // Freeze everything, record, train more: nothing may change.
+  model.FreezeAll();
+  std::vector<la::Vector> before;
+  for (size_t n = 0; n < model.num_nodes(); ++n) {
+    before.push_back(model.Embedding(static_cast<graph::NodeId>(n)));
+  }
+  model.Train(walks, vocab, 3, rng);
+  for (size_t n = 0; n < model.num_nodes(); ++n) {
+    EXPECT_EQ(model.Embedding(static_cast<graph::NodeId>(n)), before[n])
+        << "node " << n << " moved despite freeze";
+  }
+}
+
+TEST(SkipGramTest, UnfrozenNewNodesTrainAmongFrozen) {
+  Rng rng(5);
+  SkipGramConfig cfg;
+  cfg.dim = 8;
+  SkipGramModel model(6, cfg, rng);
+  auto walks = TwoCliqueWalks(20);
+  NodeVocab vocab(6);
+  vocab.CountWalks(walks);
+  vocab.BuildNoiseTable();
+  model.Train(walks, vocab, 3, rng);
+
+  model.FreezeAll();
+  size_t new_node = model.Grow(1, rng);  // node 6, unfrozen
+  EXPECT_FALSE(model.IsFrozen(static_cast<graph::NodeId>(new_node)));
+  la::Vector old0 = model.Embedding(0);
+  la::Vector new_before = model.Embedding(6);
+
+  // New node co-occurs with clique A.
+  std::vector<std::vector<graph::NodeId>> new_walks(
+      20, std::vector<graph::NodeId>{6, 0, 1, 2, 6, 0, 1, 2});
+  vocab.Resize(7);
+  vocab.CountWalks(new_walks);
+  vocab.BuildNoiseTable();
+  model.Train(new_walks, vocab, 4, rng);
+
+  EXPECT_EQ(model.Embedding(0), old0);       // frozen old node unchanged
+  EXPECT_NE(model.Embedding(6), new_before);  // new node moved
+  // New node lands nearer clique A than clique B.
+  EXPECT_GT(la::CosineSimilarity(model.Embedding(6), model.Embedding(1)),
+            la::CosineSimilarity(model.Embedding(6), model.Embedding(4)));
+}
+
+TEST(NodeVocabTest, CountsAndResize) {
+  NodeVocab vocab(3);
+  vocab.CountWalks({{0, 1, 1}, {2}});
+  EXPECT_EQ(vocab.count(0), 1u);
+  EXPECT_EQ(vocab.count(1), 2u);
+  EXPECT_EQ(vocab.total_count(), 4u);
+  vocab.Resize(5);
+  EXPECT_EQ(vocab.size(), 5u);
+  EXPECT_EQ(vocab.count(4), 0u);
+}
+
+TEST(NodeVocabTest, NoiseTableCoversUnseenNodes) {
+  NodeVocab vocab(4);
+  vocab.CountWalks({{0, 0, 0, 0, 0, 1}});
+  vocab.BuildNoiseTable();
+  Rng rng(6);
+  std::vector<int> seen(4, 0);
+  for (int i = 0; i < 5000; ++i) ++seen[vocab.SampleNoise(rng)];
+  // Unseen nodes 2 and 3 still get the floor weight.
+  EXPECT_GT(seen[2], 0);
+  EXPECT_GT(seen[3], 0);
+  EXPECT_GT(seen[0], seen[2]);  // frequent node sampled more
+}
+
+}  // namespace
+}  // namespace stedb::n2v

@@ -1,0 +1,140 @@
+#include "src/la/solve.h"
+
+#include <gtest/gtest.h>
+
+namespace stedb::la {
+namespace {
+
+Matrix RandomSpd(size_t n, Rng& rng) {
+  // A^T A + n I is comfortably SPD.
+  Matrix a = Matrix::RandomGaussian(n, n, 1.0, rng);
+  Matrix spd = a.Transposed().Multiply(a);
+  for (size_t i = 0; i < n; ++i) spd(i, i) += static_cast<double>(n);
+  return spd;
+}
+
+TEST(CholeskyTest, FactorReconstructs) {
+  Rng rng(1);
+  Matrix a = RandomSpd(5, rng);
+  auto l = CholeskyFactor(a);
+  ASSERT_TRUE(l.ok());
+  Matrix rec = l.value().Multiply(l.value().Transposed());
+  EXPECT_LT(Matrix::MaxAbsDiff(a, rec), 1e-9);
+}
+
+TEST(CholeskyTest, RejectsNonSquare) {
+  Matrix a(2, 3);
+  EXPECT_EQ(CholeskyFactor(a).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CholeskyTest, RejectsIndefinite) {
+  Matrix a(2, 2);
+  a.SetRow(0, {0.0, 1.0});
+  a.SetRow(1, {1.0, 0.0});
+  EXPECT_EQ(CholeskyFactor(a).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(CholeskySolveTest, SolvesKnownSystem) {
+  Matrix a(2, 2);
+  a.SetRow(0, {4.0, 1.0});
+  a.SetRow(1, {1.0, 3.0});
+  auto x = CholeskySolve(a, {1.0, 2.0});
+  ASSERT_TRUE(x.ok());
+  // Verify A x = b.
+  Vector ax = a.MultiplyVec(x.value());
+  EXPECT_NEAR(ax[0], 1.0, 1e-12);
+  EXPECT_NEAR(ax[1], 2.0, 1e-12);
+}
+
+TEST(CholeskySolveTest, DimensionMismatch) {
+  Matrix a = Matrix::Identity(3);
+  EXPECT_EQ(CholeskySolve(a, {1.0}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(GaussianSolveTest, SolvesNonSymmetric) {
+  Matrix a(3, 3);
+  a.SetRow(0, {0.0, 2.0, 1.0});  // needs pivoting (zero on diagonal)
+  a.SetRow(1, {1.0, 0.0, 0.0});
+  a.SetRow(2, {3.0, 1.0, 2.0});
+  Vector b = {5.0, 1.0, 10.0};
+  auto x = GaussianSolve(a, b);
+  ASSERT_TRUE(x.ok()) << x.status();
+  Vector ax = a.MultiplyVec(x.value());
+  for (int i = 0; i < 3; ++i) EXPECT_NEAR(ax[i], b[i], 1e-10);
+}
+
+TEST(GaussianSolveTest, DetectsSingular) {
+  Matrix a(2, 2);
+  a.SetRow(0, {1.0, 2.0});
+  a.SetRow(1, {2.0, 4.0});
+  EXPECT_EQ(GaussianSolve(a, {1.0, 2.0}).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST(RidgeTest, OverdeterminedConsistentSystem) {
+  // Rows are consistent: x = (1, -2) exactly.
+  Matrix c(4, 2);
+  c.SetRow(0, {1.0, 0.0});
+  c.SetRow(1, {0.0, 1.0});
+  c.SetRow(2, {1.0, 1.0});
+  c.SetRow(3, {2.0, -1.0});
+  Vector x_true = {1.0, -2.0};
+  Vector b = c.MultiplyVec(x_true);
+  auto x = RidgeLeastSquares(c, b, 1e-10);
+  ASSERT_TRUE(x.ok());
+  EXPECT_NEAR(x.value()[0], 1.0, 1e-6);
+  EXPECT_NEAR(x.value()[1], -2.0, 1e-6);
+}
+
+TEST(RidgeTest, RejectsNegativeRidge) {
+  Matrix c = Matrix::Identity(2);
+  EXPECT_EQ(RidgeLeastSquares(c, {1.0, 1.0}, -1.0).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(RidgeTest, LargeRidgeShrinksSolution) {
+  Matrix c = Matrix::Identity(2);
+  Vector b = {10.0, 10.0};
+  auto small = RidgeLeastSquares(c, b, 1e-9);
+  auto big = RidgeLeastSquares(c, b, 100.0);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(big.ok());
+  EXPECT_GT(Norm2(small.value()), Norm2(big.value()) * 10.0);
+}
+
+/// Property: CholeskySolve solves random SPD systems to high accuracy.
+class SolvePropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SolvePropertyTest, CholeskySolvesRandomSpd) {
+  Rng rng(GetParam() * 31 + 1);
+  const size_t n = 2 + rng.NextIndex(10);
+  Matrix a = RandomSpd(n, rng);
+  Vector x_true = RandomVector(n, 1.0, rng);
+  Vector b = a.MultiplyVec(x_true);
+  auto x = CholeskySolve(a, b);
+  ASSERT_TRUE(x.ok());
+  for (size_t i = 0; i < n; ++i) EXPECT_NEAR(x.value()[i], x_true[i], 1e-7);
+}
+
+TEST_P(SolvePropertyTest, RidgeMatchesNormalEquations) {
+  Rng rng(GetParam() * 57 + 2);
+  const size_t rows = 8 + rng.NextIndex(10);
+  const size_t cols = 2 + rng.NextIndex(4);
+  Matrix c = Matrix::RandomGaussian(rows, cols, 1.0, rng);
+  Vector b = RandomVector(rows, 1.0, rng);
+  const double ridge = 0.1;
+  auto x = RidgeLeastSquares(c, b, ridge);
+  ASSERT_TRUE(x.ok());
+  // Optimality: (C^T C + ridge I) x == C^T b.
+  Vector lhs = c.Transposed().Multiply(c).MultiplyVec(x.value());
+  Axpy(ridge, x.value(), lhs);
+  Vector rhs = c.TransposeMultiplyVec(b);
+  for (size_t i = 0; i < cols; ++i) EXPECT_NEAR(lhs[i], rhs[i], 1e-8);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SolvePropertyTest, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace stedb::la

@@ -1,0 +1,51 @@
+#include "src/common/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace stedb {
+namespace {
+
+TEST(StringUtilTest, SplitBasic) {
+  std::vector<std::string> parts = Split("a,b,c", ',');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split(",,", ',').size(), 3u);
+  EXPECT_EQ(Split("", ',').size(), 1u);
+  EXPECT_EQ(Split("a,", ',').back(), "");
+}
+
+TEST(StringUtilTest, JoinInvertsSplit) {
+  const std::string s = "x;y;zz";
+  EXPECT_EQ(Join(Split(s, ';'), ";"), s);
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, Trim) {
+  EXPECT_EQ(Trim("  hi \t\n"), "hi");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("nospace"), "nospace");
+}
+
+TEST(StringUtilTest, ToLower) {
+  EXPECT_EQ(ToLower("AbC123"), "abc123");
+}
+
+TEST(StringUtilTest, StartsWith) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_TRUE(StartsWith("foo", ""));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+}
+
+TEST(StringUtilTest, FormatDouble) {
+  EXPECT_EQ(FormatDouble(3.14159, 2), "3.14");
+  EXPECT_EQ(FormatDouble(100.0, 0), "100");
+  EXPECT_EQ(FormatDouble(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace stedb

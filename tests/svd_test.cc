@@ -1,0 +1,140 @@
+#include "src/la/svd.h"
+
+#include <gtest/gtest.h>
+
+namespace stedb::la {
+namespace {
+
+Matrix FromSvd(const Svd& svd) {
+  // U diag(sigma) V^T
+  Matrix us = svd.u;
+  for (size_t i = 0; i < us.rows(); ++i) {
+    for (size_t j = 0; j < us.cols(); ++j) us(i, j) *= svd.sigma[j];
+  }
+  return us.Multiply(svd.v.Transposed());
+}
+
+TEST(SvdTest, ReconstructsTall) {
+  Rng rng(1);
+  Matrix a = Matrix::RandomGaussian(8, 3, 1.0, rng);
+  auto svd = JacobiSvd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_LT(Matrix::MaxAbsDiff(a, FromSvd(svd.value())), 1e-8);
+}
+
+TEST(SvdTest, ReconstructsWide) {
+  Rng rng(2);
+  Matrix a = Matrix::RandomGaussian(3, 9, 1.0, rng);
+  auto svd = JacobiSvd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_LT(Matrix::MaxAbsDiff(a, FromSvd(svd.value())), 1e-8);
+}
+
+TEST(SvdTest, SingularValuesSortedNonNegative) {
+  Rng rng(3);
+  Matrix a = Matrix::RandomGaussian(6, 4, 2.0, rng);
+  auto svd = JacobiSvd(a);
+  ASSERT_TRUE(svd.ok());
+  const Vector& s = svd.value().sigma;
+  for (size_t i = 0; i < s.size(); ++i) {
+    EXPECT_GE(s[i], 0.0);
+    if (i > 0) EXPECT_LE(s[i], s[i - 1]);
+  }
+}
+
+TEST(SvdTest, DiagonalMatrixSingularValues) {
+  Matrix a(3, 3, 0.0);
+  a(0, 0) = 1.0;
+  a(1, 1) = 5.0;
+  a(2, 2) = 3.0;
+  auto svd = JacobiSvd(a);
+  ASSERT_TRUE(svd.ok());
+  EXPECT_NEAR(svd.value().sigma[0], 5.0, 1e-10);
+  EXPECT_NEAR(svd.value().sigma[1], 3.0, 1e-10);
+  EXPECT_NEAR(svd.value().sigma[2], 1.0, 1e-10);
+}
+
+TEST(SvdTest, OrthonormalColumns) {
+  Rng rng(4);
+  Matrix a = Matrix::RandomGaussian(7, 4, 1.0, rng);
+  auto svd = JacobiSvd(a);
+  ASSERT_TRUE(svd.ok());
+  Matrix utu = svd.value().u.Transposed().Multiply(svd.value().u);
+  EXPECT_LT(Matrix::MaxAbsDiff(utu, Matrix::Identity(4)), 1e-8);
+  Matrix vtv = svd.value().v.Transposed().Multiply(svd.value().v);
+  EXPECT_LT(Matrix::MaxAbsDiff(vtv, Matrix::Identity(4)), 1e-8);
+}
+
+TEST(SvdTest, EmptyRejected) {
+  EXPECT_FALSE(JacobiSvd(Matrix()).ok());
+}
+
+TEST(PinvTest, InverseOfInvertible) {
+  Rng rng(5);
+  Matrix a = Matrix::RandomGaussian(4, 4, 1.0, rng);
+  for (size_t i = 0; i < 4; ++i) a(i, i) += 4.0;
+  auto pinv = PseudoInverse(a);
+  ASSERT_TRUE(pinv.ok());
+  EXPECT_LT(Matrix::MaxAbsDiff(a.Multiply(pinv.value()), Matrix::Identity(4)),
+            1e-8);
+}
+
+TEST(PinvTest, RankDeficientMinNorm) {
+  // a = [1 0; 0 0]: pinv = a itself; x = A+ b has zero second coordinate.
+  Matrix a(2, 2, 0.0);
+  a(0, 0) = 1.0;
+  auto pinv = PseudoInverse(a);
+  ASSERT_TRUE(pinv.ok());
+  EXPECT_NEAR(pinv.value()(0, 0), 1.0, 1e-10);
+  EXPECT_NEAR(pinv.value()(1, 1), 0.0, 1e-10);
+}
+
+TEST(PinvSolveTest, MatchesPinvMultiply) {
+  Rng rng(6);
+  Matrix a = Matrix::RandomGaussian(8, 3, 1.0, rng);
+  Vector b = RandomVector(8, 1.0, rng);
+  auto x1 = PinvSolve(a, b);
+  auto pinv = PseudoInverse(a);
+  ASSERT_TRUE(x1.ok());
+  ASSERT_TRUE(pinv.ok());
+  Vector x2 = pinv.value().MultiplyVec(b);
+  for (size_t i = 0; i < 3; ++i) EXPECT_NEAR(x1.value()[i], x2[i], 1e-8);
+}
+
+TEST(PinvSolveTest, DimensionMismatch) {
+  Matrix a = Matrix::Identity(3);
+  EXPECT_FALSE(PinvSolve(a, {1.0}).ok());
+}
+
+/// Moore-Penrose property sweep on random matrices: A A+ A = A and
+/// A+ A A+ = A+, with A A+ and A+ A symmetric.
+class PinvPropertyTest
+    : public ::testing::TestWithParam<std::pair<int, int>> {};
+
+TEST_P(PinvPropertyTest, MoorePenroseConditions) {
+  auto [rows, cols] = GetParam();
+  Rng rng(static_cast<uint64_t>(rows * 100 + cols));
+  Matrix a = Matrix::RandomGaussian(rows, cols, 1.0, rng);
+  auto pr = PseudoInverse(a);
+  ASSERT_TRUE(pr.ok());
+  const Matrix& p = pr.value();
+  // 1. A P A = A
+  EXPECT_LT(Matrix::MaxAbsDiff(a.Multiply(p).Multiply(a), a), 1e-7);
+  // 2. P A P = P
+  EXPECT_LT(Matrix::MaxAbsDiff(p.Multiply(a).Multiply(p), p), 1e-7);
+  // 3. (A P)^T = A P
+  Matrix ap = a.Multiply(p);
+  EXPECT_LT(Matrix::MaxAbsDiff(ap, ap.Transposed()), 1e-7);
+  // 4. (P A)^T = P A
+  Matrix pa = p.Multiply(a);
+  EXPECT_LT(Matrix::MaxAbsDiff(pa, pa.Transposed()), 1e-7);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, PinvPropertyTest,
+    ::testing::Values(std::pair{3, 3}, std::pair{5, 2}, std::pair{2, 5},
+                      std::pair{8, 4}, std::pair{4, 8}, std::pair{6, 6},
+                      std::pair{10, 3}, std::pair{1, 4}));
+
+}  // namespace
+}  // namespace stedb::la

@@ -1,0 +1,111 @@
+#include "tests/test_util.h"
+
+#include <cassert>
+
+namespace stedb::testing {
+
+using db::AttrType;
+using db::Value;
+
+std::shared_ptr<const db::Schema> MovieSchema() {
+  auto schema = std::make_shared<db::Schema>();
+  auto check = [](auto result) {
+    assert(result.ok());
+    (void)result;
+  };
+  check(schema->AddRelation("MOVIES",
+                            {{"mid", AttrType::kText},
+                             {"studio", AttrType::kText},
+                             {"title", AttrType::kText},
+                             {"genre", AttrType::kText},
+                             {"budget", AttrType::kText}},
+                            {"mid"}));
+  check(schema->AddRelation("ACTORS",
+                            {{"aid", AttrType::kText},
+                             {"name", AttrType::kText},
+                             {"worth", AttrType::kText}},
+                            {"aid"}));
+  check(schema->AddRelation("STUDIOS",
+                            {{"sid", AttrType::kText},
+                             {"name", AttrType::kText},
+                             {"loc", AttrType::kText}},
+                            {"sid"}));
+  check(schema->AddRelation("COLLABORATIONS",
+                            {{"actor1", AttrType::kText},
+                             {"actor2", AttrType::kText},
+                             {"movie", AttrType::kText}},
+                            {"actor1", "actor2", "movie"}));
+  check(schema->AddForeignKey("MOVIES", {"studio"}, "STUDIOS"));
+  check(schema->AddForeignKey("COLLABORATIONS", {"actor1"}, "ACTORS"));
+  check(schema->AddForeignKey("COLLABORATIONS", {"actor2"}, "ACTORS"));
+  check(schema->AddForeignKey("COLLABORATIONS", {"movie"}, "MOVIES"));
+  return schema;
+}
+
+db::Database MovieDatabase() {
+  db::Database database(MovieSchema());
+  auto ins = [&](const std::string& rel, db::ValueTuple values) {
+    auto r = database.Insert(rel, std::move(values));
+    assert(r.ok());
+    (void)r;
+  };
+  ins("STUDIOS", {Value::Text("s01"), Value::Text("Warner Bros."),
+                  Value::Text("LA")});
+  ins("STUDIOS",
+      {Value::Text("s02"), Value::Text("Universal"), Value::Text("LA")});
+  ins("STUDIOS",
+      {Value::Text("s03"), Value::Text("Paramount"), Value::Text("LA")});
+  ins("MOVIES", {Value::Text("m01"), Value::Text("s03"),
+                 Value::Text("Titanic"), Value::Text("Drama"),
+                 Value::Text("200M")});
+  ins("MOVIES", {Value::Text("m02"), Value::Text("s01"),
+                 Value::Text("Inception"), Value::Text("SciFi"),
+                 Value::Text("160M")});
+  ins("MOVIES", {Value::Text("m03"), Value::Text("s01"),
+                 Value::Text("Godzilla"), Value::Null(),
+                 Value::Text("150M")});
+  ins("MOVIES", {Value::Text("m04"), Value::Text("s03"),
+                 Value::Text("Interstellar"), Value::Text("SciFi"),
+                 Value::Text("160M")});
+  ins("MOVIES", {Value::Text("m05"), Value::Text("s02"),
+                 Value::Text("Tropic Thunder"), Value::Text("Action"),
+                 Value::Text("90M")});
+  ins("MOVIES", {Value::Text("m06"), Value::Text("s01"),
+                 Value::Text("Wolf of Wall St."), Value::Text("Bio"),
+                 Value::Text("100M")});
+  ins("ACTORS",
+      {Value::Text("a01"), Value::Text("DiCaprio"), Value::Text("230M")});
+  ins("ACTORS",
+      {Value::Text("a02"), Value::Text("Watanabe"), Value::Text("40M")});
+  ins("ACTORS",
+      {Value::Text("a03"), Value::Text("Cruise"), Value::Text("600M")});
+  ins("ACTORS",
+      {Value::Text("a04"), Value::Text("McConaughey"), Value::Text("140M")});
+  ins("ACTORS",
+      {Value::Text("a05"), Value::Text("Damon"), Value::Text("170M")});
+  ins("COLLABORATIONS",
+      {Value::Text("a01"), Value::Text("a02"), Value::Text("m03")});
+  ins("COLLABORATIONS",
+      {Value::Text("a04"), Value::Text("a05"), Value::Text("m04")});
+  ins("COLLABORATIONS",
+      {Value::Text("a04"), Value::Text("a03"), Value::Text("m05")});
+  return database;
+}
+
+db::FactId InsertC4(db::Database& database) {
+  auto r = database.Insert(
+      "COLLABORATIONS",
+      {Value::Text("a01"), Value::Text("a04"), Value::Text("m06")});
+  assert(r.ok());
+  return r.value();
+}
+
+db::FactId FindFact(const db::Database& database, const std::string& rel,
+                    const std::vector<std::string>& key) {
+  db::RelationId r = database.schema().RelationIndex(rel);
+  db::ValueTuple tuple;
+  for (const std::string& k : key) tuple.push_back(Value::Text(k));
+  return database.FindByKey(r, tuple);
+}
+
+}  // namespace stedb::testing

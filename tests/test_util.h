@@ -1,0 +1,26 @@
+#ifndef STEDB_TESTS_TEST_UTIL_H_
+#define STEDB_TESTS_TEST_UTIL_H_
+
+#include <memory>
+
+#include "src/db/database.h"
+
+namespace stedb::testing {
+
+/// The paper's running-example movie schema (Figure 2).
+std::shared_ptr<const db::Schema> MovieSchema();
+
+/// The full Figure 2 instance (3 studios, 6 movies, 5 actors,
+/// 3 collaborations — c4 is NOT inserted, matching Example 3.1's D).
+db::Database MovieDatabase();
+
+/// Inserts c4 = COLLABORATIONS(a01, a04, m06) and returns its id.
+db::FactId InsertC4(db::Database& database);
+
+/// Looks up a fact by relation name and key values rendered as text.
+db::FactId FindFact(const db::Database& database, const std::string& rel,
+                    const std::vector<std::string>& key);
+
+}  // namespace stedb::testing
+
+#endif  // STEDB_TESTS_TEST_UTIL_H_

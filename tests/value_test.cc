@@ -1,0 +1,96 @@
+#include "src/db/value.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace stedb::db {
+namespace {
+
+TEST(ValueTest, NullByDefault) {
+  Value v;
+  EXPECT_TRUE(v.is_null());
+  EXPECT_FALSE(v.is_int());
+  EXPECT_EQ(v.ToString(), "");
+}
+
+TEST(ValueTest, Kinds) {
+  EXPECT_TRUE(Value::Int(3).is_int());
+  EXPECT_TRUE(Value::Real(1.5).is_real());
+  EXPECT_TRUE(Value::Text("x").is_text());
+  EXPECT_EQ(Value::Int(3).as_int(), 3);
+  EXPECT_DOUBLE_EQ(Value::Real(1.5).as_real(), 1.5);
+  EXPECT_EQ(Value::Text("x").as_text(), "x");
+}
+
+TEST(ValueTest, IntAndRealAreDistinct) {
+  EXPECT_FALSE(Value::Int(1) == Value::Real(1.0));
+  EXPECT_NE(Value::Int(1).Hash(), Value::Real(1.0).Hash());
+}
+
+TEST(ValueTest, AsNumber) {
+  EXPECT_DOUBLE_EQ(Value::Int(7).AsNumber(), 7.0);
+  EXPECT_DOUBLE_EQ(Value::Real(-2.5).AsNumber(), -2.5);
+  EXPECT_DOUBLE_EQ(Value::Text("abc").AsNumber(), 0.0);
+  EXPECT_DOUBLE_EQ(Value::Null().AsNumber(), 0.0);
+}
+
+TEST(ValueTest, MatchesType) {
+  EXPECT_TRUE(Value::Null().MatchesType(AttrType::kInt));
+  EXPECT_TRUE(Value::Int(1).MatchesType(AttrType::kInt));
+  EXPECT_TRUE(Value::Int(1).MatchesType(AttrType::kReal));  // int widens
+  EXPECT_FALSE(Value::Real(1.0).MatchesType(AttrType::kInt));
+  EXPECT_FALSE(Value::Text("a").MatchesType(AttrType::kReal));
+  EXPECT_TRUE(Value::Text("a").MatchesType(AttrType::kText));
+}
+
+TEST(ValueTest, ParseRoundTrip) {
+  EXPECT_EQ(Value::Parse("42", AttrType::kInt), Value::Int(42));
+  EXPECT_EQ(Value::Parse("-1.5", AttrType::kReal), Value::Real(-1.5));
+  EXPECT_EQ(Value::Parse("hello", AttrType::kText), Value::Text("hello"));
+  EXPECT_TRUE(Value::Parse("", AttrType::kInt).is_null());
+  EXPECT_TRUE(Value::Parse("notanint", AttrType::kInt).is_null());
+  EXPECT_TRUE(Value::Parse("1.5x", AttrType::kReal).is_null());
+}
+
+TEST(ValueTest, Ordering) {
+  EXPECT_LT(Value::Null(), Value::Int(0));  // variant index order
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::Text("a"), Value::Text("b"));
+}
+
+TEST(ValueTest, HashConsistentWithEquality) {
+  std::unordered_set<Value, ValueHash> set;
+  set.insert(Value::Int(1));
+  set.insert(Value::Int(1));
+  set.insert(Value::Text("1"));
+  set.insert(Value::Null());
+  EXPECT_EQ(set.size(), 3u);
+}
+
+TEST(ValueTupleTest, HasNull) {
+  EXPECT_TRUE(HasNull({Value::Int(1), Value::Null()}));
+  EXPECT_FALSE(HasNull({Value::Int(1), Value::Text("a")}));
+  EXPECT_FALSE(HasNull({}));
+}
+
+TEST(ValueTupleTest, HashDistinguishesOrder) {
+  ValueTupleHash h;
+  ValueTuple a = {Value::Int(1), Value::Int(2)};
+  ValueTuple b = {Value::Int(2), Value::Int(1)};
+  EXPECT_NE(h(a), h(b));
+  EXPECT_EQ(h(a), h(ValueTuple{Value::Int(1), Value::Int(2)}));
+}
+
+TEST(ValueTupleTest, ToStringRendersNull) {
+  EXPECT_EQ(ToString({Value::Int(1), Value::Null()}), "(1, ⊥)");
+}
+
+TEST(AttrTypeTest, Names) {
+  EXPECT_STREQ(AttrTypeName(AttrType::kInt), "int");
+  EXPECT_STREQ(AttrTypeName(AttrType::kReal), "real");
+  EXPECT_STREQ(AttrTypeName(AttrType::kText), "text");
+}
+
+}  // namespace
+}  // namespace stedb::db

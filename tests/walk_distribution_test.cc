@@ -1,0 +1,147 @@
+#include "src/fwd/walk_distribution.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "tests/test_util.h"
+
+namespace stedb::fwd {
+namespace {
+
+using stedb::testing::FindFact;
+using stedb::testing::InsertC4;
+using stedb::testing::MovieDatabase;
+
+WalkScheme SchemeS5(const db::Schema& schema) {
+  WalkScheme s;
+  s.start = schema.RelationIndex("ACTORS");
+  s.steps = {{1, false}, {3, true}};
+  return s;
+}
+
+std::map<std::string, double> AsMap(const ValueDistribution& d) {
+  std::map<std::string, double> m;
+  for (const auto& [v, p] : d.probs) m[v.ToString()] = p;
+  return m;
+}
+
+TEST(WalkDistributionTest, Example53BudgetDistribution) {
+  // Paper Example 5.3: P[budget=150M] = P[budget=100M] = 0.5.
+  db::Database database = MovieDatabase();
+  InsertC4(database);
+  WalkDistribution dist(&database);
+  db::FactId a1 = FindFact(database, "ACTORS", {"a01"});
+  auto d = dist.Exact(SchemeS5(database.schema()), 4, a1);
+  auto m = AsMap(d);
+  ASSERT_EQ(m.size(), 2u);
+  EXPECT_NEAR(m["150M"], 0.5, 1e-12);
+  EXPECT_NEAR(m["100M"], 0.5, 1e-12);
+}
+
+TEST(WalkDistributionTest, Example53GenrePosterior) {
+  // P[genre=Bio] = 1.0 because m3's genre is ⊥ (posterior conditioning).
+  db::Database database = MovieDatabase();
+  InsertC4(database);
+  WalkDistribution dist(&database);
+  db::FactId a1 = FindFact(database, "ACTORS", {"a01"});
+  auto d = dist.Exact(SchemeS5(database.schema()), 3, a1);
+  auto m = AsMap(d);
+  ASSERT_EQ(m.size(), 1u);
+  EXPECT_NEAR(m["Bio"], 1.0, 1e-12);
+}
+
+TEST(WalkDistributionTest, NonExistentDistributionIsEmpty) {
+  db::Database database = MovieDatabase();  // no c4: all walks end at m3
+  WalkDistribution dist(&database);
+  db::FactId a1 = FindFact(database, "ACTORS", {"a01"});
+  auto d = dist.Exact(SchemeS5(database.schema()), 3, a1);
+  EXPECT_FALSE(d.exists());
+}
+
+TEST(WalkDistributionTest, ProbabilitiesSumToOne) {
+  db::Database database = MovieDatabase();
+  InsertC4(database);
+  WalkDistribution dist(&database);
+  // All (start fact, scheme) combinations of length <= 2 from ACTORS.
+  auto schemes = EnumerateWalkSchemes(database.schema(),
+                                      database.schema().RelationIndex(
+                                          "ACTORS"),
+                                      2);
+  for (db::FactId a :
+       database.FactsOf(database.schema().RelationIndex("ACTORS"))) {
+    for (const WalkScheme& s : schemes) {
+      const db::RelationSchema& end =
+          database.schema().relation(s.End(database.schema()));
+      for (size_t attr = 0; attr < end.arity(); ++attr) {
+        auto d = dist.Exact(s, static_cast<db::AttrId>(attr), a);
+        if (d.exists()) EXPECT_NEAR(d.TotalMass(), 1.0, 1e-9);
+      }
+    }
+  }
+}
+
+TEST(WalkDistributionTest, SampledConvergesToExact) {
+  db::Database database = MovieDatabase();
+  InsertC4(database);
+  WalkDistribution dist(&database);
+  db::FactId a1 = FindFact(database, "ACTORS", {"a01"});
+  WalkScheme s5 = SchemeS5(database.schema());
+  auto exact = AsMap(dist.Exact(s5, 4, a1));
+  Rng rng(11);
+  auto sampled = AsMap(dist.Sampled(s5, 4, a1, 4000, rng));
+  ASSERT_EQ(sampled.size(), exact.size());
+  for (const auto& [v, p] : exact) {
+    EXPECT_NEAR(sampled[v], p, 0.05) << v;
+  }
+}
+
+TEST(WalkDistributionTest, ComputeFallsBackToSampling) {
+  db::Database database = MovieDatabase();
+  InsertC4(database);
+  // Force the exact path to bail out immediately.
+  WalkDistribution dist(&database, /*max_fact_support=*/0,
+                        /*fallback_samples=*/500);
+  db::FactId a1 = FindFact(database, "ACTORS", {"a01"});
+  Rng rng(13);
+  auto d = dist.Compute(SchemeS5(database.schema()), 4, a1, rng);
+  EXPECT_TRUE(d.exists());
+  EXPECT_NEAR(d.TotalMass(), 1.0, 1e-9);
+}
+
+TEST(WalkDistributionTest, ExpectedKernelEquality) {
+  // KD under the equality kernel = collision probability.
+  ValueDistribution a;
+  a.probs = {{db::Value::Text("x"), 0.5}, {db::Value::Text("y"), 0.5}};
+  ValueDistribution b;
+  b.probs = {{db::Value::Text("x"), 1.0}};
+  EqualityKernel k;
+  EXPECT_NEAR(WalkDistribution::ExpectedKernel(a, b, k), 0.5, 1e-12);
+  EXPECT_NEAR(WalkDistribution::ExpectedKernel(a, a, k), 0.5, 1e-12);
+  EXPECT_NEAR(WalkDistribution::ExpectedKernel(b, b, k), 1.0, 1e-12);
+}
+
+TEST(WalkDistributionTest, ExpectedKernelGaussian) {
+  ValueDistribution a;
+  a.probs = {{db::Value::Real(0.0), 1.0}};
+  ValueDistribution b;
+  b.probs = {{db::Value::Real(0.0), 0.5}, {db::Value::Real(2.0), 0.5}};
+  GaussianKernel k(1.0);
+  const double expected = 0.5 * 1.0 + 0.5 * std::exp(-2.0);
+  EXPECT_NEAR(WalkDistribution::ExpectedKernel(a, b, k), expected, 1e-12);
+}
+
+TEST(WalkDistributionTest, ZeroLengthSchemeIsPointMass) {
+  db::Database database = MovieDatabase();
+  WalkDistribution dist(&database);
+  WalkScheme s;
+  s.start = database.schema().RelationIndex("ACTORS");
+  db::FactId a1 = FindFact(database, "ACTORS", {"a01"});
+  auto d = dist.Exact(s, 1, a1);  // name attribute
+  ASSERT_EQ(d.probs.size(), 1u);
+  EXPECT_EQ(d.probs[0].first.as_text(), "DiCaprio");
+  EXPECT_NEAR(d.probs[0].second, 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace stedb::fwd

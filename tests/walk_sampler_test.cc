@@ -1,0 +1,145 @@
+#include "src/fwd/walk_sampler.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace stedb::fwd {
+namespace {
+
+using stedb::testing::FindFact;
+using stedb::testing::InsertC4;
+using stedb::testing::MovieDatabase;
+
+/// s5 of the paper's Figure 4: ACTORS ← COLLAB[actor1], then → MOVIES.
+WalkScheme SchemeS5(const db::Schema& schema) {
+  WalkScheme s;
+  s.start = schema.RelationIndex("ACTORS");
+  s.steps = {{1, false}, {3, true}};
+  return s;
+}
+
+TEST(WalkSamplerTest, ForwardStepIsDeterministic) {
+  db::Database database = MovieDatabase();
+  WalkSampler sampler(&database);
+  WalkScheme s;
+  s.start = database.schema().RelationIndex("MOVIES");
+  s.steps = {{0, true}};  // MOVIES -> STUDIOS
+  db::FactId m1 = FindFact(database, "MOVIES", {"m01"});
+  db::FactId s3 = FindFact(database, "STUDIOS", {"s03"});
+  Rng rng(1);
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(sampler.SampleDestination(s, m1, rng), s3);
+  }
+}
+
+TEST(WalkSamplerTest, DeadEndReturnsNoFact) {
+  db::Database database = MovieDatabase();
+  WalkSampler sampler(&database);
+  // Backward from an actor with no collaborations (a02 appears only as
+  // actor2; backward over actor1 fails).
+  WalkScheme s;
+  s.start = database.schema().RelationIndex("ACTORS");
+  s.steps = {{1, false}};
+  db::FactId a2 = FindFact(database, "ACTORS", {"a02"});
+  Rng rng(2);
+  EXPECT_EQ(sampler.SampleDestination(s, a2, rng), db::kNoFact);
+}
+
+TEST(WalkSamplerTest, NullFkImageEndsWalk) {
+  db::Database database = MovieDatabase();
+  auto r = database.Insert(
+      "MOVIES", {db::Value::Text("m99"), db::Value::Null(),
+                 db::Value::Text("NoStudio"), db::Value::Null(),
+                 db::Value::Text("1M")});
+  ASSERT_TRUE(r.ok());
+  WalkSampler sampler(&database);
+  WalkScheme s;
+  s.start = database.schema().RelationIndex("MOVIES");
+  s.steps = {{0, true}};
+  Rng rng(3);
+  EXPECT_EQ(sampler.SampleDestination(s, r.value(), rng), db::kNoFact);
+}
+
+TEST(WalkSamplerTest, Example52WalksFromA1) {
+  // With c4 inserted, the two walks with scheme s5 from a1 end at m3/m6.
+  db::Database database = MovieDatabase();
+  InsertC4(database);
+  WalkSampler sampler(&database);
+  WalkScheme s5 = SchemeS5(database.schema());
+  db::FactId a1 = FindFact(database, "ACTORS", {"a01"});
+  db::FactId m3 = FindFact(database, "MOVIES", {"m03"});
+  db::FactId m6 = FindFact(database, "MOVIES", {"m06"});
+  Rng rng(4);
+  int hit3 = 0, hit6 = 0;
+  for (int i = 0; i < 400; ++i) {
+    db::FactId dest = sampler.SampleDestination(s5, a1, rng);
+    ASSERT_TRUE(dest == m3 || dest == m6);
+    (dest == m3 ? hit3 : hit6)++;
+  }
+  // Uniform backward choice: both near 200.
+  EXPECT_NEAR(hit3, 200, 60);
+  EXPECT_NEAR(hit6, 200, 60);
+}
+
+TEST(WalkSamplerTest, SampleWalkReturnsFullPath) {
+  db::Database database = MovieDatabase();
+  InsertC4(database);
+  WalkSampler sampler(&database);
+  WalkScheme s5 = SchemeS5(database.schema());
+  db::FactId a1 = FindFact(database, "ACTORS", {"a01"});
+  Rng rng(5);
+  auto walk = sampler.SampleWalk(s5, a1, rng);
+  ASSERT_EQ(walk.size(), 3u);
+  EXPECT_EQ(walk[0], a1);
+  EXPECT_EQ(database.fact(walk[1]).rel,
+            database.schema().RelationIndex("COLLABORATIONS"));
+  EXPECT_EQ(database.fact(walk[2]).rel,
+            database.schema().RelationIndex("MOVIES"));
+}
+
+TEST(WalkSamplerTest, PosteriorSkipsNullDestinationValues) {
+  // Walks from a1 via s5 (without c4) all end at m3 whose genre is ⊥:
+  // the posterior-conditioned sample must not exist.
+  db::Database database = MovieDatabase();
+  WalkSampler sampler(&database);
+  WalkScheme s5 = SchemeS5(database.schema());
+  db::FactId a1 = FindFact(database, "ACTORS", {"a01"});
+  const db::AttrId genre = 3;
+  Rng rng(6);
+  EXPECT_FALSE(
+      sampler.SampleDestinationValue(s5, genre, a1, rng).has_value());
+  EXPECT_FALSE(sampler.DestinationExists(s5, genre, a1));
+  // budget exists though.
+  const db::AttrId budget = 4;
+  EXPECT_TRUE(sampler.DestinationExists(s5, budget, a1));
+  EXPECT_TRUE(
+      sampler.SampleDestinationValue(s5, budget, a1, rng).has_value());
+}
+
+TEST(WalkSamplerTest, DestinationExistsAfterInsertingC4) {
+  db::Database database = MovieDatabase();
+  InsertC4(database);
+  WalkSampler sampler(&database);
+  WalkScheme s5 = SchemeS5(database.schema());
+  db::FactId a1 = FindFact(database, "ACTORS", {"a01"});
+  // Now one of the two destinations (m6) has genre Bio.
+  EXPECT_TRUE(sampler.DestinationExists(s5, 3, a1));
+  Rng rng(7);
+  auto v = sampler.SampleDestinationValue(s5, 3, a1, rng, 64);
+  ASSERT_TRUE(v.has_value());
+  EXPECT_EQ(v->as_text(), "Bio");
+}
+
+TEST(WalkSamplerTest, ZeroLengthSchemeEndsAtStart) {
+  db::Database database = MovieDatabase();
+  WalkSampler sampler(&database);
+  WalkScheme s;
+  s.start = database.schema().RelationIndex("ACTORS");
+  db::FactId a1 = FindFact(database, "ACTORS", {"a01"});
+  Rng rng(8);
+  EXPECT_EQ(sampler.SampleDestination(s, a1, rng), a1);
+}
+
+}  // namespace
+}  // namespace stedb::fwd

@@ -1,0 +1,121 @@
+#include "src/fwd/walk_scheme.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace stedb::fwd {
+namespace {
+
+TEST(WalkSchemeTest, ZeroLengthSchemeIncluded) {
+  auto schema = stedb::testing::MovieSchema();
+  auto schemes =
+      EnumerateWalkSchemes(*schema, schema->RelationIndex("ACTORS"), 0);
+  ASSERT_EQ(schemes.size(), 1u);
+  EXPECT_EQ(schemes[0].length(), 0u);
+  EXPECT_EQ(schemes[0].End(*schema), schema->RelationIndex("ACTORS"));
+}
+
+TEST(WalkSchemeTest, Figure4CountFromActors) {
+  // The paper's Figure 4 shows 9 schemes "of length at most three" from
+  // ACTORS, counting relations in the rendered form (= at most 2 FK steps)
+  // and including the trivial scheme: 1 + 2 (len 1) + 6 (len 2) = 9.
+  auto schema = stedb::testing::MovieSchema();
+  auto schemes =
+      EnumerateWalkSchemes(*schema, schema->RelationIndex("ACTORS"), 2);
+  EXPECT_EQ(schemes.size(), 9u);
+}
+
+TEST(WalkSchemeTest, LengthOneFromActors) {
+  auto schema = stedb::testing::MovieSchema();
+  auto schemes =
+      EnumerateWalkSchemes(*schema, schema->RelationIndex("ACTORS"), 1);
+  // Backward via COLLAB[actor1] and COLLAB[actor2] only.
+  ASSERT_EQ(schemes.size(), 3u);
+  EXPECT_EQ(schemes[1].End(*schema),
+            schema->RelationIndex("COLLABORATIONS"));
+  EXPECT_FALSE(schemes[1].steps[0].forward);
+}
+
+TEST(WalkSchemeTest, EndRelationTracksSteps) {
+  auto schema = stedb::testing::MovieSchema();
+  auto schemes =
+      EnumerateWalkSchemes(*schema, schema->RelationIndex("ACTORS"), 2);
+  int to_movies = 0;
+  for (const WalkScheme& s : schemes) {
+    if (s.End(*schema) == schema->RelationIndex("MOVIES")) ++to_movies;
+  }
+  // ACTORS -> COLLAB (x2) -> MOVIES via the movie FK.
+  EXPECT_EQ(to_movies, 2);
+}
+
+TEST(WalkSchemeTest, MaxSchemesBoundsEnumeration) {
+  auto schema = stedb::testing::MovieSchema();
+  auto schemes = EnumerateWalkSchemes(
+      *schema, schema->RelationIndex("ACTORS"), 3, /*max_schemes=*/5);
+  EXPECT_LE(schemes.size(), 5u);
+}
+
+TEST(WalkSchemeTest, ToStringMatchesPaperNotation) {
+  auto schema = stedb::testing::MovieSchema();
+  auto schemes =
+      EnumerateWalkSchemes(*schema, schema->RelationIndex("ACTORS"), 1);
+  EXPECT_EQ(schemes[0].ToString(*schema), "ACTORS[]");
+  EXPECT_EQ(schemes[1].ToString(*schema),
+            "ACTORS[aid]—COLLABORATIONS[actor1]");
+}
+
+TEST(WalkSchemeTest, IsolatedRelationHasOnlyTrivialScheme) {
+  db::Schema schema;
+  ASSERT_TRUE(
+      schema.AddRelation("LONER", {{"id", db::AttrType::kInt}}, {"id"}).ok());
+  auto schemes = EnumerateWalkSchemes(schema, 0, 3);
+  EXPECT_EQ(schemes.size(), 1u);
+}
+
+TEST(BuildTargetsTest, ExcludesFkAttributes) {
+  auto schema = stedb::testing::MovieSchema();
+  auto schemes =
+      EnumerateWalkSchemes(*schema, schema->RelationIndex("ACTORS"), 2);
+  auto targets = BuildTargets(*schema, schemes, {});
+  // No target attribute may participate in any FK.
+  for (const SchemeTarget& t : targets) {
+    db::RelationId end = schemes[t.scheme_index].End(*schema);
+    EXPECT_FALSE(schema->AttrInAnyFk(end, t.attr));
+  }
+  // COLLABORATIONS has only FK attributes => schemes ending there
+  // contribute nothing.
+  for (const SchemeTarget& t : targets) {
+    EXPECT_NE(schemes[t.scheme_index].End(*schema),
+              schema->RelationIndex("COLLABORATIONS"));
+  }
+}
+
+TEST(BuildTargetsTest, ExclusionSetRespected) {
+  auto schema = stedb::testing::MovieSchema();
+  auto schemes =
+      EnumerateWalkSchemes(*schema, schema->RelationIndex("ACTORS"), 2);
+  const db::RelationId movies = schema->RelationIndex("MOVIES");
+  const db::AttrId genre = schema->relation(movies).AttrIndex("genre");
+  AttrKeySet excluded;
+  excluded.insert({movies, genre});
+  auto with = BuildTargets(*schema, schemes, {});
+  auto without = BuildTargets(*schema, schemes, excluded);
+  EXPECT_LT(without.size(), with.size());
+  for (const SchemeTarget& t : without) {
+    db::RelationId end = schemes[t.scheme_index].End(*schema);
+    EXPECT_FALSE(end == movies && t.attr == genre);
+  }
+}
+
+TEST(BuildTargetsTest, ZeroLengthSchemeContributesOwnAttrs) {
+  auto schema = stedb::testing::MovieSchema();
+  auto schemes =
+      EnumerateWalkSchemes(*schema, schema->RelationIndex("ACTORS"), 0);
+  auto targets = BuildTargets(*schema, schemes, {});
+  // ACTORS attributes not in any FK: name, worth (aid is referenced).
+  EXPECT_EQ(targets.size(), 2u);
+}
+
+}  // namespace
+}  // namespace stedb::fwd
