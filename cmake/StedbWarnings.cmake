@@ -1,0 +1,20 @@
+# Warning flags shared by the library, tests, bench, and examples.
+# Strict C++17 conformance (-Wpedantic) is deliberate: the tree must build
+# warning-free on both gcc and clang so CI can flip STEDB_WERROR=ON.
+
+set(STEDB_WARNINGS "")
+if(CMAKE_CXX_COMPILER_ID MATCHES "GNU|Clang")
+  list(APPEND STEDB_WARNINGS -Wall -Wextra -Wpedantic)
+  if(STEDB_WERROR)
+    list(APPEND STEDB_WARNINGS -Werror)
+  endif()
+elseif(MSVC)
+  list(APPEND STEDB_WARNINGS /W4)
+  if(STEDB_WERROR)
+    list(APPEND STEDB_WARNINGS /WX)
+  endif()
+endif()
+
+function(stedb_set_warnings target)
+  target_compile_options(${target} PRIVATE ${STEDB_WARNINGS})
+endfunction()

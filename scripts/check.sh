@@ -1,0 +1,11 @@
+#!/usr/bin/env sh
+# Developer loop: configure + build + full tier-1 verify + bench smoke.
+# Usage: scripts/check.sh [build-dir]   (default: build)
+set -eu
+
+BUILD_DIR="${1:-build}"
+
+cmake -B "$BUILD_DIR" -S .
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
+cmake --build "$BUILD_DIR" --target bench_smoke

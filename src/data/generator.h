@@ -46,6 +46,16 @@ struct GenConfig {
   double signal = 0.85;
 };
 
+/// Builds a GeneratedDataset with named parameters. The single place that
+/// depends on the struct's member order — generators must use this instead
+/// of positional aggregate initialization.
+inline GeneratedDataset MakeGeneratedDataset(
+    std::string name, db::Database database, db::RelationId pred_rel,
+    db::AttrId pred_attr, std::vector<std::string> class_names) {
+  return GeneratedDataset{std::move(name), std::move(database), pred_rel,
+                          pred_attr, std::move(class_names)};
+}
+
 // ---- Latent-class sampling helpers used by all generators --------------
 
 /// Draws a categorical value from a class-conditional vocabulary: with

@@ -167,12 +167,9 @@ Result<GeneratedDataset> MakeGenes(const GenConfig& cfg) {
             .status());
   }
 
-  GeneratedDataset out{.name = "genes",
-                       .database = std::move(database),
-                       .pred_rel = schema->RelationIndex("CLASSIFICATION"),
-                       .pred_attr = 1,
-                       .class_names = localizations};
-  return out;
+  return MakeGeneratedDataset("genes", std::move(database),
+                              schema->RelationIndex("CLASSIFICATION"),
+                              /*pred_attr=*/1, localizations);
 }
 
 }  // namespace stedb::data

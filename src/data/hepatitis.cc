@@ -182,12 +182,9 @@ Result<GeneratedDataset> MakeHepatitis(const GenConfig& cfg) {
             .status());
   }
 
-  GeneratedDataset out{.name = "hepatitis",
-                       .database = std::move(database),
-                       .pred_rel = schema->RelationIndex("DISPAT"),
-                       .pred_attr = 3,
-                       .class_names = {"HepatitisB", "HepatitisC"}};
-  return out;
+  return MakeGeneratedDataset("hepatitis", std::move(database),
+                              schema->RelationIndex("DISPAT"),
+                              /*pred_attr=*/3, {"HepatitisB", "HepatitisC"});
 }
 
 }  // namespace stedb::data

@@ -340,12 +340,9 @@ Result<GeneratedDataset> MakeMondial(const GenConfig& cfg) {
     }
   }
 
-  GeneratedDataset out{.name = "mondial",
-                       .database = std::move(database),
-                       .pred_rel = schema->RelationIndex("TARGET"),
-                       .pred_attr = 1,
-                       .class_names = {"christian", "non-christian"}};
-  return out;
+  return MakeGeneratedDataset("mondial", std::move(database),
+                              schema->RelationIndex("TARGET"),
+                              /*pred_attr=*/1, {"christian", "non-christian"});
 }
 
 }  // namespace stedb::data

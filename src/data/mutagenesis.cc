@@ -142,12 +142,9 @@ Result<GeneratedDataset> MakeMutagenesis(const GenConfig& cfg) {
     }
   }
 
-  GeneratedDataset out{.name = "mutagenesis",
-                       .database = std::move(database),
-                       .pred_rel = schema->RelationIndex("MOLECULE"),
-                       .pred_attr = 1,
-                       .class_names = {"no", "yes"}};
-  return out;
+  return MakeGeneratedDataset("mutagenesis", std::move(database),
+                              schema->RelationIndex("MOLECULE"),
+                              /*pred_attr=*/1, {"no", "yes"});
 }
 
 }  // namespace stedb::data

@@ -166,13 +166,10 @@ Result<GeneratedDataset> MakeWorld(const GenConfig& cfg) {
     }
   }
 
-  GeneratedDataset out{.name = "world",
-                       .database = std::move(database),
-                       .pred_rel = schema->RelationIndex("COUNTRY"),
-                       .pred_attr = 2,
-                       .class_names = std::vector<std::string>(
-                           kContinents, kContinents + kNumContinents)};
-  return out;
+  return MakeGeneratedDataset(
+      "world", std::move(database), schema->RelationIndex("COUNTRY"),
+      /*pred_attr=*/2,
+      std::vector<std::string>(kContinents, kContinents + kNumContinents));
 }
 
 }  // namespace stedb::data

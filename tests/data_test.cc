@@ -154,8 +154,8 @@ INSTANTIATE_TEST_SUITE_P(
                       DatasetSpec{"mutagenesis", 3, 2, "MOLECULE"},
                       DatasetSpec{"world", 3, 7, "COUNTRY"},
                       DatasetSpec{"mondial", 40, 2, "TARGET"}),
-    [](const ::testing::TestParamInfo<DatasetSpec>& info) {
-      return info.param.name;
+    [](const ::testing::TestParamInfo<DatasetSpec>& param_info) {
+      return param_info.param.name;
     });
 
 TEST(MondialShapeTest, AttributeCountNearPaper) {

@@ -100,9 +100,9 @@ TEST_P(MethodIntegrationTest, StreamOfArrivalsStaysStable) {
 INSTANTIATE_TEST_SUITE_P(Methods, MethodIntegrationTest,
                          ::testing::Values(exp::MethodKind::kForward,
                                            exp::MethodKind::kNode2Vec),
-                         [](const auto& info) {
+                         [](const auto& param_info) {
                            return std::string(
-                               exp::MethodKindName(info.param));
+                               exp::MethodKindName(param_info.param));
                          });
 
 TEST(IntegrationTest, DownstreamClassifierOnFrozenEmbeddings) {

@@ -1,0 +1,104 @@
+// Dedicated coverage for src/data/registry.cc: every paper dataset
+// (Table I) must be registered under its canonical name and constructible
+// at smoke scale, and MakeDataset must dispatch exactly the set that
+// DatasetNames advertises.
+#include "src/data/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <unordered_set>
+
+namespace stedb::data {
+namespace {
+
+// CI-scale generation config shared by all cases in this suite.
+GenConfig SmokeConfig() {
+  GenConfig cfg;
+  cfg.scale = 0.03;
+  cfg.seed = 7;
+  return cfg;
+}
+
+TEST(RegistryTest, AdvertisesAllFivePaperDatasetsInTableOneOrder) {
+  const std::vector<std::string> names = DatasetNames();
+  ASSERT_EQ(names.size(), 5u);
+  EXPECT_EQ(names[0], "hepatitis");
+  EXPECT_EQ(names[1], "genes");
+  EXPECT_EQ(names[2], "mutagenesis");
+  EXPECT_EQ(names[3], "world");
+  EXPECT_EQ(names[4], "mondial");
+}
+
+TEST(RegistryTest, EveryAdvertisedDatasetIsConstructibleAtSmokeScale) {
+  for (const std::string& name : DatasetNames()) {
+    auto ds = MakeDataset(name, SmokeConfig());
+    ASSERT_TRUE(ds.ok()) << name << ": " << ds.status();
+    const GeneratedDataset& d = ds.value();
+    EXPECT_EQ(d.name, name);
+    EXPECT_GE(d.pred_rel, 0) << name;
+    EXPECT_GE(d.pred_attr, 0) << name;
+    EXPECT_FALSE(d.class_names.empty()) << name;
+    EXPECT_FALSE(d.Samples().empty()) << name;
+    EXPECT_TRUE(d.database.ValidateAll().ok()) << name;
+  }
+}
+
+TEST(RegistryTest, DispatchMatchesDirectConstructors) {
+  // MakeDataset("x", cfg) must be the same generator as MakeX(cfg): same
+  // schema and same fact count under an identical seed.
+  const GenConfig cfg = SmokeConfig();
+  struct Entry {
+    std::string name;
+    Result<GeneratedDataset> direct;
+  };
+  Entry entries[] = {{"hepatitis", MakeHepatitis(cfg)},
+                     {"genes", MakeGenes(cfg)},
+                     {"mutagenesis", MakeMutagenesis(cfg)},
+                     {"world", MakeWorld(cfg)},
+                     {"mondial", MakeMondial(cfg)}};
+  for (Entry& e : entries) {
+    ASSERT_TRUE(e.direct.ok()) << e.name;
+    auto dispatched = MakeDataset(e.name, cfg);
+    ASSERT_TRUE(dispatched.ok()) << e.name;
+    EXPECT_EQ(dispatched.value().database.schema().num_relations(),
+              e.direct.value().database.schema().num_relations())
+        << e.name;
+    EXPECT_EQ(dispatched.value().database.NumFacts(),
+              e.direct.value().database.NumFacts())
+        << e.name;
+  }
+}
+
+TEST(RegistryTest, RelationCountsMatchTableOne) {
+  const std::vector<std::string> advertised = DatasetNames();
+  const std::unordered_set<std::string> names(advertised.begin(),
+                                              advertised.end());
+  struct Shape {
+    const char* name;
+    size_t relations;
+  };
+  for (const Shape& s : {Shape{"hepatitis", 7}, Shape{"genes", 3},
+                         Shape{"mutagenesis", 3}, Shape{"world", 3},
+                         Shape{"mondial", 40}}) {
+    ASSERT_TRUE(names.count(s.name) > 0) << s.name;
+    auto ds = MakeDataset(s.name, SmokeConfig());
+    ASSERT_TRUE(ds.ok()) << s.name;
+    EXPECT_EQ(ds.value().database.schema().num_relations(), s.relations)
+        << s.name;
+  }
+}
+
+TEST(RegistryTest, UnknownNameIsNotFound) {
+  auto ds = MakeDataset("imdb", SmokeConfig());
+  ASSERT_FALSE(ds.ok());
+  EXPECT_EQ(ds.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RegistryTest, LookupIsCaseSensitive) {
+  // The registry's names are canonical lowercase; "Mondial" must not match.
+  EXPECT_FALSE(MakeDataset("Mondial", SmokeConfig()).ok());
+  EXPECT_FALSE(MakeDataset("HEPATITIS", SmokeConfig()).ok());
+}
+
+}  // namespace
+}  // namespace stedb::data

@@ -38,7 +38,9 @@ TEST(SvdTest, SingularValuesSortedNonNegative) {
   const Vector& s = svd.value().sigma;
   for (size_t i = 0; i < s.size(); ++i) {
     EXPECT_GE(s[i], 0.0);
-    if (i > 0) EXPECT_LE(s[i], s[i - 1]);
+    if (i > 0) {
+      EXPECT_LE(s[i], s[i - 1]);
+    }
   }
 }
 

@@ -75,7 +75,9 @@ TEST(WalkDistributionTest, ProbabilitiesSumToOne) {
           database.schema().relation(s.End(database.schema()));
       for (size_t attr = 0; attr < end.arity(); ++attr) {
         auto d = dist.Exact(s, static_cast<db::AttrId>(attr), a);
-        if (d.exists()) EXPECT_NEAR(d.TotalMass(), 1.0, 1e-9);
+        if (d.exists()) {
+          EXPECT_NEAR(d.TotalMass(), 1.0, 1e-9);
+        }
       }
     }
   }
