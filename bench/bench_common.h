@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "src/common/parallel.h"
 #include "src/data/registry.h"
 #include "src/exp/embedding_method.h"
 
@@ -54,8 +55,11 @@ inline void PrintHeader(const char* table, const char* description,
   std::setvbuf(stdout, nullptr, _IOLBF, 0);  // live progress under tee
   std::printf("=== %s — %s ===\n", table, description);
   std::printf("(scale: %s; set STEDB_SCALE=smoke|default|paper; shapes, not "
-              "absolute numbers, are the reproduction target)\n\n",
+              "absolute numbers, are the reproduction target)\n",
               ScaleName(scale));
+  std::printf("(threads: %d; set STEDB_THREADS=N — results are "
+              "bit-identical at any thread count)\n\n",
+              ResolveThreadCount(0));
 }
 
 }  // namespace stedb::bench

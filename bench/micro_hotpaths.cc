@@ -2,14 +2,30 @@
 // tables: walk sampling, exact destination distributions, kernel
 // evaluation, the two least-squares solvers of the dynamic extension, SGNS
 // updates, and database mutation primitives.
+//
+// On startup (before the registered benchmarks run) the binary also emits
+// BENCH_parallel.json — serial vs. threaded wall-time for the three
+// parallelized hot paths — so the perf trajectory of the parallel runtime
+// is machine-readable from every CI run. Set STEDB_BENCH_JSON to choose
+// the output path, or STEDB_BENCH_JSON=off to skip the emission. Use
+// --benchmark_filter=NoSuchBenchmark to emit the report without running
+// the micro-benchmarks.
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <string>
+#include <thread>
+
+#include "src/common/parallel.h"
+#include "src/common/timer.h"
 #include "src/data/registry.h"
 #include "src/db/cascade.h"
 #include "src/fwd/forward.h"
 #include "src/fwd/walk_distribution.h"
 #include "src/fwd/walk_sampler.h"
 #include "src/graph/alias_sampler.h"
+#include "src/graph/bipartite_graph.h"
+#include "src/graph/walker.h"
 #include "src/la/solve.h"
 #include "src/la/svd.h"
 #include "src/n2v/skipgram.h"
@@ -201,7 +217,166 @@ void BM_ForwardExtendOneTuple(benchmark::State& state) {
 }
 BENCHMARK(BM_ForwardExtendOneTuple);
 
+// ---- Parallel hot paths: the three pipelines the runtime accelerates. ----
+// Timed once per thread count for the JSON report, and registered as
+// regular benchmarks (Arg = thread count) for interactive runs. Results
+// are bit-identical across thread counts; only the wall time may differ.
+
+double TimeForwardTrain(int threads) {
+  const data::GeneratedDataset& ds = Genes();
+  fwd::ForwardConfig cfg;
+  cfg.dim = 16;
+  cfg.nsamples = 12;
+  cfg.epochs = 2;
+  cfg.max_walk_len = 2;
+  cfg.threads = threads;
+  fwd::AttrKeySet excluded;
+  excluded.insert({ds.pred_rel, ds.pred_attr});
+  Timer t;
+  auto emb = fwd::ForwardEmbedder::TrainStatic(&ds.database, ds.pred_rel,
+                                               excluded, cfg);
+  if (!emb.ok()) return -1.0;
+  return t.ElapsedSeconds();
+}
+
+double TimeWalkCorpus(int threads) {
+  const data::GeneratedDataset& ds = Genes();
+  graph::GraphOptions gopt;
+  gopt.excluded_columns.insert({ds.pred_rel, ds.pred_attr});
+  graph::BipartiteGraph graph(&ds.database, gopt);
+  if (!graph.BuildAll().ok()) return -1.0;
+  graph::WalkConfig wc;
+  wc.walk_length = 15;
+  wc.walks_per_node = 10;
+  wc.threads = threads;
+  graph::Node2VecWalker walker(&graph, wc);
+  Rng rng(11);
+  Timer t;
+  benchmark::DoNotOptimize(walker.AllWalks(rng));
+  return t.ElapsedSeconds();
+}
+
+double TimeSgnsEpochs(int threads) {
+  Rng rng(12);
+  n2v::SkipGramConfig cfg;
+  cfg.dim = 64;
+  cfg.negatives = 8;
+  cfg.threads = threads;
+  constexpr size_t kNodes = 512;
+  n2v::SkipGramModel model(kNodes, cfg, rng);
+  std::vector<std::vector<graph::NodeId>> walks;
+  for (int w = 0; w < 256; ++w) {
+    std::vector<graph::NodeId> walk;
+    for (int i = 0; i < 16; ++i) {
+      walk.push_back(static_cast<graph::NodeId>(rng.NextIndex(kNodes)));
+    }
+    walks.push_back(std::move(walk));
+  }
+  n2v::NodeVocab vocab(kNodes);
+  vocab.CountWalks(walks);
+  vocab.BuildNoiseTable();
+  Timer t;
+  benchmark::DoNotOptimize(model.Train(walks, vocab, 2, rng));
+  return t.ElapsedSeconds();
+}
+
+void BM_ForwardTrainStatic(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        TimeForwardTrain(static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_ForwardTrainStatic)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_WalkCorpus(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        TimeWalkCorpus(static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_WalkCorpus)->Arg(1)->Arg(4)->Unit(benchmark::kMillisecond);
+
+void BM_SgnsEpochsThreaded(benchmark::State& state) {
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        TimeSgnsEpochs(static_cast<int>(state.range(0))));
+  }
+}
+BENCHMARK(BM_SgnsEpochsThreaded)
+    ->Arg(1)
+    ->Arg(4)
+    ->Unit(benchmark::kMillisecond);
+
+/// Writes BENCH_parallel.json: serial vs. threaded wall time per hot path.
+/// The explicit per-run thread counts are never overridden by
+/// STEDB_THREADS (explicit pins win, see ResolveThreadCount). When a hot
+/// path fails to run, nothing is written (CI catches the missing artifact)
+/// and a warning goes to stderr — the registered benchmarks still run.
+void EmitParallelJson() {
+  const char* out_env = std::getenv("STEDB_BENCH_JSON");
+  std::string path = out_env != nullptr && *out_env != '\0'
+                         ? out_env
+                         : "BENCH_parallel.json";
+  if (path == "off" || path == "0") return;
+
+  const int threaded = 4;
+  struct HotPath {
+    const char* name;
+    double (*run)(int threads);
+    double serial = 0.0;
+    double parallel = 0.0;
+  };
+  HotPath paths[] = {
+      {"forward_train_static", &TimeForwardTrain},
+      {"n2v_walk_corpus", &TimeWalkCorpus},
+      {"sgns_epochs", &TimeSgnsEpochs},
+  };
+  for (HotPath& hp : paths) {
+    hp.serial = hp.run(1);
+    hp.parallel = hp.run(threaded);
+    if (hp.serial < 0.0 || hp.parallel < 0.0) {
+      std::fprintf(stderr, "BENCH_parallel.json: hot path %s failed\n",
+                   hp.name);
+      return;
+    }
+  }
+
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "BENCH_parallel.json: cannot open %s\n",
+                 path.c_str());
+    return;
+  }
+  std::fprintf(f,
+               "{\n  \"bench\": \"parallel_hotpaths\",\n"
+               "  \"hardware_concurrency\": %u,\n"
+               "  \"threads\": %d,\n  \"hot_paths\": [\n",
+               std::thread::hardware_concurrency(), threaded);
+  bool first = true;
+  for (const HotPath& hp : paths) {
+    std::fprintf(
+        f,
+        "%s    {\"name\": \"%s\", \"serial_seconds\": %.6f, "
+        "\"parallel_seconds\": %.6f, \"speedup\": %.3f}",
+        first ? "" : ",\n", hp.name, hp.serial, hp.parallel,
+        hp.parallel > 0.0 ? hp.serial / hp.parallel : 0.0);
+    first = false;
+  }
+  std::fprintf(f, "\n  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s\n", path.c_str());
+}
+
 }  // namespace
 }  // namespace stedb
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  stedb::EmitParallelJson();
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

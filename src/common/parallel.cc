@@ -1,0 +1,125 @@
+#include "src/common/parallel.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace stedb {
+
+int ResolveThreadCount(int requested) {
+  // An explicit positive request always wins: callers that pin a count do
+  // so deliberately (nested fan-outs pin their children to 1 to avoid
+  // oversubscription; the equivalence tests pin 1 vs 4). STEDB_THREADS
+  // fills in the default case only — which is what every config ships
+  // with — so the env knob still steers bench binaries, examples and CI
+  // without defeating intentional pins.
+  if (requested > 0) return requested;
+  const char* env = std::getenv("STEDB_THREADS");
+  if (env != nullptr && *env != '\0') {
+    char* end = nullptr;
+    const long v = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && v > 0) {
+      return static_cast<int>(std::min(v, 256L));
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ParallelRunner::ParallelRunner(int threads)
+    : threads_(ResolveThreadCount(threads)) {
+  workers_.reserve(static_cast<size_t>(threads_ > 0 ? threads_ - 1 : 0));
+  // The caller participates in every job, so N threads of parallelism need
+  // only N - 1 pool workers.
+  for (int i = 1; i < threads_; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ParallelRunner::~ParallelRunner() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ParallelRunner::ParallelFor(size_t n,
+                                 const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (workers_.empty() || n == 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    job_ = &body;
+    job_size_ = n;
+    next_index_ = 0;
+    inflight_ = 0;
+    // Chunked claiming keeps the claim lock off the per-index hot path while
+    // still load-balancing uneven bodies (walk lengths, batch sizes vary).
+    job_chunk_ = std::max<size_t>(
+        1, n / (static_cast<size_t>(threads_) * 8));
+    first_error_ = nullptr;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  RunJob();
+  std::exception_ptr error;
+  {
+    std::unique_lock<std::mutex> lock(mu_);
+    done_cv_.wait(lock,
+                  [this] { return next_index_ >= job_size_ && inflight_ == 0; });
+    job_ = nullptr;
+    error = first_error_;
+    first_error_ = nullptr;
+  }
+  if (error) std::rethrow_exception(error);
+}
+
+void ParallelRunner::RunJob() {
+  for (;;) {
+    const std::function<void(size_t)>* body;
+    size_t begin, end;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (job_ == nullptr || next_index_ >= job_size_) return;
+      body = job_;
+      begin = next_index_;
+      end = std::min(job_size_, begin + job_chunk_);
+      next_index_ = end;
+      inflight_ += end - begin;
+    }
+    try {
+      for (size_t i = begin; i < end; ++i) (*body)(i);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+      next_index_ = job_size_;  // abandon unclaimed indices
+    }
+    bool done;
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      inflight_ -= end - begin;
+      done = next_index_ >= job_size_ && inflight_ == 0;
+    }
+    if (done) done_cv_.notify_all();
+  }
+}
+
+void ParallelRunner::WorkerLoop() {
+  uint64_t seen = 0;
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+    }
+    RunJob();
+  }
+}
+
+}  // namespace stedb

@@ -1,0 +1,114 @@
+#ifndef STEDB_COMMON_PARALLEL_H_
+#define STEDB_COMMON_PARALLEL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace stedb {
+
+/// Resolves a requested thread count to the number of workers to actually
+/// use:
+///  * `requested`, when positive (explicit pins always win — nested
+///    fan-outs pin their children to 1, tests pin 1 vs 4);
+///  * otherwise (requested == 0, every config's default) the STEDB_THREADS
+///    environment variable when set to a positive integer — the knob bench
+///    binaries, examples and CI use, with no per-binary plumbing;
+///  * otherwise std::thread::hardware_concurrency().
+/// The result is always >= 1.
+int ResolveThreadCount(int requested);
+
+/// A reusable blocking thread-pool runtime for deterministic parallelism.
+///
+/// Design contract: ParallelRunner parallelizes *scheduling only*. Results
+/// are bit-identical for any thread count as long as callers follow two
+/// rules that every compute layer in this codebase obeys:
+///  1. each index of a ParallelFor touches only state it owns (disjoint
+///     output slots / parameter blocks), and
+///  2. per-index randomness comes from a counter-based stream
+///     (`Rng::Fork(stream_id)` keyed by the index), never from a shared
+///     sequential generator.
+/// Floating-point reductions must additionally combine partial results in
+/// index order — ShardedReduce below does exactly that, with a *caller-
+/// fixed* shard count so the summation tree does not change with the pool
+/// size.
+///
+/// threads() == 1 runs everything inline on the caller with zero pool
+/// overhead, which doubles as the reference serial path: the parallel and
+/// serial executions are the same algorithm by construction.
+class ParallelRunner {
+ public:
+  /// `threads` is resolved via ResolveThreadCount (0 = hardware
+  /// concurrency, STEDB_THREADS overrides). Workers are started once and
+  /// reused across all ParallelFor calls.
+  explicit ParallelRunner(int threads = 0);
+  ~ParallelRunner();
+
+  ParallelRunner(const ParallelRunner&) = delete;
+  ParallelRunner& operator=(const ParallelRunner&) = delete;
+
+  int threads() const { return threads_; }
+
+  /// Runs body(i) for every i in [0, n), distributed over the pool (the
+  /// calling thread participates). Blocks until every index completed.
+  /// If any body throws, the first captured exception is rethrown after
+  /// all workers drained; the remaining indices may or may not run.
+  /// Not reentrant: do not call ParallelFor from inside a body running on
+  /// the same runner.
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+  /// Sharded map-reduce over [0, n): the range is split into `num_shards`
+  /// contiguous shards, `map(begin, end)` runs per shard on the pool, and
+  /// the partial results are combined *in shard order* on the caller.
+  /// `num_shards` is chosen by the caller and must not depend on the
+  /// thread count when bit-reproducibility across pool sizes is required
+  /// (it fixes the floating-point combination order).
+  template <typename T, typename MapFn, typename CombineFn>
+  T ShardedReduce(size_t n, size_t num_shards, T init, const MapFn& map,
+                  const CombineFn& combine) {
+    if (n == 0) return init;
+    if (num_shards == 0) num_shards = 1;
+    if (num_shards > n) num_shards = n;
+    std::vector<T> parts(num_shards);
+    const size_t base = n / num_shards;
+    const size_t rem = n % num_shards;
+    ParallelFor(num_shards, [&](size_t s) {
+      const size_t begin = s * base + (s < rem ? s : rem);
+      const size_t end = begin + base + (s < rem ? 1 : 0);
+      parts[s] = map(begin, end);
+    });
+    T acc = std::move(init);
+    for (size_t s = 0; s < num_shards; ++s) {
+      acc = combine(std::move(acc), std::move(parts[s]));
+    }
+    return acc;
+  }
+
+ private:
+  void WorkerLoop();
+  /// Pulls chunks of the current job until the index space is exhausted.
+  void RunJob();
+
+  int threads_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;
+  std::condition_variable work_cv_;  ///< workers wait for a new job
+  std::condition_variable done_cv_;  ///< caller waits for completion
+  const std::function<void(size_t)>* job_ = nullptr;
+  size_t job_size_ = 0;
+  size_t job_chunk_ = 1;
+  size_t next_index_ = 0;     ///< next unclaimed index (guarded by mu_)
+  size_t inflight_ = 0;       ///< claimed-but-unfinished indices
+  uint64_t generation_ = 0;   ///< bumped per job so workers wake exactly once
+  bool shutdown_ = false;
+  std::exception_ptr first_error_;
+};
+
+}  // namespace stedb
+
+#endif  // STEDB_COMMON_PARALLEL_H_

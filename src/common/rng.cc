@@ -2,6 +2,19 @@
 
 namespace stedb {
 
+uint64_t Rng::MixSeed(uint64_t seed, uint64_t stream) {
+  // SplitMix64 finalizer applied to the stream-offset seed. Two rounds give
+  // full avalanche, so nearby (seed, stream) pairs land far apart and
+  // stream 0 differs from the parent stream.
+  uint64_t z = seed + (stream + 1) * 0x9e3779b97f4a7c15ull;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  z = z ^ (z >> 31);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
 size_t Rng::NextWeighted(const std::vector<double>& weights) {
   double total = 0.0;
   for (double w : weights) total += w;

@@ -14,7 +14,7 @@ namespace stedb {
 /// that experiments are exactly reproducible. Wraps std::mt19937_64.
 class Rng {
  public:
-  explicit Rng(uint64_t seed = 0x5eedb) : gen_(seed) {}
+  explicit Rng(uint64_t seed = 0x5eedb) : seed_(seed), gen_(seed) {}
 
   /// Uniform integer in [0, n). Requires n > 0.
   uint64_t NextUint(uint64_t n) {
@@ -60,13 +60,33 @@ class Rng {
     }
   }
 
-  /// Derives an independent child generator; useful for giving each fold or
-  /// worker its own stream while keeping the parent deterministic.
+  /// Derives an independent child generator by drawing from this stream;
+  /// order-dependent (each call advances the parent) but deterministic when
+  /// called from serial control flow.
   Rng Fork() { return Rng(gen_()); }
+
+  /// Counter-based child stream: the generator for logical stream
+  /// `stream_id` of this generator's *construction seed*. Unlike Fork(),
+  /// the result does not depend on how many values were drawn since
+  /// construction, so concurrent workers can derive their streams in any
+  /// order (or in parallel) and still see bit-identical sequences — the
+  /// foundation of the deterministic parallel runtime (see
+  /// common/parallel.h). Distinct stream ids yield independent streams;
+  /// the same id always yields the same stream.
+  Rng Fork(uint64_t stream_id) const {
+    return Rng(MixSeed(seed_, stream_id));
+  }
+
+  /// The construction seed (root of all Fork(stream_id) streams).
+  uint64_t seed() const { return seed_; }
+
+  /// SplitMix64-style avalanche of (seed, stream) into a child seed.
+  static uint64_t MixSeed(uint64_t seed, uint64_t stream);
 
   std::mt19937_64& engine() { return gen_; }
 
  private:
+  uint64_t seed_;
   std::mt19937_64 gen_;
 };
 

@@ -23,6 +23,11 @@ struct DynamicConfig {
   ml::ClassifierKind classifier = ml::ClassifierKind::kLogistic;
   /// Verify after every run that no old embedding moved (stability check).
   bool check_stability = true;
+  /// Worker threads for the run fan-out (0 = default: STEDB_THREADS env
+  /// var, else hardware concurrency). Runs are independent — each owns a
+  /// private database copy — and concurrent execution leaves every
+  /// reported number except wall-clock timings bit-identical.
+  int threads = 0;
   uint64_t seed = 321;
 };
 

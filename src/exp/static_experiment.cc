@@ -1,7 +1,10 @@
 #include "src/exp/static_experiment.h"
 
+#include <algorithm>
+#include <optional>
 #include <unordered_map>
 
+#include "src/common/parallel.h"
 #include "src/common/timer.h"
 #include "src/ml/metrics.h"
 
@@ -38,6 +41,15 @@ Result<StaticResult> RunStaticExperiment(const data::GeneratedDataset& ds,
                                          const MethodConfig& mcfg,
                                          const StaticConfig& scfg) {
   const std::vector<db::FactId>& samples = ds.Samples();
+  // CrossValidateWithBuilder re-checks both, but the per-fold fan-out
+  // sizes buffers from scfg.folds and trains every fold embedding first —
+  // reject bad configs before any training runs.
+  if (scfg.folds < 2) {
+    return Status::InvalidArgument("folds must be at least 2");
+  }
+  if (samples.size() < static_cast<size_t>(scfg.folds)) {
+    return Status::InvalidArgument("fewer examples than folds");
+  }
   ml::LabelEncoder encoder;
   std::vector<int> labels;
   labels.reserve(samples.size());
@@ -47,8 +59,43 @@ Result<StaticResult> RunStaticExperiment(const data::GeneratedDataset& ds,
   double train_seconds = 0.0;
 
   // Either one embedding per fold (paper protocol) or a single shared one.
+  // The per-fold embeddings — the dominant cost — are built up front, fanned
+  // out over the runner; the folds are independent (disjoint seeds, shared
+  // read-only database), and the result slots keep them in fold order.
   std::unique_ptr<EmbeddingMethod> shared;
-  if (!scfg.embedding_per_fold) {
+  std::vector<std::optional<Result<ml::FeatureDataset>>> fold_data;
+  if (scfg.embedding_per_fold) {
+    ParallelRunner runner(scfg.threads);
+    MethodConfig fold_cfg = mcfg;
+    if (runner.threads() > 1) {
+      // Split the pool between the fold fan-out and nested training: with
+      // more workers than folds the surplus goes to each fold's trainer,
+      // with more folds than workers nested training runs serially.
+      // Training results are thread-count-invariant, so this changes
+      // nothing but scheduling.
+      const int inner = std::max(1, runner.threads() / scfg.folds);
+      fold_cfg.forward.threads = inner;
+      fold_cfg.node2vec.walk.threads = inner;
+      fold_cfg.node2vec.sg.threads = inner;
+    }
+    fold_data.resize(static_cast<size_t>(scfg.folds));
+    std::vector<double> fold_seconds(static_cast<size_t>(scfg.folds), 0.0);
+    runner.ParallelFor(static_cast<size_t>(scfg.folds), [&](size_t fold) {
+      std::unique_ptr<EmbeddingMethod> m =
+          MakeMethod(method, fold_cfg, scfg.seed + 7919 * fold);
+      Timer t;
+      Status st = m->TrainStatic(&ds.database, ds.pred_rel, excluded);
+      fold_seconds[fold] = t.ElapsedSeconds();
+      if (!st.ok()) {
+        fold_data[fold].emplace(std::move(st));
+        return;
+      }
+      ml::LabelEncoder fold_encoder = encoder;  // same label ids every fold
+      fold_data[fold].emplace(
+          EmbeddingFeatures(ds, *m, samples, fold_encoder));
+    });
+    for (double s : fold_seconds) train_seconds += s;
+  } else {
     shared = MakeMethod(method, mcfg, scfg.seed);
     Timer t;
     STEDB_RETURN_IF_ERROR(
@@ -57,19 +104,11 @@ Result<StaticResult> RunStaticExperiment(const data::GeneratedDataset& ds,
   }
 
   auto build = [&](int fold) -> Result<ml::FeatureDataset> {
-    const EmbeddingMethod* m = shared.get();
-    std::unique_ptr<EmbeddingMethod> per_fold;
     if (scfg.embedding_per_fold) {
-      per_fold = MakeMethod(method, mcfg,
-                            scfg.seed + 7919 * static_cast<uint64_t>(fold));
-      Timer t;
-      STEDB_RETURN_IF_ERROR(
-          per_fold->TrainStatic(&ds.database, ds.pred_rel, excluded));
-      train_seconds += t.ElapsedSeconds();
-      m = per_fold.get();
+      return std::move(*fold_data[static_cast<size_t>(fold)]);
     }
     ml::LabelEncoder fold_encoder = encoder;  // same label ids every fold
-    return EmbeddingFeatures(ds, *m, samples, fold_encoder);
+    return EmbeddingFeatures(ds, *shared, samples, fold_encoder);
   };
 
   STEDB_ASSIGN_OR_RETURN(

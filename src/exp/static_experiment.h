@@ -20,6 +20,11 @@ struct StaticConfig {
   /// changes).
   bool embedding_per_fold = true;
   ml::ClassifierKind classifier = ml::ClassifierKind::kLogistic;
+  /// Worker threads for the per-fold fan-out (0 = default: STEDB_THREADS
+  /// env var, else hardware concurrency). When folds run concurrently,
+  /// each fold's embedding trains single-threaded — results are
+  /// bit-identical either way, this only avoids oversubscription.
+  int threads = 0;
   uint64_t seed = 123;
 };
 

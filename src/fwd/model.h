@@ -47,6 +47,11 @@ struct ForwardConfig {
   /// extending; one-by-one mode reuses cached ones (paper Section VI-E).
   bool recompute_old_paths = false;
 
+  /// Worker threads for training (0 = default: STEDB_THREADS env var,
+  /// else hardware concurrency). Results are bit-identical for a fixed
+  /// seed at any thread count — see common/parallel.h.
+  int threads = 0;
+
   uint64_t seed = 1;
 };
 

@@ -1,7 +1,13 @@
 #include "src/fwd/trainer.h"
 
 #include <algorithm>
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <numeric>
+#include <unordered_map>
 
+#include "src/common/parallel.h"
 #include "src/fwd/walk_distribution.h"
 #include "src/fwd/walk_sampler.h"
 #include "src/la/optimizer.h"
@@ -10,28 +16,67 @@ namespace stedb::fwd {
 namespace {
 
 /// Lazily computed per-(fact, target) destination value distributions for
-/// the kExactCached estimator. Missing distributions are cached too (as
-/// empty), so non-existing d_{s,f}[A] is detected once.
+/// the kExactCached estimator, shared across workers via striped locks.
+/// Every entry is computed with a stream derived from its own key
+/// (`root.Fork(key)`), so the cached value is identical no matter which
+/// worker computes it first — the cache stays deterministic under any
+/// schedule. Missing distributions are cached too (as empty), so a
+/// non-existing d_{s,f}[A] is detected once.
 class DistCache {
  public:
-  DistCache(const db::Database* database, const ForwardModel* model)
-      : dist_(database), model_(model) {}
+  DistCache(const db::Database* database, const ForwardModel* model, Rng root)
+      : dist_(database), model_(model), root_(root) {}
 
-  const ValueDistribution& Get(db::FactId f, size_t target, Rng& rng) {
+  const ValueDistribution& Get(db::FactId f, size_t target) {
     const uint64_t key =
         static_cast<uint64_t>(f) * model_->targets().size() + target;
-    auto it = cache_.find(key);
-    if (it != cache_.end()) return it->second;
+    Shard& shard = shards_[key % kShards];
+    {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      auto it = shard.map.find(key);
+      if (it != shard.map.end()) return it->second;
+    }
+    // Compute outside the lock; a racing duplicate computation produces the
+    // same value (key-derived stream), and the first insert wins.
+    Rng rng = root_.Fork(key);
     ValueDistribution d = dist_.Compute(
         model_->scheme_of(target), model_->targets()[target].attr, f, rng);
-    return cache_.emplace(key, std::move(d)).first->second;
+    std::lock_guard<std::mutex> lock(shard.mu);
+    return shard.map.emplace(key, std::move(d)).first->second;
   }
 
  private:
+  // References into the maps stay valid across inserts (node-based
+  // containers) and nothing is ever erased, so handing out const& past the
+  // unlock is safe.
+  static constexpr size_t kShards = 64;
+  struct Shard {
+    std::mutex mu;
+    std::unordered_map<uint64_t, ValueDistribution> map;
+  };
+
   WalkDistribution dist_;
   const ForwardModel* model_;
-  std::unordered_map<uint64_t, ValueDistribution> cache_;
+  Rng root_;
+  std::array<Shard, kShards> shards_;
 };
+
+/// One materialized training tuple of the epoch pipeline: dense indices
+/// into the embedded relation's fact vector plus the regression target κ
+/// (paper Eq. 5). κ depends only on the database — never on model
+/// parameters — which is what lets whole batches be simulated up front by
+/// parallel workers.
+struct Sample {
+  uint32_t f;   ///< center fact index (the position's fact)
+  uint32_t f2;  ///< contrast fact index
+  uint32_t t;   ///< target index
+  double kappa;
+};
+
+/// Positions materialized per wave. Fixed (never derived from the thread
+/// count): the decomposition, and with it every per-fact RNG stream, must
+/// be identical at any pool size.
+constexpr size_t kMaterializeChunk = 64;
 
 }  // namespace
 
@@ -62,11 +107,12 @@ Result<ForwardModel> ForwardTrainer::Train(db::RelationId rel,
     model.set_phi(f, la::RandomVector(config_.dim, config_.init_stddev, rng));
   }
 
-  // Optimizer blocks: [0, #facts) for φ rows, then one block per ψ.
-  std::unordered_map<db::FactId, size_t> fact_block;
-  fact_block.reserve(facts.size());
-  for (size_t i = 0; i < facts.size(); ++i) fact_block.emplace(facts[i], i);
-  const size_t psi_base = facts.size();
+  const size_t F = facts.size();
+  const size_t T = model.targets().size();
+  const size_t d = config_.dim;
+  // Optimizer blocks: [0, F) for φ rows (by dense fact index), then one
+  // block per ψ. Reserve makes concurrent sharded Step calls race-free.
+  const size_t psi_base = F;
 
   std::unique_ptr<la::Optimizer> opt;
   if (config_.use_adam) {
@@ -74,23 +120,37 @@ Result<ForwardModel> ForwardTrainer::Train(db::RelationId rel,
   } else {
     opt = std::make_unique<la::SgdOptimizer>(config_.lr);
   }
+  opt->Reserve(F + T);
+
+  // Roots for the parallel phases, forked serially so their stream spaces
+  // are disjoint. Counter-based Fork(stream_id) off these roots gives every
+  // task its own reproducible stream regardless of execution order.
+  Rng sample_root = rng.Fork();
+  Rng dist_root = rng.Fork();
 
   WalkSampler sampler(db_);
-  DistCache dists(db_, &model);
-  const size_t d = config_.dim;
-  la::Vector grad_f(d), grad_f2(d);
-  la::Matrix grad_psi(d, d);
+  DistCache dists(db_, &model, dist_root);
+  ParallelRunner runner(config_.threads);
+
+  // Dense φ-row index: facts of a relation map to contiguous blocks, so one
+  // pointer array replaces the seed's per-sample unordered_map lookups (a
+  // single-thread win on its own). Pointers stay valid: phi_ is node-based
+  // and fully populated above.
+  std::vector<la::Vector*> phi(F);
+  for (size_t i = 0; i < F; ++i) phi[i] = model.mutable_phi(facts[i]);
 
   // Produces the regression target for a pair (f, f2, t), or < 0 when the
-  // destination random variable does not exist for either side.
+  // destination random variable does not exist for either side. Pure walk
+  // simulation over the (immutable) database: thread-safe, deterministic
+  // given the task's stream.
   auto sample_target = [&](db::FactId f, db::FactId f2, size_t t,
                            const WalkScheme& s, db::AttrId attr,
-                           const Kernel& kernel) -> double {
+                           const Kernel& kernel, Rng& task_rng) -> double {
     switch (config_.kd_estimator) {
       case KdEstimator::kExactCached: {
-        const ValueDistribution& da = dists.Get(f, t, rng);
+        const ValueDistribution& da = dists.Get(f, t);
         if (!da.exists()) return -1.0;
-        const ValueDistribution& dben = dists.Get(f2, t, rng);
+        const ValueDistribution& dben = dists.Get(f2, t);
         if (!dben.exists()) return -1.0;
         return WalkDistribution::ExpectedKernel(da, dben, kernel);
       }
@@ -99,9 +159,9 @@ Result<ForwardModel> ForwardTrainer::Train(db::RelationId rel,
         int got = 0;
         for (int m = 0; m < config_.kd_samples; ++m) {
           std::optional<db::Value> gv =
-              sampler.SampleDestinationValue(s, attr, f, rng);
+              sampler.SampleDestinationValue(s, attr, f, task_rng);
           std::optional<db::Value> g2v =
-              sampler.SampleDestinationValue(s, attr, f2, rng);
+              sampler.SampleDestinationValue(s, attr, f2, task_rng);
           if (!gv.has_value() || !g2v.has_value()) continue;
           acc += kernel.Evaluate(*gv, *g2v);
           ++got;
@@ -110,9 +170,9 @@ Result<ForwardModel> ForwardTrainer::Train(db::RelationId rel,
       }
       case KdEstimator::kSingleSample: {
         std::optional<db::Value> gv =
-            sampler.SampleDestinationValue(s, attr, f, rng);
+            sampler.SampleDestinationValue(s, attr, f, task_rng);
         std::optional<db::Value> g2v =
-            sampler.SampleDestinationValue(s, attr, f2, rng);
+            sampler.SampleDestinationValue(s, attr, f2, task_rng);
         if (!gv.has_value() || !g2v.has_value()) return -1.0;
         return kernel.Evaluate(*gv, *g2v);
       }
@@ -120,55 +180,106 @@ Result<ForwardModel> ForwardTrainer::Train(db::RelationId rel,
     return -1.0;
   };
 
+  // Materializes the samples of one position of the shuffled epoch order
+  // into `out`. Pure walk simulation on the task's own stream: runs on any
+  // worker, concurrently with gradient application (κ never reads model
+  // parameters).
+  auto materialize = [&](int epoch, size_t fi, std::vector<Sample>& out) {
+    const db::FactId f = facts[fi];
+    Rng task_rng =
+        sample_root.Fork(static_cast<uint64_t>(epoch) * F + fi);
+    out.clear();
+    for (size_t t = 0; t < T; ++t) {
+      const WalkScheme& s = model.scheme_of(t);
+      const db::AttrId attr = model.targets()[t].attr;
+      const Kernel& kernel = kernels_->Get(s.End(schema), attr);
+      // In exact mode, skip the whole (f, t) block when d_{s,f}[A] does
+      // not exist (checked once, cached).
+      if (config_.kd_estimator == KdEstimator::kExactCached &&
+          !dists.Get(f, t).exists()) {
+        continue;
+      }
+      for (int k = 0; k < config_.nsamples; ++k) {
+        // f' uniform among the other facts.
+        const size_t f2i = task_rng.NextIndex(F);
+        if (f2i == fi) continue;
+        const double kappa =
+            sample_target(f, facts[f2i], t, s, attr, kernel, task_rng);
+        if (kappa < 0.0) continue;
+        out.push_back({static_cast<uint32_t>(fi), static_cast<uint32_t>(f2i),
+                       static_cast<uint32_t>(t), kappa});
+      }
+    }
+  };
+
+  // Applies one position's samples with the classic online SGD inner loop:
+  // fresh gradients per sample, three optimizer steps per sample. Exactly
+  // one worker runs this at a time, so every parameter block sees its
+  // updates in sample order — the training dynamics of the serial
+  // reference, bit-identical at any thread count.
+  la::Vector grad_f(d), grad_f2(d);
+  la::Matrix grad_psi(d, d);
+  auto apply_chunk = [&](const std::vector<std::vector<Sample>>& batches,
+                         size_t count) {
+    for (size_t ci = 0; ci < count; ++ci) {
+      for (const Sample& smp : batches[ci]) {
+        la::Vector& pf = *phi[smp.f];
+        la::Vector& pf2 = *phi[smp.f2];
+        la::Matrix& psi = *model.mutable_psi(smp.t);
+        la::Vector psi_pf2 = psi.MultiplyVec(pf2);
+        la::Vector psi_pf = psi.MultiplyVec(pf);
+        const double err = la::Dot(pf, psi_pf2) - smp.kappa;
+        for (size_t i = 0; i < d; ++i) {
+          grad_f[i] = err * psi_pf2[i];
+          grad_f2[i] = err * psi_pf[i];
+        }
+        for (size_t i = 0; i < d; ++i) {
+          double* row = grad_psi.RowPtr(i);
+          const double pfi = pf[i];
+          const double pf2i = pf2[i];
+          for (size_t j = 0; j < d; ++j) {
+            row[j] = err * 0.5 * (pfi * pf2[j] + pf2i * pf[j]);
+          }
+        }
+        opt->Step(smp.f, pf.data(), grad_f.data(), d);
+        opt->Step(smp.f2, pf2.data(), grad_f2.data(), d);
+        opt->Step(psi_base + smp.t, psi.data().data(),
+                  grad_psi.data().data(), d * d);
+      }
+    }
+  };
+
+  // Double-buffered chunk pipeline: while the (sequentially consistent)
+  // apply of chunk c runs as one task, the walk simulation of chunk c + 1
+  // fans out over the remaining workers. The two sides are independent —
+  // materialization reads only the database, application only the model.
+  std::vector<std::vector<Sample>> cur(std::min(kMaterializeChunk, F));
+  std::vector<std::vector<Sample>> next(std::min(kMaterializeChunk, F));
+  std::vector<size_t> order(F);
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
     // Mild decay stabilizes the tail of training.
     opt->SetLearningRateScale(1.0 / (1.0 + 0.25 * epoch));
-    std::vector<db::FactId> order(facts.begin(), facts.end());
+    std::iota(order.begin(), order.end(), size_t{0});
     rng.Shuffle(order);
-    for (db::FactId f : order) {
-      for (size_t t = 0; t < model.targets().size(); ++t) {
-        const WalkScheme& s = model.scheme_of(t);
-        const db::AttrId attr = model.targets()[t].attr;
-        const db::RelationId end_rel = s.End(schema);
-        const Kernel& kernel = kernels_->Get(end_rel, attr);
-        // In exact mode, skip the whole (f, t) block when d_{s,f}[A] does
-        // not exist (checked once, cached).
-        if (config_.kd_estimator == KdEstimator::kExactCached &&
-            !dists.Get(f, t, rng).exists()) {
-          continue;
-        }
-        for (int k = 0; k < config_.nsamples; ++k) {
-          // f' uniform among the other facts.
-          db::FactId f2 = facts[rng.NextIndex(facts.size())];
-          if (f2 == f) continue;
-          const double kappa = sample_target(f, f2, t, s, attr, kernel);
-          if (kappa < 0.0) continue;
 
-          // Inline SGD step on (f, f2, t, kappa).
-          la::Vector& pf = *model.mutable_phi(f);
-          la::Vector& pf2 = *model.mutable_phi(f2);
-          la::Matrix& psi = *model.mutable_psi(t);
-          la::Vector psi_pf2 = psi.MultiplyVec(pf2);
-          la::Vector psi_pf = psi.MultiplyVec(pf);
-          const double err = la::Dot(pf, psi_pf2) - kappa;
-          for (size_t i = 0; i < d; ++i) {
-            grad_f[i] = err * psi_pf2[i];
-            grad_f2[i] = err * psi_pf[i];
-          }
-          for (size_t i = 0; i < d; ++i) {
-            double* row = grad_psi.RowPtr(i);
-            const double pfi = pf[i];
-            const double pf2i = pf2[i];
-            for (size_t j = 0; j < d; ++j) {
-              row[j] = err * 0.5 * (pfi * pf2[j] + pf2i * pf[j]);
-            }
-          }
-          opt->Step(fact_block[f], pf.data(), grad_f.data(), d);
-          opt->Step(fact_block[f2], pf2.data(), grad_f2.data(), d);
-          opt->Step(psi_base + t, psi.data().data(), grad_psi.data().data(),
-                    d * d);
+    const size_t first = std::min(kMaterializeChunk, F);
+    runner.ParallelFor(first, [&](size_t ci) {
+      materialize(epoch, order[ci], cur[ci]);
+    });
+    for (size_t chunk = 0; chunk < F; chunk += kMaterializeChunk) {
+      const size_t chunk_size = std::min(kMaterializeChunk, F - chunk);
+      const size_t next_begin = chunk + chunk_size;
+      const size_t next_size =
+          next_begin < F ? std::min(kMaterializeChunk, F - next_begin) : 0;
+      runner.ParallelFor(1 + next_size, [&](size_t task) {
+        if (task == 0) {
+          apply_chunk(cur, chunk_size);
+        } else {
+          const size_t ci = task - 1;
+          materialize(epoch, order[next_begin + ci], next[ci]);
         }
-      }
+      });
+      std::swap(cur, next);
     }
   }
   return model;

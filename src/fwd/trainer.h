@@ -19,6 +19,17 @@ namespace stedb::fwd {
 /// distance KD (Eq. 2). Samples are regenerated every epoch (streaming),
 /// which matches the objective in expectation without materializing the
 /// paper's full sample set.
+///
+/// Execution model: each epoch is a materialize-then-apply pipeline on a
+/// ParallelRunner with `config.threads` workers. The walk-dependent part —
+/// the (f, f', t, κ) sample batches, where κ never depends on model
+/// parameters — is simulated by parallel workers using counter-based
+/// per-fact RNG streams and a lock-striped deterministic distribution
+/// cache, double-buffered one chunk ahead of gradient application; the
+/// application itself replays the classic online SGD inner loop as a
+/// single pipelined task, so every parameter block sees fresh gradients in
+/// sample order. Training is bit-identical for a fixed seed at any thread
+/// count.
 class ForwardTrainer {
  public:
   ForwardTrainer(const db::Database* database, const KernelRegistry* kernels,

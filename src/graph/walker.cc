@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "src/common/parallel.h"
+
 namespace stedb::graph {
 
 NodeId Node2VecWalker::NextNode(NodeId prev, NodeId cur, Rng& rng) const {
@@ -48,11 +50,18 @@ std::vector<NodeId> Node2VecWalker::Walk(NodeId start, Rng& rng) const {
 
 std::vector<std::vector<NodeId>> Node2VecWalker::WalksFrom(
     const std::vector<NodeId>& starts, Rng& rng) const {
-  std::vector<std::vector<NodeId>> walks;
-  walks.reserve(starts.size() * config_.walks_per_node);
-  for (int rep = 0; rep < config_.walks_per_node; ++rep) {
-    for (NodeId s : starts) walks.push_back(Walk(s, rng));
-  }
+  const size_t reps = static_cast<size_t>(std::max(config_.walks_per_node, 0));
+  std::vector<std::vector<NodeId>> walks(starts.size() * reps);
+  if (walks.empty()) return walks;
+  // One serial draw advances the caller's stream; every walk then forks its
+  // own counter-based stream off that root, keyed by corpus position
+  // (rep-major, matching the historical corpus layout).
+  const Rng root = rng.Fork();
+  ParallelRunner runner(config_.threads);
+  runner.ParallelFor(walks.size(), [&](size_t i) {
+    Rng walk_rng = root.Fork(i);
+    walks[i] = Walk(starts[i % starts.size()], walk_rng);
+  });
   return walks;
 }
 

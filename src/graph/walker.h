@@ -16,6 +16,10 @@ struct WalkConfig {
   int walks_per_node = 40; ///< #walks started from each node (paper Table II).
   double p = 1.0;
   double q = 1.0;
+  /// Worker threads for corpus generation (0 = default: STEDB_THREADS env
+  /// var, else hardware concurrency). The corpus is bit-identical at any
+  /// count.
+  int threads = 0;
 };
 
 /// Samples second-order biased random walks over a BipartiteGraph.
@@ -32,7 +36,10 @@ class Node2VecWalker {
   /// dead end is hit).
   std::vector<NodeId> Walk(NodeId start, Rng& rng) const;
 
-  /// walks_per_node walks from each of `starts`.
+  /// walks_per_node walks from each of `starts`, generated in parallel on
+  /// `config.threads` workers. Each walk draws from its own counter-based
+  /// stream (index-keyed fork of one value drawn from `rng`), so the corpus
+  /// is reproducible and independent of the thread count.
   std::vector<std::vector<NodeId>> WalksFrom(const std::vector<NodeId>& starts,
                                              Rng& rng) const;
 

@@ -33,6 +33,11 @@ void Matrix::SetRow(size_t r, const Vector& v) {
   for (size_t c = 0; c < cols_; ++c) dst[c] = v[c];
 }
 
+void Matrix::ResizeRows(size_t new_rows, double fill) {
+  data_.resize(new_rows * cols_, fill);
+  rows_ = new_rows;
+}
+
 Matrix Matrix::Transposed() const {
   Matrix t(cols_, rows_);
   for (size_t r = 0; r < rows_; ++r) {

@@ -45,6 +45,12 @@ class Matrix {
   /// Overwrites row r (v.size() must equal cols()).
   void SetRow(size_t r, const Vector& v);
 
+  /// Grows (or shrinks) to `new_rows` rows in place. Because the layout is
+  /// row-major with an unchanged column count, this is a single buffer
+  /// resize: existing rows keep their values without any per-row copy, and
+  /// added rows are filled with `fill`.
+  void ResizeRows(size_t new_rows, double fill = 0.0);
+
   Matrix Transposed() const;
 
   /// this * other; dimensions must agree.

@@ -10,6 +10,10 @@ void SgdOptimizer::Step(size_t /*block*/, double* params, const double* grad,
   for (size_t i = 0; i < n; ++i) params[i] -= lr * grad[i];
 }
 
+void AdamOptimizer::Reserve(size_t num_blocks) {
+  if (num_blocks > states_.size()) states_.resize(num_blocks);
+}
+
 void AdamOptimizer::Step(size_t block, double* params, const double* grad,
                          size_t n) {
   if (block >= states_.size()) states_.resize(block + 1);

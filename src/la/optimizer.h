@@ -18,10 +18,20 @@ class Optimizer {
   /// Applies one update to `params` (length n) given `grad` (length n).
   /// `block` identifies the parameter block so that stateful optimizers
   /// (Adam) can keep per-block moments.
+  ///
+  /// Thread-safety contract for the parallel trainers: after
+  /// Reserve(num_blocks), concurrent Step calls are safe as long as no two
+  /// threads pass the same `block` — all mutable state is block-scoped.
   virtual void Step(size_t block, double* params, const double* grad,
                     size_t n) = 0;
 
+  /// Pre-sizes per-block state for blocks [0, num_blocks) so that Step
+  /// never reallocates shared storage. Must be called (from one thread)
+  /// before sharded Step calls run concurrently.
+  virtual void Reserve(size_t num_blocks) = 0;
+
   /// Scales the base learning rate (used for epoch-level decay schedules).
+  /// Not thread-safe; call between parallel phases only.
   virtual void SetLearningRateScale(double scale) = 0;
 };
 
@@ -32,6 +42,7 @@ class SgdOptimizer : public Optimizer {
 
   void Step(size_t block, double* params, const double* grad,
             size_t n) override;
+  void Reserve(size_t /*num_blocks*/) override {}  // stateless
   void SetLearningRateScale(double scale) override { scale_ = scale; }
 
  private:
@@ -50,6 +61,7 @@ class AdamOptimizer : public Optimizer {
 
   void Step(size_t block, double* params, const double* grad,
             size_t n) override;
+  void Reserve(size_t num_blocks) override;
   void SetLearningRateScale(double scale) override { scale_ = scale; }
 
  private:

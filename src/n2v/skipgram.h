@@ -17,6 +17,9 @@ struct SkipGramConfig {
   int negatives = 20;     ///< negative samples per positive pair
   double lr = 0.025;      ///< initial learning rate (linear decay to lr/100)
   int epochs = 10;        ///< passes over the walk corpus
+  /// Worker threads for training (0 = default: STEDB_THREADS env var,
+  /// else hardware concurrency). Bit-identical models at any thread count.
+  int threads = 0;
 };
 
 /// Skip-gram with negative sampling (word2vec / Node2Vec objective),
@@ -44,10 +47,16 @@ class SkipGramModel {
   void FreezeAll();
 
   /// Runs `epochs` passes of SGNS over the walks. `vocab` provides the
-  /// noise distribution. When `only_update_new_from` >= 0, gradient steps
-  /// are applied solely to nodes >= that id regardless of freeze flags
-  /// (fast path used by the dynamic trainer). Returns average loss of the
-  /// final epoch.
+  /// noise distribution. Returns average loss of the final epoch.
+  ///
+  /// Execution model: walks are processed in small fixed-size mini-batches
+  /// on a `config.threads`-wide ParallelRunner. Workers first compute every
+  /// pair's residuals and center gradients against batch-start vectors
+  /// (each walk on its own counter-based RNG stream for windows and
+  /// negatives), then the updates are applied sharded by node id — no two
+  /// workers write the same embedding row, and each row's updates run in
+  /// pair order. Results are bit-identical for a fixed seed at any thread
+  /// count.
   double Train(const std::vector<std::vector<graph::NodeId>>& walks,
                const NodeVocab& vocab, int epochs, Rng& rng);
 
@@ -58,10 +67,6 @@ class SkipGramModel {
   const SkipGramConfig& config() const { return config_; }
 
  private:
-  /// One positive (center, context) update plus `negatives` noise updates.
-  double TrainPair(graph::NodeId center, graph::NodeId context,
-                   const NodeVocab& vocab, double lr, Rng& rng);
-
   SkipGramConfig config_;
   la::Matrix in_;   ///< input (center) vectors — the published embedding
   la::Matrix out_;  ///< output (context) vectors

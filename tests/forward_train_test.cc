@@ -150,5 +150,46 @@ INSTANTIATE_TEST_SUITE_P(Estimators, KdEstimatorTest,
                                            KdEstimator::kMultiSample,
                                            KdEstimator::kExactCached));
 
+/// The parallel runtime contract: for a fixed seed the trained model is
+/// bit-identical at any thread count, for every KD estimator.
+class ThreadEquivalenceTest : public ::testing::TestWithParam<KdEstimator> {};
+
+TEST_P(ThreadEquivalenceTest, BitIdenticalAtOneAndFourThreads) {
+  data::GenConfig gen;
+  gen.scale = 0.06;
+  gen.seed = 9;
+  auto ds = data::MakeGenes(gen);
+  ASSERT_TRUE(ds.ok());
+  AttrKeySet excluded;
+  excluded.insert({ds.value().pred_rel, ds.value().pred_attr});
+  auto kernels = KernelRegistry::Defaults(ds.value().database);
+
+  auto train = [&](int threads) {
+    ForwardConfig cfg = TinyConfig();
+    cfg.kd_estimator = GetParam();
+    cfg.threads = threads;
+    ForwardTrainer trainer(&ds.value().database, &kernels, cfg);
+    return trainer.Train(ds.value().pred_rel, excluded);
+  };
+  auto m1 = train(1);
+  auto m4 = train(4);
+  ASSERT_TRUE(m1.ok()) << m1.status();
+  ASSERT_TRUE(m4.ok()) << m4.status();
+  ASSERT_EQ(m1.value().num_embedded(), m4.value().num_embedded());
+  for (const auto& [f, v] : m1.value().all_phi()) {
+    EXPECT_EQ(v, m4.value().phi(f)) << "phi diverged for fact " << f;
+  }
+  ASSERT_EQ(m1.value().targets().size(), m4.value().targets().size());
+  for (size_t t = 0; t < m1.value().targets().size(); ++t) {
+    EXPECT_EQ(m1.value().psi(t).data(), m4.value().psi(t).data())
+        << "psi diverged for target " << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Estimators, ThreadEquivalenceTest,
+                         ::testing::Values(KdEstimator::kSingleSample,
+                                           KdEstimator::kMultiSample,
+                                           KdEstimator::kExactCached));
+
 }  // namespace
 }  // namespace stedb::fwd

@@ -32,6 +32,29 @@ TEST(MatrixTest, RowRoundTrip) {
   EXPECT_EQ(m.Row(1), (Vector{3.0, 4.0}));
 }
 
+TEST(MatrixTest, ResizeRowsGrowsInPlace) {
+  la::Matrix m(2, 3);
+  m.SetRow(0, {1, 2, 3});
+  m.SetRow(1, {4, 5, 6});
+  m.ResizeRows(4, 9.0);
+  EXPECT_EQ(m.rows(), 4u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.Row(0), (la::Vector{1, 2, 3}));
+  EXPECT_EQ(m.Row(1), (la::Vector{4, 5, 6}));
+  EXPECT_EQ(m.Row(2), (la::Vector{9, 9, 9}));
+  EXPECT_EQ(m.Row(3), (la::Vector{9, 9, 9}));
+}
+
+TEST(MatrixTest, ResizeRowsShrinksKeepingPrefix) {
+  la::Matrix m(3, 2);
+  m.SetRow(0, {1, 2});
+  m.SetRow(1, {3, 4});
+  m.SetRow(2, {5, 6});
+  m.ResizeRows(1);
+  EXPECT_EQ(m.rows(), 1u);
+  EXPECT_EQ(m.Row(0), (la::Vector{1, 2}));
+}
+
 TEST(MatrixTest, Transposed) {
   Matrix m(2, 3);
   m.SetRow(0, {1, 2, 3});

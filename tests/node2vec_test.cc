@@ -54,6 +54,26 @@ TEST(Node2VecTest, DeterministicGivenSeed) {
   EXPECT_EQ(e1.value().Embed(m1).value(), e2.value().Embed(m1).value());
 }
 
+TEST(Node2VecTest, BitIdenticalAtOneAndFourThreads) {
+  db::Database database = MovieDatabase();
+  Node2VecConfig c1 = SmallConfig();
+  c1.walk.threads = 1;
+  c1.sg.threads = 1;
+  Node2VecConfig c4 = SmallConfig();
+  c4.walk.threads = 4;
+  c4.sg.threads = 4;
+  auto e1 = Node2VecEmbedding::TrainStatic(&database, c1);
+  auto e4 = Node2VecEmbedding::TrainStatic(&database, c4);
+  ASSERT_TRUE(e1.ok());
+  ASSERT_TRUE(e4.ok());
+  for (size_t r = 0; r < database.schema().num_relations(); ++r) {
+    for (db::FactId f : database.FactsOf(static_cast<db::RelationId>(r))) {
+      EXPECT_EQ(e1.value().Embed(f).value(), e4.value().Embed(f).value())
+          << "embedding diverged for fact " << f;
+    }
+  }
+}
+
 TEST(Node2VecTest, DifferentSeedsDiffer) {
   db::Database database = MovieDatabase();
   Node2VecConfig c1 = SmallConfig();

@@ -1,0 +1,187 @@
+#include "src/common/parallel.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "src/common/rng.h"
+
+namespace stedb {
+namespace {
+
+TEST(ResolveThreadCountTest, PositiveRequestWins) {
+  unsetenv("STEDB_THREADS");
+  EXPECT_EQ(ResolveThreadCount(3), 3);
+  EXPECT_EQ(ResolveThreadCount(1), 1);
+}
+
+TEST(ResolveThreadCountTest, ZeroMeansHardwareConcurrency) {
+  unsetenv("STEDB_THREADS");
+  EXPECT_GE(ResolveThreadCount(0), 1);
+}
+
+TEST(ResolveThreadCountTest, EnvFillsDefaultButExplicitPinWins) {
+  setenv("STEDB_THREADS", "5", 1);
+  EXPECT_EQ(ResolveThreadCount(0), 5);  // env steers the default
+  // Explicit pins are deliberate (nested fan-outs pin 1, equivalence
+  // tests pin 1 vs 4) and must not be defeated by the env knob.
+  EXPECT_EQ(ResolveThreadCount(2), 2);
+  setenv("STEDB_THREADS", "garbage", 1);
+  EXPECT_GE(ResolveThreadCount(0), 1);  // unparseable -> ignored
+  unsetenv("STEDB_THREADS");
+}
+
+class ParallelForTest : public ::testing::TestWithParam<int> {
+ protected:
+  void SetUp() override { unsetenv("STEDB_THREADS"); }
+};
+
+TEST_P(ParallelForTest, CoversEveryIndexExactlyOnce) {
+  ParallelRunner runner(GetParam());
+  constexpr size_t kN = 1000;
+  std::vector<std::atomic<int>> hits(kN);
+  for (auto& h : hits) h = 0;
+  runner.ParallelFor(kN, [&](size_t i) { hits[i].fetch_add(1); });
+  for (size_t i = 0; i < kN; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST_P(ParallelForTest, EmptyAndSingleRanges) {
+  ParallelRunner runner(GetParam());
+  int calls = 0;
+  runner.ParallelFor(0, [&](size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+  std::atomic<int> one{0};
+  runner.ParallelFor(1, [&](size_t i) {
+    EXPECT_EQ(i, 0u);
+    one.fetch_add(1);
+  });
+  EXPECT_EQ(one.load(), 1);
+}
+
+TEST_P(ParallelForTest, ExceptionsPropagate) {
+  ParallelRunner runner(GetParam());
+  EXPECT_THROW(
+      runner.ParallelFor(64,
+                         [&](size_t i) {
+                           if (i == 13) throw std::runtime_error("boom");
+                         }),
+      std::runtime_error);
+  // The runner survives a throwing job.
+  std::atomic<int> count{0};
+  runner.ParallelFor(8, [&](size_t) { count.fetch_add(1); });
+  EXPECT_EQ(count.load(), 8);
+}
+
+TEST_P(ParallelForTest, ReusableAcrossManyJobs) {
+  ParallelRunner runner(GetParam());
+  std::atomic<long> total{0};
+  for (int job = 0; job < 50; ++job) {
+    runner.ParallelFor(20, [&](size_t i) {
+      total.fetch_add(static_cast<long>(i));
+    });
+  }
+  EXPECT_EQ(total.load(), 50L * (19 * 20 / 2));
+}
+
+INSTANTIATE_TEST_SUITE_P(Threads, ParallelForTest,
+                         ::testing::Values(1, 2, 4, 7));
+
+TEST(ShardedReduceTest, MatchesSerialSum) {
+  unsetenv("STEDB_THREADS");
+  std::vector<double> values(257);
+  Rng rng(3);
+  for (double& v : values) v = rng.NextDouble();
+  const double serial = std::accumulate(values.begin(), values.end(), 0.0);
+  ParallelRunner runner(4);
+  const double parallel = runner.ShardedReduce(
+      values.size(), 16, 0.0,
+      [&](size_t begin, size_t end) {
+        double acc = 0.0;
+        for (size_t i = begin; i < end; ++i) acc += values[i];
+        return acc;
+      },
+      [](double a, double b) { return a + b; });
+  EXPECT_NEAR(parallel, serial, 1e-9);
+}
+
+TEST(ShardedReduceTest, BitIdenticalAcrossThreadCounts) {
+  unsetenv("STEDB_THREADS");
+  std::vector<double> values(1001);
+  Rng rng(4);
+  for (double& v : values) v = rng.NextGaussian();
+  auto reduce = [&](int threads) {
+    ParallelRunner runner(threads);
+    // Shard count fixed by the caller: the floating-point combination
+    // order — and therefore the bits — must not change with the pool size.
+    return runner.ShardedReduce(
+        values.size(), 32, 0.0,
+        [&](size_t begin, size_t end) {
+          double acc = 0.0;
+          for (size_t i = begin; i < end; ++i) acc += values[i];
+          return acc;
+        },
+        [](double a, double b) { return a + b; });
+  };
+  const double at1 = reduce(1);
+  const double at4 = reduce(4);
+  EXPECT_EQ(at1, at4);  // exact, not NEAR
+}
+
+TEST(RngForkStreamTest, StreamsAreDisjoint) {
+  Rng root(42);
+  Rng a = root.Fork(0);
+  Rng b = root.Fork(1);
+  Rng c = root.Fork(2);
+  bool all_equal_ab = true, all_equal_ac = true;
+  for (int i = 0; i < 16; ++i) {
+    const uint64_t va = a.NextUint(1u << 30);
+    const uint64_t vb = b.NextUint(1u << 30);
+    const uint64_t vc = c.NextUint(1u << 30);
+    all_equal_ab &= va == vb;
+    all_equal_ac &= va == vc;
+  }
+  EXPECT_FALSE(all_equal_ab);
+  EXPECT_FALSE(all_equal_ac);
+}
+
+TEST(RngForkStreamTest, SameStreamReproduces) {
+  Rng root(42);
+  Rng a = root.Fork(7);
+  Rng b = root.Fork(7);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(a.NextUint(1u << 30), b.NextUint(1u << 30));
+  }
+}
+
+TEST(RngForkStreamTest, IndependentOfParentDrawPosition) {
+  // The counter-based fork keys off the construction seed, so workers can
+  // fork their streams before or after the parent advanced.
+  Rng before(99);
+  Rng fresh = before.Fork(5);
+  Rng advanced(99);
+  for (int i = 0; i < 100; ++i) advanced.NextDouble();
+  Rng late = advanced.Fork(5);
+  for (int i = 0; i < 16; ++i) {
+    EXPECT_EQ(fresh.NextUint(1u << 30), late.NextUint(1u << 30));
+  }
+}
+
+TEST(RngForkStreamTest, DiffersFromStatefulFork) {
+  Rng a(13);
+  Rng stateful = a.Fork();
+  Rng counter = Rng(13).Fork(0);
+  bool all_equal = true;
+  for (int i = 0; i < 16; ++i) {
+    all_equal &= stateful.NextUint(1u << 30) == counter.NextUint(1u << 30);
+  }
+  EXPECT_FALSE(all_equal);
+}
+
+}  // namespace
+}  // namespace stedb

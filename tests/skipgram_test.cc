@@ -115,6 +115,28 @@ TEST(SkipGramTest, UnfrozenNewNodesTrainAmongFrozen) {
             la::CosineSimilarity(model.Embedding(6), model.Embedding(4)));
 }
 
+TEST(SkipGramTest, BitIdenticalAtOneAndFourThreads) {
+  auto walks = TwoCliqueWalks(15);
+  auto train = [&](int threads) {
+    Rng rng(8);
+    SkipGramConfig cfg;
+    cfg.dim = 12;
+    cfg.window = 3;
+    cfg.negatives = 5;
+    cfg.threads = threads;
+    SkipGramModel model(6, cfg, rng);
+    NodeVocab vocab(6);
+    vocab.CountWalks(walks);
+    vocab.BuildNoiseTable();
+    const double loss = model.Train(walks, vocab, 3, rng);
+    return std::make_pair(std::move(model), loss);
+  };
+  auto [m1, loss1] = train(1);
+  auto [m4, loss4] = train(4);
+  EXPECT_EQ(loss1, loss4);  // exact, not NEAR
+  EXPECT_EQ(m1.embedding_matrix().data(), m4.embedding_matrix().data());
+}
+
 TEST(NodeVocabTest, CountsAndResize) {
   NodeVocab vocab(3);
   vocab.CountWalks({{0, 1, 1}, {2}});
