@@ -1,0 +1,120 @@
+// Persistence I/O for the embedding store (src/store/): binary snapshot
+// save/load vs. the text SaveModel/LoadModel path, and the per-extension
+// WAL append cost, on a FoRWaRD model trained at the configured scale.
+//
+// Shape expectation: the binary snapshot loads an order of magnitude
+// faster than parsing the text dump (no locale-independent double
+// parsing, one CRC pass), and a buffered WAL append costs microseconds —
+// the durability layer is off the dynamic-extension critical path.
+#include <algorithm>
+#include <cstdlib>
+#include <filesystem>
+
+#include "bench/bench_common.h"
+#include "src/common/timer.h"
+#include "src/exp/report.h"
+#include "src/fwd/serialize.h"
+#include "src/store/embedding_store.h"
+#include "src/store/snapshot.h"
+
+using namespace stedb;
+
+namespace {
+
+/// Median-of-`reps` wall-clock seconds for `fn`.
+template <typename Fn>
+double TimeMedian(int reps, Fn&& fn) {
+  std::vector<double> seconds;
+  for (int r = 0; r < reps; ++r) {
+    Timer t;
+    fn();
+    seconds.push_back(t.ElapsedSeconds());
+  }
+  std::sort(seconds.begin(), seconds.end());
+  return seconds[seconds.size() / 2];
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  exp::RunScale scale = exp::ScaleFromEnv();
+  exp::MethodConfig mcfg = exp::MethodConfig::ForScale(scale);
+  bench::PrintHeader("Table VII", "embedding store I/O (snapshot vs text, "
+                     "WAL append)", scale);
+
+  const std::string dir =
+      (std::filesystem::temp_directory_path() / "stedb_store_bench")
+          .string();
+  std::filesystem::create_directories(dir);
+  const int reps = scale == exp::RunScale::kPaper ? 3 : 5;
+
+  exp::TableWriter table({"Task", "text save", "text load", "snap save",
+                          "snap load", "speedup", "append/vec"});
+  for (const std::string& name : bench::SelectDatasets(argc, argv)) {
+    data::GeneratedDataset ds =
+        bench::MakeDatasetOrDie(name, mcfg.data_scale);
+    fwd::ForwardConfig fcfg = mcfg.forward;
+    fcfg.seed = 7;
+    fwd::AttrKeySet excluded;
+    excluded.insert({ds.pred_rel, ds.pred_attr});
+    auto emb = fwd::ForwardEmbedder::TrainStatic(&ds.database, ds.pred_rel,
+                                                 excluded, fcfg);
+    if (!emb.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   emb.status().ToString().c_str());
+      continue;
+    }
+    const fwd::ForwardModel& model = emb.value().model();
+
+    const std::string text_path = dir + "/" + name + ".txt";
+    const std::string snap_path = dir + "/" + name + ".snap";
+    const double text_save = TimeMedian(reps, [&] {
+      if (!fwd::SaveModel(model, text_path).ok()) std::exit(1);
+    });
+    const double text_load = TimeMedian(reps, [&] {
+      if (!fwd::LoadModel(text_path).ok()) std::exit(1);
+    });
+    const double snap_save = TimeMedian(reps, [&] {
+      if (!store::WriteSnapshot(model, snap_path).ok()) std::exit(1);
+    });
+    const double snap_load = TimeMedian(reps, [&] {
+      if (!store::ReadSnapshot(snap_path).ok()) std::exit(1);
+    });
+
+    // Per-extension append cost: journal synthetic φ vectors (the I/O
+    // path neither knows nor cares that they came from the solver).
+    const size_t kAppends = 512;
+    auto created = store::EmbeddingStore::Create(dir + "/" + name, model);
+    if (!created.ok()) {
+      std::fprintf(stderr, "%s: %s\n", name.c_str(),
+                   created.status().ToString().c_str());
+      continue;
+    }
+    store::EmbeddingStore st = std::move(created).value();
+    la::Vector phi(model.dim(), 0.25);
+    Timer append_timer;
+    for (size_t i = 0; i < kAppends; ++i) {
+      if (!st.Append(static_cast<db::FactId>(1000000 + i), phi).ok()) {
+        std::exit(1);
+      }
+    }
+    if (!st.Sync().ok()) std::exit(1);
+    const double append_us =
+        append_timer.ElapsedSeconds() / static_cast<double>(kAppends) * 1e6;
+
+    char speedup[32], append_cell[32];
+    std::snprintf(speedup, sizeof(speedup), "%.1fx",
+                  snap_load > 0 ? text_load / snap_load : 0.0);
+    std::snprintf(append_cell, sizeof(append_cell), "%.1fus", append_us);
+    table.AddRow({name, exp::SecondsCell(text_save),
+                  exp::SecondsCell(text_load), exp::SecondsCell(snap_save),
+                  exp::SecondsCell(snap_load), speedup, append_cell});
+    std::printf("%s done (%zu embeddings, dim %zu)\n", name.c_str(),
+                model.num_embedded(), model.dim());
+  }
+  std::printf("\n%s\n", table.Render().c_str());
+  std::printf("(snapshot load must beat text load; appends are buffered "
+              "with one fsync at the end)\n");
+  std::filesystem::remove_all(dir);
+  return 0;
+}

@@ -21,6 +21,8 @@ struct RunOutcome {
   size_t new_pred = 0;
   size_t new_facts = 0;
   double drift = 0.0;
+  double journal_drift = 0.0;
+  bool journaled = false;
 };
 
 /// One partition-train-replay-evaluate cycle. Self-contained: owns a
@@ -64,6 +66,19 @@ Result<RunOutcome> RunOnce(const data::GeneratedDataset& ds,
   std::unique_ptr<ml::Classifier> clf =
       ml::MakeClassifier(dcfg.classifier, run_seed + 17);
   STEDB_RETURN_IF_ERROR(clf->Fit(train));
+
+  // Optional journaling: snapshot the trained model, then capture every
+  // extension below in the WAL. Methods without a store format decline
+  // with FailedPrecondition, which simply leaves journaling off.
+  if (!dcfg.journal_dir.empty()) {
+    Status attached = embedder->AttachJournal(dcfg.journal_dir + "/run" +
+                                              std::to_string(run));
+    if (attached.ok()) {
+      out.journaled = true;
+    } else if (attached.code() != StatusCode::kFailedPrecondition) {
+      return attached;
+    }
+  }
 
   // Snapshot old embeddings for the stability check.
   n2v::EmbeddingSnapshot snapshot;
@@ -109,6 +124,11 @@ Result<RunOutcome> RunOnce(const data::GeneratedDataset& ds,
     }
   }
   out.new_pred = new_pred_facts.size();
+
+  // (3b) Journaling: the crash-recovery view must equal the live model.
+  if (out.journaled) {
+    STEDB_ASSIGN_OR_RETURN(out.journal_drift, embedder->VerifyJournal());
+  }
 
   // (4) Stability: every old vector must be bit-identical.
   if (dcfg.check_stability) {
@@ -189,6 +209,8 @@ Result<DynamicResult> RunDynamicExperiment(const data::GeneratedDataset& ds,
     total_new_pred += out.new_pred;
     total_new_facts += out.new_facts;
     worst_drift = std::max(worst_drift, out.drift);
+    result.journaled = result.journaled || out.journaled;
+    result.journal_drift = std::max(result.journal_drift, out.journal_drift);
   }
 
   result.mean_accuracy = ml::Mean(accuracies);

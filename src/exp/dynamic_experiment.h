@@ -28,6 +28,13 @@ struct DynamicConfig {
   /// private database copy — and concurrent execution leaves every
   /// reported number except wall-clock timings bit-identical.
   int threads = 0;
+  /// When non-empty, every run journals its model into
+  /// `<journal_dir>/run<r>` (binary snapshot after static training + one
+  /// WAL record per extension — see src/store/) and, after the replay,
+  /// verifies that a cold store::EmbeddingStore::Open() recovers the
+  /// in-memory embeddings bit-exactly. Methods without a store format
+  /// (Node2Vec) ignore the knob.
+  std::string journal_dir;
   uint64_t seed = 321;
 };
 
@@ -45,6 +52,10 @@ struct DynamicResult {
   /// Max drift of old embeddings across all runs (must be exactly 0).
   double stability_drift = 0.0;
   size_t avg_new_facts = 0;         ///< facts per run incl. cascade companions
+  /// Journaling mode only: max deviation across runs between each run's
+  /// in-memory model and its crash-recovered store (must be exactly 0).
+  double journal_drift = 0.0;
+  bool journaled = false;           ///< journaling ran for at least one run
 };
 
 /// Runs the dynamic experiment for one method on one dataset.

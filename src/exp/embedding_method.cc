@@ -1,7 +1,11 @@
 #include "src/exp/embedding_method.h"
 
 #include <cstdlib>
+#include <memory>
 #include <optional>
+
+#include "src/store/embedding_store.h"
+#include "src/store/snapshot.h"
 
 namespace stedb::exp {
 
@@ -111,11 +115,38 @@ class ForwardMethod : public EmbeddingMethod {
     return embedder_->Embed(f);
   }
 
+  Status AttachJournal(const std::string& dir) override {
+    if (!embedder_.has_value()) {
+      return Status::FailedPrecondition("TrainStatic was not called");
+    }
+    auto created = store::EmbeddingStore::Create(dir, embedder_->model());
+    if (!created.ok()) return created.status();
+    // unique_ptr pins the store's address — the sink captures it.
+    store_ = std::make_unique<store::EmbeddingStore>(
+        std::move(created).value());
+    embedder_->set_extension_sink(store_->MakeSink());
+    return Status::OK();
+  }
+
+  Result<double> VerifyJournal() const override {
+    if (store_ == nullptr) {
+      return Status::FailedPrecondition("AttachJournal was not called");
+    }
+    STEDB_RETURN_IF_ERROR(store_->Sync());
+    // Cold recovery path: re-open the directory exactly as a restarted
+    // process would and diff against the live model.
+    auto reopened = store::EmbeddingStore::Open(store_->dir());
+    if (!reopened.ok()) return reopened.status();
+    return store::ModelMaxAbsDiff(reopened.value().model(),
+                                  embedder_->model());
+  }
+
   std::string Name() const override { return "FoRWaRD"; }
 
  private:
   fwd::ForwardConfig config_;
   std::optional<fwd::ForwardEmbedder> embedder_;
+  std::unique_ptr<store::EmbeddingStore> store_;
 };
 
 /// Node2VecEmbedding adapter. The label column is excluded from the graph

@@ -55,6 +55,23 @@ class EmbeddingMethod {
   /// Embedding of a prediction-relation fact.
   virtual Result<la::Vector> Embed(db::FactId f) const = 0;
 
+  /// Starts journaling this method's model into a store::EmbeddingStore at
+  /// `dir`: snapshot of the trained model now, one WAL record per future
+  /// extension. Must be called after TrainStatic. The default is
+  /// FailedPrecondition — only FoRWaRD has a durable store format so far.
+  virtual Status AttachJournal(const std::string& dir) {
+    (void)dir;
+    return Status::FailedPrecondition(Name() + " does not support journaling");
+  }
+
+  /// Re-opens the attached journal cold (snapshot + WAL replay, as a crash
+  /// recovery would) and returns the max absolute deviation between the
+  /// recovered and the in-memory embeddings — 0.0 when durability is
+  /// bit-exact.
+  virtual Result<double> VerifyJournal() const {
+    return Status::FailedPrecondition(Name() + " does not support journaling");
+  }
+
   virtual std::string Name() const = 0;
 };
 

@@ -36,6 +36,7 @@ Status ForwardEmbedder::ExtendToFacts(
     if (model_.HasEmbedding(f)) continue;
     auto res = extender_.Extend(model_, f, rng_);
     if (!res.ok()) return res.status();
+    if (sink_) STEDB_RETURN_IF_ERROR(sink_(f, model_.phi(f)));
   }
   return Status::OK();
 }

@@ -10,6 +10,7 @@
 #include "src/fwd/kernel.h"
 #include "src/fwd/model.h"
 #include "src/fwd/trainer.h"
+#include "src/store/sink.h"
 
 namespace stedb::fwd {
 
@@ -42,6 +43,13 @@ class ForwardEmbedder {
   /// φ(f); NotFound for facts never embedded.
   Result<la::Vector> Embed(db::FactId f) const { return model_.Embed(f); }
 
+  /// Durability hook: called once per newly extended fact with the final
+  /// φ(f_new) (e.g. store::EmbeddingStore::MakeSink()). A failing sink
+  /// aborts ExtendToFacts. Pass an empty function to detach.
+  void set_extension_sink(store::EmbeddingSink sink) {
+    sink_ = std::move(sink);
+  }
+
   const ForwardModel& model() const { return model_; }
   const KernelRegistry& kernels() const { return *kernels_; }
   db::RelationId relation() const { return model_.relation(); }
@@ -58,6 +66,7 @@ class ForwardEmbedder {
   ForwardModel model_;
   ForwardExtender extender_;
   Rng rng_;
+  store::EmbeddingSink sink_;
 };
 
 }  // namespace stedb::fwd

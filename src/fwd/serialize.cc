@@ -5,6 +5,8 @@
 #include <fstream>
 #include <sstream>
 
+#include "src/store/format.h"
+
 namespace stedb::fwd {
 namespace {
 
@@ -13,6 +15,10 @@ void AppendDouble(std::string& out, double v) {
   std::snprintf(buf, sizeof(buf), "%.17g", v);
   out += buf;
 }
+
+/// Ceiling on the parsed embedding dimension, shared with the binary
+/// store's parsers so every persistence format accepts the same models.
+constexpr size_t kMaxDim = store::kMaxEmbeddingDim;
 
 }  // namespace
 
@@ -76,16 +82,27 @@ Result<ForwardModel> ModelFromText(const std::string& text) {
   if (!(in >> word >> dim) || word != "dim") {
     return Status::InvalidArgument("missing dim header");
   }
+  if (dim == 0 || dim > kMaxDim) {
+    return Status::InvalidArgument("implausible dimension");
+  }
 
   size_t n_schemes = 0;
   if (!(in >> word >> n_schemes) || word != "schemes") {
     return Status::InvalidArgument("missing schemes header");
+  }
+  // Every scheme costs at least two characters of input ("S ..."), so a
+  // count beyond the blob size is a corrupted header, not data.
+  if (n_schemes > text.size()) {
+    return Status::InvalidArgument("implausible scheme count");
   }
   std::vector<WalkScheme> schemes(n_schemes);
   for (size_t s = 0; s < n_schemes; ++s) {
     size_t len = 0;
     if (!(in >> word >> schemes[s].start >> len) || word != "S") {
       return Status::InvalidArgument("bad scheme line");
+    }
+    if (len > text.size()) {
+      return Status::InvalidArgument("implausible scheme length");
     }
     schemes[s].steps.resize(len);
     for (size_t k = 0; k < len; ++k) {
@@ -101,6 +118,14 @@ Result<ForwardModel> ModelFromText(const std::string& text) {
   size_t n_targets = 0;
   if (!(in >> word >> n_targets) || word != "targets") {
     return Status::InvalidArgument("missing targets header");
+  }
+  if (n_targets > text.size()) {
+    return Status::InvalidArgument("implausible target count");
+  }
+  // Each ψ is dim² doubles of at least two characters each; reject before
+  // allocating when the blob cannot possibly hold them.
+  if (n_targets > 0 && dim * dim > text.size()) {
+    return Status::InvalidArgument("dim too large for blob");
   }
   std::vector<SchemeTarget> targets(n_targets);
   for (size_t t = 0; t < n_targets; ++t) {
@@ -135,6 +160,9 @@ Result<ForwardModel> ModelFromText(const std::string& text) {
   if (!(in >> word >> n_phi) || word != "phi") {
     return Status::InvalidArgument("missing phi header");
   }
+  if (n_phi > text.size()) {
+    return Status::InvalidArgument("implausible phi count");
+  }
   for (size_t i = 0; i < n_phi; ++i) {
     int64_t fact = -1;
     if (!(in >> word >> fact) || word != "P") {
@@ -146,16 +174,21 @@ Result<ForwardModel> ModelFromText(const std::string& text) {
         return Status::InvalidArgument("truncated phi vector");
       }
     }
+    if (model.HasEmbedding(static_cast<db::FactId>(fact))) {
+      return Status::InvalidArgument("duplicate fact in phi block");
+    }
     model.set_phi(static_cast<db::FactId>(fact), std::move(vec));
+  }
+  if (in >> word) {
+    return Status::InvalidArgument("trailing garbage after phi block");
   }
   return model;
 }
 
 Status SaveModel(const ForwardModel& model, const std::string& path) {
-  std::ofstream f(path);
-  if (!f) return Status::IOError("cannot write " + path);
-  f << ModelToText(model);
-  return f.good() ? Status::OK() : Status::IOError("write failed: " + path);
+  // Atomic: a crash mid-save leaves any existing model file untouched
+  // rather than clobbering it with a truncated one.
+  return store::AtomicWriteFile(path, ModelToText(model));
 }
 
 Result<ForwardModel> LoadModel(const std::string& path) {

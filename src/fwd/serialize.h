@@ -30,7 +30,10 @@ std::string ModelToText(const ForwardModel& model);
 /// Parses ModelToText output.
 Result<ForwardModel> ModelFromText(const std::string& text);
 
-/// Writes/reads the model to a file path.
+/// Writes/reads the model to a file path. SaveModel is atomic (temp file +
+/// rename): a crash mid-save never clobbers an existing good model file.
+/// For durable incremental state (dynamic extensions), prefer the binary
+/// store::EmbeddingStore; this text path remains the import/export format.
 Status SaveModel(const ForwardModel& model, const std::string& path);
 Result<ForwardModel> LoadModel(const std::string& path);
 

@@ -50,6 +50,15 @@ Status Node2VecEmbedding::ExtendToFacts(
   vocab_.CountWalks(walks);
   vocab_.BuildNoiseTable();
   model_.Train(walks, vocab_, config_.dynamic_epochs, rng_);
+  if (sink_) {
+    // The vectors just trained are frozen by the next extension, so this
+    // is the journaling point for the new facts' embeddings.
+    for (db::FactId f : new_facts) {
+      graph::NodeId n = graph_.NodeOfFact(f);
+      if (n == graph::kNoNode) continue;
+      STEDB_RETURN_IF_ERROR(sink_(f, model_.Embedding(n)));
+    }
+  }
   return Status::OK();
 }
 

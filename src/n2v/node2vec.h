@@ -10,6 +10,7 @@
 #include "src/la/matrix.h"
 #include "src/n2v/skipgram.h"
 #include "src/n2v/vocab.h"
+#include "src/store/sink.h"
 
 namespace stedb::n2v {
 
@@ -50,6 +51,13 @@ class Node2VecEmbedding {
   /// Embedding of a fact; NotFound when the fact was never embedded.
   Result<la::Vector> Embed(db::FactId f) const;
 
+  /// Durability hook: called once per fact newly embedded by
+  /// ExtendToFacts, with its final (frozen-from-now-on) vector. A failing
+  /// sink aborts the extension. Pass an empty function to detach.
+  void set_extension_sink(store::EmbeddingSink sink) {
+    sink_ = std::move(sink);
+  }
+
   const graph::BipartiteGraph& graph() const { return graph_; }
   const SkipGramModel& model() const { return model_; }
   size_t dim() const { return model_.dim(); }
@@ -63,6 +71,7 @@ class Node2VecEmbedding {
   graph::BipartiteGraph graph_;
   NodeVocab vocab_;
   SkipGramModel model_;
+  store::EmbeddingSink sink_;
 };
 
 }  // namespace stedb::n2v

@@ -1,0 +1,108 @@
+#include "src/store/embedding_store.h"
+
+#include <filesystem>
+
+#include "src/store/snapshot.h"
+
+namespace stedb::store {
+
+std::string EmbeddingStore::SnapshotPath(const std::string& dir) {
+  return dir + "/model.snap";
+}
+
+std::string EmbeddingStore::WalPath(const std::string& dir) {
+  return dir + "/extend.wal";
+}
+
+EmbeddingStore::EmbeddingStore(std::string dir, StoreOptions options,
+                               fwd::ForwardModel model, WalWriter wal,
+                               size_t wal_records, bool torn)
+    : dir_(std::move(dir)),
+      options_(options),
+      model_(std::move(model)),
+      wal_(std::move(wal)),
+      wal_records_(wal_records),
+      recovered_torn_tail_(torn) {}
+
+Result<EmbeddingStore> EmbeddingStore::Create(const std::string& dir,
+                                              const fwd::ForwardModel& model,
+                                              StoreOptions options) {
+  if (model.dim() == 0) {
+    return Status::InvalidArgument("store: model has dimension 0");
+  }
+  std::error_code ec;
+  std::filesystem::create_directories(dir, ec);
+  if (ec) {
+    return Status::IOError("store: cannot create directory " + dir);
+  }
+  STEDB_RETURN_IF_ERROR(WriteSnapshot(model, SnapshotPath(dir)));
+  STEDB_RETURN_IF_ERROR(ResetWal(WalPath(dir), model.dim()));
+  STEDB_ASSIGN_OR_RETURN(WalWriter wal,
+                         WalWriter::Open(WalPath(dir), model.dim()));
+  return EmbeddingStore(dir, options, model, std::move(wal),
+                        /*wal_records=*/0, /*torn=*/false);
+}
+
+Result<EmbeddingStore> EmbeddingStore::Open(const std::string& dir,
+                                            StoreOptions options) {
+  STEDB_ASSIGN_OR_RETURN(fwd::ForwardModel model,
+                         ReadSnapshot(SnapshotPath(dir)));
+  STEDB_ASSIGN_OR_RETURN(
+      WalReplay replay,
+      ReplayWal(WalPath(dir), static_cast<int>(model.dim())));
+  if (replay.torn_tail) {
+    STEDB_RETURN_IF_ERROR(TruncateWal(WalPath(dir), replay.valid_bytes));
+  }
+  // Replay in append order; re-appends of a fact already snapshotted (a
+  // crash between Compact's snapshot rename and journal reset) simply
+  // rewrite the identical vector, so recovery is idempotent.
+  for (WalRecord& rec : replay.records) {
+    model.set_phi(rec.fact, std::move(rec.phi));
+  }
+  STEDB_ASSIGN_OR_RETURN(WalWriter wal,
+                         WalWriter::Open(WalPath(dir), model.dim()));
+  return EmbeddingStore(dir, options, std::move(model), std::move(wal),
+                        replay.records.size(), replay.torn_tail);
+}
+
+Status EmbeddingStore::Append(db::FactId fact, const la::Vector& phi) {
+  if (phi.size() != model_.dim()) {
+    return Status::InvalidArgument("store: vector dimension mismatch");
+  }
+  STEDB_RETURN_IF_ERROR(wal_.Append(fact, phi));
+  if (options_.sync_every_append) STEDB_RETURN_IF_ERROR(wal_.Sync());
+  model_.set_phi(fact, phi);
+  ++wal_records_;
+  if (options_.compact_every > 0 && wal_records_ >= options_.compact_every) {
+    return Compact();
+  }
+  return Status::OK();
+}
+
+Status EmbeddingStore::Sync() { return wal_.Sync(); }
+
+Status EmbeddingStore::Compact() {
+  STEDB_RETURN_IF_ERROR(wal_.Sync());
+  // Order matters for crash safety: (1) the new snapshot lands atomically
+  // (old snapshot + full journal remain valid until the rename), (2) the
+  // journal is reset. A crash between (1) and (2) leaves journal records
+  // that are already in the snapshot — harmless, see Open().
+  STEDB_RETURN_IF_ERROR(WriteSnapshot(model_, SnapshotPath(dir_)));
+  STEDB_RETURN_IF_ERROR(wal_.Close());
+  STEDB_RETURN_IF_ERROR(ResetWal(WalPath(dir_), model_.dim()));
+  STEDB_ASSIGN_OR_RETURN(WalWriter wal,
+                         WalWriter::Open(WalPath(dir_), model_.dim()));
+  wal_ = std::move(wal);
+  wal_records_ = 0;
+  return Status::OK();
+}
+
+Status EmbeddingStore::Close() { return wal_.Close(); }
+
+EmbeddingSink EmbeddingStore::MakeSink() {
+  return [this](db::FactId fact, const la::Vector& phi) {
+    return Append(fact, phi);
+  };
+}
+
+}  // namespace stedb::store

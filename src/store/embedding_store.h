@@ -1,0 +1,105 @@
+#ifndef STEDB_STORE_EMBEDDING_STORE_H_
+#define STEDB_STORE_EMBEDDING_STORE_H_
+
+#include <string>
+
+#include "src/common/status.h"
+#include "src/fwd/model.h"
+#include "src/store/sink.h"
+#include "src/store/wal.h"
+
+namespace stedb::store {
+
+struct StoreOptions {
+  /// fsync the journal after every Append. Appends are always durable
+  /// against a killed process (each record is flushed to the OS); this
+  /// knob makes every record durable against power loss too, at ~a disk
+  /// flush per extension. Off, power-loss durability is bounded by the
+  /// last explicit Sync()/Close() (a torn tail is recovered-around
+  /// either way).
+  bool sync_every_append = false;
+  /// Auto-Compact() once the journal holds this many records (0 = only
+  /// compact on explicit request).
+  size_t compact_every = 0;
+};
+
+/// Durable home of one FoRWaRD embedding: a binary snapshot
+/// (`<dir>/model.snap`, see snapshot.h) plus an append-only journal of
+/// dynamic extensions (`<dir>/extend.wal`, see wal.h).
+///
+/// Lifecycle
+///   * `Create(dir, model)` — persist a freshly trained model: snapshot
+///     written atomically, journal reset to empty.
+///   * `Append(fact, phi)`  — journal one extension. The paper's stability
+///     guarantee (old embeddings never move) is what makes a φ-only,
+///     append-only journal a *complete* record of all post-training
+///     mutations.
+///   * `Open(dir)`          — crash recovery: load the snapshot, replay
+///     the journal over it, and truncate a torn tail record (a crash
+///     mid-append) instead of failing. Everything that was appended
+///     *before* the last `Sync()` is recovered bit-exactly.
+///   * `Compact()`          — fold the journal into a fresh snapshot
+///     (atomic temp-file + rename, then journal reset). Crash-safe at
+///     every point: the old snapshot stays until the rename, and a
+///     leftover journal replayed over the *new* snapshot only rewrites
+///     identical vectors.
+///
+/// `MakeSink()` adapts the store to the `EmbeddingSink` writer interface
+/// that `fwd::ForwardEmbedder` / `n2v::Node2VecEmbedding` call once per
+/// newly embedded fact, so extensions hit the journal the moment they are
+/// computed.
+class EmbeddingStore {
+ public:
+  /// Persists `model` as the initial snapshot of a new (or re-initialized)
+  /// store directory, discarding any previous journal.
+  static Result<EmbeddingStore> Create(const std::string& dir,
+                                       const fwd::ForwardModel& model,
+                                       StoreOptions options = StoreOptions());
+
+  /// Recovers the durable model: snapshot + journal replay, truncating a
+  /// torn tail. Fails only on missing/corrupt snapshot or an unreadable
+  /// journal header.
+  static Result<EmbeddingStore> Open(const std::string& dir,
+                                     StoreOptions options = StoreOptions());
+
+  /// Journals φ(fact) and applies it to the in-memory model.
+  Status Append(db::FactId fact, const la::Vector& phi);
+
+  /// Forces journaled records to disk.
+  Status Sync();
+
+  /// Folds the journal into a fresh snapshot and empties it.
+  Status Compact();
+
+  /// Flushes and closes the journal writer; the store becomes read-only.
+  Status Close();
+
+  /// A writer bound to this store's Append; pass to the extenders. The
+  /// store must outlive every copy of the sink.
+  EmbeddingSink MakeSink();
+
+  const fwd::ForwardModel& model() const { return model_; }
+  const std::string& dir() const { return dir_; }
+  /// Journal records not yet folded into the snapshot.
+  size_t wal_records() const { return wal_records_; }
+  /// Whether the last Open() had to drop a torn tail record.
+  bool recovered_torn_tail() const { return recovered_torn_tail_; }
+
+  static std::string SnapshotPath(const std::string& dir);
+  static std::string WalPath(const std::string& dir);
+
+ private:
+  EmbeddingStore(std::string dir, StoreOptions options, fwd::ForwardModel model,
+                 WalWriter wal, size_t wal_records, bool torn);
+
+  std::string dir_;
+  StoreOptions options_;
+  fwd::ForwardModel model_;
+  WalWriter wal_;
+  size_t wal_records_ = 0;
+  bool recovered_torn_tail_ = false;
+};
+
+}  // namespace stedb::store
+
+#endif  // STEDB_STORE_EMBEDDING_STORE_H_

@@ -1,0 +1,91 @@
+#include "src/store/format.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace stedb::store {
+namespace {
+
+std::array<uint32_t, 256> MakeCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : (c >> 1);
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+/// Best-effort fsync of the directory containing `path`, so a rename done
+/// inside it survives power loss. Failures are ignored: not every
+/// filesystem supports directory fsync, and the data-file fsync already
+/// happened.
+void SyncParentDir(const std::string& path) {
+  const size_t slash = path.find_last_of('/');
+  const std::string dir = slash == std::string::npos
+                              ? std::string(".")
+                              : path.substr(0, slash == 0 ? 1 : slash);
+  const int fd = ::open(dir.c_str(), O_RDONLY);
+  if (fd >= 0) {
+    (void)::fsync(fd);
+    ::close(fd);
+  }
+}
+
+}  // namespace
+
+uint32_t Crc32(const void* data, size_t n, uint32_t seed) {
+  static const std::array<uint32_t, 256> table = MakeCrcTable();
+  uint32_t c = seed ^ 0xFFFFFFFFu;
+  const unsigned char* p = static_cast<const unsigned char*>(data);
+  for (size_t i = 0; i < n; ++i) {
+    c = table[(c ^ p[i]) & 0xFFu] ^ (c >> 8);
+  }
+  return c ^ 0xFFFFFFFFu;
+}
+
+Status AtomicWriteFile(const std::string& path, const std::string& contents) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::FILE* f = std::fopen(tmp.c_str(), "wb");
+    if (f == nullptr) {
+      return Status::IOError("cannot create temp file " + tmp);
+    }
+    const size_t written =
+        contents.empty()
+            ? 0
+            : std::fwrite(contents.data(), 1, contents.size(), f);
+    const bool flushed = std::fflush(f) == 0;
+    const bool synced = ::fsync(::fileno(f)) == 0;
+    const bool closed = std::fclose(f) == 0;
+    if (written != contents.size() || !flushed || !synced || !closed) {
+      std::remove(tmp.c_str());
+      return Status::IOError("short write to " + tmp);
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return Status::IOError("cannot rename " + tmp + " over " + path);
+  }
+  SyncParentDir(path);
+  return Status::OK();
+}
+
+Status ReadFileToString(const std::string& path, std::string* out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::IOError("cannot read " + path);
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  if (f.bad()) return Status::IOError("read failed: " + path);
+  *out = std::move(buf).str();
+  return Status::OK();
+}
+
+}  // namespace stedb::store

@@ -1,0 +1,26 @@
+#ifndef STEDB_STORE_SINK_H_
+#define STEDB_STORE_SINK_H_
+
+#include <functional>
+
+#include "src/common/status.h"
+#include "src/db/database.h"
+#include "src/la/matrix.h"
+
+namespace stedb::store {
+
+/// Durability hook the dynamic extenders plug a writer into.
+///
+/// `fwd::ForwardEmbedder::ExtendToFacts` and
+/// `n2v::Node2VecEmbedding::ExtendToFacts` invoke the sink once per newly
+/// embedded fact, after the vector is final and the in-memory model
+/// updated — the natural WAL append point. Old embeddings are frozen by
+/// the stability contract, so new-fact appends are the *only* mutations a
+/// journal ever has to capture. A sink returning an error aborts the
+/// extension loop and surfaces the error to the caller.
+using EmbeddingSink =
+    std::function<Status(db::FactId fact, const la::Vector& phi)>;
+
+}  // namespace stedb::store
+
+#endif  // STEDB_STORE_SINK_H_

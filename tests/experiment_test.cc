@@ -84,6 +84,36 @@ TEST(DynamicExperimentTest, StabilityAndAccuracy) {
   EXPECT_GT(res.value().avg_new_facts, 0u);
 }
 
+TEST(DynamicExperimentTest, JournalingModeRecoversBitExact) {
+  data::GeneratedDataset ds = SmokeGenes();
+  DynamicConfig dcfg;
+  dcfg.new_ratio = 0.2;
+  dcfg.runs = 2;
+  dcfg.one_by_one = true;
+  dcfg.journal_dir = ::testing::TempDir() + "/stedb_dyn_journal";
+  auto res = RunDynamicExperiment(ds, MethodKind::kForward, SmokeMethods(),
+                                  dcfg);
+  ASSERT_TRUE(res.ok()) << res.status();
+  // Every run journaled its model and a cold store recovery matched the
+  // in-memory embeddings bit for bit.
+  EXPECT_TRUE(res.value().journaled);
+  EXPECT_EQ(res.value().journal_drift, 0.0);
+  EXPECT_EQ(res.value().stability_drift, 0.0);
+}
+
+TEST(DynamicExperimentTest, JournalingIgnoredForNode2Vec) {
+  data::GeneratedDataset ds = SmokeGenes();
+  DynamicConfig dcfg;
+  dcfg.new_ratio = 0.2;
+  dcfg.runs = 1;
+  dcfg.journal_dir = ::testing::TempDir() + "/stedb_dyn_journal_n2v";
+  auto res = RunDynamicExperiment(ds, MethodKind::kNode2Vec, SmokeMethods(),
+                                  dcfg);
+  ASSERT_TRUE(res.ok()) << res.status();
+  EXPECT_FALSE(res.value().journaled);
+  EXPECT_EQ(res.value().journal_drift, 0.0);
+}
+
 TEST(DynamicExperimentTest, AllAtOnceMode) {
   data::GeneratedDataset ds = SmokeGenes();
   DynamicConfig dcfg;

@@ -164,6 +164,109 @@ TEST(ExtenderTest, PinvAndRidgeAgreeOnWellConditioned) {
   }
 }
 
+/// Inserts a second new collaboration (a03, a05, m02) for multi-arrival
+/// cache tests.
+db::FactId InsertC5(db::Database& database) {
+  auto r = database.Insert("COLLABORATIONS",
+                           {db::Value::Text("a03"), db::Value::Text("a05"),
+                            db::Value::Text("m02")});
+  EXPECT_TRUE(r.ok()) << r.status();
+  return r.value();
+}
+
+/// One-by-one mode (the default): old facts' destination distributions
+/// are computed once and reused across arrivals — the cache only grows.
+TEST(ExtenderCacheTest, OneByOneKeepsCacheAcrossArrivals) {
+  db::Database database = MovieDatabase();
+  auto train = ForwardEmbedder::TrainStatic(
+      &database, database.schema().RelationIndex("COLLABORATIONS"), {},
+      TinyConfig());
+  ASSERT_TRUE(train.ok());
+  auto kernels = std::make_shared<KernelRegistry>(
+      KernelRegistry::Defaults(database));
+  ForwardExtender extender(&database, kernels.get(), TinyConfig());
+  ForwardModel model = train.value().model();
+
+  db::FactId c4 = InsertC4(database);
+  Rng rng(5);
+  ASSERT_TRUE(extender.Extend(model, c4, rng).ok());
+  const size_t after_first = extender.cache_size();
+  ASSERT_GT(after_first, 0u);
+
+  db::FactId c5 = InsertC5(database);
+  ASSERT_TRUE(extender.Extend(model, c5, rng).ok());
+  // Reuse, not recomputation: nothing was dropped between arrivals.
+  EXPECT_GE(extender.cache_size(), after_first);
+}
+
+/// All-at-once mode: InvalidateCache() before the batch drops every
+/// cached distribution so the next Extend recomputes them against the
+/// *grown* database (which now contains the earlier arrivals).
+TEST(ExtenderCacheTest, InvalidateRecomputesAgainstGrownDatabase) {
+  db::Database database = MovieDatabase();
+  auto train = ForwardEmbedder::TrainStatic(
+      &database, database.schema().RelationIndex("COLLABORATIONS"), {},
+      TinyConfig());
+  ASSERT_TRUE(train.ok());
+  auto kernels = std::make_shared<KernelRegistry>(
+      KernelRegistry::Defaults(database));
+  ForwardExtender extender(&database, kernels.get(), TinyConfig());
+  ForwardModel model = train.value().model();
+
+  db::FactId c4 = InsertC4(database);
+  Rng rng(5);
+  ASSERT_TRUE(extender.Extend(model, c4, rng).ok());
+  ASSERT_GT(extender.cache_size(), 0u);
+
+  db::FactId c5 = InsertC5(database);
+  extender.InvalidateCache();
+  ASSERT_EQ(extender.cache_size(), 0u);
+  auto v = extender.Extend(model, c5, rng);
+  ASSERT_TRUE(v.ok()) << v.status();
+  // The batch repopulated the cache from the post-insert database.
+  EXPECT_GT(extender.cache_size(), 0u);
+  for (double x : v.value()) EXPECT_TRUE(std::isfinite(x));
+}
+
+/// Both cache regimes are deterministic (same seeds, bit-identical φ for
+/// every new fact) and both honor the stability contract after a cache
+/// drop: no old embedding moves.
+TEST(ExtenderCacheTest, BothModesDeterministicAndStable) {
+  for (const bool invalidate_between : {false, true}) {
+    SCOPED_TRACE(invalidate_between ? "all-at-once" : "one-by-one");
+    std::vector<la::Vector> phi_c4, phi_c5;
+    for (int replica = 0; replica < 2; ++replica) {
+      db::Database database = MovieDatabase();
+      auto train = ForwardEmbedder::TrainStatic(
+          &database, database.schema().RelationIndex("COLLABORATIONS"), {},
+          TinyConfig());
+      ASSERT_TRUE(train.ok());
+      auto kernels = std::make_shared<KernelRegistry>(
+          KernelRegistry::Defaults(database));
+      ForwardExtender extender(&database, kernels.get(), TinyConfig());
+      ForwardModel model = train.value().model();
+      std::unordered_map<db::FactId, la::Vector> before;
+      for (const auto& [f, v] : model.all_phi()) before[f] = v;
+
+      db::FactId c4 = InsertC4(database);
+      Rng r1(41);
+      ASSERT_TRUE(extender.Extend(model, c4, r1).ok());
+      db::FactId c5 = InsertC5(database);
+      if (invalidate_between) extender.InvalidateCache();
+      Rng r2(43);
+      ASSERT_TRUE(extender.Extend(model, c5, r2).ok());
+
+      phi_c4.push_back(model.phi(c4));
+      phi_c5.push_back(model.phi(c5));
+      for (const auto& [f, v] : before) {
+        EXPECT_EQ(model.phi(f), v) << "old fact " << f << " drifted";
+      }
+    }
+    EXPECT_EQ(phi_c4[0], phi_c4[1]);
+    EXPECT_EQ(phi_c5[0], phi_c5[1]);
+  }
+}
+
 TEST(ExtenderTest, CacheGrowsInOneByOneMode) {
   db::Database database = MovieDatabase();
   auto train = ForwardEmbedder::TrainStatic(

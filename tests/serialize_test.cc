@@ -2,6 +2,10 @@
 
 #include <gtest/gtest.h>
 
+#include <fstream>
+#include <string>
+#include <vector>
+
 #include "src/fwd/forward.h"
 #include "tests/test_util.h"
 
@@ -87,6 +91,66 @@ TEST(SerializeTest, RejectsCorruptBlobs) {
 TEST(SerializeTest, LoadMissingFileFails) {
   EXPECT_EQ(LoadModel("/nonexistent/model.txt").status().code(),
             StatusCode::kIOError);
+}
+
+TEST(SerializeTest, SaveIsAtomicNoTempResidue) {
+  ForwardModel model = TrainSmall();
+  const std::string path = ::testing::TempDir() + "/stedb_atomic_model.txt";
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  // Overwriting an existing good file goes through temp + rename too.
+  ASSERT_TRUE(SaveModel(model, path).ok());
+  EXPECT_FALSE(std::ifstream(path + ".tmp").good());
+  ASSERT_TRUE(LoadModel(path).ok());
+  // A save into a missing directory fails without touching anything.
+  EXPECT_EQ(SaveModel(model, "/nonexistent/dir/model.txt").code(),
+            StatusCode::kIOError);
+}
+
+TEST(SerializeTest, RejectsResourceExhaustionHeaders) {
+  // Counts and dimensions that cannot possibly fit the blob must be
+  // rejected before any allocation is attempted.
+  EXPECT_FALSE(ModelFromText("FWDMODEL 1\nrelation 0\ndim 0\n"
+                             "schemes 0\ntargets 0\nphi 0\n").ok());
+  EXPECT_FALSE(ModelFromText("FWDMODEL 1\nrelation 0\ndim 999999999\n"
+                             "schemes 0\ntargets 0\nphi 0\n").ok());
+  EXPECT_FALSE(ModelFromText("FWDMODEL 1\nrelation 0\ndim 4\n"
+                             "schemes 888888888\n").ok());
+  EXPECT_FALSE(ModelFromText("FWDMODEL 1\nrelation 0\ndim 4\nschemes 1\n"
+                             "S 0 777777777\n").ok());
+  EXPECT_FALSE(ModelFromText("FWDMODEL 1\nrelation 0\ndim 4\nschemes 0\n"
+                             "targets 666666666\n").ok());
+  EXPECT_FALSE(ModelFromText("FWDMODEL 1\nrelation 0\ndim 4\nschemes 0\n"
+                             "targets 0\nphi 555555555\n").ok());
+  // dim fits kMaxDim but dim² can't fit in this blob with targets > 0.
+  EXPECT_FALSE(ModelFromText("FWDMODEL 1\nrelation 0\ndim 4000\nschemes 1\n"
+                             "S 0 0\ntargets 1\nT 0 0\npsi 0\n").ok());
+}
+
+TEST(SerializeTest, RejectsDuplicateAndTrailingGarbage) {
+  const std::string valid =
+      "FWDMODEL 1\nrelation 0\ndim 2\nschemes 0\ntargets 0\n"
+      "phi 1\nP 5 1 2\n";
+  ASSERT_TRUE(ModelFromText(valid).ok());
+  EXPECT_FALSE(ModelFromText(
+      "FWDMODEL 1\nrelation 0\ndim 2\nschemes 0\ntargets 0\n"
+      "phi 2\nP 5 1 2\nP 5 3 4\n").ok());  // duplicate fact
+  EXPECT_FALSE(ModelFromText(valid + "sneaky extra bytes").ok());
+}
+
+TEST(SerializeTest, EveryLineTruncationFailsCleanly) {
+  ForwardModel model = TrainSmall();
+  const std::string text = ModelToText(model);
+  std::vector<size_t> newlines;
+  for (size_t i = 0; i < text.size(); ++i) {
+    if (text[i] == '\n') newlines.push_back(i);
+  }
+  // Cutting at any newline but the final one loses data and must fail
+  // with a Status (the final newline's prefix is the complete model).
+  for (size_t i = 0; i + 1 < newlines.size(); ++i) {
+    EXPECT_FALSE(ModelFromText(text.substr(0, newlines[i])).ok())
+        << "line " << i;
+  }
+  EXPECT_TRUE(ModelFromText(text.substr(0, newlines.back())).ok());
 }
 
 }  // namespace

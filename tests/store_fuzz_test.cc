@@ -1,0 +1,171 @@
+// Randomized robustness tests of the binary store parsers, next to the
+// database-mutation fuzz in batch_fuzz_test.cc: arbitrary truncations,
+// byte flips and pure-noise buffers must come back as clean Status errors
+// (or, for WAL tails, clean torn-tail prefixes) — never a crash, hang,
+// over-allocation or silently corrupted model.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "src/common/rng.h"
+#include "src/fwd/serialize.h"
+#include "src/fwd/trainer.h"
+#include "src/store/format.h"
+#include "src/store/snapshot.h"
+#include "src/store/wal.h"
+#include "tests/test_util.h"
+
+namespace stedb::store {
+namespace {
+
+fwd::ForwardModel TrainSmall() {
+  static db::Database database = stedb::testing::MovieDatabase();
+  auto kernels = fwd::KernelRegistry::Defaults(database);
+  fwd::ForwardConfig cfg;
+  cfg.dim = 5;
+  cfg.max_walk_len = 2;
+  cfg.nsamples = 6;
+  cfg.epochs = 2;
+  cfg.seed = 21;
+  fwd::ForwardTrainer trainer(&database, &kernels, cfg);
+  return std::move(trainer.Train(database.schema().RelationIndex("ACTORS"), {}))
+      .value();
+}
+
+std::string ValidWalBytes(size_t dim, int records) {
+  const std::string path = ::testing::TempDir() + "/stedb_fuzz_wal.bin";
+  std::remove(path.c_str());
+  auto writer = WalWriter::Open(path, dim);
+  EXPECT_TRUE(writer.ok());
+  for (int i = 0; i < records; ++i) {
+    la::Vector v(dim, 0.5 * i);
+    EXPECT_TRUE(writer.value().Append(i, v).ok());
+  }
+  EXPECT_TRUE(writer.value().Close().ok());
+  std::string bytes;
+  EXPECT_TRUE(ReadFileToString(path, &bytes).ok());
+  return bytes;
+}
+
+class StoreFuzzTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(StoreFuzzTest, SnapshotSurvivesTruncationAndFlips) {
+  const fwd::ForwardModel model = TrainSmall();
+  const std::string good = SnapshotToBytes(model);
+  Rng rng(static_cast<uint64_t>(GetParam()) * 6151);
+
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string bad = good;
+    // Truncate somewhere, flip a few bytes, or both.
+    if (rng.NextBool(0.5)) {
+      bad.resize(rng.NextIndex(bad.size() + 1));
+    }
+    const size_t flips = rng.NextIndex(4);
+    for (size_t k = 0; k < flips && !bad.empty(); ++k) {
+      const size_t at = rng.NextIndex(bad.size());
+      bad[at] = static_cast<char>(
+          static_cast<unsigned char>(bad[at]) ^
+          (1u << rng.NextIndex(8)));
+    }
+    auto parsed = SnapshotFromBytes(bad);
+    if (parsed.ok()) {
+      // Only padding flips may survive, and they must change nothing.
+      EXPECT_EQ(ModelMaxAbsDiff(parsed.value(), model), 0.0);
+    } else {
+      EXPECT_FALSE(parsed.status().message().empty());
+    }
+  }
+}
+
+TEST_P(StoreFuzzTest, SnapshotSurvivesPureNoise) {
+  Rng rng(static_cast<uint64_t>(GetParam()) * 7243);
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string noise(rng.NextIndex(512), '\0');
+    for (char& c : noise) {
+      c = static_cast<char>(rng.NextIndex(256));
+    }
+    // Half the trials get a valid magic prefix so the deeper header and
+    // section parsing gets exercised too.
+    if (rng.NextBool(0.5) && noise.size() >= 8) {
+      noise.replace(0, 8, "STEDBSNP");
+    }
+    EXPECT_FALSE(SnapshotFromBytes(noise).ok());
+  }
+}
+
+TEST_P(StoreFuzzTest, WalReplayNeverCrashesAndPrefixStaysValid) {
+  const size_t dim = 5;
+  const std::string good = ValidWalBytes(dim, 6);
+  Rng rng(static_cast<uint64_t>(GetParam()) * 9311);
+
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string bad = good;
+    if (rng.NextBool(0.5)) {
+      bad.resize(rng.NextIndex(bad.size() + 1));
+    }
+    const size_t flips = rng.NextIndex(4);
+    for (size_t k = 0; k < flips && !bad.empty(); ++k) {
+      const size_t at = rng.NextIndex(bad.size());
+      bad[at] = static_cast<char>(
+          static_cast<unsigned char>(bad[at]) ^
+          (1u << rng.NextIndex(8)));
+    }
+    auto replay = ReplayWalBytes(bad, static_cast<int>(dim));
+    if (!replay.ok()) continue;  // header was hit — clean error
+    // Whatever survived must be a structurally valid prefix.
+    EXPECT_LE(replay.value().valid_bytes, bad.size());
+    EXPECT_LE(replay.value().records.size(), 6u);
+    for (const WalRecord& rec : replay.value().records) {
+      EXPECT_EQ(rec.phi.size(), dim);
+    }
+  }
+}
+
+TEST_P(StoreFuzzTest, TextModelParserSurvivesMutations) {
+  const fwd::ForwardModel model = TrainSmall();
+  const std::string good = fwd::ModelToText(model);
+  Rng rng(static_cast<uint64_t>(GetParam()) * 4409);
+
+  for (int trial = 0; trial < 40; ++trial) {
+    std::string bad = good;
+    if (rng.NextBool(0.5)) {
+      bad.resize(rng.NextIndex(bad.size() + 1));
+    }
+    const size_t flips = 1 + rng.NextIndex(3);
+    for (size_t k = 0; k < flips && !bad.empty(); ++k) {
+      bad[rng.NextIndex(bad.size())] =
+          static_cast<char>(rng.NextIndex(128));
+    }
+    auto parsed = fwd::ModelFromText(bad);
+    if (parsed.ok()) {
+      // A benign mutation (e.g. inside a double's least-significant
+      // digits) must still yield a structurally sound model.
+      EXPECT_EQ(parsed.value().dim(), model.dim());
+      EXPECT_EQ(parsed.value().targets().size(), model.targets().size());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreFuzzTest, ::testing::Range(1, 6));
+
+/// Same corruption seed, same outcome: the parsers are deterministic, so
+/// a fuzz failure is always reproducible from its seed.
+TEST(StoreFuzzDeterminismTest, SameSeedSameVerdicts) {
+  const fwd::ForwardModel model = TrainSmall();
+  const std::string good = SnapshotToBytes(model);
+  for (uint64_t seed : {11u, 12u}) {
+    std::vector<bool> verdict1, verdict2;
+    for (std::vector<bool>* out : {&verdict1, &verdict2}) {
+      Rng rng(seed);
+      for (int trial = 0; trial < 20; ++trial) {
+        std::string bad = good;
+        bad.resize(rng.NextIndex(bad.size() + 1));
+        out->push_back(SnapshotFromBytes(bad).ok());
+      }
+    }
+    EXPECT_EQ(verdict1, verdict2);
+  }
+}
+
+}  // namespace
+}  // namespace stedb::store

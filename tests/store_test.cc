@@ -1,0 +1,504 @@
+// The durability layer: snapshot round-trips, WAL replay, torn-write
+// recovery, compaction crash-windows, and the extension-sink wiring into
+// both embedding methods.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "src/fwd/forward.h"
+#include "src/fwd/serialize.h"
+#include "src/n2v/node2vec.h"
+#include "src/store/embedding_store.h"
+#include "src/store/format.h"
+#include "src/store/snapshot.h"
+#include "src/store/wal.h"
+#include "tests/test_util.h"
+
+namespace stedb::store {
+namespace {
+
+using stedb::testing::InsertC4;
+using stedb::testing::MovieDatabase;
+
+fwd::ForwardModel TrainSmall() {
+  static db::Database database = stedb::testing::MovieDatabase();
+  auto kernels = fwd::KernelRegistry::Defaults(database);
+  fwd::ForwardConfig cfg;
+  cfg.dim = 6;
+  cfg.max_walk_len = 2;
+  cfg.nsamples = 8;
+  cfg.epochs = 3;
+  cfg.seed = 9;
+  fwd::ForwardTrainer trainer(&database, &kernels, cfg);
+  return std::move(trainer.Train(database.schema().RelationIndex("ACTORS"), {}))
+      .value();
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+size_t FileSize(const std::string& path) {
+  return static_cast<size_t>(std::filesystem::file_size(path));
+}
+
+void TruncateFile(const std::string& path, size_t new_size) {
+  std::filesystem::resize_file(path, new_size);
+}
+
+la::Vector TestVector(size_t dim, int tag) {
+  la::Vector v(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    v[i] = 0.125 * static_cast<double>(tag) + static_cast<double>(i) / 7.0;
+  }
+  return v;
+}
+
+// ---- Snapshot ----------------------------------------------------------
+
+TEST(SnapshotTest, RoundTripIsBitExact) {
+  fwd::ForwardModel model = TrainSmall();
+  const std::string bytes = SnapshotToBytes(model);
+  auto parsed = SnapshotFromBytes(bytes);
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(ModelMaxAbsDiff(parsed.value(), model), 0.0);
+}
+
+TEST(SnapshotTest, BytesAreDeterministic) {
+  fwd::ForwardModel model = TrainSmall();
+  // φ lives in an unordered_map; the sorted PHI section must still make
+  // byte-identical snapshots out of equal models.
+  auto reparsed = SnapshotFromBytes(SnapshotToBytes(model));
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(SnapshotToBytes(model), SnapshotToBytes(reparsed.value()));
+}
+
+TEST(SnapshotTest, FileRoundTripAndAtomicReplace) {
+  fwd::ForwardModel model = TrainSmall();
+  const std::string dir = FreshDir("snap_file");
+  const std::string path = dir + "/model.snap";
+  ASSERT_TRUE(WriteSnapshot(model, path).ok());
+  ASSERT_TRUE(WriteSnapshot(model, path).ok());  // replace in place
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+  auto loaded = ReadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ(ModelMaxAbsDiff(loaded.value(), model), 0.0);
+}
+
+TEST(SnapshotTest, DetectsCorruptionEverywhere) {
+  fwd::ForwardModel model = TrainSmall();
+  const std::string good = SnapshotToBytes(model);
+  ASSERT_TRUE(SnapshotFromBytes(good).ok());
+
+  // A flip of any single byte must be rejected (header checks or section
+  // CRC) or — only for bytes in the zero padding — parse to the same
+  // model. Never a crash, never silent corruption.
+  for (size_t i = 0; i < good.size(); ++i) {
+    std::string bad = good;
+    bad[i] = static_cast<char>(bad[i] ^ 0x40);
+    auto parsed = SnapshotFromBytes(bad);
+    if (parsed.ok()) {
+      EXPECT_EQ(ModelMaxAbsDiff(parsed.value(), model), 0.0)
+          << "undetected corruption at byte " << i;
+    }
+  }
+}
+
+TEST(SnapshotTest, RejectsTruncation) {
+  const std::string good = SnapshotToBytes(TrainSmall());
+  for (size_t cut : {size_t{0}, size_t{4}, size_t{15}, size_t{17},
+                     good.size() / 2, good.size() - 1}) {
+    EXPECT_FALSE(SnapshotFromBytes(good.substr(0, cut)).ok())
+        << "accepted a snapshot cut to " << cut << " bytes";
+  }
+}
+
+TEST(SnapshotTest, RejectsTrailingGarbage) {
+  std::string bytes = SnapshotToBytes(TrainSmall());
+  bytes += "excess bytes";
+  EXPECT_FALSE(SnapshotFromBytes(bytes).ok());
+}
+
+// ---- WAL ---------------------------------------------------------------
+
+TEST(WalTest, AppendReplayRoundTrip) {
+  const std::string dir = FreshDir("wal_roundtrip");
+  const std::string path = dir + "/extend.wal";
+  const size_t dim = 5;
+  {
+    auto writer = WalWriter::Open(path, dim);
+    ASSERT_TRUE(writer.ok()) << writer.status();
+    for (int i = 0; i < 7; ++i) {
+      ASSERT_TRUE(writer.value().Append(100 + i, TestVector(dim, i)).ok());
+    }
+    ASSERT_TRUE(writer.value().Close().ok());
+  }
+  auto replay = ReplayWal(path, static_cast<int>(dim));
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_FALSE(replay.value().torn_tail);
+  ASSERT_EQ(replay.value().records.size(), 7u);
+  for (int i = 0; i < 7; ++i) {
+    EXPECT_EQ(replay.value().records[i].fact, 100 + i);
+    EXPECT_EQ(replay.value().records[i].phi, TestVector(dim, i));
+  }
+  EXPECT_EQ(replay.value().valid_bytes, FileSize(path));
+}
+
+TEST(WalTest, ReopenAppends) {
+  const std::string dir = FreshDir("wal_reopen");
+  const std::string path = dir + "/extend.wal";
+  const size_t dim = 4;
+  for (int round = 0; round < 3; ++round) {
+    auto writer = WalWriter::Open(path, dim);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value().Append(round, TestVector(dim, round)).ok());
+  }
+  auto replay = ReplayWal(path, static_cast<int>(dim));
+  ASSERT_TRUE(replay.ok());
+  EXPECT_EQ(replay.value().records.size(), 3u);
+}
+
+TEST(WalTest, TornTailIsReportedNotFatal) {
+  const std::string dir = FreshDir("wal_torn");
+  const std::string path = dir + "/extend.wal";
+  const size_t dim = 5;
+  {
+    auto writer = WalWriter::Open(path, dim);
+    ASSERT_TRUE(writer.ok());
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(writer.value().Append(i, TestVector(dim, i)).ok());
+    }
+    ASSERT_TRUE(writer.value().Close().ok());
+  }
+  const size_t full = FileSize(path);
+  TruncateFile(path, full - 3);  // crash mid-payload of the last record
+  auto replay = ReplayWal(path, static_cast<int>(dim));
+  ASSERT_TRUE(replay.ok()) << replay.status();
+  EXPECT_TRUE(replay.value().torn_tail);
+  EXPECT_EQ(replay.value().records.size(), 3u);
+  const size_t record_bytes = 8 + 8 + dim * 8;
+  EXPECT_EQ(replay.value().valid_bytes, full - record_bytes);
+}
+
+TEST(WalTest, DimensionMismatchWithSnapshotFails) {
+  const std::string dir = FreshDir("wal_dim");
+  const std::string path = dir + "/extend.wal";
+  {
+    auto writer = WalWriter::Open(path, 5);
+    ASSERT_TRUE(writer.ok());
+  }
+  EXPECT_FALSE(ReplayWal(path, 9).ok());
+  EXPECT_TRUE(ReplayWal(path, -1).ok());  // -1 = accept the header's dim
+}
+
+TEST(WalTest, OpenRejectsExistingJournalWithOtherDimension) {
+  const std::string dir = FreshDir("wal_open_dim");
+  const std::string path = dir + "/extend.wal";
+  {
+    auto writer = WalWriter::Open(path, 5);
+    ASSERT_TRUE(writer.ok());
+    ASSERT_TRUE(writer.value().Append(1, TestVector(5, 1)).ok());
+    ASSERT_TRUE(writer.value().Close().ok());
+  }
+  // Appending dim-6 records into a dim-5 journal would read back as a
+  // torn tail and be truncated away; the open must refuse instead.
+  EXPECT_EQ(WalWriter::Open(path, 6).status().code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_TRUE(WalWriter::Open(path, 5).ok());
+}
+
+TEST(WalTest, AppendRejectsWrongDimension) {
+  const std::string dir = FreshDir("wal_badvec");
+  auto writer = WalWriter::Open(dir + "/extend.wal", 5);
+  ASSERT_TRUE(writer.ok());
+  EXPECT_EQ(writer.value().Append(1, TestVector(4, 1)).code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---- EmbeddingStore ----------------------------------------------------
+
+TEST(EmbeddingStoreTest, CreateOpenRoundTrip) {
+  fwd::ForwardModel model = TrainSmall();
+  const std::string dir = FreshDir("store_roundtrip");
+  auto created = EmbeddingStore::Create(dir, model);
+  ASSERT_TRUE(created.ok()) << created.status();
+  auto opened = EmbeddingStore::Open(dir);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  EXPECT_EQ(ModelMaxAbsDiff(opened.value().model(), model), 0.0);
+  EXPECT_EQ(opened.value().wal_records(), 0u);
+  EXPECT_FALSE(opened.value().recovered_torn_tail());
+}
+
+TEST(EmbeddingStoreTest, OpenMissingDirectoryFails) {
+  EXPECT_EQ(EmbeddingStore::Open("/nonexistent/stedb_store").status().code(),
+            StatusCode::kIOError);
+}
+
+TEST(EmbeddingStoreTest, AppendsRecoverAcrossOpen) {
+  fwd::ForwardModel model = TrainSmall();
+  const std::string dir = FreshDir("store_appends");
+  auto created = EmbeddingStore::Create(dir, model);
+  ASSERT_TRUE(created.ok());
+  EmbeddingStore st = std::move(created).value();
+  const size_t dim = model.dim();
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(st.Append(9000 + i, TestVector(dim, i)).ok());
+  }
+  ASSERT_TRUE(st.Sync().ok());
+
+  auto reopened = EmbeddingStore::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened.value().wal_records(), 5u);
+  EXPECT_EQ(ModelMaxAbsDiff(reopened.value().model(), st.model()), 0.0);
+}
+
+/// The acceptance scenario: N appended extensions, a crash tears the last
+/// record in half, and Open() recovers exactly the N-1 durable embeddings
+/// bit-identical to the in-memory model as of append N-1.
+TEST(EmbeddingStoreTest, TornWriteRecoversDurablePrefix) {
+  fwd::ForwardModel model = TrainSmall();
+  const std::string dir = FreshDir("store_torn");
+  const size_t dim = model.dim();
+  constexpr int kAppends = 8;
+
+  fwd::ForwardModel expect_after_n_minus_1;
+  {
+    auto created = EmbeddingStore::Create(dir, model);
+    ASSERT_TRUE(created.ok());
+    EmbeddingStore st = std::move(created).value();
+    for (int i = 0; i < kAppends - 1; ++i) {
+      ASSERT_TRUE(st.Append(9000 + i, TestVector(dim, i)).ok());
+    }
+    expect_after_n_minus_1 = st.model();
+    ASSERT_TRUE(st.Append(9000 + kAppends - 1,
+                          TestVector(dim, kAppends - 1)).ok());
+    // No Close(): simulate the process dying with the file as-is.
+  }
+  const std::string wal = EmbeddingStore::WalPath(dir);
+  TruncateFile(wal, FileSize(wal) - 11);  // tear the last record
+
+  auto recovered = EmbeddingStore::Open(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_TRUE(recovered.value().recovered_torn_tail());
+  EXPECT_EQ(recovered.value().wal_records(),
+            static_cast<size_t>(kAppends - 1));
+  EXPECT_EQ(
+      ModelMaxAbsDiff(recovered.value().model(), expect_after_n_minus_1),
+      0.0);
+
+  // The tail was truncated away: appends work again and a second Open
+  // sees a clean journal.
+  {
+    auto st = EmbeddingStore::Open(dir);
+    ASSERT_TRUE(st.ok());
+    EXPECT_FALSE(st.value().recovered_torn_tail());
+    ASSERT_TRUE(st.value().Append(9999, TestVector(dim, 42)).ok());
+    ASSERT_TRUE(st.value().Close().ok());
+  }
+  auto final_open = EmbeddingStore::Open(dir);
+  ASSERT_TRUE(final_open.ok());
+  EXPECT_EQ(final_open.value().wal_records(),
+            static_cast<size_t>(kAppends));
+}
+
+TEST(EmbeddingStoreTest, GarbageAppendedToJournalIsDropped) {
+  fwd::ForwardModel model = TrainSmall();
+  const std::string dir = FreshDir("store_garbage");
+  auto created = EmbeddingStore::Create(dir, model);
+  ASSERT_TRUE(created.ok());
+  EmbeddingStore st = std::move(created).value();
+  ASSERT_TRUE(st.Append(9000, TestVector(model.dim(), 1)).ok());
+  ASSERT_TRUE(st.Close().ok());
+  {
+    std::ofstream f(EmbeddingStore::WalPath(dir),
+                    std::ios::binary | std::ios::app);
+    f << "not a record at all";
+  }
+  auto recovered = EmbeddingStore::Open(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_TRUE(recovered.value().recovered_torn_tail());
+  EXPECT_EQ(recovered.value().wal_records(), 1u);
+  EXPECT_EQ(ModelMaxAbsDiff(recovered.value().model(), st.model()), 0.0);
+}
+
+TEST(EmbeddingStoreTest, CompactFoldsJournalIntoSnapshot) {
+  fwd::ForwardModel model = TrainSmall();
+  const std::string dir = FreshDir("store_compact");
+  auto created = EmbeddingStore::Create(dir, model);
+  ASSERT_TRUE(created.ok());
+  EmbeddingStore st = std::move(created).value();
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(st.Append(9100 + i, TestVector(model.dim(), i)).ok());
+  }
+  ASSERT_TRUE(st.Compact().ok());
+  EXPECT_EQ(st.wal_records(), 0u);
+  // The journal is empty again but the snapshot holds everything.
+  auto replay = ReplayWal(EmbeddingStore::WalPath(dir), -1);
+  ASSERT_TRUE(replay.ok());
+  EXPECT_TRUE(replay.value().records.empty());
+  auto reopened = EmbeddingStore::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(ModelMaxAbsDiff(reopened.value().model(), st.model()), 0.0);
+  // And the store still accepts appends after compaction.
+  ASSERT_TRUE(st.Append(9999, TestVector(model.dim(), 9)).ok());
+}
+
+TEST(EmbeddingStoreTest, AutoCompactAtThreshold) {
+  fwd::ForwardModel model = TrainSmall();
+  const std::string dir = FreshDir("store_autocompact");
+  StoreOptions options;
+  options.compact_every = 3;
+  auto created = EmbeddingStore::Create(dir, model, options);
+  ASSERT_TRUE(created.ok());
+  EmbeddingStore st = std::move(created).value();
+  for (int i = 0; i < 7; ++i) {
+    ASSERT_TRUE(st.Append(9200 + i, TestVector(model.dim(), i)).ok());
+  }
+  // 7 appends with compaction every 3: only 7 % 3 = 1 left journaled.
+  EXPECT_EQ(st.wal_records(), 1u);
+  auto reopened = EmbeddingStore::Open(dir);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ(ModelMaxAbsDiff(reopened.value().model(), st.model()), 0.0);
+}
+
+/// Compact()'s crash window: the new snapshot has landed (atomic rename)
+/// but the journal was not reset yet. Replaying those records over the
+/// new snapshot rewrites identical vectors — recovery is idempotent.
+TEST(EmbeddingStoreTest, StaleJournalOverFreshSnapshotIsIdempotent) {
+  fwd::ForwardModel model = TrainSmall();
+  const std::string dir = FreshDir("store_stale_wal");
+  auto created = EmbeddingStore::Create(dir, model);
+  ASSERT_TRUE(created.ok());
+  EmbeddingStore st = std::move(created).value();
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(st.Append(9300 + i, TestVector(model.dim(), i)).ok());
+  }
+  // Simulate the crash: snapshot the journaled state in place, keep the
+  // journal file untouched (Compact would have reset it next).
+  ASSERT_TRUE(WriteSnapshot(st.model(), EmbeddingStore::SnapshotPath(dir))
+                  .ok());
+  auto recovered = EmbeddingStore::Open(dir);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_EQ(recovered.value().wal_records(), 4u);
+  EXPECT_EQ(ModelMaxAbsDiff(recovered.value().model(), st.model()), 0.0);
+}
+
+TEST(EmbeddingStoreTest, AppendRejectsWrongDimension) {
+  fwd::ForwardModel model = TrainSmall();
+  const std::string dir = FreshDir("store_badvec");
+  auto created = EmbeddingStore::Create(dir, model);
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(created.value()
+                .Append(1, TestVector(model.dim() + 1, 0))
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+// ---- Extension-sink wiring ---------------------------------------------
+
+TEST(SinkTest, ForwardExtensionsAreJournaledAndRecovered) {
+  db::Database database = MovieDatabase();
+  fwd::ForwardConfig cfg;
+  cfg.dim = 8;
+  cfg.max_walk_len = 2;
+  cfg.nsamples = 12;
+  cfg.epochs = 4;
+  cfg.new_samples = 16;
+  cfg.seed = 33;
+  auto emb = fwd::ForwardEmbedder::TrainStatic(
+      &database, database.schema().RelationIndex("COLLABORATIONS"), {}, cfg);
+  ASSERT_TRUE(emb.ok()) << emb.status();
+  fwd::ForwardEmbedder embedder = std::move(emb).value();
+
+  const std::string dir = FreshDir("store_fwd_sink");
+  auto created = EmbeddingStore::Create(dir, embedder.model());
+  ASSERT_TRUE(created.ok());
+  EmbeddingStore st = std::move(created).value();
+  embedder.set_extension_sink(st.MakeSink());
+
+  db::FactId c4 = InsertC4(database);
+  ASSERT_TRUE(embedder.ExtendToFacts({c4}).ok());
+  EXPECT_EQ(st.wal_records(), 1u);
+
+  // Kill-and-recover: a cold Open must see the extension bit-exactly.
+  ASSERT_TRUE(st.Sync().ok());
+  auto recovered = EmbeddingStore::Open(dir);
+  ASSERT_TRUE(recovered.ok());
+  ASSERT_TRUE(recovered.value().model().HasEmbedding(c4));
+  EXPECT_EQ(recovered.value().model().phi(c4), embedder.model().phi(c4));
+  EXPECT_EQ(ModelMaxAbsDiff(recovered.value().model(), embedder.model()),
+            0.0);
+}
+
+TEST(SinkTest, FailingSinkAbortsExtension) {
+  db::Database database = MovieDatabase();
+  fwd::ForwardConfig cfg;
+  cfg.dim = 6;
+  cfg.max_walk_len = 2;
+  cfg.nsamples = 8;
+  cfg.epochs = 3;
+  cfg.new_samples = 12;
+  cfg.seed = 5;
+  auto emb = fwd::ForwardEmbedder::TrainStatic(
+      &database, database.schema().RelationIndex("COLLABORATIONS"), {}, cfg);
+  ASSERT_TRUE(emb.ok());
+  fwd::ForwardEmbedder embedder = std::move(emb).value();
+  embedder.set_extension_sink([](db::FactId, const la::Vector&) {
+    return Status::IOError("disk full");
+  });
+  db::FactId c4 = InsertC4(database);
+  EXPECT_EQ(embedder.ExtendToFacts({c4}).code(), StatusCode::kIOError);
+}
+
+TEST(SinkTest, Node2VecExtensionsHitTheSink) {
+  db::Database database = MovieDatabase();
+  n2v::Node2VecConfig cfg;
+  cfg.sg.dim = 8;
+  cfg.sg.epochs = 2;
+  cfg.walk.walks_per_node = 4;
+  cfg.walk.walk_length = 6;
+  cfg.dynamic_epochs = 2;
+  cfg.seed = 17;
+  auto emb = n2v::Node2VecEmbedding::TrainStatic(&database, cfg);
+  ASSERT_TRUE(emb.ok()) << emb.status();
+  n2v::Node2VecEmbedding embedding = std::move(emb).value();
+
+  std::vector<db::FactId> sunk;
+  embedding.set_extension_sink(
+      [&sunk](db::FactId f, const la::Vector& phi) {
+        EXPECT_EQ(phi.size(), 8u);
+        sunk.push_back(f);
+        return Status::OK();
+      });
+  db::FactId c4 = InsertC4(database);
+  ASSERT_TRUE(embedding.ExtendToFacts({c4}).ok());
+  ASSERT_EQ(sunk.size(), 1u);
+  EXPECT_EQ(sunk[0], c4);
+  // The journaled vector is the final (frozen) one.
+  EXPECT_EQ(embedding.Embed(c4).value().size(), 8u);
+}
+
+// ---- Atomic writes -----------------------------------------------------
+
+TEST(AtomicWriteTest, ReplacesAtomicallyAndCleansUp) {
+  const std::string dir = FreshDir("atomic_write");
+  const std::string path = dir + "/file.bin";
+  ASSERT_TRUE(AtomicWriteFile(path, "first").ok());
+  ASSERT_TRUE(AtomicWriteFile(path, "second").ok());
+  std::string back;
+  ASSERT_TRUE(ReadFileToString(path, &back).ok());
+  EXPECT_EQ(back, "second");
+  EXPECT_FALSE(std::filesystem::exists(path + ".tmp"));
+}
+
+TEST(AtomicWriteTest, MissingDirectoryFailsCleanly) {
+  EXPECT_EQ(AtomicWriteFile("/nonexistent/stedb/file.bin", "x").code(),
+            StatusCode::kIOError);
+}
+
+}  // namespace
+}  // namespace stedb::store
