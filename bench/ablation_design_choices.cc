@@ -29,7 +29,7 @@ int main(int argc, char** argv) {
   scfg.folds = 3;
   scfg.embedding_per_fold = false;
 
-  auto run_static = [&](exp::MethodKind kind, const exp::MethodConfig& cfg,
+  auto run_static = [&](const std::string& kind, const exp::MethodConfig& cfg,
                         const data::GeneratedDataset& data) {
     auto res = exp::RunStaticExperiment(data, kind, cfg, scfg);
     return res.ok() ? exp::AccuracyCell(res.value().mean_accuracy,
@@ -45,9 +45,9 @@ int main(int argc, char** argv) {
     exp::MethodConfig off = mcfg;
     off.node2vec.graph.identify_fk_columns = false;
     table.AddRow({"FK identification ON (paper)",
-                  run_static(exp::MethodKind::kNode2Vec, on, ds)});
+                  run_static("node2vec", on, ds)});
     table.AddRow({"FK identification OFF",
-                  run_static(exp::MethodKind::kNode2Vec, off, ds)});
+                  run_static("node2vec", off, ds)});
     std::printf("A. Node2Vec FK column identification\n%s\n",
                 table.Render().c_str());
   }
@@ -59,7 +59,7 @@ int main(int argc, char** argv) {
       exp::MethodConfig cfg = mcfg;
       cfg.forward.max_walk_len = lmax;
       table.AddRow({std::to_string(lmax),
-                    run_static(exp::MethodKind::kForward, cfg, ds)});
+                    run_static("forward", cfg, ds)});
     }
     std::printf("B. FoRWaRD maximum walk length\n%s\n",
                 table.Render().c_str());
@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
                                fwd::KdEstimator::kExactCached}}) {
       exp::MethodConfig cfg = mcfg;
       cfg.forward.kd_estimator = c.est;
-      table.AddRow({c.name, run_static(exp::MethodKind::kForward, cfg, ds)});
+      table.AddRow({c.name, run_static("forward", cfg, ds)});
     }
     std::printf("C. FoRWaRD KD estimator\n%s\n", table.Render().c_str());
   }
@@ -95,7 +95,7 @@ int main(int argc, char** argv) {
       exp::MethodConfig cfg = mcfg;
       cfg.forward.use_pinv = pinv;
       auto res =
-          exp::RunDynamicExperiment(ds, exp::MethodKind::kForward, cfg,
+          exp::RunDynamicExperiment(ds, "forward", cfg,
                                     dcfg);
       table.AddRow(
           {pinv ? "pseudoinverse (paper Eq. 10)" : "ridge normal equations",
@@ -120,7 +120,7 @@ int main(int argc, char** argv) {
       auto sds = data::MakeDataset(dataset, gen);
       if (!sds.ok()) continue;
       auto res = exp::RunStaticExperiment(
-          sds.value(), exp::MethodKind::kForward, mcfg, scfg);
+          sds.value(), "forward", mcfg, scfg);
       table.AddRow({exp::SecondsCell(signal).substr(0, 4),
                     res.ok() ? exp::AccuracyCell(res.value().mean_accuracy,
                                                  res.value().std_accuracy)

@@ -45,9 +45,9 @@ int main(int argc, char** argv) {
     for (double ratio : ratios) {
       dcfg.new_ratio = ratio;
       xs.push_back(ratio * 100.0);
-      auto fwd = exp::RunDynamicExperiment(ds, exp::MethodKind::kForward,
+      auto fwd = exp::RunDynamicExperiment(ds, "forward",
                                            mcfg, dcfg);
-      auto n2v = exp::RunDynamicExperiment(ds, exp::MethodKind::kNode2Vec,
+      auto n2v = exp::RunDynamicExperiment(ds, "node2vec",
                                            mcfg, dcfg);
       fwd_acc.push_back(fwd.ok() ? fwd.value().mean_accuracy * 100.0 : 0.0);
       n2v_acc.push_back(n2v.ok() ? n2v.value().mean_accuracy * 100.0 : 0.0);

@@ -33,7 +33,7 @@ int main(int argc, char** argv) {
         bench::MakeDatasetOrDie(name, mcfg.data_scale);
     std::string fwd_cell = "-", n2v_cell = "-", flat_cell = "-";
     double majority = 0.0;
-    auto fwd = exp::RunStaticExperiment(ds, exp::MethodKind::kForward, mcfg,
+    auto fwd = exp::RunStaticExperiment(ds, "forward", mcfg,
                                         scfg);
     if (fwd.ok()) {
       fwd_cell = exp::AccuracyCell(fwd.value().mean_accuracy,
@@ -43,7 +43,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s FoRWaRD: %s\n", name.c_str(),
                    fwd.status().ToString().c_str());
     }
-    auto n2v = exp::RunStaticExperiment(ds, exp::MethodKind::kNode2Vec, mcfg,
+    auto n2v = exp::RunStaticExperiment(ds, "node2vec", mcfg,
                                         scfg);
     if (n2v.ok()) {
       n2v_cell = exp::AccuracyCell(n2v.value().mean_accuracy,

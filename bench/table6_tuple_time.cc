@@ -31,8 +31,8 @@ int main(int argc, char** argv) {
     std::vector<std::string> row = {name};
     for (bool one_by_one : {false, true}) {
       dcfg.one_by_one = one_by_one;
-      for (exp::MethodKind kind :
-           {exp::MethodKind::kNode2Vec, exp::MethodKind::kForward}) {
+      for (const char* kind :
+           {"node2vec", "forward"}) {
         auto res = exp::RunDynamicExperiment(ds, kind, mcfg, dcfg);
         row.push_back(res.ok()
                           ? exp::SecondsCell(

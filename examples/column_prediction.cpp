@@ -37,8 +37,7 @@ int main(int argc, char** argv) {
   scfg.embedding_per_fold = false;  // fast demo; benches use the paper protocol
 
   exp::TableWriter table({"method", "accuracy", "baseline"});
-  for (exp::MethodKind kind :
-       {exp::MethodKind::kForward, exp::MethodKind::kNode2Vec}) {
+  for (const char* kind : {"forward", "node2vec"}) {
     auto res = exp::RunStaticExperiment(ds, kind, mcfg, scfg);
     if (!res.ok()) {
       std::fprintf(stderr, "%s\n", res.status().ToString().c_str());

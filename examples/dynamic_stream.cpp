@@ -13,7 +13,6 @@
 //
 //   $ ./dynamic_stream [forward|node2vec]
 #include <cstdio>
-#include <cstring>
 #include <filesystem>
 #include <fstream>
 #include <memory>
@@ -28,10 +27,9 @@
 using namespace stedb;
 
 int main(int argc, char** argv) {
-  exp::MethodKind kind = exp::MethodKind::kForward;
-  if (argc > 1 && std::strcmp(argv[1], "node2vec") == 0) {
-    kind = exp::MethodKind::kNode2Vec;
-  }
+  // Any name in the method registry works here — that is the point of the
+  // string-keyed API.
+  const std::string kind = argc > 1 ? argv[1] : "forward";
 
   data::GenConfig gen;
   gen.scale = 0.12;
@@ -51,7 +49,12 @@ int main(int argc, char** argv) {
               part.value().batches.size(), part.value().total_removed);
 
   exp::MethodConfig mcfg = exp::MethodConfig::ForScale(exp::RunScale::kSmoke);
-  auto embedder = exp::MakeMethod(kind, mcfg, 3);
+  auto made = exp::MakeMethod(kind, mcfg, 3);
+  if (!made.ok()) {
+    std::fprintf(stderr, "method: %s\n", made.status().ToString().c_str());
+    return 1;
+  }
+  std::unique_ptr<exp::EmbeddingMethod> embedder = std::move(made).value();
   Status st = embedder->TrainStatic(&database, ds.pred_rel,
                                     exp::LabelExclusion(ds));
   if (!st.ok()) {

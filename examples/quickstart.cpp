@@ -1,14 +1,14 @@
-// Quickstart: the full stable-embedding workflow on a small generated
-// database — static training, a dynamic insertion, and the stability
-// guarantee, in ~80 lines.
+// Quickstart: the full stable-embedding workflow through the public
+// api::Engine — static training via the method registry, a batch read, a
+// dynamic insertion, and the stability guarantee, in ~80 lines.
 //
 //   $ ./quickstart
 #include <cstdio>
 
+#include "src/api/engine.h"
 #include "src/data/registry.h"
+#include "src/db/cascade.h"
 #include "src/exp/embedding_method.h"
-#include "src/exp/partition.h"
-#include "src/exp/static_experiment.h"
 #include "src/n2v/dynamic_node2vec.h"
 
 using namespace stedb;
@@ -29,24 +29,32 @@ int main() {
   std::printf("database: %zu facts across %zu relations\n",
               ds.database.NumFacts(), ds.database.schema().num_relations());
 
-  // 2. Static phase: train a FoRWaRD embedding of the prediction relation.
-  //    The label column is excluded — embeddings never see it.
-  exp::MethodConfig mcfg = exp::MethodConfig::ForScale(exp::RunScale::kSmoke);
-  auto embedder = exp::MakeMethod(exp::MethodKind::kForward, mcfg, /*seed=*/1);
-  Status st = embedder->TrainStatic(&ds.database, ds.pred_rel,
-                                    exp::LabelExclusion(ds));
-  if (!st.ok()) {
-    std::fprintf(stderr, "train: %s\n", st.ToString().c_str());
+  // 2. Static phase: the engine resolves "forward" through the method
+  //    registry (any api::RegisterMethod name works) and trains it. The
+  //    label column is excluded — embeddings never see it.
+  api::MethodOptions options = exp::MethodConfig::ForScale(
+      exp::RunScale::kSmoke);  // preset hyperparameters
+  api::AttrKeySet excluded;
+  excluded.insert({ds.pred_rel, ds.pred_attr});
+  auto trained = api::Engine::Train(&ds.database, "forward", ds.pred_rel,
+                                    excluded, options, /*seed=*/1);
+  if (!trained.ok()) {
+    std::fprintf(stderr, "train: %s\n",
+                 trained.status().ToString().c_str());
     return 1;
   }
-  db::FactId some_fact = ds.Samples().front();
-  la::Vector v = embedder->Embed(some_fact).value();
-  std::printf("static phase done; dim=%zu, |phi(f0)|=%.3f\n", v.size(),
-              la::Norm2(v));
+  api::Engine engine = std::move(trained).value();
+  la::Vector v = engine.Embed(ds.Samples().front()).value();
+  std::printf("static phase done (%s); dim=%zu, |phi(f0)|=%.3f\n",
+              engine.method().c_str(), engine.dim(), la::Norm2(v));
 
-  // 3. Dynamic phase: simulate an arrival by deleting one prediction tuple
+  // 3. The batch read path: every sample in one call (one row per fact).
+  la::Matrix all = engine.EmbedBatch(ds.Samples()).value();
+  std::printf("batch read: %zu x %zu embedding matrix\n", all.rows(),
+              all.cols());
+
+  // 4. Dynamic phase: simulate an arrival by deleting one prediction tuple
   //    (with cascade) and re-inserting it as "new".
-  Rng rng(99);
   db::Database& database = ds.database;
   db::FactId victim = ds.Samples().back();
   auto cascade = db::CascadeDelete(database, victim);
@@ -60,7 +68,7 @@ int main() {
   // Snapshot old embeddings to demonstrate stability.
   n2v::EmbeddingSnapshot snapshot;
   for (db::FactId f : ds.Samples()) {
-    auto e = embedder->Embed(f);
+    auto e = engine.Embed(f);
     if (e.ok()) snapshot.Record(f, std::move(e).value());
   }
 
@@ -70,21 +78,20 @@ int main() {
                  new_ids.status().ToString().c_str());
     return 1;
   }
-  st = embedder->ExtendToFacts(new_ids.value());
+  Status st = engine.ExtendToFacts(new_ids.value());
   if (!st.ok()) {
     std::fprintf(stderr, "extend: %s\n", st.ToString().c_str());
     return 1;
   }
 
-  // 4. The stability contract: every old vector is bit-identical.
-  double drift = snapshot.MaxDrift([&](db::FactId f) {
-    return embedder->Embed(f).value();
-  });
+  // 5. The stability contract: every old vector is bit-identical.
+  double drift = snapshot.MaxDrift(
+      [&](db::FactId f) { return engine.Embed(f).value(); });
   db::FactId new_pred = db::kNoFact;
   for (db::FactId f : new_ids.value()) {
     if (database.fact(f).rel == ds.pred_rel) new_pred = f;
   }
-  la::Vector nv = embedder->Embed(new_pred).value();
+  la::Vector nv = engine.Embed(new_pred).value();
   std::printf("dynamic phase done; |phi(new)|=%.3f, old-embedding drift=%g\n",
               la::Norm2(nv), drift);
   std::printf(drift == 0.0 ? "stability: OK (old embeddings frozen)\n"

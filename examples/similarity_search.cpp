@@ -39,10 +39,15 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  ml::EmbeddingIndex index(ml::SimilarityMetric::kCosine);
-  for (db::FactId f : ds.Samples()) {
-    index.Add(f, emb.value().Embed(f).value());
+  // One batch read for the whole index instead of a per-fact copy loop.
+  la::Matrix vectors(ds.Samples().size(), emb.value().dim());
+  Status batch = emb.value().EmbedBatch(ds.Samples(), vectors);
+  if (!batch.ok()) {
+    std::fprintf(stderr, "embed batch: %s\n", batch.ToString().c_str());
+    return 1;
   }
+  ml::EmbeddingIndex index(ml::SimilarityMetric::kCosine);
+  index.AddBatch(ds.Samples(), vectors);
   std::printf("indexed %zu gene embeddings (dim %zu)\n\n", index.size(),
               emb.value().dim());
 

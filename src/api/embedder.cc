@@ -1,0 +1,20 @@
+#include "src/api/embedder.h"
+
+#include <algorithm>
+
+namespace stedb::api {
+
+Status Embedder::EmbedBatch(Span<const db::FactId> facts,
+                            la::MatrixView out) const {
+  if (out.rows() != facts.size() || out.cols() != dim()) {
+    return Status::InvalidArgument(
+        "EmbedBatch: output shape must be facts x dim");
+  }
+  for (size_t i = 0; i < facts.size(); ++i) {
+    STEDB_ASSIGN_OR_RETURN(la::Vector v, Embed(facts[i]));
+    std::copy(v.begin(), v.end(), out.RowPtr(i));
+  }
+  return Status::OK();
+}
+
+}  // namespace stedb::api

@@ -1,0 +1,24 @@
+#include "src/api/engine.h"
+
+namespace stedb::api {
+
+Result<Engine> Engine::Train(const db::Database* database,
+                             const std::string& method, db::RelationId rel,
+                             const AttrKeySet& excluded,
+                             const MethodOptions& options, uint64_t seed) {
+  if (database == nullptr) {
+    return Status::InvalidArgument("Engine::Train: database must not be null");
+  }
+  STEDB_ASSIGN_OR_RETURN(std::unique_ptr<Embedder> embedder,
+                         CreateMethod(method, options, seed));
+  STEDB_RETURN_IF_ERROR(embedder->TrainStatic(database, rel, excluded));
+  return Engine(std::move(embedder));
+}
+
+Result<la::Matrix> Engine::EmbedBatch(Span<const db::FactId> facts) const {
+  la::Matrix out(facts.size(), dim());
+  STEDB_RETURN_IF_ERROR(embedder_->EmbedBatch(facts, out));
+  return out;
+}
+
+}  // namespace stedb::api

@@ -1,0 +1,84 @@
+#ifndef STEDB_API_ENGINE_H_
+#define STEDB_API_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/api/embedder.h"
+#include "src/api/registry.h"
+#include "src/common/status.h"
+
+namespace stedb::api {
+
+/// The embedding engine's front door: resolves an embedding method by name
+/// through the registry, trains it, and exposes the full read/extend/
+/// journal surface behind one value type.
+///
+///   auto engine = api::Engine::Train(&db, "forward", rel, excluded,
+///                                    options, /*seed=*/1);
+///   la::Vector v = engine->Embed(f).value();
+///   la::Matrix m = engine->EmbedBatch(fact_ids).value();   // batch path
+///   engine->AttachJournal("/var/lib/stedb/genes");         // durability
+///   ... insert facts ...
+///   engine->ExtendToFacts(new_ids);                        // stable extend
+///
+/// For process-separated serving (N readers over one store directory) see
+/// api::ServingSession, which reads the journal this engine writes.
+class Engine {
+ public:
+  /// Creates the named method via the registry and runs its static phase.
+  /// `method` is matched case-insensitively ("forward", "node2vec", or any
+  /// registered name). The database must outlive the engine.
+  static Result<Engine> Train(const db::Database* database,
+                              const std::string& method, db::RelationId rel,
+                              const AttrKeySet& excluded,
+                              const MethodOptions& options, uint64_t seed);
+
+  /// Extends the embedding to newly inserted facts; previously returned
+  /// vectors never change.
+  Status ExtendToFacts(const std::vector<db::FactId>& new_facts) {
+    return embedder_->ExtendToFacts(new_facts);
+  }
+
+  /// Embedding of one fact (copying); NotFound when never embedded.
+  Result<la::Vector> Embed(db::FactId f) const { return embedder_->Embed(f); }
+
+  /// Batch read into caller storage: `out` must be facts.size() x dim().
+  Status EmbedBatch(Span<const db::FactId> facts, la::MatrixView out) const {
+    return embedder_->EmbedBatch(facts, out);
+  }
+
+  /// Allocating convenience overload: one row per fact.
+  Result<la::Matrix> EmbedBatch(Span<const db::FactId> facts) const;
+
+  /// Journals the model into a store::EmbeddingStore at `dir` (snapshot
+  /// now, WAL record per future extension). FailedPrecondition for methods
+  /// without a durable format.
+  Status AttachJournal(const std::string& dir) {
+    return embedder_->AttachJournal(dir);
+  }
+
+  /// Max deviation between the journal's cold-recovery view and the live
+  /// model (0.0 = bit-exact).
+  Result<double> VerifyJournal() const { return embedder_->VerifyJournal(); }
+
+  /// The method's display name ("FoRWaRD", "Node2Vec", ...).
+  std::string method() const { return embedder_->Name(); }
+
+  size_t dim() const { return embedder_->dim(); }
+
+  /// Escape hatch to the underlying method instance.
+  Embedder* embedder() { return embedder_.get(); }
+  const Embedder* embedder() const { return embedder_.get(); }
+
+ private:
+  explicit Engine(std::unique_ptr<Embedder> embedder)
+      : embedder_(std::move(embedder)) {}
+
+  std::unique_ptr<Embedder> embedder_;
+};
+
+}  // namespace stedb::api
+
+#endif  // STEDB_API_ENGINE_H_

@@ -1,0 +1,122 @@
+#include "src/api/registry.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <mutex>
+
+namespace stedb::api {
+namespace internal {
+
+// Defined in builtin_methods.cc. Called from the registry under its lock
+// so the built-ins are present before any user-visible operation; the
+// explicit call (rather than a static initializer in the adapter TU) keeps
+// registration immune to static-library dead-stripping.
+void RegisterBuiltinMethods();
+
+}  // namespace internal
+
+namespace {
+
+std::string FoldCase(const std::string& name) {
+  std::string folded = name;
+  std::transform(folded.begin(), folded.end(), folded.begin(), [](char c) {
+    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  });
+  return folded;
+}
+
+std::mutex& RegistryMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+std::map<std::string, MethodFactory>& Registry() {
+  static std::map<std::string, MethodFactory> registry;
+  return registry;
+}
+
+/// Must be called with RegistryMutex held.
+void EnsureBuiltinsLocked() {
+  static bool done = false;
+  if (!done) {
+    done = true;  // set first: RegisterBuiltinMethods re-enters Register
+    internal::RegisterBuiltinMethods();
+  }
+}
+
+/// Registration body shared by the public entry point and the built-in
+/// bootstrap (which already holds the lock).
+Status RegisterLocked(const std::string& name, MethodFactory factory) {
+  if (name.empty()) {
+    return Status::InvalidArgument("method name must not be empty");
+  }
+  if (factory == nullptr) {
+    return Status::InvalidArgument("method factory must not be null");
+  }
+  const std::string key = FoldCase(name);
+  auto [it, inserted] = Registry().emplace(key, std::move(factory));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("embedding method '" + key +
+                                 "' is already registered");
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+namespace internal {
+
+// Built-in registration path: the caller (RegisterBuiltinMethods) runs
+// under the registry lock already.
+Status RegisterMethodLocked(const std::string& name, MethodFactory factory) {
+  return RegisterLocked(name, std::move(factory));
+}
+
+}  // namespace internal
+
+Status RegisterMethod(const std::string& name, MethodFactory factory) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  EnsureBuiltinsLocked();
+  return RegisterLocked(name, std::move(factory));
+}
+
+Result<std::unique_ptr<Embedder>> CreateMethod(const std::string& name,
+                                               const MethodOptions& options,
+                                               uint64_t seed) {
+  MethodFactory factory;
+  {
+    std::lock_guard<std::mutex> lock(RegistryMutex());
+    EnsureBuiltinsLocked();
+    auto it = Registry().find(FoldCase(name));
+    if (it == Registry().end()) {
+      std::string known;
+      for (const auto& [key, unused] : Registry()) {
+        if (!known.empty()) known += ", ";
+        known += key;
+      }
+      return Status::NotFound("unknown embedding method '" + name +
+                              "' (registered: " + known + ")");
+    }
+    factory = it->second;
+  }
+  // Run the factory outside the lock: factories may be user code.
+  std::unique_ptr<Embedder> method = factory(options, seed);
+  if (method == nullptr) {
+    return Status::Internal("factory for method '" + name +
+                            "' returned null");
+  }
+  return method;
+}
+
+std::vector<std::string> RegisteredMethods() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  EnsureBuiltinsLocked();
+  std::vector<std::string> names;
+  names.reserve(Registry().size());
+  for (const auto& [key, unused] : Registry()) names.push_back(key);
+  return names;  // std::map iterates sorted
+}
+
+}  // namespace stedb::api

@@ -1,0 +1,37 @@
+#ifndef STEDB_API_REGISTRY_H_
+#define STEDB_API_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/api/embedder.h"
+#include "src/common/status.h"
+
+namespace stedb::api {
+
+/// Builds an untrained Embedder from options; `seed` controls all of the
+/// instance's randomness.
+using MethodFactory = std::function<std::unique_ptr<Embedder>(
+    const MethodOptions& options, uint64_t seed)>;
+
+/// Registers an embedding method under `name` (matched case-insensitively
+/// by CreateMethod). The built-ins — "forward" (FoRWaRD) and "node2vec" —
+/// self-register before any lookup, so user registrations only ever extend
+/// the set. AlreadyExists when the (case-folded) name is taken.
+/// Thread-safe.
+Status RegisterMethod(const std::string& name, MethodFactory factory);
+
+/// Instantiates a registered method. NotFound (listing what is registered)
+/// for unknown names. Thread-safe.
+Result<std::unique_ptr<Embedder>> CreateMethod(const std::string& name,
+                                               const MethodOptions& options,
+                                               uint64_t seed);
+
+/// The registered method names (case-folded), sorted.
+std::vector<std::string> RegisteredMethods();
+
+}  // namespace stedb::api
+
+#endif  // STEDB_API_REGISTRY_H_

@@ -1,0 +1,161 @@
+#include "src/api/serving.h"
+
+#include <sys/stat.h>
+
+#include <cstring>
+#include <utility>
+
+#include "src/la/row_batch.h"
+#include "src/store/embedding_store.h"
+#include "src/store/format.h"
+#include "src/store/wal.h"
+
+namespace stedb::api {
+
+ServingSession::ServingSession(std::string dir, store::MmapSnapshot snapshot)
+    : dir_(std::move(dir)), snapshot_(std::move(snapshot)) {}
+
+Status ServingSession::SnapshotIdentity(const std::string& dir,
+                                        uint64_t* inode, uint64_t* size) {
+  struct stat st;
+  if (::stat(store::EmbeddingStore::SnapshotPath(dir).c_str(), &st) != 0) {
+    return Status::IOError("serving: cannot stat snapshot in " + dir);
+  }
+  *inode = static_cast<uint64_t>(st.st_ino);
+  *size = static_cast<uint64_t>(st.st_size);
+  return Status::OK();
+}
+
+Result<ServingSession> ServingSession::Open(const std::string& dir) {
+  // Identity before mmap: if a compaction renames the snapshot between
+  // the stat and the map we record the *old* identity while mapping the
+  // new file, and the next Poll() harmlessly reopens once more.
+  uint64_t inode = 0, size = 0;
+  STEDB_RETURN_IF_ERROR(SnapshotIdentity(dir, &inode, &size));
+  STEDB_ASSIGN_OR_RETURN(
+      store::MmapSnapshot snapshot,
+      store::MmapSnapshot::Open(store::EmbeddingStore::SnapshotPath(dir)));
+  ServingSession session(dir, std::move(snapshot));
+  session.snapshot_inode_ = inode;
+  session.snapshot_size_ = size;
+
+  // Replay the journal's clean prefix. A torn tail is pending data (the
+  // writer may be mid-append), not corruption — Poll() retries it.
+  std::string bytes;
+  STEDB_RETURN_IF_ERROR(store::ReadFileToString(
+      store::EmbeddingStore::WalPath(dir), &bytes));
+  auto replay =
+      store::ReplayWalBytes(bytes, static_cast<int>(session.dim()));
+  if (!replay.ok()) return replay.status();
+  session.wal_offset_ = replay.value().valid_bytes;
+  for (store::WalRecord& rec : replay.value().records) {
+    session.ApplyRecord(rec);
+  }
+  return session;
+}
+
+void ServingSession::ApplyRecord(const store::WalRecord& rec) {
+  auto it = overlay_.find(rec.fact);
+  size_t row;
+  if (it == overlay_.end()) {
+    row = overlay_.size();
+    overlay_.emplace(rec.fact, row);
+    overlay_data_.resize((row + 1) * dim());
+  } else {
+    row = it->second;
+  }
+  std::memcpy(overlay_data_.data() + row * dim(), rec.phi.data(),
+              dim() * sizeof(double));
+}
+
+size_t ServingSession::ApplyTail(const std::string& bytes) {
+  store::WalTail tail = store::ParseWalTail(bytes.data(), bytes.size(), dim());
+  for (const store::WalRecord& rec : tail.records) ApplyRecord(rec);
+  return tail.consumed;
+}
+
+Result<size_t> ServingSession::Poll() {
+  reopened_ = false;
+  uint64_t inode = 0, size = 0;
+  STEDB_RETURN_IF_ERROR(SnapshotIdentity(dir_, &inode, &size));
+  if (inode == snapshot_inode_ && size == snapshot_size_) {
+    std::string bytes;
+    STEDB_RETURN_IF_ERROR(store::ReadFileFrom(
+        store::EmbeddingStore::WalPath(dir_), wal_offset_, &bytes));
+    // Re-check the snapshot identity AFTER the read: a Compact() racing
+    // in between replaces the journal, and our record-aligned offset
+    // would land on a valid record boundary of the *new* journal — the
+    // tail would CRC-validate while silently skipping its first records.
+    // If the identity moved, discard the read and reopen instead.
+    STEDB_RETURN_IF_ERROR(SnapshotIdentity(dir_, &inode, &size));
+    if (inode == snapshot_inode_ && size == snapshot_size_) {
+      const size_t before = overlay_.size();
+      wal_offset_ += ApplyTail(bytes);
+      return overlay_.size() - before;
+    }
+  }
+  // The writer compacted: the snapshot file was atomically replaced and
+  // the journal reset. Reopen both; every vector served before is still
+  // served (compaction only folds journal records into the snapshot), so
+  // the delta below counts genuinely new facts.
+  const size_t before = num_embedded();
+  STEDB_ASSIGN_OR_RETURN(ServingSession fresh, Open(dir_));
+  *this = std::move(fresh);
+  reopened_ = true;
+  const size_t after = num_embedded();
+  return after > before ? after - before : 0;
+}
+
+size_t ServingSession::num_embedded() const {
+  size_t n = snapshot_.num_embedded();
+  for (const auto& [f, row] : overlay_) {
+    (void)row;
+    if (snapshot_.phi(f).empty()) ++n;
+  }
+  return n;
+}
+
+Result<Span<const double>> ServingSession::Embed(db::FactId f) const {
+  // The overlay wins: after a compaction crash-window replay the same
+  // fact can sit in both places with identical bytes, and for a genuinely
+  // journal-resident fact only the overlay has it at all.
+  auto it = overlay_.find(f);
+  if (it != overlay_.end()) {
+    return Span<const double>(overlay_data_.data() + it->second * dim(),
+                              dim());
+  }
+  Span<const double> v = snapshot_.phi(f);
+  if (v.empty()) {
+    return Status::NotFound("fact " + std::to_string(f) +
+                            " is not in the served store");
+  }
+  return v;
+}
+
+Status ServingSession::EmbedBatch(Span<const db::FactId> facts,
+                                  la::MatrixView out) const {
+  if (out.rows() != facts.size() || out.cols() != dim()) {
+    return Status::InvalidArgument(
+        "EmbedBatch: output shape must be facts x dim");
+  }
+  // Same gather helper as the in-memory embedders: large batches fan out
+  // over a ParallelRunner (threads steered by STEDB_THREADS, like every
+  // 0-default in this codebase).
+  const size_t bad = la::GatherRows(
+      facts.size(), dim(), /*threads=*/0, out,
+      [&](size_t i) -> const double* {
+        auto it = overlay_.find(facts[i]);
+        if (it != overlay_.end()) {
+          return overlay_data_.data() + it->second * dim();
+        }
+        Span<const double> v = snapshot_.phi(facts[i]);
+        return v.empty() ? nullptr : v.data();
+      });
+  if (bad != facts.size()) {
+    return Status::NotFound("fact " + std::to_string(facts[bad]) +
+                            " is not in the served store");
+  }
+  return Status::OK();
+}
+
+}  // namespace stedb::api

@@ -1,0 +1,111 @@
+#ifndef STEDB_API_SERVING_H_
+#define STEDB_API_SERVING_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/span.h"
+#include "src/common/status.h"
+#include "src/db/database.h"
+#include "src/la/matrix.h"
+#include "src/store/mmap_snapshot.h"
+#include "src/store/wal.h"
+
+namespace stedb::api {
+
+/// Read-only serving endpoint over a store::EmbeddingStore directory: the
+/// snapshot is mmap'd (zero-copy, page cache shared across processes) and
+/// the extension WAL is tailed incrementally, so one trainer process and
+/// any number of reader processes can share a store directory with no
+/// coordination beyond the filesystem.
+///
+///   auto session = api::ServingSession::Open(dir);       // cold reader
+///   Span<const double> v = session->Embed(f).value();    // zero-copy
+///   ...
+///   session->Poll();   // picks up extensions journaled since Open/Poll
+///
+/// Embed returns views: into the mapped snapshot for snapshot-resident
+/// facts, into the session's tail buffer for WAL-resident ones. A view
+/// stays valid until the next Poll() (which may grow the tail buffer or,
+/// after a writer compaction, replace the mapping) or until the session
+/// is destroyed — callers that need longer-lived vectors copy (EmbedBatch
+/// does).
+///
+/// Poll() semantics:
+///  * New complete WAL records are applied; an incomplete trailing record
+///    (the writer mid-append) is simply retried on the next Poll — for a
+///    tailing reader a torn tail is pending data, not corruption.
+///  * A writer Compact() atomically replaces the snapshot and resets the
+///    journal. Poll detects the new snapshot inode and reopens both files
+///    (invalidating previously returned views); the served vectors are
+///    unchanged, because compaction only folds journal records into the
+///    snapshot. `reopened()` reports that this happened.
+///
+/// Stability is what makes this sound: old embeddings never change, so a
+/// snapshot plus an append-only journal of new facts is the *complete*
+/// state, and every vector served here is bit-identical to the trainer's
+/// in-memory model (asserted in tests/serving_test.cc).
+class ServingSession {
+ public:
+  /// Opens `<dir>/model.snap` + `<dir>/extend.wal` and replays the
+  /// journal's clean prefix.
+  static Result<ServingSession> Open(const std::string& dir);
+
+  ServingSession(ServingSession&&) = default;
+  ServingSession& operator=(ServingSession&&) = default;
+  ServingSession(const ServingSession&) = delete;
+  ServingSession& operator=(const ServingSession&) = delete;
+
+  /// Zero-copy φ(f); NotFound when the fact is in neither the snapshot
+  /// nor the tailed journal.
+  Result<Span<const double>> Embed(db::FactId f) const;
+
+  /// Copying batch read: fills `out` (facts.size() x dim()) with one row
+  /// per requested fact. NotFound when any fact is unknown,
+  /// InvalidArgument on a shape mismatch.
+  Status EmbedBatch(Span<const db::FactId> facts, la::MatrixView out) const;
+
+  /// Tails the journal: applies every extension record that became durable
+  /// since Open()/the last Poll(), reopening the files after a writer
+  /// compaction. Returns the number of new records applied.
+  Result<size_t> Poll();
+
+  size_t dim() const { return snapshot_.dim(); }
+  db::RelationId relation() const { return snapshot_.relation(); }
+  /// Distinct facts served (snapshot residents + tailed journal records;
+  /// a fact in both — the compaction crash window — counts once).
+  size_t num_embedded() const;
+  /// Journal records currently served from the tail buffer.
+  size_t wal_records() const { return overlay_.size(); }
+  /// Whether the last Poll() had to reopen after a compaction.
+  bool reopened() const { return reopened_; }
+  const std::string& dir() const { return dir_; }
+
+ private:
+  ServingSession(std::string dir, store::MmapSnapshot snapshot);
+
+  /// Applies records parsed from the journal tail to the overlay; returns
+  /// the bytes consumed by clean records.
+  size_t ApplyTail(const std::string& bytes);
+  /// Installs one journal record into the overlay (insert or overwrite).
+  void ApplyRecord(const store::WalRecord& rec);
+  /// Snapshot-file identity (inode, size) used to detect compaction.
+  static Status SnapshotIdentity(const std::string& dir, uint64_t* inode,
+                                 uint64_t* size);
+
+  std::string dir_;
+  store::MmapSnapshot snapshot_;
+  uint64_t snapshot_inode_ = 0;
+  uint64_t snapshot_size_ = 0;
+  size_t wal_offset_ = 0;  ///< journal bytes consumed (header + records)
+  /// Journal-resident vectors: fact -> row index into overlay_data_.
+  std::unordered_map<db::FactId, size_t> overlay_;
+  std::vector<double> overlay_data_;
+  bool reopened_ = false;
+};
+
+}  // namespace stedb::api
+
+#endif  // STEDB_API_SERVING_H_

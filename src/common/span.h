@@ -1,0 +1,53 @@
+#ifndef STEDB_COMMON_SPAN_H_
+#define STEDB_COMMON_SPAN_H_
+
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+namespace stedb {
+
+/// Minimal non-owning view over a contiguous range — the C++17 stand-in
+/// for std::span used by the batch-read API (`api::Embedder::EmbedBatch`)
+/// and the zero-copy serving path (`Span<const double>` straight into an
+/// mmap'd snapshot). The viewed memory must outlive the span.
+template <typename T>
+class Span {
+ public:
+  constexpr Span() noexcept : data_(nullptr), size_(0) {}
+  constexpr Span(T* data, size_t size) noexcept : data_(data), size_(size) {}
+
+  /// Views a vector of the (possibly const-qualified) element type.
+  template <typename U,
+            typename = std::enable_if_t<std::is_convertible_v<U*, T*>>>
+  Span(std::vector<U>& v) noexcept  // NOLINT(runtime/explicit)
+      : data_(v.data()), size_(v.size()) {}
+  template <typename U,
+            typename = std::enable_if_t<std::is_convertible_v<const U*, T*>>>
+  Span(const std::vector<U>& v) noexcept  // NOLINT(runtime/explicit)
+      : data_(v.data()), size_(v.size()) {}
+
+  constexpr T* data() const noexcept { return data_; }
+  constexpr size_t size() const noexcept { return size_; }
+  constexpr bool empty() const noexcept { return size_ == 0; }
+
+  constexpr T& operator[](size_t i) const { return data_[i]; }
+  constexpr T& front() const { return data_[0]; }
+  constexpr T& back() const { return data_[size_ - 1]; }
+
+  constexpr T* begin() const noexcept { return data_; }
+  constexpr T* end() const noexcept { return data_ + size_; }
+
+  /// The subrange [offset, offset + count); the caller guarantees bounds.
+  constexpr Span subspan(size_t offset, size_t count) const {
+    return Span(data_ + offset, count);
+  }
+
+ private:
+  T* data_;
+  size_t size_;
+};
+
+}  // namespace stedb
+
+#endif  // STEDB_COMMON_SPAN_H_

@@ -28,7 +28,8 @@ struct RunOutcome {
 /// One partition-train-replay-evaluate cycle. Self-contained: owns a
 /// private copy of the database, so runs can execute concurrently.
 Result<RunOutcome> RunOnce(const data::GeneratedDataset& ds,
-                           MethodKind method, const MethodConfig& mcfg,
+                           const std::string& method,
+                           const MethodConfig& mcfg,
                            const DynamicConfig& dcfg, int run) {
   RunOutcome out;
   const uint64_t run_seed = dcfg.seed + 1009 * static_cast<uint64_t>(run);
@@ -48,8 +49,8 @@ Result<RunOutcome> RunOnce(const data::GeneratedDataset& ds,
   // All-at-once mode recomputes old walk distributions (FoRWaRD only).
   MethodConfig run_cfg = mcfg;
   run_cfg.forward.recompute_old_paths = !dcfg.one_by_one;
-  std::unique_ptr<EmbeddingMethod> embedder =
-      MakeMethod(method, run_cfg, run_seed);
+  STEDB_ASSIGN_OR_RETURN(std::unique_ptr<EmbeddingMethod> embedder,
+                         MakeMethod(method, run_cfg, run_seed));
   STEDB_RETURN_IF_ERROR(
       embedder->TrainStatic(&database, ds.pred_rel, LabelExclusion(ds)));
 
@@ -80,12 +81,14 @@ Result<RunOutcome> RunOnce(const data::GeneratedDataset& ds,
     }
   }
 
-  // Snapshot old embeddings for the stability check.
+  // Snapshot old embeddings for the stability check (one batch read).
   n2v::EmbeddingSnapshot snapshot;
   if (dcfg.check_stability) {
-    for (db::FactId f : part.old_pred_facts) {
-      STEDB_ASSIGN_OR_RETURN(la::Vector v, embedder->Embed(f));
-      snapshot.Record(f, std::move(v));
+    la::Matrix old_vecs(part.old_pred_facts.size(), embedder->dim());
+    STEDB_RETURN_IF_ERROR(
+        embedder->EmbedBatch(part.old_pred_facts, old_vecs));
+    for (size_t i = 0; i < part.old_pred_facts.size(); ++i) {
+      snapshot.Record(part.old_pred_facts[i], old_vecs.Row(i));
     }
   }
 
@@ -138,13 +141,14 @@ Result<RunOutcome> RunOnce(const data::GeneratedDataset& ds,
     });
   }
 
-  // (5) Evaluate on the new prediction tuples only.
+  // (5) Evaluate on the new prediction tuples only (one batch read).
   std::vector<int> truth, predicted;
-  for (db::FactId f : new_pred_facts) {
-    STEDB_ASSIGN_OR_RETURN(la::Vector v, embedder->Embed(f));
-    truth.push_back(
-        encoder.Lookup(database.value(f, ds.pred_attr).ToString()));
-    predicted.push_back(clf->Predict(v));
+  la::Matrix new_vecs(new_pred_facts.size(), embedder->dim());
+  STEDB_RETURN_IF_ERROR(embedder->EmbedBatch(new_pred_facts, new_vecs));
+  for (size_t i = 0; i < new_pred_facts.size(); ++i) {
+    truth.push_back(encoder.Lookup(
+        database.value(new_pred_facts[i], ds.pred_attr).ToString()));
+    predicted.push_back(clf->Predict(new_vecs.Row(i)));
   }
   out.accuracy = ml::Accuracy(truth, predicted);
 
@@ -165,12 +169,16 @@ Result<RunOutcome> RunOnce(const data::GeneratedDataset& ds,
 }  // namespace
 
 Result<DynamicResult> RunDynamicExperiment(const data::GeneratedDataset& ds,
-                                           MethodKind method,
+                                           const std::string& method,
                                            const MethodConfig& mcfg,
                                            const DynamicConfig& dcfg) {
+  // Resolve the name once so an unknown method fails fast (and with the
+  // registry's NotFound message) instead of inside the run fan-out.
+  STEDB_ASSIGN_OR_RETURN(std::unique_ptr<EmbeddingMethod> probe,
+                         MakeMethod(method, mcfg, dcfg.seed));
   DynamicResult result;
   result.dataset = ds.name;
-  result.method = MethodKindName(method);
+  result.method = probe->Name();
   result.new_ratio = dcfg.new_ratio;
   result.one_by_one = dcfg.one_by_one;
 

@@ -58,9 +58,10 @@ struct DynamicResult {
   bool journaled = false;           ///< journaling ran for at least one run
 };
 
-/// Runs the dynamic experiment for one method on one dataset.
+/// Runs the dynamic experiment for one method (a registry name, see
+/// api::RegisterMethod) on one dataset.
 Result<DynamicResult> RunDynamicExperiment(const data::GeneratedDataset& ds,
-                                           MethodKind method,
+                                           const std::string& method,
                                            const MethodConfig& mcfg,
                                            const DynamicConfig& dcfg);
 

@@ -1,31 +1,23 @@
 #include "src/exp/embedding_method.h"
 
 #include <cstdlib>
-#include <memory>
-#include <optional>
 
-#include "src/store/embedding_store.h"
-#include "src/store/snapshot.h"
+#include "src/common/logging.h"
 
 namespace stedb::exp {
 
-const char* MethodKindName(MethodKind kind) {
-  switch (kind) {
-    case MethodKind::kForward:
-      return "FoRWaRD";
-    case MethodKind::kNode2Vec:
-      return "Node2Vec";
-  }
-  return "?";
-}
-
 RunScale ScaleFromEnv() {
   const char* env = std::getenv("STEDB_SCALE");
-  if (env == nullptr) return RunScale::kDefault;
+  if (env == nullptr || *env == '\0') return RunScale::kDefault;
   const std::string s(env);
   if (s == "smoke") return RunScale::kSmoke;
+  if (s == "default") return RunScale::kDefault;
   if (s == "paper") return RunScale::kPaper;
-  return RunScale::kDefault;
+  // A typo must not silently run the wrong scale: every bench/CI consumer
+  // assumes the scale it asked for.
+  STEDB_LOG(kError) << "fatal: unknown STEDB_SCALE '" << s
+                    << "' (expected smoke|default|paper)";
+  std::exit(1);
 }
 
 MethodConfig MethodConfig::ForScale(RunScale scale) {
@@ -82,127 +74,10 @@ MethodConfig MethodConfig::ForScale(RunScale scale) {
   return cfg;
 }
 
-namespace {
-
-/// ForwardEmbedder adapter.
-class ForwardMethod : public EmbeddingMethod {
- public:
-  ForwardMethod(const MethodConfig& config, uint64_t seed)
-      : config_(config.forward) {
-    config_.seed = seed;
-  }
-
-  Status TrainStatic(const db::Database* database, db::RelationId rel,
-                     const fwd::AttrKeySet& excluded) override {
-    auto res =
-        fwd::ForwardEmbedder::TrainStatic(database, rel, excluded, config_);
-    if (!res.ok()) return res.status();
-    embedder_.emplace(std::move(res).value());
-    return Status::OK();
-  }
-
-  Status ExtendToFacts(const std::vector<db::FactId>& new_facts) override {
-    if (!embedder_.has_value()) {
-      return Status::FailedPrecondition("TrainStatic was not called");
-    }
-    return embedder_->ExtendToFacts(new_facts);
-  }
-
-  Result<la::Vector> Embed(db::FactId f) const override {
-    if (!embedder_.has_value()) {
-      return Status::FailedPrecondition("TrainStatic was not called");
-    }
-    return embedder_->Embed(f);
-  }
-
-  Status AttachJournal(const std::string& dir) override {
-    if (!embedder_.has_value()) {
-      return Status::FailedPrecondition("TrainStatic was not called");
-    }
-    auto created = store::EmbeddingStore::Create(dir, embedder_->model());
-    if (!created.ok()) return created.status();
-    // unique_ptr pins the store's address — the sink captures it.
-    store_ = std::make_unique<store::EmbeddingStore>(
-        std::move(created).value());
-    embedder_->set_extension_sink(store_->MakeSink());
-    return Status::OK();
-  }
-
-  Result<double> VerifyJournal() const override {
-    if (store_ == nullptr) {
-      return Status::FailedPrecondition("AttachJournal was not called");
-    }
-    STEDB_RETURN_IF_ERROR(store_->Sync());
-    // Cold recovery path: re-open the directory exactly as a restarted
-    // process would and diff against the live model.
-    auto reopened = store::EmbeddingStore::Open(store_->dir());
-    if (!reopened.ok()) return reopened.status();
-    return store::ModelMaxAbsDiff(reopened.value().model(),
-                                  embedder_->model());
-  }
-
-  std::string Name() const override { return "FoRWaRD"; }
-
- private:
-  fwd::ForwardConfig config_;
-  std::optional<fwd::ForwardEmbedder> embedder_;
-  std::unique_ptr<store::EmbeddingStore> store_;
-};
-
-/// Node2VecEmbedding adapter. The label column is excluded from the graph
-/// (GraphOptions) rather than from T(R, lmax).
-class Node2VecMethod : public EmbeddingMethod {
- public:
-  Node2VecMethod(const MethodConfig& config, uint64_t seed)
-      : config_(config.node2vec) {
-    config_.seed = seed;
-  }
-
-  Status TrainStatic(const db::Database* database, db::RelationId rel,
-                     const fwd::AttrKeySet& excluded) override {
-    (void)rel;  // Node2Vec embeds every fact; the relation is not special.
-    for (const fwd::AttrKey& k : excluded) {
-      config_.graph.excluded_columns.insert({k.rel, k.attr});
-    }
-    auto res = n2v::Node2VecEmbedding::TrainStatic(database, config_);
-    if (!res.ok()) return res.status();
-    embedding_.emplace(std::move(res).value());
-    return Status::OK();
-  }
-
-  Status ExtendToFacts(const std::vector<db::FactId>& new_facts) override {
-    if (!embedding_.has_value()) {
-      return Status::FailedPrecondition("TrainStatic was not called");
-    }
-    return embedding_->ExtendToFacts(new_facts);
-  }
-
-  Result<la::Vector> Embed(db::FactId f) const override {
-    if (!embedding_.has_value()) {
-      return Status::FailedPrecondition("TrainStatic was not called");
-    }
-    return embedding_->Embed(f);
-  }
-
-  std::string Name() const override { return "Node2Vec"; }
-
- private:
-  n2v::Node2VecConfig config_;
-  std::optional<n2v::Node2VecEmbedding> embedding_;
-};
-
-}  // namespace
-
-std::unique_ptr<EmbeddingMethod> MakeMethod(MethodKind kind,
-                                            const MethodConfig& config,
-                                            uint64_t seed) {
-  switch (kind) {
-    case MethodKind::kForward:
-      return std::make_unique<ForwardMethod>(config, seed);
-    case MethodKind::kNode2Vec:
-      return std::make_unique<Node2VecMethod>(config, seed);
-  }
-  return nullptr;
+Result<std::unique_ptr<EmbeddingMethod>> MakeMethod(const std::string& name,
+                                                    const MethodConfig& config,
+                                                    uint64_t seed) {
+  return api::CreateMethod(name, config, seed);
 }
 
 }  // namespace stedb::exp

@@ -3,32 +3,32 @@
 
 #include <memory>
 #include <string>
-#include <vector>
 
+#include "src/api/embedder.h"
+#include "src/api/registry.h"
 #include "src/common/status.h"
-#include "src/db/database.h"
-#include "src/fwd/forward.h"
-#include "src/n2v/node2vec.h"
 
 namespace stedb::exp {
 
-/// The two embedding algorithms compared throughout the paper.
-enum class MethodKind { kForward, kNode2Vec };
-
-const char* MethodKindName(MethodKind kind);
+/// The interface every experiment drives: one instance = one trained
+/// embedding over one database. This is api::Embedder — the experiment
+/// harness predates the api layer, and the alias keeps its code reading
+/// unchanged while all construction goes through the method registry.
+using EmbeddingMethod = api::Embedder;
 
 /// Experiment scale presets. kSmoke is for tests/CI, kPaper approaches the
 /// paper's hyperparameters (Table II) — expensive on a single CPU core.
 enum class RunScale { kSmoke, kDefault, kPaper };
 
-/// Reads STEDB_SCALE=smoke|default|paper (default: default).
+/// Reads STEDB_SCALE=smoke|default|paper (unset/empty: default). Any other
+/// value is a fatal error — a typo'd scale must not silently run the
+/// default-scale experiment.
 RunScale ScaleFromEnv();
 
-/// Per-method hyperparameters plus the dataset scale factor bundled so the
-/// harness can construct either method uniformly.
-struct MethodConfig {
-  fwd::ForwardConfig forward;
-  n2v::Node2VecConfig node2vec;
+/// Per-method hyperparameters (the api::MethodOptions handed to the
+/// registry factories) plus the dataset scale factor the experiment
+/// generators use.
+struct MethodConfig : api::MethodOptions {
   /// Dataset size multiplier passed to the generators.
   double data_scale = 1.0;
 
@@ -36,49 +36,13 @@ struct MethodConfig {
   static MethodConfig ForScale(RunScale scale);
 };
 
-/// Uniform facade over ForwardEmbedder and Node2VecEmbedding used by every
-/// experiment. One instance = one trained embedding over one database.
-class EmbeddingMethod {
- public:
-  virtual ~EmbeddingMethod() = default;
-
-  /// Static phase over the database's current contents. `rel` is the
-  /// prediction relation, `excluded` the label attribute(s) the embedding
-  /// must not see.
-  virtual Status TrainStatic(const db::Database* database, db::RelationId rel,
-                             const fwd::AttrKeySet& excluded) = 0;
-
-  /// Dynamic phase: the facts (all relations) just inserted into the
-  /// database. Must leave every previously returned embedding unchanged.
-  virtual Status ExtendToFacts(const std::vector<db::FactId>& new_facts) = 0;
-
-  /// Embedding of a prediction-relation fact.
-  virtual Result<la::Vector> Embed(db::FactId f) const = 0;
-
-  /// Starts journaling this method's model into a store::EmbeddingStore at
-  /// `dir`: snapshot of the trained model now, one WAL record per future
-  /// extension. Must be called after TrainStatic. The default is
-  /// FailedPrecondition — only FoRWaRD has a durable store format so far.
-  virtual Status AttachJournal(const std::string& dir) {
-    (void)dir;
-    return Status::FailedPrecondition(Name() + " does not support journaling");
-  }
-
-  /// Re-opens the attached journal cold (snapshot + WAL replay, as a crash
-  /// recovery would) and returns the max absolute deviation between the
-  /// recovered and the in-memory embeddings — 0.0 when durability is
-  /// bit-exact.
-  virtual Result<double> VerifyJournal() const {
-    return Status::FailedPrecondition(Name() + " does not support journaling");
-  }
-
-  virtual std::string Name() const = 0;
-};
-
-/// Builds a method instance; `seed` controls all its randomness.
-std::unique_ptr<EmbeddingMethod> MakeMethod(MethodKind kind,
-                                            const MethodConfig& config,
-                                            uint64_t seed);
+/// Builds a method instance by registry name — "forward", "node2vec"
+/// (case-insensitive), or anything registered via api::RegisterMethod.
+/// `seed` controls all of the instance's randomness. NotFound for unknown
+/// names.
+Result<std::unique_ptr<EmbeddingMethod>> MakeMethod(const std::string& name,
+                                                    const MethodConfig& config,
+                                                    uint64_t seed);
 
 }  // namespace stedb::exp
 

@@ -20,11 +20,16 @@ Result<ml::FeatureDataset> EmbeddingFeatures(
     const db::Database& database, db::AttrId pred_attr,
     const EmbeddingMethod& method, const std::vector<db::FactId>& facts,
     ml::LabelEncoder& encoder) {
+  // One batch read instead of a per-fact copy+return loop: the methods
+  // gather all rows at once (parallelized for large fact sets).
+  la::Matrix features(facts.size(), method.dim());
+  STEDB_RETURN_IF_ERROR(method.EmbedBatch(facts, features));
   ml::FeatureDataset out;
-  for (db::FactId f : facts) {
-    STEDB_ASSIGN_OR_RETURN(la::Vector v, method.Embed(f));
-    out.Add(std::move(v),
-            encoder.Encode(database.value(f, pred_attr).ToString()));
+  out.x.reserve(facts.size());
+  out.y.reserve(facts.size());
+  for (size_t i = 0; i < facts.size(); ++i) {
+    out.Add(features.Row(i),
+            encoder.Encode(database.value(facts[i], pred_attr).ToString()));
   }
   out.num_classes = encoder.num_classes();
   return out;
@@ -37,7 +42,7 @@ Result<ml::FeatureDataset> EmbeddingFeatures(
 }
 
 Result<StaticResult> RunStaticExperiment(const data::GeneratedDataset& ds,
-                                         MethodKind method,
+                                         const std::string& method,
                                          const MethodConfig& mcfg,
                                          const StaticConfig& scfg) {
   const std::vector<db::FactId>& samples = ds.Samples();
@@ -57,6 +62,13 @@ Result<StaticResult> RunStaticExperiment(const data::GeneratedDataset& ds,
 
   const fwd::AttrKeySet excluded = LabelExclusion(ds);
   double train_seconds = 0.0;
+
+  // Resolve the method once up front: an unknown registry name fails here
+  // with NotFound instead of inside the fold fan-out, and the instance
+  // doubles as the shared embedding when embedding_per_fold is off.
+  STEDB_ASSIGN_OR_RETURN(std::unique_ptr<EmbeddingMethod> resolved,
+                         MakeMethod(method, mcfg, scfg.seed));
+  const std::string method_name = resolved->Name();
 
   // Either one embedding per fold (paper protocol) or a single shared one.
   // The per-fold embeddings — the dominant cost — are built up front, fanned
@@ -81,8 +93,12 @@ Result<StaticResult> RunStaticExperiment(const data::GeneratedDataset& ds,
     fold_data.resize(static_cast<size_t>(scfg.folds));
     std::vector<double> fold_seconds(static_cast<size_t>(scfg.folds), 0.0);
     runner.ParallelFor(static_cast<size_t>(scfg.folds), [&](size_t fold) {
-      std::unique_ptr<EmbeddingMethod> m =
-          MakeMethod(method, fold_cfg, scfg.seed + 7919 * fold);
+      auto made = MakeMethod(method, fold_cfg, scfg.seed + 7919 * fold);
+      if (!made.ok()) {
+        fold_data[fold].emplace(made.status());
+        return;
+      }
+      std::unique_ptr<EmbeddingMethod> m = std::move(made).value();
       Timer t;
       Status st = m->TrainStatic(&ds.database, ds.pred_rel, excluded);
       fold_seconds[fold] = t.ElapsedSeconds();
@@ -96,7 +112,7 @@ Result<StaticResult> RunStaticExperiment(const data::GeneratedDataset& ds,
     });
     for (double s : fold_seconds) train_seconds += s;
   } else {
-    shared = MakeMethod(method, mcfg, scfg.seed);
+    shared = std::move(resolved);
     Timer t;
     STEDB_RETURN_IF_ERROR(
         shared->TrainStatic(&ds.database, ds.pred_rel, excluded));
@@ -122,7 +138,7 @@ Result<StaticResult> RunStaticExperiment(const data::GeneratedDataset& ds,
 
   StaticResult result;
   result.dataset = ds.name;
-  result.method = MethodKindName(method);
+  result.method = method_name;
   result.mean_accuracy = cv.mean;
   result.std_accuracy = cv.stddev;
   result.majority_baseline = tmp.MajorityFraction();

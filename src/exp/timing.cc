@@ -13,16 +13,16 @@ Result<StaticTiming> MeasureStaticTime(const data::GeneratedDataset& ds,
   const fwd::AttrKeySet excluded = LabelExclusion(ds);
 
   {
-    std::unique_ptr<EmbeddingMethod> m =
-        MakeMethod(MethodKind::kNode2Vec, mcfg, seed);
+    STEDB_ASSIGN_OR_RETURN(std::unique_ptr<EmbeddingMethod> m,
+                           MakeMethod("node2vec", mcfg, seed));
     Timer t;
     STEDB_RETURN_IF_ERROR(
         m->TrainStatic(&ds.database, ds.pred_rel, excluded));
     timing.node2vec_seconds = t.ElapsedSeconds();
   }
   {
-    std::unique_ptr<EmbeddingMethod> m =
-        MakeMethod(MethodKind::kForward, mcfg, seed);
+    STEDB_ASSIGN_OR_RETURN(std::unique_ptr<EmbeddingMethod> m,
+                           MakeMethod("forward", mcfg, seed));
     Timer t;
     STEDB_RETURN_IF_ERROR(
         m->TrainStatic(&ds.database, ds.pred_rel, excluded));

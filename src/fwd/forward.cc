@@ -1,5 +1,9 @@
 #include "src/fwd/forward.h"
 
+#include <algorithm>
+
+#include "src/la/row_batch.h"
+
 namespace stedb::fwd {
 
 ForwardEmbedder::ForwardEmbedder(
@@ -30,13 +34,45 @@ Result<ForwardEmbedder> ForwardEmbedder::TrainStatic(
 Status ForwardEmbedder::ExtendToFacts(
     const std::vector<db::FactId>& new_facts) {
   if (config_.recompute_old_paths) extender_.InvalidateCache();
+  Status extend_status = Status::OK();
   for (db::FactId f : new_facts) {
     if (!db_->IsLive(f)) continue;
     if (db_->fact(f).rel != model_.relation()) continue;
     if (model_.HasEmbedding(f)) continue;
     auto res = extender_.Extend(model_, f, rng_);
-    if (!res.ok()) return res.status();
-    if (sink_) STEDB_RETURN_IF_ERROR(sink_(f, model_.phi(f)));
+    if (!res.ok()) {
+      extend_status = res.status();
+      break;
+    }
+    if (sink_) pending_journal_.push_back(f);
+  }
+  // Journal appends in fact-id order, not extension order: the batch's
+  // iteration order is a caller artifact (and will vary once the extender
+  // solves facts in parallel), so sorting keeps the journal bytes
+  // deterministic for a given fact set. The flush runs even when the
+  // extension failed partway, and rejected appends stay queued for the
+  // next call (see store::FlushPendingJournal).
+  Status sink_status = store::FlushPendingJournal(
+      pending_journal_, sink_,
+      [this](db::FactId f) -> const la::Vector& { return model_.phi(f); });
+  if (!extend_status.ok()) return extend_status;
+  return sink_status;
+}
+
+Status ForwardEmbedder::EmbedBatch(Span<const db::FactId> facts,
+                                   la::MatrixView out) const {
+  if (out.rows() != facts.size() || out.cols() != model_.dim()) {
+    return Status::InvalidArgument(
+        "EmbedBatch: output shape must be facts x dim");
+  }
+  const size_t bad = la::GatherRows(
+      facts.size(), model_.dim(), config_.threads, out, [&](size_t i) {
+        const la::Vector* v = model_.FindPhi(facts[i]);
+        return v == nullptr ? nullptr : v->data();
+      });
+  if (bad != facts.size()) {
+    return Status::NotFound("fact " + std::to_string(facts[bad]) +
+                            " has no embedding");
   }
   return Status::OK();
 }

@@ -4,6 +4,7 @@
 #include <memory>
 #include <vector>
 
+#include "src/common/span.h"
 #include "src/common/status.h"
 #include "src/db/database.h"
 #include "src/fwd/extender.h"
@@ -43,11 +44,23 @@ class ForwardEmbedder {
   /// φ(f); NotFound for facts never embedded.
   Result<la::Vector> Embed(db::FactId f) const { return model_.Embed(f); }
 
+  /// Batch read: fills `out` (facts.size() x dim()) with one φ row per
+  /// requested fact. Large batches fan out over a ParallelRunner
+  /// (`config.threads` wide); bytes are identical at any thread count.
+  /// NotFound when any fact was never embedded, InvalidArgument on a
+  /// shape mismatch; `out` is unspecified after an error.
+  Status EmbedBatch(Span<const db::FactId> facts, la::MatrixView out) const;
+
   /// Durability hook: called once per newly extended fact with the final
-  /// φ(f_new) (e.g. store::EmbeddingStore::MakeSink()). A failing sink
-  /// aborts ExtendToFacts. Pass an empty function to detach.
+  /// φ(f_new) (e.g. store::EmbeddingStore::MakeSink()), in fact-id order
+  /// within each ExtendToFacts batch. A failing sink fails ExtendToFacts,
+  /// but the unjournaled facts are retried on the next call — the journal
+  /// eventually covers every vector the model serves. Pass an empty
+  /// function to detach (attaching a sink resets the retry queue: a new
+  /// journal starts from a full snapshot of the current model).
   void set_extension_sink(store::EmbeddingSink sink) {
     sink_ = std::move(sink);
+    pending_journal_.clear();
   }
 
   const ForwardModel& model() const { return model_; }
@@ -67,6 +80,10 @@ class ForwardEmbedder {
   ForwardExtender extender_;
   Rng rng_;
   store::EmbeddingSink sink_;
+  /// Facts embedded while a sink was attached but not yet successfully
+  /// journaled (a failing sink or a mid-batch extension error leaves
+  /// entries here); flushed, sorted, by the next ExtendToFacts.
+  std::vector<db::FactId> pending_journal_;
 };
 
 }  // namespace stedb::fwd

@@ -81,6 +81,12 @@ class ForwardModel {
   Result<la::Vector> Embed(db::FactId f) const;
 
   const la::Vector& phi(db::FactId f) const { return phi_.at(f); }
+  /// φ(f)'s storage, or nullptr when f was never embedded — the
+  /// allocation-free lookup the batch read path uses.
+  const la::Vector* FindPhi(db::FactId f) const {
+    auto it = phi_.find(f);
+    return it == phi_.end() ? nullptr : &it->second;
+  }
   void set_phi(db::FactId f, la::Vector v) { phi_[f] = std::move(v); }
   la::Vector* mutable_phi(db::FactId f);
   const std::unordered_map<db::FactId, la::Vector>& all_phi() const {

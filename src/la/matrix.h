@@ -79,6 +79,35 @@ class Matrix {
   std::vector<double> data_;
 };
 
+/// Non-owning mutable view of a row-major matrix — the output parameter of
+/// the batch read path (`api::Embedder::EmbedBatch` fills one row per
+/// requested fact). Implicitly constructible from Matrix so callers can
+/// pass a Matrix wherever a view is expected. The viewed storage must
+/// outlive the view.
+class MatrixView {
+ public:
+  MatrixView() : data_(nullptr), rows_(0), cols_(0) {}
+  MatrixView(double* data, size_t rows, size_t cols)
+      : data_(data), rows_(rows), cols_(cols) {}
+  MatrixView(Matrix& m)  // NOLINT(runtime/explicit)
+      : data_(m.data().data()), rows_(m.rows()), cols_(m.cols()) {}
+
+  size_t rows() const { return rows_; }
+  size_t cols() const { return cols_; }
+  bool empty() const { return rows_ == 0 || cols_ == 0; }
+
+  double* RowPtr(size_t r) const { return data_ + r * cols_; }
+  double& operator()(size_t r, size_t c) const { return data_[r * cols_ + c]; }
+
+  /// Copies row r into a Vector.
+  Vector Row(size_t r) const { return Vector(RowPtr(r), RowPtr(r) + cols_); }
+
+ private:
+  double* data_;
+  size_t rows_;
+  size_t cols_;
+};
+
 // ---- Vector helpers ---------------------------------------------------
 
 double Dot(const Vector& a, const Vector& b);

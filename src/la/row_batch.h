@@ -1,0 +1,54 @@
+#ifndef STEDB_LA_ROW_BATCH_H_
+#define STEDB_LA_ROW_BATCH_H_
+
+#include <atomic>
+#include <cstring>
+
+#include "src/common/parallel.h"
+#include "src/la/matrix.h"
+
+namespace stedb::la {
+
+/// Rows below this count are copied serially: spinning a pool up costs
+/// more than a few kilobytes of memcpy. Above it, the copy fans out over a
+/// ParallelRunner — rows are disjoint output slots, so the result is
+/// byte-identical at any thread count.
+constexpr size_t kParallelRowBatchThreshold = 64;
+
+/// Gathers `n` rows of `dim` doubles into `out` (n x dim, validated by the
+/// caller). `source(i)` returns the i-th row's storage or nullptr when the
+/// row does not exist. Returns `n` on success, else the smallest index
+/// whose source was missing (the caller owns the error message — it knows
+/// what the index means). `out` contents are unspecified on failure.
+template <typename SourceFn>
+size_t GatherRows(size_t n, size_t dim, int threads, MatrixView out,
+                  const SourceFn& source) {
+  const size_t row_bytes = dim * sizeof(double);
+  if (n < kParallelRowBatchThreshold || ResolveThreadCount(threads) <= 1) {
+    for (size_t i = 0; i < n; ++i) {
+      const double* row = source(i);
+      if (row == nullptr) return i;
+      std::memcpy(out.RowPtr(i), row, row_bytes);
+    }
+    return n;
+  }
+  std::atomic<size_t> first_missing(n);
+  ParallelRunner runner(threads);
+  runner.ParallelFor(n, [&](size_t i) {
+    const double* row = source(i);
+    if (row == nullptr) {
+      size_t cur = first_missing.load(std::memory_order_relaxed);
+      while (i < cur &&
+             !first_missing.compare_exchange_weak(cur, i,
+                                                  std::memory_order_relaxed)) {
+      }
+      return;
+    }
+    std::memcpy(out.RowPtr(i), row, row_bytes);
+  });
+  return first_missing.load(std::memory_order_relaxed);
+}
+
+}  // namespace stedb::la
+
+#endif  // STEDB_LA_ROW_BATCH_H_

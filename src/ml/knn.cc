@@ -15,6 +15,15 @@ void EmbeddingIndex::Add(db::FactId fact, la::Vector vector) {
   vectors_.push_back(std::move(vector));
 }
 
+void EmbeddingIndex::AddBatch(Span<const db::FactId> facts,
+                              const la::Matrix& vectors) {
+  facts_.reserve(facts_.size() + facts.size());
+  vectors_.reserve(vectors_.size() + facts.size());
+  for (size_t i = 0; i < facts.size(); ++i) {
+    Add(facts[i], vectors.Row(i));
+  }
+}
+
 double EmbeddingIndex::Score(const la::Vector& a, const la::Vector& b) const {
   switch (metric_) {
     case SimilarityMetric::kCosine:

@@ -5,6 +5,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/common/span.h"
 #include "src/common/status.h"
 #include "src/db/database.h"
 #include "src/la/matrix.h"
@@ -33,6 +34,11 @@ class EmbeddingIndex {
 
   /// Registers a tuple's embedding (overwrites an existing entry).
   void Add(db::FactId fact, la::Vector vector);
+
+  /// Registers one embedding per fact from a batch-read matrix (row i =
+  /// φ(facts[i]), as filled by api::Embedder::EmbedBatch). `vectors` must
+  /// have facts.size() rows.
+  void AddBatch(Span<const db::FactId> facts, const la::Matrix& vectors);
 
   size_t size() const { return facts_.size(); }
   SimilarityMetric metric() const { return metric_; }

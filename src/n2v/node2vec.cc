@@ -1,5 +1,9 @@
 #include "src/n2v/node2vec.h"
 
+#include <algorithm>
+
+#include "src/la/row_batch.h"
+
 namespace stedb::n2v {
 
 Node2VecEmbedding::Node2VecEmbedding(const db::Database* database,
@@ -29,7 +33,14 @@ Result<Node2VecEmbedding> Node2VecEmbedding::TrainStatic(
 
 Status Node2VecEmbedding::ExtendToFacts(
     const std::vector<db::FactId>& new_facts) {
-  if (new_facts.empty()) return Status::OK();
+  if (new_facts.empty()) {
+    // Nothing to train, but appends a failing sink left queued still
+    // flush — an empty call is the natural retry after a sink outage.
+    return store::FlushPendingJournal(
+        pending_journal_, sink_, [this](db::FactId f) {
+          return model_.Embedding(graph_.NodeOfFact(f));
+        });
+  }
   // Everything that exists now becomes immutable.
   model_.FreezeAll();
 
@@ -52,12 +63,37 @@ Status Node2VecEmbedding::ExtendToFacts(
   model_.Train(walks, vocab_, config_.dynamic_epochs, rng_);
   if (sink_) {
     // The vectors just trained are frozen by the next extension, so this
-    // is the journaling point for the new facts' embeddings.
+    // is the journaling point for the new facts' embeddings. Appends go
+    // out in fact-id order with rejected entries retried on the next
+    // call (see store::FlushPendingJournal).
     for (db::FactId f : new_facts) {
-      graph::NodeId n = graph_.NodeOfFact(f);
-      if (n == graph::kNoNode) continue;
-      STEDB_RETURN_IF_ERROR(sink_(f, model_.Embedding(n)));
+      if (graph_.NodeOfFact(f) != graph::kNoNode) {
+        pending_journal_.push_back(f);
+      }
     }
+    STEDB_RETURN_IF_ERROR(store::FlushPendingJournal(
+        pending_journal_, sink_, [this](db::FactId f) {
+          return model_.Embedding(graph_.NodeOfFact(f));
+        }));
+  }
+  return Status::OK();
+}
+
+Status Node2VecEmbedding::EmbedBatch(Span<const db::FactId> facts,
+                                     la::MatrixView out) const {
+  if (out.rows() != facts.size() || out.cols() != model_.dim()) {
+    return Status::InvalidArgument(
+        "EmbedBatch: output shape must be facts x dim");
+  }
+  const la::Matrix& rows = model_.embedding_matrix();
+  const size_t bad = la::GatherRows(
+      facts.size(), model_.dim(), config_.sg.threads, out, [&](size_t i) {
+        graph::NodeId n = graph_.NodeOfFact(facts[i]);
+        return n == graph::kNoNode ? nullptr : rows.RowPtr(n);
+      });
+  if (bad != facts.size()) {
+    return Status::NotFound("fact " + std::to_string(facts[bad]) +
+                            " has no node in the embedding graph");
   }
   return Status::OK();
 }

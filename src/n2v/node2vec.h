@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "src/common/span.h"
 #include "src/common/status.h"
 #include "src/db/database.h"
 #include "src/graph/bipartite_graph.h"
@@ -51,11 +52,21 @@ class Node2VecEmbedding {
   /// Embedding of a fact; NotFound when the fact was never embedded.
   Result<la::Vector> Embed(db::FactId f) const;
 
+  /// Batch read: fills `out` (facts.size() x dim()) with one embedding row
+  /// per requested fact; large batches fan out over a ParallelRunner
+  /// (`config.sg.threads` wide) with byte-identical results at any thread
+  /// count. NotFound when any fact has no node, InvalidArgument on a shape
+  /// mismatch; `out` is unspecified after an error.
+  Status EmbedBatch(Span<const db::FactId> facts, la::MatrixView out) const;
+
   /// Durability hook: called once per fact newly embedded by
-  /// ExtendToFacts, with its final (frozen-from-now-on) vector. A failing
-  /// sink aborts the extension. Pass an empty function to detach.
+  /// ExtendToFacts, with its final (frozen-from-now-on) vector, in
+  /// fact-id order within each batch. A failing sink fails ExtendToFacts,
+  /// but the unjournaled facts are retried on the next call. Pass an
+  /// empty function to detach (attaching resets the retry queue).
   void set_extension_sink(store::EmbeddingSink sink) {
     sink_ = std::move(sink);
+    pending_journal_.clear();
   }
 
   const graph::BipartiteGraph& graph() const { return graph_; }
@@ -72,6 +83,9 @@ class Node2VecEmbedding {
   NodeVocab vocab_;
   SkipGramModel model_;
   store::EmbeddingSink sink_;
+  /// Facts embedded while a sink was attached but not yet successfully
+  /// journaled; flushed, sorted, by the next ExtendToFacts.
+  std::vector<db::FactId> pending_journal_;
 };
 
 }  // namespace stedb::n2v

@@ -88,4 +88,20 @@ Status ReadFileToString(const std::string& path, std::string* out) {
   return Status::OK();
 }
 
+Status ReadFileFrom(const std::string& path, size_t offset,
+                    std::string* out) {
+  std::ifstream f(path, std::ios::binary);
+  if (!f) return Status::IOError("cannot read " + path);
+  f.seekg(static_cast<std::streamoff>(offset), std::ios::beg);
+  if (!f) {  // seeking past EOF: nothing to read yet
+    out->clear();
+    return Status::OK();
+  }
+  std::ostringstream buf;
+  buf << f.rdbuf();
+  if (f.bad()) return Status::IOError("read failed: " + path);
+  *out = std::move(buf).str();
+  return Status::OK();
+}
+
 }  // namespace stedb::store

@@ -136,6 +136,11 @@ Status AtomicWriteFile(const std::string& path, const std::string& contents);
 /// Reads the whole file into `out`; IOError when unreadable.
 Status ReadFileToString(const std::string& path, std::string* out);
 
+/// Reads the bytes from `offset` to end-of-file into `out` (empty when the
+/// file is no longer than `offset`). The WAL-tailing read: a serving
+/// replica re-reads only the journal bytes it has not consumed yet.
+Status ReadFileFrom(const std::string& path, size_t offset, std::string* out);
+
 }  // namespace stedb::store
 
 #endif  // STEDB_STORE_FORMAT_H_

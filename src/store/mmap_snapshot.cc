@@ -1,0 +1,223 @@
+#include "src/store/mmap_snapshot.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <utility>
+
+#include "src/store/format.h"
+
+namespace stedb::store {
+namespace {
+
+// The snapshot.h v1 layout constants (kept in lockstep with snapshot.cc;
+// the serving-equivalence tests diff this reader against the copying
+// parser byte-for-byte, so drift cannot land silently).
+constexpr char kMagic[8] = {'S', 'T', 'E', 'D', 'B', 'S', 'N', 'P'};
+constexpr uint32_t kVersion = 1;
+constexpr uint32_t kSectionCount = 3;
+
+constexpr uint32_t FourCc(char a, char b, char c, char d) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(a)) |
+         static_cast<uint32_t>(static_cast<unsigned char>(b)) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(c)) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(d)) << 24;
+}
+constexpr uint32_t kMetaTag = FourCc('M', 'E', 'T', 'A');
+constexpr uint32_t kPsiTag = FourCc('P', 'S', 'I', ' ');
+constexpr uint32_t kPhiTag = FourCc('P', 'H', 'I', ' ');
+
+/// Section walk mirroring snapshot.cc's OpenSection: verifies the header
+/// and CRC of the next section and returns a reader over its payload.
+Result<ByteReader> OpenSection(ByteReader& in, uint32_t want_tag) {
+  uint32_t tag = 0, crc = 0;
+  uint64_t size = 0;
+  if (!in.ReadU32(&tag) || !in.ReadU32(&crc) || !in.ReadU64(&size)) {
+    return Status::InvalidArgument("mmap snapshot: truncated section header");
+  }
+  if (tag != want_tag) {
+    return Status::InvalidArgument("mmap snapshot: unexpected section tag");
+  }
+  if (size > in.remaining()) {
+    return Status::InvalidArgument("mmap snapshot: section overruns file");
+  }
+  const char* payload = in.cursor();
+  if (Crc32(payload, size) != crc) {
+    return Status::InvalidArgument("mmap snapshot: section checksum mismatch");
+  }
+  in.Skip(static_cast<size_t>(size));
+  if (!in.SkipTo8()) {
+    return Status::InvalidArgument("mmap snapshot: missing section padding");
+  }
+  return ByteReader(payload, static_cast<size_t>(size));
+}
+
+db::FactId RecordFact(const char* record) {
+  int64_t fact = 0;
+  // Little-endian i64 at the record start; memcpy keeps the read legal at
+  // any alignment.
+  std::memcpy(&fact, record, sizeof(fact));
+  return static_cast<db::FactId>(fact);
+}
+
+}  // namespace
+
+Result<MmapSnapshot> MmapSnapshot::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) return Status::IOError("cannot open snapshot " + path);
+  struct stat st;
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat snapshot " + path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size == 0) {
+    ::close(fd);
+    return Status::InvalidArgument("mmap snapshot: empty file " + path);
+  }
+  void* map = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);  // the mapping keeps the inode alive
+  if (map == MAP_FAILED) {
+    return Status::IOError("cannot mmap snapshot " + path);
+  }
+
+  MmapSnapshot snap;
+  snap.map_ = map;
+  snap.map_size_ = size;
+  const char* base = static_cast<const char*>(map);
+
+  // Everything below returns through `snap` going out of scope (which
+  // munmaps) on error, because `snap` owns the mapping already.
+  ByteReader in(base, size);
+  if (in.remaining() < sizeof(kMagic) ||
+      std::memcmp(in.cursor(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("mmap snapshot: bad magic");
+  }
+  in.Skip(sizeof(kMagic));
+  uint32_t version = 0, sections = 0;
+  if (!in.ReadU32(&version) || !in.ReadU32(&sections)) {
+    return Status::InvalidArgument("mmap snapshot: truncated header");
+  }
+  if (version != kVersion) {
+    return Status::InvalidArgument(
+        "mmap snapshot: unsupported format version " +
+        std::to_string(version));
+  }
+  if (sections != kSectionCount) {
+    return Status::InvalidArgument("mmap snapshot: unexpected section count");
+  }
+
+  // META: only relation and dimension matter to the read path; the walk
+  // schemes and targets stay on disk (CRC-checked above all the same).
+  STEDB_ASSIGN_OR_RETURN(ByteReader meta, OpenSection(in, kMetaTag));
+  int64_t relation = -1;
+  uint64_t dim = 0;
+  if (!meta.ReadI64(&relation) || !meta.ReadU64(&dim)) {
+    return Status::InvalidArgument("mmap snapshot: truncated META");
+  }
+  if (dim == 0 || dim > kMaxEmbeddingDim) {
+    return Status::InvalidArgument("mmap snapshot: implausible dimension");
+  }
+
+  // PSI: structural size check only — serving never reads ψ.
+  STEDB_ASSIGN_OR_RETURN(ByteReader psi, OpenSection(in, kPsiTag));
+  uint64_t psi_targets = 0;
+  // Division-form size checks: a crafted count field cannot overflow the
+  // multiplication into a passing comparison.
+  if (!psi.ReadU64(&psi_targets) ||
+      psi.remaining() % (dim * dim * 8) != 0 ||
+      psi.remaining() / (dim * dim * 8) != psi_targets) {
+    return Status::InvalidArgument("mmap snapshot: PSI payload size mismatch");
+  }
+
+  // PHI: the serving payload. Fixed-stride records sorted by fact id.
+  STEDB_ASSIGN_OR_RETURN(ByteReader phi, OpenSection(in, kPhiTag));
+  uint64_t n_phi = 0;
+  if (!phi.ReadU64(&n_phi) || phi.remaining() % (8 + dim * 8) != 0 ||
+      phi.remaining() / (8 + dim * 8) != n_phi) {
+    return Status::InvalidArgument("mmap snapshot: PHI payload size mismatch");
+  }
+  if (in.remaining() != 0) {
+    return Status::InvalidArgument("mmap snapshot: trailing bytes after PHI");
+  }
+  const char* records = phi.cursor();
+  // The writer pads every section to 8 bytes, so this cannot fire on a
+  // file that passed the checks above; it guards the reinterpret_cast in
+  // phi() against a future layout change.
+  if ((records - base) % 8 != 0) {
+    return Status::Internal("mmap snapshot: PHI payload is misaligned");
+  }
+  const size_t stride = 8 + static_cast<size_t>(dim) * 8;
+  for (uint64_t i = 1; i < n_phi; ++i) {
+    if (RecordFact(records + (i - 1) * stride) >=
+        RecordFact(records + i * stride)) {
+      return Status::InvalidArgument(
+          "mmap snapshot: PHI records not sorted by fact id");
+    }
+  }
+
+  snap.phi_records_ = records;
+  snap.num_facts_ = static_cast<size_t>(n_phi);
+  snap.dim_ = static_cast<size_t>(dim);
+  snap.relation_ = static_cast<db::RelationId>(relation);
+  return snap;
+}
+
+MmapSnapshot::MmapSnapshot(MmapSnapshot&& other) noexcept
+    : map_(other.map_),
+      map_size_(other.map_size_),
+      phi_records_(other.phi_records_),
+      num_facts_(other.num_facts_),
+      dim_(other.dim_),
+      relation_(other.relation_) {
+  other.map_ = nullptr;
+  other.map_size_ = 0;
+  other.phi_records_ = nullptr;
+  other.num_facts_ = 0;
+}
+
+MmapSnapshot& MmapSnapshot::operator=(MmapSnapshot&& other) noexcept {
+  if (this != &other) {
+    if (map_ != nullptr) ::munmap(map_, map_size_);
+    map_ = other.map_;
+    map_size_ = other.map_size_;
+    phi_records_ = other.phi_records_;
+    num_facts_ = other.num_facts_;
+    dim_ = other.dim_;
+    relation_ = other.relation_;
+    other.map_ = nullptr;
+    other.map_size_ = 0;
+    other.phi_records_ = nullptr;
+    other.num_facts_ = 0;
+  }
+  return *this;
+}
+
+MmapSnapshot::~MmapSnapshot() {
+  if (map_ != nullptr) ::munmap(map_, map_size_);
+}
+
+db::FactId MmapSnapshot::fact_at(size_t i) const {
+  return RecordFact(phi_records_ + i * (8 + dim_ * 8));
+}
+
+Span<const double> MmapSnapshot::phi(db::FactId f) const {
+  size_t lo = 0, hi = num_facts_;
+  while (lo < hi) {
+    const size_t mid = lo + (hi - lo) / 2;
+    if (fact_at(mid) < f) {
+      lo = mid + 1;
+    } else {
+      hi = mid;
+    }
+  }
+  if (lo == num_facts_ || fact_at(lo) != f) return Span<const double>();
+  const char* record = phi_records_ + lo * (8 + dim_ * 8);
+  return Span<const double>(reinterpret_cast<const double*>(record + 8),
+                            dim_);
+}
+
+}  // namespace stedb::store

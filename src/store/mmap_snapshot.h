@@ -1,0 +1,67 @@
+#ifndef STEDB_STORE_MMAP_SNAPSHOT_H_
+#define STEDB_STORE_MMAP_SNAPSHOT_H_
+
+#include <string>
+
+#include "src/common/span.h"
+#include "src/common/status.h"
+#include "src/db/database.h"
+
+namespace stedb::store {
+
+/// Read-only, zero-copy view of a snapshot file (snapshot.h layout): the
+/// file is mmap'd and φ vectors are served as pointers straight into the
+/// mapping — no per-fact allocation, no double parsing, and the page cache
+/// is shared across every process that opens the same snapshot.
+///
+/// This works because the writer pads sections so every φ payload double
+/// sits on an 8-byte file offset, and the format stores raw little-endian
+/// IEEE-754 doubles — on the little-endian targets this library supports,
+/// the on-disk bytes *are* the in-memory representation. Open() verifies
+/// magic, version, structure and all section CRCs before any pointer is
+/// handed out (one sequential pass; faults the pages the way a full read
+/// would, still far cheaper than the copying parse), and checks that the
+/// PHI records are sorted by fact id — lookups binary-search the mapping
+/// directly, so an open snapshot costs zero heap beyond this object.
+///
+/// The mapping stays valid for the lifetime of this object even if the
+/// file is atomically replaced (rename keeps the old inode alive), which
+/// is exactly what a serving replica wants across a writer's Compact().
+class MmapSnapshot {
+ public:
+  /// Maps and validates `path`. InvalidArgument on any structural or
+  /// checksum problem, IOError when the file cannot be opened/mapped.
+  static Result<MmapSnapshot> Open(const std::string& path);
+
+  MmapSnapshot(MmapSnapshot&& other) noexcept;
+  MmapSnapshot& operator=(MmapSnapshot&& other) noexcept;
+  MmapSnapshot(const MmapSnapshot&) = delete;
+  MmapSnapshot& operator=(const MmapSnapshot&) = delete;
+  ~MmapSnapshot();
+
+  /// φ(f) as a view into the mapping, or an empty span when `f` has no
+  /// embedding. O(log n) — binary search over the fixed-stride records.
+  Span<const double> phi(db::FactId f) const;
+
+  db::RelationId relation() const { return relation_; }
+  size_t dim() const { return dim_; }
+  size_t num_embedded() const { return num_facts_; }
+  /// The i-th embedded fact, ascending in fact id (i < num_embedded()).
+  db::FactId fact_at(size_t i) const;
+  /// Total mapped bytes (the snapshot file size).
+  size_t mapped_bytes() const { return map_size_; }
+
+ private:
+  MmapSnapshot() = default;
+
+  void* map_ = nullptr;
+  size_t map_size_ = 0;
+  const char* phi_records_ = nullptr;  ///< first PHI record, inside map_
+  size_t num_facts_ = 0;
+  size_t dim_ = 0;
+  db::RelationId relation_ = -1;
+};
+
+}  // namespace stedb::store
+
+#endif  // STEDB_STORE_MMAP_SNAPSHOT_H_

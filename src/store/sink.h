@@ -1,7 +1,9 @@
 #ifndef STEDB_STORE_SINK_H_
 #define STEDB_STORE_SINK_H_
 
+#include <algorithm>
 #include <functional>
+#include <vector>
 
 #include "src/common/status.h"
 #include "src/db/database.h"
@@ -20,6 +22,33 @@ namespace stedb::store {
 /// extension loop and surfaces the error to the caller.
 using EmbeddingSink =
     std::function<Status(db::FactId fact, const la::Vector& phi)>;
+
+/// Flushes an embedder's queued journal appends into `sink` in fact-id
+/// order (sorted, duplicates dropped) — shared by both embedders so their
+/// durability semantics cannot drift. `vector_of(f)` returns the final
+/// vector to journal for f. Entries the sink rejects stay queued (the
+/// first error is returned and the remaining facts, including the failed
+/// one, are retried on the next flush): every vector the model serves
+/// must eventually reach the journal, or a cold recovery would silently
+/// diverge from the live model. No-op without a sink or queued entries.
+template <typename VectorOf>
+Status FlushPendingJournal(std::vector<db::FactId>& pending,
+                           const EmbeddingSink& sink,
+                           const VectorOf& vector_of) {
+  if (!sink || pending.empty()) return Status::OK();
+  std::sort(pending.begin(), pending.end());
+  pending.erase(std::unique(pending.begin(), pending.end()), pending.end());
+  size_t flushed = 0;
+  Status status = Status::OK();
+  for (db::FactId f : pending) {
+    status = sink(f, vector_of(f));
+    if (!status.ok()) break;
+    ++flushed;
+  }
+  pending.erase(pending.begin(),
+                pending.begin() + static_cast<std::ptrdiff_t>(flushed));
+  return status;
+}
 
 }  // namespace stedb::store
 

@@ -44,33 +44,42 @@ Result<WalReplay> ReplayWalBytes(const std::string& bytes, int expect_dim) {
     return Status::InvalidArgument("wal: dimension mismatch with snapshot");
   }
 
+  WalTail tail = ParseWalTail(in.cursor(), in.remaining(), dim);
   WalReplay replay;
-  const uint32_t record_size = 8 + dim * 8;
-  replay.valid_bytes = in.offset();
+  replay.records = std::move(tail.records);
+  replay.valid_bytes = in.offset() + tail.consumed;
+  replay.torn_tail = tail.torn;
+  return replay;
+}
+
+WalTail ParseWalTail(const char* data, size_t size, size_t dim) {
+  WalTail tail;
+  ByteReader in(data, size);
+  const uint32_t record_size = static_cast<uint32_t>(8 + dim * 8);
   while (in.remaining() > 0) {
-    uint32_t size = 0, crc = 0;
-    if (!in.ReadU32(&size) || !in.ReadU32(&crc) || size != record_size ||
-        in.remaining() < size) {
-      replay.torn_tail = true;  // short or nonsense header: torn tail
+    uint32_t rec_size = 0, crc = 0;
+    if (!in.ReadU32(&rec_size) || !in.ReadU32(&crc) ||
+        rec_size != record_size || in.remaining() < rec_size) {
+      tail.torn = true;  // short or nonsense header: torn tail
       break;
     }
     const char* payload = in.cursor();
-    if (Crc32(payload, size) != crc) {
-      replay.torn_tail = true;  // partially written payload
+    if (Crc32(payload, rec_size) != crc) {
+      tail.torn = true;  // partially written payload
       break;
     }
-    ByteReader rec(payload, size);
+    ByteReader rec(payload, rec_size);
     int64_t fact = -1;
     rec.ReadI64(&fact);
     WalRecord record;
     record.fact = static_cast<db::FactId>(fact);
     record.phi.resize(dim);
     for (double& x : record.phi) rec.ReadDouble(&x);
-    replay.records.push_back(std::move(record));
-    in.Skip(size);
-    replay.valid_bytes = in.offset();
+    tail.records.push_back(std::move(record));
+    in.Skip(rec_size);
+    tail.consumed = in.offset();
   }
-  return replay;
+  return tail;
 }
 
 Result<WalReplay> ReplayWal(const std::string& path, int expect_dim) {

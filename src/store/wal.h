@@ -44,6 +44,20 @@ struct WalReplay {
 /// tail is a *successful* replay with `torn_tail` set.
 Result<WalReplay> ReplayWalBytes(const std::string& bytes, int expect_dim);
 
+/// One parsed chunk of a headerless WAL byte range — a tail that begins at
+/// a record boundary, as produced by reading the journal from a previously
+/// consumed offset. For a tailing reader (api::ServingSession::Poll) a
+/// torn tail is not an error: the writer may be mid-append, and the bytes
+/// after `consumed` can become a complete record by the next read.
+struct WalTail {
+  std::vector<WalRecord> records;  ///< the clean records, in append order
+  size_t consumed = 0;             ///< bytes the clean records occupy
+  bool torn = false;               ///< trailing bytes were not a clean record
+};
+
+/// Parses records (no file header) of dimension `dim` from a byte range.
+WalTail ParseWalTail(const char* data, size_t size, size_t dim);
+
 /// Reads and replays a WAL file.
 Result<WalReplay> ReplayWal(const std::string& path, int expect_dim);
 

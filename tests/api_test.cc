@@ -1,0 +1,258 @@
+// The public api layer: method registry semantics, the Engine facade, the
+// batch read path (EmbedBatch vs scalar Embed must be bit-identical for
+// both built-in methods, before and after dynamic extensions, at any
+// thread count), and the fatal STEDB_SCALE rejection.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdlib>
+#include <memory>
+
+#include "src/api/engine.h"
+#include "src/api/registry.h"
+#include "src/data/registry.h"
+#include "src/exp/embedding_method.h"
+#include "src/exp/partition.h"
+#include "src/exp/static_experiment.h"
+#include "tests/test_util.h"
+
+namespace stedb {
+namespace {
+
+using stedb::testing::InsertC4;
+using stedb::testing::MovieDatabase;
+
+exp::MethodConfig SmokeOptions() {
+  return exp::MethodConfig::ForScale(exp::RunScale::kSmoke);
+}
+
+// ---- Registry ----------------------------------------------------------
+
+TEST(RegistryTest, BuiltinsAreRegistered) {
+  const std::vector<std::string> names = api::RegisteredMethods();
+  EXPECT_NE(std::find(names.begin(), names.end(), "forward"), names.end());
+  EXPECT_NE(std::find(names.begin(), names.end(), "node2vec"), names.end());
+}
+
+TEST(RegistryTest, LookupIsCaseInsensitive) {
+  EXPECT_TRUE(api::CreateMethod("FoRWaRD", SmokeOptions(), 1).ok());
+  EXPECT_TRUE(api::CreateMethod("Node2Vec", SmokeOptions(), 1).ok());
+}
+
+TEST(RegistryTest, UnknownMethodIsNotFoundAndListsRegistered) {
+  auto res = api::CreateMethod("no_such_method", SmokeOptions(), 1);
+  ASSERT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kNotFound);
+  // The error is actionable: it names what IS registered.
+  EXPECT_NE(res.status().message().find("forward"), std::string::npos);
+}
+
+TEST(RegistryTest, DuplicateRegistrationFails) {
+  Status st = api::RegisterMethod(
+      "Forward", [](const api::MethodOptions&, uint64_t) {
+        return std::unique_ptr<api::Embedder>();
+      });
+  EXPECT_EQ(st.code(), StatusCode::kAlreadyExists);
+}
+
+TEST(RegistryTest, InvalidRegistrationsRejected) {
+  EXPECT_EQ(api::RegisterMethod("", nullptr).code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(api::RegisterMethod("x", nullptr).code(),
+            StatusCode::kInvalidArgument);
+}
+
+/// A registered third-party method: embeds every fact as a constant
+/// vector. Exercises the open registry end to end, including the default
+/// (scalar-loop) EmbedBatch implementation.
+class ConstantMethod : public api::Embedder {
+ public:
+  Status TrainStatic(const db::Database* database, db::RelationId rel,
+                     const api::AttrKeySet& excluded) override {
+    (void)database;
+    (void)rel;
+    (void)excluded;
+    trained_ = true;
+    return Status::OK();
+  }
+  Status ExtendToFacts(const std::vector<db::FactId>&) override {
+    return Status::OK();
+  }
+  Result<la::Vector> Embed(db::FactId f) const override {
+    if (!trained_) return Status::FailedPrecondition("untrained");
+    return la::Vector{static_cast<double>(f), 1.0, 2.0};
+  }
+  std::string Name() const override { return "Constant"; }
+  size_t dim() const override { return 3; }
+
+ private:
+  bool trained_ = false;
+};
+
+TEST(RegistryTest, ThirdPartyMethodPlugsIntoEngine) {
+  // Registration survives for the process lifetime; the suffixed name
+  // keeps this test independent of execution order.
+  static const Status registered = api::RegisterMethod(
+      "constant_test_method", [](const api::MethodOptions&, uint64_t) {
+        return std::unique_ptr<api::Embedder>(new ConstantMethod());
+      });
+  ASSERT_TRUE(registered.ok()) << registered;
+
+  db::Database database = MovieDatabase();
+  auto engine =
+      api::Engine::Train(&database, "constant_test_method",
+                         database.schema().RelationIndex("COLLABORATIONS"),
+                         {}, SmokeOptions(), 1);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+  EXPECT_EQ(engine.value().method(), "Constant");
+  EXPECT_EQ(engine.value().dim(), 3u);
+  // The default EmbedBatch (scalar loop) serves registered methods.
+  const std::vector<db::FactId> facts = {4, 7};
+  la::Matrix out = engine.value().EmbedBatch(facts).value();
+  EXPECT_EQ(out.Row(0), (la::Vector{4.0, 1.0, 2.0}));
+  EXPECT_EQ(out.Row(1), (la::Vector{7.0, 1.0, 2.0}));
+}
+
+// ---- Engine + batch reads ---------------------------------------------
+
+class EngineBatchTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EngineBatchTest, BatchMatchesScalarThroughExtension) {
+  db::Database database = MovieDatabase();
+  const db::RelationId collab =
+      database.schema().RelationIndex("COLLABORATIONS");
+  auto trained = api::Engine::Train(&database, GetParam(), collab, {},
+                                    SmokeOptions(), 42);
+  ASSERT_TRUE(trained.ok()) << trained.status();
+  api::Engine engine = std::move(trained).value();
+  EXPECT_GT(engine.dim(), 0u);
+
+  auto check_equivalence = [&](const std::vector<db::FactId>& facts) {
+    la::Matrix batch(facts.size(), engine.dim());
+    ASSERT_TRUE(engine.EmbedBatch(facts, batch).ok());
+    for (size_t i = 0; i < facts.size(); ++i) {
+      // Bit-identical, not approximately equal: the batch path must be
+      // the same read, only vectorized.
+      EXPECT_EQ(batch.Row(i), engine.Embed(facts[i]).value())
+          << "fact " << facts[i];
+    }
+  };
+
+  std::vector<db::FactId> facts = database.FactsOf(collab);
+  ASSERT_FALSE(facts.empty());
+  check_equivalence(facts);
+
+  // After a dynamic extension the new fact must round-trip too.
+  db::FactId c4 = InsertC4(database);
+  ASSERT_TRUE(engine.ExtendToFacts({c4}).ok());
+  facts.push_back(c4);
+  check_equivalence(facts);
+}
+
+TEST_P(EngineBatchTest, ParallelBatchIsBitIdenticalToSerial) {
+  db::Database database = MovieDatabase();
+  const db::RelationId collab =
+      database.schema().RelationIndex("COLLABORATIONS");
+  // Two engines, same seed, different thread pins: the batch gather must
+  // not depend on the pool size.
+  exp::MethodConfig serial_cfg = SmokeOptions();
+  serial_cfg.forward.threads = 1;
+  serial_cfg.node2vec.sg.threads = 1;
+  serial_cfg.node2vec.walk.threads = 1;
+  exp::MethodConfig parallel_cfg = SmokeOptions();
+  parallel_cfg.forward.threads = 4;
+  parallel_cfg.node2vec.sg.threads = 4;
+  parallel_cfg.node2vec.walk.threads = 4;
+  auto serial = api::Engine::Train(&database, GetParam(), collab, {},
+                                   serial_cfg, 42);
+  auto parallel = api::Engine::Train(&database, GetParam(), collab, {},
+                                     parallel_cfg, 42);
+  ASSERT_TRUE(serial.ok()) << serial.status();
+  ASSERT_TRUE(parallel.ok()) << parallel.status();
+
+  // Cycle the fact list well past the parallel-gather threshold so the
+  // 4-thread engine actually fans out.
+  const std::vector<db::FactId> base = database.FactsOf(collab);
+  std::vector<db::FactId> many;
+  for (size_t i = 0; i < 200; ++i) many.push_back(base[i % base.size()]);
+  la::Matrix a = serial.value().EmbedBatch(many).value();
+  la::Matrix b = parallel.value().EmbedBatch(many).value();
+  EXPECT_EQ(a.data(), b.data());
+}
+
+TEST_P(EngineBatchTest, BatchErrorCases) {
+  db::Database database = MovieDatabase();
+  const db::RelationId collab =
+      database.schema().RelationIndex("COLLABORATIONS");
+  auto engine = api::Engine::Train(&database, GetParam(), collab, {},
+                                   SmokeOptions(), 7);
+  ASSERT_TRUE(engine.ok()) << engine.status();
+
+  const std::vector<db::FactId> facts = database.FactsOf(collab);
+  la::Matrix wrong_rows(facts.size() + 1, engine.value().dim());
+  EXPECT_EQ(engine.value().EmbedBatch(facts, wrong_rows).code(),
+            StatusCode::kInvalidArgument);
+  la::Matrix wrong_cols(facts.size(), engine.value().dim() + 1);
+  EXPECT_EQ(engine.value().EmbedBatch(facts, wrong_cols).code(),
+            StatusCode::kInvalidArgument);
+
+  std::vector<db::FactId> with_missing = facts;
+  with_missing.push_back(123456);  // never embedded
+  la::Matrix out(with_missing.size(), engine.value().dim());
+  EXPECT_EQ(engine.value().EmbedBatch(with_missing, out).code(),
+            StatusCode::kNotFound);
+
+  la::Matrix empty(0, engine.value().dim());
+  EXPECT_TRUE(engine.value()
+                  .EmbedBatch(Span<const db::FactId>(), empty)
+                  .ok());
+}
+
+INSTANTIATE_TEST_SUITE_P(Methods, EngineBatchTest,
+                         ::testing::Values("forward", "node2vec"),
+                         [](const auto& param_info) {
+                           return std::string(param_info.param);
+                         });
+
+TEST(EngineTest, UnknownMethodFailsTrain) {
+  db::Database database = MovieDatabase();
+  auto engine = api::Engine::Train(
+      &database, "bogus", database.schema().RelationIndex("COLLABORATIONS"),
+      {}, SmokeOptions(), 1);
+  EXPECT_EQ(engine.status().code(), StatusCode::kNotFound);
+}
+
+TEST(EngineTest, NullDatabaseRejected) {
+  auto engine =
+      api::Engine::Train(nullptr, "forward", 0, {}, SmokeOptions(), 1);
+  EXPECT_EQ(engine.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---- STEDB_SCALE hard rejection ---------------------------------------
+
+using ScaleFromEnvDeathTest = ::testing::Test;
+
+TEST(ScaleFromEnvDeathTest, UnknownScaleIsFatal) {
+  EXPECT_EXIT(
+      {
+        ::setenv("STEDB_SCALE", "smokee", 1);
+        exp::ScaleFromEnv();
+      },
+      ::testing::ExitedWithCode(1), "unknown STEDB_SCALE");
+}
+
+TEST(ScaleFromEnvTest, KnownScalesParse) {
+  ::setenv("STEDB_SCALE", "smoke", 1);
+  EXPECT_EQ(exp::ScaleFromEnv(), exp::RunScale::kSmoke);
+  ::setenv("STEDB_SCALE", "default", 1);
+  EXPECT_EQ(exp::ScaleFromEnv(), exp::RunScale::kDefault);
+  ::setenv("STEDB_SCALE", "paper", 1);
+  EXPECT_EQ(exp::ScaleFromEnv(), exp::RunScale::kPaper);
+  ::setenv("STEDB_SCALE", "", 1);
+  EXPECT_EQ(exp::ScaleFromEnv(), exp::RunScale::kDefault);
+  ::unsetenv("STEDB_SCALE");
+  EXPECT_EQ(exp::ScaleFromEnv(), exp::RunScale::kDefault);
+}
+
+}  // namespace
+}  // namespace stedb

@@ -26,7 +26,7 @@ TEST(StaticExperimentTest, ForwardBeatsMajorityOnGenes) {
   StaticConfig scfg;
   scfg.folds = 3;
   scfg.embedding_per_fold = false;
-  auto res = RunStaticExperiment(ds, MethodKind::kForward, SmokeMethods(),
+  auto res = RunStaticExperiment(ds, "forward", SmokeMethods(),
                                  scfg);
   ASSERT_TRUE(res.ok()) << res.status();
   EXPECT_GT(res.value().mean_accuracy,
@@ -39,7 +39,7 @@ TEST(StaticExperimentTest, Node2VecBeatsMajorityOnGenes) {
   StaticConfig scfg;
   scfg.folds = 3;
   scfg.embedding_per_fold = false;
-  auto res = RunStaticExperiment(ds, MethodKind::kNode2Vec, SmokeMethods(),
+  auto res = RunStaticExperiment(ds, "node2vec", SmokeMethods(),
                                  scfg);
   ASSERT_TRUE(res.ok()) << res.status();
   EXPECT_GT(res.value().mean_accuracy,
@@ -51,7 +51,7 @@ TEST(StaticExperimentTest, PerFoldEmbeddingPath) {
   StaticConfig scfg;
   scfg.folds = 2;
   scfg.embedding_per_fold = true;
-  auto res = RunStaticExperiment(ds, MethodKind::kForward, SmokeMethods(),
+  auto res = RunStaticExperiment(ds, "forward", SmokeMethods(),
                                  scfg);
   ASSERT_TRUE(res.ok()) << res.status();
   EXPECT_EQ(res.value().method, "FoRWaRD");
@@ -74,7 +74,7 @@ TEST(DynamicExperimentTest, StabilityAndAccuracy) {
   dcfg.new_ratio = 0.2;
   dcfg.runs = 3;  // averages enough new tuples to keep the margin stable
   dcfg.one_by_one = true;
-  auto res = RunDynamicExperiment(ds, MethodKind::kForward, SmokeMethods(),
+  auto res = RunDynamicExperiment(ds, "forward", SmokeMethods(),
                                   dcfg);
   ASSERT_TRUE(res.ok()) << res.status();
   // The headline stability contract, checked end to end.
@@ -91,7 +91,7 @@ TEST(DynamicExperimentTest, JournalingModeRecoversBitExact) {
   dcfg.runs = 2;
   dcfg.one_by_one = true;
   dcfg.journal_dir = ::testing::TempDir() + "/stedb_dyn_journal";
-  auto res = RunDynamicExperiment(ds, MethodKind::kForward, SmokeMethods(),
+  auto res = RunDynamicExperiment(ds, "forward", SmokeMethods(),
                                   dcfg);
   ASSERT_TRUE(res.ok()) << res.status();
   // Every run journaled its model and a cold store recovery matched the
@@ -107,7 +107,7 @@ TEST(DynamicExperimentTest, JournalingIgnoredForNode2Vec) {
   dcfg.new_ratio = 0.2;
   dcfg.runs = 1;
   dcfg.journal_dir = ::testing::TempDir() + "/stedb_dyn_journal_n2v";
-  auto res = RunDynamicExperiment(ds, MethodKind::kNode2Vec, SmokeMethods(),
+  auto res = RunDynamicExperiment(ds, "node2vec", SmokeMethods(),
                                   dcfg);
   ASSERT_TRUE(res.ok()) << res.status();
   EXPECT_FALSE(res.value().journaled);
@@ -120,7 +120,7 @@ TEST(DynamicExperimentTest, AllAtOnceMode) {
   dcfg.new_ratio = 0.2;
   dcfg.runs = 1;
   dcfg.one_by_one = false;
-  auto res = RunDynamicExperiment(ds, MethodKind::kForward, SmokeMethods(),
+  auto res = RunDynamicExperiment(ds, "forward", SmokeMethods(),
                                   dcfg);
   ASSERT_TRUE(res.ok()) << res.status();
   EXPECT_EQ(res.value().stability_drift, 0.0);
@@ -132,7 +132,7 @@ TEST(DynamicExperimentTest, Node2VecStability) {
   DynamicConfig dcfg;
   dcfg.new_ratio = 0.15;
   dcfg.runs = 1;
-  auto res = RunDynamicExperiment(ds, MethodKind::kNode2Vec, SmokeMethods(),
+  auto res = RunDynamicExperiment(ds, "node2vec", SmokeMethods(),
                                   dcfg);
   ASSERT_TRUE(res.ok()) << res.status();
   EXPECT_EQ(res.value().stability_drift, 0.0);
@@ -160,10 +160,21 @@ TEST(MethodConfigTest, ScalePresetsOrdered) {
 }
 
 TEST(MethodFactoryTest, NamesAndErrors) {
-  auto fwd = MakeMethod(MethodKind::kForward, SmokeMethods(), 1);
-  auto n2v = MakeMethod(MethodKind::kNode2Vec, SmokeMethods(), 1);
+  auto fwd = std::move(MakeMethod("forward", SmokeMethods(), 1)).value();
+  auto n2v = std::move(MakeMethod("node2vec", SmokeMethods(), 1)).value();
   EXPECT_EQ(fwd->Name(), "FoRWaRD");
   EXPECT_EQ(n2v->Name(), "Node2Vec");
+  // Registry names are case-insensitive; display names resolve too.
+  EXPECT_TRUE(MakeMethod("FoRWaRD", SmokeMethods(), 1).ok());
+  // An unknown name is NotFound, both here and in the experiment runners.
+  EXPECT_EQ(MakeMethod("no_such_method", SmokeMethods(), 1).status().code(),
+            StatusCode::kNotFound);
+  StaticConfig scfg;
+  EXPECT_EQ(RunStaticExperiment(SmokeGenes(), "no_such_method",
+                                SmokeMethods(), scfg)
+                .status()
+                .code(),
+            StatusCode::kNotFound);
   // Using a method before TrainStatic is a FailedPrecondition.
   EXPECT_EQ(fwd->Embed(0).status().code(), StatusCode::kFailedPrecondition);
   EXPECT_EQ(n2v->ExtendToFacts({1}).code(),

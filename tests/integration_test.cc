@@ -18,14 +18,14 @@ using stedb::testing::InsertC4;
 using stedb::testing::MovieDatabase;
 
 class MethodIntegrationTest
-    : public ::testing::TestWithParam<exp::MethodKind> {};
+    : public ::testing::TestWithParam<const char*> {};
 
 TEST_P(MethodIntegrationTest, Example31WorkflowOnMovies) {
   // Static phase on D (without c4), dynamic phase extends to c4 with every
   // old embedding frozen — exactly Example 3.1.
   db::Database database = MovieDatabase();
   exp::MethodConfig mcfg = exp::MethodConfig::ForScale(exp::RunScale::kSmoke);
-  auto method = exp::MakeMethod(GetParam(), mcfg, 42);
+  auto method = std::move(exp::MakeMethod(GetParam(), mcfg, 42)).value();
   ASSERT_TRUE(method
                   ->TrainStatic(&database,
                                 database.schema().RelationIndex(
@@ -67,7 +67,7 @@ TEST_P(MethodIntegrationTest, StreamOfArrivalsStaysStable) {
   ASSERT_TRUE(part.ok());
 
   exp::MethodConfig mcfg = exp::MethodConfig::ForScale(exp::RunScale::kSmoke);
-  auto method = exp::MakeMethod(GetParam(), mcfg, 7);
+  auto method = std::move(exp::MakeMethod(GetParam(), mcfg, 7)).value();
   ASSERT_TRUE(method
                   ->TrainStatic(&database, ds.pred_rel,
                                 exp::LabelExclusion(ds))
@@ -98,11 +98,9 @@ TEST_P(MethodIntegrationTest, StreamOfArrivalsStaysStable) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Methods, MethodIntegrationTest,
-                         ::testing::Values(exp::MethodKind::kForward,
-                                           exp::MethodKind::kNode2Vec),
+                         ::testing::Values("forward", "node2vec"),
                          [](const auto& param_info) {
-                           return std::string(
-                               exp::MethodKindName(param_info.param));
+                           return std::string(param_info.param);
                          });
 
 TEST(IntegrationTest, DownstreamClassifierOnFrozenEmbeddings) {
@@ -122,7 +120,7 @@ TEST(IntegrationTest, DownstreamClassifierOnFrozenEmbeddings) {
   ASSERT_TRUE(part.ok());
 
   exp::MethodConfig mcfg = exp::MethodConfig::ForScale(exp::RunScale::kSmoke);
-  auto method = exp::MakeMethod(exp::MethodKind::kForward, mcfg, 13);
+  auto method = std::move(exp::MakeMethod("forward", mcfg, 13)).value();
   ASSERT_TRUE(method
                   ->TrainStatic(&database, ds.pred_rel,
                                 exp::LabelExclusion(ds))

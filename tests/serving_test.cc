@@ -1,0 +1,349 @@
+// The serving path: zero-copy mmap snapshot reads, WAL tailing via
+// ServingSession::Poll, and the headline guarantee — every vector served
+// from the store directory is bit-identical to the trainer's in-memory
+// model, including after extension batches and a Compact().
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+
+#include "src/api/serving.h"
+#include "src/fwd/forward.h"
+#include "src/fwd/trainer.h"
+#include "src/store/embedding_store.h"
+#include "src/store/format.h"
+#include "src/store/mmap_snapshot.h"
+#include "src/store/snapshot.h"
+#include "tests/test_util.h"
+
+namespace stedb {
+namespace {
+
+using stedb::testing::InsertC4;
+using stedb::testing::MovieDatabase;
+
+fwd::ForwardConfig SmallConfig() {
+  fwd::ForwardConfig cfg;
+  cfg.dim = 6;
+  cfg.max_walk_len = 2;
+  cfg.nsamples = 8;
+  cfg.epochs = 3;
+  cfg.seed = 9;
+  return cfg;
+}
+
+fwd::ForwardModel TrainSmall() {
+  static db::Database database = MovieDatabase();
+  auto kernels = fwd::KernelRegistry::Defaults(database);
+  fwd::ForwardConfig cfg = SmallConfig();
+  fwd::ForwardTrainer trainer(&database, &kernels, cfg);
+  return std::move(
+             trainer.Train(database.schema().RelationIndex("ACTORS"), {}))
+      .value();
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  return dir;
+}
+
+la::Vector TestVector(size_t dim, int tag) {
+  la::Vector v(dim);
+  for (size_t i = 0; i < dim; ++i) {
+    v[i] = 0.125 * static_cast<double>(tag) + static_cast<double>(i) / 7.0;
+  }
+  return v;
+}
+
+/// Bit-exact comparison of a served span against a model vector.
+void ExpectSameBits(Span<const double> served, const la::Vector& expected) {
+  ASSERT_EQ(served.size(), expected.size());
+  EXPECT_EQ(std::memcmp(served.data(), expected.data(),
+                        expected.size() * sizeof(double)),
+            0);
+}
+
+// ---- MmapSnapshot ------------------------------------------------------
+
+TEST(MmapSnapshotTest, ServesEveryVectorBitIdentically) {
+  fwd::ForwardModel model = TrainSmall();
+  const std::string dir = FreshDir("mmap_snapshot_basic");
+  const std::string path = dir + "/model.snap";
+  ASSERT_TRUE(store::WriteSnapshot(model, path).ok());
+
+  auto snap = store::MmapSnapshot::Open(path);
+  ASSERT_TRUE(snap.ok()) << snap.status();
+  EXPECT_EQ(snap.value().dim(), model.dim());
+  EXPECT_EQ(snap.value().relation(), model.relation());
+  EXPECT_EQ(snap.value().num_embedded(), model.num_embedded());
+  EXPECT_EQ(snap.value().mapped_bytes(),
+            std::filesystem::file_size(path));
+  for (const auto& [f, v] : model.all_phi()) {
+    ExpectSameBits(snap.value().phi(f), v);
+  }
+  // fact_at enumerates ascending.
+  for (size_t i = 1; i < snap.value().num_embedded(); ++i) {
+    EXPECT_LT(snap.value().fact_at(i - 1), snap.value().fact_at(i));
+  }
+  EXPECT_TRUE(snap.value().phi(987654).empty());
+}
+
+TEST(MmapSnapshotTest, AgreesWithCopyingParser) {
+  fwd::ForwardModel model = TrainSmall();
+  const std::string dir = FreshDir("mmap_snapshot_vs_copy");
+  const std::string path = dir + "/model.snap";
+  ASSERT_TRUE(store::WriteSnapshot(model, path).ok());
+  auto copied = store::ReadSnapshot(path);
+  auto mapped = store::MmapSnapshot::Open(path);
+  ASSERT_TRUE(copied.ok());
+  ASSERT_TRUE(mapped.ok());
+  ASSERT_EQ(copied.value().num_embedded(), mapped.value().num_embedded());
+  for (const auto& [f, v] : copied.value().all_phi()) {
+    ExpectSameBits(mapped.value().phi(f), v);
+  }
+}
+
+TEST(MmapSnapshotTest, RejectsCorruption) {
+  fwd::ForwardModel model = TrainSmall();
+  const std::string dir = FreshDir("mmap_snapshot_corrupt");
+  const std::string path = dir + "/model.snap";
+  ASSERT_TRUE(store::WriteSnapshot(model, path).ok());
+
+  std::string bytes;
+  ASSERT_TRUE(store::ReadFileToString(path, &bytes).ok());
+  // Flip one byte late in the file (inside the PHI payload).
+  std::string flipped = bytes;
+  flipped[flipped.size() - 9] ^= 0x40;
+  ASSERT_TRUE(store::AtomicWriteFile(path, flipped).ok());
+  EXPECT_FALSE(store::MmapSnapshot::Open(path).ok());
+
+  // Truncation is rejected too.
+  ASSERT_TRUE(
+      store::AtomicWriteFile(path, bytes.substr(0, bytes.size() / 2)).ok());
+  EXPECT_FALSE(store::MmapSnapshot::Open(path).ok());
+
+  // And a missing file.
+  EXPECT_FALSE(store::MmapSnapshot::Open(dir + "/nope.snap").ok());
+}
+
+// ---- ServingSession ----------------------------------------------------
+
+TEST(ServingSessionTest, ColdOpenServesTrainedModelBitIdentically) {
+  db::Database database = MovieDatabase();
+  auto emb = fwd::ForwardEmbedder::TrainStatic(
+      &database, database.schema().RelationIndex("COLLABORATIONS"), {},
+      SmallConfig());
+  ASSERT_TRUE(emb.ok());
+  const std::string dir = FreshDir("serving_cold");
+  auto st = store::EmbeddingStore::Create(dir, emb.value().model());
+  ASSERT_TRUE(st.ok());
+
+  auto session = api::ServingSession::Open(dir);
+  ASSERT_TRUE(session.ok()) << session.status();
+  EXPECT_EQ(session.value().dim(), emb.value().dim());
+  EXPECT_EQ(session.value().num_embedded(),
+            emb.value().model().num_embedded());
+  for (const auto& [f, v] : emb.value().model().all_phi()) {
+    ExpectSameBits(session.value().Embed(f).value(), v);
+  }
+  EXPECT_EQ(session.value().Embed(424242).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ServingSessionTest, PollPicksUpLiveExtensions) {
+  // Trainer process: train, journal, extend. Reader process: open cold
+  // BEFORE the extension, Poll after it, serve the new fact bit-exactly.
+  db::Database database = MovieDatabase();
+  auto emb = fwd::ForwardEmbedder::TrainStatic(
+      &database, database.schema().RelationIndex("COLLABORATIONS"), {},
+      SmallConfig());
+  ASSERT_TRUE(emb.ok());
+  const std::string dir = FreshDir("serving_poll");
+  auto created = store::EmbeddingStore::Create(dir, emb.value().model());
+  ASSERT_TRUE(created.ok());
+  store::EmbeddingStore store = std::move(created).value();
+  emb.value().set_extension_sink(store.MakeSink());
+
+  auto session_result = api::ServingSession::Open(dir);
+  ASSERT_TRUE(session_result.ok());
+  api::ServingSession session = std::move(session_result).value();
+
+  db::FactId c4 = InsertC4(database);
+  ASSERT_TRUE(emb.value().ExtendToFacts({c4}).ok());
+  ASSERT_TRUE(store.Sync().ok());
+
+  // Before Poll the new fact is invisible; after, bit-identical.
+  EXPECT_EQ(session.Embed(c4).status().code(), StatusCode::kNotFound);
+  auto polled = session.Poll();
+  ASSERT_TRUE(polled.ok()) << polled.status();
+  EXPECT_EQ(polled.value(), 1u);
+  EXPECT_FALSE(session.reopened());
+  ExpectSameBits(session.Embed(c4).value(), emb.value().model().phi(c4));
+  // Idempotent: nothing new on a second Poll.
+  EXPECT_EQ(session.Poll().value(), 0u);
+
+  // The whole model — snapshot residents and the tailed fact — in one
+  // batch read, bit-identical to the in-memory embedder.
+  std::vector<db::FactId> facts;
+  for (const auto& [f, v] : emb.value().model().all_phi()) {
+    facts.push_back(f);
+  }
+  la::Matrix served(facts.size(), session.dim());
+  ASSERT_TRUE(session.EmbedBatch(facts, served).ok());
+  la::Matrix live(facts.size(), emb.value().dim());
+  ASSERT_TRUE(emb.value().EmbedBatch(facts, live).ok());
+  EXPECT_EQ(served.data(), live.data());
+}
+
+TEST(ServingSessionTest, MultipleExtensionBatchesAndCompact) {
+  fwd::ForwardModel model = TrainSmall();
+  const std::string dir = FreshDir("serving_compact");
+  auto created = store::EmbeddingStore::Create(dir, model);
+  ASSERT_TRUE(created.ok());
+  store::EmbeddingStore store = std::move(created).value();
+  const size_t dim = model.dim();
+
+  auto session_result = api::ServingSession::Open(dir);
+  ASSERT_TRUE(session_result.ok());
+  api::ServingSession session = std::move(session_result).value();
+
+  // Batch 1.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(store.Append(1000 + i, TestVector(dim, i)).ok());
+  }
+  ASSERT_TRUE(store.Sync().ok());
+  EXPECT_EQ(session.Poll().value(), 5u);
+  // Batch 2.
+  for (int i = 5; i < 8; ++i) {
+    ASSERT_TRUE(store.Append(1000 + i, TestVector(dim, i)).ok());
+  }
+  ASSERT_TRUE(store.Sync().ok());
+  EXPECT_EQ(session.Poll().value(), 3u);
+  for (int i = 0; i < 8; ++i) {
+    ExpectSameBits(session.Embed(1000 + i).value(), TestVector(dim, i));
+  }
+
+  // Writer compacts: journal folds into a fresh snapshot. The session
+  // notices the new snapshot identity, reopens, and serves the exact same
+  // vectors (nothing new arrived).
+  ASSERT_TRUE(store.Compact().ok());
+  auto polled = session.Poll();
+  ASSERT_TRUE(polled.ok()) << polled.status();
+  EXPECT_TRUE(session.reopened());
+  EXPECT_EQ(polled.value(), 0u);
+  EXPECT_EQ(session.wal_records(), 0u);  // everything snapshot-resident now
+  for (int i = 0; i < 8; ++i) {
+    ExpectSameBits(session.Embed(1000 + i).value(), TestVector(dim, i));
+  }
+  for (const auto& [f, v] : store.model().all_phi()) {
+    ExpectSameBits(session.Embed(f).value(), v);
+  }
+
+  // Appends after the compaction flow through the fresh journal.
+  ASSERT_TRUE(store.Append(2000, TestVector(dim, 99)).ok());
+  ASSERT_TRUE(store.Sync().ok());
+  EXPECT_EQ(session.Poll().value(), 1u);
+  EXPECT_FALSE(session.reopened());
+  ExpectSameBits(session.Embed(2000).value(), TestVector(dim, 99));
+}
+
+TEST(ServingSessionTest, OverlappingWalRecordCountsOnce) {
+  // The compaction crash window can leave a journal record for a fact the
+  // snapshot already holds. The overlay must win for reads and the fact
+  // must count once in num_embedded().
+  fwd::ForwardModel model = TrainSmall();
+  const std::string dir = FreshDir("serving_overlap");
+  auto created = store::EmbeddingStore::Create(dir, model);
+  ASSERT_TRUE(created.ok());
+  store::EmbeddingStore store = std::move(created).value();
+
+  auto session_result = api::ServingSession::Open(dir);
+  ASSERT_TRUE(session_result.ok());
+  api::ServingSession session = std::move(session_result).value();
+  const size_t baseline = session.num_embedded();
+  ASSERT_EQ(baseline, model.num_embedded());
+
+  const db::FactId existing = model.all_phi().begin()->first;
+  const la::Vector replacement = TestVector(model.dim(), 55);
+  ASSERT_TRUE(store.Append(existing, replacement).ok());
+  ASSERT_TRUE(store.Sync().ok());
+  EXPECT_EQ(session.Poll().value(), 1u);
+  EXPECT_EQ(session.num_embedded(), baseline);  // same fact set
+  ExpectSameBits(session.Embed(existing).value(), replacement);
+}
+
+TEST(ServingSessionTest, TornTailIsPendingDataNotCorruption) {
+  fwd::ForwardModel model = TrainSmall();
+  const std::string dir = FreshDir("serving_torn");
+  auto created = store::EmbeddingStore::Create(dir, model);
+  ASSERT_TRUE(created.ok());
+  store::EmbeddingStore store = std::move(created).value();
+  ASSERT_TRUE(store.Close().ok());
+  const size_t dim = model.dim();
+
+  auto session_result = api::ServingSession::Open(dir);
+  ASSERT_TRUE(session_result.ok());
+  api::ServingSession session = std::move(session_result).value();
+
+  // Hand-craft one full WAL record, then append it in two halves to
+  // simulate racing a writer mid-append.
+  const la::Vector phi = TestVector(dim, 3);
+  std::string payload;
+  store::AppendI64(payload, 777);
+  for (double x : phi) store::AppendDouble(payload, x);
+  std::string record;
+  store::AppendU32(record, static_cast<uint32_t>(payload.size()));
+  store::AppendU32(record, store::Crc32(payload.data(), payload.size()));
+  record += payload;
+
+  const std::string wal_path = store::EmbeddingStore::WalPath(dir);
+  {
+    std::ofstream wal(wal_path, std::ios::binary | std::ios::app);
+    wal.write(record.data(),
+              static_cast<std::streamsize>(record.size() / 2));
+  }
+  // Half a record on disk: Poll sees pending data, applies nothing, and
+  // does not error or advance past it.
+  auto polled = session.Poll();
+  ASSERT_TRUE(polled.ok()) << polled.status();
+  EXPECT_EQ(polled.value(), 0u);
+  EXPECT_EQ(session.Embed(777).status().code(), StatusCode::kNotFound);
+
+  {
+    std::ofstream wal(wal_path, std::ios::binary | std::ios::app);
+    wal.write(record.data() + record.size() / 2,
+              static_cast<std::streamsize>(record.size() -
+                                           record.size() / 2));
+  }
+  // The record completed: the very next Poll serves it.
+  EXPECT_EQ(session.Poll().value(), 1u);
+  ExpectSameBits(session.Embed(777).value(), phi);
+}
+
+TEST(ServingSessionTest, BatchShapeAndMissingFactErrors) {
+  fwd::ForwardModel model = TrainSmall();
+  const std::string dir = FreshDir("serving_errors");
+  ASSERT_TRUE(store::EmbeddingStore::Create(dir, model).ok());
+  auto session = api::ServingSession::Open(dir);
+  ASSERT_TRUE(session.ok());
+
+  std::vector<db::FactId> facts = {model.all_phi().begin()->first};
+  la::Matrix wrong(facts.size(), model.dim() + 1);
+  EXPECT_EQ(session.value().EmbedBatch(facts, wrong).code(),
+            StatusCode::kInvalidArgument);
+  facts.push_back(999999);
+  la::Matrix out(facts.size(), model.dim());
+  EXPECT_EQ(session.value().EmbedBatch(facts, out).code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ServingSessionTest, OpenFailsWithoutStore) {
+  const std::string dir = FreshDir("serving_missing");
+  EXPECT_FALSE(api::ServingSession::Open(dir).ok());
+}
+
+}  // namespace
+}  // namespace stedb

@@ -454,6 +454,89 @@ TEST(SinkTest, FailingSinkAbortsExtension) {
   EXPECT_EQ(embedder.ExtendToFacts({c4}).code(), StatusCode::kIOError);
 }
 
+TEST(SinkTest, RejectedAppendsAreRetriedNextCall) {
+  // A sink failure must not strand an embedded fact outside the journal
+  // forever: the fact is already in the model (so a re-extend skips it),
+  // and the journal would silently diverge from what the model serves.
+  // Rejected appends stay queued and flush on the next ExtendToFacts.
+  db::Database database = MovieDatabase();
+  fwd::ForwardConfig cfg;
+  cfg.dim = 6;
+  cfg.max_walk_len = 2;
+  cfg.nsamples = 8;
+  cfg.epochs = 3;
+  cfg.new_samples = 12;
+  cfg.seed = 5;
+  auto emb = fwd::ForwardEmbedder::TrainStatic(
+      &database, database.schema().RelationIndex("COLLABORATIONS"), {}, cfg);
+  ASSERT_TRUE(emb.ok());
+  fwd::ForwardEmbedder embedder = std::move(emb).value();
+
+  std::vector<db::FactId> sunk;
+  int failures_left = 1;  // the store recovers after one failed append
+  embedder.set_extension_sink(
+      [&](db::FactId f, const la::Vector& phi) -> Status {
+        (void)phi;
+        if (failures_left > 0) {
+          --failures_left;
+          return Status::IOError("disk full");
+        }
+        sunk.push_back(f);
+        return Status::OK();
+      });
+  db::FactId c4 = InsertC4(database);
+  EXPECT_EQ(embedder.ExtendToFacts({c4}).code(), StatusCode::kIOError);
+  EXPECT_TRUE(sunk.empty());
+  ASSERT_TRUE(embedder.Embed(c4).ok());  // embedded despite the sink error
+
+  // Next call (even with nothing new) flushes the queued append.
+  ASSERT_TRUE(embedder.ExtendToFacts({}).ok());
+  ASSERT_EQ(sunk.size(), 1u);
+  EXPECT_EQ(sunk[0], c4);
+  // And exactly once: nothing left queued.
+  ASSERT_TRUE(embedder.ExtendToFacts({}).ok());
+  EXPECT_EQ(sunk.size(), 1u);
+}
+
+TEST(SinkTest, Node2VecRejectedAppendsAreRetriedNextCall) {
+  // The same retry contract as FoRWaRD, including the empty-batch call as
+  // the natural retry after a sink outage.
+  db::Database database = MovieDatabase();
+  n2v::Node2VecConfig cfg;
+  cfg.sg.dim = 8;
+  cfg.sg.epochs = 2;
+  cfg.walk.walks_per_node = 4;
+  cfg.walk.walk_length = 6;
+  cfg.dynamic_epochs = 2;
+  cfg.seed = 17;
+  auto emb = n2v::Node2VecEmbedding::TrainStatic(&database, cfg);
+  ASSERT_TRUE(emb.ok()) << emb.status();
+  n2v::Node2VecEmbedding embedding = std::move(emb).value();
+
+  std::vector<db::FactId> sunk;
+  int failures_left = 1;
+  embedding.set_extension_sink(
+      [&](db::FactId f, const la::Vector& phi) -> Status {
+        (void)phi;
+        if (failures_left > 0) {
+          --failures_left;
+          return Status::IOError("disk full");
+        }
+        sunk.push_back(f);
+        return Status::OK();
+      });
+  db::FactId c4 = InsertC4(database);
+  EXPECT_EQ(embedding.ExtendToFacts({c4}).code(), StatusCode::kIOError);
+  EXPECT_TRUE(sunk.empty());
+  ASSERT_TRUE(embedding.Embed(c4).ok());  // embedded despite the sink error
+
+  ASSERT_TRUE(embedding.ExtendToFacts({}).ok());
+  ASSERT_EQ(sunk.size(), 1u);
+  EXPECT_EQ(sunk[0], c4);
+  ASSERT_TRUE(embedding.ExtendToFacts({}).ok());
+  EXPECT_EQ(sunk.size(), 1u);
+}
+
 TEST(SinkTest, Node2VecExtensionsHitTheSink) {
   db::Database database = MovieDatabase();
   n2v::Node2VecConfig cfg;
