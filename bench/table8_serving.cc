@@ -26,6 +26,7 @@
 #include "src/common/timer.h"
 #include "src/exp/report.h"
 #include "src/exp/static_experiment.h"
+#include "src/fwd/codec.h"
 #include "src/fwd/forward.h"
 #include "src/fwd/serialize.h"
 #include "src/store/embedding_store.h"
@@ -134,7 +135,7 @@ int main(int argc, char** argv) {
 
     // A store directory (snapshot + empty WAL) plus the text dump.
     const std::string store_dir = dir + "/" + name;
-    if (!store::EmbeddingStore::Create(store_dir, model).ok()) std::exit(1);
+    if (!fwd::CreateForwardStore(store_dir, model).ok()) std::exit(1);
     const std::string text_path = dir + "/" + name + ".txt";
     if (!fwd::SaveModel(model, text_path).ok()) std::exit(1);
 

@@ -11,6 +11,11 @@
 // process would do — and the recovered embeddings are checked against the
 // live model bit for bit.
 //
+// Journaling is method-agnostic since the store::ModelCodec registry:
+// `dynamic_stream node2vec` runs the exact same drill against a Node2Vec
+// journal ('N2V ' snapshot + the same WAL format), and the cold recovery
+// resolves the right codec from the snapshot header alone.
+//
 //   $ ./dynamic_stream [forward|node2vec]
 #include <cstdio>
 #include <filesystem>
@@ -144,8 +149,9 @@ int main(int argc, char** argv) {
                  recovered.status().ToString().c_str());
     return 1;
   }
-  std::printf("  recovered %zu embeddings (%zu from the WAL), torn tail "
-              "%s\n",
+  std::printf("  recovered a '%s' store: %zu embeddings (%zu from the "
+              "WAL), torn tail %s\n",
+              recovered.value().method().c_str(),
               recovered.value().model().num_embedded(),
               recovered.value().wal_records(),
               recovered.value().recovered_torn_tail() ? "dropped" : "absent");

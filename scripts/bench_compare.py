@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Diff BENCH_*.json bench reports against committed baselines.
+
+Usage:
+    scripts/bench_compare.py [--baseline-dir bench/baselines]
+                             [--tolerance 3.0] [--report PATH]
+                             CANDIDATE.json [CANDIDATE.json ...]
+
+Each candidate report (BENCH_parallel.json / BENCH_store.json /
+BENCH_serving.json, as emitted by micro_hotpaths / table7_store_io /
+table8_serving) is matched to the baseline file of the same name under
+--baseline-dir and compared numeric leaf by numeric leaf.
+
+Comparison model: CI and developer machines differ wildly, so absolute
+wall-clock values are only gated by a generous multiplicative tolerance —
+a metric REGRESSES when `candidate > baseline * tolerance` (for metrics
+where bigger is worse) or `candidate < baseline / tolerance` (for the
+`*_speedup` / `*_reduction` ratio metrics, where bigger is better). Count
+metrics (`vectors`, `dim`, `*_fsyncs`) are shape checks and compared
+exactly; a mismatch there means the workload changed, not the machine.
+
+Exit code: 0 when nothing regressed beyond tolerance, 1 otherwise. The
+CI step runs with continue-on-error (trend tracking, not a gate yet) and
+uploads the rendered report as an artifact; tighten the tolerance and drop
+continue-on-error once a few data points exist (ROADMAP item).
+"""
+
+import argparse
+import json
+import os
+import sys
+
+# Metric-name suffixes where larger is BETTER (ratios engineered so the
+# bench passing means the number is high). Everything else numeric is a
+# cost (seconds, ns, us) where larger is worse.
+BIGGER_IS_BETTER_SUFFIXES = ("_speedup", "_reduction")
+# Exact-match shape fields: machine-independent workload descriptors.
+EXACT_FIELDS = ("vectors", "dim", "synced_fsyncs", "grouped_fsyncs")
+
+
+def flatten(node, prefix=""):
+    """Yields (dotted_path, value) for every numeric leaf."""
+    if isinstance(node, dict):
+        for key, value in sorted(node.items()):
+            yield from flatten(value, f"{prefix}.{key}" if prefix else key)
+    elif isinstance(node, list):
+        for item in node:
+            # Rows are keyed by their "name" field when present, so list
+            # order changes don't produce phantom diffs.
+            tag = item.get("name") if isinstance(item, dict) else None
+            label = f"{prefix}[{tag}]" if tag else f"{prefix}[]"
+            yield from flatten(item, label)
+    elif isinstance(node, bool):
+        return  # bools are config, not metrics
+    elif isinstance(node, (int, float)):
+        yield prefix, float(node)
+
+
+def classify(path):
+    leaf = path.rsplit(".", 1)[-1]
+    if leaf in EXACT_FIELDS:
+        return "exact"
+    if leaf.endswith(BIGGER_IS_BETTER_SUFFIXES):
+        return "bigger_better"
+    return "smaller_better"
+
+
+def compare(baseline, candidate, tolerance):
+    """Returns (rows, regressions) comparing two flattened reports."""
+    base = dict(flatten(baseline))
+    cand = dict(flatten(candidate))
+    rows = []
+    regressions = 0
+    for path in sorted(set(base) | set(cand)):
+        if path not in base:
+            rows.append((path, None, cand[path], "NEW"))
+            continue
+        if path not in cand:
+            rows.append((path, base[path], None, "MISSING"))
+            regressions += 1
+            continue
+        b, c = base[path], cand[path]
+        kind = classify(path)
+        verdict = "ok"
+        if kind == "exact":
+            if b != c:
+                verdict = "SHAPE-CHANGED"
+                regressions += 1
+        elif kind == "bigger_better":
+            if b > 0 and c < b / tolerance:
+                verdict = "REGRESSED"
+                regressions += 1
+        else:
+            if b > 0 and c > b * tolerance:
+                verdict = "REGRESSED"
+                regressions += 1
+        rows.append((path, b, c, verdict))
+    return rows, regressions
+
+
+def render(name, rows):
+    lines = [f"== {name} =="]
+    width = max((len(r[0]) for r in rows), default=20)
+    for path, b, c, verdict in rows:
+        fb = "-" if b is None else f"{b:.6g}"
+        fc = "-" if c is None else f"{c:.6g}"
+        ratio = ""
+        if b and c and b > 0:
+            ratio = f" ({c / b:.2f}x)"
+        marker = "" if verdict in ("ok", "NEW") else "  <<< "
+        lines.append(
+            f"  {path:<{width}}  base={fb:>12}  now={fc:>12}{ratio}"
+            f"  {verdict}{marker}")
+    return "\n".join(lines)
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description="Compare BENCH_*.json against committed baselines")
+    parser.add_argument("candidates", nargs="+",
+                        help="candidate BENCH_*.json files")
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--tolerance", type=float, default=3.0,
+                        help="multiplicative slack for timing metrics "
+                             "(default 3.0; CI machines are noisy)")
+    parser.add_argument("--report", default=None,
+                        help="also write the rendered comparison here")
+    args = parser.parse_args()
+
+    chunks = []
+    total_regressions = 0
+    for candidate_path in args.candidates:
+        name = os.path.basename(candidate_path)
+        baseline_path = os.path.join(args.baseline_dir, name)
+        if not os.path.exists(candidate_path):
+            chunks.append(f"== {name} ==\n  candidate missing "
+                          f"({candidate_path}) — bench did not run?")
+            total_regressions += 1
+            continue
+        with open(candidate_path) as f:
+            candidate = json.load(f)
+        if not os.path.exists(baseline_path):
+            chunks.append(f"== {name} ==\n  no baseline at {baseline_path} "
+                          "— commit one to start tracking")
+            continue
+        with open(baseline_path) as f:
+            baseline = json.load(f)
+        rows, regressions = compare(baseline, candidate, args.tolerance)
+        total_regressions += regressions
+        chunks.append(render(name, rows))
+
+    report = "\n\n".join(chunks)
+    report += (f"\n\ntolerance: {args.tolerance}x, "
+               f"regressions: {total_regressions}\n")
+    print(report)
+    if args.report:
+        with open(args.report, "w") as f:
+            f.write(report)
+    return 1 if total_regressions else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

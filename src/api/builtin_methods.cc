@@ -8,8 +8,11 @@
 
 #include "src/api/embedder.h"
 #include "src/api/registry.h"
+#include "src/fwd/codec.h"
+#include "src/n2v/codec.h"
 #include "src/store/embedding_store.h"
 #include "src/store/snapshot.h"
+#include "src/store/stored_model.h"
 
 namespace stedb::api {
 namespace internal {
@@ -63,7 +66,7 @@ class ForwardMethod : public Embedder {
     if (!embedder_.has_value()) {
       return Status::FailedPrecondition("TrainStatic was not called");
     }
-    auto created = store::EmbeddingStore::Create(dir, embedder_->model());
+    auto created = fwd::CreateForwardStore(dir, embedder_->model());
     if (!created.ok()) return created.status();
     // unique_ptr pins the store's address — the sink captures it.
     store_ =
@@ -140,6 +143,36 @@ class Node2VecMethod : public Embedder {
     return embedding_->EmbedBatch(facts, out);
   }
 
+  Status AttachJournal(const std::string& dir) override {
+    if (!embedding_.has_value()) {
+      return Status::FailedPrecondition("TrainStatic was not called");
+    }
+    // Snapshot the served state (every embedded fact's current vector)
+    // through the Node2Vec codec; every later extension lands in the WAL
+    // via the sink, with its final — frozen-from-then-on — vector.
+    auto created = store::EmbeddingStore::Create(
+        dir, "node2vec", n2v::SnapshotVectors(*embedding_));
+    if (!created.ok()) return created.status();
+    // unique_ptr pins the store's address — the sink captures it.
+    store_ =
+        std::make_unique<store::EmbeddingStore>(std::move(created).value());
+    embedding_->set_extension_sink(store_->MakeSink());
+    return Status::OK();
+  }
+
+  Result<double> VerifyJournal() const override {
+    if (store_ == nullptr) {
+      return Status::FailedPrecondition("AttachJournal was not called");
+    }
+    STEDB_RETURN_IF_ERROR(store_->Sync());
+    // Cold recovery path: re-open the directory exactly as a restarted
+    // process would and diff against the live per-fact vectors.
+    auto reopened = store::EmbeddingStore::Open(store_->dir());
+    if (!reopened.ok()) return reopened.status();
+    return store::StoredModelMaxAbsDiff(reopened.value().model(),
+                                        *n2v::SnapshotVectors(*embedding_));
+  }
+
   std::string Name() const override { return "Node2Vec"; }
 
   size_t dim() const override {
@@ -149,6 +182,7 @@ class Node2VecMethod : public Embedder {
  private:
   n2v::Node2VecConfig config_;
   std::optional<n2v::Node2VecEmbedding> embedding_;
+  std::unique_ptr<store::EmbeddingStore> store_;
 };
 
 }  // namespace

@@ -69,8 +69,9 @@ class Embedder {
 
   /// Starts journaling this method's model into a store::EmbeddingStore at
   /// `dir`: snapshot of the trained model now, one WAL record per future
-  /// extension. Must be called after TrainStatic. The default is
-  /// FailedPrecondition — only FoRWaRD has a durable store format so far.
+  /// extension. Must be called after TrainStatic. Both built-ins support
+  /// this via their registered store::ModelCodec; the default is
+  /// FailedPrecondition for third-party methods that registered no codec.
   virtual Status AttachJournal(const std::string& dir) {
     (void)dir;
     return Status::FailedPrecondition(Name() + " does not support journaling");

@@ -1,9 +1,9 @@
 #include "src/api/registry.h"
 
-#include <algorithm>
-#include <cctype>
 #include <map>
 #include <mutex>
+
+#include "src/common/string_util.h"
 
 namespace stedb::api {
 namespace internal {
@@ -17,14 +17,6 @@ void RegisterBuiltinMethods();
 }  // namespace internal
 
 namespace {
-
-std::string FoldCase(const std::string& name) {
-  std::string folded = name;
-  std::transform(folded.begin(), folded.end(), folded.begin(), [](char c) {
-    return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
-  });
-  return folded;
-}
 
 std::mutex& RegistryMutex() {
   static std::mutex mu;
@@ -54,7 +46,7 @@ Status RegisterLocked(const std::string& name, MethodFactory factory) {
   if (factory == nullptr) {
     return Status::InvalidArgument("method factory must not be null");
   }
-  const std::string key = FoldCase(name);
+  const std::string key = ToLower(name);
   auto [it, inserted] = Registry().emplace(key, std::move(factory));
   (void)it;
   if (!inserted) {
@@ -89,7 +81,7 @@ Result<std::unique_ptr<Embedder>> CreateMethod(const std::string& name,
   {
     std::lock_guard<std::mutex> lock(RegistryMutex());
     EnsureBuiltinsLocked();
-    auto it = Registry().find(FoldCase(name));
+    auto it = Registry().find(ToLower(name));
     if (it == Registry().end()) {
       std::string known;
       for (const auto& [key, unused] : Registry()) {

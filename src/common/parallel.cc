@@ -122,4 +122,47 @@ void ParallelRunner::WorkerLoop() {
   }
 }
 
+ParallelRunner& SharedRunner() {
+  // Sized at first use; the workers live for the process lifetime and are
+  // joined during static destruction.
+  static ParallelRunner runner(0);
+  return runner;
+}
+
+void RunParallelFor(int threads, size_t n,
+                    const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (n == 1 || ResolveThreadCount(threads) <= 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  // True on the thread driving a shared-pool fan-out. A nested call from
+  // that thread must not touch shared_mu at all: try_lock by the owning
+  // thread is undefined behavior for std::mutex, and the flag routes it
+  // to a dedicated runner before the lock is reached. (Nested calls from
+  // pool *worker* threads hit try_lock as non-owners — defined, returns
+  // false — and take the same dedicated-runner path.)
+  thread_local bool in_shared_fanout = false;
+  if (threads == 0 && !in_shared_fanout) {
+    // ParallelFor is not safe for concurrent callers on one runner, so
+    // the shared pool is guarded by a try-lock: the common case (one
+    // fan-out at a time) reuses the warm pool, while a caller that finds
+    // it busy falls through to a dedicated runner instead of blocking
+    // behind the active job.
+    static std::mutex shared_mu;
+    std::unique_lock<std::mutex> lock(shared_mu, std::try_to_lock);
+    if (lock.owns_lock()) {
+      in_shared_fanout = true;
+      struct Reset {
+        bool* flag;
+        ~Reset() { *flag = false; }
+      } reset{&in_shared_fanout};  // exception-safe: ParallelFor rethrows
+      SharedRunner().ParallelFor(n, body);
+      return;
+    }
+  }
+  ParallelRunner runner(threads);
+  runner.ParallelFor(n, body);
+}
+
 }  // namespace stedb

@@ -109,6 +109,30 @@ class ParallelRunner {
   std::exception_ptr first_error_;
 };
 
+/// The per-process shared pool for transient fan-outs (batch reads, row
+/// gathers, per-batch extension solves): sized once at first use via
+/// ResolveThreadCount(0) (STEDB_THREADS, else hardware concurrency) and
+/// reused for the process lifetime, so hot paths stop paying a pool
+/// spin-up per large call. Concurrent fan-outs are serialized by
+/// RunParallelFor below — use that entry point rather than calling
+/// ParallelFor on this runner directly.
+ParallelRunner& SharedRunner();
+
+/// Runs body(i) for every i in [0, n), on:
+///  * the calling thread, when `threads` resolves to 1 (or n <= 1);
+///  * the shared per-process pool, when `threads` == 0 (the default in
+///    every config) and the pool is idle — concurrent `threads == 0`
+///    fan-outs that find it busy get a dedicated runner instead of
+///    queueing, so callers never block behind each other's jobs;
+///  * a dedicated ParallelRunner(threads), when the caller pinned an
+///    explicit count (pins always win and never contend on the shared
+///    pool).
+/// Results are bit-identical at any thread count under the ParallelRunner
+/// contract, and the entry point is safe to call concurrently and from
+/// inside another fan-out's body.
+void RunParallelFor(int threads, size_t n,
+                    const std::function<void(size_t)>& body);
+
 }  // namespace stedb
 
 #endif  // STEDB_COMMON_PARALLEL_H_

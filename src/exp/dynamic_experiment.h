@@ -32,8 +32,9 @@ struct DynamicConfig {
   /// `<journal_dir>/run<r>` (binary snapshot after static training + one
   /// WAL record per extension — see src/store/) and, after the replay,
   /// verifies that a cold store::EmbeddingStore::Open() recovers the
-  /// in-memory embeddings bit-exactly. Methods without a store format
-  /// (Node2Vec) ignore the knob.
+  /// in-memory embeddings bit-exactly. Both built-in methods journal via
+  /// their registered store::ModelCodec; third-party methods without a
+  /// codec ignore the knob.
   std::string journal_dir;
   uint64_t seed = 321;
 };

@@ -1,44 +1,40 @@
 #include "src/fwd/extender.h"
 
+#include <algorithm>
+#include <optional>
+
+#include "src/common/parallel.h"
 #include "src/la/solve.h"
 #include "src/la/svd.h"
 
 namespace stedb::fwd {
 
 const ValueDistribution& ForwardExtender::OldDistribution(
-    const ForwardModel& model, size_t target, db::FactId f, Rng& rng) {
+    const ForwardModel& model, size_t target, db::FactId f) {
   const uint64_t key =
       static_cast<uint64_t>(f) * model.targets().size() + target;
-  auto it = cache_.find(key);
-  if (it != cache_.end()) return it->second;
+  {
+    std::lock_guard<std::mutex> lock(*cache_mu_);
+    auto it = cache_.find(key);
+    if (it != cache_.end()) return it->second;
+  }
+  // Compute outside the lock on the key's own stream: two threads racing
+  // on the same key produce identical bytes, and emplace keeps whichever
+  // landed first — the cache is a pure function of its key either way.
   const WalkScheme& s = model.scheme_of(target);
   const db::AttrId attr = model.targets()[target].attr;
-  ValueDistribution d = dist_.Compute(s, attr, f, rng);
+  Rng key_rng(Rng::MixSeed(cache_seed_, key));
+  ValueDistribution d = dist_.Compute(s, attr, f, key_rng);
+  std::lock_guard<std::mutex> lock(*cache_mu_);
+  // References into the node-based map stay valid across later inserts.
   return cache_.emplace(key, std::move(d)).first->second;
 }
 
-Result<la::Vector> ForwardExtender::Extend(ForwardModel& model,
-                                           db::FactId f_new, Rng& rng) {
-  if (!db_->IsLive(f_new)) {
-    return Status::NotFound("new fact is not live");
-  }
-  if (db_->fact(f_new).rel != model.relation()) {
-    return Status::InvalidArgument(
-        "fact belongs to a different relation than the model");
-  }
-  if (model.HasEmbedding(f_new)) {
-    return Status::AlreadyExists("fact already has an embedding");
-  }
+Result<la::Vector> ForwardExtender::SolveOne(
+    const ForwardModel& model, const std::vector<db::FactId>& old_facts,
+    db::FactId f_new, Rng& rng) {
   const db::Schema& schema = db_->schema();
   const size_t d = model.dim();
-
-  // Candidate old facts (embedding known). Sampled per target below.
-  std::vector<db::FactId> old_facts;
-  old_facts.reserve(model.num_embedded());
-  for (const auto& [f, v] : model.all_phi()) old_facts.push_back(f);
-  if (old_facts.empty()) {
-    return Status::FailedPrecondition("model has no embedded facts");
-  }
 
   // Accumulate the normal equations N = C^T C, rhs = C^T b streaming, so C
   // (which can have tens of thousands of rows at paper-scale sampling
@@ -67,7 +63,7 @@ Result<la::Vector> ForwardExtender::Extend(ForwardModel& model,
     }
     for (size_t i = 0; i < want; ++i) {
       const db::FactId f_old = old_facts[idx[i]];
-      const ValueDistribution& old_dist = OldDistribution(model, t, f_old, rng);
+      const ValueDistribution& old_dist = OldDistribution(model, t, f_old);
       if (!old_dist.exists()) continue;
       const double b = WalkDistribution::ExpectedKernel(old_dist, new_dist,
                                                         kernel);
@@ -88,23 +84,90 @@ Result<la::Vector> ForwardExtender::Extend(ForwardModel& model,
   if (rows == 0) {
     // Completely disconnected new fact: no constraint reaches it. Embed at
     // the origin — a neutral point that keeps downstream features finite.
-    la::Vector zero(d, 0.0);
-    model.set_phi(f_new, zero);
-    return zero;
+    return la::Vector(d, 0.0);
   }
 
-  la::Vector solution(d, 0.0);
   if (config_.use_pinv) {
     // Min-norm least squares via the pseudoinverse of the (d x d) normal
     // matrix: x = N^+ rhs, equivalent to C^+ b on the row space (Eq. 10).
     STEDB_ASSIGN_OR_RETURN(la::Matrix pinv, la::PseudoInverse(normal));
-    solution = pinv.MultiplyVec(rhs);
-  } else {
-    for (size_t i = 0; i < d; ++i) normal(i, i) += config_.ridge;
-    STEDB_ASSIGN_OR_RETURN(solution, la::CholeskySolve(normal, rhs));
+    return pinv.MultiplyVec(rhs);
   }
+  for (size_t i = 0; i < d; ++i) normal(i, i) += config_.ridge;
+  return la::CholeskySolve(normal, rhs);
+}
+
+Result<la::Vector> ForwardExtender::Extend(ForwardModel& model,
+                                           db::FactId f_new, Rng& rng) {
+  if (!db_->IsLive(f_new)) {
+    return Status::NotFound("new fact is not live");
+  }
+  if (db_->fact(f_new).rel != model.relation()) {
+    return Status::InvalidArgument(
+        "fact belongs to a different relation than the model");
+  }
+  if (model.HasEmbedding(f_new)) {
+    return Status::AlreadyExists("fact already has an embedding");
+  }
+  const std::vector<db::FactId> old_facts = model.SortedFacts();
+  if (old_facts.empty()) {
+    return Status::FailedPrecondition("model has no embedded facts");
+  }
+  STEDB_ASSIGN_OR_RETURN(la::Vector solution,
+                         SolveOne(model, old_facts, f_new, rng));
   model.set_phi(f_new, solution);
   return solution;
+}
+
+Status ForwardExtender::ExtendBatch(ForwardModel& model,
+                                    const std::vector<db::FactId>& facts,
+                                    int threads, Rng& rng,
+                                    std::vector<db::FactId>* extended) {
+  // One serial draw per call — unconditionally, so the caller's rng
+  // state depends only on how many batches ran, never on what they
+  // contained (the documented "advances exactly once per call").
+  const Rng batch_root = rng.Fork();
+
+  // Ascending + deduplicated: the solve order the results are installed
+  // in, independent of the caller's arrival order.
+  std::vector<db::FactId> todo = facts;
+  std::sort(todo.begin(), todo.end());
+  todo.erase(std::unique(todo.begin(), todo.end()), todo.end());
+  if (todo.empty()) return Status::OK();
+
+  for (db::FactId f : todo) {
+    if (!db_->IsLive(f)) return Status::NotFound("new fact is not live");
+    if (db_->fact(f).rel != model.relation()) {
+      return Status::InvalidArgument(
+          "fact belongs to a different relation than the model");
+    }
+    if (model.HasEmbedding(f)) {
+      return Status::AlreadyExists("fact already has an embedding");
+    }
+  }
+
+  const std::vector<db::FactId> old_facts = model.SortedFacts();
+  if (old_facts.empty()) {
+    return Status::FailedPrecondition("model has no embedded facts");
+  }
+
+  // Each fact forks its own counter-based stream off the batch root,
+  // keyed by its id — scheduling order cannot touch it. All solves read
+  // the model as of batch entry: within one arrival batch no new fact
+  // samples another, which also makes the result independent of arrival
+  // order (matching the fact-id-ordered journal).
+  std::vector<std::optional<Result<la::Vector>>> solutions(todo.size());
+  RunParallelFor(threads, todo.size(), [&](size_t i) {
+    Rng fact_rng = batch_root.Fork(static_cast<uint64_t>(todo[i]));
+    solutions[i].emplace(SolveOne(model, old_facts, todo[i], fact_rng));
+  });
+
+  for (size_t i = 0; i < todo.size(); ++i) {
+    if (!solutions[i]->ok()) return solutions[i]->status();
+    model.set_phi(todo[i], std::move(solutions[i]->value()));
+    if (extended != nullptr) extended->push_back(todo[i]);
+  }
+  return Status::OK();
 }
 
 }  // namespace stedb::fwd

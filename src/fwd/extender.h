@@ -1,7 +1,10 @@
 #ifndef STEDB_FWD_EXTENDER_H_
 #define STEDB_FWD_EXTENDER_H_
 
+#include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "src/common/rng.h"
 #include "src/common/status.h"
@@ -12,7 +15,7 @@
 
 namespace stedb::fwd {
 
-/// Dynamic-phase FoRWaRD: extends a trained model to a newly inserted fact
+/// Dynamic-phase FoRWaRD: extends a trained model to newly inserted facts
 /// without touching any existing embedding (paper Section V-E).
 ///
 /// For sampled triples (f_i, s_i, A_i) with known φ(f_i) it builds the
@@ -25,6 +28,18 @@ namespace stedb::fwd {
 /// of old embeddings is guaranteed by construction: only φ(f_new) is
 /// written.
 ///
+/// This is the paper's hot dynamic path, and the per-fact solves are
+/// independent — ExtendBatch fans one arrival batch's solves out over a
+/// ParallelRunner. Determinism at any thread count comes from two rules:
+///  * every fact solves on its own counter-based RNG stream (keyed by the
+///    fact id off one serial draw per batch), so neither scheduling order
+///    nor batch composition perturbs a fact's samples;
+///  * cached old-fact distributions are computed on streams keyed by
+///    (fact, target) alone, so *which* thread (or which batch) first needs
+///    a distribution cannot change its value — the cache is a pure
+///    function of its key, and the solves of one batch run against the
+///    model as of batch entry.
+///
 /// Old facts' destination distributions are cached across calls; this is
 /// the paper's one-by-one mode, which does not recompute paths starting at
 /// old tuples. Call InvalidateCache() before an all-at-once batch to
@@ -36,11 +51,26 @@ class ForwardExtender {
       : db_(database),
         kernels_(kernels),
         config_(config),
-        dist_(database) {}
+        dist_(database),
+        cache_seed_(Rng::MixSeed(config.seed, 0x0DD1D157ull)),
+        cache_mu_(std::make_unique<std::mutex>()) {}
 
   /// Computes φ(f_new) and stores it into `model`. `f_new` must be a live
   /// fact of the model's relation without an embedding yet.
   Result<la::Vector> Extend(ForwardModel& model, db::FactId f_new, Rng& rng);
+
+  /// Batch extension: solves φ for every fact in `facts` (each must be a
+  /// live, not-yet-embedded fact of the model's relation; duplicates are
+  /// solved once) against the model state at entry, fanned out over
+  /// `threads` workers (0 = the shared process pool via STEDB_THREADS /
+  /// hardware concurrency). Solutions are installed into `model` — and
+  /// appended to `*extended` when non-null — in ascending fact-id order;
+  /// on a solver error, facts preceding the failing one (in that order)
+  /// are still installed and the first error is returned. Bit-identical
+  /// results at any thread count. `rng` advances exactly once per call.
+  Status ExtendBatch(ForwardModel& model, const std::vector<db::FactId>& facts,
+                     int threads, Rng& rng,
+                     std::vector<db::FactId>* extended);
 
   /// Drops cached old-fact walk distributions (all-at-once mode).
   void InvalidateCache() { cache_.clear(); }
@@ -48,15 +78,28 @@ class ForwardExtender {
   size_t cache_size() const { return cache_.size(); }
 
  private:
+  /// The least-squares solve for one new fact against `model`'s current
+  /// embeddings (`old_facts`, ascending). Does not write the model; safe
+  /// to call concurrently (the distribution cache is internally locked).
+  Result<la::Vector> SolveOne(const ForwardModel& model,
+                              const std::vector<db::FactId>& old_facts,
+                              db::FactId f_new, Rng& rng);
+
   /// Cached-or-computed distribution of d_{s_t, f}[A_t] for an old fact.
+  /// Deterministic per (fact, target): a cache miss computes on an RNG
+  /// stream derived from the key, never from the calling solve's stream.
   const ValueDistribution& OldDistribution(const ForwardModel& model,
-                                           size_t target, db::FactId f,
-                                           Rng& rng);
+                                           size_t target, db::FactId f);
 
   const db::Database* db_;
   const KernelRegistry* kernels_;
   ForwardConfig config_;
   WalkDistribution dist_;
+  /// Root of the per-key cache streams (fixed at construction).
+  uint64_t cache_seed_;
+  /// Guards cache_ during parallel solves (unique_ptr keeps the extender
+  /// movable).
+  std::unique_ptr<std::mutex> cache_mu_;
   /// (fact, target) -> distribution; key = fact * #targets + target.
   std::unordered_map<uint64_t, ValueDistribution> cache_;
 };

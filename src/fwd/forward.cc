@@ -34,24 +34,31 @@ Result<ForwardEmbedder> ForwardEmbedder::TrainStatic(
 Status ForwardEmbedder::ExtendToFacts(
     const std::vector<db::FactId>& new_facts) {
   if (config_.recompute_old_paths) extender_.InvalidateCache();
-  Status extend_status = Status::OK();
+  std::vector<db::FactId> eligible;
+  eligible.reserve(new_facts.size());
   for (db::FactId f : new_facts) {
     if (!db_->IsLive(f)) continue;
     if (db_->fact(f).rel != model_.relation()) continue;
     if (model_.HasEmbedding(f)) continue;
-    auto res = extender_.Extend(model_, f, rng_);
-    if (!res.ok()) {
-      extend_status = res.status();
-      break;
-    }
-    if (sink_) pending_journal_.push_back(f);
+    eligible.push_back(f);
   }
-  // Journal appends in fact-id order, not extension order: the batch's
-  // iteration order is a caller artifact (and will vary once the extender
-  // solves facts in parallel), so sorting keeps the journal bytes
-  // deterministic for a given fact set. The flush runs even when the
-  // extension failed partway, and rejected appends stay queued for the
-  // next call (see store::FlushPendingJournal).
+  // The per-fact least-squares solves of one arrival batch are
+  // independent; ExtendBatch fans them out over `config_.threads` workers
+  // and installs the solutions in fact-id order, bit-identical at any
+  // thread count. Facts solved before a mid-batch solver error stay
+  // installed (and journaled below), exactly like the serial loop did.
+  std::vector<db::FactId> extended;
+  const Status extend_status = extender_.ExtendBatch(
+      model_, eligible, config_.threads, rng_, &extended);
+  if (sink_) {
+    for (db::FactId f : extended) pending_journal_.push_back(f);
+  }
+  // Journal appends in fact-id order, not arrival order: the batch's
+  // iteration order is a caller artifact and the solves run in parallel,
+  // so sorting keeps the journal bytes deterministic for a given fact
+  // set. The flush runs even when the extension failed partway, and
+  // rejected appends stay queued for the next call (see
+  // store::FlushPendingJournal).
   Status sink_status = store::FlushPendingJournal(
       pending_journal_, sink_,
       [this](db::FactId f) -> const la::Vector& { return model_.phi(f); });

@@ -38,7 +38,10 @@ class ForwardEmbedder {
   /// Extends the embedding to every fact of the embedded relation in
   /// `new_facts` (facts of other relations are ignored). In all-at-once
   /// mode (config.recompute_old_paths) the old-distribution cache is
-  /// dropped first.
+  /// dropped first. The batch's per-fact solves run in parallel
+  /// (`config.threads` wide) against the model as of batch entry, with
+  /// bit-identical results at any thread count; solutions land in
+  /// fact-id order.
   Status ExtendToFacts(const std::vector<db::FactId>& new_facts);
 
   /// φ(f); NotFound for facts never embedded.

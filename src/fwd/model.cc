@@ -1,5 +1,7 @@
 #include "src/fwd/model.h"
 
+#include <algorithm>
+
 namespace stedb::fwd {
 
 ForwardModel::ForwardModel(db::RelationId relation, size_t dim,
@@ -17,6 +19,14 @@ Result<la::Vector> ForwardModel::Embed(db::FactId f) const {
     return Status::NotFound("fact has no FoRWaRD embedding");
   }
   return it->second;
+}
+
+std::vector<db::FactId> ForwardModel::SortedFacts() const {
+  std::vector<db::FactId> facts;
+  facts.reserve(phi_.size());
+  for (const auto& [f, v] : phi_) facts.push_back(f);
+  std::sort(facts.begin(), facts.end());
+  return facts;
 }
 
 la::Vector* ForwardModel::mutable_phi(db::FactId f) {

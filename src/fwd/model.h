@@ -92,6 +92,9 @@ class ForwardModel {
   const std::unordered_map<db::FactId, la::Vector>& all_phi() const {
     return phi_;
   }
+  /// Every embedded fact, ascending by id — the deterministic enumeration
+  /// the snapshot codec serializes and the extender samples from.
+  std::vector<db::FactId> SortedFacts() const;
 
   const la::Matrix& psi(size_t target) const { return psi_[target]; }
   la::Matrix* mutable_psi(size_t target) { return &psi_[target]; }

@@ -77,6 +77,12 @@ class BipartiteGraph {
   /// The node of a fact, or kNoNode if the fact was never added.
   NodeId NodeOfFact(db::FactId f) const;
 
+  /// Every fact with a node, unordered — callers that need determinism
+  /// sort (see n2v::Node2VecEmbedding::EmbeddedFacts).
+  const std::unordered_map<db::FactId, NodeId>& fact_nodes() const {
+    return fact_node_;
+  }
+
   /// The canonical column class of (rel, attr) after FK identification.
   int ColumnClass(db::RelationId rel, db::AttrId attr) const;
 

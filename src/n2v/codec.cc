@@ -1,0 +1,53 @@
+#include "src/n2v/codec.h"
+
+#include <algorithm>
+#include <utility>
+#include <vector>
+
+namespace stedb::n2v {
+
+Result<std::string> Node2VecModelCodec::Encode(
+    const store::StoredModel& model) const {
+  // Any StoredModel serializes: the codec persists exactly the standard
+  // embeddings payload, so it does not care which concrete type carries it.
+  if (model.dim() == 0) {
+    return Status::InvalidArgument("node2vec codec: model has dimension 0");
+  }
+  store::SnapshotBuilder builder(kNode2VecMethodTag, codec_version(),
+                                 model.dim(), model.relation());
+  builder.AddSection(store::kPhiSectionTag, store::EncodePhiPayload(model));
+  return std::move(builder).Finish();
+}
+
+Result<std::unique_ptr<store::StoredModel>> Node2VecModelCodec::Decode(
+    const store::ParsedSnapshot& snapshot) const {
+  if (snapshot.header.codec_version != codec_version()) {
+    return Status::InvalidArgument(
+        "snapshot: unsupported Node2Vec codec version " +
+        std::to_string(snapshot.header.codec_version));
+  }
+  const store::SnapshotSection* phi = snapshot.Find(store::kPhiSectionTag);
+  if (phi == nullptr) {
+    return Status::InvalidArgument("snapshot: missing PHI section");
+  }
+  auto model = std::make_unique<store::VectorSetModel>(
+      static_cast<size_t>(snapshot.header.dim),
+      static_cast<db::RelationId>(snapshot.header.relation));
+  STEDB_RETURN_IF_ERROR(
+      store::DecodePhiPayload(*phi, model->dim(), model.get()));
+  return std::unique_ptr<store::StoredModel>(std::move(model));
+}
+
+std::unique_ptr<store::VectorSetModel> SnapshotVectors(
+    const Node2VecEmbedding& embedding) {
+  auto model = std::make_unique<store::VectorSetModel>(embedding.dim(),
+                                                       /*relation=*/-1);
+  std::vector<db::FactId> facts = embedding.EmbeddedFacts();
+  for (db::FactId f : facts) {
+    model->set_phi(
+        f, embedding.model().Embedding(embedding.graph().NodeOfFact(f)));
+  }
+  return model;
+}
+
+}  // namespace stedb::n2v

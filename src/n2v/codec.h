@@ -1,0 +1,45 @@
+#ifndef STEDB_N2V_CODEC_H_
+#define STEDB_N2V_CODEC_H_
+
+#include <memory>
+#include <string>
+
+#include "src/n2v/node2vec.h"
+#include "src/store/model_codec.h"
+#include "src/store/stored_model.h"
+
+namespace stedb::n2v {
+
+/// Snapshot method tag of the SkipGram/Node2Vec codec ("N2V " in the
+/// header).
+inline constexpr uint32_t kNode2VecMethodTag =
+    store::FourCc('N', '2', 'V', ' ');
+
+/// The SkipGram/Node2Vec model codec. The durable state of a Node2Vec
+/// embedding is exactly its per-fact input vectors: the bipartite graph,
+/// the vocabulary and the context matrix are all derivable from the
+/// database (and are needed only to *train*, never to serve or recover),
+/// and the stability contract freezes every vector the moment a later
+/// extension starts. So the snapshot is the standard PHI section alone —
+/// a store::VectorSetModel with relation -1 (Node2Vec embeds every
+/// relation) — and the method-agnostic WAL captures all post-snapshot
+/// extensions unchanged.
+class Node2VecModelCodec : public store::ModelCodec {
+ public:
+  std::string method() const override { return "node2vec"; }
+  uint32_t method_tag() const override { return kNode2VecMethodTag; }
+  uint32_t codec_version() const override { return 1; }
+  Result<std::string> Encode(const store::StoredModel& model) const override;
+  Result<std::unique_ptr<store::StoredModel>> Decode(
+      const store::ParsedSnapshot& snapshot) const override;
+};
+
+/// Snapshot of a live embedding's served state: every embedded fact's
+/// current (about-to-be-frozen) vector as a VectorSetModel — what
+/// AttachJournal persists and VerifyJournal diffs against.
+std::unique_ptr<store::VectorSetModel> SnapshotVectors(
+    const Node2VecEmbedding& embedding);
+
+}  // namespace stedb::n2v
+
+#endif  // STEDB_N2V_CODEC_H_

@@ -98,6 +98,17 @@ Status Node2VecEmbedding::EmbedBatch(Span<const db::FactId> facts,
   return Status::OK();
 }
 
+std::vector<db::FactId> Node2VecEmbedding::EmbeddedFacts() const {
+  std::vector<db::FactId> facts;
+  facts.reserve(graph_.fact_nodes().size());
+  for (const auto& [f, n] : graph_.fact_nodes()) {
+    (void)n;
+    facts.push_back(f);
+  }
+  std::sort(facts.begin(), facts.end());
+  return facts;
+}
+
 Result<la::Vector> Node2VecEmbedding::Embed(db::FactId f) const {
   graph::NodeId n = graph_.NodeOfFact(f);
   if (n == graph::kNoNode) {

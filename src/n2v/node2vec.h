@@ -73,6 +73,10 @@ class Node2VecEmbedding {
   const SkipGramModel& model() const { return model_; }
   size_t dim() const { return model_.dim(); }
 
+  /// Every embedded fact (all relations), ascending by fact id — the
+  /// deterministic enumeration the snapshot codec serializes.
+  std::vector<db::FactId> EmbeddedFacts() const;
+
  private:
   Node2VecEmbedding(const db::Database* database, Node2VecConfig config);
 

@@ -1,0 +1,26 @@
+// The built-in model codecs of the two paper methods, registered with the
+// codec registry. This is the only store-layer file that knows the
+// concrete codecs; everything else resolves them through CodecByMethod /
+// CodecByTag — the persistence mirror of api/builtin_methods.cc.
+#include <memory>
+
+#include "src/fwd/codec.h"
+#include "src/n2v/codec.h"
+#include "src/store/model_codec.h"
+
+namespace stedb::store {
+namespace internal {
+
+Status RegisterModelCodecLocked(std::shared_ptr<const ModelCodec> codec);
+
+void RegisterBuiltinCodecs() {
+  // Failure is impossible here (fresh registry, distinct names and tags);
+  // the statuses are consumed to keep the call sites warning-clean.
+  (void)RegisterModelCodecLocked(
+      std::make_shared<const fwd::ForwardModelCodec>());
+  (void)RegisterModelCodecLocked(
+      std::make_shared<const n2v::Node2VecModelCodec>());
+}
+
+}  // namespace internal
+}  // namespace stedb::store

@@ -1,8 +1,9 @@
 #include "src/store/embedding_store.h"
 
 #include <filesystem>
+#include <utility>
 
-#include "src/store/snapshot.h"
+#include "src/store/format.h"
 
 namespace stedb::store {
 
@@ -15,41 +16,62 @@ std::string EmbeddingStore::WalPath(const std::string& dir) {
 }
 
 EmbeddingStore::EmbeddingStore(std::string dir, StoreOptions options,
-                               fwd::ForwardModel model, WalWriter wal,
-                               size_t wal_records, bool torn)
+                               std::shared_ptr<const ModelCodec> codec,
+                               std::unique_ptr<StoredModel> model,
+                               WalWriter wal, size_t wal_records, bool torn)
     : dir_(std::move(dir)),
       options_(options),
+      codec_(std::move(codec)),
       model_(std::move(model)),
       wal_(std::move(wal)),
       wal_records_(wal_records),
       recovered_torn_tail_(torn) {}
 
-Result<EmbeddingStore> EmbeddingStore::Create(const std::string& dir,
-                                              const fwd::ForwardModel& model,
-                                              StoreOptions options) {
-  if (model.dim() == 0) {
+Status EmbeddingStore::WriteSnapshotFile() const {
+  STEDB_ASSIGN_OR_RETURN(std::string bytes, codec_->Encode(*model_));
+  return AtomicWriteFile(SnapshotPath(dir_), bytes);
+}
+
+Result<EmbeddingStore> EmbeddingStore::Create(
+    const std::string& dir, const std::string& method,
+    std::unique_ptr<StoredModel> model, StoreOptions options) {
+  if (model == nullptr) {
+    return Status::InvalidArgument("store: model must not be null");
+  }
+  if (model->dim() == 0) {
     return Status::InvalidArgument("store: model has dimension 0");
   }
+  STEDB_ASSIGN_OR_RETURN(std::shared_ptr<const ModelCodec> codec,
+                         CodecByMethod(method));
   std::error_code ec;
   std::filesystem::create_directories(dir, ec);
   if (ec) {
     return Status::IOError("store: cannot create directory " + dir);
   }
-  STEDB_RETURN_IF_ERROR(WriteSnapshot(model, SnapshotPath(dir)));
-  STEDB_RETURN_IF_ERROR(ResetWal(WalPath(dir), model.dim()));
+  {
+    STEDB_ASSIGN_OR_RETURN(std::string bytes, codec->Encode(*model));
+    STEDB_RETURN_IF_ERROR(AtomicWriteFile(SnapshotPath(dir), bytes));
+  }
+  STEDB_RETURN_IF_ERROR(ResetWal(WalPath(dir), model->dim()));
   STEDB_ASSIGN_OR_RETURN(WalWriter wal,
-                         WalWriter::Open(WalPath(dir), model.dim()));
-  return EmbeddingStore(dir, options, model, std::move(wal),
-                        /*wal_records=*/0, /*torn=*/false);
+                         WalWriter::Open(WalPath(dir), model->dim()));
+  return EmbeddingStore(dir, options, std::move(codec), std::move(model),
+                        std::move(wal), /*wal_records=*/0, /*torn=*/false);
 }
 
 Result<EmbeddingStore> EmbeddingStore::Open(const std::string& dir,
                                             StoreOptions options) {
-  STEDB_ASSIGN_OR_RETURN(fwd::ForwardModel model,
-                         ReadSnapshot(SnapshotPath(dir)));
+  std::string bytes;
+  STEDB_RETURN_IF_ERROR(ReadFileToString(SnapshotPath(dir), &bytes));
+  STEDB_ASSIGN_OR_RETURN(ParsedSnapshot snap,
+                         ParseSnapshotContainer(bytes.data(), bytes.size()));
+  STEDB_ASSIGN_OR_RETURN(std::shared_ptr<const ModelCodec> codec,
+                         CodecByTag(snap.header.method_tag));
+  STEDB_ASSIGN_OR_RETURN(std::unique_ptr<StoredModel> model,
+                         codec->Decode(snap));
   STEDB_ASSIGN_OR_RETURN(
       WalReplay replay,
-      ReplayWal(WalPath(dir), static_cast<int>(model.dim())));
+      ReplayWal(WalPath(dir), static_cast<int>(model->dim())));
   if (replay.torn_tail) {
     STEDB_RETURN_IF_ERROR(TruncateWal(WalPath(dir), replay.valid_bytes));
   }
@@ -57,21 +79,45 @@ Result<EmbeddingStore> EmbeddingStore::Open(const std::string& dir,
   // crash between Compact's snapshot rename and journal reset) simply
   // rewrite the identical vector, so recovery is idempotent.
   for (WalRecord& rec : replay.records) {
-    model.set_phi(rec.fact, std::move(rec.phi));
+    model->set_phi(rec.fact, std::move(rec.phi));
   }
   STEDB_ASSIGN_OR_RETURN(WalWriter wal,
-                         WalWriter::Open(WalPath(dir), model.dim()));
-  return EmbeddingStore(dir, options, std::move(model), std::move(wal),
-                        replay.records.size(), replay.torn_tail);
+                         WalWriter::Open(WalPath(dir), model->dim()));
+  return EmbeddingStore(dir, options, std::move(codec), std::move(model),
+                        std::move(wal), replay.records.size(),
+                        replay.torn_tail);
+}
+
+Status EmbeddingStore::MaybeGroupSync(size_t record_bytes) {
+  // The group-commit window only relaxes sync_every_append; without that
+  // knob appends stay buffered (fsync on Sync/Close alone) and the window
+  // knobs are inert, exactly as StoreOptions documents.
+  if (!options_.sync_every_append) return Status::OK();
+  const bool group_mode =
+      options_.group_commit_bytes > 0 || options_.group_commit_usec > 0;
+  if (!group_mode) return Sync();  // classic per-record fsync
+
+  if (unsynced_bytes_ == 0) {
+    oldest_unsynced_ = std::chrono::steady_clock::now();
+  }
+  unsynced_bytes_ += record_bytes;
+  bool due = options_.group_commit_bytes > 0 &&
+             unsynced_bytes_ >= options_.group_commit_bytes;
+  if (!due && options_.group_commit_usec > 0) {
+    const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - oldest_unsynced_);
+    due = static_cast<uint64_t>(waited.count()) >= options_.group_commit_usec;
+  }
+  return due ? Sync() : Status::OK();
 }
 
 Status EmbeddingStore::Append(db::FactId fact, const la::Vector& phi) {
-  if (phi.size() != model_.dim()) {
+  if (phi.size() != model_->dim()) {
     return Status::InvalidArgument("store: vector dimension mismatch");
   }
   STEDB_RETURN_IF_ERROR(wal_.Append(fact, phi));
-  if (options_.sync_every_append) STEDB_RETURN_IF_ERROR(wal_.Sync());
-  model_.set_phi(fact, phi);
+  STEDB_RETURN_IF_ERROR(MaybeGroupSync(WalWriter::RecordBytes(phi.size())));
+  model_->set_phi(fact, phi);
   ++wal_records_;
   if (options_.compact_every > 0 && wal_records_ >= options_.compact_every) {
     return Compact();
@@ -79,25 +125,35 @@ Status EmbeddingStore::Append(db::FactId fact, const la::Vector& phi) {
   return Status::OK();
 }
 
-Status EmbeddingStore::Sync() { return wal_.Sync(); }
+Status EmbeddingStore::Sync() {
+  STEDB_RETURN_IF_ERROR(wal_.Sync());
+  unsynced_bytes_ = 0;
+  return Status::OK();
+}
 
 Status EmbeddingStore::Compact() {
-  STEDB_RETURN_IF_ERROR(wal_.Sync());
+  STEDB_RETURN_IF_ERROR(Sync());
   // Order matters for crash safety: (1) the new snapshot lands atomically
   // (old snapshot + full journal remain valid until the rename), (2) the
   // journal is reset. A crash between (1) and (2) leaves journal records
   // that are already in the snapshot — harmless, see Open().
-  STEDB_RETURN_IF_ERROR(WriteSnapshot(model_, SnapshotPath(dir_)));
+  STEDB_RETURN_IF_ERROR(WriteSnapshotFile());
   STEDB_RETURN_IF_ERROR(wal_.Close());
-  STEDB_RETURN_IF_ERROR(ResetWal(WalPath(dir_), model_.dim()));
+  folded_fsyncs_ += wal_.sync_count();
+  STEDB_RETURN_IF_ERROR(ResetWal(WalPath(dir_), model_->dim()));
   STEDB_ASSIGN_OR_RETURN(WalWriter wal,
-                         WalWriter::Open(WalPath(dir_), model_.dim()));
+                         WalWriter::Open(WalPath(dir_), model_->dim()));
   wal_ = std::move(wal);
   wal_records_ = 0;
+  unsynced_bytes_ = 0;
   return Status::OK();
 }
 
-Status EmbeddingStore::Close() { return wal_.Close(); }
+Status EmbeddingStore::Close() {
+  const Status st = wal_.Close();
+  if (st.ok()) unsynced_bytes_ = 0;
+  return st;
+}
 
 EmbeddingSink EmbeddingStore::MakeSink() {
   return [this](db::FactId fact, const la::Vector& phi) {

@@ -1,11 +1,14 @@
 #ifndef STEDB_STORE_EMBEDDING_STORE_H_
 #define STEDB_STORE_EMBEDDING_STORE_H_
 
+#include <chrono>
+#include <memory>
 #include <string>
 
 #include "src/common/status.h"
-#include "src/fwd/model.h"
+#include "src/store/model_codec.h"
 #include "src/store/sink.h"
+#include "src/store/stored_model.h"
 #include "src/store/wal.h"
 
 namespace stedb::store {
@@ -21,23 +24,46 @@ struct StoreOptions {
   /// Auto-Compact() once the journal holds this many records (0 = only
   /// compact on explicit request).
   size_t compact_every = 0;
+
+  /// Group commit: when either knob is > 0 and sync_every_append is on,
+  /// the per-record fsync is batched — an Append only forces the disk
+  /// cache once the unsynced bytes reach `group_commit_bytes`, or once
+  /// the *oldest* unsynced record has waited `group_commit_usec`
+  /// microseconds (checked on each Append; Sync()/Close()/Compact()
+  /// always flush the remainder). Kill-safety is unchanged — every record
+  /// still reaches the OS before Append returns — and power-loss
+  /// durability is bounded by the window instead of per-record, at a
+  /// fraction of the fsyncs (bench/table7_store_io measures both).
+  size_t group_commit_bytes = 0;
+  uint64_t group_commit_usec = 0;
 };
 
-/// Durable home of one FoRWaRD embedding: a binary snapshot
-/// (`<dir>/model.snap`, see snapshot.h) plus an append-only journal of
-/// dynamic extensions (`<dir>/extend.wal`, see wal.h).
+/// Durable home of one embedding method's model: a binary snapshot
+/// (`<dir>/model.snap`, see model_codec.h for the container format) plus
+/// an append-only journal of dynamic extensions (`<dir>/extend.wal`, see
+/// wal.h).
+///
+/// The store is method-agnostic. Snapshot bytes are produced and parsed by
+/// the method's registered store::ModelCodec — the snapshot header carries
+/// the codec's method tag, so `Open(dir)` resolves the right codec from
+/// the file alone and a FoRWaRD and a Node2Vec store directory behave
+/// identically from here up (EmbeddingStore, MmapSnapshot,
+/// api::ServingSession). The journal layer was method-agnostic from the
+/// start: one record per extended fact's final vector.
 ///
 /// Lifecycle
-///   * `Create(dir, model)` — persist a freshly trained model: snapshot
-///     written atomically, journal reset to empty.
+///   * `Create(dir, method, model)` — persist a freshly trained model:
+///     snapshot written atomically via the method's codec, journal reset
+///     to empty.
 ///   * `Append(fact, phi)`  — journal one extension. The paper's stability
 ///     guarantee (old embeddings never move) is what makes a φ-only,
 ///     append-only journal a *complete* record of all post-training
-///     mutations.
-///   * `Open(dir)`          — crash recovery: load the snapshot, replay
-///     the journal over it, and truncate a torn tail record (a crash
-///     mid-append) instead of failing. Everything that was appended
-///     *before* the last `Sync()` is recovered bit-exactly.
+///     mutations, for every method that honors it.
+///   * `Open(dir)`          — crash recovery: load the snapshot (codec
+///     resolved from its header), replay the journal over it, and
+///     truncate a torn tail record (a crash mid-append) instead of
+///     failing. Everything appended *before* the last `Sync()` is
+///     recovered bit-exactly.
 ///   * `Compact()`          — fold the journal into a fresh snapshot
 ///     (atomic temp-file + rename, then journal reset). Crash-safe at
 ///     every point: the old snapshot stays until the rename, and a
@@ -51,21 +77,26 @@ struct StoreOptions {
 class EmbeddingStore {
  public:
   /// Persists `model` as the initial snapshot of a new (or re-initialized)
-  /// store directory, discarding any previous journal.
+  /// store directory using the codec registered for `method` (an api
+  /// method-registry name, matched case-insensitively), discarding any
+  /// previous journal.
   static Result<EmbeddingStore> Create(const std::string& dir,
-                                       const fwd::ForwardModel& model,
+                                       const std::string& method,
+                                       std::unique_ptr<StoredModel> model,
                                        StoreOptions options = StoreOptions());
 
   /// Recovers the durable model: snapshot + journal replay, truncating a
-  /// torn tail. Fails only on missing/corrupt snapshot or an unreadable
-  /// journal header.
+  /// torn tail. The codec is resolved from the snapshot header's method
+  /// tag. Fails only on missing/corrupt snapshot, an unknown method tag,
+  /// or an unreadable journal header.
   static Result<EmbeddingStore> Open(const std::string& dir,
                                      StoreOptions options = StoreOptions());
 
   /// Journals φ(fact) and applies it to the in-memory model.
   Status Append(db::FactId fact, const la::Vector& phi);
 
-  /// Forces journaled records to disk.
+  /// Forces journaled records to disk (including a pending group-commit
+  /// window).
   Status Sync();
 
   /// Folds the journal into a fresh snapshot and empties it.
@@ -78,26 +109,44 @@ class EmbeddingStore {
   /// store must outlive every copy of the sink.
   EmbeddingSink MakeSink();
 
-  const fwd::ForwardModel& model() const { return model_; }
+  const StoredModel& model() const { return *model_; }
+  /// The codec that owns this store's snapshot format.
+  const ModelCodec& codec() const { return *codec_; }
+  /// The api method-registry name of the stored model ("forward", ...).
+  std::string method() const { return codec_->method(); }
   const std::string& dir() const { return dir_; }
   /// Journal records not yet folded into the snapshot.
   size_t wal_records() const { return wal_records_; }
   /// Whether the last Open() had to drop a torn tail record.
   bool recovered_torn_tail() const { return recovered_torn_tail_; }
+  /// Disk-cache flushes issued over this store's lifetime (across
+  /// compactions) — the group-commit bench counter.
+  uint64_t fsync_count() const { return folded_fsyncs_ + wal_.sync_count(); }
 
   static std::string SnapshotPath(const std::string& dir);
   static std::string WalPath(const std::string& dir);
 
  private:
-  EmbeddingStore(std::string dir, StoreOptions options, fwd::ForwardModel model,
-                 WalWriter wal, size_t wal_records, bool torn);
+  EmbeddingStore(std::string dir, StoreOptions options,
+                 std::shared_ptr<const ModelCodec> codec,
+                 std::unique_ptr<StoredModel> model, WalWriter wal,
+                 size_t wal_records, bool torn);
+
+  /// Writes the current model as the snapshot file (atomic).
+  Status WriteSnapshotFile() const;
+  /// Applies the group-commit policy after one append of `record_bytes`.
+  Status MaybeGroupSync(size_t record_bytes);
 
   std::string dir_;
   StoreOptions options_;
-  fwd::ForwardModel model_;
+  std::shared_ptr<const ModelCodec> codec_;
+  std::unique_ptr<StoredModel> model_;
   WalWriter wal_;
   size_t wal_records_ = 0;
   bool recovered_torn_tail_ = false;
+  uint64_t folded_fsyncs_ = 0;  ///< sync_count of journals closed by Compact
+  size_t unsynced_bytes_ = 0;   ///< appended since the last fsync
+  std::chrono::steady_clock::time_point oldest_unsynced_{};
 };
 
 }  // namespace stedb::store

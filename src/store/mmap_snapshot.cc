@@ -9,51 +9,10 @@
 #include <utility>
 
 #include "src/store/format.h"
+#include "src/store/model_codec.h"
 
 namespace stedb::store {
 namespace {
-
-// The snapshot.h v1 layout constants (kept in lockstep with snapshot.cc;
-// the serving-equivalence tests diff this reader against the copying
-// parser byte-for-byte, so drift cannot land silently).
-constexpr char kMagic[8] = {'S', 'T', 'E', 'D', 'B', 'S', 'N', 'P'};
-constexpr uint32_t kVersion = 1;
-constexpr uint32_t kSectionCount = 3;
-
-constexpr uint32_t FourCc(char a, char b, char c, char d) {
-  return static_cast<uint32_t>(static_cast<unsigned char>(a)) |
-         static_cast<uint32_t>(static_cast<unsigned char>(b)) << 8 |
-         static_cast<uint32_t>(static_cast<unsigned char>(c)) << 16 |
-         static_cast<uint32_t>(static_cast<unsigned char>(d)) << 24;
-}
-constexpr uint32_t kMetaTag = FourCc('M', 'E', 'T', 'A');
-constexpr uint32_t kPsiTag = FourCc('P', 'S', 'I', ' ');
-constexpr uint32_t kPhiTag = FourCc('P', 'H', 'I', ' ');
-
-/// Section walk mirroring snapshot.cc's OpenSection: verifies the header
-/// and CRC of the next section and returns a reader over its payload.
-Result<ByteReader> OpenSection(ByteReader& in, uint32_t want_tag) {
-  uint32_t tag = 0, crc = 0;
-  uint64_t size = 0;
-  if (!in.ReadU32(&tag) || !in.ReadU32(&crc) || !in.ReadU64(&size)) {
-    return Status::InvalidArgument("mmap snapshot: truncated section header");
-  }
-  if (tag != want_tag) {
-    return Status::InvalidArgument("mmap snapshot: unexpected section tag");
-  }
-  if (size > in.remaining()) {
-    return Status::InvalidArgument("mmap snapshot: section overruns file");
-  }
-  const char* payload = in.cursor();
-  if (Crc32(payload, size) != crc) {
-    return Status::InvalidArgument("mmap snapshot: section checksum mismatch");
-  }
-  in.Skip(static_cast<size_t>(size));
-  if (!in.SkipTo8()) {
-    return Status::InvalidArgument("mmap snapshot: missing section padding");
-  }
-  return ByteReader(payload, static_cast<size_t>(size));
-}
 
 db::FactId RecordFact(const char* record) {
   int64_t fact = 0;
@@ -90,67 +49,38 @@ Result<MmapSnapshot> MmapSnapshot::Open(const std::string& path) {
   const char* base = static_cast<const char*>(map);
 
   // Everything below returns through `snap` going out of scope (which
-  // munmaps) on error, because `snap` owns the mapping already.
-  ByteReader in(base, size);
-  if (in.remaining() < sizeof(kMagic) ||
-      std::memcmp(in.cursor(), kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("mmap snapshot: bad magic");
-  }
-  in.Skip(sizeof(kMagic));
-  uint32_t version = 0, sections = 0;
-  if (!in.ReadU32(&version) || !in.ReadU32(&sections)) {
-    return Status::InvalidArgument("mmap snapshot: truncated header");
-  }
-  if (version != kVersion) {
-    return Status::InvalidArgument(
-        "mmap snapshot: unsupported format version " +
-        std::to_string(version));
-  }
-  if (sections != kSectionCount) {
-    return Status::InvalidArgument("mmap snapshot: unexpected section count");
-  }
+  // munmaps) on error, because `snap` owns the mapping already. The
+  // container walk CRC-checks every section — including method-specific
+  // ones this reader never interprets — so an OK open proves the whole
+  // file intact (one sequential pass; faults the pages the way a full
+  // read would, still far cheaper than the copying parse).
+  STEDB_ASSIGN_OR_RETURN(ParsedSnapshot parsed,
+                         ParseSnapshotContainer(base, size));
+  snap.dim_ = static_cast<size_t>(parsed.header.dim);
+  snap.relation_ = static_cast<db::RelationId>(parsed.header.relation);
+  snap.method_tag_ = parsed.header.method_tag;
+  snap.codec_version_ = parsed.header.codec_version;
 
-  // META: only relation and dimension matter to the read path; the walk
-  // schemes and targets stay on disk (CRC-checked above all the same).
-  STEDB_ASSIGN_OR_RETURN(ByteReader meta, OpenSection(in, kMetaTag));
-  int64_t relation = -1;
-  uint64_t dim = 0;
-  if (!meta.ReadI64(&relation) || !meta.ReadU64(&dim)) {
-    return Status::InvalidArgument("mmap snapshot: truncated META");
-  }
-  if (dim == 0 || dim > kMaxEmbeddingDim) {
-    return Status::InvalidArgument("mmap snapshot: implausible dimension");
-  }
-
-  // PSI: structural size check only — serving never reads ψ.
-  STEDB_ASSIGN_OR_RETURN(ByteReader psi, OpenSection(in, kPsiTag));
-  uint64_t psi_targets = 0;
+  // PHI: the serving payload (mandatory — ParseSnapshotContainer checked).
+  // Fixed-stride records sorted strictly ascending by fact id.
+  const SnapshotSection* phi = parsed.Find(kPhiSectionTag);
+  ByteReader phi_in = phi->reader();
+  uint64_t n_phi = 0;
+  const uint64_t stride64 = 8 + parsed.header.dim * 8;
   // Division-form size checks: a crafted count field cannot overflow the
   // multiplication into a passing comparison.
-  if (!psi.ReadU64(&psi_targets) ||
-      psi.remaining() % (dim * dim * 8) != 0 ||
-      psi.remaining() / (dim * dim * 8) != psi_targets) {
-    return Status::InvalidArgument("mmap snapshot: PSI payload size mismatch");
-  }
-
-  // PHI: the serving payload. Fixed-stride records sorted by fact id.
-  STEDB_ASSIGN_OR_RETURN(ByteReader phi, OpenSection(in, kPhiTag));
-  uint64_t n_phi = 0;
-  if (!phi.ReadU64(&n_phi) || phi.remaining() % (8 + dim * 8) != 0 ||
-      phi.remaining() / (8 + dim * 8) != n_phi) {
+  if (!phi_in.ReadU64(&n_phi) || phi_in.remaining() % stride64 != 0 ||
+      phi_in.remaining() / stride64 != n_phi) {
     return Status::InvalidArgument("mmap snapshot: PHI payload size mismatch");
   }
-  if (in.remaining() != 0) {
-    return Status::InvalidArgument("mmap snapshot: trailing bytes after PHI");
-  }
-  const char* records = phi.cursor();
-  // The writer pads every section to 8 bytes, so this cannot fire on a
-  // file that passed the checks above; it guards the reinterpret_cast in
-  // phi() against a future layout change.
+  const char* records = phi_in.cursor();
+  // The writer keeps payloads 8-aligned, so this cannot fire on a file
+  // that passed the checks above; it guards the reinterpret_cast in phi()
+  // against a future layout change.
   if ((records - base) % 8 != 0) {
     return Status::Internal("mmap snapshot: PHI payload is misaligned");
   }
-  const size_t stride = 8 + static_cast<size_t>(dim) * 8;
+  const size_t stride = static_cast<size_t>(stride64);
   for (uint64_t i = 1; i < n_phi; ++i) {
     if (RecordFact(records + (i - 1) * stride) >=
         RecordFact(records + i * stride)) {
@@ -158,11 +88,25 @@ Result<MmapSnapshot> MmapSnapshot::Open(const std::string& path) {
           "mmap snapshot: PHI records not sorted by fact id");
     }
   }
-
   snap.phi_records_ = records;
   snap.num_facts_ = static_cast<size_t>(n_phi);
-  snap.dim_ = static_cast<size_t>(dim);
-  snap.relation_ = static_cast<db::RelationId>(relation);
+
+  // PSI: optional standard section (FoRWaRD writes it, Node2Vec does not).
+  if (const SnapshotSection* psi = parsed.Find(kPsiSectionTag)) {
+    ByteReader psi_in = psi->reader();
+    uint64_t n_psi = 0;
+    const uint64_t matrix64 = parsed.header.dim * parsed.header.dim * 8;
+    if (!psi_in.ReadU64(&n_psi) || psi_in.remaining() % matrix64 != 0 ||
+        psi_in.remaining() / matrix64 != n_psi) {
+      return Status::InvalidArgument(
+          "mmap snapshot: PSI payload size mismatch");
+    }
+    if ((psi_in.cursor() - base) % 8 != 0) {
+      return Status::Internal("mmap snapshot: PSI payload is misaligned");
+    }
+    snap.psi_matrices_ = psi_in.cursor();
+    snap.num_psi_ = static_cast<size_t>(n_psi);
+  }
   return snap;
 }
 
@@ -170,13 +114,19 @@ MmapSnapshot::MmapSnapshot(MmapSnapshot&& other) noexcept
     : map_(other.map_),
       map_size_(other.map_size_),
       phi_records_(other.phi_records_),
+      psi_matrices_(other.psi_matrices_),
       num_facts_(other.num_facts_),
+      num_psi_(other.num_psi_),
       dim_(other.dim_),
-      relation_(other.relation_) {
+      relation_(other.relation_),
+      method_tag_(other.method_tag_),
+      codec_version_(other.codec_version_) {
   other.map_ = nullptr;
   other.map_size_ = 0;
   other.phi_records_ = nullptr;
+  other.psi_matrices_ = nullptr;
   other.num_facts_ = 0;
+  other.num_psi_ = 0;
 }
 
 MmapSnapshot& MmapSnapshot::operator=(MmapSnapshot&& other) noexcept {
@@ -185,13 +135,19 @@ MmapSnapshot& MmapSnapshot::operator=(MmapSnapshot&& other) noexcept {
     map_ = other.map_;
     map_size_ = other.map_size_;
     phi_records_ = other.phi_records_;
+    psi_matrices_ = other.psi_matrices_;
     num_facts_ = other.num_facts_;
+    num_psi_ = other.num_psi_;
     dim_ = other.dim_;
     relation_ = other.relation_;
+    method_tag_ = other.method_tag_;
+    codec_version_ = other.codec_version_;
     other.map_ = nullptr;
     other.map_size_ = 0;
     other.phi_records_ = nullptr;
+    other.psi_matrices_ = nullptr;
     other.num_facts_ = 0;
+    other.num_psi_ = 0;
   }
   return *this;
 }
@@ -218,6 +174,14 @@ Span<const double> MmapSnapshot::phi(db::FactId f) const {
   const char* record = phi_records_ + lo * (8 + dim_ * 8);
   return Span<const double>(reinterpret_cast<const double*>(record + 8),
                             dim_);
+}
+
+Span<const double> MmapSnapshot::psi(size_t t) const {
+  if (t >= num_psi_) return Span<const double>();
+  const size_t matrix_doubles = dim_ * dim_;
+  return Span<const double>(
+      reinterpret_cast<const double*>(psi_matrices_) + t * matrix_doubles,
+      matrix_doubles);
 }
 
 }  // namespace stedb::store

@@ -9,20 +9,26 @@
 
 namespace stedb::store {
 
-/// Read-only, zero-copy view of a snapshot file (snapshot.h layout): the
-/// file is mmap'd and φ vectors are served as pointers straight into the
-/// mapping — no per-fact allocation, no double parsing, and the page cache
-/// is shared across every process that opens the same snapshot.
+/// Read-only, zero-copy view of a snapshot file (model_codec.h container
+/// layout): the file is mmap'd and φ vectors are served as pointers
+/// straight into the mapping — no per-fact allocation, no double parsing,
+/// and the page cache is shared across every process that opens the same
+/// snapshot.
 ///
-/// This works because the writer pads sections so every φ payload double
+/// The reader is method-agnostic: it parses the v2 container (verifying
+/// magic, version, structure and *every* section's CRC, whatever its tag)
+/// and serves the standard sections — the mandatory 'PHI ' embeddings
+/// payload, plus 'PSI ' (FoRWaRD's ψ matrices) zero-copy when present. A
+/// Node2Vec store directory opens here exactly like a FoRWaRD one; the
+/// method tag is exposed for callers that care.
+///
+/// This works because the writer pads sections so every payload double
 /// sits on an 8-byte file offset, and the format stores raw little-endian
 /// IEEE-754 doubles — on the little-endian targets this library supports,
-/// the on-disk bytes *are* the in-memory representation. Open() verifies
-/// magic, version, structure and all section CRCs before any pointer is
-/// handed out (one sequential pass; faults the pages the way a full read
-/// would, still far cheaper than the copying parse), and checks that the
-/// PHI records are sorted by fact id — lookups binary-search the mapping
-/// directly, so an open snapshot costs zero heap beyond this object.
+/// the on-disk bytes *are* the in-memory representation. Open() checks
+/// that the PHI records are sorted by fact id — lookups binary-search the
+/// mapping directly, so an open snapshot costs zero heap beyond this
+/// object.
 ///
 /// The mapping stays valid for the lifetime of this object even if the
 /// file is atomically replaced (rename keeps the old inode alive), which
@@ -50,6 +56,18 @@ class MmapSnapshot {
   db::FactId fact_at(size_t i) const;
   /// Total mapped bytes (the snapshot file size).
   size_t mapped_bytes() const { return map_size_; }
+  /// The writing codec's method tag ('FWD ', 'N2V ', ...).
+  uint32_t method_tag() const { return method_tag_; }
+  /// The writing codec's payload version.
+  uint32_t codec_version() const { return codec_version_; }
+
+  /// ψ matrices from the standard 'PSI ' section, zero-copy: matrix `t`
+  /// as a dim()*dim() row-major view into the mapping, or an empty span
+  /// when `t` is out of range. num_psi() is 0 for methods that persist no
+  /// ψ (Node2Vec). This unblocks a serving-side φᵀψφ scorer: score
+  /// lookups need ψ without paying the copying parse.
+  size_t num_psi() const { return num_psi_; }
+  Span<const double> psi(size_t t) const;
 
  private:
   MmapSnapshot() = default;
@@ -57,9 +75,13 @@ class MmapSnapshot {
   void* map_ = nullptr;
   size_t map_size_ = 0;
   const char* phi_records_ = nullptr;  ///< first PHI record, inside map_
+  const char* psi_matrices_ = nullptr;  ///< first ψ double, inside map_
   size_t num_facts_ = 0;
+  size_t num_psi_ = 0;
   size_t dim_ = 0;
   db::RelationId relation_ = -1;
+  uint32_t method_tag_ = 0;
+  uint32_t codec_version_ = 0;
 };
 
 }  // namespace stedb::store

@@ -1,0 +1,297 @@
+#include "src/store/model_codec.h"
+
+#include <cctype>
+#include <map>
+#include <mutex>
+
+#include "src/common/string_util.h"
+
+namespace stedb::store {
+namespace internal {
+
+// Defined in builtin_codecs.cc. Called from the registry under its lock so
+// the built-in codecs are present before any user-visible lookup; the
+// explicit call (rather than static initializers in the codec TUs) keeps
+// registration immune to static-library dead-stripping — the same pattern
+// as the api method registry.
+void RegisterBuiltinCodecs();
+
+}  // namespace internal
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'T', 'E', 'D', 'B', 'S', 'N', 'P'};
+
+/// Generous structural ceiling: a corrupted section count must not turn
+/// into an unbounded parse loop before any size check fires.
+constexpr uint32_t kMaxSections = 1 << 10;
+
+std::mutex& RegistryMutex() {
+  static std::mutex mu;
+  return mu;
+}
+
+struct CodecRegistry {
+  std::map<std::string, std::shared_ptr<const ModelCodec>> by_method;
+  std::map<uint32_t, std::shared_ptr<const ModelCodec>> by_tag;
+};
+
+CodecRegistry& Registry() {
+  static CodecRegistry registry;
+  return registry;
+}
+
+/// Must be called with RegistryMutex held.
+void EnsureBuiltinsLocked() {
+  static bool done = false;
+  if (!done) {
+    done = true;  // set first: RegisterBuiltinCodecs re-enters Register
+    internal::RegisterBuiltinCodecs();
+  }
+}
+
+Status RegisterLocked(std::shared_ptr<const ModelCodec> codec) {
+  if (codec == nullptr) {
+    return Status::InvalidArgument("model codec must not be null");
+  }
+  const std::string key = ToLower(codec->method());
+  if (key.empty()) {
+    return Status::InvalidArgument("model codec method name must not be empty");
+  }
+  CodecRegistry& registry = Registry();
+  if (registry.by_method.count(key) > 0) {
+    return Status::AlreadyExists("model codec for method '" + key +
+                                 "' is already registered");
+  }
+  if (registry.by_tag.count(codec->method_tag()) > 0) {
+    return Status::AlreadyExists("model codec tag '" +
+                                 FourCcToString(codec->method_tag()) +
+                                 "' is already registered");
+  }
+  registry.by_tag.emplace(codec->method_tag(), codec);
+  registry.by_method.emplace(key, std::move(codec));
+  return Status::OK();
+}
+
+std::string KnownMethodsLocked() {
+  std::string known;
+  for (const auto& [key, unused] : Registry().by_method) {
+    if (!known.empty()) known += ", ";
+    known += key;
+  }
+  return known;
+}
+
+}  // namespace
+
+namespace internal {
+
+// Built-in registration path: the caller (RegisterBuiltinCodecs) runs
+// under the registry lock already.
+Status RegisterModelCodecLocked(std::shared_ptr<const ModelCodec> codec) {
+  return RegisterLocked(std::move(codec));
+}
+
+}  // namespace internal
+
+std::string FourCcToString(uint32_t tag) {
+  std::string s;
+  for (int i = 0; i < 4; ++i) {
+    const char c = static_cast<char>((tag >> (8 * i)) & 0xff);
+    s += std::isprint(static_cast<unsigned char>(c)) ? c : '?';
+  }
+  return s;
+}
+
+const SnapshotSection* ParsedSnapshot::Find(uint32_t tag) const {
+  for (const SnapshotSection& s : sections) {
+    if (s.tag == tag) return &s;
+  }
+  return nullptr;
+}
+
+Result<ParsedSnapshot> ParseSnapshotContainer(const char* data, size_t size) {
+  ByteReader in(data, size);
+  if (in.remaining() < sizeof(kMagic) ||
+      std::memcmp(in.cursor(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument("snapshot: bad magic");
+  }
+  in.Skip(sizeof(kMagic));
+  uint32_t version = 0;
+  if (!in.ReadU32(&version)) {
+    return Status::InvalidArgument("snapshot: truncated header");
+  }
+  if (version != kSnapshotContainerVersion) {
+    // A precise, actionable error — version skew must never surface as a
+    // checksum failure.
+    if (version < kSnapshotContainerVersion) {
+      return Status::InvalidArgument(
+          "snapshot: format version " + std::to_string(version) +
+          " was written by an older binary and predates the codec "
+          "registry; re-create the store (this binary reads version " +
+          std::to_string(kSnapshotContainerVersion) + ")");
+    }
+    return Status::InvalidArgument(
+        "snapshot: format version " + std::to_string(version) +
+        " was written by a newer binary (this binary reads version " +
+        std::to_string(kSnapshotContainerVersion) + "); upgrade to open it");
+  }
+
+  ParsedSnapshot snap;
+  int64_t relation = -1;
+  if (!in.ReadU32(&snap.header.method_tag) ||
+      !in.ReadU32(&snap.header.codec_version) ||
+      !in.ReadU32(&snap.header.section_count) ||
+      !in.ReadU64(&snap.header.dim) || !in.ReadI64(&relation)) {
+    return Status::InvalidArgument("snapshot: truncated header");
+  }
+  snap.header.relation = relation;
+  if (snap.header.dim == 0 || snap.header.dim > kMaxEmbeddingDim) {
+    return Status::InvalidArgument("snapshot: implausible dimension");
+  }
+  if (snap.header.section_count > kMaxSections) {
+    return Status::InvalidArgument("snapshot: implausible section count");
+  }
+
+  snap.sections.reserve(snap.header.section_count);
+  for (uint32_t s = 0; s < snap.header.section_count; ++s) {
+    uint32_t tag = 0, crc = 0;
+    uint64_t payload_size = 0;
+    if (!in.ReadU32(&tag) || !in.ReadU32(&crc) || !in.ReadU64(&payload_size)) {
+      return Status::InvalidArgument("snapshot: truncated section header");
+    }
+    if (payload_size > in.remaining()) {
+      return Status::InvalidArgument("snapshot: section overruns file");
+    }
+    const char* payload = in.cursor();
+    if (Crc32(payload, payload_size) != crc) {
+      return Status::InvalidArgument("snapshot: section '" +
+                                     FourCcToString(tag) +
+                                     "' checksum mismatch");
+    }
+    in.Skip(static_cast<size_t>(payload_size));
+    if (!in.SkipTo8()) {
+      return Status::InvalidArgument("snapshot: missing section padding");
+    }
+    snap.sections.push_back(
+        SnapshotSection{tag, payload, static_cast<size_t>(payload_size)});
+  }
+  if (in.remaining() != 0) {
+    return Status::InvalidArgument("snapshot: trailing bytes after sections");
+  }
+  if (snap.Find(kPhiSectionTag) == nullptr) {
+    return Status::InvalidArgument(
+        "snapshot: missing mandatory PHI section");
+  }
+  return snap;
+}
+
+SnapshotBuilder::SnapshotBuilder(uint32_t method_tag, uint32_t codec_version,
+                                 size_t dim, db::RelationId relation) {
+  out_.append(kMagic, sizeof(kMagic));
+  AppendU32(out_, kSnapshotContainerVersion);
+  AppendU32(out_, method_tag);
+  AppendU32(out_, codec_version);
+  AppendU32(out_, 0);  // section count, patched by Finish()
+  AppendU64(out_, dim);
+  AppendI64(out_, static_cast<int64_t>(relation));
+}
+
+void SnapshotBuilder::AddSection(uint32_t tag, const std::string& payload) {
+  AppendU32(out_, tag);
+  AppendU32(out_, Crc32(payload.data(), payload.size()));
+  AppendU64(out_, payload.size());
+  out_ += payload;
+  PadTo8(out_);
+  ++section_count_;
+}
+
+std::string SnapshotBuilder::Finish() && {
+  // Patch the section count in place (offset 20, little-endian u32).
+  for (int i = 0; i < 4; ++i) {
+    out_[20 + i] = static_cast<char>((section_count_ >> (8 * i)) & 0xff);
+  }
+  return std::move(out_);
+}
+
+std::string EncodePhiPayload(const StoredModel& model) {
+  std::string phi;
+  AppendU64(phi, model.num_embedded());
+  model.ForEachPhi([&phi](db::FactId f, const la::Vector& v) {
+    AppendI64(phi, f);
+    for (double x : v) AppendDouble(phi, x);
+  });
+  return phi;
+}
+
+Status DecodePhiPayload(const SnapshotSection& section, size_t dim,
+                        StoredModel* into) {
+  ByteReader in = section.reader();
+  uint64_t n = 0;
+  const uint64_t record_size = 8 + static_cast<uint64_t>(dim) * 8;
+  // Division-form size check: a crafted count cannot overflow the
+  // multiplication into a passing comparison.
+  if (!in.ReadU64(&n) || in.remaining() % record_size != 0 ||
+      in.remaining() / record_size != n) {
+    return Status::InvalidArgument("snapshot: PHI payload size mismatch");
+  }
+  db::FactId prev = db::kNoFact;
+  bool have_prev = false;
+  for (uint64_t i = 0; i < n; ++i) {
+    int64_t fact = -1;
+    in.ReadI64(&fact);  // cannot fail: size checked above
+    if (have_prev && static_cast<db::FactId>(fact) <= prev) {
+      return Status::InvalidArgument(
+          "snapshot: PHI records not strictly ascending by fact id");
+    }
+    prev = static_cast<db::FactId>(fact);
+    have_prev = true;
+    la::Vector vec(dim);
+    for (double& x : vec) in.ReadDouble(&x);
+    into->set_phi(static_cast<db::FactId>(fact), std::move(vec));
+  }
+  return Status::OK();
+}
+
+Status RegisterModelCodec(std::shared_ptr<const ModelCodec> codec) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  EnsureBuiltinsLocked();
+  return RegisterLocked(std::move(codec));
+}
+
+Result<std::shared_ptr<const ModelCodec>> CodecByMethod(
+    const std::string& method) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  EnsureBuiltinsLocked();
+  auto it = Registry().by_method.find(ToLower(method));
+  if (it == Registry().by_method.end()) {
+    return Status::NotFound("no model codec for method '" + method +
+                            "' (registered: " + KnownMethodsLocked() + ")");
+  }
+  return it->second;
+}
+
+Result<std::shared_ptr<const ModelCodec>> CodecByTag(uint32_t method_tag) {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  EnsureBuiltinsLocked();
+  auto it = Registry().by_tag.find(method_tag);
+  if (it == Registry().by_tag.end()) {
+    return Status::NotFound("no model codec for snapshot method tag '" +
+                            FourCcToString(method_tag) +
+                            "' (registered: " + KnownMethodsLocked() + ")");
+  }
+  return it->second;
+}
+
+std::vector<std::string> RegisteredModelCodecs() {
+  std::lock_guard<std::mutex> lock(RegistryMutex());
+  EnsureBuiltinsLocked();
+  std::vector<std::string> names;
+  names.reserve(Registry().by_method.size());
+  for (const auto& [key, unused] : Registry().by_method) {
+    names.push_back(key);
+  }
+  return names;  // std::map iterates sorted
+}
+
+}  // namespace stedb::store

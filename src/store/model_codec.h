@@ -1,0 +1,175 @@
+#ifndef STEDB_STORE_MODEL_CODEC_H_
+#define STEDB_STORE_MODEL_CODEC_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/store/format.h"
+#include "src/store/stored_model.h"
+
+namespace stedb::store {
+
+/// Method-agnostic snapshot container (format version 2).
+///
+/// Layout (all integers little-endian, doubles raw IEEE-754):
+///
+///   [0..8)    magic "STEDBSNP"
+///   [8..12)   u32 container version (currently 2)
+///   [12..16)  u32 method tag       fourcc of the codec that wrote the file
+///   [16..20)  u32 codec version    method-specific payload version
+///   [20..24)  u32 section count
+///   [24..32)  u64 embedding dimension
+///   [32..40)  i64 embedded relation (-1 when not applicable)
+///   sections, each:
+///     u32 tag          fourcc section name
+///     u32 crc32        of the payload bytes
+///     u64 payload_size
+///     payload          (payload_size bytes)
+///     zero padding to the next 8-byte file offset
+///
+/// The 40-byte header and 16-byte section headers keep every payload on an
+/// 8-byte file offset, so a reader may mmap the file and point at double
+/// payloads in place. Which sections appear (beyond the mandatory 'PHI ')
+/// and what their payloads mean is the writing codec's business; the
+/// container layer verifies structure and CRCs for *all* of them, so a
+/// reader that only understands the standard sections still proves the
+/// whole file intact.
+///
+/// Standard sections every codec participates in:
+///  * 'PHI ' (mandatory) — the serving payload: u64 #facts, then per fact
+///    (i64 fact_id, dim doubles), strictly ascending by fact id. This is
+///    what MmapSnapshot / api::ServingSession read, which is why *any*
+///    method's store directory can be served without knowing its codec.
+///  * 'PSI ' (optional)  — u64 #matrices, then per matrix dim*dim doubles
+///    (row-major). FoRWaRD's learned inner-product matrices; exposed
+///    zero-copy by MmapSnapshot for a future serving-side φᵀψφ scorer.
+///
+/// Format version 1 (PR 3's FoRWaRD-only layout) is not readable by this
+/// parser: it predates the method tag, and silently assuming FoRWaRD would
+/// defeat the tag's purpose. Opening a v1 file yields a clear Status error
+/// telling the operator to re-create the store, not a CRC failure.
+
+constexpr uint32_t kSnapshotContainerVersion = 2;
+constexpr size_t kSnapshotHeaderSize = 40;
+
+constexpr uint32_t FourCc(char a, char b, char c, char d) {
+  return static_cast<uint32_t>(static_cast<unsigned char>(a)) |
+         static_cast<uint32_t>(static_cast<unsigned char>(b)) << 8 |
+         static_cast<uint32_t>(static_cast<unsigned char>(c)) << 16 |
+         static_cast<uint32_t>(static_cast<unsigned char>(d)) << 24;
+}
+
+constexpr uint32_t kPhiSectionTag = FourCc('P', 'H', 'I', ' ');
+constexpr uint32_t kPsiSectionTag = FourCc('P', 'S', 'I', ' ');
+constexpr uint32_t kMetaSectionTag = FourCc('M', 'E', 'T', 'A');
+
+/// Renders a fourcc tag as printable text ("FWD ") for error messages.
+std::string FourCcToString(uint32_t tag);
+
+struct SnapshotHeader {
+  uint32_t method_tag = 0;
+  uint32_t codec_version = 0;
+  uint32_t section_count = 0;
+  uint64_t dim = 0;
+  int64_t relation = -1;
+};
+
+/// One CRC-verified section of a parsed container; `data` points into the
+/// caller's buffer (or mapping) and stays valid as long as it does.
+struct SnapshotSection {
+  uint32_t tag = 0;
+  const char* data = nullptr;
+  size_t size = 0;
+
+  ByteReader reader() const { return ByteReader(data, size); }
+};
+
+struct ParsedSnapshot {
+  SnapshotHeader header;
+  std::vector<SnapshotSection> sections;
+
+  /// First section with `tag`, or nullptr.
+  const SnapshotSection* Find(uint32_t tag) const;
+};
+
+/// Verifies magic, container version, header sanity and every section's
+/// CRC. Returns views into `data` — zero-copy, usable over an mmap.
+/// Old (v1) and future (>2) format versions fail with a Status that names
+/// the version mismatch, never a checksum error.
+Result<ParsedSnapshot> ParseSnapshotContainer(const char* data, size_t size);
+
+/// Serializes a v2 container: header up front, AddSection per section,
+/// Finish() patches the section count and returns the bytes.
+class SnapshotBuilder {
+ public:
+  SnapshotBuilder(uint32_t method_tag, uint32_t codec_version, size_t dim,
+                  db::RelationId relation);
+
+  void AddSection(uint32_t tag, const std::string& payload);
+  std::string Finish() &&;
+
+ private:
+  std::string out_;
+  uint32_t section_count_ = 0;
+};
+
+/// Encodes the standard 'PHI ' payload from a model (ascending fact id).
+std::string EncodePhiPayload(const StoredModel& model);
+
+/// Decodes a standard 'PHI ' payload into `into` via set_phi. Validates
+/// the record count against the payload size and the strict fact-id
+/// ordering.
+Status DecodePhiPayload(const SnapshotSection& section, size_t dim,
+                        StoredModel* into);
+
+// ---- Codec interface and registry --------------------------------------
+
+/// Converts between a method's in-memory model (behind StoredModel) and
+/// its snapshot bytes. One codec per registered embedding method; the
+/// codec's `method()` matches the api method-registry name and its
+/// `method_tag()` is persisted in every snapshot header, so
+/// EmbeddingStore::Open can resolve the right codec from the file alone.
+class ModelCodec {
+ public:
+  virtual ~ModelCodec() = default;
+
+  /// The api-registry method name this codec persists (case-folded).
+  virtual std::string method() const = 0;
+  /// The fourcc written to (and matched against) the snapshot header.
+  virtual uint32_t method_tag() const = 0;
+  /// Version of the codec's method-specific payload.
+  virtual uint32_t codec_version() const = 0;
+
+  /// Full snapshot bytes for `model`. Deterministic: equal models produce
+  /// byte-identical buffers. InvalidArgument when `model` is not the
+  /// concrete StoredModel type this codec owns.
+  virtual Result<std::string> Encode(const StoredModel& model) const = 0;
+
+  /// Rebuilds the model from a parsed container whose method tag matched
+  /// this codec.
+  virtual Result<std::unique_ptr<StoredModel>> Decode(
+      const ParsedSnapshot& snapshot) const = 0;
+};
+
+/// Registers a codec under its method() name and method_tag(). The
+/// built-ins — FoRWaRD ('FWD ') and Node2Vec ('N2V ') — self-register
+/// before any lookup. AlreadyExists when the name or tag is taken.
+/// Thread-safe.
+Status RegisterModelCodec(std::shared_ptr<const ModelCodec> codec);
+
+/// Codec for an api method name (case-insensitive); NotFound (listing what
+/// is registered) for unknown names. Thread-safe.
+Result<std::shared_ptr<const ModelCodec>> CodecByMethod(
+    const std::string& method);
+
+/// Codec for a snapshot header's method tag; NotFound for unknown tags.
+Result<std::shared_ptr<const ModelCodec>> CodecByTag(uint32_t method_tag);
+
+/// The registered codec method names (case-folded), sorted.
+std::vector<std::string> RegisteredModelCodecs();
+
+}  // namespace stedb::store
+
+#endif  // STEDB_STORE_MODEL_CODEC_H_

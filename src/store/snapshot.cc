@@ -2,244 +2,20 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 
+#include "src/fwd/codec.h"
 #include "src/store/format.h"
 
 namespace stedb::store {
-namespace {
-
-constexpr char kMagic[8] = {'S', 'T', 'E', 'D', 'B', 'S', 'N', 'P'};
-constexpr uint32_t kVersion = 1;
-constexpr uint32_t kSectionCount = 3;
-
-constexpr uint32_t FourCc(char a, char b, char c, char d) {
-  return static_cast<uint32_t>(static_cast<unsigned char>(a)) |
-         static_cast<uint32_t>(static_cast<unsigned char>(b)) << 8 |
-         static_cast<uint32_t>(static_cast<unsigned char>(c)) << 16 |
-         static_cast<uint32_t>(static_cast<unsigned char>(d)) << 24;
-}
-constexpr uint32_t kMetaTag = FourCc('M', 'E', 'T', 'A');
-constexpr uint32_t kPsiTag = FourCc('P', 'S', 'I', ' ');
-constexpr uint32_t kPhiTag = FourCc('P', 'H', 'I', ' ');
-
-/// Hard ceilings that keep a corrupted length field from turning into a
-/// multi-gigabyte allocation before the CRC even gets checked.
-constexpr uint64_t kMaxDim = kMaxEmbeddingDim;
-constexpr uint64_t kMaxSchemes = 1 << 20;
-constexpr uint64_t kMaxSteps = 1 << 10;
-
-void AppendSection(std::string& out, uint32_t tag,
-                   const std::string& payload) {
-  AppendU32(out, tag);
-  AppendU32(out, Crc32(payload.data(), payload.size()));
-  AppendU64(out, payload.size());
-  out += payload;
-  PadTo8(out);
-}
-
-/// Verifies the header of the next section and returns a reader scoped to
-/// its (CRC-checked) payload, advancing `in` past the section.
-Result<ByteReader> OpenSection(ByteReader& in, uint32_t want_tag) {
-  uint32_t tag = 0, crc = 0;
-  uint64_t size = 0;
-  if (!in.ReadU32(&tag) || !in.ReadU32(&crc) || !in.ReadU64(&size)) {
-    return Status::InvalidArgument("snapshot: truncated section header");
-  }
-  if (tag != want_tag) {
-    return Status::InvalidArgument("snapshot: unexpected section tag");
-  }
-  if (size > in.remaining()) {
-    return Status::InvalidArgument("snapshot: section overruns file");
-  }
-  const char* payload = in.cursor();
-  if (Crc32(payload, size) != crc) {
-    return Status::InvalidArgument("snapshot: section checksum mismatch");
-  }
-  in.Skip(static_cast<size_t>(size));
-  if (!in.SkipTo8()) {
-    return Status::InvalidArgument("snapshot: missing section padding");
-  }
-  return ByteReader(payload, static_cast<size_t>(size));
-}
-
-}  // namespace
 
 std::string SnapshotToBytes(const fwd::ForwardModel& model) {
-  std::string out;
-  out.append(kMagic, sizeof(kMagic));
-  AppendU32(out, kVersion);
-  AppendU32(out, kSectionCount);
-
-  std::string meta;
-  AppendI64(meta, model.relation());
-  AppendU64(meta, model.dim());
-  AppendU64(meta, model.schemes().size());
-  for (const fwd::WalkScheme& s : model.schemes()) {
-    AppendI64(meta, s.start);
-    AppendU64(meta, s.steps.size());
-    for (const fwd::WalkStep& st : s.steps) {
-      AppendI64(meta, st.fk);
-      AppendU64(meta, st.forward ? 1 : 0);
-    }
-  }
-  AppendU64(meta, model.targets().size());
-  for (const fwd::SchemeTarget& t : model.targets()) {
-    AppendI64(meta, t.scheme_index);
-    AppendI64(meta, t.attr);
-  }
-  AppendSection(out, kMetaTag, meta);
-
-  std::string psi;
-  AppendU64(psi, model.targets().size());
-  for (size_t t = 0; t < model.targets().size(); ++t) {
-    const la::Matrix& m = model.psi(t);
-    for (size_t i = 0; i < m.rows(); ++i) {
-      for (size_t j = 0; j < m.cols(); ++j) AppendDouble(psi, m(i, j));
-    }
-  }
-  AppendSection(out, kPsiTag, psi);
-
-  std::string phi;
-  std::vector<db::FactId> facts;
-  facts.reserve(model.num_embedded());
-  for (const auto& [f, v] : model.all_phi()) facts.push_back(f);
-  std::sort(facts.begin(), facts.end());
-  AppendU64(phi, facts.size());
-  for (db::FactId f : facts) {
-    AppendI64(phi, f);
-    for (double x : model.phi(f)) AppendDouble(phi, x);
-  }
-  AppendSection(out, kPhiTag, phi);
-  return out;
+  return fwd::EncodeForwardSnapshot(model);
 }
 
 Result<fwd::ForwardModel> SnapshotFromBytes(const std::string& bytes) {
-  ByteReader in(bytes);
-  if (in.remaining() < sizeof(kMagic) ||
-      std::memcmp(in.cursor(), kMagic, sizeof(kMagic)) != 0) {
-    return Status::InvalidArgument("snapshot: bad magic");
-  }
-  in.Skip(sizeof(kMagic));
-  uint32_t version = 0, sections = 0;
-  if (!in.ReadU32(&version) || !in.ReadU32(&sections)) {
-    return Status::InvalidArgument("snapshot: truncated header");
-  }
-  if (version != kVersion) {
-    return Status::InvalidArgument("snapshot: unsupported format version " +
-                                   std::to_string(version));
-  }
-  if (sections != kSectionCount) {
-    return Status::InvalidArgument("snapshot: unexpected section count");
-  }
-
-  // META.
-  STEDB_ASSIGN_OR_RETURN(ByteReader meta, OpenSection(in, kMetaTag));
-  int64_t relation = -1;
-  uint64_t dim = 0, n_schemes = 0;
-  if (!meta.ReadI64(&relation) || !meta.ReadU64(&dim) ||
-      !meta.ReadU64(&n_schemes)) {
-    return Status::InvalidArgument("snapshot: truncated META");
-  }
-  if (dim == 0 || dim > kMaxDim) {
-    return Status::InvalidArgument("snapshot: implausible dimension");
-  }
-  if (n_schemes > kMaxSchemes || n_schemes * 16 > meta.remaining()) {
-    return Status::InvalidArgument("snapshot: implausible scheme count");
-  }
-  std::vector<fwd::WalkScheme> schemes(static_cast<size_t>(n_schemes));
-  for (fwd::WalkScheme& s : schemes) {
-    int64_t start = 0;
-    uint64_t nsteps = 0;
-    if (!meta.ReadI64(&start) || !meta.ReadU64(&nsteps)) {
-      return Status::InvalidArgument("snapshot: truncated scheme");
-    }
-    if (nsteps > kMaxSteps || nsteps * 16 > meta.remaining()) {
-      return Status::InvalidArgument("snapshot: implausible step count");
-    }
-    s.start = static_cast<db::RelationId>(start);
-    s.steps.resize(static_cast<size_t>(nsteps));
-    for (fwd::WalkStep& st : s.steps) {
-      int64_t fk = 0;
-      uint64_t forward = 0;
-      if (!meta.ReadI64(&fk) || !meta.ReadU64(&forward) || forward > 1) {
-        return Status::InvalidArgument("snapshot: bad scheme step");
-      }
-      st.fk = static_cast<db::FkId>(fk);
-      st.forward = forward == 1;
-    }
-  }
-  uint64_t n_targets = 0;
-  if (!meta.ReadU64(&n_targets) || n_targets > kMaxSchemes ||
-      n_targets * 16 > meta.remaining()) {
-    return Status::InvalidArgument("snapshot: implausible target count");
-  }
-  std::vector<fwd::SchemeTarget> targets(static_cast<size_t>(n_targets));
-  for (fwd::SchemeTarget& t : targets) {
-    int64_t scheme_index = 0, attr = 0;
-    if (!meta.ReadI64(&scheme_index) || !meta.ReadI64(&attr)) {
-      return Status::InvalidArgument("snapshot: truncated target");
-    }
-    if (scheme_index < 0 ||
-        static_cast<uint64_t>(scheme_index) >= n_schemes) {
-      return Status::OutOfRange("snapshot: target references unknown scheme");
-    }
-    t.scheme_index = static_cast<int>(scheme_index);
-    t.attr = static_cast<db::AttrId>(attr);
-  }
-  if (meta.remaining() != 0) {
-    return Status::InvalidArgument("snapshot: trailing bytes in META");
-  }
-
-  fwd::ForwardModel model(static_cast<db::RelationId>(relation),
-                          static_cast<size_t>(dim), std::move(schemes),
-                          std::move(targets));
-
-  // PSI.
-  STEDB_ASSIGN_OR_RETURN(ByteReader psi, OpenSection(in, kPsiTag));
-  uint64_t psi_targets = 0;
-  if (!psi.ReadU64(&psi_targets) || psi_targets != n_targets) {
-    return Status::InvalidArgument("snapshot: PSI/META target mismatch");
-  }
-  if (psi.remaining() != n_targets * dim * dim * 8) {
-    return Status::InvalidArgument("snapshot: PSI payload size mismatch");
-  }
-  for (uint64_t t = 0; t < n_targets; ++t) {
-    la::Matrix m(static_cast<size_t>(dim), static_cast<size_t>(dim));
-    for (double& x : m.data()) {
-      if (!psi.ReadDouble(&x)) {
-        return Status::InvalidArgument("snapshot: truncated PSI");
-      }
-    }
-    *model.mutable_psi(static_cast<size_t>(t)) = std::move(m);
-  }
-
-  // PHI.
-  STEDB_ASSIGN_OR_RETURN(ByteReader phi, OpenSection(in, kPhiTag));
-  uint64_t n_phi = 0;
-  if (!phi.ReadU64(&n_phi) || phi.remaining() != n_phi * (8 + dim * 8)) {
-    return Status::InvalidArgument("snapshot: PHI payload size mismatch");
-  }
-  for (uint64_t i = 0; i < n_phi; ++i) {
-    int64_t fact = -1;
-    if (!phi.ReadI64(&fact)) {
-      return Status::InvalidArgument("snapshot: truncated PHI record");
-    }
-    la::Vector vec(static_cast<size_t>(dim));
-    for (double& x : vec) {
-      if (!phi.ReadDouble(&x)) {
-        return Status::InvalidArgument("snapshot: truncated PHI vector");
-      }
-    }
-    if (model.HasEmbedding(static_cast<db::FactId>(fact))) {
-      return Status::InvalidArgument("snapshot: duplicate fact in PHI");
-    }
-    model.set_phi(static_cast<db::FactId>(fact), std::move(vec));
-  }
-  if (in.remaining() != 0) {
-    return Status::InvalidArgument("snapshot: trailing bytes after PHI");
-  }
-  return model;
+  return fwd::DecodeForwardSnapshot(bytes);
 }
 
 Status WriteSnapshot(const fwd::ForwardModel& model,
@@ -300,6 +76,18 @@ double ModelMaxAbsDiff(const fwd::ForwardModel& a,
     }
   }
   return worst;
+}
+
+double ModelMaxAbsDiff(const StoredModel& a, const fwd::ForwardModel& b) {
+  const fwd::ForwardModel* fa = fwd::AsForwardModel(a);
+  if (fa == nullptr) return std::numeric_limits<double>::infinity();
+  return ModelMaxAbsDiff(*fa, b);
+}
+
+double ModelMaxAbsDiff(const StoredModel& a, const StoredModel& b) {
+  const fwd::ForwardModel* fb = fwd::AsForwardModel(b);
+  if (fb == nullptr) return std::numeric_limits<double>::infinity();
+  return ModelMaxAbsDiff(a, *fb);
 }
 
 }  // namespace stedb::store

@@ -5,43 +5,27 @@
 
 #include "src/common/status.h"
 #include "src/fwd/model.h"
+#include "src/store/stored_model.h"
 
 namespace stedb::store {
 
-/// Versioned binary snapshot of a trained fwd::ForwardModel.
+/// FoRWaRD-typed snapshot helpers.
 ///
-/// Layout (all integers little-endian, doubles raw IEEE-754):
-///
-///   [0..8)    magic "STEDBSNP"
-///   [8..12)   u32 format version (currently 1)
-///   [12..16)  u32 section count (currently 3)
-///   sections, in fixed order META, PSI, PHI, each:
-///     u32 tag          fourcc section name
-///     u32 crc32        of the payload bytes
-///     u64 payload_size
-///     payload          (payload_size bytes)
-///     zero padding to the next 8-byte file offset
-///
-///   META: i64 relation, u64 dim,
-///         u64 #schemes, per scheme (i64 start, u64 #steps,
-///                                   per step (i64 fk, u64 forward)),
-///         u64 #targets, per target (i64 scheme_index, i64 attr)
-///   PSI:  u64 #targets, then per target dim*dim doubles (row-major)
-///   PHI:  u64 #facts, then per fact (i64 fact_id, dim doubles),
-///         sorted by fact id so identical models produce identical bytes
-///
-/// Section headers are 16 bytes and payloads padded to 8, so every double
-/// sits on an 8-byte file offset: a reader may mmap the file and point at
-/// the ψ/φ payloads in place. Every parser here is defensive — truncated,
-/// bit-flipped, or adversarial input yields a Status error, never a crash
-/// or a partially filled model (fuzzed in tests/store_fuzz_test.cc).
+/// These are thin wrappers over the method-agnostic codec layer (see
+/// model_codec.h for the container format and fwd/codec.h for the FoRWaRD
+/// codec): they exist because a large surface — tests, benches, the
+/// trainer-side tooling — deals in `fwd::ForwardModel` values and should
+/// not have to wrap/unwrap StoredModel handles to hit the disk format.
+/// The bytes they produce are ordinary v2 containers with the 'FWD '
+/// method tag; any generic reader (EmbeddingStore::Open, MmapSnapshot,
+/// api::ServingSession) opens them like every other method's snapshot.
 
 /// Serializes to the snapshot byte format. Deterministic: equal models
 /// produce byte-identical buffers.
 std::string SnapshotToBytes(const fwd::ForwardModel& model);
 
-/// Parses SnapshotToBytes output, verifying magic, version, structure and
-/// per-section CRCs.
+/// Parses SnapshotToBytes output, verifying magic, container version,
+/// method tag, structure and per-section CRCs.
 Result<fwd::ForwardModel> SnapshotFromBytes(const std::string& bytes);
 
 /// Writes the snapshot to `path` atomically (temp file + fsync + rename).
@@ -55,6 +39,14 @@ Result<fwd::ForwardModel> ReadSnapshot(const std::string& path);
 /// targets, or embedded-fact sets differ). 0.0 means bit-exact agreement —
 /// the recovery acceptance criterion.
 double ModelMaxAbsDiff(const fwd::ForwardModel& a, const fwd::ForwardModel& b);
+
+/// Same, with one or both sides behind the store's generic model handle
+/// (as EmbeddingStore::model() returns it). When every generic side is a
+/// FoRWaRD stored model the full ψ-aware diff runs; models of any other
+/// method are +inf by definition (structural mismatch — use
+/// StoredModelMaxAbsDiff for the method-agnostic φ-only comparison).
+double ModelMaxAbsDiff(const StoredModel& a, const fwd::ForwardModel& b);
+double ModelMaxAbsDiff(const StoredModel& a, const StoredModel& b);
 
 }  // namespace stedb::store
 

@@ -138,8 +138,9 @@ Result<WalWriter> WalWriter::Open(const std::string& path, size_t dim) {
 }
 
 WalWriter::WalWriter(WalWriter&& other) noexcept
-    : file_(other.file_), dim_(other.dim_) {
+    : file_(other.file_), dim_(other.dim_), sync_count_(other.sync_count_) {
   other.file_ = nullptr;
+  other.sync_count_ = 0;
 }
 
 WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
@@ -147,7 +148,9 @@ WalWriter& WalWriter::operator=(WalWriter&& other) noexcept {
     if (file_ != nullptr) std::fclose(file_);
     file_ = other.file_;
     dim_ = other.dim_;
+    sync_count_ = other.sync_count_;
     other.file_ = nullptr;
+    other.sync_count_ = 0;
   }
   return *this;
 }
@@ -191,6 +194,7 @@ Status WalWriter::Sync() {
   if (std::fflush(file_) != 0 || ::fsync(::fileno(file_)) != 0) {
     return Status::IOError("wal sync failed");
   }
+  ++sync_count_;
   return Status::OK();
 }
 

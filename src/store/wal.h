@@ -71,6 +71,11 @@ class WalWriter {
   /// is new or empty. An existing header must match `dim`.
   static Result<WalWriter> Open(const std::string& path, size_t dim);
 
+  /// On-disk bytes of one record of dimension `dim` (u32 size + u32 crc +
+  /// i64 fact_id + dim doubles). The single source of truth for byte
+  /// accounting — group-commit windows, benches, tests.
+  static constexpr size_t RecordBytes(size_t dim) { return 16 + dim * 8; }
+
   WalWriter(WalWriter&& other) noexcept;
   WalWriter& operator=(WalWriter&& other) noexcept;
   WalWriter(const WalWriter&) = delete;
@@ -88,11 +93,16 @@ class WalWriter {
 
   size_t dim() const { return dim_; }
 
+  /// fsyncs issued by this writer so far (survives Close) — the group-
+  /// commit accounting the store and bench read.
+  uint64_t sync_count() const { return sync_count_; }
+
  private:
   WalWriter(std::FILE* file, size_t dim) : file_(file), dim_(dim) {}
 
   std::FILE* file_ = nullptr;
   size_t dim_ = 0;
+  uint64_t sync_count_ = 0;
 };
 
 /// Truncates `path` to `valid_bytes`, discarding a torn tail found by

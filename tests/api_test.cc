@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstdlib>
+#include <filesystem>
 #include <memory>
 
 #include "src/api/engine.h"
@@ -112,6 +113,38 @@ TEST(RegistryTest, ThirdPartyMethodPlugsIntoEngine) {
   EXPECT_EQ(out.Row(0), (la::Vector{4.0, 1.0, 2.0}));
   EXPECT_EQ(out.Row(1), (la::Vector{7.0, 1.0, 2.0}));
 }
+
+// ---- Engine journaling (any method) -----------------------------------
+
+class EngineJournalTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(EngineJournalTest, AttachExtendVerifyIsBitExact) {
+  // AttachJournal used to be FoRWaRD-only; with the codec registry every
+  // built-in method journals through the same Engine surface and recovers
+  // bit-exactly.
+  db::Database database = MovieDatabase();
+  const db::RelationId collab =
+      database.schema().RelationIndex("COLLABORATIONS");
+  auto trained = api::Engine::Train(&database, GetParam(), collab, {},
+                                    SmokeOptions(), 7);
+  ASSERT_TRUE(trained.ok()) << trained.status();
+  api::Engine engine = std::move(trained).value();
+
+  const std::string dir = ::testing::TempDir() + "/stedb_engine_journal_" +
+                          std::string(GetParam());
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(engine.AttachJournal(dir).ok());
+
+  db::FactId c4 = InsertC4(database);
+  ASSERT_TRUE(engine.ExtendToFacts({c4}).ok());
+
+  auto drift = engine.VerifyJournal();
+  ASSERT_TRUE(drift.ok()) << drift.status();
+  EXPECT_EQ(drift.value(), 0.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(BothMethods, EngineJournalTest,
+                         ::testing::Values("forward", "node2vec"));
 
 // ---- Engine + batch reads ---------------------------------------------
 

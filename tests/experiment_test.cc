@@ -101,7 +101,10 @@ TEST(DynamicExperimentTest, JournalingModeRecoversBitExact) {
   EXPECT_EQ(res.value().stability_drift, 0.0);
 }
 
-TEST(DynamicExperimentTest, JournalingIgnoredForNode2Vec) {
+TEST(DynamicExperimentTest, JournalingRecoversBitExactForNode2Vec) {
+  // Since the Node2Vec codec landed, AttachJournal is no longer a
+  // FoRWaRD-only affair: the same knob journals node2vec runs and the
+  // cold-recovery drift must be exactly 0 for it too.
   data::GeneratedDataset ds = SmokeGenes();
   DynamicConfig dcfg;
   dcfg.new_ratio = 0.2;
@@ -110,8 +113,9 @@ TEST(DynamicExperimentTest, JournalingIgnoredForNode2Vec) {
   auto res = RunDynamicExperiment(ds, "node2vec", SmokeMethods(),
                                   dcfg);
   ASSERT_TRUE(res.ok()) << res.status();
-  EXPECT_FALSE(res.value().journaled);
+  EXPECT_TRUE(res.value().journaled);
   EXPECT_EQ(res.value().journal_drift, 0.0);
+  EXPECT_EQ(res.value().stability_drift, 0.0);
 }
 
 TEST(DynamicExperimentTest, AllAtOnceMode) {

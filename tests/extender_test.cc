@@ -2,9 +2,14 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+
 #include "src/data/registry.h"
 #include "src/db/cascade.h"
+#include "src/fwd/codec.h"
 #include "src/fwd/forward.h"
+#include "src/store/embedding_store.h"
+#include "src/store/format.h"
 #include "tests/test_util.h"
 
 namespace stedb::fwd {
@@ -265,6 +270,82 @@ TEST(ExtenderCacheTest, BothModesDeterministicAndStable) {
     EXPECT_EQ(phi_c4[0], phi_c4[1]);
     EXPECT_EQ(phi_c5[0], phi_c5[1]);
   }
+}
+
+/// The parallel dynamic path: one arrival batch's solves fan out over the
+/// runner, and the embedded vectors AND the journal bytes must be
+/// bit-identical at any thread count (threads ∈ {1, 4} here). This is the
+/// extender-side half of the PR 4 guarantee that journal bytes are
+/// extension-order-independent.
+TEST(ExtenderParallelTest, ThreadCountInvariantVectorsAndJournalBytes) {
+  std::vector<la::Vector> phi_c4, phi_c5;
+  std::vector<std::string> journal_bytes;
+  for (const int threads : {1, 4}) {
+    SCOPED_TRACE("threads=" + std::to_string(threads));
+    db::Database database = MovieDatabase();
+    ForwardConfig cfg = TinyConfig();
+    cfg.threads = threads;
+    auto emb = ForwardEmbedder::TrainStatic(
+        &database, database.schema().RelationIndex("COLLABORATIONS"), {},
+        cfg);
+    ASSERT_TRUE(emb.ok()) << emb.status();
+    ForwardEmbedder embedder = std::move(emb).value();
+    std::unordered_map<db::FactId, la::Vector> before;
+    for (const auto& [f, v] : embedder.model().all_phi()) before[f] = v;
+
+    const std::string dir = ::testing::TempDir() + "/stedb_par_ext_" +
+                            std::to_string(threads);
+    std::filesystem::remove_all(dir);
+    auto created = CreateForwardStore(dir, embedder.model());
+    ASSERT_TRUE(created.ok()) << created.status();
+    store::EmbeddingStore store = std::move(created).value();
+    embedder.set_extension_sink(store.MakeSink());
+
+    // One batch with two arrivals: solved in parallel at threads=4,
+    // inline at threads=1.
+    db::FactId c4 = InsertC4(database);
+    db::FactId c5 = InsertC5(database);
+    ASSERT_TRUE(embedder.ExtendToFacts({c5, c4}).ok());
+    ASSERT_TRUE(store.Sync().ok());
+    phi_c4.push_back(embedder.model().phi(c4));
+    phi_c5.push_back(embedder.model().phi(c5));
+    std::string bytes;
+    ASSERT_TRUE(store::ReadFileToString(
+                    store::EmbeddingStore::WalPath(dir), &bytes)
+                    .ok());
+    journal_bytes.push_back(bytes);
+    // Stability holds under the parallel solve too.
+    for (const auto& [f, v] : before) {
+      EXPECT_EQ(embedder.model().phi(f), v) << "old fact " << f << " drifted";
+    }
+  }
+  EXPECT_EQ(phi_c4[0], phi_c4[1]);
+  EXPECT_EQ(phi_c5[0], phi_c5[1]);
+  EXPECT_EQ(journal_bytes[0], journal_bytes[1]);
+}
+
+/// Arrival order within one batch cannot perturb the result: the batch is
+/// solved against the model as of batch entry and installed in fact-id
+/// order.
+TEST(ExtenderParallelTest, BatchResultIndependentOfArrivalOrder) {
+  std::vector<la::Vector> phi_c4, phi_c5;
+  for (const bool reversed : {false, true}) {
+    db::Database database = MovieDatabase();
+    auto emb = ForwardEmbedder::TrainStatic(
+        &database, database.schema().RelationIndex("COLLABORATIONS"), {},
+        TinyConfig());
+    ASSERT_TRUE(emb.ok());
+    ForwardEmbedder embedder = std::move(emb).value();
+    db::FactId c4 = InsertC4(database);
+    db::FactId c5 = InsertC5(database);
+    std::vector<db::FactId> batch = {c4, c5};
+    if (reversed) std::swap(batch[0], batch[1]);
+    ASSERT_TRUE(embedder.ExtendToFacts(batch).ok());
+    phi_c4.push_back(embedder.model().phi(c4));
+    phi_c5.push_back(embedder.model().phi(c5));
+  }
+  EXPECT_EQ(phi_c4[0], phi_c4[1]);
+  EXPECT_EQ(phi_c5[0], phi_c5[1]);
 }
 
 TEST(ExtenderTest, CacheGrowsInOneByOneMode) {

@@ -9,12 +9,16 @@
 #include <fstream>
 
 #include "src/api/serving.h"
+#include "src/fwd/codec.h"
 #include "src/fwd/forward.h"
 #include "src/fwd/trainer.h"
+#include "src/n2v/codec.h"
+#include "src/n2v/node2vec.h"
 #include "src/store/embedding_store.h"
 #include "src/store/format.h"
 #include "src/store/mmap_snapshot.h"
 #include "src/store/snapshot.h"
+#include "src/store/stored_model.h"
 #include "tests/test_util.h"
 
 namespace stedb {
@@ -129,6 +133,53 @@ TEST(MmapSnapshotTest, RejectsCorruption) {
   EXPECT_FALSE(store::MmapSnapshot::Open(dir + "/nope.snap").ok());
 }
 
+TEST(MmapSnapshotTest, ServesPsiMatricesZeroCopy) {
+  fwd::ForwardModel model = TrainSmall();
+  const std::string dir = FreshDir("mmap_snapshot_psi");
+  const std::string path = dir + "/model.snap";
+  ASSERT_TRUE(store::WriteSnapshot(model, path).ok());
+
+  auto snap = store::MmapSnapshot::Open(path);
+  ASSERT_TRUE(snap.ok()) << snap.status();
+  EXPECT_EQ(snap.value().method_tag(), fwd::kForwardMethodTag);
+  ASSERT_EQ(snap.value().num_psi(), model.targets().size());
+  for (size_t t = 0; t < model.targets().size(); ++t) {
+    Span<const double> view = snap.value().psi(t);
+    const la::Matrix& expected = model.psi(t);
+    ASSERT_EQ(view.size(), expected.rows() * expected.cols());
+    // Bit-exact, row-major, straight off the mapping — the layout a
+    // serving-side φᵀψφ scorer would consume.
+    EXPECT_EQ(std::memcmp(view.data(), expected.data().data(),
+                          view.size() * sizeof(double)),
+              0)
+        << "psi " << t;
+  }
+  // Out-of-range target: empty view, not UB.
+  EXPECT_TRUE(snap.value().psi(model.targets().size()).empty());
+  EXPECT_TRUE(snap.value().psi(model.targets().size() + 7).empty());
+}
+
+TEST(MmapSnapshotTest, Node2VecSnapshotHasNoPsiAndStillServes) {
+  const size_t dim = 6;
+  auto model = std::make_unique<store::VectorSetModel>(dim, -1);
+  for (int i = 0; i < 5; ++i) model->set_phi(10 + i, TestVector(dim, i));
+  const std::string dir = FreshDir("mmap_snapshot_n2v");
+  auto created =
+      store::EmbeddingStore::Create(dir, "node2vec", std::move(model));
+  ASSERT_TRUE(created.ok()) << created.status();
+
+  auto snap = store::MmapSnapshot::Open(
+      store::EmbeddingStore::SnapshotPath(dir));
+  ASSERT_TRUE(snap.ok()) << snap.status();
+  EXPECT_EQ(snap.value().num_psi(), 0u);
+  EXPECT_TRUE(snap.value().psi(0).empty());
+  EXPECT_EQ(snap.value().dim(), dim);
+  EXPECT_EQ(snap.value().num_embedded(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    ExpectSameBits(snap.value().phi(10 + i), TestVector(dim, i));
+  }
+}
+
 // ---- ServingSession ----------------------------------------------------
 
 TEST(ServingSessionTest, ColdOpenServesTrainedModelBitIdentically) {
@@ -138,7 +189,7 @@ TEST(ServingSessionTest, ColdOpenServesTrainedModelBitIdentically) {
       SmallConfig());
   ASSERT_TRUE(emb.ok());
   const std::string dir = FreshDir("serving_cold");
-  auto st = store::EmbeddingStore::Create(dir, emb.value().model());
+  auto st = fwd::CreateForwardStore(dir, emb.value().model());
   ASSERT_TRUE(st.ok());
 
   auto session = api::ServingSession::Open(dir);
@@ -162,7 +213,7 @@ TEST(ServingSessionTest, PollPicksUpLiveExtensions) {
       SmallConfig());
   ASSERT_TRUE(emb.ok());
   const std::string dir = FreshDir("serving_poll");
-  auto created = store::EmbeddingStore::Create(dir, emb.value().model());
+  auto created = fwd::CreateForwardStore(dir, emb.value().model());
   ASSERT_TRUE(created.ok());
   store::EmbeddingStore store = std::move(created).value();
   emb.value().set_extension_sink(store.MakeSink());
@@ -201,7 +252,7 @@ TEST(ServingSessionTest, PollPicksUpLiveExtensions) {
 TEST(ServingSessionTest, MultipleExtensionBatchesAndCompact) {
   fwd::ForwardModel model = TrainSmall();
   const std::string dir = FreshDir("serving_compact");
-  auto created = store::EmbeddingStore::Create(dir, model);
+  auto created = fwd::CreateForwardStore(dir, model);
   ASSERT_TRUE(created.ok());
   store::EmbeddingStore store = std::move(created).value();
   const size_t dim = model.dim();
@@ -238,9 +289,9 @@ TEST(ServingSessionTest, MultipleExtensionBatchesAndCompact) {
   for (int i = 0; i < 8; ++i) {
     ExpectSameBits(session.Embed(1000 + i).value(), TestVector(dim, i));
   }
-  for (const auto& [f, v] : store.model().all_phi()) {
+  store.model().ForEachPhi([&](db::FactId f, const la::Vector& v) {
     ExpectSameBits(session.Embed(f).value(), v);
-  }
+  });
 
   // Appends after the compaction flow through the fresh journal.
   ASSERT_TRUE(store.Append(2000, TestVector(dim, 99)).ok());
@@ -256,7 +307,7 @@ TEST(ServingSessionTest, OverlappingWalRecordCountsOnce) {
   // must count once in num_embedded().
   fwd::ForwardModel model = TrainSmall();
   const std::string dir = FreshDir("serving_overlap");
-  auto created = store::EmbeddingStore::Create(dir, model);
+  auto created = fwd::CreateForwardStore(dir, model);
   ASSERT_TRUE(created.ok());
   store::EmbeddingStore store = std::move(created).value();
 
@@ -278,7 +329,7 @@ TEST(ServingSessionTest, OverlappingWalRecordCountsOnce) {
 TEST(ServingSessionTest, TornTailIsPendingDataNotCorruption) {
   fwd::ForwardModel model = TrainSmall();
   const std::string dir = FreshDir("serving_torn");
-  auto created = store::EmbeddingStore::Create(dir, model);
+  auto created = fwd::CreateForwardStore(dir, model);
   ASSERT_TRUE(created.ok());
   store::EmbeddingStore store = std::move(created).value();
   ASSERT_TRUE(store.Close().ok());
@@ -326,7 +377,7 @@ TEST(ServingSessionTest, TornTailIsPendingDataNotCorruption) {
 TEST(ServingSessionTest, BatchShapeAndMissingFactErrors) {
   fwd::ForwardModel model = TrainSmall();
   const std::string dir = FreshDir("serving_errors");
-  ASSERT_TRUE(store::EmbeddingStore::Create(dir, model).ok());
+  ASSERT_TRUE(fwd::CreateForwardStore(dir, model).ok());
   auto session = api::ServingSession::Open(dir);
   ASSERT_TRUE(session.ok());
 
@@ -343,6 +394,69 @@ TEST(ServingSessionTest, BatchShapeAndMissingFactErrors) {
 TEST(ServingSessionTest, OpenFailsWithoutStore) {
   const std::string dir = FreshDir("serving_missing");
   EXPECT_FALSE(api::ServingSession::Open(dir).ok());
+}
+
+// ---- Serving any method ------------------------------------------------
+
+TEST(ServingSessionTest, Node2VecTrainSnapshotExtendPollRoundTrip) {
+  // The acceptance scenario for method-agnostic serving: a Node2Vec store
+  // directory opens in a ServingSession and serves vectors bit-identical
+  // to the live model — cold after the snapshot, and through Poll() for
+  // extensions journaled later.
+  db::Database database = MovieDatabase();
+  n2v::Node2VecConfig cfg;
+  cfg.sg.dim = 8;
+  cfg.sg.epochs = 2;
+  cfg.walk.walks_per_node = 4;
+  cfg.walk.walk_length = 6;
+  cfg.dynamic_epochs = 2;
+  cfg.seed = 17;
+  auto emb = n2v::Node2VecEmbedding::TrainStatic(&database, cfg);
+  ASSERT_TRUE(emb.ok()) << emb.status();
+  n2v::Node2VecEmbedding embedding = std::move(emb).value();
+
+  const std::string dir = FreshDir("serving_n2v");
+  auto created = store::EmbeddingStore::Create(
+      dir, "node2vec", n2v::SnapshotVectors(embedding));
+  ASSERT_TRUE(created.ok()) << created.status();
+  store::EmbeddingStore store = std::move(created).value();
+  embedding.set_extension_sink(store.MakeSink());
+
+  auto session_result = api::ServingSession::Open(dir);
+  ASSERT_TRUE(session_result.ok()) << session_result.status();
+  api::ServingSession session = std::move(session_result).value();
+  EXPECT_EQ(session.dim(), embedding.dim());
+  const std::vector<db::FactId> trained = embedding.EmbeddedFacts();
+  EXPECT_EQ(session.num_embedded(), trained.size());
+  for (db::FactId f : trained) {
+    ExpectSameBits(session.Embed(f).value(), embedding.Embed(f).value());
+  }
+
+  // Extend: the new fact's final vector goes through the sink into the
+  // WAL; a Poll() catches the reader up, bit-identically.
+  db::FactId c4 = InsertC4(database);
+  ASSERT_TRUE(embedding.ExtendToFacts({c4}).ok());
+  ASSERT_TRUE(store.Sync().ok());
+  EXPECT_EQ(session.Embed(c4).status().code(), StatusCode::kNotFound);
+  auto polled = session.Poll();
+  ASSERT_TRUE(polled.ok()) << polled.status();
+  EXPECT_EQ(polled.value(), 1u);
+  ExpectSameBits(session.Embed(c4).value(), embedding.Embed(c4).value());
+
+  // Batch read across snapshot residents + the tailed extension.
+  std::vector<db::FactId> all = embedding.EmbeddedFacts();
+  la::Matrix served(all.size(), session.dim());
+  ASSERT_TRUE(session.EmbedBatch(all, served).ok());
+  la::Matrix live(all.size(), embedding.dim());
+  ASSERT_TRUE(embedding.EmbedBatch(all, live).ok());
+  EXPECT_EQ(served.data(), live.data());
+
+  // And the writer-side compaction folds through the Node2Vec codec with
+  // the session transparently reopening.
+  ASSERT_TRUE(store.Compact().ok());
+  ASSERT_TRUE(session.Poll().ok());
+  EXPECT_TRUE(session.reopened());
+  ExpectSameBits(session.Embed(c4).value(), embedding.Embed(c4).value());
 }
 
 }  // namespace

@@ -6,10 +6,12 @@
 #include <filesystem>
 #include <fstream>
 
+#include "src/fwd/codec.h"
 #include "src/fwd/forward.h"
 #include "src/fwd/serialize.h"
 #include "src/n2v/node2vec.h"
 #include "src/store/embedding_store.h"
+#include "src/store/model_codec.h"
 #include "src/store/format.h"
 #include "src/store/snapshot.h"
 #include "src/store/wal.h"
@@ -224,7 +226,7 @@ TEST(WalTest, AppendRejectsWrongDimension) {
 TEST(EmbeddingStoreTest, CreateOpenRoundTrip) {
   fwd::ForwardModel model = TrainSmall();
   const std::string dir = FreshDir("store_roundtrip");
-  auto created = EmbeddingStore::Create(dir, model);
+  auto created = fwd::CreateForwardStore(dir, model);
   ASSERT_TRUE(created.ok()) << created.status();
   auto opened = EmbeddingStore::Open(dir);
   ASSERT_TRUE(opened.ok()) << opened.status();
@@ -241,7 +243,7 @@ TEST(EmbeddingStoreTest, OpenMissingDirectoryFails) {
 TEST(EmbeddingStoreTest, AppendsRecoverAcrossOpen) {
   fwd::ForwardModel model = TrainSmall();
   const std::string dir = FreshDir("store_appends");
-  auto created = EmbeddingStore::Create(dir, model);
+  auto created = fwd::CreateForwardStore(dir, model);
   ASSERT_TRUE(created.ok());
   EmbeddingStore st = std::move(created).value();
   const size_t dim = model.dim();
@@ -267,13 +269,13 @@ TEST(EmbeddingStoreTest, TornWriteRecoversDurablePrefix) {
 
   fwd::ForwardModel expect_after_n_minus_1;
   {
-    auto created = EmbeddingStore::Create(dir, model);
+    auto created = fwd::CreateForwardStore(dir, model);
     ASSERT_TRUE(created.ok());
     EmbeddingStore st = std::move(created).value();
     for (int i = 0; i < kAppends - 1; ++i) {
       ASSERT_TRUE(st.Append(9000 + i, TestVector(dim, i)).ok());
     }
-    expect_after_n_minus_1 = st.model();
+    expect_after_n_minus_1 = *fwd::AsForwardModel(st.model());
     ASSERT_TRUE(st.Append(9000 + kAppends - 1,
                           TestVector(dim, kAppends - 1)).ok());
     // No Close(): simulate the process dying with the file as-is.
@@ -308,7 +310,7 @@ TEST(EmbeddingStoreTest, TornWriteRecoversDurablePrefix) {
 TEST(EmbeddingStoreTest, GarbageAppendedToJournalIsDropped) {
   fwd::ForwardModel model = TrainSmall();
   const std::string dir = FreshDir("store_garbage");
-  auto created = EmbeddingStore::Create(dir, model);
+  auto created = fwd::CreateForwardStore(dir, model);
   ASSERT_TRUE(created.ok());
   EmbeddingStore st = std::move(created).value();
   ASSERT_TRUE(st.Append(9000, TestVector(model.dim(), 1)).ok());
@@ -328,7 +330,7 @@ TEST(EmbeddingStoreTest, GarbageAppendedToJournalIsDropped) {
 TEST(EmbeddingStoreTest, CompactFoldsJournalIntoSnapshot) {
   fwd::ForwardModel model = TrainSmall();
   const std::string dir = FreshDir("store_compact");
-  auto created = EmbeddingStore::Create(dir, model);
+  auto created = fwd::CreateForwardStore(dir, model);
   ASSERT_TRUE(created.ok());
   EmbeddingStore st = std::move(created).value();
   for (int i = 0; i < 6; ++i) {
@@ -352,7 +354,7 @@ TEST(EmbeddingStoreTest, AutoCompactAtThreshold) {
   const std::string dir = FreshDir("store_autocompact");
   StoreOptions options;
   options.compact_every = 3;
-  auto created = EmbeddingStore::Create(dir, model, options);
+  auto created = fwd::CreateForwardStore(dir, model, options);
   ASSERT_TRUE(created.ok());
   EmbeddingStore st = std::move(created).value();
   for (int i = 0; i < 7; ++i) {
@@ -371,7 +373,7 @@ TEST(EmbeddingStoreTest, AutoCompactAtThreshold) {
 TEST(EmbeddingStoreTest, StaleJournalOverFreshSnapshotIsIdempotent) {
   fwd::ForwardModel model = TrainSmall();
   const std::string dir = FreshDir("store_stale_wal");
-  auto created = EmbeddingStore::Create(dir, model);
+  auto created = fwd::CreateForwardStore(dir, model);
   ASSERT_TRUE(created.ok());
   EmbeddingStore st = std::move(created).value();
   for (int i = 0; i < 4; ++i) {
@@ -379,7 +381,8 @@ TEST(EmbeddingStoreTest, StaleJournalOverFreshSnapshotIsIdempotent) {
   }
   // Simulate the crash: snapshot the journaled state in place, keep the
   // journal file untouched (Compact would have reset it next).
-  ASSERT_TRUE(WriteSnapshot(st.model(), EmbeddingStore::SnapshotPath(dir))
+  ASSERT_TRUE(WriteSnapshot(*fwd::AsForwardModel(st.model()),
+                            EmbeddingStore::SnapshotPath(dir))
                   .ok());
   auto recovered = EmbeddingStore::Open(dir);
   ASSERT_TRUE(recovered.ok()) << recovered.status();
@@ -390,7 +393,7 @@ TEST(EmbeddingStoreTest, StaleJournalOverFreshSnapshotIsIdempotent) {
 TEST(EmbeddingStoreTest, AppendRejectsWrongDimension) {
   fwd::ForwardModel model = TrainSmall();
   const std::string dir = FreshDir("store_badvec");
-  auto created = EmbeddingStore::Create(dir, model);
+  auto created = fwd::CreateForwardStore(dir, model);
   ASSERT_TRUE(created.ok());
   EXPECT_EQ(created.value()
                 .Append(1, TestVector(model.dim() + 1, 0))
@@ -415,7 +418,7 @@ TEST(SinkTest, ForwardExtensionsAreJournaledAndRecovered) {
   fwd::ForwardEmbedder embedder = std::move(emb).value();
 
   const std::string dir = FreshDir("store_fwd_sink");
-  auto created = EmbeddingStore::Create(dir, embedder.model());
+  auto created = fwd::CreateForwardStore(dir, embedder.model());
   ASSERT_TRUE(created.ok());
   EmbeddingStore st = std::move(created).value();
   embedder.set_extension_sink(st.MakeSink());
@@ -563,6 +566,217 @@ TEST(SinkTest, Node2VecExtensionsHitTheSink) {
   EXPECT_EQ(sunk[0], c4);
   // The journaled vector is the final (frozen) one.
   EXPECT_EQ(embedding.Embed(c4).value().size(), 8u);
+}
+
+// ---- Codec registry + method-agnostic store ----------------------------
+
+TEST(ModelCodecTest, BuiltinsAreRegistered) {
+  const std::vector<std::string> codecs = RegisteredModelCodecs();
+  ASSERT_EQ(codecs.size(), 2u);
+  EXPECT_EQ(codecs[0], "forward");
+  EXPECT_EQ(codecs[1], "node2vec");
+  // Case-insensitive, mirroring the api method registry.
+  EXPECT_TRUE(CodecByMethod("FoRWaRD").ok());
+  EXPECT_TRUE(CodecByMethod("NODE2VEC").ok());
+  EXPECT_EQ(CodecByMethod("no_such_method").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ModelCodecTest, SnapshotHeaderCarriesMethodTag) {
+  fwd::ForwardModel model = TrainSmall();
+  const std::string bytes = SnapshotToBytes(model);
+  auto parsed = ParseSnapshotContainer(bytes.data(), bytes.size());
+  ASSERT_TRUE(parsed.ok()) << parsed.status();
+  EXPECT_EQ(parsed.value().header.method_tag, fwd::kForwardMethodTag);
+  EXPECT_EQ(parsed.value().header.dim, model.dim());
+  EXPECT_EQ(parsed.value().header.relation, model.relation());
+  ASSERT_NE(parsed.value().Find(kPhiSectionTag), nullptr);
+  ASSERT_NE(parsed.value().Find(kPsiSectionTag), nullptr);
+}
+
+TEST(ModelCodecTest, VersionSkewIsAClearErrorNotACrcFailure) {
+  fwd::ForwardModel model = TrainSmall();
+  std::string bytes = SnapshotToBytes(model);
+  // Container version sits at offset 8 (little-endian u32).
+  std::string old_version = bytes;
+  old_version[8] = 1;
+  auto old_parsed = SnapshotFromBytes(old_version);
+  ASSERT_FALSE(old_parsed.ok());
+  EXPECT_EQ(old_parsed.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(old_parsed.status().message().find("older binary"),
+            std::string::npos)
+      << old_parsed.status();
+
+  std::string new_version = bytes;
+  new_version[8] = 3;
+  auto new_parsed = SnapshotFromBytes(new_version);
+  ASSERT_FALSE(new_parsed.ok());
+  EXPECT_NE(new_parsed.status().message().find("newer binary"),
+            std::string::npos)
+      << new_parsed.status();
+}
+
+TEST(ModelCodecTest, UnknownMethodTagFailsOpenWithClearError) {
+  fwd::ForwardModel model = TrainSmall();
+  const std::string dir = FreshDir("store_unknown_tag");
+  ASSERT_TRUE(fwd::CreateForwardStore(dir, model).ok());
+  std::string bytes;
+  ASSERT_TRUE(
+      ReadFileToString(EmbeddingStore::SnapshotPath(dir), &bytes).ok());
+  // Method tag sits at offset 12; stamp an unregistered fourcc.
+  bytes[12] = 'X';
+  bytes[13] = 'Y';
+  bytes[14] = 'Z';
+  bytes[15] = '?';
+  ASSERT_TRUE(
+      AtomicWriteFile(EmbeddingStore::SnapshotPath(dir), bytes).ok());
+  auto opened = EmbeddingStore::Open(dir);
+  ASSERT_FALSE(opened.ok());
+  EXPECT_EQ(opened.status().code(), StatusCode::kNotFound);
+  EXPECT_NE(opened.status().message().find("XYZ?"), std::string::npos)
+      << opened.status();
+}
+
+TEST(ModelCodecTest, Node2VecStoreRoundTripsThroughOpen) {
+  const size_t dim = 7;
+  auto model = std::make_unique<VectorSetModel>(dim, /*relation=*/-1);
+  for (int i = 0; i < 9; ++i) {
+    model->set_phi(40 + 3 * i, TestVector(dim, i));
+  }
+  const VectorSetModel reference = *model;
+
+  const std::string dir = FreshDir("store_n2v_roundtrip");
+  auto created =
+      EmbeddingStore::Create(dir, "node2vec", std::move(model));
+  ASSERT_TRUE(created.ok()) << created.status();
+  EXPECT_EQ(created.value().method(), "node2vec");
+  EmbeddingStore st = std::move(created).value();
+  ASSERT_TRUE(st.Append(9001, TestVector(dim, 77)).ok());
+  ASSERT_TRUE(st.Sync().ok());
+
+  // Open resolves the codec from the snapshot's method tag alone.
+  auto reopened = EmbeddingStore::Open(dir);
+  ASSERT_TRUE(reopened.ok()) << reopened.status();
+  EXPECT_EQ(reopened.value().method(), "node2vec");
+  EXPECT_EQ(reopened.value().wal_records(), 1u);
+  EXPECT_EQ(StoredModelMaxAbsDiff(reopened.value().model(), st.model()),
+            0.0);
+  EXPECT_TRUE(reopened.value().model().HasEmbedding(9001));
+
+  // Compact folds the journal through the codec and stays openable.
+  ASSERT_TRUE(st.Compact().ok());
+  auto compacted = EmbeddingStore::Open(dir);
+  ASSERT_TRUE(compacted.ok()) << compacted.status();
+  EXPECT_EQ(compacted.value().wal_records(), 0u);
+  EXPECT_EQ(compacted.value().model().num_embedded(),
+            reference.num_embedded() + 1);
+  EXPECT_EQ(
+      StoredModelMaxAbsDiff(compacted.value().model(), st.model()), 0.0);
+}
+
+TEST(ModelCodecTest, ForwardSnapshotKeepsFullModelFidelity) {
+  fwd::ForwardModel model = TrainSmall();
+  const std::string dir = FreshDir("store_fwd_fidelity");
+  ASSERT_TRUE(fwd::CreateForwardStore(dir, model).ok());
+  auto opened = EmbeddingStore::Open(dir);
+  ASSERT_TRUE(opened.ok());
+  // The generic handle still carries the full typed model (schemes, ψ).
+  const fwd::ForwardModel* typed =
+      fwd::AsForwardModel(opened.value().model());
+  ASSERT_NE(typed, nullptr);
+  EXPECT_EQ(ModelMaxAbsDiff(*typed, model), 0.0);
+  // And the generic diff agrees on the φ side.
+  EXPECT_EQ(StoredModelMaxAbsDiff(opened.value().model(),
+                                  fwd::ForwardStoredModel(model)),
+            0.0);
+}
+
+// ---- Group commit ------------------------------------------------------
+
+TEST(GroupCommitTest, ByteWindowBatchesFsyncsAtEqualDurability) {
+  fwd::ForwardModel model = TrainSmall();
+  const size_t dim = model.dim();
+  const size_t record_bytes = WalWriter::RecordBytes(dim);
+  constexpr int kAppends = 32;
+
+  // Reference: per-record fsync.
+  const std::string dir_sync = FreshDir("store_gc_sync");
+  StoreOptions per_record;
+  per_record.sync_every_append = true;
+  auto created = fwd::CreateForwardStore(dir_sync, model, per_record);
+  ASSERT_TRUE(created.ok());
+  EmbeddingStore sync_store = std::move(created).value();
+  for (int i = 0; i < kAppends; ++i) {
+    ASSERT_TRUE(sync_store.Append(9000 + i, TestVector(dim, i)).ok());
+  }
+  ASSERT_TRUE(sync_store.Sync().ok());
+  EXPECT_GE(sync_store.fsync_count(), static_cast<uint64_t>(kAppends));
+
+  // Group commit: fsync once per 8 records' worth of bytes.
+  const std::string dir_group = FreshDir("store_gc_group");
+  StoreOptions grouped = per_record;
+  grouped.group_commit_bytes = 8 * record_bytes;
+  auto created_group = fwd::CreateForwardStore(dir_group, model, grouped);
+  ASSERT_TRUE(created_group.ok());
+  EmbeddingStore group_store = std::move(created_group).value();
+  for (int i = 0; i < kAppends; ++i) {
+    ASSERT_TRUE(group_store.Append(9000 + i, TestVector(dim, i)).ok());
+  }
+  ASSERT_TRUE(group_store.Sync().ok());
+  // ~kAppends/8 window flushes plus the final Sync — far below per-record.
+  EXPECT_LE(group_store.fsync_count(), sync_store.fsync_count() / 2);
+  EXPECT_GE(group_store.fsync_count(), static_cast<uint64_t>(kAppends) / 8);
+
+  // Equal durability at the batch boundary: both stores recover the
+  // identical model.
+  auto rec_sync = EmbeddingStore::Open(dir_sync);
+  auto rec_group = EmbeddingStore::Open(dir_group);
+  ASSERT_TRUE(rec_sync.ok());
+  ASSERT_TRUE(rec_group.ok());
+  EXPECT_EQ(rec_group.value().wal_records(), rec_sync.value().wal_records());
+  EXPECT_EQ(StoredModelMaxAbsDiff(rec_group.value().model(),
+                                  rec_sync.value().model()),
+            0.0);
+}
+
+TEST(GroupCommitTest, TimeWindowForcesLaggingSync) {
+  fwd::ForwardModel model = TrainSmall();
+  const std::string dir = FreshDir("store_gc_time");
+  StoreOptions options;
+  options.sync_every_append = true;
+  options.group_commit_bytes = 1 << 30;  // byte window never triggers
+  options.group_commit_usec = 1;         // ...but age always does
+  auto created = fwd::CreateForwardStore(dir, model, options);
+  ASSERT_TRUE(created.ok());
+  EmbeddingStore st = std::move(created).value();
+  ASSERT_TRUE(st.Append(9000, TestVector(model.dim(), 0)).ok());
+  const uint64_t after_first = st.fsync_count();
+  // The first append opened the window; the second finds it expired (any
+  // wall-clock progress beats 1us) and must flush.
+  ASSERT_TRUE(st.Append(9001, TestVector(model.dim(), 1)).ok());
+  EXPECT_GT(st.fsync_count(), after_first);
+}
+
+TEST(GroupCommitTest, KillSafetyIsUnchangedInsideTheWindow) {
+  // Records inside an unflushed group-commit window are still kill-safe:
+  // they reached the OS on Append, so a reader (or a recovery after a
+  // process kill, which keeps the page cache) sees them without any
+  // fsync having happened.
+  fwd::ForwardModel model = TrainSmall();
+  const std::string dir = FreshDir("store_gc_killsafe");
+  StoreOptions options;
+  options.sync_every_append = true;
+  options.group_commit_bytes = 1 << 30;
+  auto created = fwd::CreateForwardStore(dir, model, options);
+  ASSERT_TRUE(created.ok());
+  EmbeddingStore st = std::move(created).value();
+  const uint64_t base = st.fsync_count();
+  ASSERT_TRUE(st.Append(9000, TestVector(model.dim(), 5)).ok());
+  EXPECT_EQ(st.fsync_count(), base);  // window open, no flush yet
+  auto replay = ReplayWal(EmbeddingStore::WalPath(dir), -1);
+  ASSERT_TRUE(replay.ok());
+  ASSERT_EQ(replay.value().records.size(), 1u);
+  EXPECT_EQ(replay.value().records[0].fact, 9000);
 }
 
 // ---- Atomic writes -----------------------------------------------------
