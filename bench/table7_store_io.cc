@@ -17,6 +17,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <filesystem>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -70,7 +71,10 @@ void EmitStoreJson(const std::vector<StoreNumbers>& rows) {
     std::fprintf(stderr, "BENCH_store.json: cannot open %s\n", path.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"store\",\n  \"datasets\": [\n");
+  std::fprintf(f,
+               "{\n  \"bench\": \"store\",\n"
+               "  \"hardware_concurrency\": %u,\n  \"datasets\": [\n",
+               std::thread::hardware_concurrency());
   bool first = true;
   for (const StoreNumbers& r : rows) {
     std::fprintf(

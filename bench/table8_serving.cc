@@ -19,6 +19,7 @@
 #include <algorithm>
 #include <cstdlib>
 #include <filesystem>
+#include <thread>
 #include <vector>
 
 #include "bench/bench_common.h"
@@ -74,7 +75,12 @@ void EmitServingJson(const std::vector<ServingNumbers>& rows) {
                  path.c_str());
     return;
   }
-  std::fprintf(f, "{\n  \"bench\": \"serving\",\n  \"datasets\": [\n");
+  // The core count is a machine descriptor, not a result: the compare
+  // gate uses it to skip timing comparisons across unlike machines.
+  std::fprintf(f,
+               "{\n  \"bench\": \"serving\",\n"
+               "  \"hardware_concurrency\": %u,\n  \"datasets\": [\n",
+               std::thread::hardware_concurrency());
   bool first = true;
   for (const ServingNumbers& r : rows) {
     std::fprintf(

@@ -4,25 +4,36 @@
 Usage:
     scripts/bench_compare.py [--baseline-dir bench/baselines]
                              [--tolerance 3.0] [--report PATH]
+                             [--fail-on-timing]
                              CANDIDATE.json [CANDIDATE.json ...]
 
 Each candidate report (BENCH_parallel.json / BENCH_store.json /
 BENCH_serving.json, as emitted by micro_hotpaths / table7_store_io /
-table8_serving) is matched to the baseline file of the same name under
---baseline-dir and compared numeric leaf by numeric leaf.
+table8_serving + table9_serve) is matched to the baseline file of the
+same name under --baseline-dir and compared numeric leaf by numeric leaf.
 
-Comparison model: CI and developer machines differ wildly, so absolute
-wall-clock values are only gated by a generous multiplicative tolerance —
-a metric REGRESSES when `candidate > baseline * tolerance` (for metrics
-where bigger is worse) or `candidate < baseline / tolerance` (for the
-`*_speedup` / `*_reduction` ratio metrics, where bigger is better). Count
-metrics (`vectors`, `dim`, `*_fsyncs`) are shape checks and compared
-exactly; a mismatch there means the workload changed, not the machine.
+Comparison model: CI and developer machines differ wildly, so wall-clock
+values are only gated by a generous multiplicative tolerance — a metric
+REGRESSES when `candidate > baseline * tolerance` (for metrics where
+bigger is worse) or `candidate < baseline / tolerance` (for the
+`speedup` / `*_speedup` / `*_reduction` ratio metrics, where bigger is
+better). Count metrics (`vectors`, `dim`, `*_fsyncs`) are shape checks
+and compared exactly; a mismatch there means the workload changed, not
+the machine, so it is STRUCTURAL and always fails the gate. Machine
+descriptors (`hardware_concurrency`, thread counts, load-gen sizes) are
+reported but never compared.
 
-Exit code: 0 when nothing regressed beyond tolerance, 1 otherwise. The
-CI step runs with continue-on-error (trend tracking, not a gate yet) and
-uploads the rendered report as an artifact; tighten the tolerance and drop
-continue-on-error once a few data points exist (ROADMAP item).
+Ratio metrics are only portable between machines with the same core
+count — a 4-core baseline's `parallel_speedup` is unreachable on a
+1-core runner no matter how healthy the code is. When the baseline and
+candidate reports record different `hardware_concurrency`, every
+bigger-is-better comparison is SKIPPED instead of judged.
+
+Exit code: structural problems (shape mismatches, metrics that vanished,
+a candidate report that was never produced) always exit 1 — CI blocks on
+those. Timing/ratio regressions are reported but exit 0 unless
+--fail-on-timing is given, so noisy-machine wall-clock drift stays a
+trend signal rather than a gate.
 """
 
 import argparse
@@ -30,12 +41,18 @@ import json
 import os
 import sys
 
-# Metric-name suffixes where larger is BETTER (ratios engineered so the
-# bench passing means the number is high). Everything else numeric is a
-# cost (seconds, ns, us) where larger is worse.
+# Metric-name suffixes (or exact leaves) where larger is BETTER (ratios
+# engineered so the bench passing means the number is high). Everything
+# else numeric is a cost (seconds, ns, us) where larger is worse.
 BIGGER_IS_BETTER_SUFFIXES = ("_speedup", "_reduction")
-# Exact-match shape fields: machine-independent workload descriptors.
+BIGGER_IS_BETTER_LEAVES = ("speedup", "qps")
+# Exact-match shape fields: machine-independent workload descriptors. A
+# mismatch is structural (the workload changed), not timing noise.
 EXACT_FIELDS = ("vectors", "dim", "synced_fsyncs", "grouped_fsyncs")
+# Machine/load descriptors: recorded so humans (and the core-count skip
+# below) can interpret the numbers, but never themselves a regression.
+MACHINE_FIELDS = ("hardware_concurrency", "threads", "load_threads",
+                  "served_facts", "requests")
 
 
 def flatten(node, prefix=""):
@@ -58,44 +75,61 @@ def flatten(node, prefix=""):
 
 def classify(path):
     leaf = path.rsplit(".", 1)[-1]
+    if leaf in MACHINE_FIELDS:
+        return "machine"
     if leaf in EXACT_FIELDS:
         return "exact"
-    if leaf.endswith(BIGGER_IS_BETTER_SUFFIXES):
+    if leaf in BIGGER_IS_BETTER_LEAVES or leaf.endswith(
+            BIGGER_IS_BETTER_SUFFIXES):
         return "bigger_better"
     return "smaller_better"
 
 
 def compare(baseline, candidate, tolerance):
-    """Returns (rows, regressions) comparing two flattened reports."""
+    """Returns (rows, structural, timing) comparing two flattened reports.
+
+    `structural` counts shape changes and vanished metrics (blocking);
+    `timing` counts tolerance-exceeded wall-clock/ratio drifts (advisory).
+    """
     base = dict(flatten(baseline))
     cand = dict(flatten(candidate))
+    same_cores = base.get("hardware_concurrency") == cand.get(
+        "hardware_concurrency")
     rows = []
-    regressions = 0
+    structural = 0
+    timing = 0
     for path in sorted(set(base) | set(cand)):
         if path not in base:
             rows.append((path, None, cand[path], "NEW"))
             continue
+        kind = classify(path)
         if path not in cand:
-            rows.append((path, base[path], None, "MISSING"))
-            regressions += 1
+            if kind == "machine":
+                rows.append((path, base[path], None, "machine"))
+            else:
+                rows.append((path, base[path], None, "MISSING"))
+                structural += 1
             continue
         b, c = base[path], cand[path]
-        kind = classify(path)
         verdict = "ok"
-        if kind == "exact":
+        if kind == "machine":
+            verdict = "machine"
+        elif kind == "exact":
             if b != c:
                 verdict = "SHAPE-CHANGED"
-                regressions += 1
+                structural += 1
         elif kind == "bigger_better":
-            if b > 0 and c < b / tolerance:
+            if not same_cores:
+                verdict = "skipped (cores differ)"
+            elif b > 0 and c < b / tolerance:
                 verdict = "REGRESSED"
-                regressions += 1
+                timing += 1
         else:
             if b > 0 and c > b * tolerance:
                 verdict = "REGRESSED"
-                regressions += 1
+                timing += 1
         rows.append((path, b, c, verdict))
-    return rows, regressions
+    return rows, structural, timing
 
 
 def render(name, rows):
@@ -107,7 +141,9 @@ def render(name, rows):
         ratio = ""
         if b and c and b > 0:
             ratio = f" ({c / b:.2f}x)"
-        marker = "" if verdict in ("ok", "NEW") else "  <<< "
+        marker = ("" if verdict in ("ok", "NEW", "machine",
+                                    "skipped (cores differ)")
+                  else "  <<< ")
         lines.append(
             f"  {path:<{width}}  base={fb:>12}  now={fc:>12}{ratio}"
             f"  {verdict}{marker}")
@@ -125,17 +161,21 @@ def main():
                              "(default 3.0; CI machines are noisy)")
     parser.add_argument("--report", default=None,
                         help="also write the rendered comparison here")
+    parser.add_argument("--fail-on-timing", action="store_true",
+                        help="also exit nonzero on tolerance-exceeded "
+                             "timing drift (default: structural only)")
     args = parser.parse_args()
 
     chunks = []
-    total_regressions = 0
+    total_structural = 0
+    total_timing = 0
     for candidate_path in args.candidates:
         name = os.path.basename(candidate_path)
         baseline_path = os.path.join(args.baseline_dir, name)
         if not os.path.exists(candidate_path):
             chunks.append(f"== {name} ==\n  candidate missing "
                           f"({candidate_path}) — bench did not run?")
-            total_regressions += 1
+            total_structural += 1
             continue
         with open(candidate_path) as f:
             candidate = json.load(f)
@@ -145,18 +185,27 @@ def main():
             continue
         with open(baseline_path) as f:
             baseline = json.load(f)
-        rows, regressions = compare(baseline, candidate, args.tolerance)
-        total_regressions += regressions
+        rows, structural, timing = compare(baseline, candidate,
+                                           args.tolerance)
+        total_structural += structural
+        total_timing += timing
         chunks.append(render(name, rows))
 
     report = "\n\n".join(chunks)
+    timing_note = (", blocking via --fail-on-timing"
+                   if args.fail_on_timing else "")
     report += (f"\n\ntolerance: {args.tolerance}x, "
-               f"regressions: {total_regressions}\n")
+               f"structural: {total_structural} (blocking), "
+               f"timing: {total_timing} (advisory{timing_note})\n")
     print(report)
     if args.report:
         with open(args.report, "w") as f:
             f.write(report)
-    return 1 if total_regressions else 0
+    if total_structural:
+        return 1
+    if args.fail_on_timing and total_timing:
+        return 1
+    return 0
 
 
 if __name__ == "__main__":

@@ -1,7 +1,11 @@
 #include "src/api/serving.h"
 
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
+#include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <utility>
 
@@ -39,11 +43,27 @@ Result<ServingSession> ServingSession::Open(const std::string& dir) {
   session.snapshot_inode_ = inode;
   session.snapshot_size_ = size;
 
-  // Replay the journal's clean prefix. A torn tail is pending data (the
-  // writer may be mid-append), not corruption — Poll() retries it.
+  // Pin the journal BEFORE reading it: wal_offset_ and wal_fd_ must
+  // describe the same inode. Reading by path first would let a racing
+  // compaction slip a fresh journal under the fd while the offset still
+  // measured the old one — both identity checks in Poll() would then
+  // pass while ReadWalTail compared the stale offset against the new
+  // journal's smaller size and served nothing new, forever. The
+  // persistent descriptor also spares Poll() an open/read/close per
+  // call and guarantees a tail read never splices foreign bytes.
+  const std::string wal_path = store::EmbeddingStore::WalPath(dir);
+  int fd = ::open(wal_path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IOError("serving: cannot open journal " + wal_path);
+  }
+  session.wal_fd_.Reset(fd);
+
+  // Replay the journal's clean prefix (wal_offset_ is still 0, so the
+  // tail read returns the whole file through the pinned fd). A torn
+  // tail is pending data (the writer may be mid-append), not
+  // corruption — Poll() retries it.
   std::string bytes;
-  STEDB_RETURN_IF_ERROR(store::ReadFileToString(
-      store::EmbeddingStore::WalPath(dir), &bytes));
+  STEDB_RETURN_IF_ERROR(session.ReadWalTail(&bytes));
   auto replay =
       store::ReplayWalBytes(bytes, static_cast<int>(session.dim()));
   if (!replay.ok()) return replay.status();
@@ -52,6 +72,42 @@ Result<ServingSession> ServingSession::Open(const std::string& dir) {
     session.ApplyRecord(rec);
   }
   return session;
+}
+
+Status ServingSession::ReadWalTail(std::string* out) const {
+  out->clear();
+  struct stat st;
+  if (::fstat(wal_fd_.get(), &st) != 0) {
+    return Status::IOError("serving: cannot stat journal fd for " + dir_);
+  }
+  const auto size = static_cast<size_t>(st.st_size);
+  if (size <= wal_offset_) return Status::OK();  // nothing new
+  out->resize(size - wal_offset_);
+  size_t done = 0;
+  while (done < out->size()) {
+    const ssize_t n =
+        ::pread(wal_fd_.get(), out->data() + done, out->size() - done,
+                static_cast<off_t>(wal_offset_ + done));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("serving: journal pread failed for " + dir_);
+    }
+    if (n == 0) break;  // raced a truncation; parse what we got
+    done += static_cast<size_t>(n);
+  }
+  out->resize(done);
+  return Status::OK();
+}
+
+Result<bool> ServingSession::JournalCurrent() const {
+  struct stat fd_st, path_st;
+  if (::fstat(wal_fd_.get(), &fd_st) != 0) {
+    return Status::IOError("serving: cannot stat journal fd for " + dir_);
+  }
+  if (::stat(store::EmbeddingStore::WalPath(dir_).c_str(), &path_st) != 0) {
+    return Status::IOError("serving: cannot stat journal in " + dir_);
+  }
+  return fd_st.st_ino == path_st.st_ino && fd_st.st_dev == path_st.st_dev;
 }
 
 void ServingSession::ApplyRecord(const store::WalRecord& rec) {
@@ -79,19 +135,28 @@ Result<size_t> ServingSession::Poll() {
   uint64_t inode = 0, size = 0;
   STEDB_RETURN_IF_ERROR(SnapshotIdentity(dir_, &inode, &size));
   if (inode == snapshot_inode_ && size == snapshot_size_) {
-    std::string bytes;
-    STEDB_RETURN_IF_ERROR(store::ReadFileFrom(
-        store::EmbeddingStore::WalPath(dir_), wal_offset_, &bytes));
-    // Re-check the snapshot identity AFTER the read: a Compact() racing
-    // in between replaces the journal, and our record-aligned offset
-    // would land on a valid record boundary of the *new* journal — the
-    // tail would CRC-validate while silently skipping its first records.
-    // If the identity moved, discard the read and reopen instead.
-    STEDB_RETURN_IF_ERROR(SnapshotIdentity(dir_, &inode, &size));
-    if (inode == snapshot_inode_ && size == snapshot_size_) {
-      const size_t before = overlay_.size();
-      wal_offset_ += ApplyTail(bytes);
-      return overlay_.size() - before;
+    // The journal file must also still be the inode this session tails.
+    // It can be stale while the snapshot looks current: an Open() that
+    // raced a Compact() between the snapshot rename and the journal
+    // reset pinned the *old* journal — without this check the session
+    // would poll a dead inode forever and never see new appends.
+    STEDB_ASSIGN_OR_RETURN(bool journal_current, JournalCurrent());
+    if (journal_current) {
+      std::string bytes;
+      STEDB_RETURN_IF_ERROR(ReadWalTail(&bytes));
+      // Re-check both identities AFTER the read: a Compact() racing in
+      // between replaced the journal, so the bytes just read came from
+      // the *pre-compaction* journal (the fd pins its inode) — every
+      // one of them is already folded into the new snapshot. Discard
+      // the read and reopen instead of double-applying a stale tail.
+      STEDB_RETURN_IF_ERROR(SnapshotIdentity(dir_, &inode, &size));
+      STEDB_ASSIGN_OR_RETURN(journal_current, JournalCurrent());
+      if (inode == snapshot_inode_ && size == snapshot_size_ &&
+          journal_current) {
+        const size_t before = overlay_.size();
+        wal_offset_ += ApplyTail(bytes);
+        return overlay_.size() - before;
+      }
     }
   }
   // The writer compacted: the snapshot file was atomically replaced and
@@ -130,6 +195,73 @@ Result<Span<const double>> ServingSession::Embed(db::FactId f) const {
                             " is not in the served store");
   }
   return v;
+}
+
+Result<double> ServingSession::Score(db::FactId f, db::FactId g,
+                                     size_t target) const {
+  if (snapshot_.num_psi() == 0) {
+    return Status::FailedPrecondition(
+        "serving: snapshot carries no psi sections; scoring needs a "
+        "method that persists them (FoRWaRD)");
+  }
+  Span<const double> psi = snapshot_.psi(target);
+  if (psi.empty()) {
+    return Status::InvalidArgument(
+        "serving: psi target " + std::to_string(target) + " out of range (" +
+        std::to_string(snapshot_.num_psi()) + " available)");
+  }
+  STEDB_ASSIGN_OR_RETURN(Span<const double> phi_f, Embed(f));
+  STEDB_ASSIGN_OR_RETURN(Span<const double> phi_g, Embed(g));
+  return la::BilinearForm(phi_f, psi, phi_g);
+}
+
+Result<std::vector<ServingSession::Scored>> ServingSession::TopK(
+    db::FactId query, size_t k, size_t target) const {
+  if (snapshot_.num_psi() == 0) {
+    return Status::FailedPrecondition(
+        "serving: snapshot carries no psi sections; scoring needs a "
+        "method that persists them (FoRWaRD)");
+  }
+  Span<const double> psi = snapshot_.psi(target);
+  if (psi.empty()) {
+    return Status::InvalidArgument(
+        "serving: psi target " + std::to_string(target) + " out of range (" +
+        std::to_string(snapshot_.num_psi()) + " available)");
+  }
+  STEDB_ASSIGN_OR_RETURN(Span<const double> phi_q, Embed(query));
+
+  // Brute-force scan over every served fact (the ANN index is a ROADMAP
+  // direction of its own); descending score, ascending fact id on ties,
+  // so the result is deterministic for equal stores.
+  std::vector<Scored> scored;
+  const std::vector<db::FactId> facts = ServedFacts();
+  scored.reserve(facts.size());
+  for (db::FactId g : facts) {
+    // Embed cannot fail here: ServedFacts enumerates only served ids.
+    scored.push_back({g, la::BilinearForm(phi_q, psi, Embed(g).value())});
+  }
+  const size_t keep = std::min(k, scored.size());
+  std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
+                    [](const Scored& a, const Scored& b) {
+                      if (a.score != b.score) return a.score > b.score;
+                      return a.fact < b.fact;
+                    });
+  scored.resize(keep);
+  return scored;
+}
+
+std::vector<db::FactId> ServingSession::ServedFacts() const {
+  std::vector<db::FactId> facts;
+  facts.reserve(snapshot_.num_embedded() + overlay_.size());
+  for (size_t i = 0; i < snapshot_.num_embedded(); ++i) {
+    facts.push_back(snapshot_.fact_at(i));
+  }
+  for (const auto& [f, row] : overlay_) {
+    (void)row;
+    if (snapshot_.phi(f).empty()) facts.push_back(f);
+  }
+  std::sort(facts.begin(), facts.end());
+  return facts;
 }
 
 Status ServingSession::EmbedBatch(Span<const db::FactId> facts,

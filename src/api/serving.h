@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/common/scoped_fd.h"
 #include "src/common/span.h"
 #include "src/common/status.h"
 #include "src/db/database.h"
@@ -73,6 +74,36 @@ class ServingSession {
   /// InvalidArgument on a shape mismatch.
   Status EmbedBatch(Span<const db::FactId> facts, la::MatrixView out) const;
 
+  /// φ(f)ᵀ ψ(t) φ(g) — the model's similarity prediction (paper Eq. 3
+  /// LHS), computed straight off the mapping via the zero-copy ψ
+  /// accessors. Bit-equal to the trainer-side fwd::ForwardModel::Score
+  /// for the same store (same la::BilinearForm core, same bytes —
+  /// asserted in tests/serving_test.cc). NotFound for an unknown fact,
+  /// FailedPrecondition when the snapshot carries no ψ sections (e.g.
+  /// Node2Vec), InvalidArgument for a ψ index out of range.
+  Result<double> Score(db::FactId f, db::FactId g, size_t target) const;
+
+  /// One top-k result row.
+  struct Scored {
+    db::FactId fact = -1;
+    double score = 0.0;
+  };
+
+  /// The k served facts g maximizing Score(query, g, target), descending
+  /// by score with ascending fact id as the deterministic tie-break. The
+  /// query fact itself is included when served (callers filter). Same
+  /// error cases as Score.
+  Result<std::vector<Scored>> TopK(db::FactId query, size_t k,
+                                   size_t target) const;
+
+  /// ψ matrices available for scoring (0 for methods that persist none).
+  size_t num_psi() const { return snapshot_.num_psi(); }
+
+  /// Every served fact id, ascending (snapshot residents + journal tail,
+  /// deduplicated). Allocates; meant for enumeration endpoints and the
+  /// top-k scan, not the per-lookup hot path.
+  std::vector<db::FactId> ServedFacts() const;
+
   /// Tails the journal: applies every extension record that became durable
   /// since Open()/the last Poll(), reopening the files after a writer
   /// compaction. Returns the number of new records applied.
@@ -95,6 +126,14 @@ class ServingSession {
   /// Applies records parsed from the journal tail to the overlay; returns
   /// the bytes consumed by clean records.
   size_t ApplyTail(const std::string& bytes);
+  /// preads the unconsumed journal bytes [wal_offset_, EOF) off wal_fd_.
+  Status ReadWalTail(std::string* out) const;
+  /// Whether `<dir>/extend.wal` is still the inode wal_fd_ pins. False
+  /// after a writer reset the journal (compaction) — the tail source is
+  /// stale and the session must reopen. Guards the crash-window race
+  /// where Open() observed the new snapshot but the not-yet-reset old
+  /// journal: snapshot identity alone would never notice.
+  Result<bool> JournalCurrent() const;
   /// Installs one journal record into the overlay (insert or overwrite).
   void ApplyRecord(const store::WalRecord& rec);
   /// Snapshot-file identity (inode, size) used to detect compaction.
@@ -105,6 +144,11 @@ class ServingSession {
   store::MmapSnapshot snapshot_;
   uint64_t snapshot_inode_ = 0;
   uint64_t snapshot_size_ = 0;
+  /// Persistent journal fd: Poll() preads the tail from wal_offset_
+  /// instead of reopening the file per call. Bound to the journal inode
+  /// as of Open(); the compaction path (which atomically replaces the
+  /// journal) is the only place it is reopened.
+  ScopedFd wal_fd_;
   size_t wal_offset_ = 0;  ///< journal bytes consumed (header + records)
   /// Journal-resident vectors: fact -> row index into overlay_data_.
   std::unordered_map<db::FactId, size_t> overlay_;

@@ -1,0 +1,46 @@
+#ifndef STEDB_COMMON_SCOPED_FD_H_
+#define STEDB_COMMON_SCOPED_FD_H_
+
+#include <unistd.h>
+
+#include <utility>
+
+namespace stedb {
+
+/// Move-only owner of a POSIX file descriptor: closes on destruction,
+/// transfers on move. Keeps raw-fd plumbing (the serving session's
+/// persistent WAL handle, the serve layer's sockets) exception- and
+/// move-safe without pulling in iostreams.
+class ScopedFd {
+ public:
+  ScopedFd() = default;
+  explicit ScopedFd(int fd) : fd_(fd) {}
+  ~ScopedFd() { Reset(); }
+
+  ScopedFd(ScopedFd&& other) noexcept : fd_(other.Release()) {}
+  ScopedFd& operator=(ScopedFd&& other) noexcept {
+    if (this != &other) Reset(other.Release());
+    return *this;
+  }
+  ScopedFd(const ScopedFd&) = delete;
+  ScopedFd& operator=(const ScopedFd&) = delete;
+
+  int get() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Closes the held fd (if any) and takes ownership of `fd`.
+  void Reset(int fd = -1) {
+    if (fd_ >= 0) ::close(fd_);
+    fd_ = fd;
+  }
+
+  /// Releases ownership without closing.
+  int Release() { return std::exchange(fd_, -1); }
+
+ private:
+  int fd_ = -1;
+};
+
+}  // namespace stedb
+
+#endif  // STEDB_COMMON_SCOPED_FD_H_

@@ -156,17 +156,26 @@ Vector RandomVector(size_t n, double stddev, Rng& rng) {
   return v;
 }
 
-double BilinearForm(const Vector& x, const Matrix& m, const Vector& y) {
+double BilinearForm(Span<const double> x, Span<const double> m,
+                    Span<const double> y) {
+  const size_t rows = x.size();
+  const size_t cols = y.size();
   double acc = 0.0;
-  for (size_t i = 0; i < m.rows(); ++i) {
+  for (size_t i = 0; i < rows; ++i) {
     const double xi = x[i];
     if (xi == 0.0) continue;
-    const double* row = m.RowPtr(i);
+    const double* row = m.data() + i * cols;
     double inner = 0.0;
-    for (size_t j = 0; j < m.cols(); ++j) inner += row[j] * y[j];
+    for (size_t j = 0; j < cols; ++j) inner += row[j] * y[j];
     acc += xi * inner;
   }
   return acc;
+}
+
+double BilinearForm(const Vector& x, const Matrix& m, const Vector& y) {
+  return BilinearForm(Span<const double>(x),
+                      Span<const double>(m.data().data(), m.data().size()),
+                      Span<const double>(y));
 }
 
 }  // namespace stedb::la

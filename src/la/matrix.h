@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/span.h"
 
 namespace stedb::la {
 
@@ -124,6 +125,13 @@ Vector RandomVector(size_t n, double stddev, Rng& rng);
 
 /// x^T M y for square M (x.size() == M.rows(), y.size() == M.cols()).
 double BilinearForm(const Vector& x, const Matrix& m, const Vector& y);
+
+/// x^T M y over raw views: `m` is a dim*dim row-major span (e.g. a ψ
+/// matrix straight off an mmap'd snapshot). Identical operation order to
+/// the Matrix overload — both call this core — so a serving-side score is
+/// bit-equal to the trainer-side one for the same bytes.
+double BilinearForm(Span<const double> x, Span<const double> m,
+                    Span<const double> y);
 
 }  // namespace stedb::la
 

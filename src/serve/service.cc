@@ -1,0 +1,424 @@
+#include "src/serve/service.h"
+
+#include <algorithm>
+#include <cctype>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <utility>
+
+#include "src/common/parallel.h"
+
+namespace stedb::serve {
+
+namespace {
+
+/// Shortest round-tripping decimal for an IEEE double: 17 significant
+/// digits reparse to the identical bits, which is what keeps the JSON
+/// path bit-exact end to end (the demo drill asserts it).
+void AppendJsonDouble(std::string& out, double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+void AppendJsonVector(std::string& out, Span<const double> v) {
+  out.push_back('[');
+  for (size_t i = 0; i < v.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    AppendJsonDouble(out, v[i]);
+  }
+  out.push_back(']');
+}
+
+/// The snapshot format is little-endian IEEE-754; on the little-endian
+/// hosts this library supports the in-memory bytes ARE the wire bytes.
+void AppendRawVector(std::string& out, Span<const double> v) {
+  out.append(reinterpret_cast<const char*>(v.data()),
+             v.size() * sizeof(double));
+}
+
+int HttpStatusFor(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kOk: return 200;
+    case StatusCode::kNotFound: return 404;
+    case StatusCode::kInvalidArgument: return 400;
+    case StatusCode::kFailedPrecondition: return 409;
+    default: return 500;
+  }
+}
+
+HttpResponse ErrorResponse(const Status& st) {
+  std::string body = "{\"error\":\"";
+  // Status messages here are ASCII diagnostics; escape the two JSON
+  // breakers rather than pulling in a full escaper.
+  for (char c : st.ToString()) {
+    if (c == '"' || c == '\\') body.push_back('\\');
+    body.push_back(c);
+  }
+  body += "\"}\n";
+  return {HttpStatusFor(st), "application/json", std::move(body)};
+}
+
+}  // namespace
+
+std::vector<db::FactId> ParseFactList(const std::string& text,
+                                      size_t max_facts) {
+  std::vector<db::FactId> facts;
+  const char* p = text.c_str();
+  const char* end = p + text.size();
+  while (p < end && facts.size() <= max_facts) {
+    const bool digit_start =
+        std::isdigit(static_cast<unsigned char>(*p)) ||
+        (*p == '-' && p + 1 < end &&
+         std::isdigit(static_cast<unsigned char>(p[1])));
+    if (!digit_start) {
+      ++p;
+      continue;
+    }
+    char* after = nullptr;
+    const long long v = std::strtoll(p, &after, 10);
+    facts.push_back(static_cast<db::FactId>(v));
+    p = after;
+  }
+  return facts;
+}
+
+Result<std::unique_ptr<EmbeddingService>> EmbeddingService::Open(
+    const std::string& dir, ServeOptions options) {
+  STEDB_ASSIGN_OR_RETURN(api::ServingSession session,
+                         api::ServingSession::Open(dir));
+  std::unique_ptr<EmbeddingService> service(
+      new EmbeddingService(std::move(session), std::move(options)));
+  return service;
+}
+
+EmbeddingService::EmbeddingService(api::ServingSession session,
+                                   ServeOptions options)
+    : options_(std::move(options)),
+      dim_(session.dim()),
+      session_(std::move(session)) {
+  RegisterHandlers();
+  coalescer_ = std::thread([this] { CoalescerLoop(); });
+  if (options_.poll_interval_ms > 0) {
+    ticker_ = std::thread([this] { TickerLoop(); });
+  }
+}
+
+Status EmbeddingService::Start(const std::string& host, int port) {
+  return http_.Start(host, port, ResolveThreadCount(options_.http_threads));
+}
+
+void EmbeddingService::Stop() {
+  if (stopping_.exchange(true)) return;
+  // Order matters: the HTTP server drains first while the coalescer is
+  // still alive, so in-flight /embed handlers blocked on a coalesced
+  // round get their result instead of deadlocking the worker join.
+  http_.Stop();
+  {
+    std::lock_guard<std::mutex> lk(embed_mu_);
+    embed_work_cv_.notify_all();
+  }
+  if (coalescer_.joinable()) coalescer_.join();
+  {
+    std::lock_guard<std::mutex> lk(ticker_mu_);
+    ticker_cv_.notify_all();
+  }
+  if (ticker_.joinable()) ticker_.join();
+}
+
+Result<size_t> EmbeddingService::PollNow() {
+  size_t applied = 0;
+  {
+    std::unique_lock<std::shared_mutex> lk(session_mu_);
+    auto polled = session_.Poll();
+    if (!polled.ok()) return polled.status();
+    applied = polled.value();
+    polls_.fetch_add(1, std::memory_order_relaxed);
+    wal_records_applied_.fetch_add(applied, std::memory_order_relaxed);
+    if (session_.reopened()) {
+      reopens_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  if (options_.tick_hook) options_.tick_hook();
+  return applied;
+}
+
+void EmbeddingService::TickerLoop() {
+  const auto interval =
+      std::chrono::milliseconds(options_.poll_interval_ms);
+  std::unique_lock<std::mutex> lk(ticker_mu_);
+  while (!stopping_.load(std::memory_order_acquire)) {
+    ticker_cv_.wait_for(lk, interval, [this] {
+      return stopping_.load(std::memory_order_acquire);
+    });
+    if (stopping_.load(std::memory_order_acquire)) return;
+    lk.unlock();
+    PollNow();  // a transient Poll error just retries next tick
+    lk.lock();
+  }
+}
+
+// ---- Request coalescing ------------------------------------------------
+
+EmbeddingService::PendingEmbed EmbeddingService::CoalescedEmbed(
+    db::FactId fact) {
+  PendingEmbed slot;
+  slot.fact = fact;
+  std::unique_lock<std::mutex> lk(embed_mu_);
+  if (stopping_.load(std::memory_order_acquire)) {
+    slot.status = Status::FailedPrecondition("service stopping");
+    slot.done = true;
+    return slot;
+  }
+  embed_queue_.push_back(&slot);
+  embed_work_cv_.notify_one();
+  embed_done_cv_.wait(lk, [&slot] { return slot.done; });
+  return slot;
+}
+
+void EmbeddingService::CoalescerLoop() {
+  std::unique_lock<std::mutex> lk(embed_mu_);
+  for (;;) {
+    embed_work_cv_.wait(lk, [this] {
+      return !embed_queue_.empty() ||
+             stopping_.load(std::memory_order_acquire);
+    });
+    if (embed_queue_.empty() &&
+        stopping_.load(std::memory_order_acquire)) {
+      return;
+    }
+    // Take everything queued while the previous round ran — the natural
+    // coalescing window, exactly like group commit.
+    std::vector<PendingEmbed*> round;
+    round.swap(embed_queue_);
+    lk.unlock();
+
+    std::vector<db::FactId> facts;
+    facts.reserve(round.size());
+    for (PendingEmbed* slot : round) facts.push_back(slot->fact);
+    la::Matrix out(round.size(), dim_);
+    {
+      std::shared_lock<std::shared_mutex> slk(session_mu_);
+      const Status st = session_.EmbedBatch(facts, out);
+      if (st.ok()) {
+        for (size_t i = 0; i < round.size(); ++i) {
+          round[i]->phi.assign(out.RowPtr(i), out.RowPtr(i) + dim_);
+        }
+      } else {
+        // One unknown fact fails the whole batch — resolve each request
+        // individually so the other callers still get their vector.
+        for (PendingEmbed* slot : round) {
+          auto v = session_.Embed(slot->fact);
+          if (v.ok()) {
+            slot->phi.assign(v.value().begin(), v.value().end());
+          } else {
+            slot->status = v.status();
+          }
+        }
+      }
+    }
+    coalesce_rounds_.fetch_add(1, std::memory_order_relaxed);
+    embeds_.fetch_add(round.size(), std::memory_order_relaxed);
+    uint64_t seen = max_coalesced_.load(std::memory_order_relaxed);
+    while (round.size() > seen &&
+           !max_coalesced_.compare_exchange_weak(
+               seen, round.size(), std::memory_order_relaxed)) {
+    }
+
+    lk.lock();
+    for (PendingEmbed* slot : round) slot->done = true;
+    embed_done_cv_.notify_all();
+  }
+}
+
+// ---- Handlers ----------------------------------------------------------
+
+void EmbeddingService::RegisterHandlers() {
+  http_.Handle("/embed",
+               [this](const HttpRequest& r) { return HandleEmbed(r); });
+  http_.Handle("/embed_batch", [this](const HttpRequest& r) {
+    return HandleEmbedBatch(r);
+  });
+  http_.Handle("/topk",
+               [this](const HttpRequest& r) { return HandleTopK(r); });
+  http_.Handle("/facts",
+               [this](const HttpRequest& r) { return HandleFacts(r); });
+  http_.Handle("/stats",
+               [this](const HttpRequest& r) { return HandleStats(r); });
+  http_.Handle("/healthz", [](const HttpRequest&) {
+    return HttpResponse{200, "text/plain", "ok\n"};
+  });
+}
+
+HttpResponse EmbeddingService::HandleEmbed(const HttpRequest& req) {
+  if (!req.HasParam("fact")) {
+    return ErrorResponse(
+        Status::InvalidArgument("missing ?fact=<id> parameter"));
+  }
+  const auto fact =
+      static_cast<db::FactId>(req.ParamInt("fact", db::kNoFact));
+  PendingEmbed served = CoalescedEmbed(fact);
+  if (!served.status.ok()) return ErrorResponse(served.status);
+
+  if (req.ParamInt("raw", 0) != 0) {
+    HttpResponse resp;
+    resp.content_type = "application/octet-stream";
+    AppendRawVector(resp.body, served.phi);
+    return resp;
+  }
+  HttpResponse resp;
+  resp.body = "{\"fact\":" + std::to_string(fact) +
+              ",\"dim\":" + std::to_string(dim_) + ",\"phi\":";
+  AppendJsonVector(resp.body, served.phi);
+  resp.body += "}\n";
+  return resp;
+}
+
+HttpResponse EmbeddingService::HandleEmbedBatch(const HttpRequest& req) {
+  const std::string& source =
+      req.HasParam("facts") ? req.Param("facts") : req.body;
+  std::vector<db::FactId> facts =
+      ParseFactList(source, options_.max_batch_facts);
+  if (facts.empty()) {
+    return ErrorResponse(Status::InvalidArgument(
+        "no fact ids in ?facts= or request body"));
+  }
+  if (facts.size() > options_.max_batch_facts) {
+    return ErrorResponse(Status::InvalidArgument(
+        "batch exceeds max_batch_facts=" +
+        std::to_string(options_.max_batch_facts)));
+  }
+  la::Matrix out(facts.size(), dim_);
+  {
+    std::shared_lock<std::shared_mutex> lk(session_mu_);
+    const Status st = session_.EmbedBatch(facts, out);
+    if (!st.ok()) return ErrorResponse(st);
+  }
+  embed_batches_.fetch_add(1, std::memory_order_relaxed);
+
+  if (req.ParamInt("raw", 0) != 0) {
+    HttpResponse resp;
+    resp.content_type = "application/octet-stream";
+    resp.body.reserve(facts.size() * dim_ * sizeof(double));
+    for (size_t i = 0; i < facts.size(); ++i) {
+      AppendRawVector(resp.body, Span<const double>(out.RowPtr(i), dim_));
+    }
+    return resp;
+  }
+  HttpResponse resp;
+  resp.body = "{\"count\":" + std::to_string(facts.size()) +
+              ",\"dim\":" + std::to_string(dim_) + ",\"rows\":[";
+  for (size_t i = 0; i < facts.size(); ++i) {
+    if (i > 0) resp.body.push_back(',');
+    resp.body += "{\"fact\":" + std::to_string(facts[i]) + ",\"phi\":";
+    AppendJsonVector(resp.body, Span<const double>(out.RowPtr(i), dim_));
+    resp.body.push_back('}');
+  }
+  resp.body += "]}\n";
+  return resp;
+}
+
+HttpResponse EmbeddingService::HandleTopK(const HttpRequest& req) {
+  if (!req.HasParam("fact")) {
+    return ErrorResponse(
+        Status::InvalidArgument("missing ?fact=<id> parameter"));
+  }
+  const auto fact =
+      static_cast<db::FactId>(req.ParamInt("fact", db::kNoFact));
+  const auto k = static_cast<size_t>(std::max<int64_t>(
+      1, std::min<int64_t>(req.ParamInt("k", 10),
+                           static_cast<int64_t>(options_.max_topk))));
+  const auto target =
+      static_cast<size_t>(std::max<int64_t>(0, req.ParamInt("target", 0)));
+
+  Result<std::vector<api::ServingSession::Scored>> scored = [&] {
+    std::shared_lock<std::shared_mutex> lk(session_mu_);
+    return session_.TopK(fact, k, target);
+  }();
+  if (!scored.ok()) return ErrorResponse(scored.status());
+  topk_queries_.fetch_add(1, std::memory_order_relaxed);
+
+  HttpResponse resp;
+  resp.body = "{\"query\":" + std::to_string(fact) +
+              ",\"target\":" + std::to_string(target) + ",\"results\":[";
+  bool first = true;
+  for (const api::ServingSession::Scored& s : scored.value()) {
+    if (!first) resp.body.push_back(',');
+    first = false;
+    resp.body += "{\"fact\":" + std::to_string(s.fact) + ",\"score\":";
+    AppendJsonDouble(resp.body, s.score);
+    resp.body.push_back('}');
+  }
+  resp.body += "]}\n";
+  return resp;
+}
+
+HttpResponse EmbeddingService::HandleFacts(const HttpRequest& req) {
+  const auto limit = static_cast<size_t>(std::max<int64_t>(
+      0, req.ParamInt("limit",
+                      static_cast<int64_t>(options_.max_batch_facts))));
+  std::vector<db::FactId> facts;
+  size_t total = 0;
+  {
+    std::shared_lock<std::shared_mutex> lk(session_mu_);
+    facts = session_.ServedFacts();
+  }
+  total = facts.size();
+  if (facts.size() > limit) facts.resize(limit);
+
+  HttpResponse resp;
+  resp.body = "{\"count\":" + std::to_string(total) + ",\"facts\":[";
+  for (size_t i = 0; i < facts.size(); ++i) {
+    if (i > 0) resp.body.push_back(',');
+    resp.body += std::to_string(facts[i]);
+  }
+  resp.body += "]}\n";
+  return resp;
+}
+
+HttpResponse EmbeddingService::HandleStats(const HttpRequest&) {
+  size_t num_embedded = 0, wal_records = 0, num_psi = 0;
+  {
+    std::shared_lock<std::shared_mutex> lk(session_mu_);
+    num_embedded = session_.num_embedded();
+    wal_records = session_.wal_records();
+    num_psi = session_.num_psi();
+  }
+  const Stats s = stats();
+  HttpResponse resp;
+  resp.body =
+      "{\"num_embedded\":" + std::to_string(num_embedded) +
+      ",\"dim\":" + std::to_string(dim_) +
+      ",\"wal_records\":" + std::to_string(wal_records) +
+      ",\"num_psi\":" + std::to_string(num_psi) +
+      ",\"http_requests\":" + std::to_string(http_.requests_served()) +
+      ",\"embeds\":" + std::to_string(s.embeds) +
+      ",\"embed_batches\":" + std::to_string(s.embed_batches) +
+      ",\"coalesce_rounds\":" + std::to_string(s.coalesce_rounds) +
+      ",\"max_coalesced\":" + std::to_string(s.max_coalesced) +
+      ",\"topk_queries\":" + std::to_string(s.topk_queries) +
+      ",\"polls\":" + std::to_string(s.polls) +
+      ",\"wal_records_applied\":" +
+      std::to_string(s.wal_records_applied) +
+      ",\"reopens\":" + std::to_string(s.reopens) + "}\n";
+  return resp;
+}
+
+EmbeddingService::Stats EmbeddingService::stats() const {
+  Stats s;
+  s.http_requests = http_.requests_served();
+  s.embeds = embeds_.load(std::memory_order_relaxed);
+  s.embed_batches = embed_batches_.load(std::memory_order_relaxed);
+  s.coalesce_rounds = coalesce_rounds_.load(std::memory_order_relaxed);
+  s.max_coalesced = max_coalesced_.load(std::memory_order_relaxed);
+  s.topk_queries = topk_queries_.load(std::memory_order_relaxed);
+  s.polls = polls_.load(std::memory_order_relaxed);
+  s.wal_records_applied =
+      wal_records_applied_.load(std::memory_order_relaxed);
+  s.reopens = reopens_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace stedb::serve

@@ -1,0 +1,169 @@
+#ifndef STEDB_SERVE_SERVICE_H_
+#define STEDB_SERVE_SERVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/api/serving.h"
+#include "src/common/status.h"
+#include "src/serve/http.h"
+
+namespace stedb::serve {
+
+/// Knobs for EmbeddingService. Defaults are sized for a loopback service
+/// in front of one store directory.
+struct ServeOptions {
+  /// HTTP worker threads (0 = ResolveThreadCount: STEDB_THREADS, else
+  /// hardware concurrency).
+  int http_threads = 0;
+  /// WAL catch-up cadence: the ticker thread Polls the shared session
+  /// every this many milliseconds (0 disables the ticker — Poll only via
+  /// PollNow(), for tests and single-shot drills).
+  int poll_interval_ms = 20;
+  /// Ceiling on /topk's k and /facts' limit.
+  size_t max_topk = 1024;
+  /// Ceiling on facts per /embed_batch request.
+  size_t max_batch_facts = 65536;
+  /// Runs on every ticker tick, after the Poll, outside the session lock.
+  /// The flusher pattern for a co-located writer: a trainer embedding in
+  /// the same process installs `[&store] { store mutex; store.SyncIfDue(); }`
+  /// so an idle writer's group-commit tail becomes durable within the
+  /// window even when no Append arrives to evaluate it (see
+  /// store::EmbeddingStore::SyncIfDue).
+  std::function<void()> tick_hook;
+};
+
+/// The networked embedding service: one shared api::ServingSession behind
+/// an HttpServer.
+///
+/// Endpoints (all JSON unless `raw=1`, which returns the vector payload
+/// as little-endian IEEE-754 doubles — the snapshot's own byte order —
+/// for bit-exact transport):
+///   GET /embed?fact=ID[&raw=1]        one φ vector
+///   GET /embed_batch?facts=1,2,3      batch read (or POST ids in body)
+///   GET /topk?fact=ID&k=K[&target=T]  φᵀψφ top-k over served facts
+///   GET /facts[?limit=N]              served fact ids (load-gen seed)
+///   GET /stats                        counters + store shape
+///   GET /healthz                      liveness probe
+///
+/// Concurrency model: HTTP workers take the session lock shared; the
+/// Poll ticker takes it exclusive (Poll may remap the snapshot and grow
+/// the overlay, invalidating served views). Concurrent single-fact
+/// /embed lookups do NOT each hit the session: they are queued and a
+/// dedicated coalescer thread drains the queue into one
+/// ServingSession::EmbedBatch call per round — the group-commit pattern
+/// applied to reads — so N concurrent lookups cost one batched fan-out
+/// on the shared ParallelRunner pool instead of N scalar walks.
+class EmbeddingService {
+ public:
+  /// Counters exposed by /stats (and asserted by tests).
+  struct Stats {
+    uint64_t http_requests = 0;
+    uint64_t embeds = 0;            ///< single-fact lookups served
+    uint64_t embed_batches = 0;     ///< /embed_batch requests
+    uint64_t coalesce_rounds = 0;   ///< EmbedBatch calls the coalescer made
+    uint64_t max_coalesced = 0;     ///< largest single coalesced round
+    uint64_t topk_queries = 0;
+    uint64_t polls = 0;             ///< ticker + PollNow Poll() calls
+    uint64_t wal_records_applied = 0;
+    uint64_t reopens = 0;           ///< compaction-triggered reopens
+  };
+
+  /// Opens `<dir>` as a ServingSession and wires the endpoint handlers.
+  /// The service starts serving on Start().
+  static Result<std::unique_ptr<EmbeddingService>> Open(
+      const std::string& dir, ServeOptions options = ServeOptions());
+
+  ~EmbeddingService() { Stop(); }
+  EmbeddingService(const EmbeddingService&) = delete;
+  EmbeddingService& operator=(const EmbeddingService&) = delete;
+
+  /// Binds and starts serving; port 0 picks an ephemeral port.
+  Status Start(const std::string& host, int port);
+
+  /// Stops the HTTP server and the ticker/coalescer threads. Idempotent.
+  void Stop();
+
+  int port() const { return http_.port(); }
+
+  /// One synchronous tick: Poll the session now (exclusive lock), then
+  /// run the tick hook. Returns the number of WAL records applied.
+  Result<size_t> PollNow();
+
+  Stats stats() const;
+  size_t dim() const { return dim_; }
+
+ private:
+  EmbeddingService(api::ServingSession session, ServeOptions options);
+
+  void RegisterHandlers();
+  void TickerLoop();
+  void CoalescerLoop();
+
+  /// One queued single-fact lookup awaiting the coalescer.
+  struct PendingEmbed {
+    db::FactId fact = db::kNoFact;
+    la::Vector phi;
+    Status status;
+    bool done = false;
+  };
+
+  /// Blocks until the coalescer has served `fact`.
+  PendingEmbed CoalescedEmbed(db::FactId fact);
+
+  HttpResponse HandleEmbed(const HttpRequest& req);
+  HttpResponse HandleEmbedBatch(const HttpRequest& req);
+  HttpResponse HandleTopK(const HttpRequest& req);
+  HttpResponse HandleFacts(const HttpRequest& req);
+  HttpResponse HandleStats(const HttpRequest& req);
+
+  ServeOptions options_;
+  size_t dim_ = 0;
+
+  /// Shared session: HTTP readers shared, Poll exclusive.
+  mutable std::shared_mutex session_mu_;
+  api::ServingSession session_;
+
+  HttpServer http_;
+
+  // Coalescer state.
+  std::mutex embed_mu_;
+  std::condition_variable embed_work_cv_;  ///< wakes the coalescer
+  std::condition_variable embed_done_cv_;  ///< wakes waiting handlers
+  std::vector<PendingEmbed*> embed_queue_;
+  std::atomic<bool> stopping_{false};
+  std::thread coalescer_;
+
+  // Ticker state.
+  std::mutex ticker_mu_;
+  std::condition_variable ticker_cv_;
+  std::thread ticker_;
+
+  // Counters (relaxed: monotone stats, read via stats()//stats).
+  std::atomic<uint64_t> embeds_{0};
+  std::atomic<uint64_t> embed_batches_{0};
+  std::atomic<uint64_t> coalesce_rounds_{0};
+  std::atomic<uint64_t> max_coalesced_{0};
+  std::atomic<uint64_t> topk_queries_{0};
+  std::atomic<uint64_t> polls_{0};
+  std::atomic<uint64_t> wal_records_applied_{0};
+  std::atomic<uint64_t> reopens_{0};
+};
+
+/// Extracts every signed integer from `text` — the lenient fact-id list
+/// parser behind /embed_batch ("1,2,3", "[1, 2, 3]", {"facts":[1,2]} all
+/// parse the same). Exposed for tests.
+std::vector<db::FactId> ParseFactList(const std::string& text,
+                                      size_t max_facts);
+
+}  // namespace stedb::serve
+
+#endif  // STEDB_SERVE_SERVICE_H_

@@ -88,6 +88,13 @@ Result<EmbeddingStore> EmbeddingStore::Open(const std::string& dir,
                         replay.torn_tail);
 }
 
+bool EmbeddingStore::GroupWindowExpired() const {
+  if (options_.group_commit_usec == 0) return false;
+  const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
+      std::chrono::steady_clock::now() - oldest_unsynced_);
+  return static_cast<uint64_t>(waited.count()) >= options_.group_commit_usec;
+}
+
 Status EmbeddingStore::MaybeGroupSync(size_t record_bytes) {
   // The group-commit window only relaxes sync_every_append; without that
   // knob appends stay buffered (fsync on Sync/Close alone) and the window
@@ -101,14 +108,17 @@ Status EmbeddingStore::MaybeGroupSync(size_t record_bytes) {
     oldest_unsynced_ = std::chrono::steady_clock::now();
   }
   unsynced_bytes_ += record_bytes;
-  bool due = options_.group_commit_bytes > 0 &&
-             unsynced_bytes_ >= options_.group_commit_bytes;
-  if (!due && options_.group_commit_usec > 0) {
-    const auto waited = std::chrono::duration_cast<std::chrono::microseconds>(
-        std::chrono::steady_clock::now() - oldest_unsynced_);
-    due = static_cast<uint64_t>(waited.count()) >= options_.group_commit_usec;
-  }
+  const bool due = (options_.group_commit_bytes > 0 &&
+                    unsynced_bytes_ >= options_.group_commit_bytes) ||
+                   GroupWindowExpired();
   return due ? Sync() : Status::OK();
+}
+
+Status EmbeddingStore::SyncIfDue() {
+  if (unsynced_bytes_ == 0 || !options_.sync_every_append) {
+    return Status::OK();
+  }
+  return GroupWindowExpired() ? Sync() : Status::OK();
 }
 
 Status EmbeddingStore::Append(db::FactId fact, const la::Vector& phi) {

@@ -29,8 +29,10 @@ struct StoreOptions {
   /// the per-record fsync is batched — an Append only forces the disk
   /// cache once the unsynced bytes reach `group_commit_bytes`, or once
   /// the *oldest* unsynced record has waited `group_commit_usec`
-  /// microseconds (checked on each Append; Sync()/Close()/Compact()
-  /// always flush the remainder). Kill-safety is unchanged — every record
+  /// microseconds (checked on each Append and by SyncIfDue(), which a
+  /// periodic flusher calls to cover idle writers; Sync()/Close()/
+  /// Compact() always flush the remainder). Kill-safety is unchanged —
+  /// every record
   /// still reaches the OS before Append returns — and power-loss
   /// durability is bounded by the window instead of per-record, at a
   /// fraction of the fsyncs (bench/table7_store_io measures both).
@@ -99,6 +101,20 @@ class EmbeddingStore {
   /// window).
   Status Sync();
 
+  /// Fsyncs iff the group-commit time window has expired for a pending
+  /// record: the oldest unsynced record has waited `group_commit_usec` or
+  /// longer. No-op when nothing is pending, when the time window is off,
+  /// or when the deadline has not passed yet.
+  ///
+  /// The window is otherwise only evaluated inside Append, so an *idle*
+  /// writer's tail records would sit unsynced past the promised deadline
+  /// until the next Append. A periodic ticker — e.g. the serve layer's
+  /// Poll ticker (serve::ServeOptions::tick_hook) or any timer thread —
+  /// calls this to bound tail durability for idle writers. Callers own
+  /// the synchronization: like every other member, this must not race an
+  /// Append from another thread.
+  Status SyncIfDue();
+
   /// Folds the journal into a fresh snapshot and empties it.
   Status Compact();
 
@@ -136,6 +152,8 @@ class EmbeddingStore {
   Status WriteSnapshotFile() const;
   /// Applies the group-commit policy after one append of `record_bytes`.
   Status MaybeGroupSync(size_t record_bytes);
+  /// Whether the oldest unsynced record has waited group_commit_usec.
+  bool GroupWindowExpired() const;
 
   std::string dir_;
   StoreOptions options_;

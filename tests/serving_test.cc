@@ -4,9 +4,12 @@
 // model, including after extension batches and a Compact().
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "src/api/serving.h"
 #include "src/fwd/codec.h"
@@ -457,6 +460,197 @@ TEST(ServingSessionTest, Node2VecTrainSnapshotExtendPollRoundTrip) {
   ASSERT_TRUE(session.Poll().ok());
   EXPECT_TRUE(session.reopened());
   ExpectSameBits(session.Embed(c4).value(), embedding.Embed(c4).value());
+}
+
+// ---- Serving-side scoring (φᵀψφ off the mapping) -----------------------
+
+TEST(ServingScoreTest, ScoreIsBitEqualToTrainerKernel) {
+  // The /topk acceptance bar: the serving-side scorer reads ψ straight
+  // off the mmap'd snapshot and must produce the exact double the trainer
+  // computes in memory — same BilinearForm core, same operation order,
+  // same bytes, so equality is ==, not near.
+  fwd::ForwardModel model = TrainSmall();
+  const std::string dir = FreshDir("serving_score");
+  ASSERT_TRUE(fwd::CreateForwardStore(dir, model).ok());
+  auto opened = api::ServingSession::Open(dir);
+  ASSERT_TRUE(opened.ok()) << opened.status();
+  const api::ServingSession& session = opened.value();
+  ASSERT_EQ(session.num_psi(), model.targets().size());
+
+  std::vector<db::FactId> facts;
+  for (const auto& [f, v] : model.all_phi()) facts.push_back(f);
+  std::sort(facts.begin(), facts.end());
+  ASSERT_GE(facts.size(), 2u);
+  for (size_t t = 0; t < model.targets().size(); ++t) {
+    for (size_t i = 0; i + 1 < facts.size(); i += 2) {
+      auto served = session.Score(facts[i], facts[i + 1], t);
+      ASSERT_TRUE(served.ok()) << served.status();
+      EXPECT_EQ(served.value(), model.Score(facts[i], facts[i + 1], t))
+          << "target " << t << " pair " << facts[i] << "," << facts[i + 1];
+    }
+  }
+}
+
+TEST(ServingScoreTest, ScoreCoversWalResidentFacts) {
+  // A fact that only lives in the journal tail scores against snapshot
+  // residents — the overlay feeds the same BilinearForm as the mapping.
+  fwd::ForwardModel model = TrainSmall();
+  const std::string dir = FreshDir("serving_score_wal");
+  auto created = fwd::CreateForwardStore(dir, model);
+  ASSERT_TRUE(created.ok());
+  store::EmbeddingStore store = std::move(created).value();
+  const la::Vector phi = TestVector(model.dim(), 4);
+  ASSERT_TRUE(store.Append(7777, phi).ok());
+  ASSERT_TRUE(store.Sync().ok());
+
+  auto opened = api::ServingSession::Open(dir);
+  ASSERT_TRUE(opened.ok());
+  const db::FactId resident = model.all_phi().begin()->first;
+  auto served = opened.value().Score(7777, resident, 0);
+  ASSERT_TRUE(served.ok()) << served.status();
+  // Trainer-side reference: the identical operation on the same inputs.
+  EXPECT_EQ(served.value(),
+            la::BilinearForm(phi, model.psi(0), model.phi(resident)));
+}
+
+TEST(ServingScoreTest, TopKMatchesBruteForceAndBreaksTiesByFactId) {
+  fwd::ForwardModel model = TrainSmall();
+  const std::string dir = FreshDir("serving_topk");
+  ASSERT_TRUE(fwd::CreateForwardStore(dir, model).ok());
+  auto opened = api::ServingSession::Open(dir);
+  ASSERT_TRUE(opened.ok());
+  const api::ServingSession& session = opened.value();
+
+  std::vector<db::FactId> facts = session.ServedFacts();
+  const db::FactId query = facts.front();
+  const size_t k = 5;
+  auto top = session.TopK(query, k, 0);
+  ASSERT_TRUE(top.ok()) << top.status();
+  ASSERT_EQ(top.value().size(), std::min(k, facts.size()));
+
+  // Reference ranking from the trainer-side kernel.
+  std::vector<api::ServingSession::Scored> expected;
+  for (db::FactId g : facts) {
+    expected.push_back({g, model.Score(query, g, 0)});
+  }
+  std::sort(expected.begin(), expected.end(),
+            [](const auto& a, const auto& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.fact < b.fact;
+            });
+  for (size_t i = 0; i < top.value().size(); ++i) {
+    EXPECT_EQ(top.value()[i].fact, expected[i].fact) << "rank " << i;
+    EXPECT_EQ(top.value()[i].score, expected[i].score) << "rank " << i;
+  }
+
+  // k larger than the store: everything, still sorted.
+  auto all = session.TopK(query, facts.size() + 100, 0);
+  ASSERT_TRUE(all.ok());
+  EXPECT_EQ(all.value().size(), facts.size());
+}
+
+TEST(ServingScoreTest, ScoreErrorCases) {
+  fwd::ForwardModel model = TrainSmall();
+  const std::string dir = FreshDir("serving_score_errors");
+  ASSERT_TRUE(fwd::CreateForwardStore(dir, model).ok());
+  auto opened = api::ServingSession::Open(dir);
+  ASSERT_TRUE(opened.ok());
+  const db::FactId f = model.all_phi().begin()->first;
+  EXPECT_EQ(opened.value().Score(f, 999999, 0).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_EQ(
+      opened.value().Score(f, f, model.targets().size()).status().code(),
+      StatusCode::kInvalidArgument);
+  EXPECT_EQ(opened.value().TopK(999999, 3, 0).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ServingScoreTest, MethodsWithoutPsiFailPrecondition) {
+  // Node2Vec persists no ψ sections; scoring must say so, not crash.
+  const size_t dim = 6;
+  auto vectors = std::make_unique<store::VectorSetModel>(dim, -1);
+  for (int i = 0; i < 4; ++i) vectors->set_phi(10 + i, TestVector(dim, i));
+  const std::string dir = FreshDir("serving_score_n2v");
+  ASSERT_TRUE(
+      store::EmbeddingStore::Create(dir, "node2vec", std::move(vectors))
+          .ok());
+  auto opened = api::ServingSession::Open(dir);
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(opened.value().num_psi(), 0u);
+  EXPECT_EQ(opened.value().Score(10, 11, 0).status().code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(opened.value().TopK(10, 3, 0).status().code(),
+            StatusCode::kFailedPrecondition);
+}
+
+// ---- Writer/reader stress ----------------------------------------------
+
+TEST(ServingStressTest, ConcurrentWriterAndPollingReaderLoseNothing) {
+  // One thread appends (and periodically compacts) while another Polls and
+  // reads. The two processes share only the store directory — exactly the
+  // deployment the serve layer runs. The reader must never see a torn or
+  // wrong vector, and after the writer finishes, one final Poll must serve
+  // every appended fact bit-exactly.
+  fwd::ForwardModel model = TrainSmall();
+  const std::string dir = FreshDir("serving_stress");
+  auto created = fwd::CreateForwardStore(dir, model);
+  ASSERT_TRUE(created.ok());
+  store::EmbeddingStore store = std::move(created).value();
+  const size_t dim = model.dim();
+  constexpr int kFacts = 200;
+  constexpr db::FactId kBase = 50000;
+
+  auto opened = api::ServingSession::Open(dir);
+  ASSERT_TRUE(opened.ok());
+  api::ServingSession session = std::move(opened).value();
+
+  std::atomic<bool> writer_done{false};
+  std::atomic<int> write_failures{0};
+  std::thread writer([&] {
+    for (int i = 0; i < kFacts; ++i) {
+      if (!store.Append(kBase + i, TestVector(dim, i)).ok() ||
+          !store.Sync().ok()) {
+        write_failures.fetch_add(1);
+        break;
+      }
+      if (i % 64 == 63 && !store.Compact().ok()) {
+        write_failures.fetch_add(1);
+        break;
+      }
+    }
+    writer_done.store(true, std::memory_order_release);
+  });
+
+  // Reader: Poll and verify whatever is visible so far. Every served
+  // vector must already be bit-correct — a fact is either absent or
+  // exactly right, never torn.
+  int verified = 0;
+  while (!writer_done.load(std::memory_order_acquire)) {
+    auto polled = session.Poll();
+    ASSERT_TRUE(polled.ok()) << polled.status();
+    for (int i = 0; i < kFacts; ++i) {
+      auto v = session.Embed(kBase + i);
+      if (!v.ok()) {
+        EXPECT_EQ(v.status().code(), StatusCode::kNotFound);
+        continue;
+      }
+      ExpectSameBits(v.value(), TestVector(dim, i));
+      ++verified;
+    }
+  }
+  writer.join();
+  ASSERT_EQ(write_failures.load(), 0);
+
+  // Catch-up: after the writer is done, every fact is served bit-exactly.
+  // (Two Polls: the first may consume a pre-compaction tail + reopen.)
+  ASSERT_TRUE(session.Poll().ok());
+  ASSERT_TRUE(session.Poll().ok());
+  EXPECT_EQ(session.num_embedded(), model.num_embedded() + kFacts);
+  for (int i = 0; i < kFacts; ++i) {
+    ExpectSameBits(session.Embed(kBase + i).value(), TestVector(dim, i));
+  }
+  // The loop did real interleaved verification, not just the epilogue.
+  EXPECT_GT(verified, 0);
 }
 
 }  // namespace

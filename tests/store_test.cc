@@ -3,8 +3,10 @@
 // both embedding methods.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <filesystem>
 #include <fstream>
+#include <thread>
 
 #include "src/fwd/codec.h"
 #include "src/fwd/forward.h"
@@ -777,6 +779,57 @@ TEST(GroupCommitTest, KillSafetyIsUnchangedInsideTheWindow) {
   ASSERT_TRUE(replay.ok());
   ASSERT_EQ(replay.value().records.size(), 1u);
   EXPECT_EQ(replay.value().records[0].fact, 9000);
+}
+
+TEST(GroupCommitTest, SyncIfDueFlushesAnIdleWritersTail) {
+  // The bug this guards against: the time window is only evaluated inside
+  // Append, so a writer that appends once and then goes idle leaves its
+  // tail unsynced indefinitely — the group_commit_usec promise silently
+  // becomes "until the next Append". SyncIfDue() is the ticker-callable
+  // fix: once the oldest pending record has waited out the window, it
+  // flushes without any further Append arriving.
+  fwd::ForwardModel model = TrainSmall();
+  const std::string dir = FreshDir("store_gc_idle");
+  StoreOptions options;
+  options.sync_every_append = true;
+  options.group_commit_bytes = 1 << 30;  // byte window never triggers
+  options.group_commit_usec = 1000;      // 1ms
+  auto created = fwd::CreateForwardStore(dir, model, options);
+  ASSERT_TRUE(created.ok());
+  EmbeddingStore st = std::move(created).value();
+
+  const uint64_t base = st.fsync_count();
+  ASSERT_TRUE(st.Append(9000, TestVector(model.dim(), 1)).ok());
+  ASSERT_EQ(st.fsync_count(), base);  // inside the window, nothing due yet
+
+  // Wait out the window with NO further Append, then tick. The tail must
+  // become durable within the promised deadline.
+  std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  ASSERT_TRUE(st.SyncIfDue().ok());
+  EXPECT_GT(st.fsync_count(), base);
+
+  // Idempotent: nothing pending, ticking again is a no-op.
+  const uint64_t after = st.fsync_count();
+  ASSERT_TRUE(st.SyncIfDue().ok());
+  EXPECT_EQ(st.fsync_count(), after);
+
+  // A fresh append re-opens the window; an immediate tick (deadline not
+  // reached) must NOT flush early.
+  ASSERT_TRUE(st.Append(9001, TestVector(model.dim(), 2)).ok());
+  ASSERT_TRUE(st.SyncIfDue().ok());
+  EXPECT_EQ(st.fsync_count(), after);
+}
+
+TEST(GroupCommitTest, SyncIfDueIsANoOpWithoutGroupCommit) {
+  fwd::ForwardModel model = TrainSmall();
+  const std::string dir = FreshDir("store_gc_idle_off");
+  auto created = fwd::CreateForwardStore(dir, model);  // defaults: no sync
+  ASSERT_TRUE(created.ok());
+  EmbeddingStore st = std::move(created).value();
+  const uint64_t base = st.fsync_count();
+  ASSERT_TRUE(st.Append(9000, TestVector(model.dim(), 1)).ok());
+  ASSERT_TRUE(st.SyncIfDue().ok());
+  EXPECT_EQ(st.fsync_count(), base);
 }
 
 // ---- Atomic writes -----------------------------------------------------

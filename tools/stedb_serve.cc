@@ -1,0 +1,110 @@
+// stedb_serve: the networked embedding service — one store directory
+// behind an HTTP endpoint (serve::EmbeddingService over a shared
+// api::ServingSession). A trainer process keeps extending the same
+// directory; the server's Poll ticker tails the WAL so clients see new
+// facts within one poll interval, bit-identical to the trainer's model.
+//
+//   stedb_serve /path/to/store --port=8080
+//   curl 'localhost:8080/embed?fact=17'
+//   curl 'localhost:8080/topk?fact=17&k=5'
+//   curl 'localhost:8080/stats'
+//
+// --port=0 binds an ephemeral port; the chosen port is printed as
+// "serving on HOST:PORT" (line-buffered) so scripts can scrape it.
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+#include <string>
+
+#include "src/serve/service.h"
+
+using namespace stedb;
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void OnSignal(int) { g_stop = 1; }
+
+const char* FlagValue(const char* arg, const char* name) {
+  const size_t n = std::strlen(name);
+  if (std::strncmp(arg, name, n) == 0 && arg[n] == '=') return arg + n + 1;
+  return nullptr;
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <store_dir> [--host=127.0.0.1] [--port=8080]\n"
+               "       [--threads=0] [--poll_ms=20] [--max_topk=1024]\n"
+               "  --port=0 picks an ephemeral port (printed on stdout)\n"
+               "  --threads=0 resolves via STEDB_THREADS, else hardware "
+               "concurrency\n"
+               "  --poll_ms=0 disables the WAL catch-up ticker\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string dir;
+  std::string host = "127.0.0.1";
+  int port = 8080;
+  serve::ServeOptions options;
+  for (int i = 1; i < argc; ++i) {
+    const char* v = nullptr;
+    if ((v = FlagValue(argv[i], "--host")) != nullptr) {
+      host = v;
+    } else if ((v = FlagValue(argv[i], "--port")) != nullptr) {
+      port = std::atoi(v);
+    } else if ((v = FlagValue(argv[i], "--threads")) != nullptr) {
+      options.http_threads = std::atoi(v);
+    } else if ((v = FlagValue(argv[i], "--poll_ms")) != nullptr) {
+      options.poll_interval_ms = std::atoi(v);
+    } else if ((v = FlagValue(argv[i], "--max_topk")) != nullptr) {
+      options.max_topk = static_cast<size_t>(std::atoll(v));
+    } else if (argv[i][0] == '-') {
+      return Usage(argv[0]);
+    } else if (dir.empty()) {
+      dir = argv[i];
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (dir.empty()) return Usage(argv[0]);
+
+  auto service = serve::EmbeddingService::Open(dir, options);
+  if (!service.ok()) {
+    std::fprintf(stderr, "open %s: %s\n", dir.c_str(),
+                 service.status().ToString().c_str());
+    return 1;
+  }
+  Status started = service.value()->Start(host, port);
+  if (!started.ok()) {
+    std::fprintf(stderr, "start: %s\n", started.ToString().c_str());
+    return 1;
+  }
+  std::setvbuf(stdout, nullptr, _IOLBF, 0);
+  std::printf("serving on %s:%d (store %s, dim %zu)\n", host.c_str(),
+              service.value()->port(), dir.c_str(),
+              service.value()->dim());
+
+  std::signal(SIGINT, OnSignal);
+  std::signal(SIGTERM, OnSignal);
+  while (g_stop == 0) {
+    struct timespec ts = {0, 100 * 1000 * 1000};  // 100ms
+    ::nanosleep(&ts, nullptr);
+  }
+
+  service.value()->Stop();
+  const serve::EmbeddingService::Stats stats = service.value()->stats();
+  std::printf("stopped: %llu requests, %llu embeds (%llu coalesce rounds), "
+              "%llu topk, %llu polls\n",
+              static_cast<unsigned long long>(stats.http_requests),
+              static_cast<unsigned long long>(stats.embeds),
+              static_cast<unsigned long long>(stats.coalesce_rounds),
+              static_cast<unsigned long long>(stats.topk_queries),
+              static_cast<unsigned long long>(stats.polls));
+  return 0;
+}
