@@ -5,16 +5,19 @@
 //
 // On startup (before the registered benchmarks run) the binary also emits
 // BENCH_parallel.json — serial vs. threaded wall-time for the three
-// parallelized hot paths — so the perf trajectory of the parallel runtime
-// is machine-readable from every CI run. Set STEDB_BENCH_JSON to choose
+// parallelized hot paths, plus scalar-vs-active timings of the dispatched
+// SIMD kernels (la/kernels.h) — so the perf trajectory of the parallel
+// runtime and the kernel layer is machine-readable from every CI run. Set STEDB_BENCH_JSON to choose
 // the output path, or STEDB_BENCH_JSON=off to skip the emission. Use
 // --benchmark_filter=NoSuchBenchmark to emit the report without running
 // the micro-benchmarks.
 #include <benchmark/benchmark.h>
 
 #include <cstdlib>
+#include <functional>
 #include <string>
 #include <thread>
+#include <vector>
 
 #include "src/common/parallel.h"
 #include "src/common/timer.h"
@@ -26,6 +29,8 @@
 #include "src/graph/alias_sampler.h"
 #include "src/graph/bipartite_graph.h"
 #include "src/graph/walker.h"
+#include "src/la/kernels.h"
+#include "src/la/row_batch.h"
 #include "src/la/solve.h"
 #include "src/la/svd.h"
 #include "src/n2v/skipgram.h"
@@ -157,6 +162,67 @@ void BM_BilinearForm(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_BilinearForm)->Arg(32)->Arg(100);
+
+// ---- SIMD kernel layer (la/kernels.h) ---------------------------------
+// Registered benchmarks run whatever path the dispatcher picked (or
+// STEDB_SIMD forces); the JSON report below times scalar vs. active
+// explicitly.
+
+void BM_KernelDot(benchmark::State& state) {
+  const size_t d = state.range(0);
+  Rng rng(13);
+  la::Vector a = la::RandomVector(d, 1.0, rng);
+  la::Vector b = la::RandomVector(d, 1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::Dot(a.data(), b.data(), d));
+  }
+  state.SetLabel(la::ActiveSimdPathName());
+}
+BENCHMARK(BM_KernelDot)->Arg(16)->Arg(64)->Arg(128)->Arg(512);
+
+void BM_KernelAxpy(benchmark::State& state) {
+  const size_t d = state.range(0);
+  Rng rng(14);
+  la::Vector a = la::RandomVector(d, 1.0, rng);
+  la::Vector b = la::RandomVector(d, 1.0, rng);
+  for (auto _ : state) {
+    la::Axpy(1e-9, b.data(), a.data(), d);
+    benchmark::DoNotOptimize(a.data());
+  }
+  state.SetLabel(la::ActiveSimdPathName());
+}
+BENCHMARK(BM_KernelAxpy)->Arg(16)->Arg(64)->Arg(128)->Arg(512);
+
+void BM_KernelBilinear(benchmark::State& state) {
+  const size_t d = state.range(0);
+  Rng rng(15);
+  la::Matrix m = la::Matrix::RandomGaussian(d, d, 1.0, rng);
+  la::Vector x = la::RandomVector(d, 1.0, rng);
+  la::Vector y = la::RandomVector(d, 1.0, rng);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        la::BilinearForm(x.data(), m.data().data(), y.data(), d, d));
+  }
+  state.SetLabel(la::ActiveSimdPathName());
+}
+BENCHMARK(BM_KernelBilinear)->Arg(16)->Arg(64)->Arg(128)->Arg(512);
+
+void BM_KernelGather(benchmark::State& state) {
+  const size_t d = state.range(0);
+  constexpr size_t kRows = 256;
+  Rng rng(16);
+  la::Matrix src = la::Matrix::RandomGaussian(kRows, d, 1.0, rng);
+  la::Matrix out(kRows, d);
+  std::vector<size_t> perm(kRows);
+  for (size_t i = 0; i < kRows; ++i) perm[i] = rng.NextIndex(kRows);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(la::GatherRows(
+        kRows, d, 1, out,
+        [&](size_t i) { return src.RowPtr(perm[i]); }));
+  }
+  state.SetLabel(la::ActiveSimdPathName());
+}
+BENCHMARK(BM_KernelGather)->Arg(16)->Arg(64)->Arg(128)->Arg(512);
 
 void BM_InsertDelete(benchmark::State& state) {
   data::GenConfig cfg;
@@ -310,6 +376,88 @@ BENCHMARK(BM_SgnsEpochsThreaded)
     ->Arg(4)
     ->Unit(benchmark::kMillisecond);
 
+/// Calibrated wall-clock nanoseconds per invocation of `op`: the repeat
+/// count quadruples until a run lasts at least 10 ms, so short kernels are
+/// not timed at clock resolution.
+template <typename Fn>
+double NsPerOp(const Fn& op) {
+  op();  // warm caches and the dispatch pointer
+  for (int iters = 64;; iters *= 4) {
+    Timer t;
+    for (int i = 0; i < iters; ++i) op();
+    const double s = t.ElapsedSeconds();
+    if (s > 0.01 || iters >= (1 << 26)) {
+      return s * 1e9 / static_cast<double>(iters);
+    }
+  }
+}
+
+struct KernelTiming {
+  std::string name;
+  size_t dim;
+  double scalar_ns;
+  double active_ns;
+};
+
+/// Times the four kernel shapes of the report (dot, axpy, bilinear, row
+/// gather) at the canonical dims, once with the dispatch forced to scalar
+/// and once on the path the dispatcher actually picked. The active path is
+/// restored afterwards.
+std::vector<KernelTiming> TimeKernels() {
+  const la::SimdPath active = la::ActiveSimdPath();
+  std::vector<KernelTiming> out;
+  Rng rng(17);
+  constexpr size_t kGatherRows = 256;
+  for (size_t d : {16u, 64u, 128u, 512u}) {
+    la::Vector a = la::RandomVector(d, 1.0, rng);
+    la::Vector b = la::RandomVector(d, 1.0, rng);
+    la::Matrix m = la::Matrix::RandomGaussian(d, d, 1.0, rng);
+    la::Matrix src = la::Matrix::RandomGaussian(kGatherRows, d, 1.0, rng);
+    la::Matrix gout(kGatherRows, d);
+    std::vector<size_t> perm(kGatherRows);
+    for (size_t i = 0; i < kGatherRows; ++i) {
+      perm[i] = rng.NextIndex(kGatherRows);
+    }
+
+    struct Op {
+      const char* name;
+      std::function<void()> run;
+    };
+    const Op ops[] = {
+        {"dot",
+         [&] { benchmark::DoNotOptimize(la::Dot(a.data(), b.data(), d)); }},
+        {"axpy",
+         [&] {
+           la::Axpy(1e-9, b.data(), a.data(), d);
+           benchmark::DoNotOptimize(a.data());
+         }},
+        {"bilinear",
+         [&] {
+           benchmark::DoNotOptimize(
+               la::BilinearForm(a.data(), m.data().data(), b.data(), d, d));
+         }},
+        {"gather",
+         [&] {
+           benchmark::DoNotOptimize(la::GatherRows(
+               kGatherRows, d, 1, gout,
+               [&](size_t i) { return src.RowPtr(perm[i]); }));
+         }},
+    };
+    for (const Op& op : ops) {
+      KernelTiming kt;
+      kt.name = std::string(op.name) + "_d" + std::to_string(d);
+      kt.dim = d;
+      la::internal::ForceSimdPathForTest(la::SimdPath::kScalar);
+      kt.scalar_ns = NsPerOp(op.run);
+      la::internal::ForceSimdPathForTest(active);
+      kt.active_ns = NsPerOp(op.run);
+      out.push_back(std::move(kt));
+    }
+  }
+  la::internal::ForceSimdPathForTest(active);
+  return out;
+}
+
 /// Writes BENCH_parallel.json: serial vs. threaded wall time per hot path.
 /// The explicit per-run thread counts are never overridden by
 /// STEDB_THREADS (explicit pins win, see ResolveThreadCount). When a hot
@@ -344,6 +492,8 @@ void EmitParallelJson() {
     }
   }
 
+  const std::vector<KernelTiming> kernels = TimeKernels();
+
   FILE* f = std::fopen(path.c_str(), "w");
   if (f == nullptr) {
     std::fprintf(stderr, "BENCH_parallel.json: cannot open %s\n",
@@ -365,7 +515,25 @@ void EmitParallelJson() {
         hp.parallel > 0.0 ? hp.serial / hp.parallel : 0.0);
     first = false;
   }
-  std::fprintf(f, "\n  ]\n}\n");
+  // The SIMD kernel section: per-kernel scalar vs. active-path time. The
+  // "speedup" field (scalar / active) is what bench_compare.py tracks —
+  // bigger is better, and it is 1.0 by construction on machines where the
+  // dispatcher picked scalar.
+  std::fprintf(f,
+               "\n  ],\n  \"simd\": {\n    \"active_path\": \"%s\",\n"
+               "    \"kernels\": [\n",
+               la::ActiveSimdPathName());
+  first = true;
+  for (const KernelTiming& kt : kernels) {
+    std::fprintf(
+        f,
+        "%s      {\"name\": \"%s\", \"dim\": %zu, \"scalar_ns\": %.2f, "
+        "\"active_ns\": %.2f, \"speedup\": %.3f}",
+        first ? "" : ",\n", kt.name.c_str(), kt.dim, kt.scalar_ns,
+        kt.active_ns, kt.active_ns > 0.0 ? kt.scalar_ns / kt.active_ns : 0.0);
+    first = false;
+  }
+  std::fprintf(f, "\n    ]\n  }\n}\n");
   std::fclose(f);
   std::printf("wrote %s\n", path.c_str());
 }

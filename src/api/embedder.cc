@@ -1,6 +1,6 @@
 #include "src/api/embedder.h"
 
-#include <algorithm>
+#include "src/la/kernels.h"
 
 namespace stedb::api {
 
@@ -12,7 +12,7 @@ Status Embedder::EmbedBatch(Span<const db::FactId> facts,
   }
   for (size_t i = 0; i < facts.size(); ++i) {
     STEDB_ASSIGN_OR_RETURN(la::Vector v, Embed(facts[i]));
-    std::copy(v.begin(), v.end(), out.RowPtr(i));
+    la::CopyRow(out.RowPtr(i), v.data(), v.size());
   }
   return Status::OK();
 }

@@ -129,6 +129,35 @@ ParallelRunner& SharedRunner() {
   return runner;
 }
 
+namespace {
+// True on the thread driving a shared-pool fan-out. A nested call from
+// that thread must not touch shared_mu at all: try_lock by the owning
+// thread is undefined behavior for std::mutex, and the flag routes it
+// to a dedicated runner before the lock is reached. (Nested calls from
+// pool *worker* threads hit try_lock as non-owners — defined, returns
+// false — and take the same dedicated-runner path.)
+thread_local bool in_shared_fanout = false;
+}  // namespace
+
+bool TrySharedParallelFor(size_t n, const std::function<void(size_t)>& body) {
+  if (in_shared_fanout) return false;
+  // ParallelFor is not safe for concurrent callers on one runner, so
+  // the shared pool is guarded by a try-lock: the common case (one
+  // fan-out at a time) reuses the warm pool, while a caller that finds
+  // it busy falls through to a dedicated runner instead of blocking
+  // behind the active job.
+  static std::mutex shared_mu;
+  std::unique_lock<std::mutex> lock(shared_mu, std::try_to_lock);
+  if (!lock.owns_lock()) return false;
+  in_shared_fanout = true;
+  struct Reset {
+    bool* flag;
+    ~Reset() { *flag = false; }
+  } reset{&in_shared_fanout};  // exception-safe: ParallelFor rethrows
+  SharedRunner().ParallelFor(n, body);
+  return true;
+}
+
 void RunParallelFor(int threads, size_t n,
                     const std::function<void(size_t)>& body) {
   if (n == 0) return;
@@ -136,33 +165,36 @@ void RunParallelFor(int threads, size_t n,
     for (size_t i = 0; i < n; ++i) body(i);
     return;
   }
-  // True on the thread driving a shared-pool fan-out. A nested call from
-  // that thread must not touch shared_mu at all: try_lock by the owning
-  // thread is undefined behavior for std::mutex, and the flag routes it
-  // to a dedicated runner before the lock is reached. (Nested calls from
-  // pool *worker* threads hit try_lock as non-owners — defined, returns
-  // false — and take the same dedicated-runner path.)
-  thread_local bool in_shared_fanout = false;
-  if (threads == 0 && !in_shared_fanout) {
-    // ParallelFor is not safe for concurrent callers on one runner, so
-    // the shared pool is guarded by a try-lock: the common case (one
-    // fan-out at a time) reuses the warm pool, while a caller that finds
-    // it busy falls through to a dedicated runner instead of blocking
-    // behind the active job.
-    static std::mutex shared_mu;
-    std::unique_lock<std::mutex> lock(shared_mu, std::try_to_lock);
-    if (lock.owns_lock()) {
-      in_shared_fanout = true;
-      struct Reset {
-        bool* flag;
-        ~Reset() { *flag = false; }
-      } reset{&in_shared_fanout};  // exception-safe: ParallelFor rethrows
-      SharedRunner().ParallelFor(n, body);
-      return;
-    }
-  }
+  if (threads == 0 && TrySharedParallelFor(n, body)) return;
   ParallelRunner runner(threads);
   runner.ParallelFor(n, body);
+}
+
+PooledRunner::PooledRunner(int threads)
+    : threads_(ResolveThreadCount(threads)) {
+  // Pins get their dedicated pool up front; the default route stays on
+  // the shared pool until (if ever) it is found busy.
+  if (threads > 0) owned_ = std::make_unique<ParallelRunner>(threads);
+}
+
+void PooledRunner::ParallelFor(size_t n,
+                               const std::function<void(size_t)>& body) {
+  if (n == 0) return;
+  if (owned_ != nullptr) {
+    owned_->ParallelFor(n, body);
+    return;
+  }
+  if (threads_ <= 1 || n == 1) {
+    for (size_t i = 0; i < n; ++i) body(i);
+    return;
+  }
+  if (TrySharedParallelFor(n, body)) return;
+  // Shared pool busy (another trainer, or a nested fan-out): switch this
+  // handle to its own pool once and keep it — a training loop calls
+  // ParallelFor per chunk, and a pool construction per chunk is exactly
+  // the overhead this class exists to avoid.
+  owned_ = std::make_unique<ParallelRunner>(threads_);
+  owned_->ParallelFor(n, body);
 }
 
 }  // namespace stedb

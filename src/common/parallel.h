@@ -5,6 +5,7 @@
 #include <cstddef>
 #include <exception>
 #include <functional>
+#include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -132,6 +133,42 @@ ParallelRunner& SharedRunner();
 /// inside another fan-out's body.
 void RunParallelFor(int threads, size_t n,
                     const std::function<void(size_t)>& body);
+
+/// Attempts to run the fan-out on the shared per-process pool. Returns
+/// false — without running anything — when the pool is busy with another
+/// caller's job or when this thread is already inside a shared-pool
+/// fan-out (nested calls must not re-enter the runner). Building block
+/// for RunParallelFor and PooledRunner.
+bool TrySharedParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+/// The runner handle for long-lived training loops (one handle per Train
+/// call, many ParallelFor calls per handle):
+///  * an explicit pin (`threads` > 0) gets a dedicated pool for the
+///    handle's lifetime, exactly like constructing a ParallelRunner —
+///    pins never contend on the shared pool;
+///  * the default (`threads` == 0) reuses the per-process SharedRunner()
+///    pool call by call, so back-to-back Train calls stop paying a pool
+///    spin-up each, and only falls back to one lazily created dedicated
+///    pool (kept for the rest of the handle's lifetime) when the shared
+///    pool is busy — e.g. two default-threaded trainers running
+///    concurrently.
+/// The parallelism degree is ResolveThreadCount(threads) on every route,
+/// so results stay bit-identical whichever pool executes the job.
+class PooledRunner {
+ public:
+  explicit PooledRunner(int threads);
+
+  /// The parallelism degree every ParallelFor call of this handle uses.
+  int threads() const { return threads_; }
+
+  /// Same contract as ParallelRunner::ParallelFor (blocking, exceptions
+  /// rethrown, not reentrant on the same handle).
+  void ParallelFor(size_t n, const std::function<void(size_t)>& body);
+
+ private:
+  int threads_;
+  std::unique_ptr<ParallelRunner> owned_;  ///< pinned, or busy-fallback
+};
 
 }  // namespace stedb
 

@@ -1,65 +1,18 @@
 #include "src/fwd/trainer.h"
 
 #include <algorithm>
-#include <array>
 #include <cstdint>
-#include <mutex>
 #include <numeric>
-#include <unordered_map>
 
 #include "src/common/parallel.h"
+#include "src/fwd/dist_cache.h"
 #include "src/fwd/walk_distribution.h"
 #include "src/fwd/walk_sampler.h"
+#include "src/la/kernels.h"
 #include "src/la/optimizer.h"
 
 namespace stedb::fwd {
 namespace {
-
-/// Lazily computed per-(fact, target) destination value distributions for
-/// the kExactCached estimator, shared across workers via striped locks.
-/// Every entry is computed with a stream derived from its own key
-/// (`root.Fork(key)`), so the cached value is identical no matter which
-/// worker computes it first — the cache stays deterministic under any
-/// schedule. Missing distributions are cached too (as empty), so a
-/// non-existing d_{s,f}[A] is detected once.
-class DistCache {
- public:
-  DistCache(const db::Database* database, const ForwardModel* model, Rng root)
-      : dist_(database), model_(model), root_(root) {}
-
-  const ValueDistribution& Get(db::FactId f, size_t target) {
-    const uint64_t key =
-        static_cast<uint64_t>(f) * model_->targets().size() + target;
-    Shard& shard = shards_[key % kShards];
-    {
-      std::lock_guard<std::mutex> lock(shard.mu);
-      auto it = shard.map.find(key);
-      if (it != shard.map.end()) return it->second;
-    }
-    // Compute outside the lock; a racing duplicate computation produces the
-    // same value (key-derived stream), and the first insert wins.
-    Rng rng = root_.Fork(key);
-    ValueDistribution d = dist_.Compute(
-        model_->scheme_of(target), model_->targets()[target].attr, f, rng);
-    std::lock_guard<std::mutex> lock(shard.mu);
-    return shard.map.emplace(key, std::move(d)).first->second;
-  }
-
- private:
-  // References into the maps stay valid across inserts (node-based
-  // containers) and nothing is ever erased, so handing out const& past the
-  // unlock is safe.
-  static constexpr size_t kShards = 64;
-  struct Shard {
-    std::mutex mu;
-    std::unordered_map<uint64_t, ValueDistribution> map;
-  };
-
-  WalkDistribution dist_;
-  const ForwardModel* model_;
-  Rng root_;
-  std::array<Shard, kShards> shards_;
-};
 
 /// One materialized training tuple of the epoch pipeline: dense indices
 /// into the embedded relation's fact vector plus the regression target κ
@@ -130,7 +83,9 @@ Result<ForwardModel> ForwardTrainer::Train(db::RelationId rel,
 
   WalkSampler sampler(db_);
   DistCache dists(db_, &model, dist_root);
-  ParallelRunner runner(config_.threads);
+  // PooledRunner: the default thread count reuses the per-process shared
+  // pool, so back-to-back Train calls stop paying a pool spin-up each.
+  PooledRunner runner(config_.threads);
 
   // Dense φ-row index: facts of a relation map to contiguous blocks, so one
   // pointer array replaces the seed's per-sample unordered_map lookups (a
@@ -217,7 +172,11 @@ Result<ForwardModel> ForwardTrainer::Train(db::RelationId rel,
   // one worker runs this at a time, so every parameter block sees its
   // updates in sample order — the training dynamics of the serial
   // reference, bit-identical at any thread count.
-  la::Vector grad_f(d), grad_f2(d);
+  // All inner-loop arithmetic goes through the dispatched kernel layer
+  // (la/kernels.h) on preallocated buffers: MatVec for the two ψφ
+  // products, Scale for the φ gradients, ScaleAdd per ψ-gradient row —
+  // no per-sample allocation, and bit-identical on either SIMD path.
+  la::Vector grad_f(d), grad_f2(d), psi_pf(d), psi_pf2(d);
   la::Matrix grad_psi(d, d);
   auto apply_chunk = [&](const std::vector<std::vector<Sample>>& batches,
                          size_t count) {
@@ -226,20 +185,17 @@ Result<ForwardModel> ForwardTrainer::Train(db::RelationId rel,
         la::Vector& pf = *phi[smp.f];
         la::Vector& pf2 = *phi[smp.f2];
         la::Matrix& psi = *model.mutable_psi(smp.t);
-        la::Vector psi_pf2 = psi.MultiplyVec(pf2);
-        la::Vector psi_pf = psi.MultiplyVec(pf);
-        const double err = la::Dot(pf, psi_pf2) - smp.kappa;
+        la::MatVec(psi.data().data(), d, d, pf2.data(), psi_pf2.data());
+        la::MatVec(psi.data().data(), d, d, pf.data(), psi_pf.data());
+        const double err = la::Dot(pf.data(), psi_pf2.data(), d) - smp.kappa;
+        la::Scale(grad_f.data(), err, psi_pf2.data(), d);
+        la::Scale(grad_f2.data(), err, psi_pf.data(), d);
+        // ∂L/∂ψ_ij = err/2 (φ(f)_i φ(f')_j + φ(f')_i φ(f)_j), one
+        // ScaleAdd per row.
+        const double half_err = 0.5 * err;
         for (size_t i = 0; i < d; ++i) {
-          grad_f[i] = err * psi_pf2[i];
-          grad_f2[i] = err * psi_pf[i];
-        }
-        for (size_t i = 0; i < d; ++i) {
-          double* row = grad_psi.RowPtr(i);
-          const double pfi = pf[i];
-          const double pf2i = pf2[i];
-          for (size_t j = 0; j < d; ++j) {
-            row[j] = err * 0.5 * (pfi * pf2[j] + pf2i * pf[j]);
-          }
+          la::ScaleAdd(grad_psi.RowPtr(i), half_err * pf[i], pf2.data(),
+                       half_err * pf2[i], pf.data(), d);
         }
         opt->Step(smp.f, pf.data(), grad_f.data(), d);
         opt->Step(smp.f2, pf2.data(), grad_f2.data(), d);
@@ -282,6 +238,7 @@ Result<ForwardModel> ForwardTrainer::Train(db::RelationId rel,
       std::swap(cur, next);
     }
   }
+  stats_.dist_cache = dists.GetStats();
   return model;
 }
 

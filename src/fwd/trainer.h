@@ -5,10 +5,20 @@
 
 #include "src/common/status.h"
 #include "src/db/database.h"
+#include "src/fwd/dist_cache.h"
 #include "src/fwd/kernel.h"
 #include "src/fwd/model.h"
 
 namespace stedb::fwd {
+
+/// Counters from the most recent Train call, for observability and tests.
+struct TrainStats {
+  /// Distribution-cache behavior under the kExactCached estimator (all
+  /// zeros for the sampling estimators, which bypass the cache). A high
+  /// hit/miss ratio with few locked lookups means the wait-free read path
+  /// carried the materialization phase.
+  DistCacheStats dist_cache;
+};
 
 /// Static-phase FoRWaRD training (paper Section V-D).
 ///
@@ -24,8 +34,9 @@ namespace stedb::fwd {
 /// ParallelRunner with `config.threads` workers. The walk-dependent part —
 /// the (f, f', t, κ) sample batches, where κ never depends on model
 /// parameters — is simulated by parallel workers using counter-based
-/// per-fact RNG streams and a lock-striped deterministic distribution
-/// cache, double-buffered one chunk ahead of gradient application; the
+/// per-fact RNG streams and a sharded deterministic distribution cache
+/// with wait-free reads (fwd/dist_cache.h), double-buffered one chunk
+/// ahead of gradient application; the
 /// application itself replays the classic online SGD inner loop as a
 /// single pipelined task, so every parameter block sees fresh gradients in
 /// sample order. Training is bit-identical for a fixed seed at any thread
@@ -46,10 +57,14 @@ class ForwardTrainer {
   double EvaluateLoss(const ForwardModel& model, int samples_per_fact,
                       Rng& rng) const;
 
+  /// Counters from the most recent Train call (empty before the first).
+  const TrainStats& stats() const { return stats_; }
+
  private:
   const db::Database* db_;
   const KernelRegistry* kernels_;
   ForwardConfig config_;
+  TrainStats stats_;
 };
 
 }  // namespace stedb::fwd

@@ -1,0 +1,213 @@
+#ifndef STEDB_LA_KERNELS_IMPL_H_
+#define STEDB_LA_KERNELS_IMPL_H_
+
+// The ONE definition of every kernel's operation order, shared by the
+// scalar and AVX2 translation units. Each kernel is a template over a
+// lane *policy* (4-wide vector type + Load/Store/Fma/... primitives), so
+// the two paths cannot drift apart structurally: they are the same code,
+// instantiated with different 4-lane arithmetic. Bit-identity across
+// paths then reduces to the policies' primitives being bit-identical per
+// lane — which they are, because every primitive is a single IEEE-754
+// double operation (add/sub/mul) or a correctly-rounded fused
+// multiply-add (std::fma in the scalar policy, vfmadd in the AVX2 one;
+// both round exactly once by specification).
+//
+// Reduction contract (Dot / Norm2Sq / DistSq): element i of an n-element
+// reduction is accumulated into lane (i % 4) of accumulator ((i / 4) % 4).
+// The main loop consumes 16 elements per iteration (4 independent
+// fma-chains — also what keeps the AVX2 path out of latency stalls); the
+// tail continues the same accumulator pattern in 4-element groups, and the
+// final < 4 elements enter as a zero-padded partial group (fma(0, 0, acc)
+// == acc exactly, so padding lanes are no-ops down to the bit). The four
+// accumulators combine in the fixed tree
+//     v = (acc0 + acc1) + (acc2 + acc3)        (element-wise)
+//     result = (v[0] + v[2]) + (v[1] + v[3])   (horizontal)
+// regardless of n, path, or machine.
+//
+// Element-wise kernels (Axpy / Scale / ScaleAdd / CopyRow) have no
+// cross-element order at all; they only need each element's op sequence
+// to match, which the shared template guarantees.
+//
+// IMPORTANT for maintainers: never instantiate a policy outside its own
+// translation unit. kernels.cc instantiates ScalarPolicy only and
+// kernels_avx2.cc Avx2Policy only, so no AVX2 instruction can leak into a
+// TU (or linker-chosen COMDAT) that must run on non-AVX2 hardware.
+
+#include <cstddef>
+
+namespace stedb::la::internal {
+
+/// Elements consumed per main-loop iteration (4 accumulators x 4 lanes).
+inline constexpr size_t kBlockWidth = 16;
+/// Lanes per accumulator (one AVX2 __m256d worth of doubles).
+inline constexpr size_t kLaneWidth = 4;
+
+// ---- Reductions -------------------------------------------------------
+
+/// sum_i a[i] * b[i] in the blocked order above.
+template <typename P>
+double DotImpl(const double* a, const double* b, size_t n) {
+  typename P::Vec acc0 = P::Zero(), acc1 = P::Zero(), acc2 = P::Zero(),
+                  acc3 = P::Zero();
+  size_t i = 0;
+  for (; i + kBlockWidth <= n; i += kBlockWidth) {
+    acc0 = P::Fma(P::Load(a + i), P::Load(b + i), acc0);
+    acc1 = P::Fma(P::Load(a + i + 4), P::Load(b + i + 4), acc1);
+    acc2 = P::Fma(P::Load(a + i + 8), P::Load(b + i + 8), acc2);
+    acc3 = P::Fma(P::Load(a + i + 12), P::Load(b + i + 12), acc3);
+  }
+  typename P::Vec* accs[kLaneWidth] = {&acc0, &acc1, &acc2, &acc3};
+  size_t g = 0;  // i is a multiple of 16 here, so the group pattern continues
+  for (; i + kLaneWidth <= n; i += kLaneWidth, ++g) {
+    *accs[g] = P::Fma(P::Load(a + i), P::Load(b + i), *accs[g]);
+  }
+  if (const size_t r = n - i) {
+    *accs[g] =
+        P::Fma(P::LoadPartial(a + i, r), P::LoadPartial(b + i, r), *accs[g]);
+  }
+  return P::ReduceTree(P::Add(P::Add(acc0, acc1), P::Add(acc2, acc3)));
+}
+
+/// sum_i a[i]^2, same order as DotImpl.
+template <typename P>
+double Norm2SqImpl(const double* a, size_t n) {
+  return DotImpl<P>(a, a, n);
+}
+
+/// sum_i (a[i] - b[i])^2, same accumulation order; the difference is one
+/// extra IEEE subtraction per element, identical in both policies.
+template <typename P>
+double DistSqImpl(const double* a, const double* b, size_t n) {
+  typename P::Vec acc0 = P::Zero(), acc1 = P::Zero(), acc2 = P::Zero(),
+                  acc3 = P::Zero();
+  size_t i = 0;
+  for (; i + kBlockWidth <= n; i += kBlockWidth) {
+    typename P::Vec d0 = P::Sub(P::Load(a + i), P::Load(b + i));
+    typename P::Vec d1 = P::Sub(P::Load(a + i + 4), P::Load(b + i + 4));
+    typename P::Vec d2 = P::Sub(P::Load(a + i + 8), P::Load(b + i + 8));
+    typename P::Vec d3 = P::Sub(P::Load(a + i + 12), P::Load(b + i + 12));
+    acc0 = P::Fma(d0, d0, acc0);
+    acc1 = P::Fma(d1, d1, acc1);
+    acc2 = P::Fma(d2, d2, acc2);
+    acc3 = P::Fma(d3, d3, acc3);
+  }
+  typename P::Vec* accs[kLaneWidth] = {&acc0, &acc1, &acc2, &acc3};
+  size_t g = 0;
+  for (; i + kLaneWidth <= n; i += kLaneWidth, ++g) {
+    typename P::Vec d = P::Sub(P::Load(a + i), P::Load(b + i));
+    *accs[g] = P::Fma(d, d, *accs[g]);
+  }
+  if (const size_t r = n - i) {
+    typename P::Vec d =
+        P::Sub(P::LoadPartial(a + i, r), P::LoadPartial(b + i, r));
+    *accs[g] = P::Fma(d, d, *accs[g]);
+  }
+  return P::ReduceTree(P::Add(P::Add(acc0, acc1), P::Add(acc2, acc3)));
+}
+
+// ---- Element-wise updates --------------------------------------------
+
+/// a[i] = fma(s, b[i], a[i]) — one rounding per element.
+template <typename P>
+void AxpyImpl(double s, const double* b, double* a, size_t n) {
+  const typename P::Vec vs = P::Broadcast(s);
+  size_t i = 0;
+  for (; i + kBlockWidth <= n; i += kBlockWidth) {
+    P::Store(a + i, P::Fma(vs, P::Load(b + i), P::Load(a + i)));
+    P::Store(a + i + 4, P::Fma(vs, P::Load(b + i + 4), P::Load(a + i + 4)));
+    P::Store(a + i + 8, P::Fma(vs, P::Load(b + i + 8), P::Load(a + i + 8)));
+    P::Store(a + i + 12,
+             P::Fma(vs, P::Load(b + i + 12), P::Load(a + i + 12)));
+  }
+  for (; i + kLaneWidth <= n; i += kLaneWidth) {
+    P::Store(a + i, P::Fma(vs, P::Load(b + i), P::Load(a + i)));
+  }
+  if (const size_t r = n - i) {
+    P::StorePartial(
+        a + i, P::Fma(vs, P::LoadPartial(b + i, r), P::LoadPartial(a + i, r)),
+        r);
+  }
+}
+
+/// out[i] = s * a[i]. Safe for out == a (pure element-wise).
+template <typename P>
+void ScaleImpl(double* out, double s, const double* a, size_t n) {
+  const typename P::Vec vs = P::Broadcast(s);
+  size_t i = 0;
+  for (; i + kLaneWidth <= n; i += kLaneWidth) {
+    P::Store(out + i, P::Mul(vs, P::Load(a + i)));
+  }
+  if (const size_t r = n - i) {
+    P::StorePartial(out + i, P::Mul(vs, P::LoadPartial(a + i, r)), r);
+  }
+}
+
+/// out[i] = fma(s1, a[i], s2 * b[i]) — the s2 product rounds, then one
+/// fused rounding. Safe for out aliasing a or b.
+template <typename P>
+void ScaleAddImpl(double* out, double s1, const double* a, double s2,
+                  const double* b, size_t n) {
+  const typename P::Vec v1 = P::Broadcast(s1);
+  const typename P::Vec v2 = P::Broadcast(s2);
+  size_t i = 0;
+  for (; i + kLaneWidth <= n; i += kLaneWidth) {
+    P::Store(out + i,
+             P::Fma(v1, P::Load(a + i), P::Mul(v2, P::Load(b + i))));
+  }
+  if (const size_t r = n - i) {
+    P::StorePartial(out + i,
+                    P::Fma(v1, P::LoadPartial(a + i, r),
+                           P::Mul(v2, P::LoadPartial(b + i, r))),
+                    r);
+  }
+}
+
+/// dst[i] = src[i]; the row-gather primitive. Bit-identity is trivial.
+template <typename P>
+void CopyRowImpl(double* dst, const double* src, size_t n) {
+  size_t i = 0;
+  for (; i + kBlockWidth <= n; i += kBlockWidth) {
+    P::Store(dst + i, P::Load(src + i));
+    P::Store(dst + i + 4, P::Load(src + i + 4));
+    P::Store(dst + i + 8, P::Load(src + i + 8));
+    P::Store(dst + i + 12, P::Load(src + i + 12));
+  }
+  for (; i + kLaneWidth <= n; i += kLaneWidth) {
+    P::Store(dst + i, P::Load(src + i));
+  }
+  if (const size_t r = n - i) {
+    P::StorePartial(dst + i, P::LoadPartial(src + i, r), r);
+  }
+}
+
+// ---- Composites (built on the reduction contract) ---------------------
+
+/// out[r] = Dot(row r of m, x): one blocked-order dot per row, rows in
+/// order.
+template <typename P>
+void MatVecImpl(const double* m, size_t rows, size_t cols, const double* x,
+                double* out) {
+  for (size_t r = 0; r < rows; ++r) {
+    out[r] = DotImpl<P>(m + r * cols, x, cols);
+  }
+}
+
+/// x^T M y: acc = fma(x[i], Dot(row i, y), acc) over rows in order, with
+/// the historical x[i] == 0 skip (exact: fma(0, q, acc) == acc for finite
+/// q, and skipping reproduces the seed's sparsity shortcut identically in
+/// both paths).
+template <typename P>
+double BilinearImpl(const double* x, const double* m, const double* y,
+                    size_t rows, size_t cols) {
+  double acc = 0.0;
+  for (size_t i = 0; i < rows; ++i) {
+    const double xi = x[i];
+    if (xi == 0.0) continue;
+    acc = P::ScalarFma(xi, DotImpl<P>(m + i * cols, y, cols), acc);
+  }
+  return acc;
+}
+
+}  // namespace stedb::la::internal
+
+#endif  // STEDB_LA_KERNELS_IMPL_H_

@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstdlib>
 
+#include "src/la/kernels.h"
+
 namespace stedb::la {
 
 Matrix Matrix::Identity(size_t n) {
@@ -29,8 +31,7 @@ Vector Matrix::Row(size_t r) const {
 }
 
 void Matrix::SetRow(size_t r, const Vector& v) {
-  double* dst = RowPtr(r);
-  for (size_t c = 0; c < cols_; ++c) dst[c] = v[c];
+  CopyRow(RowPtr(r), v.data(), cols_);
 }
 
 void Matrix::ResizeRows(size_t new_rows, double fill) {
@@ -55,41 +56,34 @@ Matrix Matrix::Multiply(const Matrix& other) const {
     for (size_t k = 0; k < cols_; ++k) {
       const double aik = a[k];
       if (aik == 0.0) continue;
-      const double* b = other.RowPtr(k);
-      for (size_t j = 0; j < other.cols_; ++j) o[j] += aik * b[j];
+      Axpy(aik, other.RowPtr(k), o, other.cols_);
     }
   }
   return out;
 }
 
 Vector Matrix::MultiplyVec(const Vector& v) const {
-  Vector out(rows_, 0.0);
-  for (size_t i = 0; i < rows_; ++i) {
-    const double* a = RowPtr(i);
-    double acc = 0.0;
-    for (size_t j = 0; j < cols_; ++j) acc += a[j] * v[j];
-    out[i] = acc;
-  }
+  Vector out(rows_);
+  MatVec(data_.data(), rows_, cols_, v.data(), out.data());
   return out;
 }
 
 Vector Matrix::TransposeMultiplyVec(const Vector& v) const {
   Vector out(cols_, 0.0);
   for (size_t i = 0; i < rows_; ++i) {
-    const double* a = RowPtr(i);
     const double vi = v[i];
     if (vi == 0.0) continue;
-    for (size_t j = 0; j < cols_; ++j) out[j] += a[j] * vi;
+    Axpy(vi, RowPtr(i), out.data(), cols_);
   }
   return out;
 }
 
 void Matrix::AddInPlace(const Matrix& other, double scale) {
-  for (size_t i = 0; i < data_.size(); ++i) data_[i] += scale * other.data_[i];
+  Axpy(scale, other.data_.data(), data_.data(), data_.size());
 }
 
 void Matrix::ScaleInPlace(double s) {
-  for (double& x : data_) x *= s;
+  Scale(data_.data(), s, data_.data(), data_.size());
 }
 
 void Matrix::SymmetrizeInPlace() {
@@ -103,9 +97,7 @@ void Matrix::SymmetrizeInPlace() {
 }
 
 double Matrix::FrobeniusNorm() const {
-  double acc = 0.0;
-  for (double x : data_) acc += x * x;
-  return std::sqrt(acc);
+  return std::sqrt(Norm2Sq(data_.data(), data_.size()));
 }
 
 double Matrix::MaxAbsDiff(const Matrix& a, const Matrix& b) {
@@ -117,30 +109,25 @@ double Matrix::MaxAbsDiff(const Matrix& a, const Matrix& b) {
 }
 
 double Dot(const Vector& a, const Vector& b) {
-  double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) acc += a[i] * b[i];
-  return acc;
+  return Dot(a.data(), b.data(), a.size());
 }
 
-double Norm2(const Vector& a) { return std::sqrt(Dot(a, a)); }
+double Norm2(const Vector& a) {
+  return std::sqrt(Norm2Sq(a.data(), a.size()));
+}
 
 void Axpy(double s, const Vector& b, Vector& a) {
-  for (size_t i = 0; i < a.size(); ++i) a[i] += s * b[i];
+  Axpy(s, b.data(), a.data(), a.size());
 }
 
 Vector Scaled(const Vector& a, double s) {
-  Vector out(a);
-  for (double& x : out) x *= s;
+  Vector out(a.size());
+  Scale(out.data(), s, a.data(), a.size());
   return out;
 }
 
 double Distance(const Vector& a, const Vector& b) {
-  double acc = 0.0;
-  for (size_t i = 0; i < a.size(); ++i) {
-    double d = a[i] - b[i];
-    acc += d * d;
-  }
-  return std::sqrt(acc);
+  return std::sqrt(DistSq(a.data(), b.data(), a.size()));
 }
 
 double CosineSimilarity(const Vector& a, const Vector& b) {
@@ -158,18 +145,7 @@ Vector RandomVector(size_t n, double stddev, Rng& rng) {
 
 double BilinearForm(Span<const double> x, Span<const double> m,
                     Span<const double> y) {
-  const size_t rows = x.size();
-  const size_t cols = y.size();
-  double acc = 0.0;
-  for (size_t i = 0; i < rows; ++i) {
-    const double xi = x[i];
-    if (xi == 0.0) continue;
-    const double* row = m.data() + i * cols;
-    double inner = 0.0;
-    for (size_t j = 0; j < cols; ++j) inner += row[j] * y[j];
-    acc += xi * inner;
-  }
-  return acc;
+  return BilinearForm(x.data(), m.data(), y.data(), x.size(), y.size());
 }
 
 double BilinearForm(const Vector& x, const Matrix& m, const Vector& y) {

@@ -110,6 +110,10 @@ class MatrixView {
 };
 
 // ---- Vector helpers ---------------------------------------------------
+// All reductions and element-wise updates below (and the Matrix products
+// above) execute through the runtime-dispatched SIMD kernel layer in
+// src/la/kernels.h; results are bit-identical whichever path (scalar or
+// AVX2) the dispatcher picked.
 
 double Dot(const Vector& a, const Vector& b);
 double Norm2(const Vector& a);

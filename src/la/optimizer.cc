@@ -2,12 +2,13 @@
 
 #include <cmath>
 
+#include "src/la/kernels.h"
+
 namespace stedb::la {
 
 void SgdOptimizer::Step(size_t /*block*/, double* params, const double* grad,
                         size_t n) {
-  const double lr = lr_ * scale_;
-  for (size_t i = 0; i < n; ++i) params[i] -= lr * grad[i];
+  Axpy(-(lr_ * scale_), grad, params, n);
 }
 
 void AdamOptimizer::Reserve(size_t num_blocks) {

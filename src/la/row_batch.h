@@ -2,9 +2,9 @@
 #define STEDB_LA_ROW_BATCH_H_
 
 #include <atomic>
-#include <cstring>
 
 #include "src/common/parallel.h"
+#include "src/la/kernels.h"
 #include "src/la/matrix.h"
 
 namespace stedb::la {
@@ -24,12 +24,14 @@ constexpr size_t kParallelRowBatchThreshold = 64;
 template <typename SourceFn>
 size_t GatherRows(size_t n, size_t dim, int threads, MatrixView out,
                   const SourceFn& source) {
-  const size_t row_bytes = dim * sizeof(double);
+  // Per-row copies go through the dispatched CopyRow kernel (scalar =
+  // memcpy, AVX2 = 256-bit unaligned moves); copies are bit-exact either
+  // way, so the gather stays byte-identical across paths and threads.
   if (n < kParallelRowBatchThreshold || ResolveThreadCount(threads) <= 1) {
     for (size_t i = 0; i < n; ++i) {
       const double* row = source(i);
       if (row == nullptr) return i;
-      std::memcpy(out.RowPtr(i), row, row_bytes);
+      CopyRow(out.RowPtr(i), row, dim);
     }
     return n;
   }
@@ -44,7 +46,7 @@ size_t GatherRows(size_t n, size_t dim, int threads, MatrixView out,
       }
       return;
     }
-    std::memcpy(out.RowPtr(i), row, row_bytes);
+    CopyRow(out.RowPtr(i), row, dim);
   });
   return first_missing.load(std::memory_order_relaxed);
 }

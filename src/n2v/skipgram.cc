@@ -6,6 +6,7 @@
 #include <unordered_map>
 
 #include "src/common/parallel.h"
+#include "src/la/kernels.h"
 
 namespace stedb::n2v {
 namespace {
@@ -102,7 +103,9 @@ double SkipGramModel::Train(
   const size_t schedule_total =
       std::max<size_t>(total_positions * static_cast<size_t>(epochs), 1);
 
-  ParallelRunner runner(config_.threads);
+  // PooledRunner: the default thread count reuses the per-process shared
+  // pool across Train calls instead of spinning one up per call.
+  PooledRunner runner(config_.threads);
   std::vector<WalkRec> recs(kWalkBatch);
   std::vector<size_t> pos_base(walks.size(), 0);
   // Per-walk-slot node → overlay-slot indices, reused across batches and
@@ -185,15 +188,13 @@ double SkipGramModel::Train(
             auto update_output = [&](graph::NodeId target, double label) {
               const size_t tslot = touch(rec.out, oslot, out_, target);
               double* vo = rec.out.cur.data() + tslot * d;
-              double dot = 0.0;
-              for (size_t i = 0; i < d; ++i) dot += vc[i] * vo[i];
-              const double pred = Sigmoid(dot);
+              const double pred = Sigmoid(la::Dot(vc, vo, d));
               const double err = pred - label;  // d(loss)/d(dot)
               rec.loss += label > 0.5 ? -std::log(std::max(pred, 1e-12))
                                       : -std::log(std::max(1.0 - pred, 1e-12));
-              for (size_t i = 0; i < d; ++i) grad[i] += err * vo[i];
+              la::Axpy(err, vo, grad.data(), d);
               if (!frozen_[static_cast<size_t>(target)]) {
-                for (size_t i = 0; i < d; ++i) vo[i] -= lr * err * vc[i];
+                la::Axpy(-(lr * err), vc, vo, d);
               }
             };
 
@@ -204,7 +205,7 @@ double SkipGramModel::Train(
               update_output(noise, 0.0);
             }
             if (!frozen_[static_cast<size_t>(center)]) {
-              for (size_t i = 0; i < d; ++i) vc[i] -= lr * grad[i];
+              la::Axpy(-lr, grad.data(), vc, d);
             }
             ++rec.pairs;
           }

@@ -92,6 +92,42 @@ TEST(ForwardTrainerTest, DeterministicGivenSeed) {
   }
 }
 
+TEST(ForwardTrainerTest, DistCacheStatsSurfaceThroughTrainer) {
+  db::Database database = stedb::testing::MovieDatabase();
+  auto kernels = KernelRegistry::Defaults(database);
+  ForwardConfig cfg = TinyConfig();
+  cfg.kd_estimator = KdEstimator::kExactCached;
+  ForwardTrainer trainer(&database, &kernels, cfg);
+  ASSERT_TRUE(trainer.stats().dist_cache.hits == 0 &&
+              trainer.stats().dist_cache.misses == 0)
+      << "stats must start empty";
+  auto model = trainer.Train(database.schema().RelationIndex("ACTORS"), {});
+  ASSERT_TRUE(model.ok()) << model.status();
+
+  const DistCacheStats& s = trainer.stats().dist_cache;
+  // Every (fact, target) distribution is computed exactly once per unique
+  // key; everything else is a cache hit. With nsamples * epochs lookups
+  // per pair the hit path must dominate.
+  EXPECT_GT(s.misses, 0u);
+  EXPECT_GT(s.hits, s.misses);
+  // A computation only ever races another worker for the same key, so
+  // discarded duplicates are bounded by the computations performed.
+  EXPECT_LE(s.duplicate_computes, s.misses);
+  EXPECT_GE(s.locked_lookups, s.misses);
+}
+
+TEST(ForwardTrainerTest, SamplingEstimatorBypassesDistCache) {
+  db::Database database = stedb::testing::MovieDatabase();
+  auto kernels = KernelRegistry::Defaults(database);
+  ForwardConfig cfg = TinyConfig();
+  cfg.kd_estimator = KdEstimator::kSingleSample;
+  ForwardTrainer trainer(&database, &kernels, cfg);
+  auto model = trainer.Train(database.schema().RelationIndex("ACTORS"), {});
+  ASSERT_TRUE(model.ok()) << model.status();
+  EXPECT_EQ(trainer.stats().dist_cache.hits, 0u);
+  EXPECT_EQ(trainer.stats().dist_cache.misses, 0u);
+}
+
 TEST(ForwardTrainerTest, PsiStaysSymmetric) {
   db::Database database = stedb::testing::MovieDatabase();
   auto kernels = KernelRegistry::Defaults(database);

@@ -133,6 +133,47 @@ TEST(ShardedReduceTest, BitIdenticalAcrossThreadCounts) {
   EXPECT_EQ(at1, at4);  // exact, not NEAR
 }
 
+TEST(PooledRunnerTest, PinnedRunsEveryIndex) {
+  PooledRunner runner(3);
+  EXPECT_EQ(runner.threads(), 3);
+  std::vector<std::atomic<int>> hits(100);
+  runner.ParallelFor(hits.size(),
+                     [&](size_t i) { hits[i].fetch_add(1); });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(PooledRunnerTest, DefaultRunsEveryIndexAcrossManyCalls) {
+  // threads == 0 routes through the shared pool (or its busy fallback);
+  // repeated calls on one handle must each cover the full index space.
+  PooledRunner runner(0);
+  EXPECT_GE(runner.threads(), 1);
+  for (int round = 0; round < 5; ++round) {
+    std::vector<std::atomic<int>> hits(64);
+    runner.ParallelFor(hits.size(),
+                       [&](size_t i) { hits[i].fetch_add(1); });
+    for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+  }
+}
+
+TEST(PooledRunnerTest, WorksNestedInsideSharedFanout) {
+  // A PooledRunner used from inside a shared-pool fan-out must not
+  // re-enter the shared runner; TrySharedParallelFor refuses and the
+  // handle falls back to its own pool.
+  std::atomic<int> total{0};
+  RunParallelFor(0, 4, [&](size_t) {
+    PooledRunner inner(0);
+    inner.ParallelFor(8, [&](size_t) { total.fetch_add(1); });
+  });
+  EXPECT_EQ(total.load(), 32);
+}
+
+TEST(TrySharedParallelForTest, RefusesWhenNested) {
+  bool outer_ran = TrySharedParallelFor(2, [&](size_t) {
+    EXPECT_FALSE(TrySharedParallelFor(2, [](size_t) {}));
+  });
+  EXPECT_TRUE(outer_ran);
+}
+
 TEST(RngForkStreamTest, StreamsAreDisjoint) {
   Rng root(42);
   Rng a = root.Fork(0);
