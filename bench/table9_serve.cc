@@ -170,6 +170,69 @@ void EmitServeJson(const std::vector<EndpointNumbers>& rows, int threads,
   std::printf("merged serve section into %s\n", path.c_str());
 }
 
+/// Scrapes GET /metrics after the load run, sanity-checks the Prometheus
+/// exposition (the serve-layer request histograms must have counted the
+/// load we just generated), and writes the text next to the JSON artifact
+/// (STEDB_BENCH_METRICS_PROM overrides the path; "off" disables).
+/// Returns false on scrape or validation failure — the bench fails hard,
+/// so a broken /metrics endpoint can't slip through CI.
+bool ScrapeAndCheckMetrics(const std::string& host, int port) {
+  auto conn = serve::HttpClient::Connect(host, port);
+  if (!conn.ok()) {
+    std::fprintf(stderr, "/metrics connect: %s\n",
+                 conn.status().ToString().c_str());
+    return false;
+  }
+  auto resp = conn.value().Get("/metrics");
+  if (!resp.ok() || resp.value().status != 200) {
+    std::fprintf(stderr, "/metrics scrape failed (status %d)\n",
+                 resp.ok() ? resp.value().status : -1);
+    return false;
+  }
+  const std::string& text = resp.value().body;
+  // Spot-check the exposition: well-formed head, and the families the
+  // acceptance bar names — per-endpoint request latency, store appends,
+  // serving Poll lag, DistCache hits/misses.
+  const char* required[] = {
+      "# HELP ",
+      "# TYPE ",
+      "stedb_serve_request_seconds_bucket{endpoint=\"embed\",le=",
+      "stedb_serve_request_seconds_count{endpoint=\"topk\"}",
+      "stedb_serve_requests_total{endpoint=\"embed_batch\"}",
+      "stedb_store_appends_total",
+      "stedb_serving_wal_lag_records",
+      "stedb_train_dist_cache_lookups_total{result=\"hit\"}",
+  };
+  for (const char* needle : required) {
+    if (text.find(needle) == std::string::npos) {
+      std::fprintf(stderr, "/metrics missing expected series: %s\n",
+                   needle);
+      return false;
+    }
+  }
+
+  const char* out_env = std::getenv("STEDB_BENCH_METRICS_PROM");
+  std::string path = out_env != nullptr && *out_env != '\0'
+                         ? out_env
+                         : "BENCH_metrics.prom";
+  if (path == "off" || path == "0") return true;
+  FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "metrics artifact: cannot open %s\n",
+                 path.c_str());
+    return false;
+  }
+  std::fwrite(text.data(), 1, text.size(), f);
+  std::fclose(f);
+  std::printf("wrote /metrics exposition (%zu bytes, %zu series lines) "
+              "to %s\n",
+              text.size(),
+              static_cast<size_t>(
+                  std::count(text.begin(), text.end(), '\n')),
+              path.c_str());
+  return true;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -308,6 +371,7 @@ int main(int argc, char** argv) {
               facts.size());
 
   EmitServeJson(rows, threads, facts.size());
+  if (!ScrapeAndCheckMetrics(host, port)) ok = false;
   if (service != nullptr) service->Stop();
   service.reset();
   if (!store_dir.empty()) std::filesystem::remove_all(store_dir);

@@ -10,11 +10,51 @@
 #include <utility>
 
 #include "src/la/row_batch.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/store/embedding_store.h"
 #include "src/store/format.h"
 #include "src/store/wal.h"
 
 namespace stedb::api {
+
+namespace {
+
+/// Registry series of the WAL-tailing reader. Shared across sessions in
+/// one process — the replication-lag story of "this reader process", not
+/// of one session object.
+struct ServingMetrics {
+  obs::Registry& reg = obs::Registry::Global();
+  obs::Histogram& poll_seconds = reg.GetHistogram(
+      "stedb_serving_poll_seconds",
+      "ServingSession::Poll latency (WAL tail read + apply, or the "
+      "compaction reopen path)",
+      obs::Buckets::Latency());
+  obs::Counter& polls = reg.GetCounter(
+      "stedb_serving_polls_total", "ServingSession::Poll calls");
+  obs::Counter& wal_records_applied = reg.GetCounter(
+      "stedb_serving_wal_records_applied_total",
+      "Journal records applied by Poll since process start");
+  obs::Gauge& lag_records = reg.GetGauge(
+      "stedb_serving_wal_lag_records",
+      "Records the reader was behind at the start of the last Poll "
+      "(records applied by that Poll)");
+  obs::Gauge& lag_bytes = reg.GetGauge(
+      "stedb_serving_wal_lag_bytes",
+      "Journal bytes the reader was behind at the start of the last Poll");
+  obs::Counter& reopens = reg.GetCounter(
+      "stedb_serving_reopens_total",
+      "Compaction-triggered snapshot+journal reopens");
+};
+
+ServingMetrics& Metrics() {
+  static ServingMetrics m;
+  return m;
+}
+
+[[maybe_unused]] const ServingMetrics& g_eager_metrics = Metrics();
+
+}  // namespace
 
 ServingSession::ServingSession(std::string dir, store::MmapSnapshot snapshot)
     : dir_(std::move(dir)), snapshot_(std::move(snapshot)) {}
@@ -131,6 +171,9 @@ size_t ServingSession::ApplyTail(const std::string& bytes) {
 }
 
 Result<size_t> ServingSession::Poll() {
+  ServingMetrics& metrics = Metrics();
+  metrics.polls.Inc();
+  obs::ScopedTimer timer(metrics.poll_seconds);
   reopened_ = false;
   uint64_t inode = 0, size = 0;
   STEDB_RETURN_IF_ERROR(SnapshotIdentity(dir_, &inode, &size));
@@ -155,7 +198,14 @@ Result<size_t> ServingSession::Poll() {
           journal_current) {
         const size_t before = overlay_.size();
         wal_offset_ += ApplyTail(bytes);
-        return overlay_.size() - before;
+        const size_t applied = overlay_.size() - before;
+        // The lag gauges answer "how far behind was this reader when it
+        // polled": the tail bytes that had accumulated since the last
+        // Poll, and the records they decoded into.
+        metrics.lag_bytes.Set(static_cast<double>(bytes.size()));
+        metrics.lag_records.Set(static_cast<double>(applied));
+        metrics.wal_records_applied.Inc(applied);
+        return applied;
       }
     }
   }
@@ -167,8 +217,12 @@ Result<size_t> ServingSession::Poll() {
   STEDB_ASSIGN_OR_RETURN(ServingSession fresh, Open(dir_));
   *this = std::move(fresh);
   reopened_ = true;
+  metrics.reopens.Inc();
   const size_t after = num_embedded();
-  return after > before ? after - before : 0;
+  const size_t applied = after > before ? after - before : 0;
+  metrics.lag_records.Set(static_cast<double>(applied));
+  metrics.wal_records_applied.Inc(applied);
+  return applied;
 }
 
 size_t ServingSession::num_embedded() const {

@@ -1,11 +1,22 @@
 #include "src/common/logging.h"
 
+#include <cinttypes>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <ctime>
+
+#if defined(__linux__)
+#include <sys/syscall.h>
+#include <unistd.h>
+#else
+#include <functional>
+#include <thread>
+#endif
 
 namespace stedb {
 namespace {
-
-LogLevel g_level = LogLevel::kInfo;
 
 const char* LevelName(LogLevel level) {
   switch (level) {
@@ -21,14 +32,70 @@ const char* LevelName(LogLevel level) {
   return "?";
 }
 
+uint64_t CurrentThreadId() {
+#if defined(__linux__)
+  static thread_local uint64_t tid =
+      static_cast<uint64_t>(::syscall(SYS_gettid));
+  return tid;
+#else
+  return std::hash<std::thread::id>{}(std::this_thread::get_id());
+#endif
+}
+
+/// The level storage, env-seeded exactly once (magic static) so the
+/// override applies to whichever of SetLogLevel/GetLogLevel/LogMessage
+/// runs first — including log lines emitted from static initializers.
+LogLevel& MutableLogLevel() {
+  static LogLevel level =
+      ParseLogLevelOrDie(std::getenv("STEDB_LOG_LEVEL"), LogLevel::kInfo);
+  return level;
+}
+
 }  // namespace
 
-void SetLogLevel(LogLevel level) { g_level = level; }
-LogLevel GetLogLevel() { return g_level; }
+LogLevel ParseLogLevelOrDie(const char* value, LogLevel fallback) {
+  if (value == nullptr || *value == '\0') return fallback;
+  if (std::strcmp(value, "debug") == 0) return LogLevel::kDebug;
+  if (std::strcmp(value, "info") == 0) return LogLevel::kInfo;
+  if (std::strcmp(value, "warn") == 0) return LogLevel::kWarn;
+  if (std::strcmp(value, "error") == 0) return LogLevel::kError;
+  // Not STEDB_LOG — the level machinery itself is what is broken here.
+  std::fprintf(stderr,
+               "fatal: unknown STEDB_LOG_LEVEL '%s' "
+               "(expected debug|info|warn|error)\n",
+               value);
+  std::abort();
+}
+
+void SetLogLevel(LogLevel level) { MutableLogLevel() = level; }
+LogLevel GetLogLevel() { return MutableLogLevel(); }
+
+std::string FormatLogLine(LogLevel level, const std::string& message) {
+  const auto now = std::chrono::system_clock::now();
+  const std::time_t secs = std::chrono::system_clock::to_time_t(now);
+  const auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(
+                      now.time_since_epoch())
+                      .count() %
+                  1000;
+  std::tm utc{};
+  gmtime_r(&secs, &utc);
+  char line[64];
+  std::snprintf(line, sizeof(line),
+                "%04d-%02d-%02dT%02d:%02d:%02d.%03dZ [%s] [tid %" PRIu64 "] ",
+                utc.tm_year + 1900, utc.tm_mon + 1, utc.tm_mday, utc.tm_hour,
+                utc.tm_min, utc.tm_sec, static_cast<int>(ms),
+                LevelName(level), CurrentThreadId());
+  return std::string(line) + message;
+}
 
 void LogMessage(LogLevel level, const std::string& message) {
-  if (static_cast<int>(level) < static_cast<int>(g_level)) return;
-  std::fprintf(stderr, "[%s] %s\n", LevelName(level), message.c_str());
+  if (static_cast<int>(level) < static_cast<int>(GetLogLevel())) return;
+  const std::string line = FormatLogLine(level, message);
+  // One fputs per line: interleaved writers tear between lines, not
+  // mid-line (stderr is unbuffered but a single write stays contiguous).
+  std::string out = line;
+  out.push_back('\n');
+  std::fputs(out.c_str(), stderr);
 }
 
 }  // namespace stedb

@@ -10,10 +10,25 @@ enum class LogLevel { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
 
 /// Sets the global minimum level; messages below it are dropped.
 void SetLogLevel(LogLevel level);
+/// The global minimum level. On the first call of either accessor the
+/// STEDB_LOG_LEVEL environment variable (debug|info|warn|error) seeds the
+/// level; an unknown value aborts, like STEDB_SIMD/STEDB_SCALE — a typo
+/// must not silently run at the wrong verbosity.
 LogLevel GetLogLevel();
 
-/// Writes one formatted line to stderr ("[level] message").
+/// Writes one formatted line to stderr
+/// ("2026-08-07T12:34:56.789Z [LEVEL] [tid N] message").
 void LogMessage(LogLevel level, const std::string& message);
+
+/// The line LogMessage emits, without the trailing newline: ISO-8601 UTC
+/// millisecond timestamp, level tag, OS thread id, message. Exposed so
+/// tests can assert the shape without capturing stderr.
+std::string FormatLogLine(LogLevel level, const std::string& message);
+
+/// Parses a STEDB_LOG_LEVEL value; aborts (with an error line) on an
+/// unknown one. `value` may be null/empty — the fallback is returned.
+/// Exposed for the death test.
+LogLevel ParseLogLevelOrDie(const char* value, LogLevel fallback);
 
 namespace internal_logging {
 

@@ -3,7 +3,34 @@
 #include <algorithm>
 #include <cstdlib>
 
+#include "src/obs/metrics.h"
+
 namespace stedb {
+
+namespace {
+
+/// Registry series of the parallel runtime: how often the process fans
+/// out and how wide. One fan-out = one ParallelFor call (any runner);
+/// tasks = its index count.
+struct ParallelMetrics {
+  obs::Registry& reg = obs::Registry::Global();
+  obs::Counter& fanouts = reg.GetCounter(
+      "stedb_parallel_fanouts_total", "ParallelFor calls");
+  obs::Counter& tasks = reg.GetCounter(
+      "stedb_parallel_tasks_total", "Indices dispatched by ParallelFor");
+  obs::Histogram& fanout_size = reg.GetHistogram(
+      "stedb_parallel_fanout_size", "Index count per ParallelFor call",
+      obs::Buckets::PowersOfTwo());
+};
+
+ParallelMetrics& Metrics() {
+  static ParallelMetrics m;
+  return m;
+}
+
+[[maybe_unused]] const ParallelMetrics& g_eager_metrics = Metrics();
+
+}  // namespace
 
 int ResolveThreadCount(int requested) {
   // An explicit positive request always wins: callers that pin a count do
@@ -47,6 +74,12 @@ ParallelRunner::~ParallelRunner() {
 void ParallelRunner::ParallelFor(size_t n,
                                  const std::function<void(size_t)>& body) {
   if (n == 0) return;
+  {
+    ParallelMetrics& m = Metrics();
+    m.fanouts.Inc();
+    m.tasks.Inc(n);
+    m.fanout_size.Observe(static_cast<double>(n));
+  }
   if (workers_.empty() || n == 1) {
     for (size_t i = 0; i < n; ++i) body(i);
     return;

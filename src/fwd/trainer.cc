@@ -10,9 +10,44 @@
 #include "src/fwd/walk_sampler.h"
 #include "src/la/kernels.h"
 #include "src/la/optimizer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 
 namespace stedb::fwd {
 namespace {
+
+/// Registry series of the FoRWaRD trainer. The dist-cache counters mirror
+/// TrainStats::dist_cache cumulatively: each Train call adds its cache's
+/// final totals, so the registry reads as lifetime counts where stats()
+/// stays the per-call snapshot.
+struct TrainMetrics {
+  obs::Registry& reg = obs::Registry::Global();
+  obs::Histogram& epoch_seconds = reg.GetHistogram(
+      "stedb_train_epoch_seconds",
+      "Wall time of one FoRWaRD training epoch (materialize + apply)",
+      obs::Buckets::Latency());
+  obs::Counter& epochs = reg.GetCounter(
+      "stedb_train_epochs_total", "FoRWaRD training epochs completed");
+  obs::Counter& cache_hits = reg.GetCounter(
+      "stedb_train_dist_cache_lookups_total",
+      "DistCache lookups by outcome", {{"result", "hit"}});
+  obs::Counter& cache_misses = reg.GetCounter(
+      "stedb_train_dist_cache_lookups_total",
+      "DistCache lookups by outcome", {{"result", "miss"}});
+  obs::Counter& cache_duplicates = reg.GetCounter(
+      "stedb_train_dist_cache_lookups_total",
+      "DistCache lookups by outcome", {{"result", "duplicate_compute"}});
+  obs::Counter& cache_locked = reg.GetCounter(
+      "stedb_train_dist_cache_lookups_total",
+      "DistCache lookups by outcome", {{"result", "locked"}});
+};
+
+TrainMetrics& Metrics() {
+  static TrainMetrics m;
+  return m;
+}
+
+[[maybe_unused]] const TrainMetrics& g_eager_metrics = Metrics();
 
 /// One materialized training tuple of the epoch pipeline: dense indices
 /// into the embedded relation's fact vector plus the regression target κ
@@ -213,6 +248,7 @@ Result<ForwardModel> ForwardTrainer::Train(db::RelationId rel,
   std::vector<std::vector<Sample>> next(std::min(kMaterializeChunk, F));
   std::vector<size_t> order(F);
   for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+    obs::ScopedTimer epoch_timer(Metrics().epoch_seconds);
     // Mild decay stabilizes the tail of training.
     opt->SetLearningRateScale(1.0 / (1.0 + 0.25 * epoch));
     std::iota(order.begin(), order.end(), size_t{0});
@@ -237,10 +273,18 @@ Result<ForwardModel> ForwardTrainer::Train(db::RelationId rel,
       });
       std::swap(cur, next);
     }
+    Metrics().epochs.Inc();
   }
   stats_.dist_cache = dists.GetStats();
+  TrainMetrics& m = Metrics();
+  m.cache_hits.Inc(stats_.dist_cache.hits);
+  m.cache_misses.Inc(stats_.dist_cache.misses);
+  m.cache_duplicates.Inc(stats_.dist_cache.duplicate_computes);
+  m.cache_locked.Inc(stats_.dist_cache.locked_lookups);
   return model;
 }
+
+void TouchTrainMetrics() { Metrics(); }
 
 double ForwardTrainer::EvaluateLoss(const ForwardModel& model,
                                     int samples_per_fact, Rng& rng) const {

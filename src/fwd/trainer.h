@@ -11,6 +11,11 @@
 
 namespace stedb::fwd {
 
+/// Forces registration of the trainer's obs metric families (epoch wall
+/// time, DistCache hit/miss). Serving-only processes call this so their
+/// /metrics exposition carries the training schema at zero.
+void TouchTrainMetrics();
+
 /// Counters from the most recent Train call, for observability and tests.
 struct TrainStats {
   /// Distribution-cache behavior under the kExactCached estimator (all

@@ -1,0 +1,336 @@
+#include "src/obs/metrics.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "src/common/logging.h"
+
+namespace stedb::obs {
+
+namespace internal {
+
+size_t ThreadShard() {
+  // Dense sequential thread numbering beats hashing std::thread::id:
+  // the first kShards threads get distinct shards by construction.
+  static std::atomic<size_t> next{0};
+  static thread_local size_t shard =
+      next.fetch_add(1, std::memory_order_relaxed) % kShards;
+  return shard;
+}
+
+void AtomicAddDouble(std::atomic<uint64_t>* bits, double delta) {
+  uint64_t cur = bits->load(std::memory_order_relaxed);
+  double next;
+  do {
+    std::memcpy(&next, &cur, sizeof(next));
+    next += delta;
+    uint64_t want;
+    std::memcpy(&want, &next, sizeof(want));
+    if (bits->compare_exchange_weak(cur, want, std::memory_order_relaxed)) {
+      return;
+    }
+  } while (true);
+}
+
+double LoadDouble(const std::atomic<uint64_t>& bits) {
+  const uint64_t b = bits.load(std::memory_order_relaxed);
+  double v;
+  std::memcpy(&v, &b, sizeof(v));
+  return v;
+}
+
+}  // namespace internal
+
+// ---- Counter / Gauge / Histogram ---------------------------------------
+
+uint64_t Counter::Value() const {
+  uint64_t total = 0;
+  for (const Cell& c : cells_) {
+    total += c.v.load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+void Gauge::Set(double v) {
+  uint64_t b;
+  std::memcpy(&b, &v, sizeof(b));
+  bits_.store(b, std::memory_order_relaxed);
+}
+
+void Gauge::SetMax(double v) {
+  uint64_t cur = bits_.load(std::memory_order_relaxed);
+  do {
+    double seen;
+    std::memcpy(&seen, &cur, sizeof(seen));
+    if (v <= seen) return;
+    uint64_t want;
+    std::memcpy(&want, &v, sizeof(want));
+    if (bits_.compare_exchange_weak(cur, want, std::memory_order_relaxed)) {
+      return;
+    }
+  } while (true);
+}
+
+Buckets Buckets::Exponential(double first, double factor, size_t count) {
+  Buckets b;
+  b.bounds.reserve(count);
+  double bound = first;
+  for (size_t i = 0; i < count; ++i) {
+    b.bounds.push_back(bound);
+    bound *= factor;
+  }
+  return b;
+}
+
+Buckets Buckets::Latency() { return Exponential(1e-6, 2.0, 25); }
+
+Buckets Buckets::PowersOfTwo() { return Exponential(1.0, 2.0, 17); }
+
+Histogram::Histogram(Buckets buckets) : bounds_(std::move(buckets.bounds)) {
+  shards_.reserve(internal::kShards);
+  for (size_t i = 0; i < internal::kShards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(bounds_.size() + 1));
+  }
+}
+
+void Histogram::Observe(double v) {
+  // lower_bound, not upper_bound: `le` buckets are inclusive, so a value
+  // landing exactly on a bound belongs to that bound's bucket.
+  const size_t bucket = static_cast<size_t>(
+      std::lower_bound(bounds_.begin(), bounds_.end(), v) - bounds_.begin());
+  Shard& shard = *shards_[internal::ThreadShard()];
+  shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
+  internal::AtomicAddDouble(&shard.sum_bits, v);
+}
+
+uint64_t Histogram::Count() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i <= bounds_.size(); ++i) total += BucketCount(i);
+  return total;
+}
+
+double Histogram::Sum() const {
+  double total = 0.0;
+  for (const auto& shard : shards_) {
+    total += internal::LoadDouble(shard->sum_bits);
+  }
+  return total;
+}
+
+uint64_t Histogram::BucketCount(size_t i) const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->counts[i].load(std::memory_order_relaxed);
+  }
+  return total;
+}
+
+// ---- Registry ----------------------------------------------------------
+
+namespace {
+
+bool ValidMetricName(const std::string& name) {
+  if (name.empty()) return false;
+  for (size_t i = 0; i < name.size(); ++i) {
+    const char c = name[i];
+    const bool alpha = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                       c == '_' || c == ':';
+    if (!(alpha || (i > 0 && c >= '0' && c <= '9'))) return false;
+  }
+  return true;
+}
+
+/// Renders `{k1="v1",k2="v2"}`; empty string for no labels. Label values
+/// here are code-chosen constants, so only the JSON-style breakers are
+/// escaped.
+std::string RenderLabels(const Labels& labels) {
+  if (labels.empty()) return std::string();
+  std::string out = "{";
+  for (size_t i = 0; i < labels.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out += labels[i].key;
+    out += "=\"";
+    for (char c : labels[i].value) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      out.push_back(c);
+    }
+    out.push_back('"');
+  }
+  out.push_back('}');
+  return out;
+}
+
+void AppendDouble(std::string* out, double v) {
+  char buf[40];
+  // %.17g round-trips; integral values render without a trailing ".0",
+  // matching Prometheus conventions (and the golden tests).
+  if (v == static_cast<double>(static_cast<int64_t>(v)) &&
+      v >= -1e15 && v <= 1e15) {
+    std::snprintf(buf, sizeof(buf), "%lld",
+                  static_cast<long long>(v));
+  } else {
+    std::snprintf(buf, sizeof(buf), "%.17g", v);
+  }
+  *out += buf;
+}
+
+void AppendBound(std::string* out, double bound) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", bound);
+  *out += buf;
+}
+
+/// Splices extra labels (`le`) into a rendered label string.
+std::string WithLe(const std::string& label_str, const std::string& le) {
+  if (label_str.empty()) return "{le=\"" + le + "\"}";
+  return label_str.substr(0, label_str.size() - 1) + ",le=\"" + le + "\"}";
+}
+
+}  // namespace
+
+Registry& Registry::Global() {
+  static Registry* registry = new Registry();  // never destroyed: metrics
+  return *registry;  // outlive every static-destruction-order consumer
+}
+
+Registry::Series& Registry::GetOrCreate(const std::string& name,
+                                        const std::string& help,
+                                        const Labels& labels, Type type) {
+  if (!ValidMetricName(name)) {
+    STEDB_LOG(kError) << "obs: invalid metric name '" << name << "'";
+    std::abort();
+  }
+  if (labels.size() > kMaxLabels) {
+    STEDB_LOG(kError) << "obs: metric '" << name << "' registered with "
+                      << labels.size() << " labels (max " << kMaxLabels
+                      << "); label sets must stay small and fixed";
+    std::abort();
+  }
+  const std::string label_str = RenderLabels(labels);
+  const std::string identity = name + label_str;
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = index_.find(identity);
+  if (it != index_.end()) {
+    if (it->second->type != type) {
+      STEDB_LOG(kError) << "obs: metric '" << identity
+                        << "' re-registered as a different type";
+      std::abort();
+    }
+    return *it->second;
+  }
+  auto series = std::make_unique<Series>();
+  series->name = name;
+  series->label_str = label_str;
+  series->type = type;
+  if (family_help_.emplace(name, help).second) {
+    family_order_.push_back(name);
+  }
+  Series* raw = series.get();
+  series_.push_back(std::move(series));
+  index_.emplace(identity, raw);
+  return *raw;
+}
+
+Counter& Registry::GetCounter(const std::string& name,
+                              const std::string& help, Labels labels) {
+  Series& s = GetOrCreate(name, help, labels, Type::kCounter);
+  if (s.counter == nullptr) s.counter.reset(new Counter());
+  return *s.counter;
+}
+
+Gauge& Registry::GetGauge(const std::string& name, const std::string& help,
+                          Labels labels) {
+  Series& s = GetOrCreate(name, help, labels, Type::kGauge);
+  if (s.gauge == nullptr) s.gauge.reset(new Gauge());
+  return *s.gauge;
+}
+
+Histogram& Registry::GetHistogram(const std::string& name,
+                                  const std::string& help,
+                                  const Buckets& buckets, Labels labels) {
+  Series& s = GetOrCreate(name, help, labels, Type::kHistogram);
+  if (s.histogram == nullptr) s.histogram.reset(new Histogram(buckets));
+  return *s.histogram;
+}
+
+const Registry::Series* Registry::Find(const std::string& name,
+                                       const Labels& labels,
+                                       Type type) const {
+  const std::string identity = name + RenderLabels(labels);
+  std::lock_guard<std::mutex> lk(mu_);
+  auto it = index_.find(identity);
+  if (it == index_.end() || it->second->type != type) return nullptr;
+  return it->second;
+}
+
+const Counter* Registry::FindCounter(const std::string& name,
+                                     const Labels& labels) const {
+  const Series* s = Find(name, labels, Type::kCounter);
+  return s != nullptr ? s->counter.get() : nullptr;
+}
+
+const Gauge* Registry::FindGauge(const std::string& name,
+                                 const Labels& labels) const {
+  const Series* s = Find(name, labels, Type::kGauge);
+  return s != nullptr ? s->gauge.get() : nullptr;
+}
+
+const Histogram* Registry::FindHistogram(const std::string& name,
+                                         const Labels& labels) const {
+  const Series* s = Find(name, labels, Type::kHistogram);
+  return s != nullptr ? s->histogram.get() : nullptr;
+}
+
+void Registry::Render(std::string* out) const {
+  std::lock_guard<std::mutex> lk(mu_);
+  for (const std::string& family : family_order_) {
+    const char* type_name = "untyped";
+    // All series of a family share a type (enforced at registration).
+    for (const auto& s : series_) {
+      if (s->name != family) continue;
+      type_name = s->type == Type::kCounter   ? "counter"
+                  : s->type == Type::kGauge   ? "gauge"
+                                              : "histogram";
+      break;
+    }
+    *out += "# HELP " + family + " " + family_help_.at(family) + "\n";
+    *out += "# TYPE " + family + " ";
+    *out += type_name;
+    out->push_back('\n');
+    for (const auto& s : series_) {
+      if (s->name != family) continue;
+      if (s->type == Type::kCounter) {
+        *out += s->name + s->label_str + " " +
+                std::to_string(s->counter->Value()) + "\n";
+      } else if (s->type == Type::kGauge) {
+        *out += s->name + s->label_str + " ";
+        AppendDouble(out, s->gauge->Value());
+        out->push_back('\n');
+      } else {
+        const Histogram& h = *s->histogram;
+        uint64_t cumulative = 0;
+        for (size_t i = 0; i < h.bounds().size(); ++i) {
+          cumulative += h.BucketCount(i);
+          std::string le;
+          AppendBound(&le, h.bounds()[i]);
+          *out += s->name + "_bucket" + WithLe(s->label_str, le) + " " +
+                  std::to_string(cumulative) + "\n";
+        }
+        cumulative += h.BucketCount(h.bounds().size());
+        *out += s->name + "_bucket" + WithLe(s->label_str, "+Inf") + " " +
+                std::to_string(cumulative) + "\n";
+        *out += s->name + "_sum" + s->label_str + " ";
+        AppendDouble(out, h.Sum());
+        out->push_back('\n');
+        *out += s->name + "_count" + s->label_str + " " +
+                std::to_string(cumulative) + "\n";
+      }
+    }
+  }
+}
+
+void RenderPrometheus(std::string* out) { Registry::Global().Render(out); }
+
+}  // namespace stedb::obs

@@ -1,0 +1,68 @@
+#ifndef STEDB_OBS_SPAN_H_
+#define STEDB_OBS_SPAN_H_
+
+#include <chrono>
+
+#include "src/common/logging.h"
+#include "src/obs/metrics.h"
+
+namespace stedb::obs {
+
+/// Lightweight tracing span: measures the enclosing scope on the steady
+/// clock, records the duration (seconds) into a latency histogram at
+/// destruction (or an explicit End()), and — when constructed with a name
+/// and a threshold — emits one slow-op log line for outliers, so the tail
+/// of a latency histogram has a grep-able trace without any logging on
+/// the fast path.
+///
+///   obs::Span span("store.compact", Metrics().compact_seconds,
+///                  /*slow_log_sec=*/0.5);
+///
+/// The unnamed form is a plain scoped timer:
+///
+///   obs::ScopedTimer timer(Metrics().append_seconds);
+class Span {
+ public:
+  explicit Span(Histogram& hist)
+      : Span(/*name=*/nullptr, hist, /*slow_log_sec=*/0.0) {}
+
+  Span(const char* name, Histogram& hist, double slow_log_sec = 0.0)
+      : hist_(&hist),
+        name_(name),
+        slow_log_sec_(slow_log_sec),
+        start_(Clock::now()) {}
+
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  ~Span() { End(); }
+
+  /// Records now instead of at scope exit; idempotent. Returns the
+  /// elapsed seconds (0.0 on repeat calls).
+  double End() {
+    if (hist_ == nullptr) return 0.0;
+    const double elapsed =
+        std::chrono::duration<double>(Clock::now() - start_).count();
+    hist_->Observe(elapsed);
+    if (name_ != nullptr && slow_log_sec_ > 0.0 && elapsed >= slow_log_sec_) {
+      STEDB_LOG(kWarn) << "slow op " << name_ << ": " << elapsed * 1e3
+                       << " ms (threshold " << slow_log_sec_ * 1e3 << " ms)";
+    }
+    hist_ = nullptr;
+    return elapsed;
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Histogram* hist_;
+  const char* name_;
+  double slow_log_sec_;
+  Clock::time_point start_;
+};
+
+/// The anonymous span: time a scope into a histogram, nothing else.
+using ScopedTimer = Span;
+
+}  // namespace stedb::obs
+
+#endif  // STEDB_OBS_SPAN_H_

@@ -9,10 +9,53 @@
 #include <utility>
 
 #include "src/common/parallel.h"
+#include "src/fwd/trainer.h"
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
+#include "src/store/embedding_store.h"
 
 namespace stedb::serve {
 
 namespace {
+
+/// Registry series of the serve layer. Counters are process-cumulative;
+/// /stats subtracts a per-instance baseline (see CounterBaseline). The
+/// per-endpoint request series live next to these but are registered in
+/// RegisterHandlers, where the endpoint label value is known.
+struct ServeMetrics {
+  obs::Registry& reg = obs::Registry::Global();
+  obs::Counter& embeds = reg.GetCounter(
+      "stedb_serve_embeds_total", "Single-fact lookups served");
+  obs::Counter& embed_batches = reg.GetCounter(
+      "stedb_serve_embed_batches_total", "/embed_batch requests served");
+  obs::Counter& coalesce_rounds = reg.GetCounter(
+      "stedb_serve_coalesce_rounds_total",
+      "EmbedBatch calls made by the coalescer");
+  obs::Counter& topk_queries = reg.GetCounter(
+      "stedb_serve_topk_queries_total", "/topk queries served");
+  obs::Counter& polls = reg.GetCounter(
+      "stedb_serve_polls_total", "ServingSession Poll() calls");
+  obs::Counter& wal_records_applied = reg.GetCounter(
+      "stedb_serve_wal_records_applied_total",
+      "WAL records applied to the served overlay");
+  obs::Counter& reopens = reg.GetCounter(
+      "stedb_serve_reopens_total", "Compaction-triggered session reopens");
+  obs::Gauge& inflight = reg.GetGauge(
+      "stedb_serve_inflight_requests", "HTTP requests currently in flight");
+  obs::Gauge& max_coalesced = reg.GetGauge(
+      "stedb_serve_max_coalesced_records",
+      "Largest single coalesced embed round seen by this process");
+  obs::Histogram& coalesced_batch = reg.GetHistogram(
+      "stedb_serve_coalesced_batch_records",
+      "Lookups per coalesced embed round", obs::Buckets::PowersOfTwo());
+};
+
+ServeMetrics& Metrics() {
+  static ServeMetrics m;
+  return m;
+}
+
+[[maybe_unused]] const ServeMetrics& g_eager_metrics = Metrics();
 
 /// Shortest round-tripping decimal for an IEEE double: 17 significant
 /// digits reparse to the identical bits, which is what keeps the JSON
@@ -99,6 +142,20 @@ EmbeddingService::EmbeddingService(api::ServingSession session,
     : options_(std::move(options)),
       dim_(session.dim()),
       session_(std::move(session)) {
+  // Read-only serving binaries never reference the store/trainer write
+  // paths, so their eager metric registrations would be dropped by the
+  // static linker; touching them here keeps the /metrics schema complete
+  // (writer families render at zero instead of disappearing).
+  store::TouchStoreMetrics();
+  fwd::TouchTrainMetrics();
+  const ServeMetrics& m = Metrics();
+  baseline_.embeds = m.embeds.Value();
+  baseline_.embed_batches = m.embed_batches.Value();
+  baseline_.coalesce_rounds = m.coalesce_rounds.Value();
+  baseline_.topk_queries = m.topk_queries.Value();
+  baseline_.polls = m.polls.Value();
+  baseline_.wal_records_applied = m.wal_records_applied.Value();
+  baseline_.reopens = m.reopens.Value();
   RegisterHandlers();
   coalescer_ = std::thread([this] { CoalescerLoop(); });
   if (options_.poll_interval_ms > 0) {
@@ -135,11 +192,9 @@ Result<size_t> EmbeddingService::PollNow() {
     auto polled = session_.Poll();
     if (!polled.ok()) return polled.status();
     applied = polled.value();
-    polls_.fetch_add(1, std::memory_order_relaxed);
-    wal_records_applied_.fetch_add(applied, std::memory_order_relaxed);
-    if (session_.reopened()) {
-      reopens_.fetch_add(1, std::memory_order_relaxed);
-    }
+    Metrics().polls.Inc();
+    Metrics().wal_records_applied.Inc(applied);
+    if (session_.reopened()) Metrics().reopens.Inc();
   }
   if (options_.tick_hook) options_.tick_hook();
   return applied;
@@ -219,8 +274,11 @@ void EmbeddingService::CoalescerLoop() {
         }
       }
     }
-    coalesce_rounds_.fetch_add(1, std::memory_order_relaxed);
-    embeds_.fetch_add(round.size(), std::memory_order_relaxed);
+    ServeMetrics& m = Metrics();
+    m.coalesce_rounds.Inc();
+    m.embeds.Inc(round.size());
+    m.coalesced_batch.Observe(static_cast<double>(round.size()));
+    m.max_coalesced.SetMax(static_cast<double>(round.size()));
     uint64_t seen = max_coalesced_.load(std::memory_order_relaxed);
     while (round.size() > seen &&
            !max_coalesced_.compare_exchange_weak(
@@ -236,18 +294,45 @@ void EmbeddingService::CoalescerLoop() {
 // ---- Handlers ----------------------------------------------------------
 
 void EmbeddingService::RegisterHandlers() {
-  http_.Handle("/embed",
-               [this](const HttpRequest& r) { return HandleEmbed(r); });
-  http_.Handle("/embed_batch", [this](const HttpRequest& r) {
-    return HandleEmbedBatch(r);
-  });
-  http_.Handle("/topk",
-               [this](const HttpRequest& r) { return HandleTopK(r); });
-  http_.Handle("/facts",
-               [this](const HttpRequest& r) { return HandleFacts(r); });
-  http_.Handle("/stats",
-               [this](const HttpRequest& r) { return HandleStats(r); });
-  http_.Handle("/healthz", [](const HttpRequest&) {
+  // Every endpoint is wrapped with the same instrumentation: a request
+  // counter and a latency histogram keyed by an `endpoint` label (the
+  // path without the slash — label values stay identifier-shaped), plus
+  // the shared in-flight gauge. Registration happens here, once per
+  // endpoint; re-opening a service in the same process gets the same
+  // series back, so the handler hot path never touches the registry map.
+  const auto timed = [this](const char* path,
+                            std::function<HttpResponse(const HttpRequest&)>
+                                handler) {
+    obs::Registry& reg = obs::Registry::Global();
+    const std::string endpoint = path + 1;  // strip the leading '/'
+    obs::Counter& requests = reg.GetCounter(
+        "stedb_serve_requests_total", "HTTP requests by endpoint",
+        {{"endpoint", endpoint}});
+    obs::Histogram& latency = reg.GetHistogram(
+        "stedb_serve_request_seconds", "HTTP request latency by endpoint",
+        obs::Buckets::Latency(), {{"endpoint", endpoint}});
+    http_.Handle(path, [&requests, &latency,
+                        handler = std::move(handler)](const HttpRequest& r) {
+      requests.Inc();
+      Metrics().inflight.Add(1.0);
+      HttpResponse resp;
+      {
+        obs::ScopedTimer timer(latency);
+        resp = handler(r);
+      }
+      Metrics().inflight.Add(-1.0);
+      return resp;
+    });
+  };
+  timed("/embed", [this](const HttpRequest& r) { return HandleEmbed(r); });
+  timed("/embed_batch",
+        [this](const HttpRequest& r) { return HandleEmbedBatch(r); });
+  timed("/topk", [this](const HttpRequest& r) { return HandleTopK(r); });
+  timed("/facts", [this](const HttpRequest& r) { return HandleFacts(r); });
+  timed("/stats", [this](const HttpRequest& r) { return HandleStats(r); });
+  timed("/metrics",
+        [this](const HttpRequest& r) { return HandleMetrics(r); });
+  timed("/healthz", [](const HttpRequest&) {
     return HttpResponse{200, "text/plain", "ok\n"};
   });
 }
@@ -296,7 +381,7 @@ HttpResponse EmbeddingService::HandleEmbedBatch(const HttpRequest& req) {
     const Status st = session_.EmbedBatch(facts, out);
     if (!st.ok()) return ErrorResponse(st);
   }
-  embed_batches_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().embed_batches.Inc();
 
   if (req.ParamInt("raw", 0) != 0) {
     HttpResponse resp;
@@ -338,7 +423,7 @@ HttpResponse EmbeddingService::HandleTopK(const HttpRequest& req) {
     return session_.TopK(fact, k, target);
   }();
   if (!scored.ok()) return ErrorResponse(scored.status());
-  topk_queries_.fetch_add(1, std::memory_order_relaxed);
+  Metrics().topk_queries.Inc();
 
   HttpResponse resp;
   resp.body = "{\"query\":" + std::to_string(fact) +
@@ -406,18 +491,29 @@ HttpResponse EmbeddingService::HandleStats(const HttpRequest&) {
   return resp;
 }
 
+HttpResponse EmbeddingService::HandleMetrics(const HttpRequest&) {
+  HttpResponse resp;
+  // The Prometheus text exposition version tag; scrapers key parsing off
+  // it, and plain consumers still see text/plain.
+  resp.content_type = "text/plain; version=0.0.4; charset=utf-8";
+  obs::RenderPrometheus(&resp.body);
+  return resp;
+}
+
 EmbeddingService::Stats EmbeddingService::stats() const {
+  const ServeMetrics& m = Metrics();
   Stats s;
   s.http_requests = http_.requests_served();
-  s.embeds = embeds_.load(std::memory_order_relaxed);
-  s.embed_batches = embed_batches_.load(std::memory_order_relaxed);
-  s.coalesce_rounds = coalesce_rounds_.load(std::memory_order_relaxed);
+  s.embeds = m.embeds.Value() - baseline_.embeds;
+  s.embed_batches = m.embed_batches.Value() - baseline_.embed_batches;
+  s.coalesce_rounds =
+      m.coalesce_rounds.Value() - baseline_.coalesce_rounds;
   s.max_coalesced = max_coalesced_.load(std::memory_order_relaxed);
-  s.topk_queries = topk_queries_.load(std::memory_order_relaxed);
-  s.polls = polls_.load(std::memory_order_relaxed);
+  s.topk_queries = m.topk_queries.Value() - baseline_.topk_queries;
+  s.polls = m.polls.Value() - baseline_.polls;
   s.wal_records_applied =
-      wal_records_applied_.load(std::memory_order_relaxed);
-  s.reopens = reopens_.load(std::memory_order_relaxed);
+      m.wal_records_applied.Value() - baseline_.wal_records_applied;
+  s.reopens = m.reopens.Value() - baseline_.reopens;
   return s;
 }
 

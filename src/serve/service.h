@@ -64,7 +64,13 @@ struct ServeOptions {
 /// on the shared ParallelRunner pool instead of N scalar walks.
 class EmbeddingService {
  public:
-  /// Counters exposed by /stats (and asserted by tests).
+  /// Counters exposed by /stats (and asserted by tests). Since the obs
+  /// migration these are views over the process-global obs::Registry —
+  /// the same series GET /metrics renders, so the two endpoints can
+  /// never disagree — reported relative to a baseline captured when this
+  /// service instance was opened (the registry is cumulative across
+  /// instances; /stats stays per-instance, which is what the tests and
+  /// the existing JSON consumers assume).
   struct Stats {
     uint64_t http_requests = 0;
     uint64_t embeds = 0;            ///< single-fact lookups served
@@ -124,6 +130,7 @@ class EmbeddingService {
   HttpResponse HandleTopK(const HttpRequest& req);
   HttpResponse HandleFacts(const HttpRequest& req);
   HttpResponse HandleStats(const HttpRequest& req);
+  HttpResponse HandleMetrics(const HttpRequest& req);
 
   ServeOptions options_;
   size_t dim_ = 0;
@@ -147,15 +154,25 @@ class EmbeddingService {
   std::condition_variable ticker_cv_;
   std::thread ticker_;
 
-  // Counters (relaxed: monotone stats, read via stats()//stats).
-  std::atomic<uint64_t> embeds_{0};
-  std::atomic<uint64_t> embed_batches_{0};
-  std::atomic<uint64_t> coalesce_rounds_{0};
+  /// Registry counter values at instance construction; stats() subtracts
+  /// them so /stats counts this service's lifetime while /metrics stays
+  /// process-cumulative. (Two *concurrently* live services in one process
+  /// would bleed into each other's deltas — the supported topology is one
+  /// service per process, or sequential instances as in the tests.)
+  struct CounterBaseline {
+    uint64_t embeds = 0;
+    uint64_t embed_batches = 0;
+    uint64_t coalesce_rounds = 0;
+    uint64_t topk_queries = 0;
+    uint64_t polls = 0;
+    uint64_t wal_records_applied = 0;
+    uint64_t reopens = 0;
+  };
+  CounterBaseline baseline_;
+
+  /// A max is not delta-able against a baseline; it stays per-instance
+  /// (and is mirrored into a registry gauge as a process-wide ratchet).
   std::atomic<uint64_t> max_coalesced_{0};
-  std::atomic<uint64_t> topk_queries_{0};
-  std::atomic<uint64_t> polls_{0};
-  std::atomic<uint64_t> wal_records_applied_{0};
-  std::atomic<uint64_t> reopens_{0};
 };
 
 /// Extracts every signed integer from `text` — the lenient fact-id list

@@ -3,9 +3,64 @@
 #include <filesystem>
 #include <utility>
 
+#include "src/obs/metrics.h"
+#include "src/obs/span.h"
 #include "src/store/format.h"
 
 namespace stedb::store {
+
+namespace {
+
+/// Registry series of the store layer, registered once per process.
+/// Shared across store instances: a process that owns several stores
+/// (tests, the dynamic experiment) aggregates — per-store breakdowns
+/// would key series on directory paths, an unbounded label set.
+struct StoreMetrics {
+  obs::Registry& reg = obs::Registry::Global();
+  obs::Counter& appends = reg.GetCounter(
+      "stedb_store_appends_total", "Extension records journaled");
+  obs::Counter& wal_bytes = reg.GetCounter(
+      "stedb_store_wal_bytes_total", "Journal bytes appended");
+  obs::Counter& fsyncs = reg.GetCounter(
+      "stedb_store_fsyncs_total", "Disk-cache flushes issued by the store");
+  obs::Counter& compactions = reg.GetCounter(
+      "stedb_store_compactions_total", "Journal-into-snapshot compactions");
+  obs::Histogram& append_seconds = reg.GetHistogram(
+      "stedb_store_append_seconds",
+      "Append latency incl. group-commit fsyncs and auto-compaction",
+      obs::Buckets::Latency());
+  obs::Histogram& fsync_seconds = reg.GetHistogram(
+      "stedb_store_fsync_seconds", "Journal fsync latency",
+      obs::Buckets::Latency());
+  obs::Histogram& sync_if_due_seconds = reg.GetHistogram(
+      "stedb_store_sync_if_due_seconds",
+      "Latency of SyncIfDue calls that flushed an expired group-commit "
+      "window (the idle-writer tail-durability path)",
+      obs::Buckets::Latency());
+  obs::Histogram& compact_seconds = reg.GetHistogram(
+      "stedb_store_compact_seconds", "Compact latency",
+      obs::Buckets::Latency());
+  obs::Histogram& group_commit_batch = reg.GetHistogram(
+      "stedb_store_group_commit_batch_records",
+      "Records made durable per fsync", obs::Buckets::PowersOfTwo());
+  obs::Gauge& journal_offset = reg.GetGauge(
+      "stedb_store_journal_offset_bytes",
+      "Journal byte offset (header + records) of the most recently "
+      "written store");
+};
+
+StoreMetrics& Metrics() {
+  static StoreMetrics m;
+  return m;
+}
+
+// Eager registration: a process that only reads (stedb_serve) still
+// exports the store families, at zero, so scrapes see a stable schema.
+[[maybe_unused]] const StoreMetrics& g_eager_metrics = Metrics();
+
+}  // namespace
+
+void TouchStoreMetrics() { Metrics(); }
 
 std::string EmbeddingStore::SnapshotPath(const std::string& dir) {
   return dir + "/model.snap";
@@ -55,8 +110,10 @@ Result<EmbeddingStore> EmbeddingStore::Create(
   STEDB_RETURN_IF_ERROR(ResetWal(WalPath(dir), model->dim()));
   STEDB_ASSIGN_OR_RETURN(WalWriter wal,
                          WalWriter::Open(WalPath(dir), model->dim()));
-  return EmbeddingStore(dir, options, std::move(codec), std::move(model),
-                        std::move(wal), /*wal_records=*/0, /*torn=*/false);
+  EmbeddingStore store(dir, options, std::move(codec), std::move(model),
+                       std::move(wal), /*wal_records=*/0, /*torn=*/false);
+  store.journal_bytes_ = kWalHeaderBytes;
+  return store;
 }
 
 Result<EmbeddingStore> EmbeddingStore::Open(const std::string& dir,
@@ -83,9 +140,11 @@ Result<EmbeddingStore> EmbeddingStore::Open(const std::string& dir,
   }
   STEDB_ASSIGN_OR_RETURN(WalWriter wal,
                          WalWriter::Open(WalPath(dir), model->dim()));
-  return EmbeddingStore(dir, options, std::move(codec), std::move(model),
-                        std::move(wal), replay.records.size(),
-                        replay.torn_tail);
+  EmbeddingStore store(dir, options, std::move(codec), std::move(model),
+                       std::move(wal), replay.records.size(),
+                       replay.torn_tail);
+  store.journal_bytes_ = replay.valid_bytes;
+  return store;
 }
 
 bool EmbeddingStore::GroupWindowExpired() const {
@@ -118,15 +177,28 @@ Status EmbeddingStore::SyncIfDue() {
   if (unsynced_bytes_ == 0 || !options_.sync_every_append) {
     return Status::OK();
   }
-  return GroupWindowExpired() ? Sync() : Status::OK();
+  if (!GroupWindowExpired()) return Status::OK();
+  // Only flushes are observed: the histogram measures how expensive the
+  // idle-writer durability path is when it actually hits the disk, not
+  // how often a ticker polled a quiet window.
+  obs::ScopedTimer timer(Metrics().sync_if_due_seconds);
+  return Sync();
 }
 
 Status EmbeddingStore::Append(db::FactId fact, const la::Vector& phi) {
   if (phi.size() != model_->dim()) {
     return Status::InvalidArgument("store: vector dimension mismatch");
   }
+  obs::ScopedTimer timer(Metrics().append_seconds);
   STEDB_RETURN_IF_ERROR(wal_.Append(fact, phi));
-  STEDB_RETURN_IF_ERROR(MaybeGroupSync(WalWriter::RecordBytes(phi.size())));
+  const size_t record_bytes = WalWriter::RecordBytes(phi.size());
+  ++unsynced_records_;
+  journal_bytes_ += record_bytes;
+  StoreMetrics& m = Metrics();
+  m.appends.Inc();
+  m.wal_bytes.Inc(record_bytes);
+  m.journal_offset.Set(static_cast<double>(journal_bytes_));
+  STEDB_RETURN_IF_ERROR(MaybeGroupSync(record_bytes));
   model_->set_phi(fact, phi);
   ++wal_records_;
   if (options_.compact_every > 0 && wal_records_ >= options_.compact_every) {
@@ -136,12 +208,23 @@ Status EmbeddingStore::Append(db::FactId fact, const la::Vector& phi) {
 }
 
 Status EmbeddingStore::Sync() {
-  STEDB_RETURN_IF_ERROR(wal_.Sync());
+  if (unsynced_records_ > 0) {
+    Metrics().group_commit_batch.Observe(
+        static_cast<double>(unsynced_records_));
+  }
+  {
+    obs::ScopedTimer timer(Metrics().fsync_seconds);
+    STEDB_RETURN_IF_ERROR(wal_.Sync());
+  }
+  Metrics().fsyncs.Inc();
   unsynced_bytes_ = 0;
+  unsynced_records_ = 0;
   return Status::OK();
 }
 
 Status EmbeddingStore::Compact() {
+  obs::Span span("store.compact", Metrics().compact_seconds,
+                 /*slow_log_sec=*/1.0);
   STEDB_RETURN_IF_ERROR(Sync());
   // Order matters for crash safety: (1) the new snapshot lands atomically
   // (old snapshot + full journal remain valid until the rename), (2) the
@@ -149,6 +232,7 @@ Status EmbeddingStore::Compact() {
   // that are already in the snapshot — harmless, see Open().
   STEDB_RETURN_IF_ERROR(WriteSnapshotFile());
   STEDB_RETURN_IF_ERROR(wal_.Close());
+  Metrics().fsyncs.Inc();  // Close() forces the old journal's tail
   folded_fsyncs_ += wal_.sync_count();
   STEDB_RETURN_IF_ERROR(ResetWal(WalPath(dir_), model_->dim()));
   STEDB_ASSIGN_OR_RETURN(WalWriter wal,
@@ -156,12 +240,25 @@ Status EmbeddingStore::Compact() {
   wal_ = std::move(wal);
   wal_records_ = 0;
   unsynced_bytes_ = 0;
+  unsynced_records_ = 0;
+  journal_bytes_ = kWalHeaderBytes;
+  StoreMetrics& m = Metrics();
+  m.compactions.Inc();
+  m.journal_offset.Set(static_cast<double>(journal_bytes_));
   return Status::OK();
 }
 
 Status EmbeddingStore::Close() {
-  const Status st = wal_.Close();
-  if (st.ok()) unsynced_bytes_ = 0;
+  const Status st = wal_.Close();  // flushes and fsyncs the tail
+  if (st.ok()) {
+    if (unsynced_records_ > 0) {
+      Metrics().group_commit_batch.Observe(
+          static_cast<double>(unsynced_records_));
+    }
+    Metrics().fsyncs.Inc();
+    unsynced_bytes_ = 0;
+    unsynced_records_ = 0;
+  }
   return st;
 }
 

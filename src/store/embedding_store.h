@@ -13,6 +13,13 @@
 
 namespace stedb::store {
 
+/// Forces registration of the store layer's obs metric families (appends,
+/// fsync/compact latency, group-commit batches). They register on first
+/// use anyway; read-only processes (stedb_serve) call this so scrapes
+/// export the writer-side families at zero — a stable schema for
+/// dashboards — even though the process never appends.
+void TouchStoreMetrics();
+
 struct StoreOptions {
   /// fsync the journal after every Append. Appends are always durable
   /// against a killed process (each record is flushed to the OS); this
@@ -164,6 +171,8 @@ class EmbeddingStore {
   bool recovered_torn_tail_ = false;
   uint64_t folded_fsyncs_ = 0;  ///< sync_count of journals closed by Compact
   size_t unsynced_bytes_ = 0;   ///< appended since the last fsync
+  size_t unsynced_records_ = 0;  ///< records since the last fsync (metrics)
+  size_t journal_bytes_ = 0;     ///< current journal file size (metrics)
   std::chrono::steady_clock::time_point oldest_unsynced_{};
 };
 

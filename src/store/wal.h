@@ -28,6 +28,9 @@ namespace stedb::store {
 /// matching CRC are on disk; replay stops at the first record that is
 /// short, oversized or checksum-corrupt and reports the clean prefix
 /// length so the caller can truncate the torn tail instead of failing.
+/// Size of the file header (magic + version + dim) preceding the records.
+constexpr size_t kWalHeaderBytes = 16;
+
 struct WalRecord {
   db::FactId fact = -1;
   la::Vector phi;

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cctype>
+
 #include "src/common/timer.h"
 
 namespace stedb {
@@ -24,6 +26,66 @@ TEST(LoggingTest, StreamComposesValues) {
   SetLogLevel(LogLevel::kError);  // mute
   STEDB_LOG(kInfo) << "x=" << 42 << " y=" << 1.5 << " z=" << std::string("s");
   SetLogLevel(original);
+}
+
+TEST(LoggingTest, FormatLogLineShape) {
+  const std::string line = FormatLogLine(LogLevel::kWarn, "hello world");
+  // "2026-08-07T12:34:56.789Z [WARN] [tid N] hello world" — assert the
+  // shape, not the instant.
+  ASSERT_GE(line.size(), 24u);
+  EXPECT_EQ(line[4], '-');
+  EXPECT_EQ(line[7], '-');
+  EXPECT_EQ(line[10], 'T');
+  EXPECT_EQ(line[13], ':');
+  EXPECT_EQ(line[16], ':');
+  EXPECT_EQ(line[19], '.');
+  EXPECT_EQ(line[23], 'Z');
+  for (size_t i : {0u, 1u, 2u, 3u, 5u, 6u, 8u, 9u, 11u, 12u, 14u, 15u,
+                   17u, 18u, 20u, 21u, 22u}) {
+    EXPECT_TRUE(std::isdigit(static_cast<unsigned char>(line[i])))
+        << "position " << i << " in " << line;
+  }
+  EXPECT_NE(line.find(" [WARN] "), std::string::npos) << line;
+  EXPECT_NE(line.find(" [tid "), std::string::npos) << line;
+  EXPECT_EQ(line.substr(line.size() - 11), "hello world");
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+}
+
+TEST(LoggingTest, FormatLogLineLevels) {
+  EXPECT_NE(FormatLogLine(LogLevel::kDebug, "m").find("[DEBUG]"),
+            std::string::npos);
+  EXPECT_NE(FormatLogLine(LogLevel::kInfo, "m").find("[INFO]"),
+            std::string::npos);
+  EXPECT_NE(FormatLogLine(LogLevel::kError, "m").find("[ERROR]"),
+            std::string::npos);
+}
+
+TEST(LoggingTest, SameThreadSameTid) {
+  const std::string a = FormatLogLine(LogLevel::kInfo, "a");
+  const std::string b = FormatLogLine(LogLevel::kInfo, "b");
+  const size_t tid_a = a.find(" [tid ");
+  const size_t tid_b = b.find(" [tid ");
+  ASSERT_NE(tid_a, std::string::npos);
+  ASSERT_NE(tid_b, std::string::npos);
+  EXPECT_EQ(a.substr(tid_a, a.find(']', tid_a) - tid_a),
+            b.substr(tid_b, b.find(']', tid_b) - tid_b));
+}
+
+TEST(LoggingTest, ParseLogLevelValues) {
+  EXPECT_EQ(ParseLogLevelOrDie("debug", LogLevel::kInfo), LogLevel::kDebug);
+  EXPECT_EQ(ParseLogLevelOrDie("info", LogLevel::kError), LogLevel::kInfo);
+  EXPECT_EQ(ParseLogLevelOrDie("warn", LogLevel::kInfo), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevelOrDie("error", LogLevel::kInfo), LogLevel::kError);
+  // Null/empty mean "not set": the fallback wins.
+  EXPECT_EQ(ParseLogLevelOrDie(nullptr, LogLevel::kWarn), LogLevel::kWarn);
+  EXPECT_EQ(ParseLogLevelOrDie("", LogLevel::kDebug), LogLevel::kDebug);
+}
+
+TEST(LoggingDeathTest, ParseLogLevelAbortsOnUnknown) {
+  // A typo in STEDB_LOG_LEVEL must abort, not silently run at the wrong
+  // verbosity — the STEDB_SIMD/STEDB_SCALE contract.
+  EXPECT_DEATH_IF_SUPPORTED(
+      ParseLogLevelOrDie("verbose", LogLevel::kInfo), "STEDB_LOG_LEVEL");
 }
 
 TEST(TimerTest, MeasuresElapsedTime) {

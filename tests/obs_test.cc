@@ -1,0 +1,369 @@
+// The obs layer: counter/gauge/histogram semantics, inclusive bucket
+// boundaries, exact sums under concurrent writers (the wait-free sharded
+// recording path), Prometheus text rendering against golden strings, and
+// the serve-level drill — GET /metrics on a live EmbeddingService parses
+// and its per-endpoint request histograms advance.
+#include "src/obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <cstdlib>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/fwd/codec.h"
+#include "src/fwd/forward.h"
+#include "src/obs/span.h"
+#include "src/serve/http.h"
+#include "src/serve/service.h"
+#include "tests/test_util.h"
+
+namespace stedb {
+namespace {
+
+using stedb::testing::MovieDatabase;
+
+// ---- Counter ------------------------------------------------------------
+
+TEST(CounterTest, IncAndValue) {
+  obs::Registry reg;
+  obs::Counter& c = reg.GetCounter("test_events_total", "events");
+  EXPECT_EQ(c.Value(), 0u);
+  c.Inc();
+  EXPECT_EQ(c.Value(), 1u);
+  c.Inc(41);
+  EXPECT_EQ(c.Value(), 42u);
+}
+
+TEST(CounterTest, RegistrationReturnsSameInstance) {
+  obs::Registry reg;
+  obs::Counter& a = reg.GetCounter("test_total", "h");
+  obs::Counter& b = reg.GetCounter("test_total", "h");
+  EXPECT_EQ(&a, &b);
+  a.Inc();
+  EXPECT_EQ(b.Value(), 1u);
+  // Distinct label sets are distinct series of the same family.
+  obs::Counter& lab = reg.GetCounter("test_total", "h", {{"k", "v"}});
+  EXPECT_NE(&a, &lab);
+  EXPECT_EQ(lab.Value(), 0u);
+}
+
+TEST(CounterTest, ConcurrentIncrementsSumExactly) {
+  obs::Registry reg;
+  obs::Counter& c = reg.GetCounter("test_concurrent_total", "h");
+  constexpr int kThreads = 8;
+  constexpr uint64_t kPerThread = 100000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&c] {
+      for (uint64_t i = 0; i < kPerThread; ++i) c.Inc();
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  // Sharded relaxed counting is exact once the writers quiesce.
+  EXPECT_EQ(c.Value(), kThreads * kPerThread);
+}
+
+// ---- Gauge --------------------------------------------------------------
+
+TEST(GaugeTest, SetAddSetMax) {
+  obs::Registry reg;
+  obs::Gauge& g = reg.GetGauge("test_gauge", "h");
+  EXPECT_EQ(g.Value(), 0.0);
+  g.Set(2.5);
+  EXPECT_EQ(g.Value(), 2.5);
+  g.Add(1.5);
+  EXPECT_EQ(g.Value(), 4.0);
+  g.Add(-6.0);
+  EXPECT_EQ(g.Value(), -2.0);
+  g.SetMax(10.0);
+  EXPECT_EQ(g.Value(), 10.0);
+  g.SetMax(3.0);  // never ratchets down
+  EXPECT_EQ(g.Value(), 10.0);
+}
+
+TEST(GaugeTest, ConcurrentAddsSumExactly) {
+  obs::Registry reg;
+  obs::Gauge& g = reg.GetGauge("test_inflight", "h");
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 10000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&g] {
+      // Balanced add/sub pairs with small integers: exact in doubles, so
+      // the CAS loop (not FP rounding) is what's under test.
+      for (int i = 0; i < kPerThread; ++i) {
+        g.Add(3.0);
+        g.Add(-2.0);
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(g.Value(), static_cast<double>(kThreads * kPerThread));
+}
+
+// ---- Histogram ----------------------------------------------------------
+
+TEST(HistogramTest, BucketBoundariesAreInclusive) {
+  obs::Registry reg;
+  obs::Buckets buckets;
+  buckets.bounds = {1.0, 2.0, 4.0};
+  obs::Histogram& h =
+      reg.GetHistogram("test_hist", "h", buckets);
+  h.Observe(0.5);  // bucket 0 (le 1)
+  h.Observe(1.0);  // bucket 0: le is inclusive
+  h.Observe(1.5);  // bucket 1 (le 2)
+  h.Observe(4.0);  // bucket 2: exactly the last finite bound
+  h.Observe(9.0);  // +Inf bucket
+  EXPECT_EQ(h.BucketCount(0), 2u);
+  EXPECT_EQ(h.BucketCount(1), 1u);
+  EXPECT_EQ(h.BucketCount(2), 1u);
+  EXPECT_EQ(h.BucketCount(3), 1u);  // +Inf
+  EXPECT_EQ(h.Count(), 5u);
+  EXPECT_DOUBLE_EQ(h.Sum(), 0.5 + 1.0 + 1.5 + 4.0 + 9.0);
+}
+
+TEST(HistogramTest, LatencyBucketsSpanMicrosToSeconds) {
+  const obs::Buckets b = obs::Buckets::Latency();
+  ASSERT_EQ(b.bounds.size(), 25u);
+  EXPECT_DOUBLE_EQ(b.bounds.front(), 1e-6);
+  EXPECT_GT(b.bounds.back(), 10.0);  // ~16.8s: tail ops still land finite
+  for (size_t i = 1; i < b.bounds.size(); ++i) {
+    EXPECT_DOUBLE_EQ(b.bounds[i], b.bounds[i - 1] * 2.0);
+  }
+}
+
+TEST(HistogramTest, ConcurrentObservesCountExactly) {
+  obs::Registry reg;
+  obs::Histogram& h = reg.GetHistogram("test_conc_hist", "h",
+                                       obs::Buckets::PowersOfTwo());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50000;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.Observe(static_cast<double>(t + 1));
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads * kPerThread));
+  // Σ t·kPerThread for t = 1..8 — integers, so double summation is exact.
+  EXPECT_DOUBLE_EQ(h.Sum(), static_cast<double>(kPerThread) * 36.0);
+}
+
+TEST(SpanTest, RecordsIntoHistogram) {
+  obs::Registry reg;
+  obs::Histogram& h =
+      reg.GetHistogram("test_span_seconds", "h", obs::Buckets::Latency());
+  {
+    obs::ScopedTimer timer(h);
+  }
+  EXPECT_EQ(h.Count(), 1u);
+  obs::Span span("obs_test.op", h, /*slow_log_sec=*/60.0);
+  const double elapsed = span.End();
+  EXPECT_GE(elapsed, 0.0);
+  EXPECT_EQ(span.End(), 0.0);  // idempotent
+  EXPECT_EQ(h.Count(), 2u);
+}
+
+// ---- Rendering ----------------------------------------------------------
+
+TEST(RenderTest, CounterAndGaugeGolden) {
+  obs::Registry reg;
+  obs::Counter& c = reg.GetCounter("app_requests_total", "Requests served");
+  c.Inc(3);
+  reg.GetCounter("app_requests_by_endpoint_total", "Requests by endpoint",
+                 {{"endpoint", "embed"}})
+      .Inc(2);
+  obs::Gauge& g = reg.GetGauge("app_temperature", "Current temperature");
+  g.Set(36.5);
+  std::string out;
+  reg.Render(&out);
+  EXPECT_EQ(out,
+            "# HELP app_requests_total Requests served\n"
+            "# TYPE app_requests_total counter\n"
+            "app_requests_total 3\n"
+            "# HELP app_requests_by_endpoint_total Requests by endpoint\n"
+            "# TYPE app_requests_by_endpoint_total counter\n"
+            "app_requests_by_endpoint_total{endpoint=\"embed\"} 2\n"
+            "# HELP app_temperature Current temperature\n"
+            "# TYPE app_temperature gauge\n"
+            "app_temperature 36.5\n");
+}
+
+TEST(RenderTest, HistogramGoldenWithCumulativeBuckets) {
+  obs::Registry reg;
+  obs::Buckets buckets;
+  buckets.bounds = {1.0, 2.0};
+  obs::Histogram& h = reg.GetHistogram("app_size", "Sizes", buckets);
+  h.Observe(1.0);
+  h.Observe(1.5);
+  h.Observe(7.0);
+  std::string out;
+  reg.Render(&out);
+  EXPECT_EQ(out,
+            "# HELP app_size Sizes\n"
+            "# TYPE app_size histogram\n"
+            "app_size_bucket{le=\"1\"} 1\n"
+            "app_size_bucket{le=\"2\"} 2\n"
+            "app_size_bucket{le=\"+Inf\"} 3\n"
+            "app_size_sum 9.5\n"
+            "app_size_count 3\n");
+}
+
+TEST(RenderTest, LabeledHistogramSplicesLe) {
+  obs::Registry reg;
+  obs::Buckets buckets;
+  buckets.bounds = {1.0};
+  reg.GetHistogram("app_lat", "h", buckets, {{"endpoint", "topk"}})
+      .Observe(0.5);
+  std::string out;
+  reg.Render(&out);
+  EXPECT_NE(out.find("app_lat_bucket{endpoint=\"topk\",le=\"1\"} 1\n"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("app_lat_bucket{endpoint=\"topk\",le=\"+Inf\"} 1\n"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("app_lat_count{endpoint=\"topk\"} 1\n"),
+            std::string::npos)
+      << out;
+}
+
+TEST(RegistryTest, FindLocatesRegisteredSeries) {
+  obs::Registry reg;
+  reg.GetCounter("find_total", "h", {{"k", "v"}}).Inc(5);
+  const obs::Counter* found = reg.FindCounter("find_total", {{"k", "v"}});
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->Value(), 5u);
+  EXPECT_EQ(reg.FindCounter("find_total"), nullptr);  // unlabeled: absent
+  EXPECT_EQ(reg.FindGauge("find_total", {{"k", "v"}}), nullptr);  // type
+  EXPECT_EQ(reg.FindHistogram("missing"), nullptr);
+}
+
+TEST(RegistryTest, GlobalRenderIsPrometheusShaped) {
+  // The global registry carries whatever this process registered so far;
+  // assert exposition invariants rather than exact content.
+  std::string out;
+  obs::RenderPrometheus(&out);
+  ASSERT_FALSE(out.empty());
+  EXPECT_EQ(out.substr(0, 7), "# HELP ");
+  EXPECT_EQ(out.back(), '\n');
+  EXPECT_NE(out.find("# TYPE "), std::string::npos);
+}
+
+// ---- Serve-level: GET /metrics on a live service ------------------------
+
+fwd::ForwardConfig SmallConfig() {
+  fwd::ForwardConfig cfg;
+  cfg.dim = 6;
+  cfg.max_walk_len = 2;
+  cfg.nsamples = 8;
+  cfg.epochs = 3;
+  cfg.seed = 9;
+  return cfg;
+}
+
+/// Counts `name{...} <value>` sample lines and checks every non-comment
+/// line is `token SP number` — the structural half of "parses as
+/// Prometheus text exposition".
+size_t CheckExpositionAndCountSamples(const std::string& text) {
+  size_t samples = 0, pos = 0;
+  while (pos < text.size()) {
+    size_t eol = text.find('\n', pos);
+    EXPECT_NE(eol, std::string::npos) << "missing trailing newline";
+    if (eol == std::string::npos) break;
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.rfind("# HELP ", 0) == 0 || line.rfind("# TYPE ", 0) == 0) {
+      continue;
+    }
+    const size_t sp = line.rfind(' ');
+    EXPECT_NE(sp, std::string::npos) << line;
+    EXPECT_GT(sp, 0u) << line;
+    char* end = nullptr;
+    const std::string value = line.substr(sp + 1);
+    std::strtod(value.c_str(), &end);
+    const bool numeric =
+        end != nullptr && *end == '\0' && !value.empty();
+    EXPECT_TRUE(numeric || value == "+Inf") << line;
+    ++samples;
+  }
+  return samples;
+}
+
+TEST(MetricsEndpointTest, ServesPrometheusTextAndHistogramsAdvance) {
+  db::Database database = MovieDatabase();
+  auto emb = fwd::ForwardEmbedder::TrainStatic(
+      &database, database.schema().RelationIndex("COLLABORATIONS"), {},
+      SmallConfig());
+  ASSERT_TRUE(emb.ok()) << emb.status();
+  const std::string dir = ::testing::TempDir() + "/obs_metrics_store";
+  std::filesystem::remove_all(dir);
+  ASSERT_TRUE(fwd::CreateForwardStore(dir, emb.value().model()).ok());
+
+  serve::ServeOptions options;
+  options.http_threads = 2;
+  options.poll_interval_ms = 0;
+  auto service = serve::EmbeddingService::Open(dir, options);
+  ASSERT_TRUE(service.ok()) << service.status();
+  ASSERT_TRUE(service.value()->Start("127.0.0.1", 0).ok());
+  auto client =
+      serve::HttpClient::Connect("127.0.0.1", service.value()->port());
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  // Baseline before traffic: the /embed request series may not exist yet
+  // or sit at a prior test's count — read it through the registry.
+  const obs::Counter* embed_requests = obs::Registry::Global().FindCounter(
+      "stedb_serve_requests_total", {{"endpoint", "embed"}});
+  ASSERT_NE(embed_requests, nullptr);
+  const obs::Histogram* embed_latency =
+      obs::Registry::Global().FindHistogram(
+          "stedb_serve_request_seconds", {{"endpoint", "embed"}});
+  ASSERT_NE(embed_latency, nullptr);
+  const uint64_t requests_before = embed_requests->Value();
+  const uint64_t observations_before = embed_latency->Count();
+
+  const auto& phi = emb.value().model().all_phi();
+  ASSERT_FALSE(phi.empty());
+  const db::FactId fact = phi.begin()->first;
+  for (int i = 0; i < 5; ++i) {
+    auto resp =
+        client.value().Get("/embed?fact=" + std::to_string(fact));
+    ASSERT_TRUE(resp.ok()) << resp.status();
+    ASSERT_EQ(resp.value().status, 200);
+  }
+
+  auto scraped = client.value().Get("/metrics");
+  ASSERT_TRUE(scraped.ok()) << scraped.status();
+  ASSERT_EQ(scraped.value().status, 200);
+  EXPECT_EQ(scraped.value().content_type.rfind("text/plain", 0), 0u)
+      << scraped.value().content_type;
+  const std::string& text = scraped.value().body;
+  EXPECT_GT(CheckExpositionAndCountSamples(text), 50u);
+
+  // The request histogram advanced by exactly the traffic we generated.
+  EXPECT_EQ(embed_requests->Value(), requests_before + 5);
+  EXPECT_EQ(embed_latency->Count(), observations_before + 5);
+
+  // The acceptance-bar families are all present in the exposition.
+  for (const char* needle :
+       {"stedb_serve_request_seconds_bucket{endpoint=\"embed\",le=",
+        "stedb_store_appends_total", "stedb_store_fsync_seconds_bucket",
+        "stedb_serving_wal_lag_records", "stedb_serving_poll_seconds_sum",
+        "stedb_train_dist_cache_lookups_total{result=\"hit\"}",
+        "stedb_serve_coalesced_batch_records_bucket"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle;
+  }
+
+  service.value()->Stop();
+  std::filesystem::remove_all(dir);
+}
+
+}  // namespace
+}  // namespace stedb
