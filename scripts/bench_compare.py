@@ -86,10 +86,12 @@ def classify(path):
 
 
 def compare(baseline, candidate, tolerance):
-    """Returns (rows, structural, timing) comparing two flattened reports.
+    """Returns (rows, structural, timing, skipped) for two reports.
 
     `structural` counts shape changes and vanished metrics (blocking);
-    `timing` counts tolerance-exceeded wall-clock/ratio drifts (advisory).
+    `timing` counts tolerance-exceeded wall-clock/ratio drifts (advisory);
+    `skipped` counts bigger-is-better comparisons not judged because the
+    baseline and candidate machines have different core counts.
     """
     base = dict(flatten(baseline))
     cand = dict(flatten(candidate))
@@ -98,6 +100,7 @@ def compare(baseline, candidate, tolerance):
     rows = []
     structural = 0
     timing = 0
+    skipped = 0
     for path in sorted(set(base) | set(cand)):
         if path not in base:
             rows.append((path, None, cand[path], "NEW"))
@@ -121,6 +124,7 @@ def compare(baseline, candidate, tolerance):
         elif kind == "bigger_better":
             if not same_cores:
                 verdict = "skipped (cores differ)"
+                skipped += 1
             elif b > 0 and c < b / tolerance:
                 verdict = "REGRESSED"
                 timing += 1
@@ -129,7 +133,7 @@ def compare(baseline, candidate, tolerance):
                 verdict = "REGRESSED"
                 timing += 1
         rows.append((path, b, c, verdict))
-    return rows, structural, timing
+    return rows, structural, timing, skipped
 
 
 def render(name, rows):
@@ -169,6 +173,7 @@ def main():
     chunks = []
     total_structural = 0
     total_timing = 0
+    total_skipped = 0
     for candidate_path in args.candidates:
         name = os.path.basename(candidate_path)
         baseline_path = os.path.join(args.baseline_dir, name)
@@ -185,10 +190,11 @@ def main():
             continue
         with open(baseline_path) as f:
             baseline = json.load(f)
-        rows, structural, timing = compare(baseline, candidate,
-                                           args.tolerance)
+        rows, structural, timing, skipped = compare(baseline, candidate,
+                                                    args.tolerance)
         total_structural += structural
         total_timing += timing
+        total_skipped += skipped
         chunks.append(render(name, rows))
 
     report = "\n\n".join(chunks)
@@ -197,6 +203,11 @@ def main():
     report += (f"\n\ntolerance: {args.tolerance}x, "
                f"structural: {total_structural} (blocking), "
                f"timing: {total_timing} (advisory{timing_note})\n")
+    if total_skipped:
+        # One unmissable line: silence must never read as coverage.
+        report += (f"skipped: {total_skipped} bigger-is-better ratio "
+                   "comparison(s) not judged (baseline and candidate "
+                   "core counts differ)\n")
     print(report)
     if args.report:
         with open(args.report, "w") as f:

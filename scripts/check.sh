@@ -1,11 +1,26 @@
 #!/usr/bin/env sh
 # Developer loop: configure + build + full tier-1 verify + bench smoke.
-# Usage: scripts/check.sh [build-dir]   (default: build)
+# Usage: scripts/check.sh [--static] [build-dir]   (default: build)
+#
+# --static additionally runs the static-analysis gates CI enforces:
+# stedb_lint over the real tree, the clang-tidy wall (skipped when
+# clang-tidy is absent locally), and the formatting check (likewise).
 set -eu
 
+STATIC=0
+if [ "${1:-}" = "--static" ]; then
+  STATIC=1
+  shift
+fi
 BUILD_DIR="${1:-build}"
 
 cmake -B "$BUILD_DIR" -S .
 cmake --build "$BUILD_DIR" -j"$(nproc)"
 ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
 cmake --build "$BUILD_DIR" --target bench_smoke
+
+if [ "$STATIC" = 1 ]; then
+  "$BUILD_DIR"/tools/stedb_lint --root .
+  scripts/run_tidy.sh "$BUILD_DIR"
+  scripts/check_format.sh --check
+fi

@@ -1,0 +1,82 @@
+#!/usr/bin/env sh
+# clang-tidy over the library, tools, bench and example sources, driven
+# by the curated wall in .clang-tidy (WarningsAsErrors promotes every
+# finding, so a non-zero exit means the wall was breached).
+#
+# Usage:
+#   scripts/run_tidy.sh [build-dir]              # full tree
+#   scripts/run_tidy.sh --changed [BASE] [build-dir]
+#
+# --changed lints only .cc files touched since BASE (default origin/main,
+# falling back to HEAD~1), plus the .cc twin of any touched header —
+# the cheap pre-push loop. CI runs the full form.
+#
+# clang-tidy is not part of the pinned local toolchain; when the binary
+# is absent the script reports a skip and exits 0 so `check.sh --static`
+# stays usable everywhere. CI installs clang-tidy, so absence there
+# cannot mask findings.
+set -eu
+
+MODE=full
+BASE=""
+BUILD_DIR=build
+if [ "${1:-}" = "--changed" ]; then
+  MODE=changed
+  shift
+  case "${1:-}" in
+    ""|build*) ;;
+    *) BASE="$1"; shift ;;
+  esac
+fi
+[ -n "${1:-}" ] && BUILD_DIR="$1"
+
+TIDY=$(command -v clang-tidy || true)
+if [ -z "$TIDY" ]; then
+  echo "run_tidy: clang-tidy not found; skipping (CI enforces this check)"
+  exit 0
+fi
+
+cd "$(dirname "$0")/.."
+
+# clang-tidy resolves flags through the compile database; configure one
+# if this build dir has never been configured.
+if [ ! -f "$BUILD_DIR/compile_commands.json" ]; then
+  cmake -B "$BUILD_DIR" -S . >/dev/null
+fi
+
+if [ "$MODE" = "changed" ]; then
+  if [ -z "$BASE" ]; then
+    if git rev-parse --verify -q origin/main >/dev/null; then
+      BASE=origin/main
+    else
+      BASE=HEAD~1
+    fi
+  fi
+  CHANGED=$( { git diff --name-only "$BASE" 2>/dev/null;
+               git diff --name-only; } | sort -u)
+  FILES=""
+  for f in $CHANGED; do
+    case "$f" in
+      src/*.cc|tools/*.cc|bench/*.cc|examples/*.cc)
+        [ -f "$f" ] && FILES="$FILES $f" ;;
+      src/*.h)
+        # Lint the header through its same-stem TU when one exists.
+        twin="${f%.h}.cc"
+        [ -f "$twin" ] && FILES="$FILES $twin" ;;
+    esac
+  done
+  FILES=$(printf '%s\n' $FILES | sort -u)
+  if [ -z "$FILES" ]; then
+    echo "run_tidy: no changed sources vs $BASE"
+    exit 0
+  fi
+else
+  FILES=$(git ls-files 'src/*.cc' 'tools/*.cc' 'bench/*.cc' 'examples/*.cc')
+fi
+
+echo "run_tidy: linting $(printf '%s\n' $FILES | wc -l) file(s)"
+STATUS=0
+for f in $FILES; do
+  "$TIDY" -p "$BUILD_DIR" --quiet "$f" || STATUS=1
+done
+exit $STATUS

@@ -5,6 +5,7 @@
 #include <memory>
 #include <optional>
 #include <utility>
+#include <vector>
 
 #include "src/api/embedder.h"
 #include "src/api/registry.h"
@@ -15,12 +16,6 @@
 #include "src/store/stored_model.h"
 
 namespace stedb::api {
-namespace internal {
-
-Status RegisterMethodLocked(const std::string& name, MethodFactory factory);
-
-}  // namespace internal
-
 namespace {
 
 /// ForwardEmbedder adapter.
@@ -189,17 +184,24 @@ class Node2VecMethod : public Embedder {
 
 namespace internal {
 
-void RegisterBuiltinMethods() {
-  // Failure is impossible here (fresh registry, non-null factories); the
-  // statuses are consumed to keep the call sites warning-clean.
-  (void)internal::RegisterMethodLocked(
-      "forward", [](const MethodOptions& options, uint64_t seed) {
-        return std::unique_ptr<Embedder>(new ForwardMethod(options, seed));
+// Enumerated (not self-registering) so the registry TU can install the
+// built-ins under its own lock without a cross-TU "caller holds the
+// lock" contract the thread-safety analysis cannot see.
+std::vector<std::pair<std::string, MethodFactory>> BuiltinMethods() {
+  std::vector<std::pair<std::string, MethodFactory>> methods;
+  methods.emplace_back(
+      "forward",
+      [](const MethodOptions& options, uint64_t seed)
+          -> std::unique_ptr<Embedder> {
+        return std::make_unique<ForwardMethod>(options, seed);
       });
-  (void)internal::RegisterMethodLocked(
-      "node2vec", [](const MethodOptions& options, uint64_t seed) {
-        return std::unique_ptr<Embedder>(new Node2VecMethod(options, seed));
+  methods.emplace_back(
+      "node2vec",
+      [](const MethodOptions& options, uint64_t seed)
+          -> std::unique_ptr<Embedder> {
+        return std::make_unique<Node2VecMethod>(options, seed);
       });
+  return methods;
 }
 
 }  // namespace internal

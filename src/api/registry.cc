@@ -1,44 +1,56 @@
 #include "src/api/registry.h"
 
 #include <map>
-#include <mutex>
+#include <utility>
 
 #include "src/common/string_util.h"
+#include "src/common/thread_annotations.h"
+
+// stedb:deterministic-output — RegisteredMethods() and the "registered:"
+// diagnostics are user-visible sorted lists; the registry stays a
+// std::map and iteration below must stay over ordered containers only.
 
 namespace stedb::api {
 namespace internal {
 
-// Defined in builtin_methods.cc. Called from the registry under its lock
-// so the built-ins are present before any user-visible operation; the
-// explicit call (rather than a static initializer in the adapter TU) keeps
-// registration immune to static-library dead-stripping.
-void RegisterBuiltinMethods();
+// Defined in builtin_methods.cc. Enumerated from the registry under its
+// lock so the built-ins are present before any user-visible operation;
+// the explicit call (rather than a static initializer in the adapter TU)
+// keeps registration immune to static-library dead-stripping.
+std::vector<std::pair<std::string, MethodFactory>> BuiltinMethods();
 
 }  // namespace internal
 
 namespace {
 
-std::mutex& RegistryMutex() {
-  static std::mutex mu;
+Mutex& RegistryMutex() {
+  static Mutex mu;
   return mu;
 }
 
-std::map<std::string, MethodFactory>& Registry() {
+std::map<std::string, MethodFactory>& Registry()
+    STEDB_REQUIRES(RegistryMutex()) {
   static std::map<std::string, MethodFactory> registry;
   return registry;
 }
 
-/// Must be called with RegistryMutex held.
-void EnsureBuiltinsLocked() {
+/// Registration body shared by the public entry point and the built-in
+/// bootstrap. Forward declaration: EnsureBuiltinsLocked uses it.
+Status RegisterLocked(const std::string& name, MethodFactory factory)
+    STEDB_REQUIRES(RegistryMutex());
+
+void EnsureBuiltinsLocked() STEDB_REQUIRES(RegistryMutex()) {
   static bool done = false;
   if (!done) {
-    done = true;  // set first: RegisterBuiltinMethods re-enters Register
-    internal::RegisterBuiltinMethods();
+    done = true;
+    // Failure is impossible here (fresh registry, non-null factories);
+    // the statuses are consumed to keep the call warning-clean.
+    for (auto& [name, factory] : internal::BuiltinMethods()) {
+      (void)RegisterLocked(name, std::move(factory));
+    }
   }
 }
 
-/// Registration body shared by the public entry point and the built-in
-/// bootstrap (which already holds the lock).
 Status RegisterLocked(const std::string& name, MethodFactory factory) {
   if (name.empty()) {
     return Status::InvalidArgument("method name must not be empty");
@@ -58,18 +70,8 @@ Status RegisterLocked(const std::string& name, MethodFactory factory) {
 
 }  // namespace
 
-namespace internal {
-
-// Built-in registration path: the caller (RegisterBuiltinMethods) runs
-// under the registry lock already.
-Status RegisterMethodLocked(const std::string& name, MethodFactory factory) {
-  return RegisterLocked(name, std::move(factory));
-}
-
-}  // namespace internal
-
 Status RegisterMethod(const std::string& name, MethodFactory factory) {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
+  MutexLock lock(RegistryMutex());
   EnsureBuiltinsLocked();
   return RegisterLocked(name, std::move(factory));
 }
@@ -79,7 +81,7 @@ Result<std::unique_ptr<Embedder>> CreateMethod(const std::string& name,
                                                uint64_t seed) {
   MethodFactory factory;
   {
-    std::lock_guard<std::mutex> lock(RegistryMutex());
+    MutexLock lock(RegistryMutex());
     EnsureBuiltinsLocked();
     auto it = Registry().find(ToLower(name));
     if (it == Registry().end()) {
@@ -103,7 +105,7 @@ Result<std::unique_ptr<Embedder>> CreateMethod(const std::string& name,
 }
 
 std::vector<std::string> RegisteredMethods() {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
+  MutexLock lock(RegistryMutex());
   EnsureBuiltinsLocked();
   std::vector<std::string> names;
   names.reserve(Registry().size());

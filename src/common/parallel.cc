@@ -64,7 +64,7 @@ ParallelRunner::ParallelRunner(int threads)
 
 ParallelRunner::~ParallelRunner() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     shutdown_ = true;
   }
   work_cv_.notify_all();
@@ -85,7 +85,7 @@ void ParallelRunner::ParallelFor(size_t n,
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     job_ = &body;
     job_size_ = n;
     next_index_ = 0;
@@ -101,9 +101,10 @@ void ParallelRunner::ParallelFor(size_t n,
   RunJob();
   std::exception_ptr error;
   {
-    std::unique_lock<std::mutex> lock(mu_);
-    done_cv_.wait(lock,
-                  [this] { return next_index_ >= job_size_ && inflight_ == 0; });
+    UniqueMutexLock lock(mu_);
+    while (!(next_index_ >= job_size_ && inflight_ == 0)) {
+      done_cv_.wait(lock.native());
+    }
     job_ = nullptr;
     error = first_error_;
     first_error_ = nullptr;
@@ -116,7 +117,7 @@ void ParallelRunner::RunJob() {
     const std::function<void(size_t)>* body;
     size_t begin, end;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (job_ == nullptr || next_index_ >= job_size_) return;
       body = job_;
       begin = next_index_;
@@ -127,13 +128,13 @@ void ParallelRunner::RunJob() {
     try {
       for (size_t i = begin; i < end; ++i) (*body)(i);
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();
       next_index_ = job_size_;  // abandon unclaimed indices
     }
     bool done;
     {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       inflight_ -= end - begin;
       done = next_index_ >= job_size_ && inflight_ == 0;
     }
@@ -145,9 +146,8 @@ void ParallelRunner::WorkerLoop() {
   uint64_t seen = 0;
   for (;;) {
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      work_cv_.wait(lock,
-                    [&] { return shutdown_ || generation_ != seen; });
+      UniqueMutexLock lock(mu_);
+      while (!shutdown_ && generation_ == seen) work_cv_.wait(lock.native());
       if (shutdown_) return;
       seen = generation_;
     }
@@ -179,9 +179,9 @@ bool TrySharedParallelFor(size_t n, const std::function<void(size_t)>& body) {
   // fan-out at a time) reuses the warm pool, while a caller that finds
   // it busy falls through to a dedicated runner instead of blocking
   // behind the active job.
-  static std::mutex shared_mu;
-  std::unique_lock<std::mutex> lock(shared_mu, std::try_to_lock);
-  if (!lock.owns_lock()) return false;
+  static Mutex shared_mu;
+  if (!shared_mu.try_lock()) return false;
+  MutexLock lock(shared_mu, std::adopt_lock);
   in_shared_fanout = true;
   struct Reset {
     bool* flag;

@@ -6,9 +6,10 @@
 #include <exception>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "src/common/thread_annotations.h"
 
 namespace stedb {
 
@@ -97,17 +98,18 @@ class ParallelRunner {
   int threads_;
   std::vector<std::thread> workers_;
 
-  std::mutex mu_;
+  Mutex mu_;
   std::condition_variable work_cv_;  ///< workers wait for a new job
   std::condition_variable done_cv_;  ///< caller waits for completion
-  const std::function<void(size_t)>* job_ = nullptr;
-  size_t job_size_ = 0;
-  size_t job_chunk_ = 1;
-  size_t next_index_ = 0;     ///< next unclaimed index (guarded by mu_)
-  size_t inflight_ = 0;       ///< claimed-but-unfinished indices
-  uint64_t generation_ = 0;   ///< bumped per job so workers wake exactly once
-  bool shutdown_ = false;
-  std::exception_ptr first_error_;
+  const std::function<void(size_t)>* job_ STEDB_GUARDED_BY(mu_) = nullptr;
+  size_t job_size_ STEDB_GUARDED_BY(mu_) = 0;
+  size_t job_chunk_ STEDB_GUARDED_BY(mu_) = 1;
+  size_t next_index_ STEDB_GUARDED_BY(mu_) = 0;  ///< next unclaimed index
+  size_t inflight_ STEDB_GUARDED_BY(mu_) = 0;  ///< claimed-but-unfinished
+  /// Bumped per job so workers wake exactly once.
+  uint64_t generation_ STEDB_GUARDED_BY(mu_) = 0;
+  bool shutdown_ STEDB_GUARDED_BY(mu_) = false;
+  std::exception_ptr first_error_ STEDB_GUARDED_BY(mu_);
 };
 
 /// The per-process shared pool for transient fan-outs (batch reads, row

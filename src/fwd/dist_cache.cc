@@ -27,6 +27,8 @@ uint64_t DistCache::Mix(uint64_t key) {
   return z ^ (z >> 31);
 }
 
+// stedb:wait-free-begin — the reader fast path: atomic loads only, no
+// lock, no CAS (stedb_lint enforces this region stays that way).
 const ValueDistribution* DistCache::Probe(const Table* t, uint64_t key) {
   const uint64_t h = Mix(key);
   for (size_t i = h & t->mask;; i = (i + 1) & t->mask) {
@@ -42,6 +44,7 @@ const ValueDistribution* DistCache::Probe(const Table* t, uint64_t key) {
     if (k == kEmptyKey) return nullptr;  // probe chain ends: miss
   }
 }
+// stedb:wait-free-end
 
 const ValueDistribution& DistCache::InsertLocked(Shard& shard, uint64_t key,
                                                  ValueDistribution d) {
@@ -110,7 +113,7 @@ const ValueDistribution& DistCache::Get(db::FactId f, size_t target) {
       model_->scheme_of(target), model_->targets()[target].attr, f, rng);
 
   shard.locked_lookups.fetch_add(1, std::memory_order_relaxed);
-  std::lock_guard<std::mutex> lock(shard.mu);
+  MutexLock lock(shard.mu);
   // Re-probe the newest table: a racing worker may have inserted first.
   const Table* t = shard.table.load(std::memory_order_relaxed);
   if (const ValueDistribution* v = Probe(t, key)) {
@@ -120,6 +123,7 @@ const ValueDistribution& DistCache::Get(db::FactId f, size_t target) {
   return InsertLocked(shard, key, std::move(d));
 }
 
+// stedb:wait-free-begin — stats snapshot: relaxed loads, never a lock.
 DistCacheStats DistCache::GetStats() const {
   DistCacheStats s;
   for (const Shard& shard : shards_) {
@@ -131,5 +135,6 @@ DistCacheStats DistCache::GetStats() const {
   }
   return s;
 }
+// stedb:wait-free-end
 
 }  // namespace stedb::fwd

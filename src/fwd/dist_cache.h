@@ -5,10 +5,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <vector>
 
 #include "src/common/rng.h"
+#include "src/common/thread_annotations.h"
 #include "src/db/database.h"
 #include "src/fwd/model.h"
 #include "src/fwd/walk_distribution.h"
@@ -98,10 +98,12 @@ class DistCache {
     std::atomic<uint64_t> duplicate_computes{0};
     std::atomic<uint64_t> locked_lookups{0};
 
-    std::mutex mu;  ///< serializes inserts and growth (writers only)
-    size_t size = 0;
-    std::vector<std::unique_ptr<Table>> retired;  ///< incl. the live table
-    std::vector<std::unique_ptr<ValueDistribution>> values;
+    Mutex mu;  ///< serializes inserts and growth (writers only)
+    size_t size STEDB_GUARDED_BY(mu) = 0;
+    /// Incl. the live table.
+    std::vector<std::unique_ptr<Table>> retired STEDB_GUARDED_BY(mu);
+    std::vector<std::unique_ptr<ValueDistribution>> values
+        STEDB_GUARDED_BY(mu);
   };
 
   /// splitmix64 finalizer: shard index from the high bits, probe start
@@ -111,7 +113,8 @@ class DistCache {
   static const ValueDistribution* Probe(const Table* t, uint64_t key);
   /// Inserts under the shard lock (caller holds it). Grows at 7/8 load.
   const ValueDistribution& InsertLocked(Shard& shard, uint64_t key,
-                                        ValueDistribution d);
+                                        ValueDistribution d)
+      STEDB_REQUIRES(shard.mu);
 
   WalkDistribution dist_;
   const ForwardModel* model_;

@@ -14,7 +14,7 @@ const ValueDistribution& ForwardExtender::OldDistribution(
   const uint64_t key =
       static_cast<uint64_t>(f) * model.targets().size() + target;
   {
-    std::lock_guard<std::mutex> lock(*cache_mu_);
+    MutexLock lock(*cache_mu_);
     auto it = cache_.find(key);
     if (it != cache_.end()) return it->second;
   }
@@ -25,7 +25,7 @@ const ValueDistribution& ForwardExtender::OldDistribution(
   const db::AttrId attr = model.targets()[target].attr;
   Rng key_rng(Rng::MixSeed(cache_seed_, key));
   ValueDistribution d = dist_.Compute(s, attr, f, key_rng);
-  std::lock_guard<std::mutex> lock(*cache_mu_);
+  MutexLock lock(*cache_mu_);
   // References into the node-based map stay valid across later inserts.
   return cache_.emplace(key, std::move(d)).first->second;
 }

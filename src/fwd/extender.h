@@ -2,12 +2,12 @@
 #define STEDB_FWD_EXTENDER_H_
 
 #include <memory>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
 #include "src/common/rng.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/db/database.h"
 #include "src/fwd/kernel.h"
 #include "src/fwd/model.h"
@@ -53,7 +53,7 @@ class ForwardExtender {
         config_(config),
         dist_(database),
         cache_seed_(Rng::MixSeed(config.seed, 0x0DD1D157ull)),
-        cache_mu_(std::make_unique<std::mutex>()) {}
+        cache_mu_(std::make_unique<Mutex>()) {}
 
   /// Computes φ(f_new) and stores it into `model`. `f_new` must be a live
   /// fact of the model's relation without an embedding yet.
@@ -73,9 +73,15 @@ class ForwardExtender {
                      std::vector<db::FactId>* extended);
 
   /// Drops cached old-fact walk distributions (all-at-once mode).
-  void InvalidateCache() { cache_.clear(); }
+  void InvalidateCache() {
+    MutexLock lock(*cache_mu_);
+    cache_.clear();
+  }
 
-  size_t cache_size() const { return cache_.size(); }
+  size_t cache_size() const {
+    MutexLock lock(*cache_mu_);
+    return cache_.size();
+  }
 
  private:
   /// The least-squares solve for one new fact against `model`'s current
@@ -99,9 +105,10 @@ class ForwardExtender {
   uint64_t cache_seed_;
   /// Guards cache_ during parallel solves (unique_ptr keeps the extender
   /// movable).
-  std::unique_ptr<std::mutex> cache_mu_;
+  std::unique_ptr<Mutex> cache_mu_;
   /// (fact, target) -> distribution; key = fact * #targets + target.
-  std::unordered_map<uint64_t, ValueDistribution> cache_;
+  std::unordered_map<uint64_t, ValueDistribution> cache_
+      STEDB_GUARDED_BY(*cache_mu_);
 };
 
 }  // namespace stedb::fwd

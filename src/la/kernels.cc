@@ -96,6 +96,10 @@ void ScalarScaleAdd(double* out, double s1, const double* a, double s2,
 }
 void ScalarCopyRow(double* dst, const double* src, size_t n) {
   // memcpy is the fastest portable row copy and trivially bit-exact.
+  // The n == 0 guard matters: empty vectors hand out null data()
+  // pointers, and memcpy's arguments are declared nonnull even for a
+  // zero count (UBSan enforces this).
+  if (n == 0) return;
   std::memcpy(dst, src, n * sizeof(double));
 }
 void ScalarMatVec(const double* m, size_t rows, size_t cols, const double* x,

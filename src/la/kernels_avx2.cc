@@ -91,7 +91,10 @@ void Avx2ScaleAdd(double* out, double s1, const double* a, double s2,
 void Avx2CopyRow(double* dst, const double* src, size_t n) {
   // glibc memcpy (ERMS / wide vector moves) beats a hand-rolled
   // load/store loop from ~1 KiB rows up, and a copy is bit-exact however
-  // it is performed — so both tables share the same primitive.
+  // it is performed — so both tables share the same primitive. The
+  // n == 0 guard mirrors ScalarCopyRow: empty vectors hand out null
+  // data() pointers, and memcpy's arguments are declared nonnull.
+  if (n == 0) return;
   std::memcpy(dst, src, n * sizeof(double));
 }
 void Avx2MatVec(const double* m, size_t rows, size_t cols, const double* x,

@@ -7,9 +7,15 @@
 
 #include "src/common/logging.h"
 
+// stedb:deterministic-output — Render() feeds golden tests and scrape
+// diffs; iteration below must stay over ordered containers only.
+
 namespace stedb::obs {
 
 namespace internal {
+
+// stedb:wait-free-begin — record-path helpers: relaxed atomics and CAS
+// loops only, never a lock (stedb_lint enforces this region).
 
 size_t ThreadShard() {
   // Dense sequential thread numbering beats hashing std::thread::id:
@@ -40,6 +46,7 @@ double LoadDouble(const std::atomic<uint64_t>& bits) {
   std::memcpy(&v, &b, sizeof(v));
   return v;
 }
+// stedb:wait-free-end
 
 }  // namespace internal
 
@@ -53,6 +60,7 @@ uint64_t Counter::Value() const {
   return total;
 }
 
+// stedb:wait-free-begin — Gauge writes: a relaxed store / CAS ratchet.
 void Gauge::Set(double v) {
   uint64_t b;
   std::memcpy(&b, &v, sizeof(b));
@@ -72,6 +80,7 @@ void Gauge::SetMax(double v) {
     }
   } while (true);
 }
+// stedb:wait-free-end
 
 Buckets Buckets::Exponential(double first, double factor, size_t count) {
   Buckets b;
@@ -95,6 +104,8 @@ Histogram::Histogram(Buckets buckets) : bounds_(std::move(buckets.bounds)) {
   }
 }
 
+// stedb:wait-free-begin — Observe: two relaxed updates on the caller's
+// shard, no lock, no allocation.
 void Histogram::Observe(double v) {
   // lower_bound, not upper_bound: `le` buckets are inclusive, so a value
   // landing exactly on a bound belongs to that bound's bucket.
@@ -104,6 +115,7 @@ void Histogram::Observe(double v) {
   shard.counts[bucket].fetch_add(1, std::memory_order_relaxed);
   internal::AtomicAddDouble(&shard.sum_bits, v);
 }
+// stedb:wait-free-end
 
 uint64_t Histogram::Count() const {
   uint64_t total = 0;
@@ -197,7 +209,8 @@ Registry& Registry::Global() {
 
 Registry::Series& Registry::GetOrCreate(const std::string& name,
                                         const std::string& help,
-                                        const Labels& labels, Type type) {
+                                        const Labels& labels, Type type,
+                                        const Buckets* buckets) {
   if (!ValidMetricName(name)) {
     STEDB_LOG(kError) << "obs: invalid metric name '" << name << "'";
     std::abort();
@@ -210,7 +223,7 @@ Registry::Series& Registry::GetOrCreate(const std::string& name,
   }
   const std::string label_str = RenderLabels(labels);
   const std::string identity = name + label_str;
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = index_.find(identity);
   if (it != index_.end()) {
     if (it->second->type != type) {
@@ -224,6 +237,27 @@ Registry::Series& Registry::GetOrCreate(const std::string& name,
   series->name = name;
   series->label_str = label_str;
   series->type = type;
+  // The typed instance is created here, under mu_, together with the
+  // series entry. (It used to be reset() by the Get* wrappers after
+  // GetOrCreate returned — outside the lock — so two threads racing on
+  // first registration could double-create and leak/corrupt the
+  // instance. Surfaced by STEDB_GUARDED_BY on series_.)
+  switch (type) {
+    case Type::kCounter:
+      // The metric constructors are private with Registry as the only
+      // friend, so the `new` must happen here — std::make_unique is not
+      // a friend. NOLINTNEXTLINE(modernize-make-unique)
+      series->counter.reset(new Counter());
+      break;
+    case Type::kGauge:
+      // NOLINTNEXTLINE(modernize-make-unique)
+      series->gauge.reset(new Gauge());
+      break;
+    case Type::kHistogram:
+      // NOLINTNEXTLINE(modernize-make-unique)
+      series->histogram.reset(new Histogram(*buckets));
+      break;
+  }
   if (family_help_.emplace(name, help).second) {
     family_order_.push_back(name);
   }
@@ -235,31 +269,26 @@ Registry::Series& Registry::GetOrCreate(const std::string& name,
 
 Counter& Registry::GetCounter(const std::string& name,
                               const std::string& help, Labels labels) {
-  Series& s = GetOrCreate(name, help, labels, Type::kCounter);
-  if (s.counter == nullptr) s.counter.reset(new Counter());
-  return *s.counter;
+  return *GetOrCreate(name, help, labels, Type::kCounter, nullptr).counter;
 }
 
 Gauge& Registry::GetGauge(const std::string& name, const std::string& help,
                           Labels labels) {
-  Series& s = GetOrCreate(name, help, labels, Type::kGauge);
-  if (s.gauge == nullptr) s.gauge.reset(new Gauge());
-  return *s.gauge;
+  return *GetOrCreate(name, help, labels, Type::kGauge, nullptr).gauge;
 }
 
 Histogram& Registry::GetHistogram(const std::string& name,
                                   const std::string& help,
                                   const Buckets& buckets, Labels labels) {
-  Series& s = GetOrCreate(name, help, labels, Type::kHistogram);
-  if (s.histogram == nullptr) s.histogram.reset(new Histogram(buckets));
-  return *s.histogram;
+  return *GetOrCreate(name, help, labels, Type::kHistogram, &buckets)
+              .histogram;
 }
 
 const Registry::Series* Registry::Find(const std::string& name,
                                        const Labels& labels,
                                        Type type) const {
   const std::string identity = name + RenderLabels(labels);
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   auto it = index_.find(identity);
   if (it == index_.end() || it->second->type != type) return nullptr;
   return it->second;
@@ -284,7 +313,7 @@ const Histogram* Registry::FindHistogram(const std::string& name,
 }
 
 void Registry::Render(std::string* out) const {
-  std::lock_guard<std::mutex> lk(mu_);
+  MutexLock lk(mu_);
   for (const std::string& family : family_order_) {
     const char* type_name = "untyped";
     // All series of a family share a type (enforced at registration).

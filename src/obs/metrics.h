@@ -5,10 +5,11 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
+
+#include "src/common/thread_annotations.h"
 
 namespace stedb::obs {
 
@@ -55,9 +56,12 @@ double LoadDouble(const std::atomic<uint64_t>& bits);
 /// shard, so concurrent writers never share a cache line.
 class Counter {
  public:
+  // stedb:wait-free-begin — the record path: one relaxed fetch_add,
+  // no lock, no allocation (stedb_lint enforces this region).
   void Inc(uint64_t n = 1) {
     cells_[internal::ThreadShard()].v.fetch_add(n, std::memory_order_relaxed);
   }
+  // stedb:wait-free-end
   /// Scrape-time sum over the shards.
   uint64_t Value() const;
 
@@ -187,17 +191,25 @@ class Registry {
     std::unique_ptr<Histogram> histogram;
   };
 
-  /// Registration slow path; `make` builds the series when absent.
+  /// Registration slow path. Creates the series AND its typed instance
+  /// under mu_ in one shot (`buckets` only read for kHistogram), so two
+  /// threads racing to register the same identity can never observe a
+  /// series whose instance pointer is still being written.
   Series& GetOrCreate(const std::string& name, const std::string& help,
-                      const Labels& labels, Type type);
+                      const Labels& labels, Type type,
+                      const Buckets* buckets);
   const Series* Find(const std::string& name, const Labels& labels,
                      Type type) const;
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<Series>> series_;  ///< registration order
-  std::unordered_map<std::string, Series*> index_;  ///< identity -> series
-  std::vector<std::string> family_order_;           ///< first-seen names
-  std::unordered_map<std::string, std::string> family_help_;
+  mutable Mutex mu_;
+  /// Registration order.
+  std::vector<std::unique_ptr<Series>> series_ STEDB_GUARDED_BY(mu_);
+  /// identity -> series.
+  std::unordered_map<std::string, Series*> index_ STEDB_GUARDED_BY(mu_);
+  /// First-seen names.
+  std::vector<std::string> family_order_ STEDB_GUARDED_BY(mu_);
+  std::unordered_map<std::string, std::string> family_help_
+      STEDB_GUARDED_BY(mu_);
 };
 
 /// Renders the global registry — the function tools and benches call to

@@ -200,7 +200,7 @@ void HttpServer::Stop() {
     if (w.joinable()) w.join();
   }
   workers_.clear();
-  std::lock_guard<std::mutex> lk(queue_mu_);
+  MutexLock lk(queue_mu_);
   for (int fd : pending_conns_) ::close(fd);
   pending_conns_.clear();
 }
@@ -216,7 +216,7 @@ void HttpServer::AcceptLoop() {
     const int one = 1;
     ::setsockopt(conn, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
     {
-      std::lock_guard<std::mutex> lk(queue_mu_);
+      MutexLock lk(queue_mu_);
       pending_conns_.push_back(conn);
     }
     queue_cv_.notify_one();
@@ -227,11 +227,11 @@ void HttpServer::WorkerLoop() {
   for (;;) {
     int conn = -1;
     {
-      std::unique_lock<std::mutex> lk(queue_mu_);
-      queue_cv_.wait(lk, [this] {
-        return !pending_conns_.empty() ||
-               !running_.load(std::memory_order_acquire);
-      });
+      UniqueMutexLock lk(queue_mu_);
+      while (pending_conns_.empty() &&
+             running_.load(std::memory_order_acquire)) {
+        queue_cv_.wait(lk.native());
+      }
       if (pending_conns_.empty()) return;  // stopping
       conn = pending_conns_.front();
       pending_conns_.pop_front();

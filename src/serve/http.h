@@ -7,13 +7,13 @@
 #include <deque>
 #include <functional>
 #include <map>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/common/scoped_fd.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 
 namespace stedb::serve {
 
@@ -96,9 +96,10 @@ class HttpServer {
 
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
-  std::mutex queue_mu_;
+  Mutex queue_mu_;
   std::condition_variable queue_cv_;
-  std::deque<int> pending_conns_;  ///< accepted fds awaiting a worker
+  /// Accepted fds awaiting a worker.
+  std::deque<int> pending_conns_ STEDB_GUARDED_BY(queue_mu_);
 };
 
 /// Blocking keep-alive HTTP client for the load generator, the demo drill

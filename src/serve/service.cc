@@ -174,12 +174,12 @@ void EmbeddingService::Stop() {
   // round get their result instead of deadlocking the worker join.
   http_.Stop();
   {
-    std::lock_guard<std::mutex> lk(embed_mu_);
+    MutexLock lk(embed_mu_);
     embed_work_cv_.notify_all();
   }
   if (coalescer_.joinable()) coalescer_.join();
   {
-    std::lock_guard<std::mutex> lk(ticker_mu_);
+    MutexLock lk(ticker_mu_);
     ticker_cv_.notify_all();
   }
   if (ticker_.joinable()) ticker_.join();
@@ -188,7 +188,7 @@ void EmbeddingService::Stop() {
 Result<size_t> EmbeddingService::PollNow() {
   size_t applied = 0;
   {
-    std::unique_lock<std::shared_mutex> lk(session_mu_);
+    WriterMutexLock lk(session_mu_);
     auto polled = session_.Poll();
     if (!polled.ok()) return polled.status();
     applied = polled.value();
@@ -203,15 +203,15 @@ Result<size_t> EmbeddingService::PollNow() {
 void EmbeddingService::TickerLoop() {
   const auto interval =
       std::chrono::milliseconds(options_.poll_interval_ms);
-  std::unique_lock<std::mutex> lk(ticker_mu_);
+  UniqueMutexLock lk(ticker_mu_);
   while (!stopping_.load(std::memory_order_acquire)) {
-    ticker_cv_.wait_for(lk, interval, [this] {
-      return stopping_.load(std::memory_order_acquire);
-    });
+    // No predicate: a spurious wake just polls one tick early, and the
+    // stop flag is re-checked before (and after) every wait.
+    ticker_cv_.wait_for(lk.native(), interval);
     if (stopping_.load(std::memory_order_acquire)) return;
-    lk.unlock();
+    lk.Unlock();
     PollNow();  // a transient Poll error just retries next tick
-    lk.lock();
+    lk.Lock();
   }
 }
 
@@ -221,7 +221,7 @@ EmbeddingService::PendingEmbed EmbeddingService::CoalescedEmbed(
     db::FactId fact) {
   PendingEmbed slot;
   slot.fact = fact;
-  std::unique_lock<std::mutex> lk(embed_mu_);
+  UniqueMutexLock lk(embed_mu_);
   if (stopping_.load(std::memory_order_acquire)) {
     slot.status = Status::FailedPrecondition("service stopping");
     slot.done = true;
@@ -229,17 +229,17 @@ EmbeddingService::PendingEmbed EmbeddingService::CoalescedEmbed(
   }
   embed_queue_.push_back(&slot);
   embed_work_cv_.notify_one();
-  embed_done_cv_.wait(lk, [&slot] { return slot.done; });
+  while (!slot.done) embed_done_cv_.wait(lk.native());
   return slot;
 }
 
 void EmbeddingService::CoalescerLoop() {
-  std::unique_lock<std::mutex> lk(embed_mu_);
+  UniqueMutexLock lk(embed_mu_);
   for (;;) {
-    embed_work_cv_.wait(lk, [this] {
-      return !embed_queue_.empty() ||
-             stopping_.load(std::memory_order_acquire);
-    });
+    while (embed_queue_.empty() &&
+           !stopping_.load(std::memory_order_acquire)) {
+      embed_work_cv_.wait(lk.native());
+    }
     if (embed_queue_.empty() &&
         stopping_.load(std::memory_order_acquire)) {
       return;
@@ -248,14 +248,14 @@ void EmbeddingService::CoalescerLoop() {
     // coalescing window, exactly like group commit.
     std::vector<PendingEmbed*> round;
     round.swap(embed_queue_);
-    lk.unlock();
+    lk.Unlock();
 
     std::vector<db::FactId> facts;
     facts.reserve(round.size());
     for (PendingEmbed* slot : round) facts.push_back(slot->fact);
     la::Matrix out(round.size(), dim_);
     {
-      std::shared_lock<std::shared_mutex> slk(session_mu_);
+      SharedMutexLock slk(session_mu_);
       const Status st = session_.EmbedBatch(facts, out);
       if (st.ok()) {
         for (size_t i = 0; i < round.size(); ++i) {
@@ -285,7 +285,7 @@ void EmbeddingService::CoalescerLoop() {
                seen, round.size(), std::memory_order_relaxed)) {
     }
 
-    lk.lock();
+    lk.Lock();
     for (PendingEmbed* slot : round) slot->done = true;
     embed_done_cv_.notify_all();
   }
@@ -377,7 +377,7 @@ HttpResponse EmbeddingService::HandleEmbedBatch(const HttpRequest& req) {
   }
   la::Matrix out(facts.size(), dim_);
   {
-    std::shared_lock<std::shared_mutex> lk(session_mu_);
+    SharedMutexLock lk(session_mu_);
     const Status st = session_.EmbedBatch(facts, out);
     if (!st.ok()) return ErrorResponse(st);
   }
@@ -419,7 +419,7 @@ HttpResponse EmbeddingService::HandleTopK(const HttpRequest& req) {
       static_cast<size_t>(std::max<int64_t>(0, req.ParamInt("target", 0)));
 
   Result<std::vector<api::ServingSession::Scored>> scored = [&] {
-    std::shared_lock<std::shared_mutex> lk(session_mu_);
+    SharedMutexLock lk(session_mu_);
     return session_.TopK(fact, k, target);
   }();
   if (!scored.ok()) return ErrorResponse(scored.status());
@@ -447,7 +447,7 @@ HttpResponse EmbeddingService::HandleFacts(const HttpRequest& req) {
   std::vector<db::FactId> facts;
   size_t total = 0;
   {
-    std::shared_lock<std::shared_mutex> lk(session_mu_);
+    SharedMutexLock lk(session_mu_);
     facts = session_.ServedFacts();
   }
   total = facts.size();
@@ -466,7 +466,7 @@ HttpResponse EmbeddingService::HandleFacts(const HttpRequest& req) {
 HttpResponse EmbeddingService::HandleStats(const HttpRequest&) {
   size_t num_embedded = 0, wal_records = 0, num_psi = 0;
   {
-    std::shared_lock<std::shared_mutex> lk(session_mu_);
+    SharedMutexLock lk(session_mu_);
     num_embedded = session_.num_embedded();
     wal_records = session_.wal_records();
     num_psi = session_.num_psi();

@@ -6,14 +6,13 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
-#include <mutex>
-#include <shared_mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "src/api/serving.h"
 #include "src/common/status.h"
+#include "src/common/thread_annotations.h"
 #include "src/serve/http.h"
 
 namespace stedb::serve {
@@ -102,7 +101,7 @@ class EmbeddingService {
 
   /// One synchronous tick: Poll the session now (exclusive lock), then
   /// run the tick hook. Returns the number of WAL records applied.
-  Result<size_t> PollNow();
+  Result<size_t> PollNow() STEDB_EXCLUDES(session_mu_);
 
   Stats stats() const;
   size_t dim() const { return dim_; }
@@ -119,11 +118,14 @@ class EmbeddingService {
     db::FactId fact = db::kNoFact;
     la::Vector phi;
     Status status;
+    /// Written by the coalescer, read by the waiting handler — both under
+    /// embed_mu_. (A nested struct cannot spell STEDB_GUARDED_BY on the
+    /// enclosing service's member, so the discipline is stated here.)
     bool done = false;
   };
 
   /// Blocks until the coalescer has served `fact`.
-  PendingEmbed CoalescedEmbed(db::FactId fact);
+  PendingEmbed CoalescedEmbed(db::FactId fact) STEDB_EXCLUDES(embed_mu_);
 
   HttpResponse HandleEmbed(const HttpRequest& req);
   HttpResponse HandleEmbedBatch(const HttpRequest& req);
@@ -135,22 +137,26 @@ class EmbeddingService {
   ServeOptions options_;
   size_t dim_ = 0;
 
-  /// Shared session: HTTP readers shared, Poll exclusive.
-  mutable std::shared_mutex session_mu_;
-  api::ServingSession session_;
+  /// Shared session: HTTP readers shared, Poll exclusive. Lock ordering:
+  /// session_mu_, embed_mu_ and ticker_mu_ are never held together —
+  /// the coalescer drops embed_mu_ before taking session_mu_ for its
+  /// round, and the ticker calls PollNow with ticker_mu_ released.
+  mutable SharedMutex session_mu_;
+  api::ServingSession session_ STEDB_GUARDED_BY(session_mu_);
 
   HttpServer http_;
 
   // Coalescer state.
-  std::mutex embed_mu_;
+  Mutex embed_mu_;
   std::condition_variable embed_work_cv_;  ///< wakes the coalescer
   std::condition_variable embed_done_cv_;  ///< wakes waiting handlers
-  std::vector<PendingEmbed*> embed_queue_;
+  std::vector<PendingEmbed*> embed_queue_ STEDB_GUARDED_BY(embed_mu_);
   std::atomic<bool> stopping_{false};
   std::thread coalescer_;
 
-  // Ticker state.
-  std::mutex ticker_mu_;
+  // Ticker state. ticker_mu_ guards no data; it exists for the cv's
+  // timed waits, which is why nothing carries STEDB_GUARDED_BY on it.
+  Mutex ticker_mu_;
   std::condition_variable ticker_cv_;
   std::thread ticker_;
 

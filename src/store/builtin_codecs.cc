@@ -1,8 +1,9 @@
-// The built-in model codecs of the two paper methods, registered with the
+// The built-in model codecs of the two paper methods, enumerated for the
 // codec registry. This is the only store-layer file that knows the
 // concrete codecs; everything else resolves them through CodecByMethod /
 // CodecByTag — the persistence mirror of api/builtin_methods.cc.
 #include <memory>
+#include <vector>
 
 #include "src/fwd/codec.h"
 #include "src/n2v/codec.h"
@@ -11,15 +12,14 @@
 namespace stedb::store {
 namespace internal {
 
-Status RegisterModelCodecLocked(std::shared_ptr<const ModelCodec> codec);
-
-void RegisterBuiltinCodecs() {
-  // Failure is impossible here (fresh registry, distinct names and tags);
-  // the statuses are consumed to keep the call sites warning-clean.
-  (void)RegisterModelCodecLocked(
-      std::make_shared<const fwd::ForwardModelCodec>());
-  (void)RegisterModelCodecLocked(
-      std::make_shared<const n2v::Node2VecModelCodec>());
+// Enumerated (not self-registering) so the registry TU can install the
+// built-ins under its own lock without a cross-TU "caller holds the
+// lock" contract the thread-safety analysis cannot see.
+std::vector<std::shared_ptr<const ModelCodec>> BuiltinCodecs() {
+  std::vector<std::shared_ptr<const ModelCodec>> codecs;
+  codecs.push_back(std::make_shared<const fwd::ForwardModelCodec>());
+  codecs.push_back(std::make_shared<const n2v::Node2VecModelCodec>());
+  return codecs;
 }
 
 }  // namespace internal

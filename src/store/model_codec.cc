@@ -2,19 +2,24 @@
 
 #include <cctype>
 #include <map>
-#include <mutex>
+#include <utility>
 
 #include "src/common/string_util.h"
+#include "src/common/thread_annotations.h"
+
+// stedb:deterministic-output — RegisteredModelCodecs() and the
+// "registered:" diagnostics are user-visible sorted lists; the registry
+// stays std::map and iteration below must stay over ordered containers.
 
 namespace stedb::store {
 namespace internal {
 
-// Defined in builtin_codecs.cc. Called from the registry under its lock so
-// the built-in codecs are present before any user-visible lookup; the
-// explicit call (rather than static initializers in the codec TUs) keeps
-// registration immune to static-library dead-stripping — the same pattern
-// as the api method registry.
-void RegisterBuiltinCodecs();
+// Defined in builtin_codecs.cc. Enumerated from the registry under its
+// lock so the built-in codecs are present before any user-visible lookup;
+// the explicit call (rather than static initializers in the codec TUs)
+// keeps registration immune to static-library dead-stripping — the same
+// pattern as the api method registry.
+std::vector<std::shared_ptr<const ModelCodec>> BuiltinCodecs();
 
 }  // namespace internal
 
@@ -26,8 +31,8 @@ constexpr char kMagic[8] = {'S', 'T', 'E', 'D', 'B', 'S', 'N', 'P'};
 /// into an unbounded parse loop before any size check fires.
 constexpr uint32_t kMaxSections = 1 << 10;
 
-std::mutex& RegistryMutex() {
-  static std::mutex mu;
+Mutex& RegistryMutex() {
+  static Mutex mu;
   return mu;
 }
 
@@ -36,17 +41,23 @@ struct CodecRegistry {
   std::map<uint32_t, std::shared_ptr<const ModelCodec>> by_tag;
 };
 
-CodecRegistry& Registry() {
+CodecRegistry& Registry() STEDB_REQUIRES(RegistryMutex()) {
   static CodecRegistry registry;
   return registry;
 }
 
-/// Must be called with RegistryMutex held.
-void EnsureBuiltinsLocked() {
+Status RegisterLocked(std::shared_ptr<const ModelCodec> codec)
+    STEDB_REQUIRES(RegistryMutex());
+
+void EnsureBuiltinsLocked() STEDB_REQUIRES(RegistryMutex()) {
   static bool done = false;
   if (!done) {
-    done = true;  // set first: RegisterBuiltinCodecs re-enters Register
-    internal::RegisterBuiltinCodecs();
+    done = true;
+    // Failure is impossible here (fresh registry, distinct names and
+    // tags); the statuses are consumed to keep the call warning-clean.
+    for (auto& codec : internal::BuiltinCodecs()) {
+      (void)RegisterLocked(std::move(codec));
+    }
   }
 }
 
@@ -73,7 +84,7 @@ Status RegisterLocked(std::shared_ptr<const ModelCodec> codec) {
   return Status::OK();
 }
 
-std::string KnownMethodsLocked() {
+std::string KnownMethodsLocked() STEDB_REQUIRES(RegistryMutex()) {
   std::string known;
   for (const auto& [key, unused] : Registry().by_method) {
     if (!known.empty()) known += ", ";
@@ -83,16 +94,6 @@ std::string KnownMethodsLocked() {
 }
 
 }  // namespace
-
-namespace internal {
-
-// Built-in registration path: the caller (RegisterBuiltinCodecs) runs
-// under the registry lock already.
-Status RegisterModelCodecLocked(std::shared_ptr<const ModelCodec> codec) {
-  return RegisterLocked(std::move(codec));
-}
-
-}  // namespace internal
 
 std::string FourCcToString(uint32_t tag) {
   std::string s;
@@ -254,14 +255,14 @@ Status DecodePhiPayload(const SnapshotSection& section, size_t dim,
 }
 
 Status RegisterModelCodec(std::shared_ptr<const ModelCodec> codec) {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
+  MutexLock lock(RegistryMutex());
   EnsureBuiltinsLocked();
   return RegisterLocked(std::move(codec));
 }
 
 Result<std::shared_ptr<const ModelCodec>> CodecByMethod(
     const std::string& method) {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
+  MutexLock lock(RegistryMutex());
   EnsureBuiltinsLocked();
   auto it = Registry().by_method.find(ToLower(method));
   if (it == Registry().by_method.end()) {
@@ -272,7 +273,7 @@ Result<std::shared_ptr<const ModelCodec>> CodecByMethod(
 }
 
 Result<std::shared_ptr<const ModelCodec>> CodecByTag(uint32_t method_tag) {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
+  MutexLock lock(RegistryMutex());
   EnsureBuiltinsLocked();
   auto it = Registry().by_tag.find(method_tag);
   if (it == Registry().by_tag.end()) {
@@ -284,7 +285,7 @@ Result<std::shared_ptr<const ModelCodec>> CodecByTag(uint32_t method_tag) {
 }
 
 std::vector<std::string> RegisteredModelCodecs() {
-  std::lock_guard<std::mutex> lock(RegistryMutex());
+  MutexLock lock(RegistryMutex());
   EnsureBuiltinsLocked();
   std::vector<std::string> names;
   names.reserve(Registry().by_method.size());

@@ -1,0 +1,11 @@
+// Fixture: malformed exemption markers — an unknown rule id and a
+// missing justification are both findings in their own right.
+namespace stedb {
+
+// stedb:lint-exempt(no-such-rule): misspelled rule ids must not silence
+int a = 1;
+
+// stedb:lint-exempt(store-io):
+int b = 2;
+
+}  // namespace stedb

@@ -1,0 +1,12 @@
+// Fixture: a raw std::mutex member outside thread_annotations.h — the
+// mutex-annotation rule requires the capability wrappers instead.
+#pragma once
+#include <mutex>
+
+namespace stedb {
+
+struct Holder {
+  std::mutex mu;
+};
+
+}  // namespace stedb

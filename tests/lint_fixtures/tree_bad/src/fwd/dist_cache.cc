@@ -1,0 +1,10 @@
+// Fixture: a wait-free region opened and never closed — the region
+// bounds are part of the contract, so the dangling begin is an error.
+#include <cstdint>
+
+namespace stedb::fwd {
+
+// stedb:wait-free-begin
+uint64_t Probe(uint64_t k) { return k * 2654435761u; }
+
+}  // namespace stedb::fwd

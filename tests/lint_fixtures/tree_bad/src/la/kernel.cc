@@ -1,0 +1,14 @@
+// Fixture: a la:: kernel that consults wall-clock time and libc rand —
+// both forbidden by the determinism-kernel rule.
+#include <chrono>
+#include <cstdlib>
+
+namespace stedb::la {
+
+double Jitter() {
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  const double base = static_cast<double>(t.count());
+  return base + static_cast<double>(rand());
+}
+
+}  // namespace stedb::la

@@ -1,0 +1,31 @@
+// stedb:deterministic-output
+// Fixture: locks inside a wait-free region, unordered iteration in a
+// deterministic-output file, and three malformed metric names.
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace stedb::obs {
+
+std::unordered_map<std::string, int> index_;
+
+// stedb:wait-free-begin
+void Inc() {
+  static std::mutex mu;
+  std::lock_guard<std::mutex> lk(mu);
+}
+// stedb:wait-free-end
+
+void Render(std::string* out) {
+  for (const auto& kv : index_) {
+    *out += kv.first;
+  }
+}
+
+void Register() {
+  GetCounter("bad-name", "help");
+  GetCounter("stedb_requests", "help");
+  GetGauge("stedb_queue_total", "help");
+}
+
+}  // namespace stedb::obs

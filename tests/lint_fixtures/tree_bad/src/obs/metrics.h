@@ -1,0 +1,7 @@
+// Fixture: a wait-free contract file with no stedb:wait-free-begin
+// region at all — the wait-free-coverage rule flags the detachment.
+#pragma once
+
+namespace stedb::obs {
+void Inc();
+}  // namespace stedb::obs

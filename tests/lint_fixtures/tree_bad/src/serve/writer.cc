@@ -1,0 +1,12 @@
+// Fixture: durability calls outside src/store/ — the store-io rule keeps
+// fsync/fwrite decisions inside the store layer.
+#include <cstdio>
+
+namespace stedb::serve {
+
+void Dump(FILE* f, const char* buf, unsigned long n) {
+  fwrite(buf, 1, n, f);
+  fsync(0);
+}
+
+}  // namespace stedb::serve

@@ -1,0 +1,11 @@
+// Fixture: locks declared through the capability wrappers; a comment
+// mentioning std::mutex (like this one) must not trip the rule.
+#pragma once
+
+namespace stedb {
+
+struct Holder {
+  Mutex mu;  // the wrapper, not a raw standard-library mutex
+};
+
+}  // namespace stedb

@@ -1,0 +1,16 @@
+// Fixture: a properly closed wait-free region; `locked_lookups` and
+// Unlock() must not trip the lock token (boundary-aware matching).
+#include <atomic>
+#include <cstdint>
+
+namespace stedb::fwd {
+
+std::atomic<uint64_t> locked_lookups{0};
+
+// stedb:wait-free-begin
+uint64_t Stats() {
+  return locked_lookups.load(std::memory_order_relaxed);
+}
+// stedb:wait-free-end
+
+}  // namespace stedb::fwd

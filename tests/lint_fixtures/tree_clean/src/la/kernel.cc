@@ -1,0 +1,13 @@
+// Fixture: the clean counterpart of tree_bad's kernel — results are a
+// pure function of the inputs, no clocks, no libc rand.
+#include <cstdint>
+
+namespace stedb::la {
+
+// `operand` and `strand` must not trip the rand token: boundary-aware
+// matching only fires on the whole word.
+double Mix(double operand, uint64_t strand) {
+  return operand * static_cast<double>(strand ^ (strand >> 31));
+}
+
+}  // namespace stedb::la

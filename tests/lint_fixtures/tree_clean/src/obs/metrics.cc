@@ -1,0 +1,37 @@
+// stedb:deterministic-output
+// Fixture: the clean counterpart — ordered iteration only, atomics in
+// the wait-free region, conforming metric names.
+#include <atomic>
+#include <map>
+#include <string>
+#include <unordered_map>
+
+namespace stedb::obs {
+
+std::unordered_map<std::string, int> index_;   // lookups only, no iteration
+std::map<std::string, int> ordered_;
+
+// stedb:wait-free-begin
+void Inc(std::atomic<unsigned long>& v) {
+  v.fetch_add(1, std::memory_order_relaxed);
+}
+// stedb:wait-free-end
+
+int Find(const std::string& key) {
+  auto it = index_.find(key);  // point lookup: order-independent, fine
+  return it == index_.end() ? 0 : it->second;
+}
+
+void Render(std::string* out) {
+  for (const auto& kv : ordered_) {  // std::map: deterministic order
+    *out += kv.first;
+  }
+}
+
+void Register() {
+  GetCounter("stedb_requests_total", "help");
+  GetGauge("stedb_queue_depth", "help");
+  GetHistogram("stedb_latency_seconds", "help");
+}
+
+}  // namespace stedb::obs

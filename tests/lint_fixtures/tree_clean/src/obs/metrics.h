@@ -1,0 +1,14 @@
+// Fixture: a wait-free contract file with a properly marked region —
+// satisfies wait-free-coverage.
+#pragma once
+#include <atomic>
+
+namespace stedb::obs {
+
+// stedb:wait-free-begin
+inline void Inc(std::atomic<unsigned long>& v) {
+  v.fetch_add(1, std::memory_order_relaxed);
+}
+// stedb:wait-free-end
+
+}  // namespace stedb::obs

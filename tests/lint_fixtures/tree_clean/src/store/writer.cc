@@ -1,0 +1,12 @@
+// Fixture: fwrite/fsync inside src/store/ are the sanctioned call sites
+// — the store-io rule does not apply here.
+#include <cstdio>
+
+namespace stedb::store {
+
+void Flush(FILE* f, const char* buf, unsigned long n) {
+  fwrite(buf, 1, n, f);
+  fsync(0);
+}
+
+}  // namespace stedb::store

@@ -1,0 +1,12 @@
+// Fixture: an exempted raw mutex — the justification is mandatory.
+#pragma once
+#include <mutex>
+
+namespace stedb {
+
+struct Holder {
+  // stedb:lint-exempt(mutex-annotation): fixture for the exemption path
+  std::mutex mu;
+};
+
+}  // namespace stedb

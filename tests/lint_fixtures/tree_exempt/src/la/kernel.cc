@@ -1,0 +1,15 @@
+// Fixture: real violations silenced by well-formed exemptions — one on
+// the offending line, one on the line directly above.
+#include <chrono>
+#include <cstdlib>
+
+namespace stedb::la {
+
+double Jitter() {
+  // stedb:lint-exempt(determinism-kernel): fixture exercising line-above form
+  const auto t = std::chrono::steady_clock::now().time_since_epoch();
+  const double base = static_cast<double>(t.count());
+  return base + rand();  // stedb:lint-exempt(determinism-kernel): same-line form
+}
+
+}  // namespace stedb::la

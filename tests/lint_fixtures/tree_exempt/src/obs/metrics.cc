@@ -1,0 +1,40 @@
+// stedb:deterministic-output
+// Fixture: one exemption per remaining rule — deterministic-output,
+// wait-free, store-io and metric-name all silenced with justifications.
+// A line violating two rules at once carries one exemption above and one
+// on the line itself.
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <unordered_map>
+
+namespace stedb::obs {
+
+std::unordered_map<std::string, int> index_;
+
+// stedb:wait-free-begin
+void Inc() {
+  // stedb:lint-exempt(wait-free): fixture lock for the region test
+  static std::mutex mu;  // stedb:lint-exempt(mutex-annotation): fixture raw lock
+  mu.lock();  // stedb:lint-exempt(wait-free): same-line region exemption
+  mu.unlock();
+}
+// stedb:wait-free-end
+
+void Render(std::string* out) {
+  // stedb:lint-exempt(deterministic-output): order folded by the caller
+  for (const auto& kv : index_) {
+    *out += kv.first;
+  }
+}
+
+void Dump(FILE* f, const char* buf, unsigned long n) {
+  fwrite(buf, 1, n, f);  // stedb:lint-exempt(store-io): fixture store shim
+}
+
+void Register() {
+  // stedb:lint-exempt(metric-name): legacy name kept for dashboards
+  GetCounter("legacy-name", "help");
+}
+
+}  // namespace stedb::obs

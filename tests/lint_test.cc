@@ -1,0 +1,115 @@
+// Golden tests for tools/stedb_lint over the fixture corpus in
+// tests/lint_fixtures/: every rule has at least one violating fixture
+// (tree_bad, findings pinned line-by-line in expected.txt), a clean
+// counterpart (tree_clean), and an exemption-form fixture (tree_exempt).
+// The last suite asserts the real src/ tree itself is lint-clean — the
+// same gate CI runs, so a regression fails here first.
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#ifndef STEDB_LINT_BIN
+#error "STEDB_LINT_BIN must be defined by the build"
+#endif
+
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string out;
+};
+
+/// Runs the lint binary with `args`, capturing stdout; stderr (the
+/// finding-count summary) is dropped.
+RunResult RunLint(const std::string& args) {
+  RunResult r;
+  const std::string cmd = std::string(STEDB_LINT_BIN) + " " + args +
+                          " 2>/dev/null";
+  FILE* pipe = popen(cmd.c_str(), "r");
+  if (pipe == nullptr) return r;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = fread(buf, 1, sizeof(buf), pipe)) > 0) {
+    r.out.append(buf, n);
+  }
+  const int status = pclose(pipe);
+  r.exit_code = (status >= 0 && WIFEXITED(status)) ? WEXITSTATUS(status) : -1;
+  return r;
+}
+
+std::string Fixture(const std::string& tree) {
+  return std::string(STEDB_LINT_FIXTURES) + "/" + tree;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  EXPECT_TRUE(in.good()) << "cannot read " << path;
+  std::ostringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+TEST(LintTest, BadTreeMatchesGoldenFindings) {
+  const RunResult r = RunLint("--root " + Fixture("tree_bad"));
+  EXPECT_EQ(r.exit_code, 1);
+  // The golden file pins every finding: path, line, rule and message.
+  // Output is sorted, so the comparison is byte-exact.
+  EXPECT_EQ(r.out, ReadFile(Fixture("tree_bad") + "/expected.txt"));
+}
+
+TEST(LintTest, BadTreeTriggersEveryRuleAtLeastOnce) {
+  const std::string golden = ReadFile(Fixture("tree_bad") + "/expected.txt");
+  for (const char* rule :
+       {"determinism-kernel", "deterministic-output", "wait-free",
+        "wait-free-coverage", "store-io", "metric-name", "mutex-annotation",
+        "bad-exemption"}) {
+    EXPECT_NE(golden.find(std::string(": ") + rule + ": "),
+              std::string::npos)
+        << "no golden finding for rule " << rule;
+  }
+}
+
+TEST(LintTest, CleanTreeIsSilent) {
+  const RunResult r = RunLint("--root " + Fixture("tree_clean"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.out, "");
+}
+
+TEST(LintTest, ExemptTreeIsSilent) {
+  // Same violations as tree_bad, each silenced by a well-formed
+  // `stedb:lint-exempt(<rule>): reason` on the line or the line above.
+  const RunResult r = RunLint("--root " + Fixture("tree_exempt"));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_EQ(r.out, "");
+}
+
+TEST(LintTest, ExplicitFileModeScopesToThatFile) {
+  const RunResult r =
+      RunLint("--root " + Fixture("tree_bad") + " src/la/kernel.cc");
+  EXPECT_EQ(r.exit_code, 1);
+  // Exactly the kernel findings from the golden file, nothing else.
+  std::istringstream golden(ReadFile(Fixture("tree_bad") + "/expected.txt"));
+  std::string expected, line;
+  while (std::getline(golden, line)) {
+    if (line.rfind("src/la/kernel.cc:", 0) == 0) expected += line + "\n";
+  }
+  EXPECT_EQ(r.out, expected);
+}
+
+TEST(LintTest, MissingRootFailsWithUsageExit) {
+  const RunResult r = RunLint("--root " + Fixture("no_such_tree"));
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST(LintTest, RealSourceTreeIsClean) {
+  // The enforcement check: the actual src/ tree must satisfy every
+  // contract the linter encodes. A violation lands here before CI.
+  const RunResult r = RunLint("--root " STEDB_SOURCE_ROOT);
+  EXPECT_EQ(r.exit_code, 0) << r.out;
+  EXPECT_EQ(r.out, "") << r.out;
+}
+
+}  // namespace

@@ -1,0 +1,641 @@
+// stedb_lint: project-specific static checks for the invariants generic
+// tools cannot express — the determinism and wait-free contracts that
+// BUILDING.md states in prose and CI enforces through this binary.
+//
+// Rules (each can be silenced per line with
+// `// stedb:lint-exempt(<rule>): <reason>` on the offending line or the
+// line directly above; an empty reason or an unknown rule id is itself
+// an error):
+//
+//   determinism-kernel   src/la/**: no rand()/srand()/random_device and
+//                        no std::chrono — kernel results must be a pure
+//                        function of their inputs.
+//   deterministic-output files tagged `// stedb:deterministic-output`
+//                        must not iterate a std::unordered_map/set
+//                        (iteration order would leak into golden output).
+//   wait-free            regions between `// stedb:wait-free-begin` and
+//                        `// stedb:wait-free-end` must not take a lock
+//                        of any kind.
+//   wait-free-coverage   the files whose contracts *are* wait-free
+//                        (obs/metrics, fwd/dist_cache) must declare at
+//                        least one such region, so the wait-free rule
+//                        cannot be silently detached from them.
+//   store-io             no fsync/fdatasync/fwrite outside src/store/ —
+//                        durability decisions belong to the store layer.
+//   metric-name          names registered via GetCounter/GetGauge/
+//                        GetHistogram must match stedb_[a-z][a-z0-9_]*;
+//                        counters end in _total, other types never do.
+//   mutex-annotation     no raw std::mutex / std::shared_mutex in src/
+//                        outside common/thread_annotations.h — locks are
+//                        declared through the capability wrappers so the
+//                        clang thread-safety lane can see them.
+//
+// Usage: stedb_lint [--root DIR] [file...]
+//   With no file arguments, lints every .h/.cc under <root>/src. With
+//   file arguments (absolute or root-relative), lints exactly those —
+//   the changed-files mode scripts/run_tidy.sh mirrors.
+// Output: `path:line: rule: message`, one finding per line, sorted;
+// exit status 1 when anything was found, 0 on a clean tree.
+//
+// Deliberately a line-based scanner, not a parser: every rule is a
+// token-level property, and the fixture corpus in tests/lint_fixtures/
+// pins the exact findings (including exemption handling), so behavior
+// changes cannot land silently.
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <string>
+#include <vector>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct Finding {
+  std::string path;  // root-relative, forward slashes
+  size_t line = 0;   // 1-based
+  std::string rule;
+  std::string message;
+};
+
+struct FileData {
+  std::string rel;
+  std::vector<std::string> raw;   // as read
+  std::vector<std::string> lit;   // comments blanked, literals kept
+  std::vector<std::string> code;  // comments and literal bodies blanked
+};
+
+const char* const kRules[] = {
+    "determinism-kernel", "deterministic-output", "wait-free",
+    "wait-free-coverage", "store-io",             "metric-name",
+    "mutex-annotation",
+};
+
+bool KnownRule(const std::string& rule) {
+  for (const char* r : kRules) {
+    if (rule == r) return true;
+  }
+  return false;
+}
+
+bool IsWordChar(char c) {
+  return (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+         (c >= '0' && c <= '9') || c == '_';
+}
+
+/// True when `needle` occurs in `line` as a whole token: the characters
+/// adjacent to the match are not identifier characters (so `rand` does
+/// not fire inside `operand`, nor `MutexLock` inside `UniqueMutexLock`).
+bool HasToken(const std::string& line, const std::string& needle) {
+  size_t pos = 0;
+  while ((pos = line.find(needle, pos)) != std::string::npos) {
+    const bool left_ok =
+        pos == 0 || !IsWordChar(line[pos - 1]) ||
+        !IsWordChar(needle.front());
+    const size_t end = pos + needle.size();
+    const bool right_ok = end >= line.size() || !IsWordChar(line[end]) ||
+                          !IsWordChar(needle.back());
+    if (left_ok && right_ok) return true;
+    pos += 1;
+  }
+  return false;
+}
+
+/// Blanks //-comments and /*...*/ comments, keeping string/char literals
+/// intact (string contents are parsed so `//` inside a literal is not a
+/// comment). `in_block` carries the /*-state across lines. When
+/// `keep_literals` is false the literal bodies are blanked too, which is
+/// what the token rules scan — they must not fire on message text.
+std::string StripLine(const std::string& line, bool* in_block,
+                      bool keep_literals) {
+  std::string out;
+  out.reserve(line.size());
+  size_t i = 0;
+  while (i < line.size()) {
+    if (*in_block) {
+      if (line.compare(i, 2, "*/") == 0) {
+        *in_block = false;
+        out += "  ";
+        i += 2;
+      } else {
+        out.push_back(' ');
+        ++i;
+      }
+      continue;
+    }
+    const char c = line[i];
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '/') {
+      break;  // rest of the line is a comment
+    }
+    if (c == '/' && i + 1 < line.size() && line[i + 1] == '*') {
+      *in_block = true;
+      out += "  ";
+      i += 2;
+      continue;
+    }
+    if (c == '"' || c == '\'') {
+      const char quote = c;
+      out.push_back(quote);
+      ++i;
+      while (i < line.size()) {
+        if (line[i] == '\\' && i + 1 < line.size()) {
+          if (keep_literals) {
+            out.push_back(line[i]);
+            out.push_back(line[i + 1]);
+          } else {
+            out += "  ";
+          }
+          i += 2;
+          continue;
+        }
+        if (line[i] == quote) break;
+        out.push_back(keep_literals ? line[i] : ' ');
+        ++i;
+      }
+      if (i < line.size()) {
+        out.push_back(quote);
+        ++i;
+      }
+      continue;
+    }
+    out.push_back(c);
+    ++i;
+  }
+  return out;
+}
+
+/// First "..." literal in `line` at or after `from`; empty-and-npos when
+/// none. Works on the raw line (code lines have literal bodies blanked).
+size_t FirstStringLiteral(const std::string& line, size_t from,
+                          std::string* value) {
+  const size_t open = line.find('"', from);
+  if (open == std::string::npos) return std::string::npos;
+  const size_t close = line.find('"', open + 1);
+  if (close == std::string::npos) return std::string::npos;
+  *value = line.substr(open + 1, close - open - 1);
+  return open;
+}
+
+bool ValidMetricName(const std::string& name) {
+  if (name.rfind("stedb_", 0) != 0) return false;
+  if (name.size() <= 6) return false;
+  if (!(name[6] >= 'a' && name[6] <= 'z')) return false;
+  for (size_t i = 7; i < name.size(); ++i) {
+    const char c = name[i];
+    if (!((c >= 'a' && c <= 'z') || (c >= '0' && c <= '9') || c == '_')) {
+      return false;
+    }
+  }
+  return true;
+}
+
+/// True when `line` is a marker comment: optional indentation, `//`,
+/// then the marker text immediately. Prose that merely mentions a marker
+/// mid-sentence does not count.
+bool IsMarkerLine(const std::string& line, const char* marker) {
+  size_t i = 0;
+  while (i < line.size() && (line[i] == ' ' || line[i] == '\t')) ++i;
+  if (line.compare(i, 2, "//") != 0) return false;
+  i += 2;
+  while (i < line.size() && line[i] == ' ') ++i;
+  return line.compare(i, std::strlen(marker), marker) == 0;
+}
+
+bool EndsWith(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+class Linter {
+ public:
+  explicit Linter(std::string root) : root_(std::move(root)) {}
+
+  bool LoadFile(const std::string& rel_path);
+  void Run();
+  const std::vector<Finding>& findings() const { return findings_; }
+
+ private:
+  void Report(const FileData& f, size_t line_idx, const char* rule,
+              std::string message);
+  void ParseExemptions(const FileData& f);
+  void CollectUnorderedDecls(const FileData& f);
+  void CheckTokens(const FileData& f);
+  void CheckWaitFreeRegions(const FileData& f);
+  void CheckDeterministicOutput(const FileData& f);
+  void CheckMetricNames(const FileData& f);
+  void CheckCoverage();
+
+  std::string root_;
+  std::vector<FileData> files_;
+  std::vector<Finding> findings_;
+  /// (rel path, 1-based line) -> rules exempted on that line.
+  std::map<std::pair<std::string, size_t>, std::set<std::string>> exempt_;
+  /// Identifiers declared as std::unordered_{map,set} anywhere scanned.
+  std::set<std::string> unordered_names_;
+};
+
+bool Linter::LoadFile(const std::string& rel_path) {
+  const fs::path full = fs::path(root_) / rel_path;
+  std::ifstream in(full);
+  if (!in) {
+    std::fprintf(stderr, "stedb_lint: cannot read %s\n",
+                 full.string().c_str());
+    return false;
+  }
+  FileData f;
+  f.rel = rel_path;
+  std::replace(f.rel.begin(), f.rel.end(), '\\', '/');
+  std::string line;
+  bool in_block = false;
+  bool in_block_lit = false;
+  while (std::getline(in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    f.raw.push_back(line);
+    f.lit.push_back(StripLine(line, &in_block_lit, /*keep_literals=*/true));
+    f.code.push_back(StripLine(line, &in_block, /*keep_literals=*/false));
+  }
+  files_.push_back(std::move(f));
+  return true;
+}
+
+void Linter::Report(const FileData& f, size_t line_idx, const char* rule,
+                    std::string message) {
+  // An exemption on the finding's line or the line directly above
+  // silences it (the validity of the exemption itself was checked in
+  // ParseExemptions).
+  const size_t line_no = line_idx + 1;
+  for (size_t l = (line_no > 1 ? line_no - 1 : line_no); l <= line_no; ++l) {
+    auto it = exempt_.find({f.rel, l});
+    if (it != exempt_.end() && it->second.count(rule) > 0) return;
+  }
+  findings_.push_back(Finding{f.rel, line_no, rule, std::move(message)});
+}
+
+void Linter::ParseExemptions(const FileData& f) {
+  static const std::string kTag = "stedb:lint-exempt(";
+  for (size_t i = 0; i < f.raw.size(); ++i) {
+    const size_t pos = f.raw[i].find(kTag);
+    if (pos == std::string::npos) continue;
+    const size_t open = pos + kTag.size();
+    const size_t close = f.raw[i].find(')', open);
+    if (close == std::string::npos) {
+      findings_.push_back(Finding{f.rel, i + 1, "bad-exemption",
+                                  "malformed lint-exempt marker"});
+      continue;
+    }
+    const std::string rule = f.raw[i].substr(open, close - open);
+    if (!KnownRule(rule)) {
+      findings_.push_back(
+          Finding{f.rel, i + 1, "bad-exemption",
+                  "lint-exempt names unknown rule '" + rule + "'"});
+      continue;
+    }
+    // Everything after "): " must be a non-empty justification.
+    std::string reason = f.raw[i].substr(close + 1);
+    if (!reason.empty() && reason[0] == ':') reason.erase(0, 1);
+    while (!reason.empty() && reason.front() == ' ') reason.erase(0, 1);
+    if (reason.empty()) {
+      findings_.push_back(
+          Finding{f.rel, i + 1, "bad-exemption",
+                  "lint-exempt(" + rule + ") carries no justification"});
+      continue;
+    }
+    exempt_[{f.rel, i + 1}].insert(rule);
+  }
+}
+
+void Linter::CollectUnorderedDecls(const FileData& f) {
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    for (const char* kw : {"unordered_map", "unordered_set"}) {
+      size_t pos = f.code[i].find(kw);
+      while (pos != std::string::npos) {
+        // Walk the template argument list (possibly spanning lines) to
+        // its closing '>', then take the next identifier as the declared
+        // name.
+        size_t line_idx = i;
+        size_t j = pos + std::strlen(kw);
+        std::string joined = f.code[line_idx];
+        while (j < joined.size() && joined[j] != '<') ++j;
+        int depth = 0;
+        bool in_args = false;
+        for (size_t guard = 0; guard < 2000; ++guard) {
+          if (j >= joined.size()) {
+            if (++line_idx >= f.code.size()) break;
+            joined += ' ';
+            joined += f.code[line_idx];
+            continue;
+          }
+          const char c = joined[j];
+          if (c == '<') {
+            ++depth;
+            in_args = true;
+          } else if (c == '>') {
+            --depth;
+            if (in_args && depth == 0) {
+              ++j;
+              break;
+            }
+          }
+          ++j;
+        }
+        // Skip whitespace and ref/pointer sigils, then read the name.
+        while (j < joined.size() &&
+               (joined[j] == ' ' || joined[j] == '&' || joined[j] == '*')) {
+          ++j;
+        }
+        std::string name;
+        while (j < joined.size() && IsWordChar(joined[j])) {
+          name.push_back(joined[j]);
+          ++j;
+        }
+        if (!name.empty()) unordered_names_.insert(name);
+        pos = f.code[i].find(kw, pos + 1);
+      }
+    }
+  }
+}
+
+void Linter::CheckTokens(const FileData& f) {
+  const bool in_src = f.rel.rfind("src/", 0) == 0;
+  const bool is_la = f.rel.rfind("src/la/", 0) == 0;
+  const bool is_store = f.rel.rfind("src/store/", 0) == 0;
+  const bool is_annotations_header =
+      f.rel == "src/common/thread_annotations.h";
+
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    if (in_src && !is_annotations_header) {
+      for (const char* tok : {"std::mutex", "std::shared_mutex"}) {
+        if (HasToken(line, tok)) {
+          Report(f, i, "mutex-annotation",
+                 std::string(tok) +
+                     " outside thread_annotations.h; declare locks via "
+                     "the stedb::Mutex capability wrappers");
+        }
+      }
+    }
+    if (is_la) {
+      for (const char* tok :
+           {"rand", "srand", "random_device", "std::chrono"}) {
+        if (HasToken(line, tok)) {
+          Report(f, i, "determinism-kernel",
+                 std::string(tok) +
+                     " in a la:: kernel file; kernel results must be a "
+                     "pure function of their inputs");
+        }
+      }
+    }
+    if (in_src && !is_store) {
+      for (const char* tok : {"fsync", "fdatasync", "fwrite"}) {
+        if (HasToken(line, tok)) {
+          Report(f, i, "store-io",
+                 std::string(tok) +
+                     " outside src/store/; durability calls belong to "
+                     "the store layer");
+        }
+      }
+    }
+  }
+}
+
+void Linter::CheckWaitFreeRegions(const FileData& f) {
+  static const char* const kLockTokens[] = {
+      "std::mutex",     "std::shared_mutex", "lock_guard",
+      "unique_lock",    "shared_lock",       "scoped_lock",
+      "MutexLock",      "UniqueMutexLock",   "SharedMutexLock",
+      "WriterMutexLock", "lock",             "try_lock",
+  };
+  bool in_region = false;
+  size_t begin_line = 0;
+  for (size_t i = 0; i < f.raw.size(); ++i) {
+    const bool begins = IsMarkerLine(f.raw[i], "stedb:wait-free-begin");
+    const bool ends = IsMarkerLine(f.raw[i], "stedb:wait-free-end");
+    if (begins) {
+      if (in_region) {
+        Report(f, i, "wait-free", "nested wait-free-begin marker");
+      }
+      in_region = true;
+      begin_line = i;
+      continue;
+    }
+    if (ends) {
+      if (!in_region) {
+        Report(f, i, "wait-free", "wait-free-end without a begin marker");
+      }
+      in_region = false;
+      continue;
+    }
+    if (!in_region) continue;
+    for (const char* tok : kLockTokens) {
+      if (HasToken(f.code[i], tok)) {
+        Report(f, i, "wait-free",
+               std::string(tok) +
+                   " inside a wait-free region; record paths must stay "
+                   "lock-free");
+      }
+    }
+  }
+  if (in_region) {
+    Report(f, begin_line, "wait-free",
+           "wait-free-begin never closed with wait-free-end");
+  }
+}
+
+void Linter::CheckDeterministicOutput(const FileData& f) {
+  bool tagged = false;
+  for (const std::string& line : f.raw) {
+    if (IsMarkerLine(line, "stedb:deterministic-output")) {
+      tagged = true;
+      break;
+    }
+  }
+  if (!tagged) return;
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    const std::string& line = f.code[i];
+    for (const std::string& name : unordered_names_) {
+      size_t pos = 0;
+      while ((pos = line.find(name, pos)) != std::string::npos) {
+        const bool left_ok = pos == 0 || !IsWordChar(line[pos - 1]);
+        const size_t end = pos + name.size();
+        const bool right_ok = end >= line.size() || !IsWordChar(line[end]);
+        if (!left_ok || !right_ok) {
+          pos += 1;
+          continue;
+        }
+        // Range-for (`: name`) or explicit iteration (`name.begin()`).
+        size_t before = pos;
+        while (before > 0 && line[before - 1] == ' ') --before;
+        const bool range_for =
+            before > 0 && line[before - 1] == ':' &&
+            (before < 2 || line[before - 2] != ':');
+        const bool begin_call = line.compare(end, 7, ".begin(") == 0 ||
+                                line.compare(end, 8, ".cbegin(") == 0 ||
+                                line.compare(end, 8, ".rbegin(") == 0;
+        if (range_for || begin_call) {
+          Report(f, i, "deterministic-output",
+                 "iterates unordered container '" + name +
+                     "' in a file tagged stedb:deterministic-output");
+        }
+        pos = end;
+      }
+    }
+  }
+}
+
+void Linter::CheckMetricNames(const FileData& f) {
+  struct Kind {
+    const char* token;
+    bool is_counter;
+  };
+  static const Kind kKinds[] = {
+      {"GetCounter", true}, {"GetGauge", false}, {"GetHistogram", false}};
+  for (size_t i = 0; i < f.code.size(); ++i) {
+    for (const Kind& kind : kKinds) {
+      size_t pos = f.code[i].find(std::string(kind.token) + "(");
+      if (pos == std::string::npos) continue;
+      if (pos > 0 && IsWordChar(f.code[i][pos - 1])) continue;
+      // The name is the first string literal within the next few lines
+      // (call sites wrap); declarations have none and are skipped. The
+      // search runs over comment-stripped lines so a quoted word in a
+      // nearby comment cannot pose as the name.
+      std::string name;
+      size_t name_line = i;
+      size_t from = pos;
+      bool found = false;
+      for (size_t l = i; l < f.lit.size() && l < i + 4; ++l) {
+        if (FirstStringLiteral(f.lit[l], from, &name) !=
+            std::string::npos) {
+          name_line = l;
+          found = true;
+          break;
+        }
+        from = 0;
+      }
+      if (!found) continue;
+      if (!ValidMetricName(name)) {
+        Report(f, name_line, "metric-name",
+               "metric '" + name +
+                   "' does not match stedb_[a-z][a-z0-9_]*");
+      } else if (kind.is_counter && !EndsWith(name, "_total")) {
+        Report(f, name_line, "metric-name",
+               "counter '" + name + "' must end in _total");
+      } else if (!kind.is_counter && EndsWith(name, "_total")) {
+        Report(f, name_line, "metric-name",
+               "non-counter '" + name + "' must not end in _total");
+      }
+    }
+  }
+}
+
+void Linter::CheckCoverage() {
+  // The wait-free contracts these files document must stay visible to
+  // the wait-free rule: each needs at least one marked region.
+  static const char* const kRequired[] = {
+      "src/obs/metrics.h",
+      "src/obs/metrics.cc",
+      "src/fwd/dist_cache.cc",
+  };
+  for (const FileData& f : files_) {
+    for (const char* req : kRequired) {
+      if (f.rel != req) continue;
+      bool has_region = false;
+      for (const std::string& line : f.raw) {
+        if (IsMarkerLine(line, "stedb:wait-free-begin")) {
+          has_region = true;
+          break;
+        }
+      }
+      if (!has_region) {
+        Report(f, 0, "wait-free-coverage",
+               "wait-free contract file declares no "
+               "stedb:wait-free-begin region");
+      }
+    }
+  }
+}
+
+void Linter::Run() {
+  for (const FileData& f : files_) ParseExemptions(f);
+  for (const FileData& f : files_) CollectUnorderedDecls(f);
+  for (const FileData& f : files_) {
+    CheckTokens(f);
+    CheckWaitFreeRegions(f);
+    CheckDeterministicOutput(f);
+    CheckMetricNames(f);
+  }
+  CheckCoverage();
+  std::sort(findings_.begin(), findings_.end(),
+            [](const Finding& a, const Finding& b) {
+              if (a.path != b.path) return a.path < b.path;
+              if (a.line != b.line) return a.line < b.line;
+              if (a.rule != b.rule) return a.rule < b.rule;
+              return a.message < b.message;
+            });
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string root = ".";
+  std::vector<std::string> explicit_files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--root" && i + 1 < argc) {
+      root = argv[++i];
+    } else if (arg.rfind("--root=", 0) == 0) {
+      root = arg.substr(7);
+    } else if (arg == "--help" || arg == "-h") {
+      std::printf("usage: stedb_lint [--root DIR] [file...]\n");
+      return 0;
+    } else {
+      explicit_files.push_back(arg);
+    }
+  }
+
+  std::vector<std::string> rel_files;
+  if (!explicit_files.empty()) {
+    for (std::string p : explicit_files) {
+      // Accept both root-relative and root-prefixed spellings.
+      const std::string prefix = root == "." ? "./" : root + "/";
+      if (p.rfind(prefix, 0) == 0) p = p.substr(prefix.size());
+      rel_files.push_back(std::move(p));
+    }
+  } else {
+    const fs::path src = fs::path(root) / "src";
+    if (!fs::exists(src)) {
+      std::fprintf(stderr, "stedb_lint: no src/ under root %s\n",
+                   root.c_str());
+      return 2;
+    }
+    for (const auto& entry : fs::recursive_directory_iterator(src)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext != ".h" && ext != ".cc") continue;
+      rel_files.push_back(
+          fs::relative(entry.path(), fs::path(root)).generic_string());
+    }
+  }
+  std::sort(rel_files.begin(), rel_files.end());
+
+  Linter linter(root);
+  for (const std::string& rel : rel_files) {
+    if (!linter.LoadFile(rel)) return 2;
+  }
+  linter.Run();
+  for (const Finding& f : linter.findings()) {
+    std::printf("%s:%zu: %s: %s\n", f.path.c_str(), f.line, f.rule.c_str(),
+                f.message.c_str());
+  }
+  if (!linter.findings().empty()) {
+    std::fprintf(stderr, "stedb_lint: %zu finding(s)\n",
+                 linter.findings().size());
+    return 1;
+  }
+  return 0;
+}
