@@ -8,9 +8,12 @@ Usage:
                              CANDIDATE.json [CANDIDATE.json ...]
 
 Each candidate report (BENCH_parallel.json / BENCH_store.json /
-BENCH_serving.json, as emitted by micro_hotpaths / table7_store_io /
-table8_serving + table9_serve) is matched to the baseline file of the
-same name under --baseline-dir and compared numeric leaf by numeric leaf.
+BENCH_serving.json / BENCH_ann.json, as emitted by micro_hotpaths /
+table7_store_io / table8_serving + table9_serve / table10_ann) is matched
+to the baseline file of the same name under --baseline-dir and compared
+numeric leaf by numeric leaf. (`recall_at_10` is additionally gated at
+0.95 inside table10_ann itself — a recall drop fails the bench binary
+before the comparison ever runs.)
 
 Comparison model: CI and developer machines differ wildly, so wall-clock
 values are only gated by a generous multiplicative tolerance — a metric
@@ -45,14 +48,14 @@ import sys
 # engineered so the bench passing means the number is high). Everything
 # else numeric is a cost (seconds, ns, us) where larger is worse.
 BIGGER_IS_BETTER_SUFFIXES = ("_speedup", "_reduction")
-BIGGER_IS_BETTER_LEAVES = ("speedup", "qps")
+BIGGER_IS_BETTER_LEAVES = ("speedup", "qps", "recall_at_10")
 # Exact-match shape fields: machine-independent workload descriptors. A
 # mismatch is structural (the workload changed), not timing noise.
 EXACT_FIELDS = ("vectors", "dim", "synced_fsyncs", "grouped_fsyncs")
 # Machine/load descriptors: recorded so humans (and the core-count skip
 # below) can interpret the numbers, but never themselves a regression.
 MACHINE_FIELDS = ("hardware_concurrency", "threads", "load_threads",
-                  "served_facts", "requests")
+                  "served_facts", "requests", "queries")
 
 
 def flatten(node, prefix=""):

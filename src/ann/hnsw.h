@@ -1,0 +1,189 @@
+#ifndef STEDB_ANN_HNSW_H_
+#define STEDB_ANN_HNSW_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/common/span.h"
+#include "src/common/status.h"
+#include "src/db/database.h"
+
+namespace stedb::ann {
+
+/// Deterministic HNSW (hierarchical navigable small world) index over the
+/// snapshot's φ vectors — the sublinear counterpart to the brute-force
+/// scans in ml::EmbeddingIndex / api::ServingSession (ROADMAP direction
+/// 2). Two halves, one byte format:
+///
+///  * BuildHnsw() constructs the graph and serializes it to a flat,
+///    position-independent payload (the 'ANN ' snapshot section).
+///  * HnswView opens that payload zero-copy — over an mmap'd snapshot or
+///    an in-memory buffer — and answers top-k queries by greedy descent
+///    plus a best-first beam search at the base layer.
+///
+/// Every sealed search goes through HnswView over the serialized bytes,
+/// so "the mmap'd index serves results identical to the in-memory
+/// builder's" holds by construction: same bytes, same code.
+///
+/// Determinism contract (the PR 2 / PR 7 rules, applied to graph
+/// construction — asserted in tests/ann_test.cc):
+///  * Level draws are counter-based: node levels come from
+///    `Rng(seed).Fork(fact_id)`, a pure function of (seed, fact id) —
+///    never from a shared sequential generator — so they are independent
+///    of insertion order and thread count.
+///  * Parallelism only schedules. Nodes are inserted in batches; the
+///    parallel phase searches the *frozen* pre-batch graph and writes
+///    per-node candidate slots, and all linking happens in a serial
+///    phase in ascending node order.
+///  * Every ordering decision (beam, neighbor selection, results) uses
+///    the lexicographic (score, node id) order — fact id is the
+///    tie-break, so equal scores cannot reorder across runs.
+///  * Distances route through the la::kernels dispatch table, whose
+///    scalar and AVX2 paths are bit-identical; the graph therefore does
+///    not depend on STEDB_SIMD either.
+/// Together: one (seed, vectors, config) triple yields one byte-exact
+/// payload at any thread count on any SIMD path.
+
+/// Distance metrics; values are persisted in the payload header.
+enum class Metric : uint32_t { kCosine = 0, kEuclidean = 1, kDot = 2 };
+
+/// Payload format version persisted in the 'ANN ' section header.
+constexpr uint32_t kAnnFormatVersion = 1;
+
+/// Hard cap on a node's level: with m >= 2 the expected maximum level of
+/// even 2^32 nodes is ~32, so the cap only tames a pathological draw.
+constexpr uint32_t kMaxHnswLevel = 32;
+
+struct HnswConfig {
+  Metric metric = Metric::kCosine;
+  /// Max links per node per level (level 0 keeps up to 2*m). [2, 1024].
+  uint32_t m = 16;
+  /// Beam width while inserting; larger = better graph, slower build.
+  uint32_t ef_construction = 200;
+  /// Root seed of the counter-based level draws.
+  uint64_t seed = 0x5eedb;
+  /// Build parallelism (0 = STEDB_THREADS / hardware concurrency). Never
+  /// affects the produced bytes.
+  int threads = 0;
+};
+
+/// Strided view over the vectors the index was built on. Node i's vector
+/// is the dim doubles at `base + i * stride_bytes`; both base and stride
+/// must be 8-byte aligned (the PHI section and la::Matrix rows are).
+struct VectorSource {
+  const char* base = nullptr;
+  size_t stride_bytes = 0;
+
+  const double* Row(size_t i) const {
+    return reinterpret_cast<const double*>(base + i * stride_bytes);
+  }
+  /// A contiguous row-major matrix of `dim`-wide rows.
+  static VectorSource Dense(const double* data, size_t dim) {
+    return VectorSource{reinterpret_cast<const char*>(data),
+                        dim * sizeof(double)};
+  }
+};
+
+/// One search hit: node index (= PHI record index) + similarity score
+/// (higher = closer for every metric, matching ml::Neighbor semantics).
+struct ScoredNode {
+  double score = 0.0;
+  uint32_t node = 0;
+};
+
+/// The deterministic strict total order every queue and result list uses:
+/// descending score, ascending node id on ties.
+inline bool BetterHit(const ScoredNode& a, const ScoredNode& b) {
+  if (a.score != b.score) return a.score > b.score;
+  return a.node < b.node;
+}
+
+/// Per-query instrumentation (feeds the stedb_ann_visited_nodes
+/// histogram): nodes whose distance to the query was evaluated.
+struct SearchStats {
+  size_t visited = 0;
+};
+
+/// ‖v‖₂ for the cosine metric (0.0 for the others, which need no norm).
+/// Routed through la::kernels, so it is bit-identical across SIMD paths.
+double NormOf(Metric metric, const double* v, size_t dim);
+
+/// Similarity score of two vectors with precomputed norms (ignored
+/// except for cosine). Higher = closer:
+///   cosine    dot(a,b) / (‖a‖·‖b‖), 0.0 when either norm is 0 —
+///             bit-equal to la::CosineSimilarity;
+///   euclidean -sqrt(dist²(a,b)) — bit-equal to -la::Distance;
+///   dot       dot(a,b).
+double PairScore(Metric metric, const double* a, const double* b, size_t dim,
+                 double norm_a, double norm_b);
+
+/// Convenience over PairScore for equal-sized spans (computes the norms).
+/// The exact-scan fallback paths score with this, so exact and HNSW
+/// results carry bit-identical scores.
+double Score(Metric metric, Span<const double> a, Span<const double> b);
+
+/// Builds the index over `facts.size()` vectors (node i = facts[i], which
+/// must be strictly ascending — the PHI record order) and returns the
+/// serialized payload. InvalidArgument on empty input, a bad config, or
+/// unsorted facts.
+Result<std::string> BuildHnsw(const HnswConfig& config,
+                              Span<const db::FactId> facts,
+                              const VectorSource& vectors, size_t dim);
+
+/// Zero-copy reader over a serialized payload. Open() validates the
+/// whole structure up front (header ranges, exact payload size, every
+/// adjacency offset/count/id) so Search never needs bounds checks; the
+/// buffer must stay alive and must be 8-byte aligned (snapshot sections
+/// are; copy an in-memory payload into an aligned buffer first).
+class HnswView {
+ public:
+  HnswView() = default;
+
+  /// `expected_nodes` and `dim` come from the enclosing snapshot (PHI
+  /// record count and header dim); a payload disagreeing with its
+  /// container is rejected.
+  static Result<HnswView> Open(const char* data, size_t size,
+                               size_t expected_nodes, size_t dim);
+
+  bool valid() const { return levels_ != nullptr; }
+  size_t num_nodes() const { return num_nodes_; }
+  size_t dim() const { return dim_; }
+  Metric metric() const { return metric_; }
+  uint32_t m() const { return m_; }
+  uint32_t ef_construction() const { return ef_construction_; }
+  uint64_t seed() const { return seed_; }
+  uint32_t max_level() const { return max_level_; }
+  uint32_t entry_node() const { return entry_; }
+
+  /// Node's level and per-level adjacency (level 0 first in the pool, so
+  /// the base-layer hot path is one offset lookup).
+  uint32_t level(uint32_t node) const { return levels_[node]; }
+  Span<const uint32_t> neighbors(uint32_t node, uint32_t lvl) const;
+
+  /// The up-to-k best nodes for `query` (best first, BetterHit order).
+  /// `ef` is the base-layer beam width, clamped up to k. `vectors` must
+  /// be the same vectors the index was built on, in node order.
+  std::vector<ScoredNode> Search(const double* query, size_t k, size_t ef,
+                                 const VectorSource& vectors,
+                                 SearchStats* stats = nullptr) const;
+
+ private:
+  const uint32_t* levels_ = nullptr;
+  const uint64_t* offsets_ = nullptr;  ///< node -> u32 index into pool_
+  const uint32_t* pool_ = nullptr;     ///< per level: count, then ids
+  const double* norms_ = nullptr;      ///< per node ‖v‖₂ (cosine only)
+  size_t num_nodes_ = 0;
+  size_t dim_ = 0;
+  Metric metric_ = Metric::kCosine;
+  uint32_t m_ = 0;
+  uint32_t ef_construction_ = 0;
+  uint64_t seed_ = 0;
+  uint32_t max_level_ = 0;
+  uint32_t entry_ = 0;
+};
+
+}  // namespace stedb::ann
+
+#endif  // STEDB_ANN_HNSW_H_

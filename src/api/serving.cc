@@ -10,6 +10,7 @@
 #include <utility>
 
 #include "src/la/row_batch.h"
+#include "src/ml/topk.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 #include "src/store/embedding_store.h"
@@ -45,6 +46,11 @@ struct ServingMetrics {
   obs::Counter& reopens = reg.GetCounter(
       "stedb_serving_reopens_total",
       "Compaction-triggered snapshot+journal reopens");
+  obs::Histogram& ann_visited_nodes = reg.GetHistogram(
+      "stedb_ann_visited_nodes",
+      "Nodes whose distance was evaluated per HNSW search "
+      "(SimilarTopK approximate path)",
+      obs::Buckets::PowersOfTwo());
 };
 
 ServingMetrics& Metrics() {
@@ -82,6 +88,19 @@ Result<ServingSession> ServingSession::Open(const std::string& dir) {
   ServingSession session(dir, std::move(snapshot));
   session.snapshot_inode_ = inode;
   session.snapshot_size_ = size;
+
+  // Open the persisted ANN index when the snapshot carries one. The view
+  // points straight into the mapping (zero-copy); a structurally invalid
+  // section fails the whole Open — a store advertising an index it
+  // cannot serve is corrupt, not merely slow.
+  if (session.snapshot_.has_ann()) {
+    STEDB_ASSIGN_OR_RETURN(
+        session.ann_view_,
+        ann::HnswView::Open(session.snapshot_.ann_data(),
+                            session.snapshot_.ann_size(),
+                            session.snapshot_.num_embedded(),
+                            session.snapshot_.dim()));
+  }
 
   // Pin the journal BEFORE reading it: wal_offset_ and wal_fd_ must
   // describe the same inode. Reading by path first would let a racing
@@ -157,6 +176,10 @@ void ServingSession::ApplyRecord(const store::WalRecord& rec) {
     row = overlay_.size();
     overlay_.emplace(rec.fact, row);
     overlay_data_.resize((row + 1) * dim());
+    // A journal record for a snapshot-resident fact shadows its indexed
+    // vector: the ANN graph's hit for that node is stale and SimilarTopK
+    // must widen its candidate set to drop it without starving k.
+    if (!snapshot_.phi(rec.fact).empty()) ++overlay_overrides_;
   } else {
     row = it->second;
   }
@@ -284,24 +307,73 @@ Result<std::vector<ServingSession::Scored>> ServingSession::TopK(
   }
   STEDB_ASSIGN_OR_RETURN(Span<const double> phi_q, Embed(query));
 
-  // Brute-force scan over every served fact (the ANN index is a ROADMAP
-  // direction of its own); descending score, ascending fact id on ties,
-  // so the result is deterministic for equal stores.
-  std::vector<Scored> scored;
-  const std::vector<db::FactId> facts = ServedFacts();
-  scored.reserve(facts.size());
-  for (db::FactId g : facts) {
+  // Exhaustive φᵀψφ scan over every served fact — the bilinear scorer
+  // cannot use the vector-space ANN index (SimilarTopK can). Bounded
+  // k-element selection instead of materializing + sorting all n scores;
+  // descending score with ascending fact id on ties, so the result is
+  // deterministic for equal stores.
+  ml::TopKHeap<Scored> heap(k);
+  for (db::FactId g : ServedFacts()) {
     // Embed cannot fail here: ServedFacts enumerates only served ids.
-    scored.push_back({g, la::BilinearForm(phi_q, psi, Embed(g).value())});
+    heap.Push({g, la::BilinearForm(phi_q, psi, Embed(g).value())});
   }
-  const size_t keep = std::min(k, scored.size());
-  std::partial_sort(scored.begin(), scored.begin() + keep, scored.end(),
-                    [](const Scored& a, const Scored& b) {
-                      if (a.score != b.score) return a.score > b.score;
-                      return a.fact < b.fact;
-                    });
-  scored.resize(keep);
-  return scored;
+  return std::move(heap).Take();
+}
+
+Result<std::vector<ServingSession::Scored>> ServingSession::SimilarTopK(
+    db::FactId query, size_t k, const SimilarOptions& options) const {
+  STEDB_ASSIGN_OR_RETURN(Span<const double> v, Embed(query));
+  return SimilarTopK(v, k, options, query);
+}
+
+Result<std::vector<ServingSession::Scored>> ServingSession::SimilarTopK(
+    Span<const double> query, size_t k, const SimilarOptions& options,
+    db::FactId exclude) const {
+  if (query.size() != dim()) {
+    return Status::InvalidArgument(
+        "SimilarTopK: query dimension " + std::to_string(query.size()) +
+        " != served dimension " + std::to_string(dim()));
+  }
+  const ann::Metric metric = similarity_metric();
+  ml::TopKHeap<Scored> heap(k);
+  if (options.approx && ann_view_.valid() && k > 0) {
+    // Sublinear path: beam-search the mmap'd graph. Ask for enough hits
+    // that dropping the excluded fact and any overlay-shadowed nodes
+    // (whose indexed vectors are stale) still leaves k survivors.
+    const size_t want = k + 1 + overlay_overrides_;
+    const size_t base_ef =
+        options.ef_search != 0 ? options.ef_search : kDefaultEfSearch;
+    const ann::VectorSource vectors{snapshot_.phi_records() + 8,
+                                    snapshot_.phi_stride()};
+    ann::SearchStats stats;
+    const std::vector<ann::ScoredNode> hits = ann_view_.Search(
+        query.data(), want, std::max(base_ef, want), vectors, &stats);
+    Metrics().ann_visited_nodes.Observe(static_cast<double>(stats.visited));
+    for (const ann::ScoredNode& hit : hits) {
+      const db::FactId f = snapshot_.fact_at(hit.node);
+      if (f == exclude || overlay_.count(f) != 0) continue;
+      heap.Push({f, hit.score});
+    }
+  } else {
+    // Exact scan of the snapshot residents — no index, approx=false, or
+    // k==0. Scores go through the same ann::Score → la::kernels path the
+    // graph search uses, so exact and approximate results are
+    // bit-comparable.
+    for (size_t i = 0; i < snapshot_.num_embedded(); ++i) {
+      const db::FactId f = snapshot_.fact_at(i);
+      if (f == exclude || overlay_.count(f) != 0) continue;
+      heap.Push({f, ann::Score(metric, query, snapshot_.phi_at(i))});
+    }
+  }
+  // WAL-resident facts (and journal overwrites of indexed facts) are
+  // merged from an exact side scan on both paths: the persisted graph
+  // predates them, but freshness is never sacrificed for speed.
+  for (const auto& [f, row] : overlay_) {
+    if (f == exclude) continue;
+    const Span<const double> v(overlay_data_.data() + row * dim(), dim());
+    heap.Push({f, ann::Score(metric, query, v)});
+  }
+  return std::move(heap).Take();
 }
 
 std::vector<db::FactId> ServingSession::ServedFacts() const {

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "src/ann/hnsw.h"
 #include "src/common/scoped_fd.h"
 #include "src/common/span.h"
 #include "src/common/status.h"
@@ -15,6 +16,17 @@
 #include "src/store/wal.h"
 
 namespace stedb::api {
+
+/// Knobs for ServingSession::SimilarTopK. Namespace-scope (not nested)
+/// so it can be a defaulted argument of the member functions.
+struct SimilarOptions {
+  /// Beam width of the HNSW base-layer search (clamped up so at least
+  /// k + WAL-override survivors come back). 0 = kDefaultEfSearch.
+  size_t ef_search = 0;
+  /// false forces the exact brute-force scan even when an index is
+  /// present — the parity / recall oracle (`/similar?approx=0`).
+  bool approx = true;
+};
 
 /// Read-only serving endpoint over a store::EmbeddingStore directory: the
 /// snapshot is mmap'd (zero-copy, page cache shared across processes) and
@@ -99,6 +111,38 @@ class ServingSession {
   /// ψ matrices available for scoring (0 for methods that persist none).
   size_t num_psi() const { return snapshot_.num_psi(); }
 
+  /// Base-layer beam width used when SimilarOptions::ef_search is 0.
+  static constexpr size_t kDefaultEfSearch = 64;
+
+  /// Whether the mmap'd snapshot carries a searchable 'ANN ' index.
+  bool has_ann_index() const { return ann_view_.valid(); }
+  /// The index's metric (cosine when no index is present — the exact
+  /// fallback's default).
+  ann::Metric similarity_metric() const {
+    return ann_view_.valid() ? ann_view_.metric() : ann::Metric::kCosine;
+  }
+
+  /// The k facts most similar to `query` in embedding space (the paper's
+  /// record-similarity task), best first with ascending fact id on ties.
+  /// When the snapshot carries an 'ANN ' section the mmap'd HNSW graph is
+  /// searched zero-copy and WAL-resident facts tailed since the snapshot
+  /// are merged from an exact side scan — freshness is never sacrificed
+  /// for speed. Without an index (or with approx=false) the whole served
+  /// set is scanned exactly; scores are bit-identical either way, both
+  /// routed through ann::PairScore / la::kernels.
+  ///
+  /// The fact overload queries by a served fact's own vector and excludes
+  /// that fact from the results (NotFound when it is not served); the
+  /// span overload searches an arbitrary vector (InvalidArgument on a
+  /// dimension mismatch), excluding `exclude` when given.
+  Result<std::vector<Scored>> SimilarTopK(
+      db::FactId query, size_t k,
+      const SimilarOptions& options = SimilarOptions()) const;
+  Result<std::vector<Scored>> SimilarTopK(
+      Span<const double> query, size_t k,
+      const SimilarOptions& options = SimilarOptions(),
+      db::FactId exclude = db::kNoFact) const;
+
   /// Every served fact id, ascending (snapshot residents + journal tail,
   /// deduplicated). Allocates; meant for enumeration endpoints and the
   /// top-k scan, not the per-lookup hot path.
@@ -153,6 +197,14 @@ class ServingSession {
   /// Journal-resident vectors: fact -> row index into overlay_data_.
   std::unordered_map<db::FactId, size_t> overlay_;
   std::vector<double> overlay_data_;
+  /// View over the snapshot's 'ANN ' section (invalid when absent). The
+  /// pointers alias the mapping, so the default move ops stay correct:
+  /// the mmap address is stable across MmapSnapshot moves.
+  ann::HnswView ann_view_;
+  /// Overlay entries that shadow a snapshot-resident fact (the journal
+  /// overwrote an indexed vector). The ANN search widens its result set
+  /// by this count so dropping the stale graph hits cannot starve k.
+  size_t overlay_overrides_ = 0;
   bool reopened_ = false;
 };
 

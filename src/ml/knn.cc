@@ -1,6 +1,9 @@
 #include "src/ml/knn.h"
 
-#include <algorithm>
+#include <cmath>
+
+#include "src/la/kernels.h"
+#include "src/ml/topk.h"
 
 namespace stedb::ml {
 
@@ -25,13 +28,22 @@ void EmbeddingIndex::AddBatch(Span<const db::FactId> facts,
 }
 
 double EmbeddingIndex::Score(const la::Vector& a, const la::Vector& b) const {
+  // Straight through the la::kernels dispatch table (scalar and AVX2
+  // paths are bit-identical), with the exact operation order of the
+  // la::CosineSimilarity / la::Distance wrappers — ml_test asserts
+  // bit-equality against them.
+  const size_t n = a.size();
   switch (metric_) {
-    case SimilarityMetric::kCosine:
-      return la::CosineSimilarity(a, b);
+    case SimilarityMetric::kCosine: {
+      const double na = std::sqrt(la::Norm2Sq(a.data(), n));
+      const double nb = std::sqrt(la::Norm2Sq(b.data(), n));
+      if (na == 0.0 || nb == 0.0) return 0.0;
+      return la::Dot(a.data(), b.data(), n) / (na * nb);
+    }
     case SimilarityMetric::kEuclidean:
-      return -la::Distance(a, b);
+      return -std::sqrt(la::DistSq(a.data(), b.data(), n));
     case SimilarityMetric::kDot:
-      return la::Dot(a, b);
+      return la::Dot(a.data(), b.data(), n);
   }
   return 0.0;
 }
@@ -43,19 +55,15 @@ int EmbeddingIndex::IndexOf(db::FactId fact) const {
 
 std::vector<Neighbor> EmbeddingIndex::TopK(const la::Vector& query, size_t k,
                                            db::FactId exclude) const {
-  std::vector<Neighbor> all;
-  all.reserve(facts_.size());
+  // Bounded k-element selection instead of materializing and sorting all
+  // n candidates; ties break on ascending fact id, so equal-score runs
+  // cannot reorder between builds.
+  TopKHeap<Neighbor> heap(k);
   for (size_t i = 0; i < facts_.size(); ++i) {
     if (facts_[i] == exclude) continue;
-    all.push_back({facts_[i], Score(query, vectors_[i])});
+    heap.Push({facts_[i], Score(query, vectors_[i])});
   }
-  const size_t take = std::min(k, all.size());
-  std::partial_sort(all.begin(), all.begin() + take, all.end(),
-                    [](const Neighbor& x, const Neighbor& y) {
-                      return x.score > y.score;
-                    });
-  all.resize(take);
-  return all;
+  return std::move(heap).Take();
 }
 
 Result<std::vector<Neighbor>> EmbeddingIndex::TopKOf(db::FactId fact,

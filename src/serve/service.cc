@@ -33,6 +33,9 @@ struct ServeMetrics {
       "EmbedBatch calls made by the coalescer");
   obs::Counter& topk_queries = reg.GetCounter(
       "stedb_serve_topk_queries_total", "/topk queries served");
+  obs::Counter& similar_queries = reg.GetCounter(
+      "stedb_serve_similar_queries_total",
+      "/similar queries served (approximate and exact paths)");
   obs::Counter& polls = reg.GetCounter(
       "stedb_serve_polls_total", "ServingSession Poll() calls");
   obs::Counter& wal_records_applied = reg.GetCounter(
@@ -153,6 +156,7 @@ EmbeddingService::EmbeddingService(api::ServingSession session,
   baseline_.embed_batches = m.embed_batches.Value();
   baseline_.coalesce_rounds = m.coalesce_rounds.Value();
   baseline_.topk_queries = m.topk_queries.Value();
+  baseline_.similar_queries = m.similar_queries.Value();
   baseline_.polls = m.polls.Value();
   baseline_.wal_records_applied = m.wal_records_applied.Value();
   baseline_.reopens = m.reopens.Value();
@@ -328,6 +332,8 @@ void EmbeddingService::RegisterHandlers() {
   timed("/embed_batch",
         [this](const HttpRequest& r) { return HandleEmbedBatch(r); });
   timed("/topk", [this](const HttpRequest& r) { return HandleTopK(r); });
+  timed("/similar",
+        [this](const HttpRequest& r) { return HandleSimilar(r); });
   timed("/facts", [this](const HttpRequest& r) { return HandleFacts(r); });
   timed("/stats", [this](const HttpRequest& r) { return HandleStats(r); });
   timed("/metrics",
@@ -440,6 +446,44 @@ HttpResponse EmbeddingService::HandleTopK(const HttpRequest& req) {
   return resp;
 }
 
+HttpResponse EmbeddingService::HandleSimilar(const HttpRequest& req) {
+  if (!req.HasParam("fact")) {
+    return ErrorResponse(
+        Status::InvalidArgument("missing ?fact=<id> parameter"));
+  }
+  const auto fact =
+      static_cast<db::FactId>(req.ParamInt("fact", db::kNoFact));
+  const auto k = static_cast<size_t>(std::max<int64_t>(
+      1, std::min<int64_t>(req.ParamInt("k", 10),
+                           static_cast<int64_t>(options_.max_topk))));
+  api::SimilarOptions opts;
+  opts.ef_search = options_.ef_search;
+  opts.approx = req.ParamInt("approx", 1) != 0;
+
+  bool approx_served = false;
+  Result<std::vector<api::ServingSession::Scored>> scored = [&] {
+    SharedMutexLock lk(session_mu_);
+    approx_served = opts.approx && session_.has_ann_index();
+    return session_.SimilarTopK(fact, k, opts);
+  }();
+  if (!scored.ok()) return ErrorResponse(scored.status());
+  Metrics().similar_queries.Inc();
+
+  HttpResponse resp;
+  resp.body = "{\"query\":" + std::to_string(fact) + ",\"approx\":" +
+              (approx_served ? "true" : "false") + ",\"results\":[";
+  bool first = true;
+  for (const api::ServingSession::Scored& s : scored.value()) {
+    if (!first) resp.body.push_back(',');
+    first = false;
+    resp.body += "{\"fact\":" + std::to_string(s.fact) + ",\"score\":";
+    AppendJsonDouble(resp.body, s.score);
+    resp.body.push_back('}');
+  }
+  resp.body += "]}\n";
+  return resp;
+}
+
 HttpResponse EmbeddingService::HandleFacts(const HttpRequest& req) {
   const auto limit = static_cast<size_t>(std::max<int64_t>(
       0, req.ParamInt("limit",
@@ -465,12 +509,19 @@ HttpResponse EmbeddingService::HandleFacts(const HttpRequest& req) {
 
 HttpResponse EmbeddingService::HandleStats(const HttpRequest&) {
   size_t num_embedded = 0, wal_records = 0, num_psi = 0;
+  bool ann_index = false;
   {
     SharedMutexLock lk(session_mu_);
     num_embedded = session_.num_embedded();
     wal_records = session_.wal_records();
     num_psi = session_.num_psi();
+    ann_index = session_.has_ann_index();
   }
+  // The beam width /similar actually runs with (the option, or the
+  // library default when unset).
+  const size_t ef_search =
+      options_.ef_search != 0 ? options_.ef_search
+                              : api::ServingSession::kDefaultEfSearch;
   const Stats s = stats();
   HttpResponse resp;
   resp.body =
@@ -478,12 +529,15 @@ HttpResponse EmbeddingService::HandleStats(const HttpRequest&) {
       ",\"dim\":" + std::to_string(dim_) +
       ",\"wal_records\":" + std::to_string(wal_records) +
       ",\"num_psi\":" + std::to_string(num_psi) +
+      ",\"ann_index\":" + (ann_index ? "true" : "false") +
+      ",\"ef_search\":" + std::to_string(ef_search) +
       ",\"http_requests\":" + std::to_string(http_.requests_served()) +
       ",\"embeds\":" + std::to_string(s.embeds) +
       ",\"embed_batches\":" + std::to_string(s.embed_batches) +
       ",\"coalesce_rounds\":" + std::to_string(s.coalesce_rounds) +
       ",\"max_coalesced\":" + std::to_string(s.max_coalesced) +
       ",\"topk_queries\":" + std::to_string(s.topk_queries) +
+      ",\"similar_queries\":" + std::to_string(s.similar_queries) +
       ",\"polls\":" + std::to_string(s.polls) +
       ",\"wal_records_applied\":" +
       std::to_string(s.wal_records_applied) +
@@ -510,6 +564,8 @@ EmbeddingService::Stats EmbeddingService::stats() const {
       m.coalesce_rounds.Value() - baseline_.coalesce_rounds;
   s.max_coalesced = max_coalesced_.load(std::memory_order_relaxed);
   s.topk_queries = m.topk_queries.Value() - baseline_.topk_queries;
+  s.similar_queries =
+      m.similar_queries.Value() - baseline_.similar_queries;
   s.polls = m.polls.Value() - baseline_.polls;
   s.wal_records_applied =
       m.wal_records_applied.Value() - baseline_.wal_records_applied;

@@ -27,8 +27,12 @@ struct ServeOptions {
   /// every this many milliseconds (0 disables the ticker — Poll only via
   /// PollNow(), for tests and single-shot drills).
   int poll_interval_ms = 20;
-  /// Ceiling on /topk's k and /facts' limit.
+  /// Ceiling on /topk's and /similar's k and /facts' limit.
   size_t max_topk = 1024;
+  /// HNSW base-layer beam width for /similar (0 = the library default,
+  /// api::ServingSession::kDefaultEfSearch). Larger = better recall,
+  /// slower queries. `stedb_serve --ef-search=N` sets it.
+  size_t ef_search = 0;
   /// Ceiling on facts per /embed_batch request.
   size_t max_batch_facts = 65536;
   /// Runs on every ticker tick, after the Poll, outside the session lock.
@@ -49,6 +53,9 @@ struct ServeOptions {
 ///   GET /embed?fact=ID[&raw=1]        one φ vector
 ///   GET /embed_batch?facts=1,2,3      batch read (or POST ids in body)
 ///   GET /topk?fact=ID&k=K[&target=T]  φᵀψφ top-k over served facts
+///   GET /similar?fact=ID&k=K[&approx=0]  nearest neighbors in embedding
+///       space — sublinear via the snapshot's persisted HNSW index when
+///       present, exact scan otherwise; approx=0 forces the exact scan
 ///   GET /facts[?limit=N]              served fact ids (load-gen seed)
 ///   GET /stats                        counters + store shape
 ///   GET /healthz                      liveness probe
@@ -77,6 +84,7 @@ class EmbeddingService {
     uint64_t coalesce_rounds = 0;   ///< EmbedBatch calls the coalescer made
     uint64_t max_coalesced = 0;     ///< largest single coalesced round
     uint64_t topk_queries = 0;
+    uint64_t similar_queries = 0;   ///< /similar requests (approx + exact)
     uint64_t polls = 0;             ///< ticker + PollNow Poll() calls
     uint64_t wal_records_applied = 0;
     uint64_t reopens = 0;           ///< compaction-triggered reopens
@@ -130,6 +138,7 @@ class EmbeddingService {
   HttpResponse HandleEmbed(const HttpRequest& req);
   HttpResponse HandleEmbedBatch(const HttpRequest& req);
   HttpResponse HandleTopK(const HttpRequest& req);
+  HttpResponse HandleSimilar(const HttpRequest& req);
   HttpResponse HandleFacts(const HttpRequest& req);
   HttpResponse HandleStats(const HttpRequest& req);
   HttpResponse HandleMetrics(const HttpRequest& req);
@@ -170,6 +179,7 @@ class EmbeddingService {
     uint64_t embed_batches = 0;
     uint64_t coalesce_rounds = 0;
     uint64_t topk_queries = 0;
+    uint64_t similar_queries = 0;
     uint64_t polls = 0;
     uint64_t wal_records_applied = 0;
     uint64_t reopens = 0;

@@ -2,7 +2,9 @@
 
 #include <filesystem>
 #include <utility>
+#include <vector>
 
+#include "src/ann/hnsw.h"
 #include "src/obs/metrics.h"
 #include "src/obs/span.h"
 #include "src/store/format.h"
@@ -40,6 +42,11 @@ struct StoreMetrics {
   obs::Histogram& compact_seconds = reg.GetHistogram(
       "stedb_store_compact_seconds", "Compact latency",
       obs::Buckets::Latency());
+  obs::Histogram& ann_build_seconds = reg.GetHistogram(
+      "stedb_store_ann_build_seconds",
+      "HNSW index construction latency inside snapshot writes "
+      "(StoreOptions::build_ann_index)",
+      obs::Buckets::Latency());
   obs::Histogram& group_commit_batch = reg.GetHistogram(
       "stedb_store_group_commit_batch_records",
       "Records made durable per fsync", obs::Buckets::PowersOfTwo());
@@ -57,6 +64,37 @@ StoreMetrics& Metrics() {
 // Eager registration: a process that only reads (stedb_serve) still
 // exports the store families, at zero, so scrapes see a stable schema.
 [[maybe_unused]] const StoreMetrics& g_eager_metrics = Metrics();
+
+/// Encodes `model` through its codec and, when the options ask for it,
+/// appends the 'ANN ' index section built over the model's φ vectors.
+/// Shared by Create() and WriteSnapshotFile() so every snapshot write —
+/// initial persist and each Compact — carries the same sections.
+Result<std::string> EncodeSnapshotBytes(const ModelCodec& codec,
+                                        const StoredModel& model,
+                                        const StoreOptions& options) {
+  STEDB_ASSIGN_OR_RETURN(std::string bytes, codec.Encode(model));
+  if (!options.build_ann_index || model.num_embedded() == 0) return bytes;
+  obs::ScopedTimer timer(Metrics().ann_build_seconds);
+  // Gather the φ rows in PHI order (ForEachPhi ascends fact ids) so ANN
+  // node i is exactly PHI record i — the identity MmapSnapshot's
+  // zero-copy serving path relies on.
+  const size_t dim = model.dim();
+  std::vector<db::FactId> facts;
+  std::vector<double> rows;
+  facts.reserve(model.num_embedded());
+  rows.reserve(model.num_embedded() * dim);
+  model.ForEachPhi([&facts, &rows](db::FactId f, const la::Vector& v) {
+    facts.push_back(f);
+    rows.insert(rows.end(), v.begin(), v.end());
+  });
+  STEDB_ASSIGN_OR_RETURN(
+      std::string payload,
+      ann::BuildHnsw(options.ann, facts,
+                     ann::VectorSource::Dense(rows.data(), dim), dim));
+  STEDB_RETURN_IF_ERROR(
+      AppendSnapshotSection(&bytes, kAnnSectionTag, payload));
+  return bytes;
+}
 
 }  // namespace
 
@@ -83,7 +121,8 @@ EmbeddingStore::EmbeddingStore(std::string dir, StoreOptions options,
       recovered_torn_tail_(torn) {}
 
 Status EmbeddingStore::WriteSnapshotFile() const {
-  STEDB_ASSIGN_OR_RETURN(std::string bytes, codec_->Encode(*model_));
+  STEDB_ASSIGN_OR_RETURN(std::string bytes,
+                         EncodeSnapshotBytes(*codec_, *model_, options_));
   return AtomicWriteFile(SnapshotPath(dir_), bytes);
 }
 
@@ -104,7 +143,8 @@ Result<EmbeddingStore> EmbeddingStore::Create(
     return Status::IOError("store: cannot create directory " + dir);
   }
   {
-    STEDB_ASSIGN_OR_RETURN(std::string bytes, codec->Encode(*model));
+    STEDB_ASSIGN_OR_RETURN(std::string bytes,
+                           EncodeSnapshotBytes(*codec, *model, options));
     STEDB_RETURN_IF_ERROR(AtomicWriteFile(SnapshotPath(dir), bytes));
   }
   STEDB_RETURN_IF_ERROR(ResetWal(WalPath(dir), model->dim()));

@@ -5,6 +5,7 @@
 #include <memory>
 #include <string>
 
+#include "src/ann/hnsw.h"
 #include "src/common/status.h"
 #include "src/store/model_codec.h"
 #include "src/store/sink.h"
@@ -45,6 +46,17 @@ struct StoreOptions {
   /// fraction of the fsyncs (bench/table7_store_io measures both).
   size_t group_commit_bytes = 0;
   uint64_t group_commit_usec = 0;
+
+  /// Build a persisted ANN index ('ANN ' section, src/ann/hnsw.h) into
+  /// every snapshot this store writes — at Create() and at each
+  /// Compact(). The section rides the container's CRC + alignment
+  /// guarantees, so MmapSnapshot / api::ServingSession serve the graph
+  /// zero-copy; readers that predate the section ignore it. Off by
+  /// default: building is O(n · ef_construction) at compaction time.
+  bool build_ann_index = false;
+  /// Graph knobs used when build_ann_index is set. `ann.threads`
+  /// parallelizes the build without changing the produced bytes.
+  ann::HnswConfig ann;
 };
 
 /// Durable home of one embedding method's model: a binary snapshot

@@ -107,6 +107,17 @@ Result<MmapSnapshot> MmapSnapshot::Open(const std::string& path) {
     snap.psi_matrices_ = psi_in.cursor();
     snap.num_psi_ = static_cast<size_t>(n_psi);
   }
+
+  // ANN: optional persisted index (StoreOptions::build_ann_index). Only
+  // located here — ann::HnswView::Open validates the payload structure
+  // when a serving session actually wants to search it.
+  if (const SnapshotSection* ann = parsed.Find(kAnnSectionTag)) {
+    if ((ann->data - base) % 8 != 0) {
+      return Status::Internal("mmap snapshot: ANN payload is misaligned");
+    }
+    snap.ann_data_ = ann->data;
+    snap.ann_size_ = ann->size;
+  }
   return snap;
 }
 
@@ -115,6 +126,8 @@ MmapSnapshot::MmapSnapshot(MmapSnapshot&& other) noexcept
       map_size_(other.map_size_),
       phi_records_(other.phi_records_),
       psi_matrices_(other.psi_matrices_),
+      ann_data_(other.ann_data_),
+      ann_size_(other.ann_size_),
       num_facts_(other.num_facts_),
       num_psi_(other.num_psi_),
       dim_(other.dim_),
@@ -125,6 +138,8 @@ MmapSnapshot::MmapSnapshot(MmapSnapshot&& other) noexcept
   other.map_size_ = 0;
   other.phi_records_ = nullptr;
   other.psi_matrices_ = nullptr;
+  other.ann_data_ = nullptr;
+  other.ann_size_ = 0;
   other.num_facts_ = 0;
   other.num_psi_ = 0;
 }
@@ -136,6 +151,8 @@ MmapSnapshot& MmapSnapshot::operator=(MmapSnapshot&& other) noexcept {
     map_size_ = other.map_size_;
     phi_records_ = other.phi_records_;
     psi_matrices_ = other.psi_matrices_;
+    ann_data_ = other.ann_data_;
+    ann_size_ = other.ann_size_;
     num_facts_ = other.num_facts_;
     num_psi_ = other.num_psi_;
     dim_ = other.dim_;
@@ -146,6 +163,8 @@ MmapSnapshot& MmapSnapshot::operator=(MmapSnapshot&& other) noexcept {
     other.map_size_ = 0;
     other.phi_records_ = nullptr;
     other.psi_matrices_ = nullptr;
+    other.ann_data_ = nullptr;
+    other.ann_size_ = 0;
     other.num_facts_ = 0;
     other.num_psi_ = 0;
   }
@@ -172,6 +191,12 @@ Span<const double> MmapSnapshot::phi(db::FactId f) const {
   }
   if (lo == num_facts_ || fact_at(lo) != f) return Span<const double>();
   const char* record = phi_records_ + lo * (8 + dim_ * 8);
+  return Span<const double>(reinterpret_cast<const double*>(record + 8),
+                            dim_);
+}
+
+Span<const double> MmapSnapshot::phi_at(size_t i) const {
+  const char* record = phi_records_ + i * phi_stride();
   return Span<const double>(reinterpret_cast<const double*>(record + 8),
                             dim_);
 }

@@ -69,6 +69,24 @@ class MmapSnapshot {
   size_t num_psi() const { return num_psi_; }
   Span<const double> psi(size_t t) const;
 
+  /// The optional 'ANN ' index section (src/ann/hnsw.h payload),
+  /// zero-copy. has_ann() is false for snapshots written without
+  /// StoreOptions::build_ann_index; the payload bytes were CRC-verified
+  /// by Open() like every other section and sit 8-aligned in the
+  /// mapping, ready for ann::HnswView::Open.
+  bool has_ann() const { return ann_data_ != nullptr; }
+  const char* ann_data() const { return ann_data_; }
+  size_t ann_size() const { return ann_size_; }
+
+  /// Raw PHI record layout for index-order vector access: record i is
+  /// (i64 fact, dim doubles) at phi_records() + i * phi_stride(). This
+  /// is what lets the ANN search read node vectors straight off the
+  /// mapping (node i = PHI record i).
+  const char* phi_records() const { return phi_records_; }
+  size_t phi_stride() const { return 8 + dim_ * 8; }
+  /// φ of the i-th record (i < num_embedded()), zero-copy.
+  Span<const double> phi_at(size_t i) const;
+
  private:
   MmapSnapshot() = default;
 
@@ -76,6 +94,8 @@ class MmapSnapshot {
   size_t map_size_ = 0;
   const char* phi_records_ = nullptr;  ///< first PHI record, inside map_
   const char* psi_matrices_ = nullptr;  ///< first ψ double, inside map_
+  const char* ann_data_ = nullptr;     ///< 'ANN ' payload, inside map_
+  size_t ann_size_ = 0;
   size_t num_facts_ = 0;
   size_t num_psi_ = 0;
   size_t dim_ = 0;

@@ -215,6 +215,35 @@ std::string SnapshotBuilder::Finish() && {
   return std::move(out_);
 }
 
+Status AppendSnapshotSection(std::string* container, uint32_t tag,
+                             const std::string& payload) {
+  if (container->size() < kSnapshotHeaderSize ||
+      std::memcmp(container->data(), kMagic, sizeof(kMagic)) != 0) {
+    return Status::InvalidArgument(
+        "snapshot: cannot append a section to a non-container buffer");
+  }
+  // The builder keeps every section 8-aligned; a well-formed container
+  // therefore ends on an 8-byte boundary and the new section header
+  // lands aligned too.
+  if (container->size() % 8 != 0) {
+    return Status::InvalidArgument(
+        "snapshot: container is not section-aligned");
+  }
+  AppendU32(*container, tag);
+  AppendU32(*container, Crc32(payload.data(), payload.size()));
+  AppendU64(*container, payload.size());
+  *container += payload;
+  PadTo8(*container);
+  // Bump the section count in place (offset 20, little-endian u32).
+  uint32_t count = 0;
+  std::memcpy(&count, container->data() + 20, sizeof(count));
+  ++count;
+  for (int i = 0; i < 4; ++i) {
+    (*container)[20 + i] = static_cast<char>((count >> (8 * i)) & 0xff);
+  }
+  return Status::OK();
+}
+
 std::string EncodePhiPayload(const StoredModel& model) {
   std::string phi;
   AppendU64(phi, model.num_embedded());

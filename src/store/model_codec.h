@@ -64,6 +64,10 @@ constexpr uint32_t FourCc(char a, char b, char c, char d) {
 constexpr uint32_t kPhiSectionTag = FourCc('P', 'H', 'I', ' ');
 constexpr uint32_t kPsiSectionTag = FourCc('P', 'S', 'I', ' ');
 constexpr uint32_t kMetaSectionTag = FourCc('M', 'E', 'T', 'A');
+/// Optional persisted ANN index (src/ann/hnsw.h payload), written by the
+/// store layer behind StoreOptions::build_ann_index — codecs neither
+/// write nor read it, which is what keeps it method-agnostic.
+constexpr uint32_t kAnnSectionTag = FourCc('A', 'N', 'N', ' ');
 
 /// Renders a fourcc tag as printable text ("FWD ") for error messages.
 std::string FourCcToString(uint32_t tag);
@@ -114,6 +118,14 @@ class SnapshotBuilder {
   std::string out_;
   uint32_t section_count_ = 0;
 };
+
+/// Appends one section to an already-Finish()ed container in place (same
+/// bytes AddSection would have produced) and patches the header's section
+/// count. This is how the store layer adds the 'ANN ' index section on
+/// top of whatever the method's codec encoded, without codecs having to
+/// know about it. InvalidArgument when `container` is not a v2 container.
+Status AppendSnapshotSection(std::string* container, uint32_t tag,
+                             const std::string& payload);
 
 /// Encodes the standard 'PHI ' payload from a model (ascending fact id).
 std::string EncodePhiPayload(const StoredModel& model);

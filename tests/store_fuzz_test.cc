@@ -6,13 +6,19 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
+#include <filesystem>
+#include <memory>
 
+#include "src/ann/hnsw.h"
 #include "src/common/rng.h"
 #include "src/fwd/serialize.h"
 #include "src/fwd/trainer.h"
+#include "src/store/embedding_store.h"
 #include "src/store/format.h"
 #include "src/store/model_codec.h"
 #include "src/store/snapshot.h"
+#include "src/store/stored_model.h"
 #include "src/store/wal.h"
 #include "tests/test_util.h"
 
@@ -185,6 +191,73 @@ TEST_P(StoreFuzzTest, ContainerHeaderSurvivesFieldMutations) {
   auto old_err = SnapshotFromBytes(v1);
   ASSERT_FALSE(old_err.ok());
   EXPECT_NE(old_err.status().message().find("version 1"), std::string::npos);
+}
+
+TEST_P(StoreFuzzTest, AnnSectionSurvivesTruncationAndFlips) {
+  // ANN-bearing snapshots: the 'ANN ' section rides the container's CRC
+  // like every other section, so corruption must surface as a clean
+  // container reject — and on the rare CRC-passing mutation (padding
+  // bytes), whatever section survives must still open structurally via
+  // HnswView (the validation the serving path runs).
+  const size_t dim = 6, n = 40;
+  auto model = std::make_unique<VectorSetModel>(dim, -1);
+  Rng fill(99);
+  for (size_t i = 0; i < n; ++i) {
+    la::Vector v(dim);
+    for (double& x : v) x = fill.NextDouble(-1.0, 1.0);
+    model->set_phi(static_cast<db::FactId>(i), std::move(v));
+  }
+  const std::string dir = ::testing::TempDir() + "/stedb_fuzz_ann";
+  std::filesystem::remove_all(dir);
+  std::filesystem::create_directories(dir);
+  StoreOptions options;
+  options.build_ann_index = true;
+  auto created =
+      EmbeddingStore::Create(dir, "node2vec", std::move(model), options);
+  ASSERT_TRUE(created.ok()) << created.status();
+  std::string good;
+  ASSERT_TRUE(
+      ReadFileToString(EmbeddingStore::SnapshotPath(dir), &good).ok());
+
+  // Pristine sanity: the section is present, aligned and opens.
+  {
+    std::vector<uint64_t> buf((good.size() + 7) / 8);
+    std::memcpy(buf.data(), good.data(), good.size());
+    const char* base = reinterpret_cast<const char*>(buf.data());
+    auto parsed = ParseSnapshotContainer(base, good.size());
+    ASSERT_TRUE(parsed.ok()) << parsed.status();
+    const SnapshotSection* ann = parsed.value().Find(kAnnSectionTag);
+    ASSERT_NE(ann, nullptr);
+    ASSERT_TRUE(ann::HnswView::Open(ann->data, ann->size, n, dim).ok());
+  }
+
+  Rng rng(static_cast<uint64_t>(GetParam()) * 3571);
+  for (int trial = 0; trial < 60; ++trial) {
+    std::string bad = good;
+    if (rng.NextBool(0.3)) {
+      bad.resize(rng.NextIndex(bad.size() + 1));
+    }
+    const size_t flips = 1 + rng.NextIndex(3);
+    for (size_t k = 0; k < flips && !bad.empty(); ++k) {
+      const size_t at = rng.NextIndex(bad.size());
+      bad[at] = static_cast<char>(static_cast<unsigned char>(bad[at]) ^
+                                  (1u << rng.NextIndex(8)));
+    }
+    std::vector<uint64_t> buf(bad.size() / 8 + 1);
+    std::memcpy(buf.data(), bad.data(), bad.size());
+    const char* base = reinterpret_cast<const char*>(buf.data());
+    auto parsed = ParseSnapshotContainer(base, bad.size());
+    if (!parsed.ok()) {
+      EXPECT_FALSE(parsed.status().message().empty());
+      continue;
+    }
+    const SnapshotSection* ann = parsed.value().Find(kAnnSectionTag);
+    if (ann == nullptr) continue;  // mutation dropped the section cleanly
+    auto view = ann::HnswView::Open(ann->data, ann->size, n, dim);
+    if (!view.ok()) {
+      EXPECT_FALSE(view.status().message().empty());
+    }
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StoreFuzzTest, ::testing::Range(1, 6));

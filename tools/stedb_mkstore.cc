@@ -31,9 +31,11 @@ const char* FlagValue(const char* arg, const char* name) {
 
 int Usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <store_dir> [--dataset=NAME] [--seed=N]\n"
+               "usage: %s <store_dir> [--dataset=NAME] [--seed=N] [--ann]\n"
                "  NAME: one of the Table I synthetic datasets "
                "(hepatitis, genes, mutagenesis, world, mondial)\n"
+               "  --ann builds a persisted HNSW similarity index into the "
+               "snapshot\n"
                "  STEDB_SCALE=smoke|default|paper sizes the dataset and "
                "the training config\n",
                argv0);
@@ -46,11 +48,14 @@ int main(int argc, char** argv) {
   std::string dir;
   std::string dataset = "hepatitis";
   uint64_t seed = 7;
+  bool build_ann = false;
   for (int i = 1; i < argc; ++i) {
     if (const char* v = FlagValue(argv[i], "--dataset")) {
       dataset = v;
     } else if (const char* v2 = FlagValue(argv[i], "--seed")) {
       seed = static_cast<uint64_t>(std::strtoull(v2, nullptr, 10));
+    } else if (std::strcmp(argv[i], "--ann") == 0) {
+      build_ann = true;
     } else if (argv[i][0] == '-') {
       return Usage(argv[0]);
     } else if (dir.empty()) {
@@ -83,14 +88,17 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  auto created = fwd::CreateForwardStore(dir, emb.value().model());
+  store::StoreOptions options;
+  options.build_ann_index = build_ann;
+  auto created = fwd::CreateForwardStore(dir, emb.value().model(), options);
   if (!created.ok()) {
     std::fprintf(stderr, "store: %s\n", created.status().ToString().c_str());
     return 1;
   }
-  std::printf("wrote %s: %zu vectors, dim %zu, %zu psi (dataset %s)\n",
+  std::printf("wrote %s: %zu vectors, dim %zu, %zu psi (dataset %s%s)\n",
               dir.c_str(), emb.value().model().num_embedded(),
               emb.value().model().dim(),
-              emb.value().model().targets().size(), dataset.c_str());
+              emb.value().model().targets().size(), dataset.c_str(),
+              build_ann ? ", +ann" : "");
   return 0;
 }

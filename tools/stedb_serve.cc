@@ -57,11 +57,13 @@ int Usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <store_dir> [--host=127.0.0.1] [--port=8080]\n"
                "       [--threads=0] [--poll_ms=20] [--max_topk=1024]\n"
-               "       [--metrics-dump-sec=0]\n"
+               "       [--ef-search=0] [--metrics-dump-sec=0]\n"
                "  --port=0 picks an ephemeral port (printed on stdout)\n"
                "  --threads=0 resolves via STEDB_THREADS, else hardware "
                "concurrency\n"
                "  --poll_ms=0 disables the WAL catch-up ticker\n"
+               "  --ef-search=N sets /similar's HNSW beam width "
+               "(0 = library default)\n"
                "  --metrics-dump-sec=N dumps /metrics text to stderr "
                "every N seconds\n"
                "  SIGUSR1 dumps metrics to stderr on demand\n",
@@ -89,6 +91,8 @@ int main(int argc, char** argv) {
       options.poll_interval_ms = std::atoi(v);
     } else if ((v = FlagValue(argv[i], "--max_topk")) != nullptr) {
       options.max_topk = static_cast<size_t>(std::atoll(v));
+    } else if ((v = FlagValue(argv[i], "--ef-search")) != nullptr) {
+      options.ef_search = static_cast<size_t>(std::atoll(v));
     } else if ((v = FlagValue(argv[i], "--metrics-dump-sec")) != nullptr) {
       metrics_dump_sec = std::atoi(v);
     } else if (argv[i][0] == '-') {
